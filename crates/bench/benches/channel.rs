@@ -1,0 +1,20 @@
+//! Criterion bench: the Fig. 11 communication channels.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ne_bench::channel_exp::{run_gcm_channel, run_outer_channel};
+use std::time::Duration;
+
+fn bench_channel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig11");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    g.bench_function("outer_channel_1k_256k", |b| {
+        b.iter(|| run_outer_channel(1024, 1 << 20, 256 << 10).expect("outer"))
+    });
+    g.bench_function("gcm_channel_1k_256k", |b| {
+        b.iter(|| run_gcm_channel(1024, 1 << 20, 256 << 10).expect("gcm"))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_channel);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Criterion bench: the from-scratch crypto substrate (host throughput).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ne_crypto::gcm::AesGcm;
+use ne_crypto::sha256;
+use std::time::Duration;
+
+fn bench_crypto(c: &mut Criterion) {
+    let mut g = c.benchmark_group("crypto");
+    g.sample_size(20).measurement_time(Duration::from_secs(2));
+    let data = vec![0xABu8; 16 * 1024];
+    g.throughput(Throughput::Bytes(data.len() as u64));
+    g.bench_function("sha256_16k", |b| b.iter(|| sha256::digest(&data)));
+    let cipher = AesGcm::new(&[7; 16]);
+    g.bench_function("aes_gcm_seal_16k", |b| {
+        b.iter(|| cipher.seal(&[0; 12], &data, b""))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_crypto);
+criterion_main!(benches);

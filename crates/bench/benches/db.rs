@@ -1,0 +1,21 @@
+//! Criterion bench: the Table VI SQLite/YCSB case study.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ne_bench::db_case::run_db_case;
+use ne_db::WorkloadMix;
+use std::time::Duration;
+
+fn bench_db(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table6");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    for nested in [false, true] {
+        let label = if nested { "nested" } else { "monolithic" };
+        g.bench_function(format!("ycsb_95_5_x100_{label}"), |b| {
+            b.iter(|| run_db_case(WorkloadMix::Select95Update5, 50, 100, nested).expect("db case"))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_db);
+criterion_main!(benches);

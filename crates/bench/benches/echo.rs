@@ -1,0 +1,27 @@
+//! Criterion bench: the Fig. 7 echo server in both configurations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ne_tls::echo::{run_echo, EchoConfig};
+use std::time::Duration;
+
+fn bench_echo(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    for nested in [false, true] {
+        let label = if nested { "nested" } else { "monolithic" };
+        g.bench_function(format!("echo_1k_x20_{label}"), |b| {
+            b.iter(|| {
+                run_echo(&EchoConfig {
+                    chunk_size: 1024,
+                    num_messages: 20,
+                    nested,
+                })
+                .expect("echo run")
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_echo);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Criterion bench: the Fig. 10 enclave loader.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ne_bench::loading::{run_loading, LoadMode};
+use std::time::Duration;
+
+fn bench_loading(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig10");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    g.bench_function("combined_8", |b| {
+        b.iter(|| run_loading(LoadMode::BaselineCombined, 8, 0).expect("combined"))
+    });
+    g.bench_function("nested_8_shared_1", |b| {
+        b.iter(|| run_loading(LoadMode::Nested, 8, 1).expect("nested"))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_loading);
+criterion_main!(benches);

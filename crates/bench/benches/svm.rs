@@ -1,0 +1,28 @@
+//! Criterion bench: the Fig. 9 LibSVM case study.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ne_bench::svm_case::{run_svm_case, SvmCaseConfig};
+use ne_svm::data::TableVDataset;
+use std::time::Duration;
+
+fn bench_svm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig9");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    for nested in [false, true] {
+        let label = if nested { "nested" } else { "monolithic" };
+        g.bench_function(format!("dna_train_predict_{label}"), |b| {
+            b.iter(|| {
+                run_svm_case(&SvmCaseConfig {
+                    dataset: TableVDataset::Dna,
+                    scale: 0.005,
+                    nested,
+                })
+                .expect("svm case")
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_svm);
+criterion_main!(benches);

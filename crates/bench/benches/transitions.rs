@@ -1,0 +1,22 @@
+//! Criterion bench: host-side cost of simulated transition dispatch
+//! (the Table II code path).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ne_bench::transitions::{measure_classic, measure_nested};
+use ne_sgx::cost::CostProfile;
+use std::time::Duration;
+
+fn bench_transitions(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2");
+    g.sample_size(10).measurement_time(Duration::from_secs(2));
+    g.bench_function("classic_emulated_100", |b| {
+        b.iter(|| measure_classic(CostProfile::emulated(), 100))
+    });
+    g.bench_function("nested_emulated_100", |b| {
+        b.iter(|| measure_nested(CostProfile::emulated(), 100))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_transitions);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Regenerates **Table II**: average latency of enclave transition calls
+//! for real-hardware SGX, emulated SGX, and emulated nested enclave.
+//!
+//! Run with `--full` for the paper's 1 M iterations (default 10 k).
+
+use ne_bench::report::{banner, f2, Table};
+use ne_bench::transitions::{measure_classic, measure_nested};
+use ne_sgx::cost::CostProfile;
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let iters: u64 = if full { 1_000_000 } else { 10_000 };
+    banner(&format!(
+        "Table II: average transition latency ({iters} calls per mode)"
+    ));
+    let hw = measure_classic(CostProfile::hw_sgx(), iters);
+    let em = measure_classic(CostProfile::emulated(), iters);
+    let ne = measure_nested(CostProfile::emulated(), iters);
+    let mut t = Table::new(&["Mode", "ecall", "ocall", "paper ecall", "paper ocall"]);
+    t.row(&[
+        "HW SGX ecall/ocall".into(),
+        format!("{}us", f2(hw.ecall_us)),
+        format!("{}us", f2(hw.ocall_us)),
+        "3.45us".into(),
+        "3.13us".into(),
+    ]);
+    t.row(&[
+        "Emulated SGX ecall/ocall".into(),
+        format!("{}us", f2(em.ecall_us)),
+        format!("{}us", f2(em.ocall_us)),
+        "1.25us".into(),
+        "1.14us".into(),
+    ]);
+    t.row(&[
+        "Emulated nested (n_ecall/n_ocall)".into(),
+        format!("{}us", f2(ne.ecall_us)),
+        format!("{}us", f2(ne.ocall_us)),
+        "1.11us".into(),
+        "1.06us".into(),
+    ]);
+    t.print();
+    println!(
+        "\nAs in the paper, the emulated transitions underestimate the real\n\
+         hardware cost, and nested transitions are slightly cheaper than\n\
+         emulated classic transitions (no kernel round trip)."
+    );
+}

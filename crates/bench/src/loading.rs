@@ -1,0 +1,201 @@
+//! Fig. 10: enclave loading time and memory footprint with library
+//! sharing (§ VI-C).
+//!
+//! "The system runs a simple server using the OpenSSL library code (SSL)
+//! and application code (App) ... The memory footprint of the OpenSSL code
+//! is about 4MB, and that of the application codes is about 1MB."
+//!
+//! Three configurations over `apps` application instances:
+//!
+//! * [`LoadMode::BaselineSeparate`] — `apps` SSL enclaves + `apps` App
+//!   enclaves (monolithic model, enclave-per-module),
+//! * [`LoadMode::BaselineCombined`] — `apps` enclaves each containing
+//!   SSL+App (the usual single-enclave deployment),
+//! * [`LoadMode::Nested`] — `apps` App inner enclaves sharing
+//!   `ssl_outers` SSL outer enclaves via NASSO.
+
+use ne_core::loader::{load_image, EnclaveImage};
+use ne_core::nasso::{nasso, AssocPolicy};
+use ne_core::validate::NestedValidator;
+use ne_sgx::addr::{VirtAddr, PAGE_SIZE};
+use ne_sgx::config::HwConfig;
+use ne_sgx::enclave::ProcessId;
+use ne_sgx::error::SgxError;
+use ne_sgx::machine::Machine;
+
+/// SSL library image size in pages (~4 MB).
+pub const SSL_PAGES: u64 = 1024;
+/// Application image size in pages (~1 MB).
+pub const APP_PAGES: u64 = 256;
+
+/// The Fig. 10 configurations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadMode {
+    /// Separate SSL and App enclaves, no sharing.
+    BaselineSeparate,
+    /// One enclave per instance containing both SSL and App.
+    BaselineCombined,
+    /// Nested: inner App enclaves share outer SSL enclaves.
+    Nested,
+}
+
+/// Result of one loading run.
+#[derive(Debug, Clone)]
+pub struct LoadResult {
+    /// Simulated cycles to create, measure, and initialize everything
+    /// (plus NASSO for nested runs).
+    pub cycles: u64,
+    /// Milliseconds of simulated time.
+    pub load_ms: f64,
+    /// EPC pages consumed.
+    pub epc_pages: usize,
+    /// Memory footprint in MB (EPC pages × 4 KiB).
+    pub footprint_mb: f64,
+    /// Enclaves created.
+    pub enclaves: usize,
+}
+
+fn ssl_image(idx: usize) -> EnclaveImage {
+    EnclaveImage::new(&format!("ssl-{idx}"), b"openssl-project")
+        .code_pages(SSL_PAGES - 8)
+        .heap_pages(7)
+}
+
+fn app_image(idx: usize) -> EnclaveImage {
+    EnclaveImage::new(&format!("app-{idx}"), b"service-provider")
+        .code_pages(APP_PAGES - 8)
+        .heap_pages(7)
+}
+
+fn combined_image(idx: usize) -> EnclaveImage {
+    EnclaveImage::new(&format!("both-{idx}"), b"service-provider")
+        .code_pages(SSL_PAGES + APP_PAGES - 8)
+        .heap_pages(7)
+}
+
+/// Runs one loading experiment.
+///
+/// # Errors
+///
+/// EPC exhaustion if the machine's PRM cannot hold the requested
+/// configuration.
+pub fn run_loading(mode: LoadMode, apps: usize, ssl_outers: usize) -> Result<LoadResult, SgxError> {
+    let mut cfg = HwConfig::testbed();
+    // Fig. 10 loads up to ~2.5 GB of enclaves; give the PRM headroom.
+    cfg.dram_pages = 8 * 1024 * 1024 / 4 * 2; // 16 GiB
+    cfg.prm_pages = 1024 * 1024; // 4 GiB PRM
+    let mut machine = Machine::with_validator(cfg, Box::new(NestedValidator::new()));
+    let mut next_base = 0x1000_0000u64;
+    let mut place = |pages: u64| {
+        let base = VirtAddr(next_base);
+        next_base += pages * PAGE_SIZE as u64;
+        base
+    };
+    machine.reset_metrics();
+    match mode {
+        LoadMode::BaselineSeparate => {
+            for i in 0..apps {
+                let ssl = ssl_image(i);
+                load_image(&mut machine, ProcessId(0), place(ssl.total_pages()), &ssl)?;
+                let app = app_image(i);
+                load_image(&mut machine, ProcessId(0), place(app.total_pages()), &app)?;
+            }
+        }
+        LoadMode::BaselineCombined => {
+            for i in 0..apps {
+                let img = combined_image(i);
+                load_image(&mut machine, ProcessId(0), place(img.total_pages()), &img)?;
+            }
+        }
+        LoadMode::Nested => {
+            assert!(ssl_outers >= 1, "need at least one outer");
+            let mut outers = Vec::with_capacity(ssl_outers);
+            for i in 0..ssl_outers {
+                let ssl = ssl_image(i);
+                let l = load_image(&mut machine, ProcessId(0), place(ssl.total_pages()), &ssl)?;
+                outers.push((l.eid, ssl.identity(l.base)));
+            }
+            // "After we launch all the enclaves, we associate them at once."
+            let mut inners = Vec::with_capacity(apps);
+            for i in 0..apps {
+                let app = app_image(i);
+                let l = load_image(&mut machine, ProcessId(0), place(app.total_pages()), &app)?;
+                inners.push((l.eid, app.identity(l.base)));
+            }
+            for (i, (inner_eid, inner_id)) in inners.iter().enumerate() {
+                let (outer_eid, outer_id) = &outers[i % ssl_outers];
+                nasso(
+                    &mut machine,
+                    *inner_eid,
+                    *outer_eid,
+                    outer_id,
+                    inner_id,
+                    AssocPolicy::SingleOuter,
+                )?;
+            }
+        }
+    }
+    let cycles = machine.cycles(0);
+    let clock = machine.config().cost.clock_ghz;
+    let epc_pages = machine.epcm().len();
+    Ok(LoadResult {
+        cycles,
+        load_ms: cycles as f64 / (clock * 1e6),
+        epc_pages,
+        footprint_mb: epc_pages as f64 * PAGE_SIZE as f64 / 1e6,
+        enclaves: machine.enclaves().len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_sharing_reduces_footprint_and_time() {
+        let apps = 8;
+        let separate = run_loading(LoadMode::BaselineSeparate, apps, 0).unwrap();
+        let combined = run_loading(LoadMode::BaselineCombined, apps, 0).unwrap();
+        let shared_1 = run_loading(LoadMode::Nested, apps, 1).unwrap();
+        let shared_all = run_loading(LoadMode::Nested, apps, apps).unwrap();
+        // One shared SSL outer: footprint ≈ apps×1MB + 1×4MB, far below
+        // both baselines (apps×5MB).
+        assert!(shared_1.footprint_mb < 0.5 * combined.footprint_mb);
+        assert!(shared_1.cycles < combined.cycles);
+        assert!(shared_1.footprint_mb < separate.footprint_mb);
+        // No sharing (one outer per app): same order as the baselines.
+        let ratio = shared_all.footprint_mb / separate.footprint_mb;
+        assert!((0.9..=1.1).contains(&ratio), "ratio {ratio}");
+        // More sharing helps monotonically.
+        let shared_half = run_loading(LoadMode::Nested, apps, apps / 2).unwrap();
+        assert!(shared_1.footprint_mb < shared_half.footprint_mb);
+        assert!(shared_half.footprint_mb < shared_all.footprint_mb);
+    }
+
+    #[test]
+    fn footprints_match_paper_sizes() {
+        // 1 app + 1 ssl ≈ 5 MB.
+        let r = run_loading(LoadMode::Nested, 1, 1).unwrap();
+        assert!((4.9..5.6).contains(&r.footprint_mb), "{} MB", r.footprint_mb);
+        assert_eq!(r.enclaves, 2);
+    }
+
+    #[test]
+    fn separate_and_combined_have_similar_footprints() {
+        // "the memory sizes of the two runs in the baseline are similar".
+        let a = run_loading(LoadMode::BaselineSeparate, 4, 0).unwrap();
+        let b = run_loading(LoadMode::BaselineCombined, 4, 0).unwrap();
+        let ratio = a.footprint_mb / b.footprint_mb;
+        assert!((0.9..=1.1).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn separate_costs_more_load_time_than_combined() {
+        // Twice the enclaves → extra ECREATE/EINIT overheads.
+        let a = run_loading(LoadMode::BaselineSeparate, 4, 0).unwrap();
+        let b = run_loading(LoadMode::BaselineCombined, 4, 0).unwrap();
+        assert!(a.cycles >= b.cycles);
+        assert_eq!(a.enclaves, 8);
+        assert_eq!(b.enclaves, 4);
+    }
+}

@@ -1,0 +1,136 @@
+//! Table III: porting effort in lines of code.
+//!
+//! The paper counts how many lines changed when porting each application
+//! from the conventional enclave to nested enclave, against the size of
+//! the untouched SGX-enabled libraries. Our analog: the case-study
+//! harnesses mark their nested-enclave-specific glue with
+//! `[port:begin <name>]` / `[port:end <name>]` comments; this module
+//! counts those regions at compile time from the embedded sources and
+//! reports them next to the paper's figures.
+
+/// One Table III row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LocRow {
+    /// Workload name.
+    pub name: &'static str,
+    /// Lines of nested-enclave-specific glue in this repository.
+    pub ours_modified: usize,
+    /// Total lines of the workload implementation in this repository.
+    pub ours_total: usize,
+    /// The paper's "Modified LOC" (C/C++ + EDL).
+    pub paper_modified: usize,
+    /// The paper's untouched library size ("Original LOC").
+    pub paper_original: &'static str,
+}
+
+/// Counts the lines between `[port:begin name]` and `[port:end name]`.
+fn marked_lines(source: &str, name: &str) -> usize {
+    let begin = format!("[port:begin {name}]");
+    let end = format!("[port:end {name}]");
+    let mut counting = false;
+    let mut count = 0;
+    for line in source.lines() {
+        if line.contains(&begin) {
+            counting = true;
+            continue;
+        }
+        if line.contains(&end) {
+            break;
+        }
+        if counting && !line.trim().is_empty() {
+            count += 1;
+        }
+    }
+    count
+}
+
+fn code_lines(source: &str) -> usize {
+    source
+        .lines()
+        .filter(|l| {
+            let t = l.trim();
+            !t.is_empty() && !t.starts_with("//")
+        })
+        .count()
+}
+
+/// Builds the Table III analog for this repository.
+pub fn table3_rows() -> Vec<LocRow> {
+    let echo_src = include_str!("../../tls/src/echo.rs");
+    let svm_src = include_str!("svm_case.rs");
+    let db_src = include_str!("db_case.rs");
+    vec![
+        LocRow {
+            name: "echo server",
+            ours_modified: marked_lines(echo_src, "echo"),
+            ours_total: code_lines(echo_src),
+            paper_modified: 34 + 10,
+            paper_original: "507k (SGX-OpenSSL)",
+        },
+        LocRow {
+            name: "SQLite server",
+            ours_modified: marked_lines(db_src, "sqlite"),
+            ours_total: code_lines(db_src),
+            paper_modified: 19 + 5,
+            paper_original: "127k (SGX-SQLite)",
+        },
+        LocRow {
+            name: "svm-predict",
+            ours_modified: marked_lines(svm_src, "svm"),
+            ours_total: code_lines(svm_src),
+            paper_modified: 27 + 10,
+            paper_original: "152k (SGX-LibSVM)",
+        },
+        LocRow {
+            name: "svm-train",
+            ours_modified: marked_lines(svm_src, "svm"),
+            ours_total: code_lines(svm_src),
+            paper_modified: 24 + 10,
+            paper_original: "152k (SGX-LibSVM)",
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn marker_counting() {
+        let src = "a\n// [port:begin x]\nline1\n\nline2\n// [port:end x]\nb\n";
+        assert_eq!(marked_lines(src, "x"), 2);
+        assert_eq!(marked_lines(src, "missing"), 0);
+    }
+
+    #[test]
+    fn code_line_counting_skips_comments_and_blanks() {
+        assert_eq!(code_lines("// c\n\nlet x = 1;\n  // d\ny();\n"), 2);
+    }
+
+    #[test]
+    fn rows_have_nonzero_measurements() {
+        for row in table3_rows() {
+            assert!(row.ours_total > 0, "{}", row.name);
+        }
+        // The SQLite and SVM ports carry explicit markers.
+        let rows = table3_rows();
+        assert!(rows.iter().any(|r| r.ours_modified > 0));
+    }
+
+    #[test]
+    fn ports_are_small_fractions_like_the_paper() {
+        // The paper's point: porting touches tens of lines, not the
+        // libraries. Our glue regions must stay well under the totals.
+        for row in table3_rows() {
+            if row.ours_modified > 0 {
+                assert!(
+                    row.ours_modified * 2 < row.ours_total,
+                    "{}: {} of {}",
+                    row.name,
+                    row.ours_modified,
+                    row.ours_total
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! Table II: average transition-call latency.
+//!
+//! A microbenchmark "performing transition calls for 1 million times"
+//! (§ V) under three configurations: real-hardware SGX costs, emulated SGX
+//! costs, and emulated nested-enclave costs.
+
+use ne_core::edl::Edl;
+use ne_core::loader::EnclaveImage;
+use ne_core::runtime::{NestedApp, TrustedFn, UntrustedFn};
+use ne_core::validate::NestedValidator;
+use ne_sgx::config::HwConfig;
+use ne_sgx::cost::CostProfile;
+use ne_sgx::machine::Machine;
+use std::sync::Arc;
+
+/// Measured average latencies in microseconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransitionLatency {
+    /// Average latency of an ecall-style round trip.
+    pub ecall_us: f64,
+    /// Average latency of an ocall-style round trip.
+    pub ocall_us: f64,
+}
+
+/// Builds a minimal app: an outer "noop" enclave with an inner "noop"
+/// enclave, on the given cost profile.
+fn noop_app(profile: CostProfile) -> NestedApp {
+    let mut cfg = HwConfig::testbed();
+    cfg.cost = profile;
+    let machine = Machine::with_validator(cfg, Box::new(NestedValidator::new()));
+    let mut app = NestedApp::with_machine(machine);
+    let noop_untrusted: UntrustedFn = Arc::new(|_cx, _| Ok(vec![]));
+    app.register_untrusted("u_noop", noop_untrusted);
+    let outer = EnclaveImage::new("outer", b"bench").edl(
+        Edl::new()
+            .ecall("noop")
+            .ecall("one_ocall")
+            .ecall("one_n_ecall")
+            .ocall("u_noop"),
+    );
+    let noop: TrustedFn = Arc::new(|_cx, _| Ok(vec![]));
+    let one_ocall: TrustedFn = Arc::new(|cx, _| cx.ocall("u_noop", b""));
+    let one_n_ecall: TrustedFn = Arc::new(|cx, _| cx.n_ecall("inner", "i_noop", b""));
+    app.load(
+        outer,
+        [
+            ("noop".to_string(), noop.clone()),
+            ("one_ocall".to_string(), one_ocall),
+            ("one_n_ecall".to_string(), one_n_ecall),
+            // Body for the inner's n_ocall target.
+            ("o_fn".to_string(), noop.clone()),
+        ],
+    )
+    .expect("load outer");
+    let inner = EnclaveImage::new("inner", b"bench").edl(
+        Edl::new()
+            .ecall("noop")
+            .ecall("one_n_ocall")
+            .n_ecall("i_noop")
+            .n_ocall("o_fn"),
+    );
+    let one_n_ocall: TrustedFn = Arc::new(|cx, _| cx.n_ocall("o_fn", b""));
+    app.load(
+        inner,
+        [
+            ("noop".to_string(), noop.clone()),
+            ("i_noop".to_string(), noop.clone()),
+            ("one_n_ocall".to_string(), one_n_ocall),
+        ],
+    )
+    .expect("load inner");
+    app.associate("inner", "outer").expect("NASSO");
+    app
+}
+
+/// Measures the average latency of `iters` ecall and ocall round trips
+/// under the given cost profile.
+pub fn measure_classic(profile: CostProfile, iters: u64) -> TransitionLatency {
+    let mut app = noop_app(profile.clone());
+    app.machine.reset_metrics();
+    for _ in 0..iters {
+        app.ecall(0, "outer", "noop", b"").expect("ecall");
+    }
+    let ecall_us = profile.cycles_to_us(app.machine.cycles(0)) / iters as f64;
+    app.machine.reset_metrics();
+    for _ in 0..iters {
+        app.ecall(0, "outer", "one_ocall", b"").expect("ocall");
+    }
+    // Each iteration = 1 ecall + 1 ocall; subtract the ecall component.
+    let total_us = profile.cycles_to_us(app.machine.cycles(0)) / iters as f64;
+    TransitionLatency {
+        ecall_us,
+        ocall_us: total_us - ecall_us,
+    }
+}
+
+/// Measures the average latency of `iters` n_ecall and n_ocall round trips
+/// (emulated profile; nested transitions only exist there, § V).
+pub fn measure_nested(profile: CostProfile, iters: u64) -> TransitionLatency {
+    let mut app = noop_app(profile.clone());
+    // Baseline: plain ecall into the outer.
+    app.machine.reset_metrics();
+    for _ in 0..iters {
+        app.ecall(0, "outer", "noop", b"").expect("ecall");
+    }
+    let base_us = profile.cycles_to_us(app.machine.cycles(0)) / iters as f64;
+    // n_ecall: outer → inner round trip on top of the ecall.
+    app.machine.reset_metrics();
+    for _ in 0..iters {
+        app.ecall(0, "outer", "one_n_ecall", b"").expect("n_ecall");
+    }
+    let n_ecall_us = profile.cycles_to_us(app.machine.cycles(0)) / iters as f64 - base_us;
+    // n_ocall: inner → outer round trip on top of an ecall into the inner.
+    app.machine.reset_metrics();
+    for _ in 0..iters {
+        app.ecall(0, "inner", "noop", b"").expect("ecall inner");
+    }
+    let base_inner_us = profile.cycles_to_us(app.machine.cycles(0)) / iters as f64;
+    app.machine.reset_metrics();
+    for _ in 0..iters {
+        app.ecall(0, "inner", "one_n_ocall", b"").expect("n_ocall");
+    }
+    let n_ocall_us = profile.cycles_to_us(app.machine.cycles(0)) / iters as f64 - base_inner_us;
+    TransitionLatency {
+        ecall_us: n_ecall_us,
+        ocall_us: n_ocall_us,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hw_profile_reproduces_table2_row1() {
+        let l = measure_classic(CostProfile::hw_sgx(), 200);
+        assert!((l.ecall_us - 3.45).abs() < 0.15, "ecall {}", l.ecall_us);
+        assert!((l.ocall_us - 3.13).abs() < 0.15, "ocall {}", l.ocall_us);
+    }
+
+    #[test]
+    fn emulated_profile_reproduces_table2_row2() {
+        let l = measure_classic(CostProfile::emulated(), 200);
+        assert!((l.ecall_us - 1.25).abs() < 0.10, "ecall {}", l.ecall_us);
+        assert!((l.ocall_us - 1.14).abs() < 0.10, "ocall {}", l.ocall_us);
+    }
+
+    #[test]
+    fn nested_reproduces_table2_row3() {
+        let l = measure_nested(CostProfile::emulated(), 200);
+        assert!((l.ecall_us - 1.11).abs() < 0.10, "n_ecall {}", l.ecall_us);
+        assert!((l.ocall_us - 1.06).abs() < 0.10, "n_ocall {}", l.ocall_us);
+    }
+
+    #[test]
+    fn ordering_matches_paper() {
+        // HW > emulated classic > emulated nested.
+        let hw = measure_classic(CostProfile::hw_sgx(), 100);
+        let em = measure_classic(CostProfile::emulated(), 100);
+        let ne = measure_nested(CostProfile::emulated(), 100);
+        assert!(hw.ecall_us > em.ecall_us);
+        assert!(em.ecall_us > ne.ecall_us);
+        assert!(hw.ocall_us > em.ocall_us);
+        assert!(em.ocall_us > ne.ocall_us);
+    }
+}

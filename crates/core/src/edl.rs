@@ -1,0 +1,100 @@
+//! Enclave Definition Language model (§ IV-C "Building enclave binary").
+//!
+//! Nested enclave extends Intel's EDL with two interface classes:
+//! `n_ecall` (outer → inner) and `n_ocall` (inner → outer). The runtime
+//! refuses any call not declared here, and the interface is folded into the
+//! enclave measurement, so a tampered interface changes MRENCLAVE.
+
+use ne_crypto::sha256::Sha256;
+use ne_crypto::Digest32;
+use std::collections::BTreeSet;
+
+/// The declared interface of one enclave.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Edl {
+    /// Functions callable from untrusted code (classic ecalls).
+    pub ecalls: BTreeSet<String>,
+    /// Untrusted functions this enclave may call out to (classic ocalls).
+    pub ocalls: BTreeSet<String>,
+    /// Functions callable from this enclave's outer enclave (NEENTER path).
+    pub n_ecalls: BTreeSet<String>,
+    /// Outer-enclave functions this enclave may call (NEEXIT path).
+    pub n_ocalls: BTreeSet<String>,
+}
+
+impl Edl {
+    /// Empty interface.
+    pub fn new() -> Edl {
+        Edl::default()
+    }
+
+    /// Declares an ecall.
+    pub fn ecall(mut self, name: &str) -> Edl {
+        self.ecalls.insert(name.to_string());
+        self
+    }
+
+    /// Declares an ocall.
+    pub fn ocall(mut self, name: &str) -> Edl {
+        self.ocalls.insert(name.to_string());
+        self
+    }
+
+    /// Declares an n_ecall (outer may call this function in us).
+    pub fn n_ecall(mut self, name: &str) -> Edl {
+        self.n_ecalls.insert(name.to_string());
+        self
+    }
+
+    /// Declares an n_ocall (we may call this function in our outer).
+    pub fn n_ocall(mut self, name: &str) -> Edl {
+        self.n_ocalls.insert(name.to_string());
+        self
+    }
+
+    /// Deterministic digest of the interface, folded into the enclave
+    /// measurement by the loader.
+    pub fn digest(&self) -> Digest32 {
+        let mut h = Sha256::new();
+        for (tag, set) in [
+            ("ecall", &self.ecalls),
+            ("ocall", &self.ocalls),
+            ("n_ecall", &self.n_ecalls),
+            ("n_ocall", &self.n_ocalls),
+        ] {
+            h.update(tag.as_bytes());
+            h.update(&(set.len() as u32).to_le_bytes());
+            for name in set {
+                h.update(&(name.len() as u32).to_le_bytes());
+                h.update(name.as_bytes());
+            }
+        }
+        h.finalize()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digest_is_order_independent_but_content_sensitive() {
+        let a = Edl::new().ecall("f").ecall("g").n_ocall("lib");
+        let b = Edl::new().ecall("g").n_ocall("lib").ecall("f");
+        assert_eq!(a.digest(), b.digest(), "BTreeSet canonicalizes order");
+        let c = Edl::new().ecall("f").ecall("h").n_ocall("lib");
+        assert_ne!(a.digest(), c.digest());
+    }
+
+    #[test]
+    fn interface_class_matters() {
+        let a = Edl::new().ecall("f");
+        let b = Edl::new().n_ecall("f");
+        assert_ne!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn empty_digest_stable() {
+        assert_eq!(Edl::new().digest(), Edl::default().digest());
+    }
+}

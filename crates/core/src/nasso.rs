@@ -1,0 +1,404 @@
+//! `NASSO` — the association instruction (paper Table I, § IV-B/C).
+//!
+//! After both enclaves are individually built and EINITed, NASSO binds an
+//! inner to an outer. Before touching any SECS, it cross-validates the two
+//! identities: each enclave's signed file carries the *expected* identity
+//! of its counterpart, and the instruction compares those expectations with
+//! the live MRENCLAVE/MRSIGNER values. A malicious OS therefore cannot
+//! join a rogue inner to a victim outer (or vice versa) — the "secure
+//! binding" property of § VII-B.
+
+use ne_crypto::Digest32;
+use ne_sgx::enclave::EnclaveId;
+use ne_sgx::error::{Result, SgxError};
+use ne_sgx::machine::Machine;
+
+/// The expected identity of a counterpart enclave, as embedded in a signed
+/// enclave file. At least one of the two fields must be present.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExpectedIdentity {
+    /// Exact expected measurement, if pinned.
+    pub mrenclave: Option<Digest32>,
+    /// Expected author identity, if pinned.
+    pub mrsigner: Option<Digest32>,
+}
+
+impl ExpectedIdentity {
+    /// Pins the exact enclave measurement.
+    pub fn enclave(mrenclave: Digest32) -> ExpectedIdentity {
+        ExpectedIdentity {
+            mrenclave: Some(mrenclave),
+            mrsigner: None,
+        }
+    }
+
+    /// Pins the author identity (any enclave signed by this author).
+    pub fn signer(mrsigner: Digest32) -> ExpectedIdentity {
+        ExpectedIdentity {
+            mrenclave: None,
+            mrsigner: Some(mrsigner),
+        }
+    }
+
+    fn matches(&self, mrenclave: &Digest32, mrsigner: &Digest32) -> bool {
+        if self.mrenclave.is_none() && self.mrsigner.is_none() {
+            return false; // an empty expectation authorizes nothing
+        }
+        if let Some(expected) = &self.mrenclave {
+            if expected != mrenclave {
+                return false;
+            }
+        }
+        if let Some(expected) = &self.mrsigner {
+            if expected != mrsigner {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Association policy: the paper's base single-outer model, or the § VIII
+/// lattice extension allowing an inner to bind several outers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AssocPolicy {
+    /// An inner enclave may have exactly one outer (base design).
+    #[default]
+    SingleOuter,
+    /// An inner enclave may bind multiple outers (§ VIII lattice model).
+    Lattice,
+}
+
+/// Executes `NASSO`, associating `inner` with `outer`.
+///
+/// `inner_expects` is the expected identity of the *outer* enclave taken
+/// from the inner enclave's signed file, and `outer_expects` the expected
+/// identity of the *inner* taken from the outer's file ("Those values of an
+/// outer enclave are validated against the expected values by the inner
+/// enclave ... and vice versa").
+///
+/// # Errors
+///
+/// General-protection faults when: either enclave is missing or
+/// uninitialized, the enclaves live in different processes, either identity
+/// expectation fails, the association would create a cycle, or the inner
+/// already has an outer under [`AssocPolicy::SingleOuter`].
+pub fn nasso(
+    machine: &mut Machine,
+    inner: EnclaveId,
+    outer: EnclaveId,
+    inner_expects: &ExpectedIdentity,
+    outer_expects: &ExpectedIdentity,
+    policy: AssocPolicy,
+) -> Result<()> {
+    if inner == outer {
+        return Err(SgxError::GeneralProtection(
+            "NASSO: an enclave cannot be its own outer".into(),
+        ));
+    }
+    let (inner_mre, inner_mrs, inner_pid, inner_outers) = {
+        let secs = machine
+            .enclaves()
+            .get(inner)
+            .ok_or(SgxError::NoSuchEnclave(inner))?;
+        if !secs.is_initialized() {
+            return Err(SgxError::BadEnclaveState("NASSO before inner EINIT".into()));
+        }
+        (
+            secs.mrenclave,
+            secs.mrsigner,
+            secs.pid,
+            secs.outer_eids.clone(),
+        )
+    };
+    let (outer_mre, outer_mrs, outer_pid) = {
+        let secs = machine
+            .enclaves()
+            .get(outer)
+            .ok_or(SgxError::NoSuchEnclave(outer))?;
+        if !secs.is_initialized() {
+            return Err(SgxError::BadEnclaveState("NASSO before outer EINIT".into()));
+        }
+        (secs.mrenclave, secs.mrsigner, secs.pid)
+    };
+    if inner_pid != outer_pid {
+        return Err(SgxError::GeneralProtection(
+            "NASSO: inner and outer must share a process (§ IV-A)".into(),
+        ));
+    }
+    if policy == AssocPolicy::SingleOuter && !inner_outers.is_empty() {
+        return Err(SgxError::GeneralProtection(
+            "NASSO: inner already associated (single-outer model)".into(),
+        ));
+    }
+    if inner_outers.contains(&outer) {
+        return Err(SgxError::GeneralProtection(
+            "NASSO: association already exists".into(),
+        ));
+    }
+    // The inner's file must authorize this outer, and vice versa.
+    if !inner_expects.matches(&outer_mre, &outer_mrs) {
+        return Err(SgxError::InitVerification(
+            "NASSO: outer enclave identity does not match inner's expectation".into(),
+        ));
+    }
+    if !outer_expects.matches(&inner_mre, &inner_mrs) {
+        return Err(SgxError::InitVerification(
+            "NASSO: inner enclave identity does not match outer's expectation".into(),
+        ));
+    }
+    // Reject cycles: walking outward from `outer` must never reach `inner`.
+    if outer_closure_contains(machine, outer, inner) {
+        return Err(SgxError::GeneralProtection(
+            "NASSO: association would create a nesting cycle".into(),
+        ));
+    }
+    machine
+        .enclaves_mut()
+        .get_mut(inner)
+        .expect("checked above")
+        .outer_eids
+        .push(outer);
+    machine
+        .enclaves_mut()
+        .get_mut(outer)
+        .expect("checked above")
+        .inner_eids
+        .push(inner);
+    Ok(())
+}
+
+fn outer_closure_contains(machine: &Machine, start: EnclaveId, needle: EnclaveId) -> bool {
+    let mut seen = Vec::new();
+    let mut frontier = vec![start];
+    while let Some(id) = frontier.pop() {
+        if id == needle {
+            return true;
+        }
+        if seen.contains(&id) {
+            continue;
+        }
+        seen.push(id);
+        if let Some(secs) = machine.enclaves().get(id) {
+            frontier.extend(secs.outer_eids.iter().copied());
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ne_sgx::addr::{VirtAddr, VirtRange, PAGE_SIZE};
+    use ne_sgx::config::HwConfig;
+    use ne_sgx::enclave::{ProcessId, SigStruct};
+    use ne_sgx::epcm::{PagePerms, PageType};
+    use ne_sgx::instr::PageSource;
+
+    fn build(m: &mut Machine, base: u64, signer: &[u8], pid: ProcessId) -> EnclaveId {
+        let base = VirtAddr(base);
+        let eid = m
+            .ecreate(pid, VirtRange::new(base, 2 * PAGE_SIZE as u64))
+            .unwrap();
+        m.add_tcs(eid, base, base.add(PAGE_SIZE as u64)).unwrap();
+        m.eadd(
+            eid,
+            base.add(PAGE_SIZE as u64),
+            PageType::Reg,
+            PageSource::Zeros,
+            PagePerms::RW,
+        )
+        .unwrap();
+        m.eextend(eid, base.add(PAGE_SIZE as u64)).unwrap();
+        let measured = m.enclaves().get(eid).unwrap().measurement.finalize();
+        m.einit(eid, &SigStruct::new(signer, measured)).unwrap();
+        eid
+    }
+
+    fn identity_of(m: &Machine, eid: EnclaveId) -> ExpectedIdentity {
+        ExpectedIdentity::enclave(m.enclaves().get(eid).unwrap().mrenclave)
+    }
+
+    /// NASSO with live identities as the mutual expectations.
+    fn assoc(
+        m: &mut Machine,
+        inner: EnclaveId,
+        outer: EnclaveId,
+        policy: AssocPolicy,
+    ) -> Result<()> {
+        let oi = identity_of(m, outer);
+        let ii = identity_of(m, inner);
+        nasso(m, inner, outer, &oi, &ii, policy)
+    }
+
+    #[test]
+    fn association_succeeds_with_matching_expectations() {
+        let mut m = Machine::new(HwConfig::small());
+        let outer = build(&mut m, 0x10_0000, b"provider", ProcessId(0));
+        let inner = build(&mut m, 0x20_0000, b"tenant", ProcessId(0));
+        assoc(&mut m, inner, outer, AssocPolicy::SingleOuter).unwrap();
+        assert_eq!(m.enclaves().get(inner).unwrap().outer_eids, vec![outer]);
+        assert_eq!(m.enclaves().get(outer).unwrap().inner_eids, vec![inner]);
+    }
+
+    #[test]
+    fn rogue_inner_rejected() {
+        // § VII-B: the outer's file does not list the rogue inner's digest,
+        // so the hardware refuses the join.
+        let mut m = Machine::new(HwConfig::small());
+        let outer = build(&mut m, 0x10_0000, b"provider", ProcessId(0));
+        let victim_inner = build(&mut m, 0x20_0000, b"tenant", ProcessId(0));
+        let rogue = build(&mut m, 0x30_0000, b"mallory", ProcessId(0));
+        let oi = identity_of(&m, outer);
+        let victim_id = identity_of(&m, victim_inner); // outer only authorizes the victim
+        let err = nasso(&mut m, rogue, outer, &oi, &victim_id, AssocPolicy::SingleOuter)
+            .unwrap_err();
+        assert!(matches!(err, SgxError::InitVerification(_)));
+        assert!(m.enclaves().get(outer).unwrap().inner_eids.is_empty());
+    }
+
+    #[test]
+    fn spoofed_outer_rejected() {
+        let mut m = Machine::new(HwConfig::small());
+        let real_outer = build(&mut m, 0x10_0000, b"provider", ProcessId(0));
+        let fake_outer = build(&mut m, 0x30_0000, b"mallory", ProcessId(0));
+        let inner = build(&mut m, 0x20_0000, b"tenant", ProcessId(0));
+        let expected_real = identity_of(&m, real_outer); // inner expects the real provider
+        let inner_id = identity_of(&m, inner);
+        let err = nasso(
+            &mut m,
+            inner,
+            fake_outer,
+            &expected_real,
+            &inner_id,
+            AssocPolicy::SingleOuter,
+        )
+        .unwrap_err();
+        assert!(matches!(err, SgxError::InitVerification(_)));
+    }
+
+    #[test]
+    fn signer_policy_accepts_any_enclave_of_author() {
+        let mut m = Machine::new(HwConfig::small());
+        let outer = build(&mut m, 0x10_0000, b"provider", ProcessId(0));
+        let inner = build(&mut m, 0x20_0000, b"tenant", ProcessId(0));
+        let outer_mrs = m.enclaves().get(outer).unwrap().mrsigner;
+        let inner_mrs = m.enclaves().get(inner).unwrap().mrsigner;
+        nasso(
+            &mut m,
+            inner,
+            outer,
+            &ExpectedIdentity::signer(outer_mrs),
+            &ExpectedIdentity::signer(inner_mrs),
+            AssocPolicy::SingleOuter,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn single_outer_model_rejects_second_outer() {
+        let mut m = Machine::new(HwConfig::small());
+        let o1 = build(&mut m, 0x10_0000, b"p1", ProcessId(0));
+        let o2 = build(&mut m, 0x30_0000, b"p2", ProcessId(0));
+        let inner = build(&mut m, 0x20_0000, b"tenant", ProcessId(0));
+        assoc(&mut m, inner, o1, AssocPolicy::SingleOuter).unwrap();
+        let err = assoc(&mut m, inner, o2, AssocPolicy::SingleOuter).unwrap_err();
+        assert!(matches!(err, SgxError::GeneralProtection(_)));
+    }
+
+    #[test]
+    fn lattice_policy_allows_multiple_outers() {
+        let mut m = Machine::new(HwConfig::small());
+        let o1 = build(&mut m, 0x10_0000, b"p1", ProcessId(0));
+        let o2 = build(&mut m, 0x30_0000, b"p2", ProcessId(0));
+        let inner = build(&mut m, 0x20_0000, b"tenant", ProcessId(0));
+        for o in [o1, o2] {
+            assoc(&mut m, inner, o, AssocPolicy::Lattice).unwrap();
+        }
+        assert_eq!(m.enclaves().get(inner).unwrap().outer_eids, vec![o1, o2]);
+    }
+
+    #[test]
+    fn duplicate_association_rejected() {
+        let mut m = Machine::new(HwConfig::small());
+        let o = build(&mut m, 0x10_0000, b"p", ProcessId(0));
+        let inner = build(&mut m, 0x20_0000, b"t", ProcessId(0));
+        assoc(&mut m, inner, o, AssocPolicy::Lattice).unwrap();
+        let err = assoc(&mut m, inner, o, AssocPolicy::Lattice).unwrap_err();
+        assert!(matches!(err, SgxError::GeneralProtection(_)));
+    }
+
+    #[test]
+    fn cycle_rejected() {
+        let mut m = Machine::new(HwConfig::small());
+        let a = build(&mut m, 0x10_0000, b"a", ProcessId(0));
+        let b = build(&mut m, 0x20_0000, b"b", ProcessId(0));
+        assoc(&mut m, b, a, AssocPolicy::SingleOuter).unwrap();
+        // Now try a → b: would make a cycle.
+        let err = assoc(&mut m, a, b, AssocPolicy::SingleOuter).unwrap_err();
+        assert!(matches!(err, SgxError::GeneralProtection(_)));
+    }
+
+    #[test]
+    fn deep_cycle_rejected() {
+        // a ← b ← c (b inner of a, c inner of b); then a → c must fail.
+        let mut m = Machine::new(HwConfig::small());
+        let a = build(&mut m, 0x10_0000, b"a", ProcessId(0));
+        let b = build(&mut m, 0x20_0000, b"b", ProcessId(0));
+        let c = build(&mut m, 0x30_0000, b"c", ProcessId(0));
+        assoc(&mut m, b, a, AssocPolicy::SingleOuter).unwrap();
+        assoc(&mut m, c, b, AssocPolicy::SingleOuter).unwrap();
+        let err = assoc(&mut m, a, c, AssocPolicy::SingleOuter).unwrap_err();
+        assert!(matches!(err, SgxError::GeneralProtection(_)));
+    }
+
+    #[test]
+    fn self_association_rejected() {
+        let mut m = Machine::new(HwConfig::small());
+        let a = build(&mut m, 0x10_0000, b"a", ProcessId(0));
+        let err = assoc(&mut m, a, a, AssocPolicy::SingleOuter).unwrap_err();
+        assert!(matches!(err, SgxError::GeneralProtection(_)));
+    }
+
+    #[test]
+    fn cross_process_association_rejected() {
+        let mut m = Machine::new(HwConfig::small());
+        let pid2 = m.spawn_process();
+        let outer = build(&mut m, 0x10_0000, b"p", ProcessId(0));
+        let inner = build(&mut m, 0x20_0000, b"t", pid2);
+        let err = assoc(&mut m, inner, outer, AssocPolicy::SingleOuter).unwrap_err();
+        assert!(matches!(err, SgxError::GeneralProtection(_)));
+    }
+
+    #[test]
+    fn uninitialized_enclave_rejected() {
+        let mut m = Machine::new(HwConfig::small());
+        let outer = build(&mut m, 0x10_0000, b"p", ProcessId(0));
+        let raw = m
+            .ecreate(
+                ProcessId(0),
+                VirtRange::new(VirtAddr(0x20_0000), PAGE_SIZE as u64),
+            )
+            .unwrap();
+        let oi = identity_of(&m, outer);
+        let err = nasso(
+            &mut m,
+            raw,
+            outer,
+            &oi,
+            &ExpectedIdentity::signer([0; 32]),
+            AssocPolicy::SingleOuter,
+        )
+        .unwrap_err();
+        assert!(matches!(err, SgxError::BadEnclaveState(_)));
+    }
+
+    #[test]
+    fn empty_expectation_authorizes_nothing() {
+        let e = ExpectedIdentity {
+            mrenclave: None,
+            mrsigner: None,
+        };
+        assert!(!e.matches(&[0; 32], &[0; 32]));
+    }
+}

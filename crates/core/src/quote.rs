@@ -1,0 +1,333 @@
+//! Remote attestation of nested enclaves (§ IV-E "Remote attestation").
+//!
+//! "An attestation to an outer enclave must report the measurements of all
+//! inner enclaves sharing the outer enclave, in addition to the
+//! measurement of the outer enclave."
+//!
+//! The flow mirrors SGX's quoting architecture:
+//!
+//! 1. The attested enclave runs `NEREPORT` targeted at the platform's
+//!    **quoting enclave** (QE).
+//! 2. The QE — itself an enclave on the same machine — verifies the local
+//!    report MAC and re-signs the body (identity + relation list + user
+//!    data) with the *platform attestation key*, producing a
+//!    [`NestedQuote`].
+//! 3. A **remote verifier**, provisioned with the attestation key by the
+//!    attestation service (the EPID/ECDSA PKI stands in as a shared MAC
+//!    key — see the substitution note in DESIGN.md), validates the quote
+//!    off-platform and inspects the nesting relations.
+//!
+//! The security property tested here: a remote client can convince itself
+//! not only *what* enclave it talks to, but *which inner enclaves share
+//! its outer enclave* — closing the gap the paper calls out in current
+//! SGX attestation.
+
+use crate::report::{nereport, verify_nested_report, NestedReport, RelationRecord};
+use ne_crypto::hmac::hmac_sha256;
+use ne_crypto::Digest32;
+use ne_sgx::attest::ReportData;
+use ne_sgx::enclave::EnclaveId;
+use ne_sgx::error::{Result, SgxError};
+use ne_sgx::machine::Machine;
+
+/// A remotely-verifiable attestation of an enclave and its nesting
+/// relations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NestedQuote {
+    /// Measurement of the attested enclave.
+    pub mrenclave: Digest32,
+    /// Signer of the attested enclave.
+    pub mrsigner: Digest32,
+    /// Caller payload (e.g. a TLS channel binding).
+    pub report_data: ReportData,
+    /// The attested enclave's immediate associations.
+    pub relations: Vec<RelationRecord>,
+    /// Signature by the platform attestation key.
+    pub signature: [u8; 32],
+}
+
+fn quote_body(
+    mrenclave: &Digest32,
+    mrsigner: &Digest32,
+    report_data: &ReportData,
+    relations: &[RelationRecord],
+) -> Vec<u8> {
+    let mut b = Vec::with_capacity(160 + relations.len() * 65);
+    b.extend_from_slice(b"nested-quote-v1");
+    b.extend_from_slice(mrenclave);
+    b.extend_from_slice(mrsigner);
+    b.extend_from_slice(report_data);
+    b.extend_from_slice(&(relations.len() as u32).to_le_bytes());
+    for r in relations {
+        b.push(match r.relation {
+            crate::report::Relation::Outer => 0,
+            crate::report::Relation::Inner => 1,
+        });
+        b.extend_from_slice(&r.mrenclave);
+        b.extend_from_slice(&r.mrsigner);
+    }
+    b
+}
+
+/// The platform's quoting enclave: converts local nested reports into
+/// remotely-verifiable quotes.
+#[derive(Debug)]
+pub struct QuotingEnclave {
+    eid: EnclaveId,
+    tcs: ne_sgx::VirtAddr,
+    attestation_key: [u8; 16],
+}
+
+impl QuotingEnclave {
+    /// Provisions the QE: the enclave identified by `(eid, tcs)` becomes
+    /// the quote signer, deriving the platform attestation key inside
+    /// enclave mode (EGETKEY), exactly where a real QE would unseal its
+    /// EPID/ECDSA key.
+    ///
+    /// # Errors
+    ///
+    /// Entry faults if the enclave is not initialized.
+    pub fn provision(machine: &mut Machine, core: usize, eid: EnclaveId, tcs: ne_sgx::VirtAddr) -> Result<QuotingEnclave> {
+        machine.eenter(core, eid, tcs)?;
+        let attestation_key = machine.egetkey(core, ne_sgx::attest::KeyPolicy::SealToEnclave)?;
+        machine.eexit(core)?;
+        Ok(QuotingEnclave {
+            eid,
+            tcs,
+            attestation_key,
+        })
+    }
+
+    /// The QE's enclave id (the NEREPORT target for attested enclaves).
+    pub fn eid(&self) -> EnclaveId {
+        self.eid
+    }
+
+    /// Turns a local nested report (which must have targeted the QE) into
+    /// a quote. Runs inside the QE: the local MAC is verified in enclave
+    /// mode before the attestation key touches anything.
+    ///
+    /// # Errors
+    ///
+    /// [`SgxError::InitVerification`] when the local report does not
+    /// verify (wrong target, forged, or from another machine).
+    pub fn quote(&self, machine: &mut Machine, core: usize, report: &NestedReport) -> Result<NestedQuote> {
+        machine.eenter(core, self.eid, self.tcs)?;
+        let ok = verify_nested_report(machine, core, report)?;
+        machine.eexit(core)?;
+        if !ok {
+            return Err(SgxError::InitVerification(
+                "quoting enclave rejected the local report".into(),
+            ));
+        }
+        let body = quote_body(
+            &report.mrenclave,
+            &report.mrsigner,
+            &report.report_data,
+            &report.relations,
+        );
+        Ok(NestedQuote {
+            mrenclave: report.mrenclave,
+            mrsigner: report.mrsigner,
+            report_data: report.report_data,
+            relations: report.relations.clone(),
+            signature: hmac_sha256(&self.attestation_key, &body),
+        })
+    }
+
+    /// What the attestation service hands to remote verifiers.
+    /// (Substitution for the EPID/ECDSA public key; see DESIGN.md.)
+    pub fn verification_key(&self) -> [u8; 16] {
+        self.attestation_key
+    }
+}
+
+/// An off-platform verifier provisioned by the attestation service.
+#[derive(Debug, Clone)]
+pub struct RemoteVerifier {
+    key: [u8; 16],
+}
+
+impl RemoteVerifier {
+    /// Creates a verifier from the attestation service's key material.
+    pub fn new(key: [u8; 16]) -> RemoteVerifier {
+        RemoteVerifier { key }
+    }
+
+    /// Verifies a quote's signature.
+    pub fn verify(&self, quote: &NestedQuote) -> bool {
+        let body = quote_body(
+            &quote.mrenclave,
+            &quote.mrsigner,
+            &quote.report_data,
+            &quote.relations,
+        );
+        ne_crypto::ct::ct_eq(&hmac_sha256(&self.key, &body), &quote.signature)
+    }
+
+    /// Verifies the quote *and* checks a nesting policy: the attested
+    /// enclave must be `expected`, and every related inner enclave must be
+    /// signed by `allowed_inner_signer` (the multi-tenant policy of
+    /// § VI-B: a client only proceeds if no foreign code shares its
+    /// outer enclave).
+    pub fn verify_with_policy(
+        &self,
+        quote: &NestedQuote,
+        expected: &Digest32,
+        allowed_inner_signer: &Digest32,
+    ) -> bool {
+        if !self.verify(quote) || &quote.mrenclave != expected {
+            return false;
+        }
+        quote
+            .relations
+            .iter()
+            .filter(|r| r.relation == crate::report::Relation::Inner)
+            .all(|r| &r.mrsigner == allowed_inner_signer)
+    }
+}
+
+/// Convenience: attest the enclave currently running on `core` to a
+/// remote verifier via the QE. On return the core is back in untrusted
+/// mode (the report traveled to the QE over untrusted IPC, and the QE ran
+/// on the same core).
+///
+/// # Errors
+///
+/// Propagates NEREPORT and quoting failures.
+pub fn attest_remote(
+    machine: &mut Machine,
+    core: usize,
+    qe: &QuotingEnclave,
+    report_data: ReportData,
+) -> Result<NestedQuote> {
+    let report = nereport(machine, core, qe.eid(), report_data)?;
+    // The local report travels to the QE via untrusted IPC; tampering en
+    // route is caught by the MAC verification inside the QE.
+    machine.eexit(core)?;
+    qe.quote(machine, core, &report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edl::Edl;
+    use crate::loader::EnclaveImage;
+    use crate::report::Relation;
+    use crate::runtime::NestedApp;
+    use ne_sgx::config::HwConfig;
+
+    struct Fx {
+        app: NestedApp,
+        qe: QuotingEnclave,
+    }
+
+    fn fixture() -> Fx {
+        let mut app = NestedApp::new(HwConfig::small());
+        app.load(
+            EnclaveImage::new("qe", b"intel-quoting").heap_pages(1).edl(Edl::new()),
+            [],
+        )
+        .unwrap();
+        app.load(
+            EnclaveImage::new("hub", b"provider").heap_pages(4).edl(Edl::new()),
+            [],
+        )
+        .unwrap();
+        for n in ["a", "b"] {
+            app.load(
+                EnclaveImage::new(n, b"tenant").heap_pages(1).edl(Edl::new()),
+                [],
+            )
+            .unwrap();
+            app.associate(n, "hub").unwrap();
+        }
+        let qe_l = app.layout("qe").unwrap();
+        let qe = QuotingEnclave::provision(&mut app.machine, 0, qe_l.eid, qe_l.base).unwrap();
+        Fx { app, qe }
+    }
+
+    fn quote_of(fx: &mut Fx, name: &str) -> NestedQuote {
+        let l = fx.app.layout(name).unwrap();
+        fx.app.machine.eenter(0, l.eid, l.base).unwrap();
+        attest_remote(&mut fx.app.machine, 0, &fx.qe, [7u8; 64]).unwrap()
+    }
+
+    #[test]
+    fn remote_verifier_accepts_genuine_quote_with_relations() {
+        let mut fx = fixture();
+        let quote = quote_of(&mut fx, "hub");
+        let verifier = RemoteVerifier::new(fx.qe.verification_key());
+        assert!(verifier.verify(&quote));
+        assert_eq!(
+            quote
+                .relations
+                .iter()
+                .filter(|r| r.relation == Relation::Inner)
+                .count(),
+            2,
+            "the outer's quote lists both inner enclaves"
+        );
+    }
+
+    #[test]
+    fn tampered_quote_rejected() {
+        let mut fx = fixture();
+        let mut quote = quote_of(&mut fx, "hub");
+        let verifier = RemoteVerifier::new(fx.qe.verification_key());
+        quote.relations.pop(); // hide an inner enclave from the client
+        assert!(!verifier.verify(&quote));
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let mut fx = fixture();
+        let quote = quote_of(&mut fx, "hub");
+        assert!(!RemoteVerifier::new([0; 16]).verify(&quote));
+    }
+
+    #[test]
+    fn policy_detects_foreign_inner_tenant() {
+        let mut fx = fixture();
+        // A foreign-signed inner joins the hub.
+        fx.app
+            .load(
+                EnclaveImage::new("intruder", b"other-vendor").heap_pages(1).edl(Edl::new()),
+                [],
+            )
+            .unwrap();
+        fx.app.associate("intruder", "hub").unwrap();
+        let quote = quote_of(&mut fx, "hub");
+        let verifier = RemoteVerifier::new(fx.qe.verification_key());
+        let hub_mre = quote.mrenclave;
+        let tenant_signer = ne_crypto::sha256::digest(b"tenant");
+        assert!(verifier.verify(&quote), "signature is fine");
+        assert!(
+            !verifier.verify_with_policy(&quote, &hub_mre, &tenant_signer),
+            "but the policy spots the foreign tenant sharing the outer"
+        );
+    }
+
+    #[test]
+    fn policy_accepts_homogeneous_tenants() {
+        let mut fx = fixture();
+        let quote = quote_of(&mut fx, "hub");
+        let verifier = RemoteVerifier::new(fx.qe.verification_key());
+        let hub_mre = quote.mrenclave;
+        let tenant_signer = ne_crypto::sha256::digest(b"tenant");
+        assert!(verifier.verify_with_policy(&quote, &hub_mre, &tenant_signer));
+    }
+
+    #[test]
+    fn qe_rejects_report_targeted_elsewhere() {
+        let mut fx = fixture();
+        // Report targeted at 'hub' instead of the QE.
+        let a = fx.app.layout("a").unwrap();
+        let hub_eid = fx.app.eid("hub").unwrap();
+        fx.app.machine.eenter(0, a.eid, a.base).unwrap();
+        let report = nereport(&mut fx.app.machine, 0, hub_eid, [0u8; 64]).unwrap();
+        fx.app.machine.eexit(0).unwrap();
+        let err = fx.qe.quote(&mut fx.app.machine, 0, &report).unwrap_err();
+        assert!(matches!(err, SgxError::InitVerification(_)));
+    }
+}

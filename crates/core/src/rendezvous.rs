@@ -1,0 +1,280 @@
+//! Attested channel establishment between peer inner enclaves.
+//!
+//! § VII-B sketches the trust story for channels through the outer
+//! enclave: the nested attestation (NEREPORT) proves which inner enclaves
+//! share an outer, and the outer's NASSO gating keeps rogue inners out.
+//! This module packages that into a two-message rendezvous:
+//!
+//! 1. The offering enclave creates an [`crate::OuterChannel`] and runs
+//!    NEREPORT targeted at the accepting enclave, binding the channel's
+//!    base address and capacity into the report data.
+//! 2. The accepting enclave verifies the MAC (same machine), checks the
+//!    offerer's identity against its expectation, and checks the report's
+//!    relation list proves the offerer shares this enclave's outer.
+//!
+//! Only then does it touch the channel memory. A forged or replayed offer,
+//! or one from an inner of a *different* outer, is rejected before any
+//! data flows.
+
+use crate::channel::OuterChannel;
+use crate::nasso::ExpectedIdentity;
+use crate::report::{nereport, verify_nested_report, NestedReport, Relation};
+use crate::runtime::EnclaveCtx;
+use ne_sgx::addr::VirtAddr;
+use ne_sgx::enclave::EnclaveId;
+use ne_sgx::error::{Result, SgxError};
+
+/// A channel offer: everything the peer needs, plus the attestation that
+/// makes it trustworthy. Travels over any untrusted transport.
+#[derive(Debug, Clone)]
+pub struct ChannelOffer {
+    /// Channel base address in the shared outer enclave.
+    pub base: VirtAddr,
+    /// Channel capacity in bytes.
+    pub capacity: u64,
+    /// NEREPORT binding the offerer's identity, its outer relation, and
+    /// the channel coordinates.
+    pub report: NestedReport,
+}
+
+fn bind_coordinates(base: VirtAddr, capacity: u64) -> [u8; 64] {
+    let mut data = [0u8; 64];
+    data[..8].copy_from_slice(&base.0.to_le_bytes());
+    data[8..16].copy_from_slice(&capacity.to_le_bytes());
+    data
+}
+
+/// Creates a channel in `outer`'s heap and produces an attested offer for
+/// the enclave `target`.
+///
+/// Must run inside the offering inner enclave (it executes NEREPORT).
+///
+/// # Errors
+///
+/// Channel allocation or attestation failures.
+pub fn offer_channel(
+    cx: &mut EnclaveCtx<'_>,
+    outer: &str,
+    capacity: u64,
+    target: EnclaveId,
+) -> Result<(OuterChannel, ChannelOffer)> {
+    let channel = OuterChannel::create(cx, outer, capacity)?;
+    let report = nereport(
+        cx.machine,
+        cx.core(),
+        target,
+        bind_coordinates(channel.base(), capacity),
+    )?;
+    Ok((
+        channel,
+        ChannelOffer {
+            base: channel.base(),
+            capacity,
+            report,
+        },
+    ))
+}
+
+/// Verifies an offer from the accepting enclave's point of view and opens
+/// the channel.
+///
+/// Checks, in order: the report MAC (we were its target, on this machine);
+/// the offerer's identity against `expected_peer`; that the coordinates in
+/// the offer match what the report signed; and that the offerer's relation
+/// list names *our own outer enclave* — i.e. the channel really lives in
+/// an outer we share.
+///
+/// # Errors
+///
+/// [`SgxError::InitVerification`] describing the first failed check.
+pub fn accept_channel(
+    cx: &mut EnclaveCtx<'_>,
+    offer: &ChannelOffer,
+    expected_peer: &ExpectedIdentity,
+) -> Result<OuterChannel> {
+    if !verify_nested_report(cx.machine, cx.core(), &offer.report)? {
+        return Err(SgxError::InitVerification(
+            "channel offer: report MAC invalid".into(),
+        ));
+    }
+    let peer_ok = match (&expected_peer.mrenclave, &expected_peer.mrsigner) {
+        (None, None) => false,
+        (mre, mrs) => {
+            mre.map_or(true, |e| e == offer.report.mrenclave)
+                && mrs.map_or(true, |s| s == offer.report.mrsigner)
+        }
+    };
+    if !peer_ok {
+        return Err(SgxError::InitVerification(
+            "channel offer: peer identity mismatch".into(),
+        ));
+    }
+    if offer.report.report_data != bind_coordinates(offer.base, offer.capacity) {
+        return Err(SgxError::InitVerification(
+            "channel offer: coordinates do not match the attested ones".into(),
+        ));
+    }
+    // The offerer must share (at least) one of our outer enclaves.
+    let my_eid = cx.eid;
+    let my_outers: Vec<_> = cx
+        .machine
+        .enclaves()
+        .get(my_eid)
+        .expect("running enclave is live")
+        .outer_eids
+        .clone();
+    let my_outer_measurements: Vec<_> = my_outers
+        .iter()
+        .filter_map(|o| cx.machine.enclaves().get(*o).map(|s| s.mrenclave))
+        .collect();
+    let shares_outer = offer.report.relations.iter().any(|r| {
+        r.relation == Relation::Outer && my_outer_measurements.contains(&r.mrenclave)
+    });
+    if !shares_outer {
+        return Err(SgxError::InitVerification(
+            "channel offer: offerer does not share our outer enclave".into(),
+        ));
+    }
+    Ok(OuterChannel::from_raw(offer.base, offer.capacity))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edl::Edl;
+    use crate::loader::EnclaveImage;
+    use crate::runtime::NestedApp;
+    use ne_sgx::config::HwConfig;
+
+    /// hub ← {a, b}; hub2 ← {c}. Plus identities for expectations.
+    fn topology() -> NestedApp {
+        let mut app = NestedApp::new(HwConfig::small());
+        for hub in ["hub", "hub2"] {
+            app.load(
+                EnclaveImage::new(hub, b"provider").heap_pages(8).edl(Edl::new()),
+                [],
+            )
+            .unwrap();
+        }
+        for (inner, outer) in [("a", "hub"), ("b", "hub"), ("c", "hub2")] {
+            app.load(
+                EnclaveImage::new(inner, b"tenant").heap_pages(2).edl(Edl::new()),
+                [],
+            )
+            .unwrap();
+            app.associate(inner, outer).unwrap();
+        }
+        app
+    }
+
+    fn identity(app: &NestedApp, name: &str) -> ExpectedIdentity {
+        let eid = app.eid(name).unwrap();
+        ExpectedIdentity::enclave(app.machine.enclaves().get(eid).unwrap().mrenclave)
+    }
+
+    fn make_offer(app: &mut NestedApp, from: &str, to: &str) -> (OuterChannel, ChannelOffer) {
+        let target = app.eid(to).unwrap();
+        let l = app.layout(from).unwrap();
+        app.machine.eenter(0, l.eid, l.base).unwrap();
+        let mut cx = app.enclave_ctx(0, from);
+        let out = offer_channel(&mut cx, "hub", 4096, target).unwrap();
+        app.machine.eexit(0).unwrap();
+        out
+    }
+
+    fn try_accept(
+        app: &mut NestedApp,
+        who: &str,
+        offer: &ChannelOffer,
+        expected: &ExpectedIdentity,
+    ) -> Result<OuterChannel> {
+        let l = app.layout(who).unwrap();
+        app.machine.eenter(0, l.eid, l.base).unwrap();
+        let result = {
+            let mut cx = app.enclave_ctx(0, who);
+            accept_channel(&mut cx, offer, expected)
+        };
+        app.machine.eexit(0).unwrap();
+        result
+    }
+
+    #[test]
+    fn rendezvous_and_message_flow() {
+        let mut app = topology();
+        let a_id = identity(&app, "a");
+        let (tx_channel, offer) = make_offer(&mut app, "a", "b");
+        let rx_channel = try_accept(&mut app, "b", &offer, &a_id).unwrap();
+        assert_eq!(rx_channel.base(), tx_channel.base());
+        // Use the channel both ways.
+        let a = app.layout("a").unwrap();
+        app.machine.eenter(0, a.eid, a.base).unwrap();
+        {
+            let mut cx = app.enclave_ctx(0, "a");
+            tx_channel.send(&mut cx, b"attested hello").unwrap();
+        }
+        app.machine.eexit(0).unwrap();
+        let b = app.layout("b").unwrap();
+        app.machine.eenter(0, b.eid, b.base).unwrap();
+        {
+            let mut cx = app.enclave_ctx(0, "b");
+            assert_eq!(
+                rx_channel.recv(&mut cx).unwrap().unwrap(),
+                b"attested hello"
+            );
+        }
+        app.machine.eexit(0).unwrap();
+    }
+
+    #[test]
+    fn wrong_peer_identity_rejected() {
+        let mut app = topology();
+        let b_id = identity(&app, "b"); // expecting b...
+        let (_ch, offer) = make_offer(&mut app, "a", "b"); // ...but a offers
+        let err = try_accept(&mut app, "b", &offer, &b_id).unwrap_err();
+        assert!(matches!(err, SgxError::InitVerification(_)));
+    }
+
+    #[test]
+    fn tampered_coordinates_rejected() {
+        let mut app = topology();
+        let a_id = identity(&app, "a");
+        let (_ch, mut offer) = make_offer(&mut app, "a", "b");
+        // The OS relays the offer and redirects the channel elsewhere.
+        offer.base = offer.base.add(64);
+        let err = try_accept(&mut app, "b", &offer, &a_id).unwrap_err();
+        assert!(matches!(err, SgxError::InitVerification(_)));
+    }
+
+    #[test]
+    fn offer_for_someone_else_rejected() {
+        // Offer targeted at c; b must not be able to verify it.
+        let mut app = topology();
+        let a_id = identity(&app, "a");
+        let (_ch, offer) = make_offer(&mut app, "a", "c");
+        let err = try_accept(&mut app, "b", &offer, &a_id).unwrap_err();
+        assert!(matches!(err, SgxError::InitVerification(_)));
+    }
+
+    #[test]
+    fn peer_in_different_outer_rejected() {
+        // c shares *hub2*, not hub: even with a valid identity expectation,
+        // the relation check fails on c's side.
+        let mut app = topology();
+        let a_id = identity(&app, "a");
+        let (_ch, offer) = make_offer(&mut app, "a", "c");
+        let err = try_accept(&mut app, "c", &offer, &a_id).unwrap_err();
+        assert!(matches!(err, SgxError::InitVerification(_)));
+    }
+
+    #[test]
+    fn empty_expectation_rejected() {
+        let mut app = topology();
+        let (_ch, offer) = make_offer(&mut app, "a", "b");
+        let empty = ExpectedIdentity {
+            mrenclave: None,
+            mrsigner: None,
+        };
+        let err = try_accept(&mut app, "b", &offer, &empty).unwrap_err();
+        assert!(matches!(err, SgxError::InitVerification(_)));
+    }
+}

@@ -1,0 +1,390 @@
+//! The nested-enclave TLB-miss validation flow (paper Fig. 6).
+//!
+//! The only hardware-datapath change the paper requires: when the baseline
+//! SGX check fails *and the core is executing an inner enclave*, the flow
+//! retries the check against the associated outer enclave(s) — granting the
+//! asymmetric permission (inner may touch outer, never vice versa) that
+//! realizes the multi-level-security model.
+
+use ne_sgx::enclave::{EnclaveId, EnclaveTable};
+use ne_sgx::error::FaultKind;
+use ne_sgx::tlb::TlbEntry;
+use ne_sgx::validate::{
+    check_epcm_binding, Outcome, SgxValidator, TlbValidator, Validation, ValidationCtx,
+};
+
+/// The Fig. 6 validator. Installing it into the machine is the analogue of
+/// deploying the paper's microcode patch.
+#[derive(Debug, Clone, Copy)]
+pub struct NestedValidator {
+    /// Maximum inner→outer chain length followed during validation.
+    /// The base design uses two levels; § VIII lifts this ("the traversal
+    /// must be extended to follow the chain of inner-outer links").
+    max_depth: usize,
+}
+
+impl NestedValidator {
+    /// Validator for the paper's base two-level design.
+    pub fn new() -> NestedValidator {
+        NestedValidator { max_depth: 2 }
+    }
+
+    /// Validator allowing chains of up to `max_depth` enclaves
+    /// (§ VIII multi-level nesting). Depth 2 is the base design.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_depth < 2` — a depth-1 "chain" is just baseline SGX.
+    pub fn with_max_depth(max_depth: usize) -> NestedValidator {
+        assert!(max_depth >= 2, "nesting requires at least two levels");
+        NestedValidator { max_depth }
+    }
+
+    /// Configured chain limit.
+    pub fn max_depth(&self) -> usize {
+        self.max_depth
+    }
+
+    /// Enumerates the outer closure of `eid` in traversal order (BFS),
+    /// excluding `eid` itself, bounded by `max_depth` levels.
+    fn outer_closure(&self, eid: EnclaveId, enclaves: &EnclaveTable) -> Vec<EnclaveId> {
+        let mut out: Vec<EnclaveId> = Vec::new();
+        let mut frontier = vec![eid];
+        for _ in 1..self.max_depth {
+            let mut next = Vec::new();
+            for id in frontier {
+                if let Some(secs) = enclaves.get(id) {
+                    for &outer in &secs.outer_eids {
+                        if outer != eid && !out.contains(&outer) {
+                            out.push(outer);
+                            next.push(outer);
+                        }
+                    }
+                }
+            }
+            if next.is_empty() {
+                break;
+            }
+            frontier = next;
+        }
+        out
+    }
+}
+
+impl Default for NestedValidator {
+    fn default() -> Self {
+        NestedValidator::new()
+    }
+}
+
+impl TlbValidator for NestedValidator {
+    fn validate(&self, cx: &ValidationCtx<'_>) -> Validation {
+        // Run the baseline flow first; the shaded steps of Fig. 6 only
+        // trigger where it would fail in enclave mode.
+        let base = SgxValidator::new().validate(cx);
+        let eid = match cx.core.enclave {
+            Some(eid) => eid,
+            None => return base, // non-enclave path is unchanged
+        };
+        match base.outcome {
+            // Steps (3)–(5): EPCM id mismatch inside PRM — retry against
+            // each associated outer enclave.
+            Outcome::Fault(FaultKind::EpcmEnclaveMismatch)
+            | Outcome::Fault(FaultKind::EpcmAddressMismatch) => {
+                let mut steps = base.steps;
+                for outer in self.outer_closure(eid, cx.enclaves) {
+                    steps += 2; // outer-id compare + VA compare
+                    match check_epcm_binding(cx, outer) {
+                        Ok(epcm_perms) => {
+                            return Validation {
+                                outcome: Outcome::Insert(TlbEntry {
+                                    ppn: cx.pte.ppn,
+                                    perms: cx.pte.perms.intersect(epcm_perms),
+                                }),
+                                steps,
+                            };
+                        }
+                        Err(FaultKind::EnclavePageSwappedOut) => {
+                            return Validation {
+                                outcome: Outcome::Fault(FaultKind::EnclavePageSwappedOut),
+                                steps,
+                            };
+                        }
+                        Err(_) => continue,
+                    }
+                }
+                Validation {
+                    outcome: base.outcome,
+                    steps,
+                }
+            }
+            // Steps (1)–(2): inside enclave mode, VA outside own ELRANGE
+            // resolving to non-PRM memory. If the VA belongs to an outer
+            // enclave's ELRANGE, its EPC page was evicted → page fault so
+            // the OS reloads it (never a silent plaintext read).
+            Outcome::Insert(entry) if !(cx.in_prm)(cx.pte.ppn.0) => {
+                let own_range = cx
+                    .enclaves
+                    .get(eid)
+                    .map(|s| s.elrange.contains_page(cx.vpn))
+                    .unwrap_or(false);
+                if own_range {
+                    return base; // unreachable: baseline faults this case
+                }
+                let mut steps = base.steps;
+                for outer in self.outer_closure(eid, cx.enclaves) {
+                    steps += 1; // outer ELRANGE compare
+                    if let Some(outer_secs) = cx.enclaves.get(outer) {
+                        if outer_secs.elrange.contains_page(cx.vpn) {
+                            return Validation {
+                                outcome: Outcome::Fault(FaultKind::EnclavePageSwappedOut),
+                                steps,
+                            };
+                        }
+                    }
+                }
+                Validation {
+                    outcome: Outcome::Insert(entry),
+                    steps,
+                }
+            }
+            _ => base,
+        }
+    }
+
+    fn eviction_tracking_set(&self, eid: EnclaveId, enclaves: &EnclaveTable) -> Vec<EnclaveId> {
+        // § IV-E: translations into an outer enclave's pages may live in the
+        // TLBs of cores running its inner enclaves, transitively.
+        let mut set = vec![eid];
+        let mut frontier = vec![eid];
+        while let Some(id) = frontier.pop() {
+            if let Some(secs) = enclaves.get(id) {
+                for &inner in &secs.inner_eids {
+                    if !set.contains(&inner) {
+                        set.push(inner);
+                        frontier.push(inner);
+                    }
+                }
+            }
+        }
+        set
+    }
+
+    fn name(&self) -> &'static str {
+        "nested-enclave"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ne_sgx::addr::{Ppn, VirtAddr, VirtRange, Vpn};
+    use ne_sgx::enclave::ProcessId;
+    use ne_sgx::epcm::{Epcm, EpcmEntry, PagePerms, PageType};
+    use ne_sgx::page_table::Pte;
+    use ne_sgx::validate::CoreView;
+
+    const PRM_START: u64 = 1000;
+
+    fn in_prm(ppn: u64) -> bool {
+        ppn >= PRM_START
+    }
+
+    struct Fx {
+        epcm: Epcm,
+        enclaves: EnclaveTable,
+        outer: EnclaveId,
+        inner: EnclaveId,
+        peer: EnclaveId,
+    }
+
+    /// outer: vpns 16..32 with EPC page at PRM_START+1 (vpn 16);
+    /// inner: vpns 64..80 with EPC page at PRM_START+2 (vpn 64);
+    /// peer:  vpns 96..112 with EPC page at PRM_START+3 (vpn 96).
+    /// inner and peer are both inners of outer.
+    fn fixture() -> Fx {
+        let mut enclaves = EnclaveTable::new();
+        let outer = enclaves.create(ProcessId(0), VirtRange::new(VirtAddr(16 * 4096), 16 * 4096));
+        let inner = enclaves.create(ProcessId(0), VirtRange::new(VirtAddr(64 * 4096), 16 * 4096));
+        let peer = enclaves.create(ProcessId(0), VirtRange::new(VirtAddr(96 * 4096), 16 * 4096));
+        enclaves.get_mut(inner).unwrap().outer_eids.push(outer);
+        enclaves.get_mut(peer).unwrap().outer_eids.push(outer);
+        enclaves.get_mut(outer).unwrap().inner_eids.extend([inner, peer]);
+        let mut epcm = Epcm::new();
+        for (i, (eid, vpn)) in [(outer, 16u64), (inner, 64), (peer, 96)].iter().enumerate() {
+            epcm.insert(
+                Ppn(PRM_START + 1 + i as u64),
+                EpcmEntry {
+                    eid: *eid,
+                    vpn: Vpn(*vpn),
+                    page_type: PageType::Reg,
+                    perms: PagePerms::RW,
+                    blocked: false,
+                    pending: false,
+                },
+            );
+        }
+        Fx {
+            epcm,
+            enclaves,
+            outer,
+            inner,
+            peer,
+        }
+    }
+
+    fn ctx<'a>(fx: &'a Fx, enclave: Option<EnclaveId>, vpn: u64, ppn: u64) -> ValidationCtx<'a> {
+        ValidationCtx {
+            core: CoreView { enclave },
+            vpn: Vpn(vpn),
+            pte: Pte {
+                ppn: Ppn(ppn),
+                perms: PagePerms::RW,
+            },
+            epcm: &fx.epcm,
+            enclaves: &fx.enclaves,
+            in_prm: &in_prm,
+        }
+    }
+
+    fn validate(fx: &Fx, enclave: Option<EnclaveId>, vpn: u64, ppn: u64) -> Validation {
+        NestedValidator::new().validate(&ctx(fx, enclave, vpn, ppn))
+    }
+
+    #[test]
+    fn inner_can_access_outer_pages() {
+        let fx = fixture();
+        let v = validate(&fx, Some(fx.inner), 16, PRM_START + 1);
+        assert!(matches!(v.outcome, Outcome::Insert(_)), "{v:?}");
+    }
+
+    #[test]
+    fn inner_to_outer_costs_extra_steps() {
+        let fx = fixture();
+        let own = validate(&fx, Some(fx.inner), 64, PRM_START + 2);
+        let outer = validate(&fx, Some(fx.inner), 16, PRM_START + 1);
+        assert!(matches!(own.outcome, Outcome::Insert(_)));
+        assert!(
+            outer.steps > own.steps,
+            "outer access must take more validation steps ({} vs {})",
+            outer.steps,
+            own.steps
+        );
+    }
+
+    #[test]
+    fn outer_cannot_access_inner_pages() {
+        let fx = fixture();
+        let v = validate(&fx, Some(fx.outer), 64, PRM_START + 2);
+        assert_eq!(v.outcome, Outcome::Fault(FaultKind::EpcmEnclaveMismatch));
+    }
+
+    #[test]
+    fn peer_inners_are_isolated() {
+        let fx = fixture();
+        let v = validate(&fx, Some(fx.inner), 96, PRM_START + 3);
+        assert_eq!(v.outcome, Outcome::Fault(FaultKind::EpcmEnclaveMismatch));
+        let v = validate(&fx, Some(fx.peer), 64, PRM_START + 2);
+        assert_eq!(v.outcome, Outcome::Fault(FaultKind::EpcmEnclaveMismatch));
+    }
+
+    #[test]
+    fn non_enclave_still_aborted() {
+        let fx = fixture();
+        let v = validate(&fx, None, 16, PRM_START + 1);
+        assert_eq!(v.outcome, Outcome::Abort);
+    }
+
+    #[test]
+    fn os_remap_onto_outer_page_detected() {
+        // OS maps an unrelated VA of the inner to the outer's EPC frame:
+        // the EPCM VA check must still reject it.
+        let fx = fixture();
+        let v = validate(&fx, Some(fx.inner), 65, PRM_START + 1);
+        assert!(matches!(v.outcome, Outcome::Fault(_)), "{v:?}");
+    }
+
+    #[test]
+    fn evicted_outer_page_faults_as_swapped_out() {
+        // VA inside the *outer* ELRANGE backed by ordinary RAM → the outer
+        // page was evicted; inner must take a page fault, not read RAM.
+        let fx = fixture();
+        let v = validate(&fx, Some(fx.inner), 17, 5);
+        assert_eq!(v.outcome, Outcome::Fault(FaultKind::EnclavePageSwappedOut));
+    }
+
+    #[test]
+    fn untrusted_memory_from_inner_still_allowed_without_exec() {
+        let fx = fixture();
+        let mut cx = ctx(&fx, Some(fx.inner), 200, 5);
+        cx.pte.perms = PagePerms::RWX;
+        let v = NestedValidator::new().validate(&cx);
+        match v.outcome {
+            Outcome::Insert(e) => assert!(!e.perms.x),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn blocked_outer_page_faults() {
+        let mut fx = fixture();
+        fx.epcm.get_mut(Ppn(PRM_START + 1)).unwrap().blocked = true;
+        let v = validate(&fx, Some(fx.inner), 16, PRM_START + 1);
+        assert_eq!(v.outcome, Outcome::Fault(FaultKind::EnclavePageSwappedOut));
+    }
+
+    #[test]
+    fn three_level_chain_respects_depth_limit() {
+        let mut fx = fixture();
+        // grand: a new innermost enclave whose outer is `inner`.
+        let grand = fx
+            .enclaves
+            .create(ProcessId(0), VirtRange::new(VirtAddr(128 * 4096), 16 * 4096));
+        fx.enclaves.get_mut(grand).unwrap().outer_eids.push(fx.inner);
+        fx.enclaves.get_mut(fx.inner).unwrap().inner_eids.push(grand);
+        // Depth 2 (base design): grand may reach `inner` but NOT `outer`.
+        let d2 = NestedValidator::new();
+        let v = d2.validate(&ctx(&fx, Some(grand), 64, PRM_START + 2));
+        assert!(matches!(v.outcome, Outcome::Insert(_)), "direct outer ok");
+        let v = d2.validate(&ctx(&fx, Some(grand), 16, PRM_START + 1));
+        assert!(matches!(v.outcome, Outcome::Fault(_)), "depth-2 stops at one hop");
+        // Depth 3 (§ VIII multi-level): grand reaches `outer` too.
+        let d3 = NestedValidator::with_max_depth(3);
+        let v = d3.validate(&ctx(&fx, Some(grand), 16, PRM_START + 1));
+        assert!(matches!(v.outcome, Outcome::Insert(_)), "depth-3 follows chain");
+    }
+
+    #[test]
+    fn multiple_outers_lattice() {
+        let mut fx = fixture();
+        // Make `inner` also an inner of `peer` (lattice, § VIII).
+        fx.enclaves.get_mut(fx.inner).unwrap().outer_eids.push(fx.peer);
+        fx.enclaves.get_mut(fx.peer).unwrap().inner_eids.push(fx.inner);
+        let v = validate(&fx, Some(fx.inner), 96, PRM_START + 3);
+        assert!(matches!(v.outcome, Outcome::Insert(_)), "second outer reachable");
+        // But peer still cannot read inner.
+        let v = validate(&fx, Some(fx.peer), 64, PRM_START + 2);
+        assert!(matches!(v.outcome, Outcome::Fault(_)));
+    }
+
+    #[test]
+    fn tracking_set_includes_transitive_inners() {
+        let mut fx = fixture();
+        let grand = fx
+            .enclaves
+            .create(ProcessId(0), VirtRange::new(VirtAddr(128 * 4096), 16 * 4096));
+        fx.enclaves.get_mut(grand).unwrap().outer_eids.push(fx.inner);
+        fx.enclaves.get_mut(fx.inner).unwrap().inner_eids.push(grand);
+        let set = NestedValidator::new().eviction_tracking_set(fx.outer, &fx.enclaves);
+        assert!(set.contains(&fx.outer));
+        assert!(set.contains(&fx.inner));
+        assert!(set.contains(&fx.peer));
+        assert!(set.contains(&grand), "transitive inner must be tracked");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two levels")]
+    fn depth_one_rejected() {
+        NestedValidator::with_max_depth(1);
+    }
+}

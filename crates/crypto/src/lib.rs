@@ -1,0 +1,46 @@
+#![warn(missing_docs)]
+
+//! From-scratch cryptographic substrate for the Nested Enclave reproduction.
+//!
+//! The SGX architecture relies on a handful of cryptographic primitives:
+//!
+//! * **SHA-256** — enclave measurement (`MRENCLAVE`), author identity
+//!   (`MRSIGNER`), and report MACs are all built from keyed hashing.
+//! * **HMAC-SHA-256** — report MACs for local attestation.
+//! * **AES-128-GCM** — the authenticated encryption the paper's baseline uses
+//!   for enclave-to-enclave communication through untrusted memory
+//!   (Fig. 11 `GCM` series), and what sealed data uses.
+//!
+//! Everything here is implemented from scratch in safe Rust so the workspace
+//! has no external crypto dependencies. These implementations favour clarity
+//! over speed; the simulator's *cost model* (not the host speed of this code)
+//! is what drives the paper's performance figures.
+//!
+//! # Example
+//!
+//! ```
+//! use ne_crypto::{sha256, gcm::AesGcm};
+//!
+//! let digest = sha256::digest(b"enclave image");
+//! assert_eq!(digest.len(), 32);
+//!
+//! let key = [0u8; 16];
+//! let cipher = AesGcm::new(&key);
+//! let nonce = [1u8; 12];
+//! let sealed = cipher.seal(&nonce, b"secret", b"aad");
+//! let opened = cipher.open(&nonce, &sealed, b"aad").unwrap();
+//! assert_eq!(opened, b"secret");
+//! ```
+
+pub mod aes;
+pub mod ct;
+pub mod gcm;
+pub mod hmac;
+pub mod kdf;
+pub mod sha256;
+
+pub use gcm::{AesGcm, OpenError};
+pub use sha256::{digest as sha256_digest, Sha256};
+
+/// A 256-bit digest, the unit of enclave measurement in SGX.
+pub type Digest32 = [u8; 32];

@@ -1,0 +1,104 @@
+//! Property-based tests for the crypto substrate.
+
+use ne_crypto::gcm::AesGcm;
+use ne_crypto::hmac::hmac_sha256;
+use ne_crypto::kdf::derive_key;
+use ne_crypto::sha256::{digest, Sha256};
+use proptest::prelude::*;
+
+proptest! {
+    /// Sealing then opening returns the plaintext, for any key, nonce,
+    /// payload, and AAD.
+    #[test]
+    fn gcm_roundtrip(
+        key in prop::array::uniform16(any::<u8>()),
+        nonce in prop::array::uniform12(any::<u8>()),
+        plaintext in prop::collection::vec(any::<u8>(), 0..512),
+        aad in prop::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let cipher = AesGcm::new(&key);
+        let sealed = cipher.seal(&nonce, &plaintext, &aad);
+        prop_assert_eq!(sealed.len(), plaintext.len() + 16);
+        prop_assert_eq!(cipher.open(&nonce, &sealed, &aad).unwrap(), plaintext);
+    }
+
+    /// Any single-bit flip anywhere in the ciphertext is detected.
+    #[test]
+    fn gcm_bitflip_detected(
+        key in prop::array::uniform16(any::<u8>()),
+        plaintext in prop::collection::vec(any::<u8>(), 1..256),
+        byte_idx in any::<prop::sample::Index>(),
+        bit in 0..8u32,
+    ) {
+        let cipher = AesGcm::new(&key);
+        let nonce = [0u8; 12];
+        let mut sealed = cipher.seal(&nonce, &plaintext, b"");
+        let idx = byte_idx.index(sealed.len());
+        sealed[idx] ^= 1 << bit;
+        prop_assert!(cipher.open(&nonce, &sealed, b"").is_err());
+    }
+
+    /// Different AAD never opens.
+    #[test]
+    fn gcm_aad_is_bound(
+        plaintext in prop::collection::vec(any::<u8>(), 0..128),
+        aad1 in prop::collection::vec(any::<u8>(), 0..32),
+        aad2 in prop::collection::vec(any::<u8>(), 0..32),
+    ) {
+        prop_assume!(aad1 != aad2);
+        let cipher = AesGcm::new(&[5; 16]);
+        let sealed = cipher.seal(&[0; 12], &plaintext, &aad1);
+        prop_assert!(cipher.open(&[0; 12], &sealed, &aad2).is_err());
+    }
+
+    /// Incremental hashing equals one-shot hashing for any chunking.
+    #[test]
+    fn sha256_chunking_invariant(
+        data in prop::collection::vec(any::<u8>(), 0..2048),
+        splits in prop::collection::vec(any::<prop::sample::Index>(), 0..6),
+    ) {
+        let mut points: Vec<usize> = splits.iter().map(|s| s.index(data.len() + 1)).collect();
+        points.push(0);
+        points.push(data.len());
+        points.sort_unstable();
+        let mut h = Sha256::new();
+        for w in points.windows(2) {
+            h.update(&data[w[0]..w[1]]);
+        }
+        prop_assert_eq!(h.finalize(), digest(&data));
+    }
+
+    /// Distinct messages virtually never collide (structural sanity, not a
+    /// collision-resistance proof).
+    #[test]
+    fn sha256_distinct_inputs_distinct_digests(
+        a in prop::collection::vec(any::<u8>(), 0..256),
+        b in prop::collection::vec(any::<u8>(), 0..256),
+    ) {
+        prop_assume!(a != b);
+        prop_assert_ne!(digest(&a), digest(&b));
+    }
+
+    /// HMAC separates by both key and message.
+    #[test]
+    fn hmac_separation(
+        k1 in prop::collection::vec(any::<u8>(), 1..64),
+        k2 in prop::collection::vec(any::<u8>(), 1..64),
+        msg in prop::collection::vec(any::<u8>(), 0..256),
+    ) {
+        prop_assume!(k1 != k2);
+        prop_assert_ne!(hmac_sha256(&k1, &msg), hmac_sha256(&k2, &msg));
+    }
+
+    /// KDF outputs differ across any differing (secret, label, context).
+    #[test]
+    fn kdf_domain_separation(
+        s in prop::collection::vec(any::<u8>(), 1..32),
+        l1 in prop::collection::vec(any::<u8>(), 0..16),
+        l2 in prop::collection::vec(any::<u8>(), 0..16),
+        c in prop::collection::vec(any::<u8>(), 0..16),
+    ) {
+        prop_assume!(l1 != l2);
+        prop_assert_ne!(derive_key(&s, &l1, &c), derive_key(&s, &l2, &c));
+    }
+}

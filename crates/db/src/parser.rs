@@ -1,0 +1,442 @@
+//! SQL tokenizer and parser for the dialect the case study exercises:
+//!
+//! ```sql
+//! CREATE TABLE t (col1 TEXT, col2 INT, ...)
+//! INSERT INTO t VALUES (v1, v2, ...)
+//! SELECT col, ... | * FROM t [WHERE col = v]
+//! UPDATE t SET col = v [, ...] [WHERE col = v]
+//! DELETE FROM t WHERE col = v
+//! ```
+
+use crate::value::Value;
+use std::fmt;
+
+/// Parse errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SQL parse error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// A parsed statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// `CREATE TABLE name (columns)`.
+    CreateTable {
+        /// Table name.
+        name: String,
+        /// Column names (types are dynamic).
+        columns: Vec<String>,
+    },
+    /// `INSERT INTO name VALUES (...)`.
+    Insert {
+        /// Table name.
+        table: String,
+        /// Row values, one per column.
+        values: Vec<Value>,
+    },
+    /// `SELECT cols FROM name [WHERE col = v]`.
+    Select {
+        /// Table name.
+        table: String,
+        /// Projected columns; empty means `*`.
+        columns: Vec<String>,
+        /// Optional equality predicate.
+        predicate: Option<(String, Value)>,
+    },
+    /// `UPDATE name SET col = v, ... [WHERE col = v]`.
+    Update {
+        /// Table name.
+        table: String,
+        /// Column assignments.
+        assignments: Vec<(String, Value)>,
+        /// Optional equality predicate.
+        predicate: Option<(String, Value)>,
+    },
+    /// `DELETE FROM name WHERE col = v`.
+    Delete {
+        /// Table name.
+        table: String,
+        /// Equality predicate (mandatory — no full-table deletes).
+        predicate: (String, Value),
+    },
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Ident(String),
+    Str(String),
+    Num(i64),
+    LParen,
+    RParen,
+    Comma,
+    Eq,
+    Star,
+}
+
+fn tokenize(input: &str) -> Result<Vec<Token>, ParseError> {
+    let mut out = Vec::new();
+    let mut chars = input.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            ' ' | '\t' | '\n' | '\r' => {
+                chars.next();
+            }
+            '(' => {
+                chars.next();
+                out.push(Token::LParen);
+            }
+            ')' => {
+                chars.next();
+                out.push(Token::RParen);
+            }
+            ',' => {
+                chars.next();
+                out.push(Token::Comma);
+            }
+            '=' => {
+                chars.next();
+                out.push(Token::Eq);
+            }
+            '*' => {
+                chars.next();
+                out.push(Token::Star);
+            }
+            '\'' => {
+                chars.next();
+                let mut s = String::new();
+                loop {
+                    match chars.next() {
+                        Some('\'') => break,
+                        Some(ch) => s.push(ch),
+                        None => return Err(ParseError("unterminated string".into())),
+                    }
+                }
+                out.push(Token::Str(s));
+            }
+            '-' | '0'..='9' => {
+                let mut s = String::new();
+                s.push(c);
+                chars.next();
+                while let Some(&d) = chars.peek() {
+                    if d.is_ascii_digit() {
+                        s.push(d);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                let n = s
+                    .parse::<i64>()
+                    .map_err(|_| ParseError(format!("bad number '{s}'")))?;
+                out.push(Token::Num(n));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut s = String::new();
+                while let Some(&d) = chars.peek() {
+                    if d.is_ascii_alphanumeric() || d == '_' {
+                        s.push(d);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Token::Ident(s));
+            }
+            other => return Err(ParseError(format!("unexpected character '{other}'"))),
+        }
+    }
+    Ok(out)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Result<Token, ParseError> {
+        let t = self
+            .tokens
+            .get(self.pos)
+            .cloned()
+            .ok_or_else(|| ParseError("unexpected end of statement".into()))?;
+        self.pos += 1;
+        Ok(t)
+    }
+
+    fn keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        match self.next()? {
+            Token::Ident(s) if s.eq_ignore_ascii_case(kw) => Ok(()),
+            other => Err(ParseError(format!("expected {kw}, found {other:?}"))),
+        }
+    }
+
+    fn try_keyword(&mut self, kw: &str) -> bool {
+        if let Some(Token::Ident(s)) = self.peek() {
+            if s.eq_ignore_ascii_case(kw) {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.next()? {
+            Token::Ident(s) => Ok(s),
+            other => Err(ParseError(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn expect(&mut self, t: Token) -> Result<(), ParseError> {
+        let got = self.next()?;
+        if got == t {
+            Ok(())
+        } else {
+            Err(ParseError(format!("expected {t:?}, found {got:?}")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, ParseError> {
+        match self.next()? {
+            Token::Str(s) => Ok(Value::Text(s)),
+            Token::Num(n) => Ok(Value::Int(n)),
+            other => Err(ParseError(format!("expected value, found {other:?}"))),
+        }
+    }
+
+    fn predicate(&mut self) -> Result<Option<(String, Value)>, ParseError> {
+        if self.try_keyword("WHERE") {
+            let col = self.ident()?;
+            self.expect(Token::Eq)?;
+            let v = self.value()?;
+            Ok(Some((col, v)))
+        } else {
+            Ok(None)
+        }
+    }
+
+    fn done(&self) -> Result<(), ParseError> {
+        if self.pos == self.tokens.len() {
+            Ok(())
+        } else {
+            Err(ParseError("trailing tokens after statement".into()))
+        }
+    }
+}
+
+/// Parses one SQL statement.
+///
+/// # Errors
+///
+/// [`ParseError`] describing the first syntax problem.
+pub fn parse(sql: &str) -> Result<Statement, ParseError> {
+    let mut p = Parser {
+        tokens: tokenize(sql)?,
+        pos: 0,
+    };
+    let stmt = match p.next()? {
+        Token::Ident(kw) if kw.eq_ignore_ascii_case("CREATE") => {
+            p.keyword("TABLE")?;
+            let name = p.ident()?;
+            p.expect(Token::LParen)?;
+            let mut columns = Vec::new();
+            loop {
+                let col = p.ident()?;
+                // Optional type annotation (TEXT/INT/...), ignored.
+                if let Some(Token::Ident(_)) = p.peek() {
+                    p.pos += 1;
+                }
+                columns.push(col);
+                match p.next()? {
+                    Token::Comma => continue,
+                    Token::RParen => break,
+                    other => return Err(ParseError(format!("expected , or ), got {other:?}"))),
+                }
+            }
+            Statement::CreateTable { name, columns }
+        }
+        Token::Ident(kw) if kw.eq_ignore_ascii_case("INSERT") => {
+            p.keyword("INTO")?;
+            let table = p.ident()?;
+            p.keyword("VALUES")?;
+            p.expect(Token::LParen)?;
+            let mut values = vec![p.value()?];
+            loop {
+                match p.next()? {
+                    Token::Comma => values.push(p.value()?),
+                    Token::RParen => break,
+                    other => return Err(ParseError(format!("expected , or ), got {other:?}"))),
+                }
+            }
+            Statement::Insert { table, values }
+        }
+        Token::Ident(kw) if kw.eq_ignore_ascii_case("SELECT") => {
+            let mut columns = Vec::new();
+            if let Some(Token::Star) = p.peek() {
+                p.pos += 1;
+            } else {
+                columns.push(p.ident()?);
+                while let Some(Token::Comma) = p.peek() {
+                    p.pos += 1;
+                    columns.push(p.ident()?);
+                }
+            }
+            p.keyword("FROM")?;
+            let table = p.ident()?;
+            let predicate = p.predicate()?;
+            Statement::Select {
+                table,
+                columns,
+                predicate,
+            }
+        }
+        Token::Ident(kw) if kw.eq_ignore_ascii_case("UPDATE") => {
+            let table = p.ident()?;
+            p.keyword("SET")?;
+            let mut assignments = Vec::new();
+            loop {
+                let col = p.ident()?;
+                p.expect(Token::Eq)?;
+                assignments.push((col, p.value()?));
+                if let Some(Token::Comma) = p.peek() {
+                    p.pos += 1;
+                } else {
+                    break;
+                }
+            }
+            let predicate = p.predicate()?;
+            Statement::Update {
+                table,
+                assignments,
+                predicate,
+            }
+        }
+        Token::Ident(kw) if kw.eq_ignore_ascii_case("DELETE") => {
+            p.keyword("FROM")?;
+            let table = p.ident()?;
+            let predicate = p
+                .predicate()?
+                .ok_or_else(|| ParseError("DELETE requires WHERE".into()))?;
+            Statement::Delete { table, predicate }
+        }
+        other => return Err(ParseError(format!("unknown statement start {other:?}"))),
+    };
+    p.done()?;
+    Ok(stmt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_table() {
+        let s = parse("CREATE TABLE t (a TEXT, b INT)").unwrap();
+        assert_eq!(
+            s,
+            Statement::CreateTable {
+                name: "t".into(),
+                columns: vec!["a".into(), "b".into()]
+            }
+        );
+    }
+
+    #[test]
+    fn insert() {
+        let s = parse("INSERT INTO t VALUES ('x', 42)").unwrap();
+        assert_eq!(
+            s,
+            Statement::Insert {
+                table: "t".into(),
+                values: vec![Value::from("x"), Value::Int(42)]
+            }
+        );
+    }
+
+    #[test]
+    fn select_star_and_columns() {
+        let s = parse("SELECT * FROM t").unwrap();
+        assert_eq!(
+            s,
+            Statement::Select {
+                table: "t".into(),
+                columns: vec![],
+                predicate: None
+            }
+        );
+        let s = parse("SELECT a, b FROM t WHERE a = 'k'").unwrap();
+        assert_eq!(
+            s,
+            Statement::Select {
+                table: "t".into(),
+                columns: vec!["a".into(), "b".into()],
+                predicate: Some(("a".into(), Value::from("k")))
+            }
+        );
+    }
+
+    #[test]
+    fn update_with_where() {
+        let s = parse("UPDATE t SET b = 7, c = 'z' WHERE a = 1").unwrap();
+        assert_eq!(
+            s,
+            Statement::Update {
+                table: "t".into(),
+                assignments: vec![("b".into(), Value::Int(7)), ("c".into(), Value::from("z"))],
+                predicate: Some(("a".into(), Value::Int(1)))
+            }
+        );
+    }
+
+    #[test]
+    fn delete_requires_where() {
+        assert!(parse("DELETE FROM t").is_err());
+        let s = parse("DELETE FROM t WHERE a = 1").unwrap();
+        assert_eq!(
+            s,
+            Statement::Delete {
+                table: "t".into(),
+                predicate: ("a".into(), Value::Int(1))
+            }
+        );
+    }
+
+    #[test]
+    fn negative_numbers() {
+        let s = parse("INSERT INTO t VALUES (-5)").unwrap();
+        assert_eq!(
+            s,
+            Statement::Insert {
+                table: "t".into(),
+                values: vec![Value::Int(-5)]
+            }
+        );
+    }
+
+    #[test]
+    fn case_insensitive_keywords() {
+        assert!(parse("select * from t").is_ok());
+        assert!(parse("insert into t values (1)").is_ok());
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse("").is_err());
+        assert!(parse("SELECT FROM").is_err());
+        assert!(parse("INSERT INTO t VALUES ('unterminated)").is_err());
+        assert!(parse("SELECT * FROM t extra").is_err());
+        assert!(parse("DROP TABLE t").is_err());
+        assert!(parse("SELECT * FROM t WHERE a = ").is_err());
+    }
+}

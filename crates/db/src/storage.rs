@@ -1,0 +1,132 @@
+//! B-tree-backed tables (the first column is the primary key, like the
+//! YCSB `usertable`).
+
+use crate::value::Value;
+use std::collections::BTreeMap;
+
+/// One table: schema + ordered rows.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Column names; column 0 is the primary key.
+    pub columns: Vec<String>,
+    rows: BTreeMap<Value, Vec<Value>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no columns are given.
+    pub fn new(columns: Vec<String>) -> Table {
+        assert!(!columns.is_empty(), "a table needs at least one column");
+        Table {
+            columns,
+            rows: BTreeMap::new(),
+        }
+    }
+
+    /// Index of a column by name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c == name)
+    }
+
+    /// Inserts a full row; replaces any row with the same key, returning
+    /// the old one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arity mismatches (the executor validates first).
+    pub fn insert(&mut self, row: Vec<Value>) -> Option<Vec<Value>> {
+        assert_eq!(row.len(), self.columns.len(), "row arity mismatch");
+        self.rows.insert(row[0].clone(), row)
+    }
+
+    /// Point lookup by primary key.
+    pub fn get(&self, key: &Value) -> Option<&Vec<Value>> {
+        self.rows.get(key)
+    }
+
+    /// Mutable point lookup.
+    pub fn get_mut(&mut self, key: &Value) -> Option<&mut Vec<Value>> {
+        self.rows.get_mut(key)
+    }
+
+    /// Removes a row by key.
+    pub fn remove(&mut self, key: &Value) -> Option<Vec<Value>> {
+        self.rows.remove(key)
+    }
+
+    /// Full scan in key order.
+    pub fn scan(&self) -> impl Iterator<Item = &Vec<Value>> {
+        self.rows.values()
+    }
+
+    /// Mutable full scan.
+    pub fn scan_mut(&mut self) -> impl Iterator<Item = &mut Vec<Value>> {
+        self.rows.values_mut()
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t() -> Table {
+        Table::new(vec!["k".into(), "v".into()])
+    }
+
+    #[test]
+    fn insert_get() {
+        let mut tab = t();
+        tab.insert(vec![Value::Int(1), Value::from("a")]);
+        assert_eq!(tab.get(&Value::Int(1)).unwrap()[1], Value::from("a"));
+        assert!(tab.get(&Value::Int(2)).is_none());
+    }
+
+    #[test]
+    fn insert_replaces_same_key() {
+        let mut tab = t();
+        tab.insert(vec![Value::Int(1), Value::from("a")]);
+        let old = tab.insert(vec![Value::Int(1), Value::from("b")]);
+        assert_eq!(old.unwrap()[1], Value::from("a"));
+        assert_eq!(tab.len(), 1);
+        assert_eq!(tab.get(&Value::Int(1)).unwrap()[1], Value::from("b"));
+    }
+
+    #[test]
+    fn scan_is_key_ordered() {
+        let mut tab = t();
+        for k in [3, 1, 2] {
+            tab.insert(vec![Value::Int(k), Value::from("x")]);
+        }
+        let keys: Vec<i64> = tab.scan().map(|r| r[0].as_int().unwrap()).collect();
+        assert_eq!(keys, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn remove() {
+        let mut tab = t();
+        tab.insert(vec![Value::Int(1), Value::from("a")]);
+        assert!(tab.remove(&Value::Int(1)).is_some());
+        assert!(tab.is_empty());
+        assert!(tab.remove(&Value::Int(1)).is_none());
+    }
+
+    #[test]
+    fn column_index() {
+        let tab = t();
+        assert_eq!(tab.column_index("v"), Some(1));
+        assert_eq!(tab.column_index("zz"), None);
+    }
+}

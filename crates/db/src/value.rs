@@ -1,0 +1,81 @@
+//! SQL values.
+
+use std::fmt;
+
+/// A dynamically-typed SQL value (the subset the case study needs).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Value {
+    /// 64-bit integer.
+    Int(i64),
+    /// Text string.
+    Text(String),
+}
+
+impl Value {
+    /// The integer, if this is one.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::Text(_) => None,
+        }
+    }
+
+    /// The text, if this is one.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            Value::Text(s) => Some(s),
+            Value::Int(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Text(s) => write!(f, "'{s}'"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Text(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Text(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Int(5).as_int(), Some(5));
+        assert_eq!(Value::Int(5).as_text(), None);
+        assert_eq!(Value::from("x").as_text(), Some("x"));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Value::Int(-3).to_string(), "-3");
+        assert_eq!(Value::from("ab").to_string(), "'ab'");
+    }
+
+    #[test]
+    fn ordering_within_type() {
+        assert!(Value::Int(1) < Value::Int(2));
+        assert!(Value::from("a") < Value::from("b"));
+    }
+}

@@ -1,0 +1,156 @@
+//! YCSB-style workload generator (Table VI).
+//!
+//! The paper runs SQLite under four mixes with a *uniform random* request
+//! distribution over a pre-loaded `usertable`:
+//!
+//! | mix | reads | updates | inserts |
+//! |-----|-------|---------|---------|
+//! | `Insert100` | 0% | 0% | 100% |
+//! | `Select50Update50` | 50% | 50% | 0% |
+//! | `Select95Update5` | 95% | 5% | 0% |
+//! | `Select100` | 100% | 0% | 0% |
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The four Table VI mixes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadMix {
+    /// 100% INSERT.
+    Insert100,
+    /// 50% SELECT & 50% UPDATE.
+    Select50Update50,
+    /// 95% SELECT & 5% UPDATE.
+    Select95Update5,
+    /// 100% SELECT.
+    Select100,
+}
+
+impl WorkloadMix {
+    /// All four, in the paper's row order.
+    pub const ALL: [WorkloadMix; 4] = [
+        WorkloadMix::Insert100,
+        WorkloadMix::Select50Update50,
+        WorkloadMix::Select95Update5,
+        WorkloadMix::Select100,
+    ];
+
+    /// The paper's row label.
+    pub fn name(self) -> &'static str {
+        match self {
+            WorkloadMix::Insert100 => "100% INSERT",
+            WorkloadMix::Select50Update50 => "50% SELECT & 50% UPDATE",
+            WorkloadMix::Select95Update5 => "95% SELECT & 5% UPDATE",
+            WorkloadMix::Select100 => "100% SELECT",
+        }
+    }
+
+    /// Probability of a SELECT (the remainder is UPDATE, except for
+    /// `Insert100`).
+    fn select_fraction(self) -> f64 {
+        match self {
+            WorkloadMix::Insert100 => 0.0,
+            WorkloadMix::Select50Update50 => 0.5,
+            WorkloadMix::Select95Update5 => 0.95,
+            WorkloadMix::Select100 => 1.0,
+        }
+    }
+}
+
+/// A generated workload: SQL statements to run in order.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// The schema-creation statement.
+    pub create: String,
+    /// Statements that pre-load the table.
+    pub load: Vec<String>,
+    /// The measured operations.
+    pub operations: Vec<String>,
+}
+
+impl Workload {
+    /// Generates a workload: `record_count` pre-loaded rows, then
+    /// `op_count` operations of `mix` with uniformly random keys.
+    pub fn generate(mix: WorkloadMix, record_count: usize, op_count: usize, seed: u64) -> Workload {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let create = "CREATE TABLE usertable (key TEXT, field0 TEXT)".to_string();
+        let load = (0..record_count)
+            .map(|i| format!("INSERT INTO usertable VALUES ('user{i}', '{}')", field(i)))
+            .collect();
+        let mut operations = Vec::with_capacity(op_count);
+        let mut next_insert = record_count;
+        for _ in 0..op_count {
+            let op = if mix == WorkloadMix::Insert100 {
+                let k = next_insert;
+                next_insert += 1;
+                format!("INSERT INTO usertable VALUES ('user{k}', '{}')", field(k))
+            } else if rng.gen_range(0.0..1.0) < mix.select_fraction() {
+                let k = rng.gen_range(0..record_count.max(1));
+                format!("SELECT field0 FROM usertable WHERE key = 'user{k}'")
+            } else {
+                let k = rng.gen_range(0..record_count.max(1));
+                format!("UPDATE usertable SET field0 = '{}' WHERE key = 'user{k}'", field(k + 7))
+            };
+            operations.push(op);
+        }
+        Workload {
+            create,
+            load,
+            operations,
+        }
+    }
+}
+
+fn field(i: usize) -> String {
+    // 100-byte-ish payload, like YCSB's default field size scaled down.
+    format!("value-{i:08}-{}", "x".repeat(32))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Database;
+
+    #[test]
+    fn mixes_have_expected_composition() {
+        let w = Workload::generate(WorkloadMix::Select95Update5, 100, 2000, 1);
+        let selects = w.operations.iter().filter(|o| o.starts_with("SELECT")).count();
+        let updates = w.operations.iter().filter(|o| o.starts_with("UPDATE")).count();
+        assert_eq!(selects + updates, 2000);
+        let frac = selects as f64 / 2000.0;
+        assert!((frac - 0.95).abs() < 0.03, "select fraction {frac}");
+    }
+
+    #[test]
+    fn insert_mix_is_all_inserts_with_fresh_keys() {
+        let w = Workload::generate(WorkloadMix::Insert100, 10, 50, 2);
+        assert!(w.operations.iter().all(|o| o.starts_with("INSERT")));
+        let mut db = Database::new();
+        db.execute(&w.create).unwrap();
+        for s in w.load.iter().chain(&w.operations) {
+            db.execute(s).unwrap();
+        }
+        assert_eq!(db.table_len("usertable"), Some(60), "no key collisions");
+    }
+
+    #[test]
+    fn whole_workload_executes() {
+        for mix in WorkloadMix::ALL {
+            let w = Workload::generate(mix, 50, 200, 3);
+            let mut db = Database::new();
+            db.execute(&w.create).unwrap();
+            for s in w.load.iter().chain(&w.operations) {
+                db.execute(s).unwrap_or_else(|e| panic!("{mix:?}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let a = Workload::generate(WorkloadMix::Select50Update50, 10, 20, 7);
+        let b = Workload::generate(WorkloadMix::Select50Update50, 10, 20, 7);
+        assert_eq!(a.operations, b.operations);
+        let c = Workload::generate(WorkloadMix::Select50Update50, 10, 20, 8);
+        assert_ne!(a.operations, c.operations);
+    }
+}

@@ -1,0 +1,217 @@
+//! Address newtypes for the simulated machine.
+//!
+//! Virtual and physical addresses are deliberately distinct types so the
+//! access-validation logic (the part of SGX this whole repository is about)
+//! can never confuse the two.
+
+use std::fmt;
+
+/// Size of a page in the simulated machine, matching x86.
+pub const PAGE_SIZE: usize = 4096;
+/// log2 of [`PAGE_SIZE`].
+pub const PAGE_SHIFT: u32 = 12;
+/// Size of a cache line, the granularity of the Memory Encryption Engine.
+pub const LINE_SIZE: usize = 64;
+
+/// A virtual address in some process address space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VirtAddr(pub u64);
+
+/// A physical address in simulated DRAM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PhysAddr(pub u64);
+
+/// A virtual page number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Vpn(pub u64);
+
+/// A physical page number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Ppn(pub u64);
+
+impl VirtAddr {
+    /// The virtual page containing this address.
+    pub fn vpn(self) -> Vpn {
+        Vpn(self.0 >> PAGE_SHIFT)
+    }
+
+    /// Byte offset within the page.
+    pub fn page_offset(self) -> usize {
+        (self.0 & (PAGE_SIZE as u64 - 1)) as usize
+    }
+
+    /// True if this address is page aligned.
+    pub fn is_page_aligned(self) -> bool {
+        self.page_offset() == 0
+    }
+
+    /// Address advanced by `n` bytes.
+    pub fn add(self, n: u64) -> VirtAddr {
+        VirtAddr(self.0 + n)
+    }
+}
+
+impl PhysAddr {
+    /// The physical page containing this address.
+    pub fn ppn(self) -> Ppn {
+        Ppn(self.0 >> PAGE_SHIFT)
+    }
+
+    /// Byte offset within the page.
+    pub fn page_offset(self) -> usize {
+        (self.0 & (PAGE_SIZE as u64 - 1)) as usize
+    }
+
+    /// The cache-line-aligned address containing this address.
+    pub fn line(self) -> u64 {
+        self.0 / LINE_SIZE as u64
+    }
+}
+
+impl Vpn {
+    /// First address of the page.
+    pub fn base(self) -> VirtAddr {
+        VirtAddr(self.0 << PAGE_SHIFT)
+    }
+}
+
+impl Ppn {
+    /// First address of the page.
+    pub fn base(self) -> PhysAddr {
+        PhysAddr(self.0 << PAGE_SHIFT)
+    }
+}
+
+impl fmt::Display for VirtAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v:{:#x}", self.0)
+    }
+}
+
+impl fmt::Display for PhysAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p:{:#x}", self.0)
+    }
+}
+
+impl From<u64> for VirtAddr {
+    fn from(v: u64) -> Self {
+        VirtAddr(v)
+    }
+}
+
+impl From<u64> for PhysAddr {
+    fn from(v: u64) -> Self {
+        PhysAddr(v)
+    }
+}
+
+/// A contiguous, page-aligned virtual address range.
+///
+/// This is the representation of `ELRANGE` (Enclave Linear Address Range):
+/// SGX requires an enclave's virtual range to be contiguous so that range
+/// membership can be checked by simple hardware (§ II-B of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VirtRange {
+    start: VirtAddr,
+    len: u64,
+}
+
+impl VirtRange {
+    /// Creates a range; `start` must be page aligned and `len` a non-zero
+    /// multiple of the page size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the alignment requirements are violated.
+    pub fn new(start: VirtAddr, len: u64) -> VirtRange {
+        assert!(start.is_page_aligned(), "ELRANGE start must be page aligned");
+        assert!(
+            len > 0 && len % PAGE_SIZE as u64 == 0,
+            "ELRANGE length must be a non-zero multiple of the page size"
+        );
+        VirtRange { start, len }
+    }
+
+    /// First address of the range.
+    pub fn start(self) -> VirtAddr {
+        self.start
+    }
+
+    /// One past the last address of the range.
+    pub fn end(self) -> VirtAddr {
+        VirtAddr(self.start.0 + self.len)
+    }
+
+    /// Length in bytes.
+    pub fn len(self) -> u64 {
+        self.len
+    }
+
+    /// Length in pages.
+    pub fn num_pages(self) -> u64 {
+        self.len / PAGE_SIZE as u64
+    }
+
+    /// True if `addr` falls inside the range.
+    pub fn contains(self, addr: VirtAddr) -> bool {
+        addr.0 >= self.start.0 && addr.0 < self.start.0 + self.len
+    }
+
+    /// True if the whole page `vpn` falls inside the range.
+    pub fn contains_page(self, vpn: Vpn) -> bool {
+        self.contains(vpn.base())
+    }
+
+    /// True if the ranges share any page.
+    pub fn overlaps(self, other: VirtRange) -> bool {
+        self.start.0 < other.end().0 && other.start.0 < self.end().0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vpn_and_offset() {
+        let a = VirtAddr(0x12345);
+        assert_eq!(a.vpn(), Vpn(0x12));
+        assert_eq!(a.page_offset(), 0x345);
+        assert!(!a.is_page_aligned());
+        assert!(VirtAddr(0x12000).is_page_aligned());
+    }
+
+    #[test]
+    fn range_contains() {
+        let r = VirtRange::new(VirtAddr(0x10000), 0x2000);
+        assert!(r.contains(VirtAddr(0x10000)));
+        assert!(r.contains(VirtAddr(0x11fff)));
+        assert!(!r.contains(VirtAddr(0x12000)));
+        assert!(!r.contains(VirtAddr(0xffff)));
+        assert_eq!(r.num_pages(), 2);
+    }
+
+    #[test]
+    fn range_overlap() {
+        let a = VirtRange::new(VirtAddr(0x10000), 0x2000);
+        let b = VirtRange::new(VirtAddr(0x11000), 0x2000);
+        let c = VirtRange::new(VirtAddr(0x12000), 0x1000);
+        assert!(a.overlaps(b));
+        assert!(b.overlaps(a));
+        assert!(!a.overlaps(c));
+    }
+
+    #[test]
+    #[should_panic(expected = "page aligned")]
+    fn misaligned_range_panics() {
+        VirtRange::new(VirtAddr(0x10001), 0x1000);
+    }
+
+    #[test]
+    fn line_address() {
+        assert_eq!(PhysAddr(0).line(), 0);
+        assert_eq!(PhysAddr(63).line(), 0);
+        assert_eq!(PhysAddr(64).line(), 1);
+    }
+}

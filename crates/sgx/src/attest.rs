@@ -1,0 +1,240 @@
+//! Local attestation (EREPORT / report verification) and key derivation
+//! (EGETKEY).
+//!
+//! Substitution note: real SGX derives report keys inside the CPU from
+//! fused secrets and verifies MACs with AES-CMAC; we use HMAC-SHA-256 keyed
+//! from the simulated platform secret. The trust argument is identical:
+//! only the physical package (here, the `Machine`) can derive the target
+//! enclave's report key, so a verifying enclave knows the report was
+//! produced on the same machine.
+
+use crate::enclave::EnclaveId;
+use crate::error::{Result, SgxError};
+use crate::machine::Machine;
+use ne_crypto::hmac::hmac_sha256;
+use ne_crypto::Digest32;
+
+/// User data bound into a report (64 bytes, as in SGX).
+pub type ReportData = [u8; 64];
+
+/// A local attestation report (EREPORT output).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Report {
+    /// Measurement of the reporting enclave.
+    pub mrenclave: Digest32,
+    /// Signer identity of the reporting enclave.
+    pub mrsigner: Digest32,
+    /// Caller-chosen payload (e.g. a channel key commitment).
+    pub report_data: ReportData,
+    /// MAC over the body, keyed for the target enclave.
+    pub mac: [u8; 32],
+}
+
+impl Report {
+    fn body(mrenclave: &Digest32, mrsigner: &Digest32, report_data: &ReportData) -> Vec<u8> {
+        let mut body = Vec::with_capacity(32 + 32 + 64);
+        body.extend_from_slice(mrenclave);
+        body.extend_from_slice(mrsigner);
+        body.extend_from_slice(report_data);
+        body
+    }
+}
+
+/// EGETKEY key-derivation policies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KeyPolicy {
+    /// Sealing key bound to the exact enclave measurement (MRENCLAVE).
+    SealToEnclave,
+    /// Sealing key bound to the author identity (MRSIGNER), shared by all
+    /// of the author's enclaves.
+    SealToSigner,
+}
+
+impl Machine {
+    /// Derives the report key for `target` — a hardware-internal operation
+    /// exposed so ISA-extension crates (NEREPORT in `ne-core`) can MAC their
+    /// extended reports with the same key hierarchy.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `target` is not a live, initialized enclave.
+    pub fn derive_report_key(&self, target: EnclaveId) -> Result<[u8; 16]> {
+        let secs = self
+            .enclaves()
+            .get(target)
+            .ok_or(SgxError::NoSuchEnclave(target))?;
+        if !secs.is_initialized() {
+            return Err(SgxError::BadEnclaveState(
+                "report key for uninitialized enclave".into(),
+            ));
+        }
+        Ok(ne_crypto::kdf::derive_key(
+            &self.platform_secret,
+            b"report-key",
+            &secs.mrenclave,
+        ))
+    }
+
+    /// `EREPORT`: produces a report about the enclave executing on `core`,
+    /// MACed so that only `target` (on this machine) can verify it.
+    ///
+    /// # Errors
+    ///
+    /// General-protection fault outside enclave mode; fails if `target`
+    /// does not exist.
+    pub fn ereport(
+        &mut self,
+        core: usize,
+        target: EnclaveId,
+        report_data: ReportData,
+    ) -> Result<Report> {
+        let eid = self.current_enclave(core).ok_or_else(|| {
+            SgxError::GeneralProtection("EREPORT outside enclave mode".into())
+        })?;
+        let (mrenclave, mrsigner) = {
+            let secs = self.enclaves().get(eid).expect("running enclave is live");
+            (secs.mrenclave, secs.mrsigner)
+        };
+        let key = self.derive_report_key(target)?;
+        let body = Report::body(&mrenclave, &mrsigner, &report_data);
+        let mac = hmac_sha256(&key, &body);
+        Ok(Report {
+            mrenclave,
+            mrsigner,
+            report_data,
+            mac,
+        })
+    }
+
+    /// Verifies a report from the point of view of the enclave executing on
+    /// `core` (the report must have targeted this enclave).
+    ///
+    /// # Errors
+    ///
+    /// General-protection fault outside enclave mode.
+    pub fn verify_report(&mut self, core: usize, report: &Report) -> Result<bool> {
+        let eid = self.current_enclave(core).ok_or_else(|| {
+            SgxError::GeneralProtection("report verification outside enclave mode".into())
+        })?;
+        let key = self.derive_report_key(eid)?;
+        let body = Report::body(&report.mrenclave, &report.mrsigner, &report.report_data);
+        let expected = hmac_sha256(&key, &body);
+        Ok(ne_crypto::ct::ct_eq(&expected, &report.mac))
+    }
+
+    /// `EGETKEY`: derives a sealing key for the enclave executing on `core`.
+    ///
+    /// # Errors
+    ///
+    /// General-protection fault outside enclave mode.
+    pub fn egetkey(&mut self, core: usize, policy: KeyPolicy) -> Result<[u8; 16]> {
+        let eid = self.current_enclave(core).ok_or_else(|| {
+            SgxError::GeneralProtection("EGETKEY outside enclave mode".into())
+        })?;
+        let secs = self.enclaves().get(eid).expect("running enclave is live");
+        let (label, ident): (&[u8], &[u8]) = match policy {
+            KeyPolicy::SealToEnclave => (b"seal-mrenclave", &secs.mrenclave),
+            KeyPolicy::SealToSigner => (b"seal-mrsigner", &secs.mrsigner),
+        };
+        Ok(ne_crypto::kdf::derive_key(&self.platform_secret, label, ident))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::{VirtAddr, VirtRange, PAGE_SIZE};
+    use crate::config::HwConfig;
+    use crate::enclave::{ProcessId, SigStruct};
+    use crate::epcm::{PagePerms, PageType};
+    use crate::instr::PageSource;
+
+    fn build(m: &mut Machine, base: u64, signer: &[u8]) -> EnclaveId {
+        let base = VirtAddr(base);
+        let eid = m
+            .ecreate(ProcessId(0), VirtRange::new(base, 2 * PAGE_SIZE as u64))
+            .unwrap();
+        m.add_tcs(eid, base, base.add(PAGE_SIZE as u64)).unwrap();
+        m.eadd(
+            eid,
+            base.add(PAGE_SIZE as u64),
+            PageType::Reg,
+            PageSource::Zeros,
+            PagePerms::RW,
+        )
+        .unwrap();
+        m.eextend(eid, base.add(PAGE_SIZE as u64)).unwrap();
+        let measured = m.enclaves().get(eid).unwrap().measurement.finalize();
+        m.einit(eid, &SigStruct::new(signer, measured)).unwrap();
+        eid
+    }
+
+    #[test]
+    fn report_roundtrip() {
+        let mut m = Machine::new(HwConfig::small());
+        let a = build(&mut m, 0x10_0000, b"alice");
+        let b = build(&mut m, 0x20_0000, b"bob");
+        // A reports to B.
+        m.eenter(0, a, VirtAddr(0x10_0000)).unwrap();
+        let report = m.ereport(0, b, [7u8; 64]).unwrap();
+        m.eexit(0).unwrap();
+        // B verifies.
+        m.eenter(0, b, VirtAddr(0x20_0000)).unwrap();
+        assert!(m.verify_report(0, &report).unwrap());
+        m.eexit(0).unwrap();
+    }
+
+    #[test]
+    fn tampered_report_rejected() {
+        let mut m = Machine::new(HwConfig::small());
+        let a = build(&mut m, 0x10_0000, b"alice");
+        let b = build(&mut m, 0x20_0000, b"bob");
+        m.eenter(0, a, VirtAddr(0x10_0000)).unwrap();
+        let mut report = m.ereport(0, b, [7u8; 64]).unwrap();
+        m.eexit(0).unwrap();
+        report.mrenclave[0] ^= 1; // claim a different identity
+        m.eenter(0, b, VirtAddr(0x20_0000)).unwrap();
+        assert!(!m.verify_report(0, &report).unwrap());
+    }
+
+    #[test]
+    fn report_for_wrong_target_fails_verification() {
+        let mut m = Machine::new(HwConfig::small());
+        let a = build(&mut m, 0x10_0000, b"alice");
+        let b = build(&mut m, 0x20_0000, b"bob");
+        let c = build(&mut m, 0x30_0000, b"carol");
+        // A reports *to C*, but B tries to verify it.
+        m.eenter(0, a, VirtAddr(0x10_0000)).unwrap();
+        let report = m.ereport(0, c, [0u8; 64]).unwrap();
+        m.eexit(0).unwrap();
+        m.eenter(0, b, VirtAddr(0x20_0000)).unwrap();
+        assert!(!m.verify_report(0, &report).unwrap());
+    }
+
+    #[test]
+    fn ereport_requires_enclave_mode() {
+        let mut m = Machine::new(HwConfig::small());
+        let a = build(&mut m, 0x10_0000, b"alice");
+        assert!(m.ereport(0, a, [0u8; 64]).is_err());
+    }
+
+    #[test]
+    fn seal_keys_differ_by_policy_and_identity() {
+        let mut m = Machine::new(HwConfig::small());
+        let a = build(&mut m, 0x10_0000, b"alice");
+        let b = build(&mut m, 0x20_0000, b"alice"); // same signer, diff code? same pages → same measurement? ranges differ
+        m.eenter(0, a, VirtAddr(0x10_0000)).unwrap();
+        let a_encl = m.egetkey(0, KeyPolicy::SealToEnclave).unwrap();
+        let a_sign = m.egetkey(0, KeyPolicy::SealToSigner).unwrap();
+        m.eexit(0).unwrap();
+        m.eenter(0, b, VirtAddr(0x20_0000)).unwrap();
+        let b_encl = m.egetkey(0, KeyPolicy::SealToEnclave).unwrap();
+        let b_sign = m.egetkey(0, KeyPolicy::SealToSigner).unwrap();
+        m.eexit(0).unwrap();
+        assert_ne!(a_encl, a_sign);
+        // ELRANGEs differ → measurements differ → enclave-bound keys differ.
+        assert_ne!(a_encl, b_encl);
+        // Same author → signer-bound keys shared.
+        assert_eq!(a_sign, b_sign);
+    }
+}

@@ -1,0 +1,335 @@
+//! Enclave control structures: SECS, TCS, measurement, SIGSTRUCT.
+
+use crate::addr::{VirtAddr, VirtRange};
+use ne_crypto::sha256::Sha256;
+use ne_crypto::Digest32;
+use std::fmt;
+
+/// Identity of an enclave instance. In real SGX this is the physical
+/// address of the SECS page, which is unique per enclave; an opaque id
+/// preserves that uniqueness property.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EnclaveId(pub u64);
+
+impl fmt::Display for EnclaveId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "eid{}", self.0)
+    }
+}
+
+/// Identity of a process (address space) on the simulated machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ProcessId(pub usize);
+
+/// Enclave life-cycle state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EnclaveState {
+    /// Created; pages may still be added and measured.
+    Building,
+    /// EINIT succeeded; the enclave may be entered.
+    Initialized,
+}
+
+/// SGX Enclave Control Structure.
+///
+/// The two trailing fields (`outer_eids`, `inner_eids`) are the paper's
+/// Fig. 3 extension, carried in what real SGX keeps as reserved SECS
+/// space. The baseline validator never reads them; only the nested-enclave
+/// validator and instructions (crate `ne-core`) do.
+#[derive(Debug, Clone)]
+pub struct Secs {
+    /// This enclave's id.
+    pub eid: EnclaveId,
+    /// Owning process.
+    pub pid: ProcessId,
+    /// ELRANGE: the contiguous virtual range of the enclave.
+    pub elrange: VirtRange,
+    /// Life-cycle state.
+    pub state: EnclaveState,
+    /// Running measurement (becomes MRENCLAVE at EINIT).
+    pub measurement: Measurement,
+    /// Final measurement, fixed at EINIT.
+    pub mrenclave: Digest32,
+    /// Hash of the author's signing identity, fixed at EINIT.
+    pub mrsigner: Digest32,
+    /// Count of threads currently executing inside this enclave.
+    pub active_threads: usize,
+    /// Nested-enclave extension (reserved field in real SGX): the outer
+    /// enclaves this enclave is an inner of. The paper's base design allows
+    /// at most one; the § VIII lattice extension allows several.
+    pub outer_eids: Vec<EnclaveId>,
+    /// Nested-enclave extension (reserved field in real SGX): inner
+    /// enclaves associated with this enclave.
+    pub inner_eids: Vec<EnclaveId>,
+}
+
+impl Secs {
+    /// Creates a SECS in the `Building` state.
+    pub fn new(eid: EnclaveId, pid: ProcessId, elrange: VirtRange) -> Secs {
+        let mut measurement = Measurement::new();
+        measurement.ecreate(elrange);
+        Secs {
+            eid,
+            pid,
+            elrange,
+            state: EnclaveState::Building,
+            measurement,
+            mrenclave: [0; 32],
+            mrsigner: [0; 32],
+            active_threads: 0,
+            outer_eids: Vec::new(),
+            inner_eids: Vec::new(),
+        }
+    }
+
+    /// True once EINIT has completed.
+    pub fn is_initialized(&self) -> bool {
+        self.state == EnclaveState::Initialized
+    }
+}
+
+/// Thread Control Structure: the per-thread entry ticket into an enclave.
+#[derive(Debug, Clone)]
+pub struct Tcs {
+    /// Owning enclave.
+    pub eid: EnclaveId,
+    /// Virtual address of the TCS page.
+    pub va: VirtAddr,
+    /// Entry point inside ELRANGE jumped to on entry.
+    pub entry: VirtAddr,
+    /// A TCS can host one thread at a time.
+    pub busy: bool,
+    /// Saved register state after an asynchronous exit (simplified SSA).
+    pub ssa: Option<SavedContext>,
+    /// Nested-enclave extension: when this TCS was entered via NEENTER,
+    /// the outer enclave context to return to on NEEXIT (the "reserved
+    /// stack frame of the entering inner enclave" of § V).
+    pub caller: Option<(EnclaveId, VirtAddr)>,
+}
+
+/// The architectural register state we model. Real SGX saves the full
+/// register file in the SSA; eight generic registers are enough to test the
+/// save/scrub/restore semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SavedContext {
+    /// General-purpose registers.
+    pub regs: [u64; 8],
+    /// Stack pointer.
+    pub rsp: u64,
+    /// Instruction pointer.
+    pub rip: u64,
+}
+
+/// Running SHA-256 measurement, accumulated exactly as SGX does: ECREATE
+/// contributes the layout, each EADD the page's metadata, each EEXTEND the
+/// page's contents (§ IV-C).
+#[derive(Clone)]
+pub struct Measurement {
+    hasher: Sha256,
+}
+
+impl fmt::Debug for Measurement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Measurement").finish_non_exhaustive()
+    }
+}
+
+impl Measurement {
+    /// Fresh measurement.
+    pub fn new() -> Measurement {
+        Measurement {
+            hasher: Sha256::new(),
+        }
+    }
+
+    /// Absorbs the ECREATE record (ELRANGE geometry).
+    pub fn ecreate(&mut self, elrange: VirtRange) {
+        self.hasher.update(b"ECREATE");
+        self.hasher.update(&elrange.start().0.to_le_bytes());
+        self.hasher.update(&elrange.len().to_le_bytes());
+    }
+
+    /// Absorbs an EADD record (page offset within ELRANGE + metadata).
+    pub fn eadd(&mut self, page_offset: u64, type_tag: u8, perm_bits: u8) {
+        self.hasher.update(b"EADD");
+        self.hasher.update(&page_offset.to_le_bytes());
+        self.hasher.update(&[type_tag, perm_bits]);
+    }
+
+    /// Absorbs an EEXTEND record (digest of the page's initial contents).
+    pub fn eextend(&mut self, page_offset: u64, content_digest: &Digest32) {
+        self.hasher.update(b"EEXTEND");
+        self.hasher.update(&page_offset.to_le_bytes());
+        self.hasher.update(content_digest);
+    }
+
+    /// Finalizes into MRENCLAVE.
+    pub fn finalize(&self) -> Digest32 {
+        self.hasher.clone().finalize()
+    }
+}
+
+impl Default for Measurement {
+    fn default() -> Self {
+        Measurement::new()
+    }
+}
+
+/// The enclave author's signature structure shipped with the enclave file.
+///
+/// Substitution note: real SGX uses RSA-3072 over the measurement; we bind
+/// the author identity by name and let EINIT compare the *expected
+/// measurement* — the check that actually gates initialization.
+#[derive(Debug, Clone)]
+pub struct SigStruct {
+    /// Author identity (hashes to MRSIGNER).
+    pub signer: Vec<u8>,
+    /// The measurement the author signed.
+    pub expected_mrenclave: Digest32,
+}
+
+impl SigStruct {
+    /// Creates a signature structure for an author and expected digest.
+    pub fn new(signer: &[u8], expected_mrenclave: Digest32) -> SigStruct {
+        SigStruct {
+            signer: signer.to_vec(),
+            expected_mrenclave,
+        }
+    }
+
+    /// MRSIGNER value this structure yields.
+    pub fn mrsigner(&self) -> Digest32 {
+        ne_crypto::sha256::digest(&self.signer)
+    }
+}
+
+/// The machine's table of live enclaves.
+#[derive(Debug, Default)]
+pub struct EnclaveTable {
+    slots: Vec<Option<Secs>>,
+}
+
+impl EnclaveTable {
+    /// Empty table.
+    pub fn new() -> EnclaveTable {
+        EnclaveTable::default()
+    }
+
+    /// Allocates a new id and stores the SECS produced by `make`.
+    pub fn create(&mut self, pid: ProcessId, elrange: VirtRange) -> EnclaveId {
+        let eid = EnclaveId(self.slots.len() as u64 + 1);
+        self.slots.push(Some(Secs::new(eid, pid, elrange)));
+        eid
+    }
+
+    /// Looks up an enclave.
+    pub fn get(&self, eid: EnclaveId) -> Option<&Secs> {
+        self.slots
+            .get(eid.0.checked_sub(1)? as usize)
+            .and_then(|s| s.as_ref())
+    }
+
+    /// Mutable lookup.
+    pub fn get_mut(&mut self, eid: EnclaveId) -> Option<&mut Secs> {
+        self.slots
+            .get_mut(eid.0.checked_sub(1)? as usize)
+            .and_then(|s| s.as_mut())
+    }
+
+    /// Destroys an enclave (EREMOVE of the SECS).
+    pub fn remove(&mut self, eid: EnclaveId) -> Option<Secs> {
+        self.slots
+            .get_mut(eid.0.checked_sub(1)? as usize)
+            .and_then(|s| s.take())
+    }
+
+    /// Number of live enclaves.
+    pub fn len(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// True if no enclaves exist.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterates over live enclaves.
+    pub fn iter(&self) -> impl Iterator<Item = &Secs> {
+        self.slots.iter().filter_map(|s| s.as_ref())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::VirtAddr;
+
+    fn range() -> VirtRange {
+        VirtRange::new(VirtAddr(0x10000), 0x4000)
+    }
+
+    #[test]
+    fn table_create_get_remove() {
+        let mut t = EnclaveTable::new();
+        let a = t.create(ProcessId(0), range());
+        let b = t.create(ProcessId(0), range());
+        assert_ne!(a, b);
+        assert_eq!(t.get(a).unwrap().eid, a);
+        assert_eq!(t.len(), 2);
+        t.remove(a);
+        assert!(t.get(a).is_none());
+        assert_eq!(t.len(), 1);
+        assert!(t.get(EnclaveId(99)).is_none());
+        assert!(t.get(EnclaveId(0)).is_none());
+    }
+
+    #[test]
+    fn measurement_order_sensitive() {
+        let mut m1 = Measurement::new();
+        m1.eadd(0, 0, 3);
+        m1.eadd(4096, 0, 3);
+        let mut m2 = Measurement::new();
+        m2.eadd(4096, 0, 3);
+        m2.eadd(0, 0, 3);
+        assert_ne!(m1.finalize(), m2.finalize());
+    }
+
+    #[test]
+    fn measurement_content_sensitive() {
+        let mut m1 = Measurement::new();
+        let mut m2 = Measurement::new();
+        m1.eextend(0, &[1u8; 32]);
+        m2.eextend(0, &[2u8; 32]);
+        assert_ne!(m1.finalize(), m2.finalize());
+    }
+
+    #[test]
+    fn identical_builds_measure_identically() {
+        let mut m1 = Measurement::new();
+        m1.ecreate(range());
+        m1.eadd(0, 1, 2);
+        m1.eextend(0, &[9u8; 32]);
+        let mut m2 = Measurement::new();
+        m2.ecreate(range());
+        m2.eadd(0, 1, 2);
+        m2.eextend(0, &[9u8; 32]);
+        assert_eq!(m1.finalize(), m2.finalize());
+    }
+
+    #[test]
+    fn sigstruct_signer_identity() {
+        let s1 = SigStruct::new(b"acme", [0; 32]);
+        let s2 = SigStruct::new(b"acme", [1; 32]);
+        let s3 = SigStruct::new(b"evil", [0; 32]);
+        assert_eq!(s1.mrsigner(), s2.mrsigner());
+        assert_ne!(s1.mrsigner(), s3.mrsigner());
+    }
+
+    #[test]
+    fn new_secs_is_building() {
+        let t = Secs::new(EnclaveId(1), ProcessId(0), range());
+        assert!(!t.is_initialized());
+        assert!(t.outer_eids.is_empty());
+        assert!(t.inner_eids.is_empty());
+    }
+}

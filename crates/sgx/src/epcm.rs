@@ -1,0 +1,203 @@
+//! Enclave Page Cache Map (EPCM).
+//!
+//! For every EPC page, the EPCM records the owner enclave and the virtual
+//! address the page is bound to. This reverse map is the anchor of SGX's
+//! access control: on every TLB miss the candidate translation is checked
+//! against it (§ II-B conditions 1 and 2).
+
+use crate::addr::{Ppn, Vpn};
+use crate::enclave::EnclaveId;
+use std::collections::HashMap;
+
+/// EPC page types, as in SGX.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PageType {
+    /// SGX Enclave Control Structure page.
+    Secs,
+    /// Thread Control Structure page.
+    Tcs,
+    /// Regular code/data page.
+    Reg,
+}
+
+/// Access permissions recorded for an EPC page (intersected with the OS
+/// page-table permissions at TLB fill).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PagePerms {
+    /// Readable.
+    pub r: bool,
+    /// Writable.
+    pub w: bool,
+    /// Executable.
+    pub x: bool,
+}
+
+impl PagePerms {
+    /// Read/write data page.
+    pub const RW: PagePerms = PagePerms {
+        r: true,
+        w: true,
+        x: false,
+    };
+    /// Read-only data page.
+    pub const R: PagePerms = PagePerms {
+        r: true,
+        w: false,
+        x: false,
+    };
+    /// Read/execute code page.
+    pub const RX: PagePerms = PagePerms {
+        r: true,
+        w: false,
+        x: true,
+    };
+    /// Read/write/execute (used by the OS for untrusted memory).
+    pub const RWX: PagePerms = PagePerms {
+        r: true,
+        w: true,
+        x: true,
+    };
+
+    /// Permission intersection.
+    pub fn intersect(self, other: PagePerms) -> PagePerms {
+        PagePerms {
+            r: self.r && other.r,
+            w: self.w && other.w,
+            x: self.x && other.x,
+        }
+    }
+}
+
+/// One EPCM entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EpcmEntry {
+    /// Owner enclave.
+    pub eid: EnclaveId,
+    /// Virtual page the EPC page is bound to (fixed at EADD).
+    pub vpn: Vpn,
+    /// Page type.
+    pub page_type: PageType,
+    /// Permissions granted by the enclave author at EADD.
+    pub perms: PagePerms,
+    /// Set while the page is being evicted; blocks new TLB fills.
+    pub blocked: bool,
+    /// SGX2: page was EAUGed after EINIT and awaits the enclave's
+    /// EACCEPT; inaccessible until then.
+    pub pending: bool,
+}
+
+/// The Enclave Page Cache Map: physical page → ownership record.
+#[derive(Debug, Default)]
+pub struct Epcm {
+    entries: HashMap<u64, EpcmEntry>,
+}
+
+impl Epcm {
+    /// Creates an empty EPCM.
+    pub fn new() -> Epcm {
+        Epcm::default()
+    }
+
+    /// Looks up the entry for `ppn`, if the page is a valid EPC page.
+    pub fn get(&self, ppn: Ppn) -> Option<&EpcmEntry> {
+        self.entries.get(&ppn.0)
+    }
+
+    /// Mutable lookup.
+    pub fn get_mut(&mut self, ppn: Ppn) -> Option<&mut EpcmEntry> {
+        self.entries.get_mut(&ppn.0)
+    }
+
+    /// Installs an entry for `ppn`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page already has a valid entry — the machine must free
+    /// it first (EREMOVE/EWB).
+    pub fn insert(&mut self, ppn: Ppn, entry: EpcmEntry) {
+        let prev = self.entries.insert(ppn.0, entry);
+        assert!(prev.is_none(), "EPCM entry for {ppn:?} already valid");
+    }
+
+    /// Invalidates the entry for `ppn`, returning it.
+    pub fn remove(&mut self, ppn: Ppn) -> Option<EpcmEntry> {
+        self.entries.remove(&ppn.0)
+    }
+
+    /// Number of valid EPC pages.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no EPC page is in use.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over `(ppn, entry)` pairs (test/diagnostic use).
+    pub fn iter(&self) -> impl Iterator<Item = (Ppn, &EpcmEntry)> {
+        self.entries.iter().map(|(&p, e)| (Ppn(p), e))
+    }
+
+    /// All EPC pages owned by `eid`.
+    pub fn pages_of(&self, eid: EnclaveId) -> Vec<Ppn> {
+        let mut v: Vec<Ppn> = self
+            .entries
+            .iter()
+            .filter(|(_, e)| e.eid == eid)
+            .map(|(&p, _)| Ppn(p))
+            .collect();
+        v.sort();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(eid: u64, vpn: u64) -> EpcmEntry {
+        EpcmEntry {
+            eid: EnclaveId(eid),
+            vpn: Vpn(vpn),
+            page_type: PageType::Reg,
+            perms: PagePerms::RW,
+            blocked: false,
+            pending: false,
+        }
+    }
+
+    #[test]
+    fn insert_get_remove() {
+        let mut m = Epcm::new();
+        assert!(m.is_empty());
+        m.insert(Ppn(5), entry(1, 100));
+        assert_eq!(m.get(Ppn(5)).unwrap().vpn, Vpn(100));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.remove(Ppn(5)).unwrap().eid, EnclaveId(1));
+        assert!(m.get(Ppn(5)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "already valid")]
+    fn double_insert_panics() {
+        let mut m = Epcm::new();
+        m.insert(Ppn(5), entry(1, 100));
+        m.insert(Ppn(5), entry(2, 101));
+    }
+
+    #[test]
+    fn pages_of_filters_by_owner() {
+        let mut m = Epcm::new();
+        m.insert(Ppn(1), entry(1, 10));
+        m.insert(Ppn(2), entry(2, 20));
+        m.insert(Ppn(3), entry(1, 30));
+        assert_eq!(m.pages_of(EnclaveId(1)), vec![Ppn(1), Ppn(3)]);
+    }
+
+    #[test]
+    fn perms_intersect() {
+        assert_eq!(PagePerms::RW.intersect(PagePerms::R), PagePerms::R);
+        assert_eq!(PagePerms::RWX.intersect(PagePerms::RX), PagePerms::RX);
+    }
+}

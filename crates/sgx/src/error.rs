@@ -1,0 +1,102 @@
+//! Error types for the simulator.
+
+use crate::addr::VirtAddr;
+use crate::enclave::EnclaveId;
+use std::fmt;
+
+/// The reason an access or instruction faulted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Page-table walk found no mapping for the virtual page.
+    NotMapped,
+    /// EPCM says the physical page belongs to a different enclave.
+    EpcmEnclaveMismatch,
+    /// EPCM virtual-address field does not match the accessed address
+    /// (an OS remapping attack).
+    EpcmAddressMismatch,
+    /// Access inside ELRANGE resolved to a non-EPC physical page
+    /// (the backing page was evicted).
+    EnclavePageSwappedOut,
+    /// Write attempted through a read-only mapping.
+    WriteToReadOnly,
+    /// Instruction fetch attempted from a non-executable mapping.
+    ExecFromNonExec,
+    /// The MEE integrity tree rejected the cache line (physical tamper).
+    IntegrityViolation,
+    /// SGX2: access to an EAUGed page before the enclave ran EACCEPT.
+    NotAccepted,
+    /// Access to the protected region from an unauthorized context was
+    /// silently aborted (SGX "abort page" semantics).
+    AbortPage,
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FaultKind::NotMapped => "page not mapped",
+            FaultKind::EpcmEnclaveMismatch => "EPCM enclave id mismatch",
+            FaultKind::EpcmAddressMismatch => "EPCM virtual address mismatch",
+            FaultKind::EnclavePageSwappedOut => "enclave page swapped out",
+            FaultKind::WriteToReadOnly => "write to read-only page",
+            FaultKind::ExecFromNonExec => "execute from non-executable page",
+            FaultKind::IntegrityViolation => "MEE integrity violation",
+            FaultKind::NotAccepted => "dynamic page not yet EACCEPTed",
+            FaultKind::AbortPage => "access aborted (abort page semantics)",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Errors returned by the simulated architecture.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SgxError {
+    /// A memory access faulted.
+    Fault {
+        /// Fault classification.
+        kind: FaultKind,
+        /// Faulting virtual address.
+        addr: VirtAddr,
+    },
+    /// General protection fault raised by an enclave instruction
+    /// (invalid TCS, wrong mode, busy TCS, ...). The string says why.
+    GeneralProtection(String),
+    /// The EPC is out of free pages.
+    EpcFull,
+    /// An id did not name a live enclave.
+    NoSuchEnclave(EnclaveId),
+    /// Operation requires the enclave to be (un)initialized and it is not.
+    BadEnclaveState(String),
+    /// EINIT measurement/signature validation failed.
+    InitVerification(String),
+    /// EWB/ELDU sealing or replay check failed.
+    Paging(String),
+    /// The virtual range conflicts with an existing enclave or mapping.
+    RangeConflict(String),
+}
+
+impl fmt::Display for SgxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SgxError::Fault { kind, addr } => write!(f, "fault at {addr}: {kind}"),
+            SgxError::GeneralProtection(s) => write!(f, "general protection fault: {s}"),
+            SgxError::EpcFull => write!(f, "enclave page cache exhausted"),
+            SgxError::NoSuchEnclave(id) => write!(f, "no such enclave: {id:?}"),
+            SgxError::BadEnclaveState(s) => write!(f, "bad enclave state: {s}"),
+            SgxError::InitVerification(s) => write!(f, "EINIT verification failed: {s}"),
+            SgxError::Paging(s) => write!(f, "EPC paging error: {s}"),
+            SgxError::RangeConflict(s) => write!(f, "address range conflict: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for SgxError {}
+
+/// Result alias used throughout the simulator.
+pub type Result<T> = std::result::Result<T, SgxError>;
+
+impl SgxError {
+    /// True if this error is a memory fault of the given kind.
+    pub fn is_fault(&self, kind: FaultKind) -> bool {
+        matches!(self, SgxError::Fault { kind: k, .. } if *k == kind)
+    }
+}

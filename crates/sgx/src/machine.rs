@@ -1,0 +1,898 @@
+//! The simulated machine: cores, memory, and the translation path.
+//!
+//! Every architectural memory access funnels through [`Machine::translate`]:
+//! TLB lookup → (on miss) page walk → [`crate::validate::TlbValidator`] →
+//! TLB fill. This is the exact path SGX hardware uses for access control,
+//! so the security properties of both baseline SGX and the nested-enclave
+//! extension are enforced where the paper says they are.
+
+use crate::addr::{PhysAddr, Ppn, VirtAddr, Vpn, LINE_SIZE, PAGE_SIZE};
+use crate::cache::{CacheAccess, Llc};
+use crate::config::HwConfig;
+use crate::enclave::{EnclaveId, EnclaveTable, ProcessId, SavedContext, Tcs};
+use crate::epcm::{Epcm, PagePerms};
+use crate::error::{FaultKind, Result, SgxError};
+use crate::mee::Mee;
+use crate::mem::Dram;
+use crate::page_table::PageTable;
+use crate::tlb::Tlb;
+use crate::trace::{Event, Stats, Trace};
+use crate::validate::{CoreView, Outcome, SgxValidator, TlbValidator, ValidationCtx};
+use ne_crypto::Digest32;
+use std::collections::HashMap;
+
+/// Execution mode of a core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoreMode {
+    /// Ordinary (untrusted) execution.
+    NonEnclave,
+    /// Executing inside an enclave through a TCS.
+    Enclave {
+        /// The enclave being executed.
+        eid: EnclaveId,
+        /// The TCS the thread entered through.
+        tcs: VirtAddr,
+    },
+}
+
+/// Per-core state.
+#[derive(Debug)]
+pub struct Core {
+    /// Current mode.
+    pub mode: CoreMode,
+    /// Address space the core is executing in.
+    pub pid: ProcessId,
+    /// This core's TLB.
+    pub tlb: Tlb,
+    /// Simulated cycle counter.
+    pub cycles: u64,
+    /// Architectural registers (modelled subset). Transition instructions
+    /// scrub these so enclave state cannot leak (§ V "zeroing registers").
+    pub regs: SavedContext,
+}
+
+/// Kind of memory access, for permission checks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// Data read.
+    Read,
+    /// Data write.
+    Write,
+    /// Instruction fetch.
+    Fetch,
+}
+
+/// Result of a translation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Translated {
+    /// Valid mapping.
+    Phys(PhysAddr, PagePerms),
+    /// Abort-page semantics (reads all-ones, writes dropped).
+    Abort,
+}
+
+/// One simulated process.
+#[derive(Debug)]
+pub struct Process {
+    /// OS-managed (untrusted) page table.
+    pub page_table: PageTable,
+    next_untrusted_va: u64,
+}
+
+/// The simulated machine.
+pub struct Machine {
+    cfg: HwConfig,
+    dram: Dram,
+    epcm: Epcm,
+    llc: Llc,
+    mee: Mee,
+    processes: Vec<Process>,
+    enclaves: EnclaveTable,
+    pub(crate) tcs_table: HashMap<(u64, u64), Tcs>,
+    cores: Vec<Core>,
+    validator: Box<dyn TlbValidator>,
+    stats: Stats,
+    trace: Trace,
+    pub(crate) free_epc: Vec<Ppn>,
+    next_ram_ppn: u64,
+    pub(crate) platform_secret: [u8; 32],
+    /// EADD-time page content digests awaiting EEXTEND, keyed by (eid, vpn).
+    pub(crate) pending_digests: HashMap<(u64, u64), Digest32>,
+    /// Anti-replay version store for EWB/ELDU, keyed by (eid, vpn).
+    pub(crate) evicted_versions: HashMap<(u64, u64), u64>,
+    pub(crate) next_evict_version: u64,
+}
+
+impl std::fmt::Debug for Machine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Machine")
+            .field("cores", &self.cores.len())
+            .field("enclaves", &self.enclaves.len())
+            .field("epc_used", &self.epcm.len())
+            .field("validator", &self.validator.name())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Base of the untrusted heap region handed out by [`Machine::os_alloc_untrusted`].
+const UNTRUSTED_VA_BASE: u64 = 0x7000_0000_0000;
+
+impl Machine {
+    /// Boots a machine with the baseline SGX validator.
+    pub fn new(cfg: HwConfig) -> Machine {
+        Self::with_validator(cfg, Box::new(SgxValidator::new()))
+    }
+
+    /// Boots a machine with a custom TLB-miss validator (how the
+    /// nested-enclave "microcode" is installed).
+    pub fn with_validator(cfg: HwConfig, validator: Box<dyn TlbValidator>) -> Machine {
+        let mut free_epc: Vec<Ppn> = (cfg.prm_start()..cfg.dram_pages).map(Ppn).collect();
+        free_epc.reverse(); // pop() hands out low PRM pages first
+        let cores = (0..cfg.num_cores)
+            .map(|_| Core {
+                mode: CoreMode::NonEnclave,
+                pid: ProcessId(0),
+                tlb: Tlb::new(cfg.tlb_entries),
+                cycles: 0,
+                regs: SavedContext::default(),
+            })
+            .collect();
+        // The package-unique secret every key derivation hangs off.
+        let platform_secret = ne_crypto::sha256::digest(b"ne-sgx platform fuse bank");
+        Machine {
+            dram: Dram::new(cfg.dram_pages),
+            epcm: Epcm::new(),
+            llc: Llc::new(cfg.llc_bytes, cfg.llc_ways),
+            mee: Mee::new(ne_crypto::sha256::digest(b"ne-sgx mee boot key")),
+            processes: vec![Process {
+                page_table: PageTable::new(),
+                next_untrusted_va: UNTRUSTED_VA_BASE,
+            }],
+            enclaves: EnclaveTable::new(),
+            tcs_table: HashMap::new(),
+            cores,
+            validator,
+            stats: Stats::default(),
+            trace: Trace::new(cfg.trace_events),
+            free_epc,
+            next_ram_ppn: 1,
+            platform_secret,
+            pending_digests: HashMap::new(),
+            evicted_versions: HashMap::new(),
+            next_evict_version: 1,
+            cfg,
+        }
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &HwConfig {
+        &self.cfg
+    }
+
+    /// Replaces the validator (diagnostics/ablation only; normally set at
+    /// boot).
+    pub fn install_validator(&mut self, validator: Box<dyn TlbValidator>) {
+        self.flush_all_tlbs();
+        self.validator = validator;
+    }
+
+    /// Name of the installed validator.
+    pub fn validator_name(&self) -> &'static str {
+        self.validator.name()
+    }
+
+    // ----- processes and cores --------------------------------------------
+
+    /// Creates a new (empty) process address space.
+    pub fn spawn_process(&mut self) -> ProcessId {
+        self.processes.push(Process {
+            page_table: PageTable::new(),
+            next_untrusted_va: UNTRUSTED_VA_BASE,
+        });
+        ProcessId(self.processes.len() - 1)
+    }
+
+    /// Number of cores.
+    pub fn num_cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// Schedules `core` onto process `pid` (context switch; flushes the
+    /// TLB like a CR3 write would).
+    pub fn set_core_process(&mut self, core: usize, pid: ProcessId) {
+        assert!(pid.0 < self.processes.len(), "no such process");
+        assert_eq!(
+            self.cores[core].mode,
+            CoreMode::NonEnclave,
+            "cannot context-switch a core in enclave mode"
+        );
+        self.cores[core].pid = pid;
+        self.flush_tlb(core);
+    }
+
+    /// Core accessor.
+    pub fn core(&self, core: usize) -> &Core {
+        &self.cores[core]
+    }
+
+    /// The enclave `core` is currently executing, if any.
+    pub fn current_enclave(&self, core: usize) -> Option<EnclaveId> {
+        match self.cores[core].mode {
+            CoreMode::Enclave { eid, .. } => Some(eid),
+            CoreMode::NonEnclave => None,
+        }
+    }
+
+    /// Current TCS of `core`, if in enclave mode.
+    pub fn current_tcs(&self, core: usize) -> Option<VirtAddr> {
+        match self.cores[core].mode {
+            CoreMode::Enclave { tcs, .. } => Some(tcs),
+            CoreMode::NonEnclave => None,
+        }
+    }
+
+    /// Sets the core's execution mode — an architectural surface for
+    /// ISA-extension crates (NEENTER/NEEXIT switch modes directly).
+    pub fn set_core_mode(&mut self, core: usize, mode: CoreMode) {
+        self.cores[core].mode = mode;
+    }
+
+    /// Writes a modelled architectural register (tests/transition checks).
+    pub fn set_reg(&mut self, core: usize, idx: usize, value: u64) {
+        self.cores[core].regs.regs[idx] = value;
+    }
+
+    /// Reads a modelled architectural register.
+    pub fn reg(&self, core: usize, idx: usize) -> u64 {
+        self.cores[core].regs.regs[idx]
+    }
+
+    /// Mutable register file — an architectural surface for ISA-extension
+    /// crates (NEEXIT scrubs all registers).
+    pub fn regs_mut(&mut self, core: usize) -> &mut SavedContext {
+        &mut self.cores[core].regs
+    }
+
+    // ----- cycles and stats -----------------------------------------------
+
+    /// Charges simulated cycles to a core. Public so higher layers (the SDK
+    /// runtime, workloads) can account software work in the same clock.
+    pub fn charge(&mut self, core: usize, cycles: u64) {
+        self.cores[core].cycles += cycles;
+    }
+
+    /// Cycle counter of one core.
+    pub fn cycles(&self, core: usize) -> u64 {
+        self.cores[core].cycles
+    }
+
+    /// Sum of all core cycle counters.
+    pub fn total_cycles(&self) -> u64 {
+        self.cores.iter().map(|c| c.cycles).sum()
+    }
+
+    /// Architectural event counters.
+    pub fn stats(&self) -> Stats {
+        self.stats
+    }
+
+    /// Mutable access for the transition instructions in extension crates.
+    pub fn stats_mut(&mut self) -> &mut Stats {
+        &mut self.stats
+    }
+
+    /// Clears counters and cycle clocks (between experiment phases).
+    pub fn reset_metrics(&mut self) {
+        self.stats = Stats::default();
+        for c in &mut self.cores {
+            c.cycles = 0;
+        }
+        self.mee.reset_counters();
+    }
+
+    /// The event trace.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Records an event (extension crates use this for NEENTER/NEEXIT).
+    pub fn record_event(&mut self, event: Event) {
+        self.trace.record(event);
+    }
+
+    /// The MEE (counters used by Fig. 11).
+    pub fn mee(&self) -> &Mee {
+        &self.mee
+    }
+
+    /// The LLC (hit/miss counters).
+    pub fn llc(&self) -> &Llc {
+        &self.llc
+    }
+
+    /// The enclave table.
+    pub fn enclaves(&self) -> &EnclaveTable {
+        &self.enclaves
+    }
+
+    /// Mutable enclave table — an architectural surface for ISA-extension
+    /// crates (NASSO updates SECS fields through this).
+    pub fn enclaves_mut(&mut self) -> &mut EnclaveTable {
+        &mut self.enclaves
+    }
+
+    /// The EPCM (read-only; only instructions mutate it).
+    pub fn epcm(&self) -> &Epcm {
+        &self.epcm
+    }
+
+    pub(crate) fn epcm_mut(&mut self) -> &mut Epcm {
+        &mut self.epcm
+    }
+
+    /// Free EPC pages remaining.
+    pub fn free_epc_pages(&self) -> usize {
+        self.free_epc.len()
+    }
+
+    /// TCS bookkeeping lookup.
+    pub fn tcs(&self, eid: EnclaveId, va: VirtAddr) -> Option<&Tcs> {
+        self.tcs_table.get(&(eid.0, va.0))
+    }
+
+    /// Mutable TCS access — an architectural surface for ISA-extension
+    /// crates (NEENTER/NEEXIT update busy bits and the caller link).
+    pub fn tcs_mut(&mut self, eid: EnclaveId, va: VirtAddr) -> Option<&mut Tcs> {
+        self.tcs_table.get_mut(&(eid.0, va.0))
+    }
+
+    /// Finds an idle TCS of `eid`, lowest address first (used by NEEXIT's
+    /// call path to acquire an outer-enclave thread slot).
+    pub fn find_idle_tcs(&self, eid: EnclaveId) -> Option<VirtAddr> {
+        self.tcs_table
+            .iter()
+            .filter(|((e, _), tcs)| *e == eid.0 && !tcs.busy)
+            .map(|((_, va), _)| VirtAddr(*va))
+            .min()
+    }
+
+    /// Host-pages actually materialized in DRAM (Fig. 10 footprint).
+    pub fn resident_pages(&self) -> usize {
+        self.dram.resident_pages()
+    }
+
+    // ----- TLB management --------------------------------------------------
+
+    /// Flushes one core's TLB, charging the flush cost.
+    pub fn flush_tlb(&mut self, core: usize) {
+        self.cores[core].tlb.flush();
+        let cost = self.cfg.cost.tlb_flush;
+        self.charge(core, cost);
+        self.trace.record(Event::TlbFlush { core });
+    }
+
+    /// Flushes every TLB.
+    pub fn flush_all_tlbs(&mut self) {
+        for core in 0..self.cores.len() {
+            self.flush_tlb(core);
+        }
+    }
+
+    /// Total TLB flushes across cores.
+    pub fn tlb_flushes(&self) -> u64 {
+        self.cores.iter().map(|c| c.tlb.flush_count()).sum()
+    }
+
+    // ----- OS-level (untrusted) memory management ---------------------------
+
+    /// OS primitive: map `vpn → ppn` in process `pid`. The OS may do this
+    /// arbitrarily — including maliciously; protection comes from
+    /// validation, not from restricting this call.
+    pub fn os_map(&mut self, pid: ProcessId, vpn: Vpn, ppn: Ppn, perms: PagePerms) {
+        self.processes[pid.0].page_table.map(vpn, ppn, perms);
+    }
+
+    /// OS primitive: unmap a page. Does *not* shoot down TLBs — a correct
+    /// OS calls [`Machine::flush_tlb`]; an attacker might not.
+    pub fn os_unmap(&mut self, pid: ProcessId, vpn: Vpn) {
+        self.processes[pid.0].page_table.unmap(vpn);
+    }
+
+    /// OS page-table walk (diagnostics).
+    pub fn os_lookup(&self, pid: ProcessId, vpn: Vpn) -> Option<crate::page_table::Pte> {
+        self.processes[pid.0].page_table.lookup(vpn)
+    }
+
+    /// Allocates `n` fresh non-PRM physical frames.
+    ///
+    /// # Panics
+    ///
+    /// Panics if ordinary RAM is exhausted.
+    pub fn os_alloc_frames(&mut self, n: usize) -> Vec<Ppn> {
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            assert!(
+                self.next_ram_ppn < self.cfg.prm_start(),
+                "untrusted RAM exhausted"
+            );
+            out.push(Ppn(self.next_ram_ppn));
+            self.next_ram_ppn += 1;
+        }
+        out
+    }
+
+    /// Allocates and maps `n` pages of fresh untrusted memory in `pid`,
+    /// returning the base virtual address.
+    pub fn os_alloc_untrusted(&mut self, pid: ProcessId, n: usize) -> VirtAddr {
+        let frames = self.os_alloc_frames(n);
+        let base = self.processes[pid.0].next_untrusted_va;
+        self.processes[pid.0].next_untrusted_va += (n * PAGE_SIZE) as u64;
+        for (i, ppn) in frames.into_iter().enumerate() {
+            let va = VirtAddr(base + (i * PAGE_SIZE) as u64);
+            self.os_map(pid, va.vpn(), ppn, PagePerms::RWX);
+        }
+        VirtAddr(base)
+    }
+
+    /// Pops a free EPC page.
+    pub(crate) fn alloc_epc(&mut self) -> Result<Ppn> {
+        self.free_epc.pop().ok_or(SgxError::EpcFull)
+    }
+
+    // ----- translation and data access --------------------------------------
+
+    /// Translates `va` on `core` for the given access kind, running the
+    /// full TLB-miss validation flow on a miss.
+    ///
+    /// # Errors
+    ///
+    /// Returns the fault the validation flow (or permission check) raised.
+    pub fn translate(&mut self, core: usize, va: VirtAddr, kind: AccessKind) -> Result<Translated> {
+        let vpn = va.vpn();
+        self.charge(core, self.cfg.cost.tlb_hit);
+        if let Some(entry) = self.cores[core].tlb.lookup(vpn) {
+            self.check_perms(core, va, entry.perms, kind)?;
+            return Ok(Translated::Phys(
+                PhysAddr(entry.ppn.base().0 + va.page_offset() as u64),
+                entry.perms,
+            ));
+        }
+        // TLB miss: walk the (untrusted) page table.
+        self.stats.tlb_misses += 1;
+        self.charge(core, self.cfg.cost.tlb_miss_walk);
+        let pte = match self.processes[self.cores[core].pid.0].page_table.lookup(vpn) {
+            Some(p) => p,
+            None => {
+                self.stats.faults += 1;
+                self.trace.record(Event::Fault {
+                    core,
+                    addr: va,
+                    kind: FaultKind::NotMapped,
+                });
+                return Err(SgxError::Fault {
+                    kind: FaultKind::NotMapped,
+                    addr: va,
+                });
+            }
+        };
+        // Run the validation flow (Fig. 2, or Fig. 6 with the nested
+        // validator installed).
+        let cfg = &self.cfg;
+        let in_prm = move |ppn: u64| cfg.in_prm(ppn);
+        let cx = ValidationCtx {
+            core: CoreView {
+                enclave: self.current_enclave(core),
+            },
+            vpn,
+            pte,
+            epcm: &self.epcm,
+            enclaves: &self.enclaves,
+            in_prm: &in_prm,
+        };
+        let validation = self.validator.validate(&cx);
+        let step_cost = validation.steps as u64 * self.cfg.cost.validation_step;
+        self.charge(core, step_cost);
+        match validation.outcome {
+            Outcome::Insert(entry) => {
+                self.cores[core].tlb.insert(vpn, entry);
+                self.check_perms(core, va, entry.perms, kind)?;
+                Ok(Translated::Phys(
+                    PhysAddr(entry.ppn.base().0 + va.page_offset() as u64),
+                    entry.perms,
+                ))
+            }
+            Outcome::Fault(kind) => {
+                self.stats.faults += 1;
+                self.trace.record(Event::Fault {
+                    core,
+                    addr: va,
+                    kind,
+                });
+                Err(SgxError::Fault { kind, addr: va })
+            }
+            Outcome::Abort => Ok(Translated::Abort),
+        }
+    }
+
+    fn check_perms(
+        &mut self,
+        core: usize,
+        va: VirtAddr,
+        perms: PagePerms,
+        kind: AccessKind,
+    ) -> Result<()> {
+        let kind_fault = match kind {
+            AccessKind::Read if !perms.r => Some(FaultKind::NotMapped),
+            AccessKind::Write if !perms.w => Some(FaultKind::WriteToReadOnly),
+            AccessKind::Fetch if !perms.x => Some(FaultKind::ExecFromNonExec),
+            _ => None,
+        };
+        if let Some(kind) = kind_fault {
+            self.stats.faults += 1;
+            self.trace.record(Event::Fault {
+                core,
+                addr: va,
+                kind,
+            });
+            return Err(SgxError::Fault { kind, addr: va });
+        }
+        Ok(())
+    }
+
+    /// Charges cache/DRAM/MEE costs for touching `[paddr, paddr+len)`.
+    fn charge_data_access(&mut self, core: usize, paddr: PhysAddr, len: usize, write: bool) {
+        if len == 0 {
+            return;
+        }
+        let first = paddr.0 / LINE_SIZE as u64;
+        let last = (paddr.0 + len as u64 - 1) / LINE_SIZE as u64;
+        let mut cycles = 0u64;
+        for line in first..=last {
+            match self.llc.access(line, write) {
+                CacheAccess::Hit => cycles += self.cfg.cost.llc_hit,
+                CacheAccess::Miss { dirty_victim } => {
+                    cycles += self.cfg.cost.dram_access;
+                    let line_ppn = line * LINE_SIZE as u64 / PAGE_SIZE as u64;
+                    if self.cfg.in_prm(line_ppn) {
+                        self.mee.note_decrypt();
+                        cycles += self.cfg.cost.mee_decrypt_line;
+                    }
+                    if let Some(victim) = dirty_victim {
+                        let victim_ppn = victim * LINE_SIZE as u64 / PAGE_SIZE as u64;
+                        if self.cfg.in_prm(victim_ppn) {
+                            self.mee.note_encrypt();
+                            cycles += self.cfg.cost.mee_encrypt_line;
+                        }
+                    }
+                }
+            }
+        }
+        self.charge(core, cycles);
+    }
+
+    /// Reads `buf.len()` bytes at `va` as `core`.
+    ///
+    /// # Errors
+    ///
+    /// Faults propagate; aborted accesses (unauthorized PRM reads) fill the
+    /// buffer with `0xFF` without error, matching SGX abort-page semantics.
+    pub fn read_into(&mut self, core: usize, va: VirtAddr, buf: &mut [u8]) -> Result<()> {
+        let mut done = 0usize;
+        while done < buf.len() {
+            let cur = va.add(done as u64);
+            let in_page = (PAGE_SIZE - cur.page_offset()).min(buf.len() - done);
+            match self.translate(core, cur, AccessKind::Read)? {
+                Translated::Phys(pa, _) => {
+                    if self.mee.any_tampered(pa.0, in_page) {
+                        self.stats.faults += 1;
+                        return Err(SgxError::Fault {
+                            kind: FaultKind::IntegrityViolation,
+                            addr: cur,
+                        });
+                    }
+                    self.charge_data_access(core, pa, in_page, false);
+                    self.dram
+                        .read(pa.ppn(), pa.page_offset(), &mut buf[done..done + in_page]);
+                }
+                Translated::Abort => buf[done..done + in_page].fill(0xFF),
+            }
+            done += in_page;
+        }
+        Ok(())
+    }
+
+    /// Reads `len` bytes at `va` as `core`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Machine::read_into`].
+    pub fn read(&mut self, core: usize, va: VirtAddr, len: usize) -> Result<Vec<u8>> {
+        let mut buf = vec![0u8; len];
+        self.read_into(core, va, &mut buf)?;
+        Ok(buf)
+    }
+
+    /// Writes `data` at `va` as `core`.
+    ///
+    /// # Errors
+    ///
+    /// Faults propagate; aborted accesses are silently dropped (abort-page
+    /// semantics).
+    pub fn write(&mut self, core: usize, va: VirtAddr, data: &[u8]) -> Result<()> {
+        let mut done = 0usize;
+        while done < data.len() {
+            let cur = va.add(done as u64);
+            let in_page = (PAGE_SIZE - cur.page_offset()).min(data.len() - done);
+            match self.translate(core, cur, AccessKind::Write)? {
+                Translated::Phys(pa, _) => {
+                    if self.mee.any_tampered(pa.0, in_page) {
+                        self.stats.faults += 1;
+                        return Err(SgxError::Fault {
+                            kind: FaultKind::IntegrityViolation,
+                            addr: cur,
+                        });
+                    }
+                    self.charge_data_access(core, pa, in_page, true);
+                    self.dram
+                        .write(pa.ppn(), pa.page_offset(), &data[done..done + in_page]);
+                }
+                Translated::Abort => {}
+            }
+            done += in_page;
+        }
+        Ok(())
+    }
+
+    /// Instruction fetch at `va` (execute-permission check).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultKind::ExecFromNonExec`] when `va` is not executable
+    /// in the current mode — e.g. untrusted pages fetched from enclave mode.
+    pub fn fetch(&mut self, core: usize, va: VirtAddr) -> Result<()> {
+        match self.translate(core, va, AccessKind::Fetch)? {
+            Translated::Phys(..) => Ok(()),
+            Translated::Abort => Err(SgxError::Fault {
+                kind: FaultKind::ExecFromNonExec,
+                addr: va,
+            }),
+        }
+    }
+
+    // ----- physical attacker surface ----------------------------------------
+
+    /// What a physical attacker probing the DRAM bus sees for page `ppn`:
+    /// ciphertext for PRM pages, plaintext for ordinary memory.
+    pub fn physical_probe(&self, ppn: Ppn) -> Vec<u8> {
+        let plain = self.dram.read_page(ppn);
+        if self.cfg.in_prm(ppn.0) {
+            self.mee.encrypt_view(ppn.base().0, &plain)
+        } else {
+            plain.to_vec()
+        }
+    }
+
+    /// Physically overwrites `[paddr, paddr+len)` (rowhammer / bus attack).
+    /// For PRM lines, the MEE integrity tree will reject the next
+    /// architectural access.
+    pub fn physical_tamper(&mut self, paddr: PhysAddr, data: &[u8]) {
+        self.dram.write(paddr.ppn(), paddr.page_offset(), data);
+        if self.cfg.in_prm(paddr.ppn().0) {
+            self.mee.mark_tampered(paddr.0, data.len());
+        }
+    }
+
+    // ----- internal access for instruction implementations -------------------
+
+    pub(crate) fn dram_mut(&mut self) -> &mut Dram {
+        &mut self.dram
+    }
+
+    pub(crate) fn dram(&self) -> &Dram {
+        &self.dram
+    }
+
+    pub(crate) fn mee_mut(&mut self) -> &mut Mee {
+        &mut self.mee
+    }
+
+    pub(crate) fn validator(&self) -> &dyn TlbValidator {
+        self.validator.as_ref()
+    }
+
+    // ----- invariant audit ----------------------------------------------------
+
+    /// Audits every TLB against the paper's § VII-A security invariants:
+    ///
+    /// 1. Non-enclave cores hold no PRM translations.
+    /// 2. In enclave mode, VPNs outside ELRANGE (and outside any associated
+    ///    outer ELRANGE) never map into PRM.
+    /// 3. VPNs inside ELRANGE map to EPC pages whose EPCM entry matches the
+    ///    enclave id and virtual address.
+    /// 4. VPNs inside an outer enclave's ELRANGE map to EPC pages whose
+    ///    EPCM entry matches that outer enclave and virtual address.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn audit_tlbs(&self) -> std::result::Result<(), String> {
+        for (idx, core) in self.cores.iter().enumerate() {
+            match core.mode {
+                CoreMode::NonEnclave => {
+                    for (vpn, entry) in core.tlb.iter() {
+                        if self.cfg.in_prm(entry.ppn.0) {
+                            return Err(format!(
+                                "invariant 1 violated: core {idx} (non-enclave) caches \
+                                 {vpn:?} → PRM page {:?}",
+                                entry.ppn
+                            ));
+                        }
+                    }
+                }
+                CoreMode::Enclave { eid, .. } => {
+                    // Collect the inner→outer ELRANGE closure (BFS over all
+                    // associated outers, bounded so a malformed cycle still
+                    // terminates).
+                    let mut chain = Vec::new();
+                    let mut queue = vec![eid];
+                    while let Some(id) = queue.pop() {
+                        if chain.iter().any(|(seen, _)| *seen == id) || chain.len() > 64 {
+                            continue;
+                        }
+                        let secs = match self.enclaves.get(id) {
+                            Some(s) => s,
+                            None => continue,
+                        };
+                        chain.push((id, secs.elrange));
+                        queue.extend(secs.outer_eids.iter().copied());
+                    }
+                    for (vpn, entry) in core.tlb.iter() {
+                        let owner = chain.iter().find(|(_, r)| r.contains_page(vpn));
+                        match owner {
+                            None => {
+                                if self.cfg.in_prm(entry.ppn.0) {
+                                    return Err(format!(
+                                        "invariant 2 violated: core {idx} enclave {eid} \
+                                         caches out-of-ELRANGE {vpn:?} → PRM {:?}",
+                                        entry.ppn
+                                    ));
+                                }
+                            }
+                            Some((owner_eid, _)) => {
+                                let which = if *owner_eid == eid { 3 } else { 4 };
+                                let epcm = self.epcm.get(entry.ppn);
+                                let ok = epcm
+                                    .map(|e| e.eid == *owner_eid && e.vpn == vpn)
+                                    .unwrap_or(false);
+                                if !ok {
+                                    return Err(format!(
+                                        "invariant {which} violated: core {idx} enclave \
+                                         {eid} caches {vpn:?} → {:?} with EPCM {:?}",
+                                        entry.ppn, epcm
+                                    ));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine() -> Machine {
+        Machine::new(HwConfig::small())
+    }
+
+    #[test]
+    fn untrusted_read_write_roundtrip() {
+        let mut m = machine();
+        let va = m.os_alloc_untrusted(ProcessId(0), 2);
+        m.write(0, va, b"hello world").unwrap();
+        assert_eq!(m.read(0, va, 11).unwrap(), b"hello world");
+    }
+
+    #[test]
+    fn cross_page_access_works() {
+        let mut m = machine();
+        let va = m.os_alloc_untrusted(ProcessId(0), 2);
+        let addr = va.add(PAGE_SIZE as u64 - 3);
+        m.write(0, addr, b"abcdef").unwrap();
+        assert_eq!(m.read(0, addr, 6).unwrap(), b"abcdef");
+    }
+
+    #[test]
+    fn unmapped_access_faults() {
+        let mut m = machine();
+        let err = m.read(0, VirtAddr(0xdead_0000), 4).unwrap_err();
+        assert!(err.is_fault(FaultKind::NotMapped));
+        assert_eq!(m.stats().faults, 1);
+    }
+
+    #[test]
+    fn tlb_caches_translations() {
+        let mut m = machine();
+        let va = m.os_alloc_untrusted(ProcessId(0), 1);
+        m.read(0, va, 1).unwrap();
+        let misses = m.stats().tlb_misses;
+        m.read(0, va, 1).unwrap();
+        assert_eq!(m.stats().tlb_misses, misses, "second access must hit TLB");
+    }
+
+    #[test]
+    fn non_enclave_prm_access_aborts_with_ones() {
+        let mut m = machine();
+        let prm_ppn = Ppn(m.config().prm_start());
+        m.os_map(ProcessId(0), Vpn(0x100), prm_ppn, PagePerms::RW);
+        let data = m.read(0, VirtAddr(0x100 << 12), 4).unwrap();
+        assert_eq!(data, vec![0xFF; 4], "abort page reads all-ones");
+        // Writes are dropped.
+        m.write(0, VirtAddr(0x100 << 12), b"xx").unwrap();
+        assert_eq!(m.physical_probe(prm_ppn)[..2], m.physical_probe(prm_ppn)[..2]);
+        m.audit_tlbs().unwrap();
+    }
+
+    #[test]
+    fn context_switch_flushes_tlb() {
+        let mut m = machine();
+        let va = m.os_alloc_untrusted(ProcessId(0), 1);
+        m.read(0, va, 1).unwrap();
+        let pid2 = m.spawn_process();
+        m.set_core_process(0, pid2);
+        assert!(m.core(0).tlb.is_empty());
+    }
+
+    #[test]
+    fn physical_probe_of_normal_ram_is_plaintext() {
+        let mut m = machine();
+        let va = m.os_alloc_untrusted(ProcessId(0), 1);
+        m.write(0, va, b"SECRET").unwrap();
+        let pte = m.os_lookup(ProcessId(0), va.vpn()).unwrap();
+        let probe = m.physical_probe(pte.ppn);
+        assert_eq!(&probe[..6], b"SECRET", "normal RAM is not encrypted");
+    }
+
+    #[test]
+    fn charge_and_cycles() {
+        let mut m = machine();
+        let before = m.cycles(1);
+        m.charge(1, 500);
+        assert_eq!(m.cycles(1), before + 500);
+    }
+
+    #[test]
+    fn write_to_readonly_faults() {
+        let mut m = machine();
+        let frames = m.os_alloc_frames(1);
+        m.os_map(ProcessId(0), Vpn(0x200), frames[0], PagePerms::R);
+        let err = m.write(0, VirtAddr(0x200 << 12), b"x").unwrap_err();
+        assert!(err.is_fault(FaultKind::WriteToReadOnly));
+    }
+
+    #[test]
+    fn fetch_checks_exec() {
+        let mut m = machine();
+        let frames = m.os_alloc_frames(2);
+        m.os_map(ProcessId(0), Vpn(0x300), frames[0], PagePerms::RWX);
+        m.os_map(ProcessId(0), Vpn(0x301), frames[1], PagePerms::RW);
+        m.fetch(0, VirtAddr(0x300 << 12)).unwrap();
+        let err = m.fetch(0, VirtAddr(0x301 << 12)).unwrap_err();
+        assert!(err.is_fault(FaultKind::ExecFromNonExec));
+    }
+
+    #[test]
+    fn reset_metrics_clears() {
+        let mut m = machine();
+        let va = m.os_alloc_untrusted(ProcessId(0), 1);
+        m.read(0, va, 1).unwrap();
+        assert!(m.stats().tlb_misses > 0);
+        m.reset_metrics();
+        assert_eq!(m.stats().tlb_misses, 0);
+        assert_eq!(m.cycles(0), 0);
+    }
+}

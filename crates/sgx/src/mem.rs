@@ -1,0 +1,132 @@
+//! Simulated physical memory (DRAM) with sparse backing.
+//!
+//! Pages are materialized lazily on first write, so experiments that load
+//! hundreds of enclaves (Fig. 10) do not pay for gigabytes of host memory.
+//!
+//! The MEE view: architectural accesses see plaintext; [`Machine::physical_probe`](crate::machine::Machine::physical_probe)
+//! models a physical attacker (bus snooping / cold boot) and returns the
+//! *encrypted* image for PRM pages, mirroring how EPC pages "exist only as
+//! encrypted text in the physical DRAM" (§ II-B).
+
+use crate::addr::{Ppn, PAGE_SIZE};
+use std::collections::HashMap;
+
+/// Sparse DRAM.
+#[derive(Debug)]
+pub struct Dram {
+    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+    num_pages: u64,
+}
+
+impl Dram {
+    /// Creates DRAM with `num_pages` physical pages, all zero.
+    pub fn new(num_pages: u64) -> Dram {
+        Dram {
+            pages: HashMap::new(),
+            num_pages,
+        }
+    }
+
+    /// Number of physical pages.
+    pub fn num_pages(&self) -> u64 {
+        self.num_pages
+    }
+
+    /// Number of pages that have been materialized (for memory accounting).
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Reads `buf.len()` bytes starting at byte `offset` within page `ppn`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the access crosses the page boundary or `ppn` is out of
+    /// range — callers (the machine) split accesses per page first.
+    pub fn read(&self, ppn: Ppn, offset: usize, buf: &mut [u8]) {
+        assert!(offset + buf.len() <= PAGE_SIZE, "access crosses page");
+        assert!(ppn.0 < self.num_pages, "ppn out of range");
+        match self.pages.get(&ppn.0) {
+            Some(page) => buf.copy_from_slice(&page[offset..offset + buf.len()]),
+            None => buf.fill(0),
+        }
+    }
+
+    /// Writes `data` starting at byte `offset` within page `ppn`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the access crosses the page boundary or `ppn` is out of
+    /// range.
+    pub fn write(&mut self, ppn: Ppn, offset: usize, data: &[u8]) {
+        assert!(offset + data.len() <= PAGE_SIZE, "access crosses page");
+        assert!(ppn.0 < self.num_pages, "ppn out of range");
+        let page = self
+            .pages
+            .entry(ppn.0)
+            .or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
+        page[offset..offset + data.len()].copy_from_slice(data);
+    }
+
+    /// Copies out a whole page.
+    pub fn read_page(&self, ppn: Ppn) -> [u8; PAGE_SIZE] {
+        let mut out = [0u8; PAGE_SIZE];
+        self.read(ppn, 0, &mut out);
+        out
+    }
+
+    /// Overwrites a whole page.
+    pub fn write_page(&mut self, ppn: Ppn, data: &[u8; PAGE_SIZE]) {
+        self.write(ppn, 0, data);
+    }
+
+    /// Zeroes a page and drops its backing storage.
+    pub fn clear_page(&mut self, ppn: Ppn) {
+        self.pages.remove(&ppn.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_until_written() {
+        let mut d = Dram::new(16);
+        let mut buf = [1u8; 8];
+        d.read(Ppn(3), 100, &mut buf);
+        assert_eq!(buf, [0u8; 8]);
+        assert_eq!(d.resident_pages(), 0);
+        d.write(Ppn(3), 100, &[7, 8, 9]);
+        assert_eq!(d.resident_pages(), 1);
+        d.read(Ppn(3), 99, &mut buf);
+        assert_eq!(&buf[..5], &[0, 7, 8, 9, 0]);
+    }
+
+    #[test]
+    fn clear_releases_backing() {
+        let mut d = Dram::new(4);
+        d.write(Ppn(0), 0, &[1]);
+        assert_eq!(d.resident_pages(), 1);
+        d.clear_page(Ppn(0));
+        assert_eq!(d.resident_pages(), 0);
+        let mut b = [9u8; 1];
+        d.read(Ppn(0), 0, &mut b);
+        assert_eq!(b, [0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "crosses page")]
+    fn cross_page_panics() {
+        let d = Dram::new(4);
+        let mut buf = [0u8; 8];
+        d.read(Ppn(0), PAGE_SIZE - 4, &mut buf);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        let mut d = Dram::new(4);
+        d.write(Ppn(4), 0, &[0]);
+    }
+}

@@ -1,0 +1,75 @@
+//! OS-managed page tables.
+//!
+//! Crucially, page tables are **untrusted** in the SGX threat model: the OS
+//! may map any virtual page to any physical page at any time, including
+//! remapping enclave pages maliciously. All protection comes from the
+//! validation performed at TLB-fill time, never from trusting these tables.
+
+use crate::addr::{Ppn, Vpn};
+use crate::epcm::PagePerms;
+use std::collections::HashMap;
+
+/// A page-table entry as the OS wrote it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pte {
+    /// Target physical page.
+    pub ppn: Ppn,
+    /// OS-granted permissions.
+    pub perms: PagePerms,
+}
+
+/// One process's page table (single flat level; the multi-level radix walk
+/// is abstracted into the constant walk cost).
+#[derive(Debug, Default)]
+pub struct PageTable {
+    entries: HashMap<u64, Pte>,
+}
+
+impl PageTable {
+    /// Creates an empty table.
+    pub fn new() -> PageTable {
+        PageTable::default()
+    }
+
+    /// Installs or replaces the mapping for `vpn`.
+    pub fn map(&mut self, vpn: Vpn, ppn: Ppn, perms: PagePerms) {
+        self.entries.insert(vpn.0, Pte { ppn, perms });
+    }
+
+    /// Removes the mapping for `vpn`, returning the old entry.
+    pub fn unmap(&mut self, vpn: Vpn) -> Option<Pte> {
+        self.entries.remove(&vpn.0)
+    }
+
+    /// Walks the table.
+    pub fn lookup(&self, vpn: Vpn) -> Option<Pte> {
+        self.entries.get(&vpn.0).copied()
+    }
+
+    /// Number of mappings (diagnostics).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no pages are mapped.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_lookup_unmap() {
+        let mut pt = PageTable::new();
+        assert!(pt.lookup(Vpn(1)).is_none());
+        pt.map(Vpn(1), Ppn(42), PagePerms::RW);
+        assert_eq!(pt.lookup(Vpn(1)).unwrap().ppn, Ppn(42));
+        pt.map(Vpn(1), Ppn(43), PagePerms::R); // OS may silently remap
+        assert_eq!(pt.lookup(Vpn(1)).unwrap().ppn, Ppn(43));
+        assert_eq!(pt.unmap(Vpn(1)).unwrap().ppn, Ppn(43));
+        assert!(pt.is_empty());
+    }
+}

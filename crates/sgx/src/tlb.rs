@@ -1,0 +1,152 @@
+//! Per-core TLB model.
+//!
+//! The TLB is where SGX's access control lives: validation happens once at
+//! fill time, so the key invariant (§ II-B) is that *the TLB only ever
+//! contains valid translations*. The machine flushes it on every
+//! enclave/non-enclave transition and on eviction shootdowns.
+
+use crate::addr::{Ppn, Vpn};
+use crate::epcm::PagePerms;
+use std::collections::HashMap;
+
+/// A validated translation resident in the TLB.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TlbEntry {
+    /// Physical page.
+    pub ppn: Ppn,
+    /// Effective permissions (OS PTE ∩ EPCM ∩ validator restrictions —
+    /// e.g. enclave-mode accesses to untrusted pages lose execute).
+    pub perms: PagePerms,
+}
+
+/// A fully-associative TLB with FIFO replacement.
+#[derive(Debug)]
+pub struct Tlb {
+    entries: HashMap<u64, TlbEntry>,
+    order: Vec<u64>,
+    capacity: usize,
+    flushes: u64,
+}
+
+impl Tlb {
+    /// Creates a TLB holding up to `capacity` entries.
+    pub fn new(capacity: usize) -> Tlb {
+        Tlb {
+            entries: HashMap::new(),
+            order: Vec::new(),
+            capacity,
+            flushes: 0,
+        }
+    }
+
+    /// Looks up `vpn`.
+    pub fn lookup(&self, vpn: Vpn) -> Option<TlbEntry> {
+        self.entries.get(&vpn.0).copied()
+    }
+
+    /// Inserts a validated entry, evicting the oldest if full.
+    pub fn insert(&mut self, vpn: Vpn, entry: TlbEntry) {
+        if self.entries.insert(vpn.0, entry).is_none() {
+            self.order.push(vpn.0);
+            if self.order.len() > self.capacity {
+                let victim = self.order.remove(0);
+                self.entries.remove(&victim);
+            }
+        }
+    }
+
+    /// Drops every entry. Counted, since flush frequency is the overhead
+    /// source the paper's Fig. 7 measures.
+    pub fn flush(&mut self) {
+        self.entries.clear();
+        self.order.clear();
+        self.flushes += 1;
+    }
+
+    /// Drops a single translation (used by precise shootdowns).
+    pub fn invalidate(&mut self, vpn: Vpn) {
+        if self.entries.remove(&vpn.0).is_some() {
+            self.order.retain(|&v| v != vpn.0);
+        }
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the TLB holds no translations.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// How many times this TLB has been flushed.
+    pub fn flush_count(&self) -> u64 {
+        self.flushes
+    }
+
+    /// Iterates over resident `(vpn, entry)` pairs, for invariant audits.
+    pub fn iter(&self) -> impl Iterator<Item = (Vpn, &TlbEntry)> {
+        self.entries.iter().map(|(&v, e)| (Vpn(v), e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(ppn: u64) -> TlbEntry {
+        TlbEntry {
+            ppn: Ppn(ppn),
+            perms: PagePerms::RW,
+        }
+    }
+
+    #[test]
+    fn insert_lookup() {
+        let mut t = Tlb::new(4);
+        t.insert(Vpn(1), e(10));
+        assert_eq!(t.lookup(Vpn(1)).unwrap().ppn, Ppn(10));
+        assert!(t.lookup(Vpn(2)).is_none());
+    }
+
+    #[test]
+    fn capacity_evicts_fifo() {
+        let mut t = Tlb::new(2);
+        t.insert(Vpn(1), e(10));
+        t.insert(Vpn(2), e(20));
+        t.insert(Vpn(3), e(30));
+        assert!(t.lookup(Vpn(1)).is_none(), "oldest evicted");
+        assert!(t.lookup(Vpn(2)).is_some());
+        assert!(t.lookup(Vpn(3)).is_some());
+    }
+
+    #[test]
+    fn flush_clears_and_counts() {
+        let mut t = Tlb::new(4);
+        t.insert(Vpn(1), e(10));
+        t.flush();
+        assert!(t.is_empty());
+        assert_eq!(t.flush_count(), 1);
+    }
+
+    #[test]
+    fn invalidate_single() {
+        let mut t = Tlb::new(4);
+        t.insert(Vpn(1), e(10));
+        t.insert(Vpn(2), e(20));
+        t.invalidate(Vpn(1));
+        assert!(t.lookup(Vpn(1)).is_none());
+        assert!(t.lookup(Vpn(2)).is_some());
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn reinsert_same_vpn_updates() {
+        let mut t = Tlb::new(2);
+        t.insert(Vpn(1), e(10));
+        t.insert(Vpn(1), e(11));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.lookup(Vpn(1)).unwrap().ppn, Ppn(11));
+    }
+}

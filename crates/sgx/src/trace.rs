@@ -1,0 +1,186 @@
+//! Event counters and optional event trace.
+
+use crate::addr::VirtAddr;
+use crate::enclave::EnclaveId;
+use crate::error::FaultKind;
+
+/// Cheap always-on counters. Fig. 7 plots ecall/ocall counts directly from
+/// these; the higher-level runtime also reads them to report transitions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Stats {
+    /// EENTER transitions (untrusted → enclave).
+    pub ecalls: u64,
+    /// EEXIT transitions (enclave → untrusted).
+    pub ocalls: u64,
+    /// NEENTER transitions (outer → inner).
+    pub n_ecalls: u64,
+    /// NEEXIT transitions (inner → outer).
+    pub n_ocalls: u64,
+    /// Asynchronous enclave exits.
+    pub aexes: u64,
+    /// TLB misses taken.
+    pub tlb_misses: u64,
+    /// Validation faults raised.
+    pub faults: u64,
+    /// Pages evicted with EWB.
+    pub ewb_pages: u64,
+    /// Pages reloaded with ELDU.
+    pub eldu_pages: u64,
+    /// Inter-processor interrupts for eviction shootdowns.
+    pub ipis: u64,
+}
+
+impl Stats {
+    /// Total boundary crossings of any kind.
+    pub fn total_transitions(&self) -> u64 {
+        self.ecalls + self.ocalls + self.n_ecalls + self.n_ocalls + self.aexes
+    }
+}
+
+/// Architectural events, recorded when tracing is enabled.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// EENTER into an enclave on a core.
+    Eenter {
+        /// Executing core.
+        core: usize,
+        /// Entered enclave.
+        eid: EnclaveId,
+    },
+    /// EEXIT from an enclave on a core.
+    Eexit {
+        /// Executing core.
+        core: usize,
+        /// Exited enclave.
+        eid: EnclaveId,
+    },
+    /// NEENTER into an inner enclave.
+    Neenter {
+        /// Executing core.
+        core: usize,
+        /// Outer enclave the transition left.
+        from: EnclaveId,
+        /// Inner enclave entered.
+        to: EnclaveId,
+    },
+    /// NEEXIT back to the outer enclave.
+    Neexit {
+        /// Executing core.
+        core: usize,
+        /// Inner enclave the transition left.
+        from: EnclaveId,
+        /// Outer enclave entered.
+        to: EnclaveId,
+    },
+    /// Asynchronous exit.
+    Aex {
+        /// Executing core.
+        core: usize,
+        /// Interrupted enclave.
+        eid: EnclaveId,
+    },
+    /// TLB flush on a core.
+    TlbFlush {
+        /// Flushed core.
+        core: usize,
+    },
+    /// A memory access faulted.
+    Fault {
+        /// Executing core.
+        core: usize,
+        /// Faulting virtual address.
+        addr: VirtAddr,
+        /// Fault classification.
+        kind: FaultKind,
+    },
+    /// An EPC page was evicted.
+    Ewb {
+        /// Owner enclave.
+        eid: EnclaveId,
+        /// Evicted virtual address.
+        addr: VirtAddr,
+    },
+    /// An EPC page was reloaded.
+    Eldu {
+        /// Owner enclave.
+        eid: EnclaveId,
+        /// Reloaded virtual address.
+        addr: VirtAddr,
+    },
+}
+
+/// Bounded event recorder.
+#[derive(Debug, Default)]
+pub struct Trace {
+    events: Vec<Event>,
+    enabled: bool,
+}
+
+/// Safety valve so a forgotten trace cannot consume unbounded memory.
+const MAX_EVENTS: usize = 1 << 20;
+
+impl Trace {
+    /// Creates a trace; recording only happens once enabled.
+    pub fn new(enabled: bool) -> Trace {
+        Trace {
+            events: Vec::new(),
+            enabled,
+        }
+    }
+
+    /// Records an event if enabled.
+    pub fn record(&mut self, event: Event) {
+        if self.enabled && self.events.len() < MAX_EVENTS {
+            self.events.push(event);
+        }
+    }
+
+    /// The recorded events.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Drops recorded events.
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+
+    /// Whether recording is on.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = Trace::new(false);
+        t.record(Event::TlbFlush { core: 0 });
+        assert!(t.events().is_empty());
+    }
+
+    #[test]
+    fn enabled_trace_records() {
+        let mut t = Trace::new(true);
+        t.record(Event::TlbFlush { core: 1 });
+        assert_eq!(t.events(), &[Event::TlbFlush { core: 1 }]);
+        t.clear();
+        assert!(t.events().is_empty());
+    }
+
+    #[test]
+    fn stats_total() {
+        let s = Stats {
+            ecalls: 1,
+            ocalls: 2,
+            n_ecalls: 3,
+            n_ocalls: 4,
+            aexes: 5,
+            ..Stats::default()
+        };
+        assert_eq!(s.total_transitions(), 15);
+    }
+}

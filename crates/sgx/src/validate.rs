@@ -1,0 +1,362 @@
+//! TLB-miss access validation.
+//!
+//! This module is the heart of the reproduction. SGX performs its access
+//! control during TLB-miss handling (paper Fig. 2); the nested-enclave
+//! proposal changes *only this flow* (paper Fig. 6). The machine therefore
+//! exposes validation as a swappable [`TlbValidator`] — installing a
+//! different validator is the software analogue of the paper's microcode
+//! patch (§ IV-F).
+
+use crate::addr::Vpn;
+use crate::enclave::{EnclaveId, EnclaveTable};
+use crate::epcm::{Epcm, PageType};
+use crate::error::FaultKind;
+use crate::page_table::Pte;
+use crate::tlb::TlbEntry;
+use std::fmt;
+
+/// What the executing core looks like to the validator.
+#[derive(Debug, Clone, Copy)]
+pub struct CoreView {
+    /// The enclave the core is executing, if in enclave mode.
+    pub enclave: Option<EnclaveId>,
+}
+
+/// Everything the validation hardware can see during a TLB miss.
+pub struct ValidationCtx<'a> {
+    /// Executing core state.
+    pub core: CoreView,
+    /// Virtual page being translated.
+    pub vpn: Vpn,
+    /// The page-table entry the (untrusted) OS provided.
+    pub pte: Pte,
+    /// The EPCM.
+    pub epcm: &'a Epcm,
+    /// Live enclaves (for ELRANGE and, in the nested extension, the
+    /// inner→outer chain).
+    pub enclaves: &'a EnclaveTable,
+    /// Predicate: is a physical page inside PRM?
+    pub in_prm: &'a dyn Fn(u64) -> bool,
+}
+
+impl fmt::Debug for ValidationCtx<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ValidationCtx")
+            .field("core", &self.core)
+            .field("vpn", &self.vpn)
+            .field("pte", &self.pte)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Decision of the validation flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// Translation is valid: insert into the TLB.
+    Insert(TlbEntry),
+    /// Raise a fault to the OS.
+    Fault(FaultKind),
+    /// Abort-page semantics: reads return all-ones, writes are dropped,
+    /// nothing enters the TLB (unauthorized PRM access from outside).
+    Abort,
+}
+
+/// Result of a validation: the decision plus the number of flow steps
+/// taken, which the machine converts to cycles. Longer chains (nested
+/// traversal) cost more, reproducing § IV-A's observation that deeper
+/// nesting "only increases the validation time".
+#[derive(Debug, Clone, Copy)]
+pub struct Validation {
+    /// The decision.
+    pub outcome: Outcome,
+    /// Flow steps taken.
+    pub steps: u32,
+}
+
+/// The swappable TLB-miss validation logic.
+pub trait TlbValidator: fmt::Debug + Send {
+    /// Validates one candidate translation.
+    fn validate(&self, cx: &ValidationCtx<'_>) -> Validation;
+
+    /// The set of enclaves whose running threads must be interrupted when
+    /// an EPC page of `eid` is evicted. The baseline returns just `eid`;
+    /// the nested validator adds every (transitive) inner enclave, because
+    /// their TLBs may cache translations into the outer enclave (§ IV-E).
+    fn eviction_tracking_set(&self, eid: EnclaveId, enclaves: &EnclaveTable) -> Vec<EnclaveId> {
+        let _ = enclaves;
+        vec![eid]
+    }
+
+    /// Name for diagnostics.
+    fn name(&self) -> &'static str;
+}
+
+/// The baseline SGX validation flow of paper Fig. 2.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SgxValidator;
+
+impl SgxValidator {
+    /// Creates the baseline validator.
+    pub fn new() -> SgxValidator {
+        SgxValidator
+    }
+}
+
+/// Shared tail of the enclave-mode PRM check: verifies the EPCM binding of
+/// `ppn` against `expected_eid` and the accessed `vpn`, returning the entry
+/// permissions on success. Used by both the baseline check (against the
+/// current enclave) and the nested extension (against outer enclaves).
+pub fn check_epcm_binding(
+    cx: &ValidationCtx<'_>,
+    expected_eid: EnclaveId,
+) -> Result<crate::epcm::PagePerms, FaultKind> {
+    let entry = match cx.epcm.get(cx.pte.ppn) {
+        Some(e) => e,
+        // PRM page without a valid EPCM entry (e.g. freed): treat as a
+        // mismatch — nothing may map it.
+        None => return Err(FaultKind::EpcmEnclaveMismatch),
+    };
+    if entry.blocked {
+        // Page is mid-eviction; translations must not be recreated.
+        return Err(FaultKind::EnclavePageSwappedOut);
+    }
+    if entry.pending {
+        // SGX2: EAUGed but not yet EACCEPTed by the enclave.
+        return Err(FaultKind::NotAccepted);
+    }
+    if entry.eid != expected_eid {
+        return Err(FaultKind::EpcmEnclaveMismatch);
+    }
+    // SECS/TCS pages are never software-accessible.
+    if entry.page_type != PageType::Reg {
+        return Err(FaultKind::EpcmEnclaveMismatch);
+    }
+    if entry.vpn != cx.vpn {
+        return Err(FaultKind::EpcmAddressMismatch);
+    }
+    Ok(entry.perms)
+}
+
+impl TlbValidator for SgxValidator {
+    fn validate(&self, cx: &ValidationCtx<'_>) -> Validation {
+        let in_prm = (cx.in_prm)(cx.pte.ppn.0);
+        match cx.core.enclave {
+            // (A) Non-enclave mode.
+            None => {
+                if in_prm {
+                    Validation {
+                        outcome: Outcome::Abort,
+                        steps: 2,
+                    }
+                } else {
+                    Validation {
+                        outcome: Outcome::Insert(TlbEntry {
+                            ppn: cx.pte.ppn,
+                            perms: cx.pte.perms,
+                        }),
+                        steps: 2,
+                    }
+                }
+            }
+            Some(eid) => {
+                let secs = cx
+                    .enclaves
+                    .get(eid)
+                    .expect("core in enclave mode references a live enclave");
+                if in_prm {
+                    // (B) Enclave mode, physical page inside PRM.
+                    match check_epcm_binding(cx, eid) {
+                        Ok(epcm_perms) => Validation {
+                            outcome: Outcome::Insert(TlbEntry {
+                                ppn: cx.pte.ppn,
+                                perms: cx.pte.perms.intersect(epcm_perms),
+                            }),
+                            steps: 4,
+                        },
+                        Err(kind) => Validation {
+                            outcome: Outcome::Fault(kind),
+                            steps: 4,
+                        },
+                    }
+                } else {
+                    // (C) Enclave mode, physical page outside PRM.
+                    if secs.elrange.contains_page(cx.vpn) {
+                        // ELRANGE page backed by non-EPC memory: swapped out.
+                        Validation {
+                            outcome: Outcome::Fault(FaultKind::EnclavePageSwappedOut),
+                            steps: 3,
+                        }
+                    } else {
+                        // Untrusted memory accessed from an enclave: legal,
+                        // but never executable.
+                        let mut perms = cx.pte.perms;
+                        perms.x = false;
+                        Validation {
+                            outcome: Outcome::Insert(TlbEntry {
+                                ppn: cx.pte.ppn,
+                                perms,
+                            }),
+                            steps: 3,
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "sgx-baseline"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::{Ppn, VirtAddr, VirtRange, Vpn};
+    use crate::enclave::ProcessId;
+    use crate::epcm::{EpcmEntry, PagePerms};
+
+    struct Fixture {
+        epcm: Epcm,
+        enclaves: EnclaveTable,
+        eid: EnclaveId,
+    }
+
+    const PRM_START: u64 = 1000;
+
+    fn in_prm(ppn: u64) -> bool {
+        ppn >= PRM_START
+    }
+
+    fn fixture() -> Fixture {
+        let mut enclaves = EnclaveTable::new();
+        // ELRANGE: vpns 16..32
+        let eid = enclaves.create(ProcessId(0), VirtRange::new(VirtAddr(16 * 4096), 16 * 4096));
+        let mut epcm = Epcm::new();
+        epcm.insert(
+            Ppn(PRM_START + 1),
+            EpcmEntry {
+                eid,
+                vpn: Vpn(16),
+                page_type: PageType::Reg,
+                perms: PagePerms::RW,
+                blocked: false,
+                pending: false,
+            },
+        );
+        Fixture {
+            epcm,
+            enclaves,
+            eid,
+        }
+    }
+
+    fn ctx<'a>(
+        f: &'a Fixture,
+        enclave: Option<EnclaveId>,
+        vpn: u64,
+        ppn: u64,
+        perms: PagePerms,
+    ) -> ValidationCtx<'a> {
+        ValidationCtx {
+            core: CoreView { enclave },
+            vpn: Vpn(vpn),
+            pte: Pte {
+                ppn: Ppn(ppn),
+                perms,
+            },
+            epcm: &f.epcm,
+            enclaves: &f.enclaves,
+            in_prm: &in_prm,
+        }
+    }
+
+    #[test]
+    fn non_enclave_to_normal_memory_inserts() {
+        let f = fixture();
+        let v = SgxValidator.validate(&ctx(&f, None, 5, 7, PagePerms::RWX));
+        match v.outcome {
+            Outcome::Insert(e) => assert_eq!(e.ppn, Ppn(7)),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_enclave_to_prm_aborts() {
+        let f = fixture();
+        let v = SgxValidator.validate(&ctx(&f, None, 5, PRM_START + 1, PagePerms::RWX));
+        assert_eq!(v.outcome, Outcome::Abort);
+    }
+
+    #[test]
+    fn owner_enclave_access_inserts_with_intersected_perms() {
+        let f = fixture();
+        let v = SgxValidator.validate(&ctx(&f, Some(f.eid), 16, PRM_START + 1, PagePerms::RWX));
+        match v.outcome {
+            Outcome::Insert(e) => {
+                assert!(e.perms.r && e.perms.w);
+                assert!(!e.perms.x, "EPCM RW ∩ PTE RWX must drop execute");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_owner_enclave_faults() {
+        let mut f = fixture();
+        let other = f
+            .enclaves
+            .create(ProcessId(0), VirtRange::new(VirtAddr(64 * 4096), 4096));
+        let v = SgxValidator.validate(&ctx(&f, Some(other), 16, PRM_START + 1, PagePerms::RW));
+        assert_eq!(v.outcome, Outcome::Fault(FaultKind::EpcmEnclaveMismatch));
+    }
+
+    #[test]
+    fn os_remap_detected_by_vpn_check() {
+        // OS maps a different virtual page onto the victim's EPC page.
+        let f = fixture();
+        let v = SgxValidator.validate(&ctx(&f, Some(f.eid), 17, PRM_START + 1, PagePerms::RW));
+        assert_eq!(v.outcome, Outcome::Fault(FaultKind::EpcmAddressMismatch));
+    }
+
+    #[test]
+    fn elrange_page_backed_by_normal_memory_is_swapped_out_fault() {
+        let f = fixture();
+        let v = SgxValidator.validate(&ctx(&f, Some(f.eid), 17, 7, PagePerms::RW));
+        assert_eq!(v.outcome, Outcome::Fault(FaultKind::EnclavePageSwappedOut));
+    }
+
+    #[test]
+    fn untrusted_memory_from_enclave_loses_exec() {
+        let f = fixture();
+        let v = SgxValidator.validate(&ctx(&f, Some(f.eid), 200, 7, PagePerms::RWX));
+        match v.outcome {
+            Outcome::Insert(e) => assert!(!e.perms.x),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn blocked_page_faults_as_swapped_out() {
+        let mut f = fixture();
+        f.epcm.get_mut(Ppn(PRM_START + 1)).unwrap().blocked = true;
+        let v = SgxValidator.validate(&ctx(&f, Some(f.eid), 16, PRM_START + 1, PagePerms::RW));
+        assert_eq!(v.outcome, Outcome::Fault(FaultKind::EnclavePageSwappedOut));
+    }
+
+    #[test]
+    fn prm_page_without_epcm_entry_faults() {
+        let f = fixture();
+        let v = SgxValidator.validate(&ctx(&f, Some(f.eid), 16, PRM_START + 2, PagePerms::RW));
+        assert_eq!(v.outcome, Outcome::Fault(FaultKind::EpcmEnclaveMismatch));
+    }
+
+    #[test]
+    fn baseline_tracking_set_is_self() {
+        let f = fixture();
+        assert_eq!(
+            SgxValidator.eviction_tracking_set(f.eid, &f.enclaves),
+            vec![f.eid]
+        );
+    }
+}

@@ -1,0 +1,189 @@
+//! Cross-process and resource-pressure tests for the simulator.
+
+use ne_sgx::addr::{VirtAddr, VirtRange, PAGE_SIZE};
+use ne_sgx::config::HwConfig;
+use ne_sgx::enclave::{EnclaveId, ProcessId};
+use ne_sgx::epcm::{PagePerms, PageType};
+use ne_sgx::instr::PageSource;
+use ne_sgx::machine::Machine;
+use ne_sgx::{FaultKind, SgxError, SigStruct};
+
+fn build(m: &mut Machine, pid: ProcessId, base: u64, pages: u64) -> EnclaveId {
+    let base = VirtAddr(base);
+    let eid = m
+        .ecreate(pid, VirtRange::new(base, (pages + 1) * PAGE_SIZE as u64))
+        .unwrap();
+    m.add_tcs(eid, base, base.add(PAGE_SIZE as u64)).unwrap();
+    for i in 1..=pages {
+        let va = base.add(i * PAGE_SIZE as u64);
+        m.eadd(eid, va, PageType::Reg, PageSource::Zeros, PagePerms::RW)
+            .unwrap();
+        m.eextend(eid, va).unwrap();
+    }
+    let measured = m.enclaves().get(eid).unwrap().measurement.finalize();
+    m.einit(eid, &SigStruct::new(b"iso", measured)).unwrap();
+    eid
+}
+
+/// Two processes may use the same virtual addresses for different
+/// enclaves; neither can reach the other's EPC pages.
+#[test]
+fn same_va_different_processes_isolated() {
+    let mut m = Machine::new(HwConfig::small());
+    let pid2 = m.spawn_process();
+    let base = 0x10_0000u64;
+    let e1 = build(&mut m, ProcessId(0), base, 2);
+    let e2 = build(&mut m, pid2, base, 2);
+    let data = VirtAddr(base + PAGE_SIZE as u64);
+    // Write distinct secrets under the same VA in each process.
+    m.eenter(0, e1, VirtAddr(base)).unwrap();
+    m.write(0, data, b"process-zero").unwrap();
+    m.eexit(0).unwrap();
+    m.set_core_process(0, pid2);
+    m.eenter(0, e2, VirtAddr(base)).unwrap();
+    m.write(0, data, b"process-two!").unwrap();
+    assert_eq!(m.read(0, data, 12).unwrap(), b"process-two!");
+    m.eexit(0).unwrap();
+    m.set_core_process(0, ProcessId(0));
+    m.eenter(0, e1, VirtAddr(base)).unwrap();
+    assert_eq!(m.read(0, data, 12).unwrap(), b"process-zero");
+    m.eexit(0).unwrap();
+    m.audit_tlbs().unwrap();
+    m.audit_epcm().unwrap();
+}
+
+/// Entering an enclave from the wrong process is rejected.
+#[test]
+fn cross_process_eenter_rejected() {
+    let mut m = Machine::new(HwConfig::small());
+    let pid2 = m.spawn_process();
+    let e1 = build(&mut m, ProcessId(0), 0x10_0000, 1);
+    m.set_core_process(0, pid2);
+    let err = m.eenter(0, e1, VirtAddr(0x10_0000)).unwrap_err();
+    assert!(matches!(err, SgxError::GeneralProtection(_)));
+}
+
+/// An enclave working set far larger than the TLB still validates
+/// correctly on every refill sweep.
+#[test]
+fn tlb_pressure_revalidates_correctly() {
+    let mut cfg = HwConfig::small();
+    cfg.tlb_entries = 4;
+    let mut m = Machine::new(cfg);
+    let pages = 32u64;
+    let eid = build(&mut m, ProcessId(0), 0x10_0000, pages);
+    let base = VirtAddr(0x10_0000);
+    m.eenter(0, eid, base).unwrap();
+    for sweep in 0..3u8 {
+        for i in 1..=pages {
+            let va = base.add(i * PAGE_SIZE as u64);
+            m.write(0, va, &[sweep, i as u8]).unwrap();
+        }
+        for i in 1..=pages {
+            let va = base.add(i * PAGE_SIZE as u64);
+            assert_eq!(m.read(0, va, 2).unwrap(), vec![sweep, i as u8]);
+        }
+        m.audit_tlbs().unwrap();
+    }
+    assert!(
+        m.stats().tlb_misses > 3 * 2 * pages - 16,
+        "a 4-entry TLB must keep missing over a 32-page set"
+    );
+}
+
+/// EPC pages freed by EREMOVE are recycled for new enclaves, and the
+/// recycled frames carry no residue.
+#[test]
+fn epc_recycling_has_no_residue() {
+    let mut m = Machine::new(HwConfig::small());
+    let e1 = build(&mut m, ProcessId(0), 0x10_0000, 2);
+    let data = VirtAddr(0x10_0000 + PAGE_SIZE as u64);
+    m.eenter(0, e1, VirtAddr(0x10_0000)).unwrap();
+    m.write(0, data, b"residual secret").unwrap();
+    m.eexit(0).unwrap();
+    let free_before = m.free_epc_pages();
+    m.eremove(e1).unwrap();
+    assert_eq!(m.free_epc_pages(), free_before + 4);
+    // A new enclave over the same range sees zeros.
+    let e2 = build(&mut m, ProcessId(0), 0x10_0000, 2);
+    m.eenter(0, e2, VirtAddr(0x10_0000)).unwrap();
+    assert_eq!(m.read(0, data, 15).unwrap(), vec![0u8; 15]);
+}
+
+/// Evicting many pages under EPC pressure and reloading them on demand
+/// (the § IV-E working mode) keeps contents and invariants intact.
+#[test]
+fn sustained_paging_pressure() {
+    let mut cfg = HwConfig::small();
+    cfg.prm_pages = 24; // tight EPC: 1 SECS + 1 TCS + pages
+    let mut m = Machine::new(cfg);
+    let pages = 16u64;
+    let eid = build(&mut m, ProcessId(0), 0x10_0000, pages);
+    let base = VirtAddr(0x10_0000);
+    // Fill every page with identifiable content.
+    m.eenter(0, eid, base).unwrap();
+    for i in 1..=pages {
+        m.write(0, base.add(i * PAGE_SIZE as u64), &[i as u8; 4]).unwrap();
+    }
+    m.eexit(0).unwrap();
+    // Evict half, reload in reverse order, verify all.
+    let mut blobs = Vec::new();
+    for i in 1..=pages / 2 {
+        blobs.push(m.ewb(eid, base.add(i * PAGE_SIZE as u64)).unwrap());
+    }
+    while let Some(blob) = blobs.pop() {
+        m.eldu(&blob).unwrap();
+    }
+    m.eenter(0, eid, base).unwrap();
+    for i in 1..=pages {
+        assert_eq!(
+            m.read(0, base.add(i * PAGE_SIZE as u64), 4).unwrap(),
+            vec![i as u8; 4],
+            "page {i}"
+        );
+    }
+    m.audit_tlbs().unwrap();
+    m.audit_epcm().unwrap();
+}
+
+/// Faults at page-boundary straddles: an access spanning a valid page and
+/// a swapped-out page faults without partial side effects becoming
+/// visible as success.
+#[test]
+fn straddling_access_faults_cleanly() {
+    let mut m = Machine::new(HwConfig::small());
+    let eid = build(&mut m, ProcessId(0), 0x10_0000, 3);
+    let base = VirtAddr(0x10_0000);
+    let straddle = base.add(3 * PAGE_SIZE as u64 - 4); // crosses page 2 → 3
+    let _evicted = m.ewb(eid, base.add(3 * PAGE_SIZE as u64)).unwrap();
+    m.eenter(0, eid, base).unwrap();
+    let err = m.read(0, straddle, 8).unwrap_err();
+    assert!(
+        err.is_fault(FaultKind::EnclavePageSwappedOut) || err.is_fault(FaultKind::NotMapped),
+        "got {err}"
+    );
+}
+
+/// The machine hands out distinct enclave ids monotonically and the
+/// enclave table survives interleaved create/remove churn.
+#[test]
+fn enclave_table_churn() {
+    let mut m = Machine::new(HwConfig::small());
+    let mut live = Vec::new();
+    for round in 0..6u64 {
+        let eid = build(&mut m, ProcessId(0), 0x10_0000 + round * 0x10_0000, 1);
+        live.push(eid);
+        if round % 2 == 1 {
+            let victim = live.remove(0);
+            m.eremove(victim).unwrap();
+        }
+        for &e in &live {
+            assert!(m.enclaves().get(e).is_some());
+        }
+    }
+    let ids: Vec<u64> = live.iter().map(|e| e.0).collect();
+    let mut sorted = ids.clone();
+    sorted.sort_unstable();
+    assert_eq!(ids, sorted, "ids are monotone");
+    m.audit_epcm().unwrap();
+}

@@ -1,0 +1,274 @@
+//! Datasets, including synthetic stand-ins for the paper's Table V.
+//!
+//! The UCI/LIBSVM datasets the paper uses (cod-rna, colon-cancer, dna,
+//! phishing, protein) cannot be redistributed here, so
+//! [`TableVDataset::generate`] produces synthetic data of the *same shape*
+//! (classes, train/test sizes, feature counts): Gaussian clusters with
+//! per-class means, linearly separable enough that training behaves like
+//! the real workloads at the same computational scale.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A labeled dataset.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Sample feature vectors, all the same length.
+    pub samples: Vec<Vec<f64>>,
+    /// Class labels, `0..num_classes`.
+    pub labels: Vec<usize>,
+    /// Number of classes.
+    pub num_classes: usize,
+}
+
+impl Dataset {
+    /// Creates a dataset, validating shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if samples/labels disagree or a label is out of range.
+    pub fn new(samples: Vec<Vec<f64>>, labels: Vec<usize>, num_classes: usize) -> Dataset {
+        assert_eq!(samples.len(), labels.len(), "samples/labels mismatch");
+        assert!(labels.iter().all(|&l| l < num_classes), "label out of range");
+        Dataset {
+            samples,
+            labels,
+            num_classes,
+        }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True if the dataset has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Feature dimensionality.
+    pub fn dim(&self) -> usize {
+        self.samples.first().map_or(0, Vec::len)
+    }
+
+    /// Generates `per_class` samples for each of `num_classes` Gaussian
+    /// clusters in `dim` dimensions, deterministically from `seed`.
+    pub fn synthetic(num_classes: usize, per_class: usize, dim: usize, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut samples = Vec::with_capacity(num_classes * per_class);
+        let mut labels = Vec::with_capacity(num_classes * per_class);
+        // Each class gets a pseudo-random ±2 sign pattern across *all*
+        // dimensions, so any class pair is separable in roughly half the
+        // features (and remains separable when a privacy filter drops a
+        // few columns).
+        for class in 0..num_classes {
+            for _ in 0..per_class {
+                let mut x = Vec::with_capacity(dim);
+                for d in 0..dim {
+                    let h = (class as u64)
+                        .wrapping_mul(0x9E37_79B9)
+                        .wrapping_add((d as u64).wrapping_mul(0x85EB_CA6B));
+                    let h = (h ^ (h >> 13)).wrapping_mul(0xC2B2_AE35);
+                    let mean = if (h >> 7) & 1 == 1 { 2.0 } else { -2.0 };
+                    // Box–Muller normal from two uniforms.
+                    let u1: f64 = rng.gen_range(1e-9..1.0);
+                    let u2: f64 = rng.gen_range(0.0..1.0);
+                    let n = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+                    x.push(mean + 0.8 * n);
+                }
+                samples.push(x);
+                labels.push(class);
+            }
+        }
+        Dataset::new(samples, labels, num_classes)
+    }
+
+    /// Takes the first `n` samples (used to carve test sets and scale
+    /// benchmark sizes).
+    pub fn truncate(&self, n: usize) -> Dataset {
+        let n = n.min(self.len());
+        Dataset {
+            samples: self.samples[..n].to_vec(),
+            labels: self.labels[..n].to_vec(),
+            num_classes: self.num_classes,
+        }
+    }
+
+    /// Serializes samples to a flat little-endian byte buffer (for feeding
+    /// through enclave memory in the case studies).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.len() * (self.dim() * 8 + 8));
+        out.extend_from_slice(&(self.len() as u32).to_le_bytes());
+        out.extend_from_slice(&(self.dim() as u32).to_le_bytes());
+        for (x, &label) in self.samples.iter().zip(&self.labels) {
+            out.extend_from_slice(&(label as u32).to_le_bytes());
+            for v in x {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Parses a buffer produced by [`Dataset::to_bytes`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on malformed input (this is a test/bench conduit, not a
+    /// protocol parser).
+    pub fn from_bytes(bytes: &[u8], num_classes: usize) -> Dataset {
+        let n = u32::from_le_bytes(bytes[0..4].try_into().expect("4")) as usize;
+        let dim = u32::from_le_bytes(bytes[4..8].try_into().expect("4")) as usize;
+        let mut samples = Vec::with_capacity(n);
+        let mut labels = Vec::with_capacity(n);
+        let mut off = 8;
+        for _ in 0..n {
+            labels.push(u32::from_le_bytes(bytes[off..off + 4].try_into().expect("4")) as usize);
+            off += 4;
+            let mut x = Vec::with_capacity(dim);
+            for _ in 0..dim {
+                x.push(f64::from_le_bytes(
+                    bytes[off..off + 8].try_into().expect("8"),
+                ));
+                off += 8;
+            }
+            samples.push(x);
+        }
+        Dataset::new(samples, labels, num_classes)
+    }
+}
+
+/// The five datasets of the paper's Table V.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TableVDataset {
+    /// cod-rna: 2 classes, 59 535 training samples, 8 features.
+    CodRna,
+    /// colon-cancer: 2 classes, 62 training samples, 2 000 features.
+    ColonCancer,
+    /// dna: 3 classes, 2 000 train / 1 186 test, 180 features.
+    Dna,
+    /// phishing: 2 classes, 11 055 training samples, 68 features.
+    Phishing,
+    /// protein: 3 classes, 17 766 train / 6 621 test, 357 features.
+    Protein,
+}
+
+impl TableVDataset {
+    /// All five, in the paper's order.
+    pub const ALL: [TableVDataset; 5] = [
+        TableVDataset::CodRna,
+        TableVDataset::ColonCancer,
+        TableVDataset::Dna,
+        TableVDataset::Phishing,
+        TableVDataset::Protein,
+    ];
+
+    /// Paper name.
+    pub fn name(self) -> &'static str {
+        match self {
+            TableVDataset::CodRna => "cod-rna",
+            TableVDataset::ColonCancer => "colon-cancer",
+            TableVDataset::Dna => "dna",
+            TableVDataset::Phishing => "phishing",
+            TableVDataset::Protein => "protein",
+        }
+    }
+
+    /// `(classes, training size, testing size, features)` exactly as in
+    /// Table V (`None` test size means the paper reuses training data).
+    pub fn shape(self) -> (usize, usize, Option<usize>, usize) {
+        match self {
+            TableVDataset::CodRna => (2, 59_535, None, 8),
+            TableVDataset::ColonCancer => (2, 62, None, 2_000),
+            TableVDataset::Dna => (3, 2_000, Some(1_186), 180),
+            TableVDataset::Phishing => (2, 11_055, None, 68),
+            TableVDataset::Protein => (3, 17_766, Some(6_621), 357),
+        }
+    }
+
+    /// Generates `(train, test)` synthetic datasets of this shape, scaled
+    /// by `scale` (1.0 = the full Table V size). "For such datasets
+    /// [without test data], we run the prediction experiments with a
+    /// fraction of their training dataset."
+    pub fn generate(self, scale: f64) -> (Dataset, Dataset) {
+        let (classes, train_n, test_n, dim) = self.shape();
+        let scaled = |n: usize| (((n as f64 * scale) as usize).max(classes * 4)).max(8);
+        let train_total = scaled(train_n);
+        let per_class = train_total.div_ceil(classes);
+        let seed = self
+            .name()
+            .bytes()
+            .fold(0u64, |acc, b| acc.wrapping_mul(131).wrapping_add(b as u64));
+        let train = Dataset::synthetic(classes, per_class, dim, seed);
+        let test = match test_n {
+            Some(t) => {
+                let per_class_t = scaled(t).div_ceil(classes);
+                Dataset::synthetic(classes, per_class_t, dim, seed ^ 0x5a5a)
+            }
+            None => train.truncate(scaled(train_n / 10)),
+        };
+        (train, test)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_shape() {
+        let ds = Dataset::synthetic(3, 10, 5, 1);
+        assert_eq!(ds.len(), 30);
+        assert_eq!(ds.dim(), 5);
+        assert_eq!(ds.num_classes, 3);
+    }
+
+    #[test]
+    fn synthetic_deterministic() {
+        let a = Dataset::synthetic(2, 5, 3, 9);
+        let b = Dataset::synthetic(2, 5, 3, 9);
+        assert_eq!(a.samples, b.samples);
+        let c = Dataset::synthetic(2, 5, 3, 10);
+        assert_ne!(a.samples, c.samples);
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let ds = Dataset::synthetic(2, 6, 4, 7);
+        let back = Dataset::from_bytes(&ds.to_bytes(), 2);
+        assert_eq!(back.samples, ds.samples);
+        assert_eq!(back.labels, ds.labels);
+    }
+
+    #[test]
+    fn table_v_shapes_match_paper() {
+        assert_eq!(TableVDataset::CodRna.shape(), (2, 59_535, None, 8));
+        assert_eq!(TableVDataset::ColonCancer.shape(), (2, 62, None, 2_000));
+        assert_eq!(TableVDataset::Dna.shape(), (3, 2_000, Some(1_186), 180));
+        assert_eq!(TableVDataset::Phishing.shape(), (2, 11_055, None, 68));
+        assert_eq!(TableVDataset::Protein.shape(), (3, 17_766, Some(6_621), 357));
+    }
+
+    #[test]
+    fn generate_scales() {
+        let (train, test) = TableVDataset::Dna.generate(0.01);
+        assert_eq!(train.dim(), 180);
+        assert_eq!(train.num_classes, 3);
+        assert!(train.len() >= 12);
+        assert!(!test.is_empty());
+        assert!(train.len() < 2_000);
+    }
+
+    #[test]
+    fn truncate_caps_at_len() {
+        let ds = Dataset::synthetic(2, 3, 2, 0);
+        assert_eq!(ds.truncate(100).len(), 6);
+        assert_eq!(ds.truncate(4).len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn bad_label_panics() {
+        Dataset::new(vec![vec![0.0]], vec![5], 2);
+    }
+}

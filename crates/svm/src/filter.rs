@@ -1,0 +1,105 @@
+//! The privacy filter of case study § VI-B.
+//!
+//! "The inner enclaves decrypt data (the highest secret data) and filter
+//! private data not to expose them to the outer enclave." The filter runs
+//! in the per-user inner enclave; only its output is handed to the shared
+//! LibSVM library in the outer enclave.
+
+use crate::data::Dataset;
+
+/// Policy describing which feature columns are private.
+#[derive(Debug, Clone, Default)]
+pub struct FilterPolicy {
+    /// Columns to suppress entirely (replaced by 0, the field's mean under
+    /// our scaling).
+    pub drop_columns: Vec<usize>,
+    /// Columns to coarsen by quantization step (k-anonymity style).
+    pub quantize: Vec<(usize, f64)>,
+}
+
+impl FilterPolicy {
+    /// Applies the policy, producing the sanitized dataset that may leave
+    /// the inner enclave.
+    pub fn anonymize(&self, ds: &Dataset) -> Dataset {
+        let samples = ds
+            .samples
+            .iter()
+            .map(|x| {
+                let mut y = x.clone();
+                for &c in &self.drop_columns {
+                    if c < y.len() {
+                        y[c] = 0.0;
+                    }
+                }
+                for &(c, step) in &self.quantize {
+                    if c < y.len() && step > 0.0 {
+                        y[c] = (y[c] / step).round() * step;
+                    }
+                }
+                y
+            })
+            .collect();
+        Dataset::new(samples, ds.labels.clone(), ds.num_classes)
+    }
+
+    /// True if a sanitized dataset could still reveal the named column
+    /// (used by tests to assert the filter's guarantee).
+    pub fn retains_column(&self, column: usize) -> bool {
+        !self.drop_columns.contains(&column)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ds() -> Dataset {
+        Dataset::new(
+            vec![vec![1.23, 4.56, 7.89], vec![-3.21, 0.5, 2.0]],
+            vec![0, 1],
+            2,
+        )
+    }
+
+    #[test]
+    fn drops_private_columns() {
+        let p = FilterPolicy {
+            drop_columns: vec![1],
+            quantize: vec![],
+        };
+        let out = p.anonymize(&ds());
+        assert_eq!(out.samples[0][1], 0.0);
+        assert_eq!(out.samples[1][1], 0.0);
+        assert_eq!(out.samples[0][0], 1.23, "other columns untouched");
+        assert!(!p.retains_column(1));
+        assert!(p.retains_column(0));
+    }
+
+    #[test]
+    fn quantizes_coarsely() {
+        let p = FilterPolicy {
+            drop_columns: vec![],
+            quantize: vec![(0, 1.0)],
+        };
+        let out = p.anonymize(&ds());
+        assert_eq!(out.samples[0][0], 1.0);
+        assert_eq!(out.samples[1][0], -3.0);
+    }
+
+    #[test]
+    fn labels_preserved() {
+        let p = FilterPolicy::default();
+        let out = p.anonymize(&ds());
+        assert_eq!(out.labels, vec![0, 1]);
+    }
+
+    #[test]
+    fn out_of_range_columns_ignored() {
+        let p = FilterPolicy {
+            drop_columns: vec![99],
+            quantize: vec![(99, 2.0)],
+        };
+        let out = p.anonymize(&ds());
+        assert_eq!(out.samples, ds().samples);
+    }
+}

@@ -1,0 +1,79 @@
+//! SVM kernels.
+
+/// Kernel functions supported by the trainer, matching the LibSVM defaults
+/// the paper's case study uses.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Kernel {
+    /// `K(x, y) = x · y`
+    Linear,
+    /// `K(x, y) = exp(-gamma * ||x - y||²)`
+    Rbf {
+        /// Kernel width.
+        gamma: f64,
+    },
+}
+
+impl Default for Kernel {
+    fn default() -> Self {
+        Kernel::Linear
+    }
+}
+
+impl Kernel {
+    /// Evaluates the kernel on two samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the samples have different dimensionality.
+    pub fn eval(&self, x: &[f64], y: &[f64]) -> f64 {
+        assert_eq!(x.len(), y.len(), "dimension mismatch");
+        match self {
+            Kernel::Linear => dot(x, y),
+            Kernel::Rbf { gamma } => {
+                let d2: f64 = x
+                    .iter()
+                    .zip(y.iter())
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum();
+                (-gamma * d2).exp()
+            }
+        }
+    }
+}
+
+/// Dense dot product.
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    x.iter().zip(y.iter()).map(|(a, b)| a * b).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_is_dot() {
+        assert_eq!(Kernel::Linear.eval(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+    }
+
+    #[test]
+    fn rbf_identity_is_one() {
+        let k = Kernel::Rbf { gamma: 0.5 };
+        let x = [1.0, -2.0, 3.0];
+        assert!((k.eval(&x, &x) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rbf_decays_with_distance() {
+        let k = Kernel::Rbf { gamma: 1.0 };
+        let near = k.eval(&[0.0], &[0.1]);
+        let far = k.eval(&[0.0], &[2.0]);
+        assert!(near > far);
+        assert!(far > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn dimension_mismatch_panics() {
+        Kernel::Linear.eval(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,132 @@
+//! Trained SVM models and prediction.
+
+use crate::data::Dataset;
+use crate::kernel::Kernel;
+
+/// One binary decision function (support vectors + dual coefficients).
+#[derive(Debug, Clone)]
+pub struct BinaryModel {
+    /// Support vectors.
+    pub support: Vec<Vec<f64>>,
+    /// `alpha_i * y_i` for each support vector.
+    pub coeffs: Vec<f64>,
+    /// Bias term.
+    pub bias: f64,
+}
+
+impl BinaryModel {
+    /// Signed decision value for `x`.
+    pub fn decide(&self, kernel: &Kernel, x: &[f64]) -> f64 {
+        let mut s = self.bias;
+        for (sv, c) in self.support.iter().zip(&self.coeffs) {
+            s += c * kernel.eval(sv, x);
+        }
+        s
+    }
+}
+
+/// A trained (multi-class) SVM: one-vs-one binary models with majority
+/// voting, as in LibSVM.
+#[derive(Debug, Clone)]
+pub struct SvmModel {
+    num_classes: usize,
+    kernel: Kernel,
+    binaries: Vec<((usize, usize), BinaryModel)>,
+}
+
+impl SvmModel {
+    /// Assembles a model from pairwise classifiers.
+    pub fn new(
+        num_classes: usize,
+        kernel: Kernel,
+        binaries: Vec<((usize, usize), BinaryModel)>,
+    ) -> SvmModel {
+        SvmModel {
+            num_classes,
+            kernel,
+            binaries,
+        }
+    }
+
+    /// Number of pairwise classifiers.
+    pub fn num_binaries(&self) -> usize {
+        self.binaries.len()
+    }
+
+    /// Total number of support vectors across classifiers.
+    pub fn num_support_vectors(&self) -> usize {
+        self.binaries.iter().map(|(_, b)| b.support.len()).sum()
+    }
+
+    /// Predicts the class of `x` by one-vs-one voting.
+    pub fn predict(&self, x: &[f64]) -> usize {
+        let mut votes = vec![0usize; self.num_classes];
+        for ((a, b), bin) in &self.binaries {
+            if bin.decide(&self.kernel, x) >= 0.0 {
+                votes[*a] += 1;
+            } else {
+                votes[*b] += 1;
+            }
+        }
+        votes
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &v)| v)
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+
+    /// Fraction of `ds` classified correctly.
+    pub fn accuracy(&self, ds: &Dataset) -> f64 {
+        if ds.is_empty() {
+            return 0.0;
+        }
+        let correct = ds
+            .samples
+            .iter()
+            .zip(&ds.labels)
+            .filter(|(x, &l)| self.predict(x) == l)
+            .count();
+        correct as f64 / ds.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trivial_model() -> SvmModel {
+        // One support vector at +1 with weight 1: decide(x) = x[0].
+        let bin = BinaryModel {
+            support: vec![vec![1.0]],
+            coeffs: vec![1.0],
+            bias: 0.0,
+        };
+        SvmModel::new(2, Kernel::Linear, vec![((0, 1), bin)])
+    }
+
+    #[test]
+    fn predict_by_sign() {
+        let m = trivial_model();
+        assert_eq!(m.predict(&[2.0]), 0);
+        assert_eq!(m.predict(&[-2.0]), 1);
+    }
+
+    #[test]
+    fn accuracy_counts_matches() {
+        let m = trivial_model();
+        let ds = Dataset::new(vec![vec![1.0], vec![-1.0], vec![3.0]], vec![0, 1, 1], 2);
+        assert!((m.accuracy(&ds) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_dataset_accuracy_zero() {
+        let m = trivial_model();
+        assert_eq!(m.accuracy(&Dataset::new(vec![], vec![], 2)), 0.0);
+    }
+
+    #[test]
+    fn support_vector_count() {
+        assert_eq!(trivial_model().num_support_vectors(), 1);
+    }
+}

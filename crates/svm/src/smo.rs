@@ -1,0 +1,216 @@
+//! C-SVC training by Sequential Minimal Optimization (Platt's SMO, the
+//! algorithm inside LibSVM), with one-vs-one multi-class reduction.
+
+use crate::data::Dataset;
+use crate::kernel::Kernel;
+use crate::model::{BinaryModel, SvmModel};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Training hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct TrainParams {
+    /// Soft-margin penalty.
+    pub c: f64,
+    /// Kernel.
+    pub kernel: Kernel,
+    /// KKT tolerance.
+    pub tol: f64,
+    /// Cap on full optimization passes (keeps worst-case bounded).
+    pub max_passes: usize,
+    /// RNG seed for the second-multiplier heuristic.
+    pub seed: u64,
+}
+
+impl Default for TrainParams {
+    fn default() -> Self {
+        TrainParams {
+            c: 1.0,
+            kernel: Kernel::Linear,
+            tol: 1e-3,
+            max_passes: 20,
+            seed: 1,
+        }
+    }
+}
+
+/// Trains a (possibly multi-class) SVM on `ds` with one-vs-one reduction,
+/// exactly like LibSVM's C-SVC.
+///
+/// # Panics
+///
+/// Panics if the dataset is empty or has fewer than two classes.
+pub fn train(ds: &Dataset, params: &TrainParams) -> SvmModel {
+    assert!(!ds.is_empty(), "cannot train on an empty dataset");
+    assert!(ds.num_classes >= 2, "need at least two classes");
+    let mut binaries = Vec::new();
+    for a in 0..ds.num_classes {
+        for b in (a + 1)..ds.num_classes {
+            let (samples, labels): (Vec<Vec<f64>>, Vec<f64>) = ds
+                .samples
+                .iter()
+                .zip(&ds.labels)
+                .filter(|(_, &l)| l == a || l == b)
+                .map(|(x, &l)| (x.clone(), if l == a { 1.0 } else { -1.0 }))
+                .unzip();
+            let bin = train_binary(&samples, &labels, params);
+            binaries.push(((a, b), bin));
+        }
+    }
+    SvmModel::new(ds.num_classes, params.kernel, binaries)
+}
+
+/// Trains one binary classifier with simplified SMO.
+fn train_binary(samples: &[Vec<f64>], labels: &[f64], params: &TrainParams) -> BinaryModel {
+    let n = samples.len();
+    let mut alpha = vec![0.0f64; n];
+    let mut b = 0.0f64;
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let decision = |alpha: &[f64], b: f64, x: &[f64]| -> f64 {
+        let mut s = b;
+        for i in 0..n {
+            if alpha[i] > 0.0 {
+                s += alpha[i] * labels[i] * params.kernel.eval(&samples[i], x);
+            }
+        }
+        s
+    };
+    let mut passes = 0usize;
+    while passes < params.max_passes {
+        let mut changed = 0usize;
+        for i in 0..n {
+            let ei = decision(&alpha, b, &samples[i]) - labels[i];
+            let violates = (labels[i] * ei < -params.tol && alpha[i] < params.c)
+                || (labels[i] * ei > params.tol && alpha[i] > 0.0);
+            if !violates {
+                continue;
+            }
+            // Second multiplier: random distinct index (Platt's fallback
+            // heuristic; adequate at these problem sizes).
+            let mut j = rng.gen_range(0..n - 1);
+            if j >= i {
+                j += 1;
+            }
+            let ej = decision(&alpha, b, &samples[j]) - labels[j];
+            let (ai_old, aj_old) = (alpha[i], alpha[j]);
+            let (lo, hi) = if (labels[i] - labels[j]).abs() > f64::EPSILON {
+                (
+                    (alpha[j] - alpha[i]).max(0.0),
+                    (params.c + alpha[j] - alpha[i]).min(params.c),
+                )
+            } else {
+                (
+                    (alpha[i] + alpha[j] - params.c).max(0.0),
+                    (alpha[i] + alpha[j]).min(params.c),
+                )
+            };
+            if hi - lo < 1e-12 {
+                continue;
+            }
+            let kii = params.kernel.eval(&samples[i], &samples[i]);
+            let kjj = params.kernel.eval(&samples[j], &samples[j]);
+            let kij = params.kernel.eval(&samples[i], &samples[j]);
+            let eta = 2.0 * kij - kii - kjj;
+            if eta >= 0.0 {
+                continue;
+            }
+            let mut aj = aj_old - labels[j] * (ei - ej) / eta;
+            aj = aj.clamp(lo, hi);
+            if (aj - aj_old).abs() < 1e-7 {
+                continue;
+            }
+            let ai = ai_old + labels[i] * labels[j] * (aj_old - aj);
+            alpha[i] = ai;
+            alpha[j] = aj;
+            let b1 = b - ei
+                - labels[i] * (ai - ai_old) * kii
+                - labels[j] * (aj - aj_old) * kij;
+            let b2 = b - ej
+                - labels[i] * (ai - ai_old) * kij
+                - labels[j] * (aj - aj_old) * kjj;
+            b = if ai > 0.0 && ai < params.c {
+                b1
+            } else if aj > 0.0 && aj < params.c {
+                b2
+            } else {
+                (b1 + b2) / 2.0
+            };
+            changed += 1;
+        }
+        if changed == 0 {
+            passes += 1;
+        } else {
+            passes = 0;
+        }
+    }
+    // Keep only support vectors.
+    let mut support = Vec::new();
+    let mut coeffs = Vec::new();
+    for i in 0..n {
+        if alpha[i] > 1e-9 {
+            support.push(samples[i].clone());
+            coeffs.push(alpha[i] * labels[i]);
+        }
+    }
+    BinaryModel {
+        support,
+        coeffs,
+        bias: b,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trains_separable_binary() {
+        let ds = Dataset::synthetic(2, 60, 4, 3);
+        let model = train(&ds, &TrainParams::default());
+        assert!(model.accuracy(&ds) > 0.95, "got {}", model.accuracy(&ds));
+    }
+
+    #[test]
+    fn trains_three_classes_one_vs_one() {
+        let ds = Dataset::synthetic(3, 40, 12, 5);
+        let model = train(&ds, &TrainParams::default());
+        assert_eq!(model.num_binaries(), 3, "C(3,2) pairwise classifiers");
+        assert!(model.accuracy(&ds) > 0.9, "got {}", model.accuracy(&ds));
+    }
+
+    #[test]
+    fn rbf_kernel_trains() {
+        let ds = Dataset::synthetic(2, 40, 4, 8);
+        let model = train(
+            &ds,
+            &TrainParams {
+                kernel: Kernel::Rbf { gamma: 0.25 },
+                ..Default::default()
+            },
+        );
+        assert!(model.accuracy(&ds) > 0.9, "got {}", model.accuracy(&ds));
+    }
+
+    #[test]
+    fn generalizes_to_held_out_data() {
+        let train_ds = Dataset::synthetic(2, 80, 4, 11);
+        let test_ds = Dataset::synthetic(2, 20, 4, 999);
+        let model = train(&train_ds, &TrainParams::default());
+        assert!(model.accuracy(&test_ds) > 0.9, "got {}", model.accuracy(&test_ds));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let ds = Dataset::synthetic(2, 30, 3, 2);
+        let m1 = train(&ds, &TrainParams::default());
+        let m2 = train(&ds, &TrainParams::default());
+        assert_eq!(m1.predict(&ds.samples[0]), m2.predict(&ds.samples[0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn empty_dataset_panics() {
+        let ds = Dataset::new(vec![], vec![], 2);
+        train(&ds, &TrainParams::default());
+    }
+}

@@ -1,0 +1,62 @@
+//! Property-based tests for datasets and the privacy filter.
+
+use ne_svm::data::Dataset;
+use ne_svm::filter::FilterPolicy;
+use proptest::prelude::*;
+
+proptest! {
+    /// Serialization round-trips any dataset shape.
+    #[test]
+    fn dataset_bytes_roundtrip(
+        classes in 2..4usize,
+        per_class in 1..12usize,
+        dim in 1..16usize,
+        seed in any::<u64>(),
+    ) {
+        let ds = Dataset::synthetic(classes, per_class, dim, seed);
+        let back = Dataset::from_bytes(&ds.to_bytes(), classes);
+        prop_assert_eq!(back.labels, ds.labels);
+        prop_assert_eq!(back.samples, ds.samples);
+    }
+
+    /// The filter is idempotent and never changes shape or labels.
+    #[test]
+    fn filter_idempotent(
+        per_class in 1..10usize,
+        dim in 2..12usize,
+        drop in prop::collection::vec(0..12usize, 0..4),
+        seed in any::<u64>(),
+    ) {
+        let ds = Dataset::synthetic(2, per_class, dim, seed);
+        let policy = FilterPolicy { drop_columns: drop, quantize: vec![] };
+        let once = policy.anonymize(&ds);
+        let twice = policy.anonymize(&once);
+        prop_assert_eq!(&once.samples, &twice.samples);
+        prop_assert_eq!(&once.labels, &ds.labels);
+        prop_assert_eq!(once.dim(), ds.dim());
+        // Dropped in-range columns really are scrubbed.
+        for &c in &policy.drop_columns {
+            if c < ds.dim() {
+                prop_assert!(once.samples.iter().all(|x| x[c] == 0.0));
+            }
+        }
+    }
+
+    /// Synthetic data is deterministic in the seed and shaped as asked.
+    #[test]
+    fn synthetic_shape_and_determinism(
+        classes in 2..4usize,
+        per_class in 1..8usize,
+        dim in 1..8usize,
+        seed in any::<u64>(),
+    ) {
+        let a = Dataset::synthetic(classes, per_class, dim, seed);
+        let b = Dataset::synthetic(classes, per_class, dim, seed);
+        prop_assert_eq!(&a.samples, &b.samples);
+        prop_assert_eq!(a.len(), classes * per_class);
+        prop_assert_eq!(a.dim(), dim);
+        for label in 0..classes {
+            prop_assert_eq!(a.labels.iter().filter(|&&l| l == label).count(), per_class);
+        }
+    }
+}

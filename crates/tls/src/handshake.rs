@@ -1,0 +1,150 @@
+//! Session establishment.
+//!
+//! A deliberately small handshake: both sides hold a pre-shared master
+//! secret ("We assume the key is distributed to the echo server and
+//! client", § VI-A) and derive per-session keys from fresh randoms. What
+//! we *do* model carefully is the downgrade protection the case study
+//! mentions: the server rejects version or cipher-suite rollback.
+
+use ne_crypto::kdf::derive_key;
+use std::fmt;
+
+/// The protocol version both sides must speak.
+pub const TLS_VERSION: u16 = 0x0303;
+
+/// Cipher suites, strongest first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum CipherSuite {
+    /// The mini-TLS null suite (insecure; only offered by attackers).
+    NullMd5 = 0,
+    /// AES-128-GCM (the only acceptable suite).
+    Aes128Gcm = 1,
+}
+
+/// Handshake failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HandshakeError {
+    /// Client offered an older protocol version (rollback attack).
+    VersionRollback(u16),
+    /// Client offered only weak suites (cipher-suite rollback).
+    CipherRollback,
+}
+
+impl fmt::Display for HandshakeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HandshakeError::VersionRollback(v) => {
+                write!(f, "version rollback attempt to {v:#06x}")
+            }
+            HandshakeError::CipherRollback => write!(f, "cipher-suite rollback attempt"),
+        }
+    }
+}
+
+impl std::error::Error for HandshakeError {}
+
+/// A ClientHello.
+#[derive(Debug, Clone)]
+pub struct ClientHello {
+    /// Offered protocol version.
+    pub version: u16,
+    /// Offered cipher suites.
+    pub suites: Vec<CipherSuite>,
+    /// Client nonce.
+    pub random: [u8; 16],
+}
+
+/// Keys derived by a successful handshake.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionKeys {
+    /// Key protecting client→server and server→client records.
+    pub record_key: [u8; 16],
+    /// The negotiated suite.
+    pub suite: CipherSuite,
+}
+
+/// Runs the server side of the handshake against `hello`.
+///
+/// # Errors
+///
+/// [`HandshakeError`] on version or cipher rollback.
+pub fn perform_handshake(
+    master_secret: &[u8],
+    hello: &ClientHello,
+    server_random: [u8; 16],
+) -> Result<SessionKeys, HandshakeError> {
+    if hello.version != TLS_VERSION {
+        return Err(HandshakeError::VersionRollback(hello.version));
+    }
+    let suite = hello
+        .suites
+        .iter()
+        .copied()
+        .filter(|s| *s == CipherSuite::Aes128Gcm)
+        .max()
+        .ok_or(HandshakeError::CipherRollback)?;
+    let mut context = Vec::with_capacity(32);
+    context.extend_from_slice(&hello.random);
+    context.extend_from_slice(&server_random);
+    Ok(SessionKeys {
+        record_key: derive_key(master_secret, b"mini-tls record", &context),
+        suite,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hello() -> ClientHello {
+        ClientHello {
+            version: TLS_VERSION,
+            suites: vec![CipherSuite::Aes128Gcm],
+            random: [1; 16],
+        }
+    }
+
+    #[test]
+    fn both_sides_derive_same_keys() {
+        let h = hello();
+        let a = perform_handshake(b"master", &h, [2; 16]).unwrap();
+        let b = perform_handshake(b"master", &h, [2; 16]).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fresh_randoms_fresh_keys() {
+        let h = hello();
+        let a = perform_handshake(b"master", &h, [2; 16]).unwrap();
+        let b = perform_handshake(b"master", &h, [3; 16]).unwrap();
+        assert_ne!(a.record_key, b.record_key);
+    }
+
+    #[test]
+    fn version_rollback_rejected() {
+        let mut h = hello();
+        h.version = 0x0301;
+        assert_eq!(
+            perform_handshake(b"m", &h, [0; 16]).unwrap_err(),
+            HandshakeError::VersionRollback(0x0301)
+        );
+    }
+
+    #[test]
+    fn cipher_rollback_rejected() {
+        let mut h = hello();
+        h.suites = vec![CipherSuite::NullMd5];
+        assert_eq!(
+            perform_handshake(b"m", &h, [0; 16]).unwrap_err(),
+            HandshakeError::CipherRollback
+        );
+    }
+
+    #[test]
+    fn strong_suite_chosen_among_mixed_offer() {
+        let mut h = hello();
+        h.suites = vec![CipherSuite::NullMd5, CipherSuite::Aes128Gcm];
+        let keys = perform_handshake(b"m", &h, [0; 16]).unwrap();
+        assert_eq!(keys.suite, CipherSuite::Aes128Gcm);
+    }
+}

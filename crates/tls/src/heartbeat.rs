@@ -1,0 +1,218 @@
+//! The heartbeat extension (RFC 6520), with the HeartBleed bug.
+//!
+//! "Due to a small bug in processing heartbeat messages ... attackers
+//! could leak information of arbitrary freed buffers from the applications
+//! linking the OpenSSL library. A crafted heartbeat message can leak up to
+//! 4KB from the server-side heap memory." (§ VI-A)
+//!
+//! The echo of a heartbeat request copies `claimed_len` bytes starting at
+//! the request payload *in the library's address space*. The vulnerable
+//! build trusts `claimed_len`; the patched build discards requests whose
+//! claimed length exceeds the actual payload (the upstream fix). Because
+//! the copy runs through the simulated machine's validated translation
+//! path, what an over-read can actually reach is decided by the enclave
+//! configuration — that is the whole point of the case study.
+
+use ne_core::runtime::EnclaveCtx;
+use ne_sgx::addr::VirtAddr;
+use ne_sgx::error::{Result, SgxError};
+
+/// Heartbeat processing configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct HeartbeatConfig {
+    /// Ship the CVE-2014-0160 bug.
+    pub vulnerable: bool,
+}
+
+/// Maximum heartbeat payload the protocol allows (the bug caps leaks at
+/// 4 KiB per request, as the paper notes).
+pub const MAX_HEARTBEAT: usize = 4096;
+
+/// Processes a heartbeat request whose `actual_len`-byte payload sits at
+/// `payload_va` inside the library's memory, where the attacker-controlled
+/// header *claims* the payload is `claimed_len` bytes.
+///
+/// Returns the echoed payload.
+///
+/// # Errors
+///
+/// * Patched build: `GeneralProtection` for over-long claims (request
+///   silently discarded upstream; surfaced as an error here for tests).
+/// * Vulnerable build: whatever the *hardware* says about the over-read —
+///   in a monolithic enclave nothing stops it; with the library confined
+///   to an outer enclave the access validation faults at the inner-enclave
+///   boundary.
+pub fn process_heartbeat(
+    cx: &mut EnclaveCtx<'_>,
+    payload_va: VirtAddr,
+    actual_len: usize,
+    claimed_len: usize,
+    cfg: &HeartbeatConfig,
+) -> Result<Vec<u8>> {
+    if claimed_len > MAX_HEARTBEAT {
+        return Err(SgxError::GeneralProtection(
+            "heartbeat claim exceeds protocol maximum".into(),
+        ));
+    }
+    let copy_len = if cfg.vulnerable {
+        // The bug: trust the attacker-controlled length field.
+        claimed_len
+    } else {
+        // RFC-compliant fix: "the received HeartbeatMessage MUST be
+        // discarded" when the claimed length is inconsistent.
+        if claimed_len > actual_len {
+            return Err(SgxError::GeneralProtection(
+                "heartbeat claim exceeds payload; request discarded".into(),
+            ));
+        }
+        claimed_len
+    };
+    cx.read(payload_va, copy_len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ne_core::edl::Edl;
+    use ne_core::loader::EnclaveImage;
+    use ne_core::runtime::{NestedApp, TrustedFn};
+    use ne_sgx::config::HwConfig;
+    use ne_sgx::error::FaultKind;
+    use std::sync::Arc;
+
+    /// Heartbeat handler body shared by the configurations: expects
+    /// args = [claimed u32][payload...]; stores the payload at the start
+    /// of the *library* heap, with the app secret placed by each scenario.
+    fn heartbeat_fn(lib_enclave: &'static str, vulnerable: bool) -> TrustedFn {
+        Arc::new(move |cx, args| {
+            let claimed = u32::from_le_bytes(args[..4].try_into().expect("4")) as usize;
+            let payload = &args[4..];
+            // Session buffers live mid-heap, as on a real allocator; the
+            // over-read can therefore run off the end of the heap page.
+            let buf = cx.heap_base_of(lib_enclave)?.add(256);
+            cx.write(buf, payload)?;
+            process_heartbeat(
+                cx,
+                buf,
+                payload.len(),
+                claimed,
+                &HeartbeatConfig { vulnerable },
+            )
+        })
+    }
+
+    /// Monolithic: library and app share one enclave; the app "secret"
+    /// lives in the same heap, 256 bytes after the session buffer.
+    fn monolithic_app(vulnerable: bool) -> NestedApp {
+        let mut app = NestedApp::new(HwConfig::small());
+        let img = EnclaveImage::new("server", b"provider")
+            .heap_pages(1)
+            .edl(Edl::new().ecall("heartbeat").ecall("store_secret"));
+        let store: TrustedFn = Arc::new(|cx, args| {
+            let heap = cx.heap_base_of("server")?;
+            cx.write(heap.add(512), args)?;
+            Ok(vec![])
+        });
+        app.load(
+            img,
+            [
+                ("heartbeat".to_string(), heartbeat_fn("server", vulnerable)),
+                ("store_secret".to_string(), store),
+            ],
+        )
+        .unwrap();
+        app
+    }
+
+    /// Nested: the library is the outer enclave; the app (holding the
+    /// secret) is an inner enclave whose ELRANGE is adjacent.
+    fn nested_app(vulnerable: bool) -> NestedApp {
+        let mut app = NestedApp::new(HwConfig::small());
+        let lib = EnclaveImage::new("ssl", b"openssl-project")
+            .heap_pages(1)
+            .edl(Edl::new().ecall("heartbeat"));
+        app.load(lib, [("heartbeat".to_string(), heartbeat_fn("ssl", vulnerable))])
+            .unwrap();
+        let appimg = EnclaveImage::new("app", b"provider")
+            .heap_pages(1)
+            .edl(Edl::new().ecall("store_secret"));
+        let store: TrustedFn = Arc::new(|cx, args| {
+            let heap = cx.heap_base_of("app")?;
+            cx.write(heap, args)?;
+            Ok(vec![])
+        });
+        app.load(appimg, [("store_secret".to_string(), store)]).unwrap();
+        app.associate("app", "ssl").unwrap();
+        app
+    }
+
+    const SECRET: &[u8] = b"MASTER-KEY-0123456789abcdef";
+
+    fn attack(app: &mut NestedApp, enclave: &str, claimed: usize) -> Result<Vec<u8>> {
+        let mut args = (claimed as u32).to_le_bytes().to_vec();
+        args.extend_from_slice(b"ping"); // 4 actual payload bytes
+        app.ecall(0, enclave, "heartbeat", &args)
+    }
+
+    #[test]
+    fn benign_heartbeat_echoes() {
+        let mut app = monolithic_app(true);
+        let out = attack(&mut app, "server", 4).unwrap();
+        assert_eq!(out, b"ping");
+    }
+
+    #[test]
+    fn monolithic_vulnerable_leaks_the_secret() {
+        let mut app = monolithic_app(true);
+        app.ecall(0, "server", "store_secret", SECRET).unwrap();
+        let leaked = attack(&mut app, "server", 512).unwrap();
+        assert!(
+            leaked.windows(SECRET.len()).any(|w| w == SECRET),
+            "HeartBleed must reproduce in the monolithic enclave"
+        );
+    }
+
+    #[test]
+    fn monolithic_patched_discards() {
+        let mut app = monolithic_app(false);
+        app.ecall(0, "server", "store_secret", SECRET).unwrap();
+        let err = attack(&mut app, "server", 512).unwrap_err();
+        assert!(matches!(err, SgxError::GeneralProtection(_)));
+    }
+
+    #[test]
+    fn nested_vulnerable_is_stopped_by_hardware() {
+        let mut app = nested_app(true);
+        app.ecall(0, "app", "store_secret", SECRET).unwrap();
+        // The ssl heap page is the last page of the outer ELRANGE; the
+        // inner enclave sits immediately after, so the 4 KiB over-read
+        // crosses into it and the access validation faults.
+        let err = attack(&mut app, "ssl", MAX_HEARTBEAT).unwrap_err();
+        match err {
+            SgxError::Fault { kind, .. } => {
+                assert_eq!(kind, FaultKind::EpcmEnclaveMismatch);
+            }
+            other => panic!("expected a hardware fault, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nested_leak_never_contains_secret() {
+        // Even reads that stay within the outer enclave leak only outer
+        // data — the secret lives in the inner enclave.
+        let mut app = nested_app(true);
+        app.ecall(0, "app", "store_secret", SECRET).unwrap();
+        let leaked = attack(&mut app, "ssl", 512).unwrap();
+        assert!(
+            !leaked.windows(SECRET.len()).any(|w| w == SECRET),
+            "secret must not be reachable from the outer enclave"
+        );
+    }
+
+    #[test]
+    fn protocol_maximum_enforced() {
+        let mut app = monolithic_app(true);
+        let err = attack(&mut app, "server", MAX_HEARTBEAT + 1).unwrap_err();
+        assert!(matches!(err, SgxError::GeneralProtection(_)));
+    }
+}

@@ -1,0 +1,122 @@
+//! § VIII extension: multi-level nesting as defense in depth.
+//!
+//! A three-tier pipeline — protocol parser (outermost, most exposed),
+//! business logic (middle), key vault (innermost) — where each tier can
+//! reach *down* the chain for data it owns at a lower classification but
+//! never *up*. Compromising the parser yields nothing from the logic tier;
+//! compromising the logic tier yields nothing from the vault.
+//!
+//! Requires the depth-3 validator (`NestedValidator::with_max_depth(3)`).
+//!
+//! ```text
+//! cargo run -p nested-enclave-repro --example defense_in_depth
+//! ```
+
+use ne_core::edl::Edl;
+use ne_core::loader::EnclaveImage;
+use ne_core::runtime::{NestedApp, TrustedFn};
+use ne_core::validate::NestedValidator;
+use ne_sgx::config::HwConfig;
+use ne_sgx::machine::Machine;
+use std::error::Error;
+use std::sync::Arc;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let machine = Machine::with_validator(
+        HwConfig::testbed(),
+        Box::new(NestedValidator::with_max_depth(3)),
+    );
+    let mut app = NestedApp::with_machine(machine);
+
+    // Tier 0 (outermost): the protocol parser — 3rd-party code, most
+    // exposed, lowest classification.
+    let parser = EnclaveImage::new("parser", b"3rd-party")
+        .heap_pages(2)
+        .edl(Edl::new().ecall("handle"));
+    let handle: TrustedFn = Arc::new(|cx, wire| {
+        // Parse "verb payload", then hand off to the logic tier.
+        let text = String::from_utf8_lossy(wire).to_string();
+        let (verb, payload) = text.split_once(' ').unwrap_or((&text, ""));
+        cx.n_ecall("logic", "process", format!("{verb}:{payload}").as_bytes())
+    });
+    app.load(parser, [("handle".to_string(), handle)])?;
+
+    // Tier 1: business logic — in-house code, middle classification. It is
+    // an *inner* of the parser, so the parser cannot see its state, but it
+    // can read parser memory (e.g. zero-copy request buffers).
+    let logic = EnclaveImage::new("logic", b"acme")
+        .heap_pages(2)
+        .edl(Edl::new().n_ecall("process"));
+    let process: TrustedFn = Arc::new(|cx, req| {
+        let text = String::from_utf8_lossy(req).to_string();
+        match text.split_once(':') {
+            Some(("sign", payload)) => {
+                let mac = cx.n_ecall("vault", "sign", payload.as_bytes())?;
+                let mut out = b"signed:".to_vec();
+                out.extend_from_slice(&mac[..8]);
+                Ok(out)
+            }
+            _ => Ok(b"error:unknown verb".to_vec()),
+        }
+    });
+    app.load(logic, [("process".to_string(), process)])?;
+
+    // Tier 2 (innermost): the key vault — top secret. Only the logic tier
+    // may call it; the signing key never leaves it.
+    let vault = EnclaveImage::new("vault", b"acme-security")
+        .heap_pages(1)
+        .edl(Edl::new().n_ecall("sign"));
+    let sign: TrustedFn = Arc::new(|cx, payload| {
+        // Derive the signing key from the platform (EGETKEY) on demand —
+        // it exists only inside the vault.
+        let key = cx.machine.egetkey(cx.core(), ne_sgx::attest::KeyPolicy::SealToEnclave)?;
+        Ok(ne_crypto::hmac::hmac_sha256(&key, payload).to_vec())
+    });
+    app.load(vault, [("sign".to_string(), sign)])?;
+
+    // Chain the tiers: logic inside parser, vault inside logic.
+    app.associate("logic", "parser")?;
+    app.associate("vault", "logic")?;
+
+    let reply = app.ecall(0, "parser", "handle", b"sign hello-world")?;
+    println!("reply: {}", String::from_utf8_lossy(&reply[..7]));
+    assert!(reply.starts_with(b"signed:"));
+    let stats = app.machine.stats();
+    println!(
+        "transitions: {} n_ecalls / {} n_ocalls across the 3-tier chain",
+        stats.n_ecalls, stats.n_ocalls
+    );
+
+    // Now the security claims, tier by tier.
+    let vault_heap = app.layout("vault")?.heap_base;
+    let logic_heap = app.layout("logic")?.heap_base;
+    let parser_heap = app.layout("parser")?.heap_base;
+
+    // Compromised parser: cannot read logic or vault.
+    let parser_l = app.layout("parser")?;
+    app.machine.eenter(0, parser_l.eid, parser_l.base)?;
+    assert!(app.machine.read(0, logic_heap, 8).is_err());
+    assert!(app.machine.read(0, vault_heap, 8).is_err());
+    app.machine.eexit(0)?;
+    println!("parser tier: cannot read logic or vault (hardware faults)");
+
+    // Compromised logic: can read the parser (lower tier) but not the vault.
+    let logic_l = app.layout("logic")?;
+    app.machine.eenter(0, logic_l.eid, logic_l.base)?;
+    assert!(app.machine.read(0, parser_heap, 8).is_ok());
+    assert!(app.machine.read(0, vault_heap, 8).is_err());
+    app.machine.eexit(0)?;
+    println!("logic tier: reads parser (down) but not vault (up)");
+
+    // The vault reads everything below it — the full MLS ordering.
+    let vault_l = app.layout("vault")?;
+    app.machine.eenter(0, vault_l.eid, vault_l.base)?;
+    assert!(app.machine.read(0, logic_heap, 8).is_ok());
+    assert!(app.machine.read(0, parser_heap, 8).is_ok());
+    app.machine.eexit(0)?;
+    println!("vault tier: reads the whole chain below it");
+    app.machine.audit_tlbs().expect("invariants hold");
+
+    println!("defense_in_depth example OK");
+    Ok(())
+}

@@ -1,0 +1,105 @@
+//! Case study § VI-A: reproducing HeartBleed inside an enclave, then
+//! confining it with a nested enclave.
+//!
+//! The vulnerable mini-TLS library processes heartbeat requests by
+//! trusting the attacker-controlled length field. In the monolithic
+//! configuration the library shares the enclave (and heap) with the
+//! application, so the over-read returns application secrets. In the
+//! nested configuration the library runs in the outer enclave; the same
+//! over-read slams into the inner enclave's pages and the access
+//! validation hardware faults it.
+//!
+//! ```text
+//! cargo run -p nested-enclave-repro --example heartbleed
+//! ```
+
+use ne_core::edl::Edl;
+use ne_core::loader::EnclaveImage;
+use ne_core::runtime::{NestedApp, TrustedFn};
+use ne_sgx::config::HwConfig;
+use ne_sgx::error::SgxError;
+use ne_tls::heartbeat::{process_heartbeat, HeartbeatConfig, MAX_HEARTBEAT};
+use std::error::Error;
+use std::sync::Arc;
+
+const SECRET: &[u8] = b"PRIVATE-KEY: 9f3a1c...";
+
+/// The vulnerable library entry point: store the request payload in the
+/// session buffer, then echo `claimed` bytes back.
+fn heartbeat_fn(lib: &'static str) -> TrustedFn {
+    Arc::new(move |cx, args| {
+        let claimed = u32::from_le_bytes(args[..4].try_into().expect("len")) as usize;
+        let payload = &args[4..];
+        let buf = cx.heap_base_of(lib)?.add(256);
+        cx.write(buf, payload)?;
+        process_heartbeat(cx, buf, payload.len(), claimed, &HeartbeatConfig { vulnerable: true })
+    })
+}
+
+fn attack(app: &mut NestedApp, enclave: &str, claimed: usize) -> Result<Vec<u8>, SgxError> {
+    let mut args = (claimed as u32).to_le_bytes().to_vec();
+    args.extend_from_slice(b"ping");
+    app.ecall(0, enclave, "heartbeat", &args)
+}
+
+fn main() -> Result<(), Box<dyn Error>> {
+    println!("== monolithic enclave: OpenSSL-alike + app share one protection domain ==");
+    let mut mono = NestedApp::new(HwConfig::small());
+    let img = EnclaveImage::new("server", b"provider")
+        .heap_pages(1)
+        .edl(Edl::new().ecall("heartbeat").ecall("store_secret"));
+    let store: TrustedFn = Arc::new(|cx, args| {
+        let heap = cx.heap_base_of("server")?;
+        cx.write(heap.add(512), args)?; // app secret, adjacent on the heap
+        Ok(vec![])
+    });
+    mono.load(
+        img,
+        [
+            ("heartbeat".to_string(), heartbeat_fn("server")),
+            ("store_secret".to_string(), store),
+        ],
+    )?;
+    mono.ecall(0, "server", "store_secret", SECRET)?;
+    let leaked = attack(&mut mono, "server", 600)?;
+    let found = leaked.windows(SECRET.len()).any(|w| w == SECRET);
+    println!("  crafted heartbeat (claimed 600 B, sent 4 B) leaked {} bytes", leaked.len());
+    println!("  secret present in leak: {found}");
+    assert!(found, "HeartBleed must reproduce in the monolithic enclave");
+
+    println!("\n== nested enclave: library confined to the outer enclave ==");
+    let mut nested = NestedApp::new(HwConfig::small());
+    let lib = EnclaveImage::new("ssl", b"openssl-project")
+        .heap_pages(1)
+        .edl(Edl::new().ecall("heartbeat"));
+    nested.load(lib, [("heartbeat".to_string(), heartbeat_fn("ssl"))])?;
+    let appimg = EnclaveImage::new("app", b"provider")
+        .heap_pages(1)
+        .edl(Edl::new().ecall("store_secret"));
+    let store: TrustedFn = Arc::new(|cx, args| {
+        let heap = cx.heap_base_of("app")?;
+        cx.write(heap, args)?;
+        Ok(vec![])
+    });
+    nested.load(appimg, [("store_secret".to_string(), store)])?;
+    nested.associate("app", "ssl")?;
+    nested.ecall(0, "app", "store_secret", SECRET)?;
+
+    // Same bug, same attack. Reads that stay inside the outer enclave leak
+    // only outer data...
+    let leaked = attack(&mut nested, "ssl", 600)?;
+    let found = leaked.windows(SECRET.len()).any(|w| w == SECRET);
+    println!("  in-library over-read leaked {} bytes; secret present: {found}", leaked.len());
+    assert!(!found, "the secret lives in the inner enclave");
+
+    // ...and the maximal over-read that reaches the inner enclave's pages
+    // is killed by the hardware.
+    match attack(&mut nested, "ssl", MAX_HEARTBEAT) {
+        Err(SgxError::Fault { kind, addr }) => {
+            println!("  4 KiB over-read faulted at {addr}: {kind} — attack blocked");
+        }
+        other => panic!("expected a hardware fault, got {other:?}"),
+    }
+    println!("\nheartbleed example OK");
+    Ok(())
+}

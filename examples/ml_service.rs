@@ -1,0 +1,157 @@
+//! Case study § VI-B: machine learning as a service with per-user inner
+//! enclaves sharing one LibSVM outer enclave.
+//!
+//! Each client gets an inner enclave that decrypts its private samples,
+//! strips the privacy-sensitive columns, and only then calls the shared
+//! library. Peer inner enclaves are hardware-isolated from each other:
+//! user A can never read user B's raw data, and neither can the library.
+//!
+//! ```text
+//! cargo run -p nested-enclave-repro --example ml_service
+//! ```
+
+use ne_core::edl::Edl;
+use ne_core::loader::EnclaveImage;
+use ne_core::runtime::{NestedApp, TrustedFn};
+use ne_sgx::config::HwConfig;
+use ne_svm::data::Dataset;
+use ne_svm::filter::FilterPolicy;
+use ne_svm::smo::{train, TrainParams};
+use std::collections::HashMap;
+use std::error::Error;
+use std::sync::{Arc, Mutex};
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let mut app = NestedApp::new(HwConfig::testbed());
+
+    // The shared service library: one SVM model slot per user.
+    let models: Arc<Mutex<HashMap<String, ne_svm::SvmModel>>> =
+        Arc::new(Mutex::new(HashMap::new()));
+    let lib = EnclaveImage::new("libsvm", b"service-provider")
+        .code_pages(32)
+        .heap_pages(8)
+        .edl(Edl::new());
+    let m1 = models.clone();
+    let svm_train: TrustedFn = Arc::new(move |_cx, args| {
+        let (user, data) = split_user(args);
+        let ds = Dataset::from_bytes(data, 2);
+        let model = train(&ds, &TrainParams::default());
+        m1.lock().expect("poisoned").insert(user, model);
+        Ok(vec![])
+    });
+    let m2 = models.clone();
+    let svm_predict: TrustedFn = Arc::new(move |_cx, args| {
+        let (user, data) = split_user(args);
+        let ds = Dataset::from_bytes(data, 2);
+        let guard = m2.lock().expect("poisoned");
+        let model = guard.get(&user).expect("train first");
+        Ok(ds.samples.iter().map(|x| model.predict(x) as u8).collect())
+    });
+    app.load(
+        lib,
+        [
+            ("svm_train".to_string(), svm_train),
+            ("svm_predict".to_string(), svm_predict),
+        ],
+    )?;
+
+    // Three tenants, each with a private inner enclave holding its raw
+    // data and its anonymization filter.
+    let users = ["alice", "bob", "carol"];
+    for (i, user) in users.iter().enumerate() {
+        let img = EnclaveImage::new(user, format!("tenant-{user}").as_bytes())
+            .heap_pages(8)
+            .edl(
+                Edl::new()
+                    .ecall("train")
+                    .ecall("predict")
+                    .n_ocall("svm_train")
+                    .n_ocall("svm_predict"),
+            );
+        let uname = user.to_string();
+        let policy = FilterPolicy {
+            drop_columns: vec![i], // each tenant treats a different column as private
+            quantize: vec![],
+        };
+        let p2 = policy.clone();
+        let u2 = uname.clone();
+        let train_fn: TrustedFn = Arc::new(move |cx, args| {
+            // Raw client data is top secret: it is only ever plaintext here,
+            // in the tenant's own inner enclave.
+            let ds = Dataset::from_bytes(args, 2);
+            let sanitized = policy.anonymize(&ds);
+            cx.n_ocall("svm_train", &with_user(&uname, &sanitized.to_bytes()))
+        });
+        let predict_fn: TrustedFn = Arc::new(move |cx, args| {
+            let ds = Dataset::from_bytes(args, 2);
+            let sanitized = p2.anonymize(&ds);
+            cx.n_ocall("svm_predict", &with_user(&u2, &sanitized.to_bytes()))
+        });
+        app.load(
+            img,
+            [
+                ("train".to_string(), train_fn),
+                ("predict".to_string(), predict_fn),
+            ],
+        )?;
+        app.associate(user, "libsvm")?;
+    }
+
+    // Each tenant trains on its own data and gets useful predictions.
+    for (i, user) in users.iter().enumerate() {
+        let data = Dataset::synthetic(2, 60, 16, 100 + i as u64);
+        app.ecall(0, user, "train", &data.to_bytes())?;
+        let test = Dataset::synthetic(2, 20, 16, 900 + i as u64);
+        let preds = app.ecall(0, user, "predict", &test.to_bytes())?;
+        let correct = preds
+            .iter()
+            .zip(&test.labels)
+            .filter(|(&p, &l)| p as usize == l)
+            .count();
+        println!("{user}: accuracy {}/{} on held-out data", correct, test.len());
+        assert!(correct * 100 / test.len() > 70, "model should be useful");
+    }
+
+    // Peer isolation: alice's inner enclave cannot be read by bob's, by
+    // the library, or by the untrusted world.
+    let alice_heap = app.layout("alice")?.heap_base;
+    let snoop = app.untrusted(0, |cx| cx.read(alice_heap, 16))?;
+    assert_eq!(snoop, vec![0xFF; 16], "untrusted sees abort-page ones");
+    let bob = app.eid("bob")?;
+    let bob_base = app.layout("bob")?.base;
+    app.machine.eenter(0, bob, bob_base)?;
+    let err = app.machine.read(0, alice_heap, 16).unwrap_err();
+    app.machine.eexit(0)?;
+    println!("bob reading alice's inner enclave: {err}");
+    let lib_eid = app.eid("libsvm")?;
+    let lib_base = app.layout("libsvm")?.base;
+    app.machine.eenter(0, lib_eid, lib_base)?;
+    let err = app.machine.read(0, alice_heap, 16).unwrap_err();
+    app.machine.eexit(0)?;
+    println!("shared library reading alice's inner enclave: {err}");
+
+    let stats = app.machine.stats();
+    println!(
+        "transitions: {} n_ecalls + {} n_ocalls across {} tenants sharing one library",
+        stats.n_ecalls,
+        stats.n_ocalls,
+        users.len()
+    );
+    println!("ml_service example OK");
+    Ok(())
+}
+
+fn with_user(user: &str, data: &[u8]) -> Vec<u8> {
+    let mut out = vec![user.len() as u8];
+    out.extend_from_slice(user.as_bytes());
+    out.extend_from_slice(data);
+    out
+}
+
+fn split_user(args: &[u8]) -> (String, &[u8]) {
+    let n = args[0] as usize;
+    (
+        String::from_utf8_lossy(&args[1..1 + n]).to_string(),
+        &args[1 + n..],
+    )
+}

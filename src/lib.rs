@@ -1,0 +1,2 @@
+//! Root package: examples and integration tests live here.
+pub use ne_core; pub use ne_sgx;

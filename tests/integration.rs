@@ -1,0 +1,269 @@
+//! Cross-crate integration tests: whole-application flows spanning the
+//! simulator, the nested-enclave extension, and the case-study substrates.
+
+use ne_core::edl::Edl;
+use ne_core::loader::EnclaveImage;
+use ne_core::runtime::{EnclaveCtx, NestedApp, TrustedFn};
+use ne_sgx::config::HwConfig;
+use ne_sgx::PAGE_SIZE;
+use std::sync::Arc;
+
+fn tf(
+    f: impl Fn(&mut EnclaveCtx<'_>, &[u8]) -> ne_sgx::Result<Vec<u8>> + Send + Sync + 'static,
+) -> TrustedFn {
+    Arc::new(f)
+}
+
+/// An end-to-end three-tier flow: untrusted client → inner application →
+/// outer library → untrusted ocall, and all the way back.
+#[test]
+fn three_tier_call_chain() {
+    let mut app = NestedApp::new(HwConfig::testbed());
+    app.register_untrusted(
+        "log_line",
+        Arc::new(|_cx, args| {
+            let mut v = b"logged:".to_vec();
+            v.extend_from_slice(args);
+            Ok(v)
+        }),
+    );
+    let lib = EnclaveImage::new("lib", b"vendor").edl(Edl::new().ocall("log_line"));
+    app.load(
+        lib,
+        [(
+            "compress".to_string(),
+            tf(|cx, args| {
+                // The outer library may itself ocall out to the untrusted
+                // world (e.g. for I/O).
+                let logged = cx.ocall("log_line", b"compress called")?;
+                assert!(logged.starts_with(b"logged:"));
+                Ok(args.iter().step_by(2).copied().collect())
+            }),
+        )],
+    )
+    .unwrap();
+    let inner = EnclaveImage::new("app", b"owner")
+        .edl(Edl::new().ecall("handle").n_ocall("compress"));
+    app.load(
+        inner,
+        [(
+            "handle".to_string(),
+            tf(|cx, args| cx.n_ocall("compress", args)),
+        )],
+    )
+    .unwrap();
+    app.associate("app", "lib").unwrap();
+    let out = app.ecall(0, "app", "handle", b"abcdef").unwrap();
+    assert_eq!(out, b"ace");
+    let s = app.machine.stats();
+    assert_eq!(s.n_ocalls, 1);
+    assert_eq!(s.n_ecalls, 1);
+    assert!(s.ocalls >= 2, "lib ocall + final eexits");
+    app.machine.audit_tlbs().unwrap();
+}
+
+/// Deep nesting (§ VIII): three levels, with the innermost reading the
+/// outermost's memory through the chain under a depth-3 validator.
+#[test]
+fn three_level_nesting_end_to_end() {
+    use ne_core::validate::NestedValidator;
+    use ne_sgx::machine::Machine;
+    let machine = Machine::with_validator(
+        HwConfig::testbed(),
+        Box::new(NestedValidator::with_max_depth(3)),
+    );
+    let mut app = NestedApp::with_machine(machine);
+    for name in ["l0", "l1", "l2"] {
+        app.load(
+            EnclaveImage::new(name, b"owner").heap_pages(2).edl(Edl::new()),
+            [],
+        )
+        .unwrap();
+    }
+    app.associate("l1", "l0").unwrap();
+    app.associate("l2", "l1").unwrap();
+    // Write into l0's heap from l0 itself.
+    let l0 = app.eid("l0").unwrap();
+    let l0_base = app.layout("l0").unwrap().base;
+    let l0_heap = app.layout("l0").unwrap().heap_base;
+    app.machine.eenter(0, l0, l0_base).unwrap();
+    app.machine.write(0, l0_heap, b"root data").unwrap();
+    app.machine.eexit(0).unwrap();
+    // The innermost reads it through the two-hop chain.
+    let l2 = app.eid("l2").unwrap();
+    let l2_base = app.layout("l2").unwrap().base;
+    app.machine.eenter(0, l2, l2_base).unwrap();
+    assert_eq!(app.machine.read(0, l0_heap, 9).unwrap(), b"root data");
+    app.machine.audit_tlbs().unwrap();
+    app.machine.eexit(0).unwrap();
+    // But l0 can read neither l1 nor l2.
+    let l2_heap = app.layout("l2").unwrap().heap_base;
+    app.machine.eenter(0, l0, l0_base).unwrap();
+    assert!(app.machine.read(0, l2_heap, 1).is_err());
+    app.machine.eexit(0).unwrap();
+}
+
+/// The EPC paging path works for enclaves that are part of a nested tree,
+/// including the § IV-E shootdown of inner-enclave threads.
+#[test]
+fn eviction_of_shared_outer_under_load() {
+    let mut app = NestedApp::new(HwConfig::testbed());
+    app.load(
+        EnclaveImage::new("outer", b"o").heap_pages(4).edl(Edl::new()),
+        [],
+    )
+    .unwrap();
+    app.load(
+        EnclaveImage::new("inner", b"i").heap_pages(2).edl(Edl::new()),
+        [],
+    )
+    .unwrap();
+    app.associate("inner", "outer").unwrap();
+    let outer = app.layout("outer").unwrap();
+    let inner = app.layout("inner").unwrap();
+    // Inner thread caches translations into the outer heap.
+    app.machine.eenter(1, inner.eid, inner.base).unwrap();
+    app.machine
+        .write(1, outer.heap_base, b"will be evicted")
+        .unwrap();
+    // OS evicts that outer page: the inner thread must take an AEX.
+    let blob = app.machine.ewb(outer.eid, outer.heap_base).unwrap();
+    assert_eq!(app.machine.current_enclave(1), None);
+    assert!(app.machine.stats().aexes >= 1);
+    // Reload and resume; the data survives.
+    app.machine.eldu(&blob).unwrap();
+    app.machine.eresume(1, inner.eid, inner.base).unwrap();
+    assert_eq!(
+        app.machine.read(1, outer.heap_base, 15).unwrap(),
+        b"will be evicted"
+    );
+    app.machine.audit_tlbs().unwrap();
+}
+
+/// Two inner enclaves exchange a multi-page payload through the outer
+/// channel with full integrity.
+#[test]
+fn bulk_transfer_through_outer_channel() {
+    use ne_core::channel::OuterChannel;
+    let mut app = NestedApp::new(HwConfig::testbed());
+    app.load(
+        EnclaveImage::new("hub", b"p").heap_pages(40).edl(Edl::new()),
+        [],
+    )
+    .unwrap();
+    for n in ["a", "b"] {
+        app.load(EnclaveImage::new(n, b"t").heap_pages(2).edl(Edl::new()), [])
+            .unwrap();
+        app.associate(n, "hub").unwrap();
+    }
+    let payload: Vec<u8> = (0..3 * PAGE_SIZE).map(|i| (i % 251) as u8).collect();
+    let a = app.layout("a").unwrap();
+    app.machine.eenter(0, a.eid, a.base).unwrap();
+    let ch = {
+        let mut cx = app.enclave_ctx(0, "a");
+        let ch = OuterChannel::create(&mut cx, "hub", 4 * PAGE_SIZE as u64 + 128).unwrap();
+        ch.send(&mut cx, &payload).unwrap();
+        ch
+    };
+    app.machine.eexit(0).unwrap();
+    let b = app.layout("b").unwrap();
+    app.machine.eenter(0, b.eid, b.base).unwrap();
+    {
+        let mut cx = app.enclave_ctx(0, "b");
+        let got = ch.recv(&mut cx).unwrap().unwrap();
+        assert_eq!(got, payload);
+    }
+    app.machine.eexit(0).unwrap();
+}
+
+/// Sealing: data sealed by an enclave with EGETKEY survives teardown and
+/// reload of the *same* enclave, and is unreadable by a different enclave.
+#[test]
+fn sealing_across_reload() {
+    use ne_crypto::gcm::AesGcm;
+    use ne_sgx::attest::KeyPolicy;
+    let mut app = NestedApp::new(HwConfig::testbed());
+    let img = EnclaveImage::new("sealer", b"owner").heap_pages(1).edl(Edl::new());
+    app.load(img.clone(), []).unwrap();
+    let l = app.layout("sealer").unwrap();
+    app.machine.eenter(0, l.eid, l.base).unwrap();
+    let key = app.machine.egetkey(0, KeyPolicy::SealToEnclave).unwrap();
+    app.machine.eexit(0).unwrap();
+    let sealed = AesGcm::new(&key).seal(&[0; 12], b"persist me", b"");
+    // Tear down and load an identical enclave at the same address.
+    app.machine.eremove(l.eid).unwrap();
+    let l2 = ne_core::load_image(&mut app.machine, ne_sgx::ProcessId(0), l.base, &img).unwrap();
+    app.machine.eenter(0, l2.eid, l2.base).unwrap();
+    let key2 = app.machine.egetkey(0, KeyPolicy::SealToEnclave).unwrap();
+    app.machine.eexit(0).unwrap();
+    assert_eq!(key, key2, "same identity ⇒ same sealing key");
+    assert_eq!(
+        AesGcm::new(&key2).open(&[0; 12], &sealed, b"").unwrap(),
+        b"persist me"
+    );
+    // A different enclave derives a different key.
+    let other = EnclaveImage::new("other", b"owner").heap_pages(1).edl(Edl::new());
+    app.load(other, []).unwrap();
+    let lo = app.layout("other").unwrap();
+    app.machine.eenter(0, lo.eid, lo.base).unwrap();
+    let key3 = app.machine.egetkey(0, KeyPolicy::SealToEnclave).unwrap();
+    app.machine.eexit(0).unwrap();
+    assert_ne!(key, key3);
+    assert!(AesGcm::new(&key3).open(&[0; 12], &sealed, b"").is_err());
+}
+
+/// The full mini-TLS stack over enclave boundaries: handshake, then
+/// records served by the nested echo app.
+#[test]
+fn tls_stack_end_to_end() {
+    use ne_tls::echo::{run_echo, EchoConfig};
+    use ne_tls::handshake::{perform_handshake, ClientHello, CipherSuite, TLS_VERSION};
+    let hello = ClientHello {
+        version: TLS_VERSION,
+        suites: vec![CipherSuite::Aes128Gcm],
+        random: [3; 16],
+    };
+    let keys = perform_handshake(b"master", &hello, [4; 16]).unwrap();
+    assert_eq!(keys.suite, CipherSuite::Aes128Gcm);
+    let run = run_echo(&EchoConfig {
+        chunk_size: 512,
+        num_messages: 10,
+        nested: true,
+    })
+    .unwrap();
+    assert_eq!(run.bytes, 5120);
+    assert!(run.n_ocalls > 0);
+}
+
+/// Multi-core: two cores run two different inner enclaves concurrently
+/// against the same shared outer enclave.
+#[test]
+fn concurrent_inners_on_two_cores() {
+    let mut app = NestedApp::new(HwConfig::testbed());
+    app.load(
+        EnclaveImage::new("hub", b"p").heap_pages(8).edl(Edl::new()),
+        [],
+    )
+    .unwrap();
+    for n in ["a", "b"] {
+        app.load(EnclaveImage::new(n, b"t").heap_pages(2).edl(Edl::new()), [])
+            .unwrap();
+        app.associate(n, "hub").unwrap();
+    }
+    let a = app.layout("a").unwrap();
+    let b = app.layout("b").unwrap();
+    let hub_heap = app.layout("hub").unwrap().heap_base;
+    app.machine.eenter(0, a.eid, a.base).unwrap();
+    app.machine.eenter(1, b.eid, b.base).unwrap();
+    // Both cores touch the shared outer heap — distinct offsets.
+    app.machine.write(0, hub_heap, b"from-a").unwrap();
+    app.machine.write(1, hub_heap.add(64), b"from-b").unwrap();
+    assert_eq!(app.machine.read(1, hub_heap, 6).unwrap(), b"from-a");
+    assert_eq!(app.machine.read(0, hub_heap.add(64), 6).unwrap(), b"from-b");
+    // But neither can read the other's private heap.
+    assert!(app.machine.read(0, b.heap_base, 1).is_err());
+    assert!(app.machine.read(1, a.heap_base, 1).is_err());
+    app.machine.audit_tlbs().unwrap();
+    app.machine.eexit(0).unwrap();
+    app.machine.eexit(1).unwrap();
+}

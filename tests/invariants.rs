@@ -1,0 +1,241 @@
+//! Property-based tests of the § VII-A security invariants.
+//!
+//! The key invariant of SGX's TLB-based access control is that *the TLB
+//! only ever contains valid translations* (§ II-B). We drive the machine
+//! with arbitrary interleavings of benign and hostile operations — enclave
+//! transitions, memory accesses, OS remappings, evictions — and audit
+//! every core's TLB against invariants 1–4 after every step.
+
+use ne_core::edl::Edl;
+use ne_core::loader::EnclaveImage;
+use ne_core::runtime::NestedApp;
+use ne_core::transitions::{neenter, neexit};
+use ne_sgx::addr::{Ppn, VirtAddr, PAGE_SIZE};
+use ne_sgx::config::HwConfig;
+use ne_sgx::epcm::PagePerms;
+use ne_sgx::instr::EvictedPage;
+use ne_sgx::ProcessId;
+use proptest::prelude::*;
+
+/// One step of the adversarial schedule.
+#[derive(Debug, Clone)]
+enum Op {
+    Read { core: usize, region: u8, offset: u16 },
+    Write { core: usize, region: u8, offset: u16 },
+    Eenter { core: usize, which: u8 },
+    Eexit { core: usize },
+    Neenter { core: usize, which: u8 },
+    Neexit { core: usize },
+    Aex { core: usize },
+    OsRemap { victim: u8, target: u8 },
+    OsUnmap { victim: u8 },
+    FlushTlb { core: usize },
+    Evict { which: u8, page: u8 },
+    Reload,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..3usize, 0..4u8, 0..2048u16).prop_map(|(core, region, offset)| Op::Read {
+            core,
+            region,
+            offset
+        }),
+        (0..3usize, 0..4u8, 0..2048u16).prop_map(|(core, region, offset)| Op::Write {
+            core,
+            region,
+            offset
+        }),
+        (0..3usize, 0..3u8).prop_map(|(core, which)| Op::Eenter { core, which }),
+        (0..3usize).prop_map(|core| Op::Eexit { core }),
+        (0..3usize, 0..2u8).prop_map(|(core, which)| Op::Neenter { core, which }),
+        (0..3usize).prop_map(|core| Op::Neexit { core }),
+        (0..3usize).prop_map(|core| Op::Aex { core }),
+        (0..4u8, 0..4u8).prop_map(|(victim, target)| Op::OsRemap { victim, target }),
+        (0..4u8).prop_map(|victim| Op::OsUnmap { victim }),
+        (0..3usize).prop_map(|core| Op::FlushTlb { core }),
+        (0..2u8, 0..2u8).prop_map(|(which, page)| Op::Evict { which, page }),
+        Just(Op::Reload),
+    ]
+}
+
+struct Fixture {
+    app: NestedApp,
+    /// region index → a base VA (0: hub heap, 1: inner-a heap, 2: inner-b
+    /// heap, 3: untrusted buffer).
+    regions: Vec<VirtAddr>,
+    names: Vec<&'static str>,
+    evicted: Vec<EvictedPage>,
+}
+
+fn fixture() -> Fixture {
+    let mut app = NestedApp::new(HwConfig::small());
+    app.load(
+        EnclaveImage::new("hub", b"provider").heap_pages(4).edl(Edl::new()),
+        [],
+    )
+    .unwrap();
+    for n in ["a", "b"] {
+        app.load(
+            EnclaveImage::new(n, b"tenant").heap_pages(2).edl(Edl::new()),
+            [],
+        )
+        .unwrap();
+        app.associate(n, "hub").unwrap();
+    }
+    let untrusted = app.untrusted(0, |cx| cx.alloc_untrusted(2));
+    let regions = vec![
+        app.layout("hub").unwrap().heap_base,
+        app.layout("a").unwrap().heap_base,
+        app.layout("b").unwrap().heap_base,
+        untrusted,
+    ];
+    Fixture {
+        app,
+        regions,
+        names: vec!["hub", "a", "b"],
+        evicted: Vec::new(),
+    }
+}
+
+impl Fixture {
+    fn apply(&mut self, op: &Op) {
+        let m = &mut self.app.machine;
+        match op {
+            Op::Read { core, region, offset } => {
+                let va = self.regions[*region as usize].add(*offset as u64);
+                let _ = m.read(*core, va, 8);
+            }
+            Op::Write { core, region, offset } => {
+                let va = self.regions[*region as usize].add(*offset as u64);
+                let _ = m.write(*core, va, b"propdata");
+            }
+            Op::Eenter { core, which } => {
+                let name = self.names[*which as usize];
+                let l = self.app.layout(name).unwrap();
+                let _ = self.app.machine.eenter(*core, l.eid, l.base);
+            }
+            Op::Eexit { core } => {
+                let _ = m.eexit(*core);
+            }
+            Op::Neenter { core, which } => {
+                let name = self.names[1 + *which as usize];
+                let l = self.app.layout(name).unwrap();
+                let _ = neenter(&mut self.app.machine, *core, l.eid, l.base);
+            }
+            Op::Neexit { core } => {
+                let _ = neexit(m, *core);
+            }
+            Op::Aex { core } => {
+                let _ = m.aex(*core);
+            }
+            Op::OsRemap { victim, target } => {
+                // Hostile OS: point the victim region's page at the frame
+                // backing the target region (or at a random frame).
+                let victim_va = self.regions[*victim as usize];
+                let target_va = self.regions[*target as usize];
+                if let Some(pte) = m.os_lookup(ProcessId(0), target_va.vpn()) {
+                    m.os_map(ProcessId(0), victim_va.vpn(), pte.ppn, PagePerms::RW);
+                } else {
+                    m.os_map(ProcessId(0), victim_va.vpn(), Ppn(3), PagePerms::RW);
+                }
+                // A *hostile* OS also wouldn't flush TLBs... but stale
+                // entries were validated when inserted, which is exactly
+                // what the invariant audit checks.
+            }
+            Op::OsUnmap { victim } => {
+                let va = self.regions[*victim as usize];
+                m.os_unmap(ProcessId(0), va.vpn());
+            }
+            Op::FlushTlb { core } => m.flush_tlb(*core),
+            Op::Evict { which, page } => {
+                let name = self.names[1 + *which as usize];
+                let l = self.app.layout(name).unwrap();
+                let va = l.heap_base.add(*page as u64 * PAGE_SIZE as u64);
+                if let Ok(blob) = self.app.machine.ewb(l.eid, va) {
+                    self.evicted.push(blob);
+                }
+            }
+            Op::Reload => {
+                if let Some(blob) = self.evicted.pop() {
+                    let _ = self.app.machine.eldu(&blob);
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Invariants 1–4 hold after every step of any adversarial schedule.
+    #[test]
+    fn tlb_only_ever_contains_valid_translations(ops in prop::collection::vec(op_strategy(), 1..80)) {
+        let mut fx = fixture();
+        for (i, op) in ops.iter().enumerate() {
+            fx.apply(op);
+            fx.app.machine.audit_epcm().unwrap();
+            if let Err(violation) = fx.app.machine.audit_tlbs() {
+                panic!("after step {i} ({op:?}): {violation}");
+            }
+        }
+    }
+
+    /// Whatever the schedule, untrusted reads of enclave heaps never see
+    /// anything but abort-page ones.
+    #[test]
+    fn untrusted_never_reads_enclave_plaintext(ops in prop::collection::vec(op_strategy(), 1..60)) {
+        let mut fx = fixture();
+        // Plant recognizable plaintext in each enclave heap.
+        for (i, name) in ["hub", "a", "b"].iter().enumerate() {
+            let l = fx.app.layout(name).unwrap();
+            fx.app.machine.eenter(2, l.eid, l.base).unwrap();
+            fx.app.machine.write(2, l.heap_base, b"PLAINTEXT!").unwrap();
+            fx.app.machine.eexit(2).unwrap();
+            let _ = i;
+        }
+        for op in &ops {
+            fx.apply(op);
+        }
+        // Force core 2 out of any enclave state the schedule left it in.
+        while fx.app.machine.current_enclave(2).is_some() {
+            let _ = fx.app.machine.eexit(2);
+        }
+        for region in 0..3 {
+            let va = fx.regions[region];
+            if let Ok(data) = fx.app.machine.read(2, va, 10) {
+                prop_assert!(
+                    data == vec![0xFF; 10] || data != b"PLAINTEXT!",
+                    "untrusted read returned enclave plaintext"
+                );
+            }
+        }
+    }
+
+    /// Peer inner enclaves never read each other's *data*, no matter the
+    /// preceding schedule. (The OS can always redirect a virtual address
+    /// to untrusted memory — it owns translation — but it can never make
+    /// the peer's EPC contents come back.)
+    #[test]
+    fn peer_isolation_is_schedule_independent(ops in prop::collection::vec(op_strategy(), 1..60)) {
+        let mut fx = fixture();
+        let a = fx.app.layout("a").unwrap();
+        let b = fx.app.layout("b").unwrap();
+        // Plant b's secret before the hostile schedule runs.
+        fx.app.machine.eenter(2, b.eid, b.base).unwrap();
+        fx.app.machine.write(2, b.heap_base, b"B-SECRET").unwrap();
+        fx.app.machine.eexit(2).unwrap();
+        for op in &ops {
+            fx.apply(op);
+        }
+        // Put core 2 cleanly inside enclave a.
+        while fx.app.machine.current_enclave(2).is_some() {
+            let _ = fx.app.machine.eexit(2);
+        }
+        if fx.app.machine.eenter(2, a.eid, a.base).is_ok() {
+            if let Ok(data) = fx.app.machine.read(2, b.heap_base, 8) {
+                prop_assert_ne!(data, b"B-SECRET".to_vec(), "inner a read peer b's secret");
+            }
+        }
+    }
+}
