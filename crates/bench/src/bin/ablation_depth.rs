@@ -5,15 +5,16 @@
 //! measures the innermost enclave's cost of touching the outermost
 //! enclave's memory (worst-case chain traversal on every TLB miss).
 
-use ne_bench::report::{banner, f2, Table};
+use ne_bench::report::{banner, f2, MetricsReport, Table};
 use ne_core::validate::NestedValidator;
 use ne_core::{nasso, AssocPolicy, EnclaveImage};
 use ne_sgx::addr::{VirtAddr, PAGE_SIZE};
 use ne_sgx::config::HwConfig;
 use ne_sgx::enclave::ProcessId;
 use ne_sgx::machine::Machine;
+use ne_sgx::metrics::MachineMetrics;
 
-fn run(depth: usize, touches: usize) -> f64 {
+fn run(depth: usize, touches: usize) -> (f64, MachineMetrics) {
     let mut cfg = HwConfig::testbed();
     cfg.tlb_entries = 1; // every access misses: isolates validation cost
     let mut m = Machine::with_validator(cfg, Box::new(NestedValidator::with_max_depth(depth)));
@@ -50,16 +51,18 @@ fn run(depth: usize, touches: usize) -> f64 {
         m.read(0, outermost.heap_base.add(page * PAGE_SIZE as u64), 8)
             .expect("chain access");
     }
-    m.cycles(0) as f64 / touches as f64
+    (m.cycles(0) as f64 / touches as f64, m.metrics())
 }
 
 fn main() {
     banner("Ablation: TLB-miss validation cost vs nesting depth");
     let touches = 10_000;
     let mut t = Table::new(&["Chain depth", "Cycles per access (all TLB misses)"]);
+    let mut report = MetricsReport::new("ablation_depth");
     let mut prev = 0.0;
     for depth in 2..=6 {
-        let c = run(depth, touches);
+        let (c, metrics) = run(depth, touches);
+        report.push_run(&format!("depth-{depth}"), metrics);
         t.row(&[depth.to_string(), f2(c)]);
         assert!(c >= prev, "validation cost must grow with depth");
         prev = c;
@@ -70,4 +73,5 @@ fn main() {
          § VIII observation that deeper nesting 'only increases the\n\
          validation time' with no new hardware."
     );
+    report.finish();
 }

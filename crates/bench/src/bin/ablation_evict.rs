@@ -6,17 +6,18 @@
 //! potentially cause exceptions even for unrelated cores, but the tracking
 //! becomes simpler."
 
-use ne_bench::report::{banner, Table};
+use ne_bench::report::{banner, MetricsReport, Table};
 use ne_core::validate::NestedValidator;
 use ne_core::{nasso, AssocPolicy, EnclaveImage};
 use ne_sgx::addr::{VirtAddr, PAGE_SIZE};
 use ne_sgx::config::HwConfig;
 use ne_sgx::enclave::ProcessId;
 use ne_sgx::machine::Machine;
+use ne_sgx::metrics::MachineMetrics;
 
 /// Builds a machine with one outer + one inner enclave pair and an
 /// *unrelated* enclave running on another core, then evicts outer pages.
-fn run(flush_all: bool, evictions: usize) -> (u64, u64, u64) {
+fn run(flush_all: bool, evictions: usize) -> (u64, u64, u64, MachineMetrics) {
     let mut cfg = HwConfig::testbed();
     cfg.flush_all_on_evict = flush_all;
     let mut m = Machine::with_validator(cfg, Box::new(NestedValidator::new()));
@@ -44,8 +45,10 @@ fn run(flush_all: bool, evictions: usize) -> (u64, u64, u64) {
     m.eenter(1, inner.eid, inner.base).expect("enter inner");
     m.read(1, outer.heap_base, 64).expect("inner reads outer");
     // Core 2: a completely unrelated enclave.
-    m.eenter(2, stranger.eid, stranger.base).expect("enter stranger");
-    m.read(2, stranger.heap_base, 64).expect("stranger reads itself");
+    m.eenter(2, stranger.eid, stranger.base)
+        .expect("enter stranger");
+    m.read(2, stranger.heap_base, 64)
+        .expect("stranger reads itself");
     m.reset_metrics();
     for i in 0..evictions {
         let va = outer.heap_base.add((i % 64) as u64 * PAGE_SIZE as u64);
@@ -57,19 +60,22 @@ fn run(flush_all: bool, evictions: usize) -> (u64, u64, u64) {
             m.read(1, outer.heap_base.add(PAGE_SIZE as u64), 64).ok();
         }
         if m.current_enclave(2).is_none() {
-            m.eresume(2, stranger.eid, stranger.base).expect("resume stranger");
+            m.eresume(2, stranger.eid, stranger.base)
+                .expect("resume stranger");
         }
     }
     let stats = m.stats();
-    (stats.ipis, stats.aexes, m.total_cycles())
+    (stats.ipis, stats.aexes, m.total_cycles(), m.metrics())
 }
 
 fn main() {
     banner("Ablation: eviction shootdown policy (precise tracking vs flush-all)");
     let evictions = 200;
     let mut t = Table::new(&["Policy", "IPIs", "AEXes", "Total cycles"]);
+    let mut report = MetricsReport::new("ablation_evict");
     for (label, flush_all) in [("precise inner tracking", false), ("flush all cores", true)] {
-        let (ipis, aexes, cycles) = run(flush_all, evictions);
+        let (ipis, aexes, cycles, metrics) = run(flush_all, evictions);
+        report.push_run(if flush_all { "flush-all" } else { "precise" }, metrics);
         t.row(&[
             label.into(),
             ipis.to_string(),
@@ -83,4 +89,5 @@ fn main() {
          enclave's tree (outer + inners); flush-all also kicks the\n\
          unrelated core on every eviction, spending more IPIs and cycles."
     );
+    report.finish();
 }

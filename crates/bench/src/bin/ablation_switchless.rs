@@ -8,7 +8,7 @@
 //! NEENTER/NEEXIT attacks the *enclave-to-enclave* crossings instead —
 //! the two are complementary.
 
-use ne_bench::report::{banner, f2, Table};
+use ne_bench::report::{banner, f2, MetricsReport, Table};
 use ne_core::edl::Edl;
 use ne_core::loader::EnclaveImage;
 use ne_core::runtime::{NestedApp, TrustedFn, UntrustedCtx, UntrustedFn};
@@ -29,9 +29,12 @@ fn build_app() -> NestedApp {
         let q = SwitchlessQueue::with_slot(slot, 4096, 1);
         q.ocall(cx, "service", &args[8..])
     });
-    let img = EnclaveImage::new("e", b"bench")
-        .heap_pages(4)
-        .edl(Edl::new().ecall("classic").ecall("switchless").ocall("service"));
+    let img = EnclaveImage::new("e", b"bench").heap_pages(4).edl(
+        Edl::new()
+            .ecall("classic")
+            .ecall("switchless")
+            .ocall("service"),
+    );
     app.load(
         img,
         [
@@ -46,6 +49,7 @@ fn build_app() -> NestedApp {
 fn main() {
     banner("Ablation: classic ocall vs switchless call (caller-core cycles)");
     let iters = 1_000u64;
+    let mut report = MetricsReport::new("ablation_switchless");
     let mut t = Table::new(&[
         "Payload",
         "Classic cycles/call",
@@ -62,6 +66,7 @@ fn main() {
             app.ecall(0, "e", "classic", &data).expect("classic");
         }
         let classic = app.machine.cycles(0) / iters;
+        report.push_run(&format!("classic-{payload}B"), app.machine.metrics());
         // Switchless.
         let mut args = q.slot().0.to_le_bytes().to_vec();
         args.extend_from_slice(&data);
@@ -70,6 +75,7 @@ fn main() {
             app.ecall(0, "e", "switchless", &args).expect("switchless");
         }
         let switchless = app.machine.cycles(0) / iters;
+        report.push_run(&format!("switchless-{payload}B"), app.machine.metrics());
         t.row(&[
             format!("{payload}B"),
             classic.to_string(),
@@ -84,4 +90,5 @@ fn main() {
          untrusted memory and a dedicated worker core — consistent with\n\
          HotCalls/SDK-switchless measurements the paper cites."
     );
+    report.finish();
 }

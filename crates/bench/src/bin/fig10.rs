@@ -7,16 +7,23 @@
 //! sweep finishes quickly; the shape is identical.
 
 use ne_bench::loading::{run_loading, LoadMode};
-use ne_bench::report::{banner, f2, Table};
+use ne_bench::report::{banner, f2, MetricsReport, Table};
 
 fn main() {
     let full = std::env::args().any(|a| a == "--full");
     let apps = if full { 500 } else { 50 };
+    let mut report = MetricsReport::new("fig10");
     banner(&format!(
         "Fig. 10: loading time and memory footprint ({apps} App instances)"
     ));
-    let mut t = Table::new(&["Configuration", "Load time (sim ms)", "Footprint (MB)", "Enclaves"]);
+    let mut t = Table::new(&[
+        "Configuration",
+        "Load time (sim ms)",
+        "Footprint (MB)",
+        "Enclaves",
+    ]);
     let sep = run_loading(LoadMode::BaselineSeparate, apps, 0).expect("separate");
+    report.push_run("baseline-separate", sep.metrics.clone());
     t.row(&[
         format!("baseline: {apps} SSL + {apps} App"),
         f2(sep.load_ms),
@@ -24,6 +31,7 @@ fn main() {
         sep.enclaves.to_string(),
     ]);
     let comb = run_loading(LoadMode::BaselineCombined, apps, 0).expect("combined");
+    report.push_run("baseline-combined", comb.metrics.clone());
     t.row(&[
         format!("baseline: {apps} (SSL+App)"),
         f2(comb.load_ms),
@@ -33,6 +41,7 @@ fn main() {
     for outers in [1usize, apps / 10, apps / 5, apps / 2, apps] {
         let outers = outers.max(1);
         let r = run_loading(LoadMode::Nested, apps, outers).expect("nested");
+        report.push_run(&format!("nested-{outers}-outers"), r.metrics.clone());
         t.row(&[
             format!("nested: {apps} App inner + {outers} SSL outer"),
             f2(r.load_ms),
@@ -47,4 +56,5 @@ fn main() {
          separate baseline, and 'as more sharing is allowed, the benefits of\n\
          reduced memory footprints increase'."
     );
+    report.finish();
 }

@@ -6,16 +6,21 @@
 //! Run with `--full` for more traffic per point.
 
 use ne_bench::channel_exp::{run_gcm_channel, run_outer_channel};
-use ne_bench::report::{banner, f2, Table};
+use ne_bench::report::{banner, f2, MetricsReport, Table};
 
 fn main() {
     let full = std::env::args().any(|a| a == "--full");
     banner("Fig. 11: MEE (outer-enclave channel) vs GCM (untrusted memory)");
+    let mut report = MetricsReport::new("fig11");
     // Footprints: below the 8 MiB LLC, at it, and far above.
     for (label, footprint) in [("2MB", 2usize << 20), ("8MB", 8 << 20), ("32MB", 32 << 20)] {
         // Traffic must loop over the region several times so the steady
         // state (cache-resident or thrashing) dominates cold misses.
-        let total: u64 = if full { 4 * footprint as u64 } else { 2 * footprint as u64 };
+        let total: u64 = if full {
+            4 * footprint as u64
+        } else {
+            2 * footprint as u64
+        };
         println!("\n-- communication footprint {label} --");
         let mut t = Table::new(&[
             "Chunk",
@@ -27,11 +32,14 @@ fn main() {
         for chunk in [64usize, 256, 1024, 4096, 16384, 65536] {
             let mee = run_outer_channel(chunk, footprint, total).expect("outer channel");
             let gcm = run_gcm_channel(chunk, footprint, total).expect("gcm channel");
-            let label = if chunk >= 1024 {
+            let chunk_label = if chunk >= 1024 {
                 format!("{}KB", chunk / 1024)
             } else {
                 format!("{chunk}B")
             };
+            report.push_run(&format!("mee-{label}-{chunk_label}"), mee.metrics.clone());
+            report.push_run(&format!("gcm-{label}-{chunk_label}"), gcm.metrics.clone());
+            let label = chunk_label;
             t.row(&[
                 label,
                 f2(mee.throughput_mbps()),
@@ -48,4 +56,5 @@ fn main() {
          footprint fits the 8 MiB LLC, where the MEE is never invoked; GCM\n\
          narrows the gap at large chunks as its setup cost amortizes."
     );
+    report.finish();
 }

@@ -3,14 +3,17 @@
 //! counts per message (for nested runs the count includes n_ecall and
 //! n_ocall, as in the paper).
 //!
-//! Run with `--full` for more messages per point.
+//! Run with `--full` for more messages per point, and
+//! `--metrics-out <path>` to export every run's machine snapshot.
 
-use ne_bench::report::{banner, f2, f3, Table};
+use ne_bench::report::{banner, breakdown_table, f2, f3, MetricsReport, Table};
 use ne_tls::echo::{run_echo, EchoConfig};
 
 fn main() {
     let full = std::env::args().any(|a| a == "--full");
     let messages = if full { 2_000 } else { 200 };
+    let mut report = MetricsReport::new("fig7");
+    let mut nested_snapshot = None;
     banner(&format!(
         "Fig. 7: SSL echo server throughput ({messages} messages per point)"
     ));
@@ -40,6 +43,11 @@ fn main() {
         } else {
             format!("{chunk}B")
         };
+        report.push_run(&format!("mono-{label}"), mono.metrics.clone());
+        report.push_run(&format!("nested-{label}"), nested.metrics.clone());
+        if chunk == 1024 {
+            nested_snapshot = Some(nested.metrics.clone());
+        }
         // The paper plots call counts for a fixed data volume, which is
         // why "the number of additional calls increases as chunk size
         // decreases": per megabyte, small chunks mean many messages.
@@ -58,4 +66,12 @@ fn main() {
         "\nExpected shape (paper): normalized throughput 0.94–0.98, worst at\n\
          small chunks where the extra n_ecall/n_ocall per message weigh most."
     );
+    // Where the nested run's cycles actually go: the SSL outer enclave,
+    // the application inner enclave, and the untrusted side each get
+    // their own attribution bucket; rows sum to the machine total (the
+    // exporter's checker enforces it).
+    let m = nested_snapshot.expect("1KB point always runs");
+    println!("\nPer-enclave cycle breakdown (nested run, 1KB chunks):");
+    breakdown_table(&m).print();
+    report.finish();
 }

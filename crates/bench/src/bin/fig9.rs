@@ -3,15 +3,17 @@
 //!
 //! Datasets are synthetic stand-ins with Table V's exact shapes; run with
 //! `--full` for the full sizes (slow: full cod-rna has ~60 k samples) —
-//! the default uses 2% scale.
+//! the default uses 2% scale. `--metrics-out <path>` exports every run's
+//! machine snapshot.
 
-use ne_bench::report::{banner, f3, Table};
+use ne_bench::report::{banner, f3, MetricsReport, Table};
 use ne_bench::svm_case::{run_svm_case, SvmCaseConfig};
 use ne_svm::data::TableVDataset;
 
 fn main() {
     let full = std::env::args().any(|a| a == "--full");
     let scale = if full { 1.0 } else { 0.005 };
+    let mut report = MetricsReport::new("fig9");
 
     banner("Table V: datasets used for evaluating LibSVM");
     let mut tv = Table::new(&["name", "class", "training size", "testing size", "feature"]);
@@ -28,7 +30,9 @@ fn main() {
     tv.print();
     println!("(synthetic data of identical shape; '-' reuses a training fraction)\n");
 
-    banner(&format!("Fig. 9: normalized execution time (scale {scale})"));
+    banner(&format!(
+        "Fig. 9: normalized execution time (scale {scale})"
+    ));
     let mut t = Table::new(&[
         "dataset",
         "train (nested/mono)",
@@ -49,6 +53,8 @@ fn main() {
             nested: true,
         })
         .expect("nested run");
+        report.push_run(&format!("mono-{}", ds.name()), mono.metrics.clone());
+        report.push_run(&format!("nested-{}", ds.name()), nested.metrics.clone());
         t.row(&[
             ds.name().into(),
             f3(nested.train_cycles as f64 / mono.train_cycles as f64),
@@ -63,4 +69,5 @@ fn main() {
          transitions between the inner and outer enclaves do not add\n\
          significant overheads in the LibSVM computations\"."
     );
+    report.finish();
 }

@@ -3,7 +3,7 @@
 //!
 //! Run with `--full` for the paper's 1 M iterations (default 10 k).
 
-use ne_bench::report::{banner, f2, Table};
+use ne_bench::report::{banner, f2, MetricsReport, Table};
 use ne_bench::transitions::{measure_classic, measure_nested};
 use ne_sgx::cost::CostProfile;
 
@@ -16,6 +16,10 @@ fn main() {
     let hw = measure_classic(CostProfile::hw_sgx(), iters);
     let em = measure_classic(CostProfile::emulated(), iters);
     let ne = measure_nested(CostProfile::emulated(), iters);
+    let mut report = MetricsReport::new("table2");
+    report.push_run("hw-sgx", hw.metrics.clone());
+    report.push_run("emulated-sgx", em.metrics.clone());
+    report.push_run("emulated-nested", ne.metrics.clone());
     let mut t = Table::new(&["Mode", "ecall", "ocall", "paper ecall", "paper ocall"]);
     t.row(&[
         "HW SGX ecall/ocall".into(),
@@ -44,4 +48,5 @@ fn main() {
          hardware cost, and nested transitions are slightly cheaper than\n\
          emulated classic transitions (no kernel round trip)."
     );
+    report.finish();
 }

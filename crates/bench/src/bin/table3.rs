@@ -3,10 +3,13 @@
 //! marker-counted porting glue.
 
 use ne_bench::loc::table3_rows;
-use ne_bench::report::{banner, Table};
+use ne_bench::report::{banner, MetricsReport, Table};
 
 fn main() {
     banner("Table III: porting effort (modified lines of code)");
+    // No simulated machine runs here; the report is empty but the flag is
+    // still honored so callers can treat every binary uniformly.
+    let report = MetricsReport::new("table3");
     let mut t = Table::new(&[
         "Name",
         "Ours: port glue LoC",
@@ -29,4 +32,5 @@ fn main() {
          enclave touches only initialization and call-site glue (tens of\n\
          lines), never the library implementation itself."
     );
+    report.finish();
 }

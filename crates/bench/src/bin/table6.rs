@@ -5,7 +5,7 @@
 //! 500 for a quick run).
 
 use ne_bench::db_case::run_db_case;
-use ne_bench::report::{banner, f2, f3, Table};
+use ne_bench::report::{banner, f2, f3, MetricsReport, Table};
 use ne_db::WorkloadMix;
 
 fn main() {
@@ -22,9 +22,12 @@ fn main() {
         "paper",
     ]);
     let paper = ["0.99", "0.99", "0.98", "0.98"];
+    let mut report = MetricsReport::new("table6");
     for (mix, paper_v) in WorkloadMix::ALL.into_iter().zip(paper) {
         let mono = run_db_case(mix, records, ops, false).expect("monolithic");
         let nested = run_db_case(mix, records, ops, true).expect("nested");
+        report.push_run(&format!("mono-{}", mix.name()), mono.metrics.clone());
+        report.push_run(&format!("nested-{}", mix.name()), nested.metrics.clone());
         t.row(&[
             mix.name().into(),
             f2(mono.ops_per_second() / 1e3),
@@ -39,4 +42,5 @@ fn main() {
          inner enclave's parse+encrypt and the extra n_ocall are a small\n\
          fraction of the per-query engine work."
     );
+    report.finish();
 }

@@ -28,6 +28,10 @@ pub struct ChannelResult {
     pub mee_lines: u64,
     /// Clock for conversions.
     pub clock_ghz: f64,
+    /// Machine snapshot taken while still inside the enclave (the run
+    /// measures steady-state channel traffic, not the surrounding
+    /// transitions), so `cores_in_enclave_mode` is nonzero in it.
+    pub metrics: ne_sgx::metrics::MachineMetrics,
 }
 
 impl ChannelResult {
@@ -59,7 +63,10 @@ pub fn run_outer_channel(
     footprint: usize,
     total_bytes: u64,
 ) -> Result<ChannelResult, SgxError> {
-    assert!(chunk + 64 <= footprint, "chunk + flag line must fit the region");
+    assert!(
+        chunk + 64 <= footprint,
+        "chunk + flag line must fit the region"
+    );
     let mut cfg = HwConfig::testbed();
     cfg.prm_pages = cfg.prm_pages.max(heap_pages_for(footprint) * 4);
     let mut app = NestedApp::new(cfg);
@@ -105,6 +112,7 @@ pub fn run_outer_channel(
             cycles: cx.machine.cycles(0),
             mee_lines: mee.lines_decrypted() + mee.lines_encrypted(),
             clock_ghz: cx.machine.config().cost.clock_ghz,
+            metrics: cx.machine.metrics(),
         }
     };
     app.machine.eexit(0)?;
@@ -125,9 +133,13 @@ pub fn run_gcm_channel(
     // Sealed messages carry a 16-byte tag; size the ring accordingly.
     assert!(chunk + 20 <= footprint, "chunk must fit the ring");
     let mut app = NestedApp::new(HwConfig::testbed());
-    let img = EnclaveImage::new("tx", b"owner").heap_pages(2).edl(Edl::new());
+    let img = EnclaveImage::new("tx", b"owner")
+        .heap_pages(2)
+        .edl(Edl::new());
     app.load(img, [])?;
-    let mut channel = app.untrusted(0, |cx| UntrustedChannel::create(cx, [7; 16], footprint as u64));
+    let mut channel = app.untrusted(0, |cx| {
+        UntrustedChannel::create(cx, [7; 16], footprint as u64)
+    });
     let eid = app.eid("tx")?;
     let tcs = app.layout("tx")?.base;
     app.machine.eenter(0, eid, tcs)?;
@@ -148,6 +160,7 @@ pub fn run_gcm_channel(
             cycles: cx.machine.cycles(0),
             mee_lines: mee.lines_decrypted() + mee.lines_encrypted(),
             clock_ghz: cx.machine.config().cost.clock_ghz,
+            metrics: cx.machine.metrics(),
         }
     };
     app.machine.eexit(0)?;

@@ -36,6 +36,8 @@ pub struct DbCaseResult {
     pub n_calls: u64,
     /// Clock for conversions.
     pub clock_ghz: f64,
+    /// Machine snapshot after the measured query phase.
+    pub metrics: ne_sgx::metrics::MachineMetrics,
 }
 
 impl DbCaseResult {
@@ -159,6 +161,7 @@ pub fn run_db_case(
         cycles: app.machine.cycles(0),
         n_calls: stats.n_ecalls + stats.n_ocalls,
         clock_ghz: app.machine.config().cost.clock_ghz,
+        metrics: app.machine.metrics(),
     })
 }
 
@@ -201,7 +204,9 @@ mod tests {
     #[test]
     fn bad_query_surfaces_error() {
         let mut app = build_db_app(true).unwrap();
-        let err = app.ecall(0, "client-proxy", "query", b"DROP EVERYTHING").unwrap_err();
+        let err = app
+            .ecall(0, "client-proxy", "query", b"DROP EVERYTHING")
+            .unwrap_err();
         assert!(matches!(err, SgxError::GeneralProtection(_)));
     }
 }

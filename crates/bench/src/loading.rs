@@ -53,6 +53,11 @@ pub struct LoadResult {
     pub footprint_mb: f64,
     /// Enclaves created.
     pub enclaves: usize,
+    /// Machine snapshot after loading (all cycles are [`Lifecycle`] and
+    /// measurement work).
+    ///
+    /// [`Lifecycle`]: ne_sgx::metrics::CycleCategory::Lifecycle
+    pub metrics: ne_sgx::metrics::MachineMetrics,
 }
 
 fn ssl_image(idx: usize) -> EnclaveImage {
@@ -144,6 +149,7 @@ pub fn run_loading(mode: LoadMode, apps: usize, ssl_outers: usize) -> Result<Loa
         epc_pages,
         footprint_mb: epc_pages as f64 * PAGE_SIZE as f64 / 1e6,
         enclaves: machine.enclaves().len(),
+        metrics: machine.metrics(),
     })
 }
 
@@ -176,7 +182,11 @@ mod tests {
     fn footprints_match_paper_sizes() {
         // 1 app + 1 ssl ≈ 5 MB.
         let r = run_loading(LoadMode::Nested, 1, 1).unwrap();
-        assert!((4.9..5.6).contains(&r.footprint_mb), "{} MB", r.footprint_mb);
+        assert!(
+            (4.9..5.6).contains(&r.footprint_mb),
+            "{} MB",
+            r.footprint_mb
+        );
         assert_eq!(r.enclaves, 2);
     }
 

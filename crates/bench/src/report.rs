@@ -1,4 +1,16 @@
-//! Table-formatting helpers for the experiment binaries.
+//! Table-formatting helpers and the metrics exporter shared by the
+//! experiment binaries.
+//!
+//! Every binary accepts `--metrics-out <path>`: it collects one
+//! [`MachineMetrics`] snapshot per labeled run into a [`MetricsReport`]
+//! and writes the whole report as schema-stable JSON
+//! (`ne-metrics-report/v1`). Each snapshot is passed through
+//! [`MachineMetrics::check`] on the way in, so a run whose cycle
+//! accounting does not add up aborts the binary instead of exporting
+//! silently-wrong numbers.
+
+use ne_sgx::metrics::{CycleCategory, MachineMetrics};
+use std::path::{Path, PathBuf};
 
 /// Prints a header banner for an experiment.
 pub fn banner(title: &str) {
@@ -68,6 +80,189 @@ impl Table {
     }
 }
 
+/// Collects labeled per-run [`MachineMetrics`] snapshots for export.
+///
+/// Construct one per binary, [`push_run`] a snapshot for every
+/// configuration measured, and call [`finish`] last: if the user passed
+/// `--metrics-out <path>` the report lands there as JSON.
+///
+/// [`push_run`]: MetricsReport::push_run
+/// [`finish`]: MetricsReport::finish
+#[derive(Debug, Clone)]
+pub struct MetricsReport {
+    experiment: String,
+    runs: Vec<(String, MachineMetrics)>,
+}
+
+impl MetricsReport {
+    /// Creates an empty report for the named experiment (e.g. `"fig7"`).
+    pub fn new(experiment: &str) -> MetricsReport {
+        MetricsReport {
+            experiment: experiment.to_string(),
+            runs: Vec::new(),
+        }
+    }
+
+    /// Appends one run's snapshot under `label`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot fails [`MachineMetrics::check`] — a failed
+    /// counter identity means the experiment's accounting is broken, and
+    /// exporting it would be worse than crashing.
+    pub fn push_run(&mut self, label: &str, metrics: MachineMetrics) {
+        if let Err(e) = metrics.check() {
+            panic!("metrics check failed for run '{label}': {e}");
+        }
+        self.runs.push((label.to_string(), metrics));
+    }
+
+    /// Number of runs collected so far.
+    pub fn len(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// True when no runs were collected.
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// Renders the report as pretty-printed JSON with a fixed key order
+    /// (schema `ne-metrics-report/v1`); each run embeds its full
+    /// `ne-metrics/v1` snapshot.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\n");
+        out.push_str("  \"schema\": \"ne-metrics-report/v1\",\n");
+        out.push_str(&format!(
+            "  \"experiment\": \"{}\",\n",
+            self.experiment.replace('\\', "\\\\").replace('"', "\\\"")
+        ));
+        out.push_str("  \"runs\": [\n");
+        for (i, (label, m)) in self.runs.iter().enumerate() {
+            out.push_str("    {\n");
+            out.push_str(&format!(
+                "      \"label\": \"{}\",\n",
+                label.replace('\\', "\\\\").replace('"', "\\\"")
+            ));
+            out.push_str(&format!(
+                "      \"metrics\": {}\n",
+                indent_tail(&m.to_json(), 6)
+            ));
+            out.push_str("    }");
+            out.push_str(if i + 1 < self.runs.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("  ]\n}");
+        out.push('\n');
+        out
+    }
+
+    /// Writes the JSON report to `path`.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors creating or writing the file.
+    pub fn write_json(&self, path: &Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+
+    /// Writes the report to the `--metrics-out` path, if one was given on
+    /// the command line, and prints where it went. Call this last.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the file cannot be written — a requested export that
+    /// silently vanishes is worse than an abort.
+    pub fn finish(&self) {
+        if let Some(path) = metrics_out_path() {
+            self.write_json(&path)
+                .unwrap_or_else(|e| panic!("cannot write metrics to {}: {e}", path.display()));
+            println!(
+                "\nmetrics: wrote {} run(s) to {}",
+                self.runs.len(),
+                path.display()
+            );
+        }
+    }
+}
+
+/// Parses `--metrics-out <path>` from the process arguments.
+pub fn metrics_out_path() -> Option<PathBuf> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--metrics-out" {
+            return args.next().map(PathBuf::from);
+        }
+        if let Some(p) = a.strip_prefix("--metrics-out=") {
+            return Some(PathBuf::from(p));
+        }
+    }
+    None
+}
+
+/// Re-indents every line of a pretty-printed JSON blob after the first by
+/// `by` extra spaces, so it nests cleanly inside an outer document.
+fn indent_tail(json: &str, by: usize) -> String {
+    let pad = " ".repeat(by);
+    let mut lines = json.lines();
+    let mut out = String::with_capacity(json.len() + 256);
+    if let Some(first) = lines.next() {
+        out.push_str(first);
+    }
+    for line in lines {
+        out.push('\n');
+        out.push_str(&pad);
+        out.push_str(line);
+    }
+    out
+}
+
+/// Renders a per-enclave cycle-breakdown table from a snapshot: one row
+/// per attribution bucket (untrusted first), one column per
+/// [`CycleCategory`], plus a total column. The row totals sum to the
+/// machine's `total_cycles` — [`MachineMetrics::check`] enforces it.
+pub fn breakdown_table(m: &MachineMetrics) -> Table {
+    let mut headers: Vec<&str> = vec!["Context"];
+    headers.extend(CycleCategory::ALL.iter().map(|c| c.name()));
+    headers.push("total");
+    let mut t = Table::new(&headers);
+    for e in &m.enclaves {
+        let ctx = match e.eid {
+            None => "untrusted".to_string(),
+            Some(id) if e.outer_eids.is_empty() => format!("enclave {id} (outer)"),
+            Some(id) => format!(
+                "enclave {id} (inner of {})",
+                e.outer_eids
+                    .iter()
+                    .map(|o| o.to_string())
+                    .collect::<Vec<_>>()
+                    .join(",")
+            ),
+        };
+        let mut row = vec![ctx];
+        row.extend(
+            CycleCategory::ALL
+                .iter()
+                .map(|&c| e.breakdown.get(c).to_string()),
+        );
+        row.push(e.breakdown.total().to_string());
+        t.row(&row);
+    }
+    let mut total_row = vec!["machine total".to_string()];
+    let mut machine = ne_sgx::metrics::CycleBreakdown::default();
+    for e in &m.enclaves {
+        machine.merge(&e.breakdown);
+    }
+    total_row.extend(
+        CycleCategory::ALL
+            .iter()
+            .map(|&c| machine.get(c).to_string()),
+    );
+    total_row.push(m.total_cycles.to_string());
+    t.row(&total_row);
+    t
+}
+
 /// Formats a float with 2 decimals.
 pub fn f2(v: f64) -> String {
     format!("{v:.2}")
@@ -97,5 +292,47 @@ mod tests {
     fn arity_checked() {
         let mut t = Table::new(&["a"]);
         t.row(&["1".into(), "2".into()]);
+    }
+
+    fn snapshot() -> MachineMetrics {
+        let mut m = ne_sgx::machine::Machine::new(ne_sgx::config::HwConfig::small());
+        let va = m.os_alloc_untrusted(ne_sgx::enclave::ProcessId(0), 1);
+        m.write(0, va, b"payload").unwrap();
+        m.metrics()
+    }
+
+    #[test]
+    fn report_json_is_schema_stable() {
+        let mut r = MetricsReport::new("unit");
+        r.push_run("a", snapshot());
+        r.push_run("b", snapshot());
+        let j = r.to_json();
+        assert!(j.starts_with("{\n  \"schema\": \"ne-metrics-report/v1\""));
+        assert!(j.contains("\"experiment\": \"unit\""));
+        assert!(j.contains("\"label\": \"a\""));
+        assert!(j.contains("\"schema\": \"ne-metrics/v1\""));
+        assert_eq!(r.len(), 2);
+        // Identical inputs render byte-identically.
+        let mut r2 = MetricsReport::new("unit");
+        r2.push_run("a", snapshot());
+        r2.push_run("b", snapshot());
+        assert_eq!(j, r2.to_json());
+    }
+
+    #[test]
+    #[should_panic(expected = "metrics check failed")]
+    fn report_rejects_broken_accounting() {
+        let mut m = snapshot();
+        m.total_cycles += 1;
+        MetricsReport::new("unit").push_run("bad", m);
+    }
+
+    #[test]
+    fn breakdown_table_covers_every_bucket() {
+        let m = snapshot();
+        let rendered = breakdown_table(&m).render();
+        assert!(rendered.contains("untrusted"));
+        assert!(rendered.contains("machine total"));
+        assert!(rendered.contains("tlb_walk"));
     }
 }

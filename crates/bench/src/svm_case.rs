@@ -49,6 +49,9 @@ pub struct SvmCaseResult {
     pub accuracy: f64,
     /// Nested transitions taken.
     pub n_calls: u64,
+    /// Machine snapshot after the predict phase (`reset_metrics` runs
+    /// between train and predict, so the counters cover predict only).
+    pub metrics: ne_sgx::metrics::MachineMetrics,
 }
 
 fn gcm_cost(cfg: &HwConfig, len: usize) -> u64 {
@@ -60,7 +63,9 @@ fn train_charge(ds: &Dataset) -> u64 {
 }
 
 fn predict_charge(model: &SvmModel, ds: &Dataset) -> u64 {
-    (model.num_support_vectors() as u64) * (ds.dim() as u64) * PREDICT_CYCLES_PER_CELL
+    (model.num_support_vectors() as u64)
+        * (ds.dim() as u64)
+        * PREDICT_CYCLES_PER_CELL
         * ds.len() as u64
 }
 
@@ -111,15 +116,13 @@ pub fn run_svm_case(cfg: &SvmCaseConfig) -> Result<SvmCaseResult, SgxError> {
                 ("svm_predict".to_string(), svm_predict),
             ],
         )?;
-        let user = EnclaveImage::new("user", b"tenant")
-            .heap_pages(8)
-            .edl(
-                Edl::new()
-                    .ecall("train")
-                    .ecall("predict")
-                    .n_ocall("svm_train")
-                    .n_ocall("svm_predict"),
-            );
+        let user = EnclaveImage::new("user", b"tenant").heap_pages(8).edl(
+            Edl::new()
+                .ecall("train")
+                .ecall("predict")
+                .n_ocall("svm_train")
+                .n_ocall("svm_predict"),
+        );
         let p1 = policy.clone();
         let train_fn: TrustedFn = Arc::new(move |cx, args| {
             // Decrypt the client's data (top secret) inside the inner
@@ -172,7 +175,11 @@ pub fn run_svm_case(cfg: &SvmCaseConfig) -> Result<SvmCaseResult, SgxError> {
             let guard = m2.lock().expect("poisoned");
             let model = guard.as_ref().expect("train first");
             cx.charge(predict_charge(model, &clean));
-            Ok(clean.samples.iter().map(|x| model.predict(x) as u8).collect())
+            Ok(clean
+                .samples
+                .iter()
+                .map(|x| model.predict(x) as u8)
+                .collect())
         });
         app.load(
             img,
@@ -200,6 +207,7 @@ pub fn run_svm_case(cfg: &SvmCaseConfig) -> Result<SvmCaseResult, SgxError> {
         predict_cycles,
         accuracy: correct as f64 / test_ds.len().max(1) as f64,
         n_calls: stats.n_ecalls + stats.n_ocalls,
+        metrics: app.machine.metrics(),
     })
 }
 

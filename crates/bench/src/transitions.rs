@@ -14,12 +14,15 @@ use ne_sgx::machine::Machine;
 use std::sync::Arc;
 
 /// Measured average latencies in microseconds.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TransitionLatency {
     /// Average latency of an ecall-style round trip.
     pub ecall_us: f64,
     /// Average latency of an ocall-style round trip.
     pub ocall_us: f64,
+    /// Machine snapshot taken after the last measurement phase (the
+    /// counters cover that phase only; `reset_metrics` runs in between).
+    pub metrics: ne_sgx::metrics::MachineMetrics,
 }
 
 /// Builds a minimal app: an outer "noop" enclave with an inner "noop"
@@ -91,6 +94,7 @@ pub fn measure_classic(profile: CostProfile, iters: u64) -> TransitionLatency {
     TransitionLatency {
         ecall_us,
         ocall_us: total_us - ecall_us,
+        metrics: app.machine.metrics(),
     }
 }
 
@@ -124,6 +128,7 @@ pub fn measure_nested(profile: CostProfile, iters: u64) -> TransitionLatency {
     TransitionLatency {
         ecall_us: n_ecall_us,
         ocall_us: n_ocall_us,
+        metrics: app.machine.metrics(),
     }
 }
 

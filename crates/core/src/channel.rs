@@ -232,9 +232,7 @@ impl UntrustedChannel {
         let cost = cx.machine.config().cost.clone();
         cx.charge(cost.gcm_setup + cost.gcm_per_byte * msg.len() as u64);
         let nonce = Self::nonce(self.send_seq);
-        let sealed = self
-            .cipher
-            .seal(&nonce, msg, &self.send_seq.to_le_bytes());
+        let sealed = self.cipher.seal(&nonce, msg, &self.send_seq.to_le_bytes());
         self.send_seq += 1;
         if self.os_drop_next {
             // The OS controls the transport; the message never lands and
@@ -302,12 +300,7 @@ mod tests {
         for name in ["a", "b"] {
             let img = EnclaveImage::new(name, b"tenant")
                 .heap_pages(2)
-                .edl(
-                    Edl::new()
-                        .ecall("mk")
-                        .ecall("put")
-                        .ecall("take"),
-                );
+                .edl(Edl::new().ecall("mk").ecall("put").ecall("take"));
             let mk: TrustedFn = Arc::new(|cx, args| {
                 let cap = u64::from_le_bytes(args.try_into().expect("8"));
                 let ch = OuterChannel::create(cx, "hub", cap)?;
@@ -406,8 +399,14 @@ mod tests {
             let img = EnclaveImage::new(name, b"owner")
                 .heap_pages(1)
                 .edl(Edl::new().ecall("noop"));
-            app.load(img, [("noop".to_string(), Arc::new(|_: &mut EnclaveCtx<'_>, _: &[u8]| Ok(vec![])) as TrustedFn)])
-                .unwrap();
+            app.load(
+                img,
+                [(
+                    "noop".to_string(),
+                    Arc::new(|_: &mut EnclaveCtx<'_>, _: &[u8]| Ok(vec![])) as TrustedFn,
+                )],
+            )
+            .unwrap();
         }
         app
     }
@@ -491,7 +490,9 @@ mod tests {
         // OS flips a ciphertext bit.
         let base = ch.base();
         let byte = app.untrusted(0, |cx| cx.read(base.add(DATA_OFF + 4), 1).unwrap());
-        app.untrusted(0, |cx| cx.write(base.add(DATA_OFF + 4), &[byte[0] ^ 1]).unwrap());
+        app.untrusted(0, |cx| {
+            cx.write(base.add(DATA_OFF + 4), &[byte[0] ^ 1]).unwrap()
+        });
         app.machine.eenter(0, tx, tx_base).unwrap();
         {
             let mut cx = test_ctx(&mut app, 0, "tx");

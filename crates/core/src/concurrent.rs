@@ -91,13 +91,17 @@ mod tests {
     fn shared_topology() -> SharedApp {
         let mut app = NestedApp::new(HwConfig::small());
         app.load(
-            EnclaveImage::new("hub", b"provider").heap_pages(8).edl(Edl::new()),
+            EnclaveImage::new("hub", b"provider")
+                .heap_pages(8)
+                .edl(Edl::new()),
             [],
         )
         .unwrap();
         for n in ["producer", "consumer"] {
             app.load(
-                EnclaveImage::new(n, b"tenant").heap_pages(2).edl(Edl::new()),
+                EnclaveImage::new(n, b"tenant")
+                    .heap_pages(2)
+                    .edl(Edl::new()),
                 [],
             )
             .unwrap();
@@ -141,9 +145,7 @@ mod tests {
         let consumer = std::thread::spawn(move || {
             let mut got = Vec::new();
             while got.len() < N as usize {
-                if let Some(msg) =
-                    rx.with_enclave(1, "consumer", |cx| channel.recv(cx).unwrap())
-                {
+                if let Some(msg) = rx.with_enclave(1, "consumer", |cx| channel.recv(cx).unwrap()) {
                     got.push(u32::from_le_bytes(msg.try_into().expect("4 bytes")));
                 } else {
                     std::thread::yield_now();
@@ -182,7 +184,8 @@ mod tests {
                             let heap = cx.heap_base_of(name).unwrap();
                             cx.write(heap.add(i % 4096), &[core as u8]).unwrap();
                             let hub = cx.heap_base_of("hub").unwrap();
-                            cx.write(hub.add(core as u64 * 64), &i.to_le_bytes()).unwrap();
+                            cx.write(hub.add(core as u64 * 64), &i.to_le_bytes())
+                                .unwrap();
                         });
                     }
                 })

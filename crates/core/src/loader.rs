@@ -154,15 +154,18 @@ impl EnclaveImage {
         offset += PAGE_SIZE as u64;
         for i in 0..self.code_pages {
             m.eadd(offset, 2, perm_bits(PagePerms::RX));
-            m.eextend(offset, &PageSource::Opaque { seed: self.code_seed(i) }.content_digest());
+            m.eextend(
+                offset,
+                &PageSource::Opaque {
+                    seed: self.code_seed(i),
+                }
+                .content_digest(),
+            );
             offset += PAGE_SIZE as u64;
         }
         for chunk in self.data.chunks(PAGE_SIZE) {
             m.eadd(offset, 2, perm_bits(PagePerms::RW));
-            m.eextend(
-                offset,
-                &PageSource::Image(chunk.to_vec()).content_digest(),
-            );
+            m.eextend(offset, &PageSource::Image(chunk.to_vec()).content_digest());
             offset += PAGE_SIZE as u64;
         }
         for _ in 0..self.heap_pages {

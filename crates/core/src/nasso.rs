@@ -251,8 +251,15 @@ mod tests {
         let rogue = build(&mut m, 0x30_0000, b"mallory", ProcessId(0));
         let oi = identity_of(&m, outer);
         let victim_id = identity_of(&m, victim_inner); // outer only authorizes the victim
-        let err = nasso(&mut m, rogue, outer, &oi, &victim_id, AssocPolicy::SingleOuter)
-            .unwrap_err();
+        let err = nasso(
+            &mut m,
+            rogue,
+            outer,
+            &oi,
+            &victim_id,
+            AssocPolicy::SingleOuter,
+        )
+        .unwrap_err();
         assert!(matches!(err, SgxError::InitVerification(_)));
         assert!(m.enclaves().get(outer).unwrap().inner_eids.is_empty());
     }

@@ -87,7 +87,12 @@ impl QuotingEnclave {
     /// # Errors
     ///
     /// Entry faults if the enclave is not initialized.
-    pub fn provision(machine: &mut Machine, core: usize, eid: EnclaveId, tcs: ne_sgx::VirtAddr) -> Result<QuotingEnclave> {
+    pub fn provision(
+        machine: &mut Machine,
+        core: usize,
+        eid: EnclaveId,
+        tcs: ne_sgx::VirtAddr,
+    ) -> Result<QuotingEnclave> {
         machine.eenter(core, eid, tcs)?;
         let attestation_key = machine.egetkey(core, ne_sgx::attest::KeyPolicy::SealToEnclave)?;
         machine.eexit(core)?;
@@ -111,7 +116,12 @@ impl QuotingEnclave {
     ///
     /// [`SgxError::InitVerification`] when the local report does not
     /// verify (wrong target, forged, or from another machine).
-    pub fn quote(&self, machine: &mut Machine, core: usize, report: &NestedReport) -> Result<NestedQuote> {
+    pub fn quote(
+        &self,
+        machine: &mut Machine,
+        core: usize,
+        report: &NestedReport,
+    ) -> Result<NestedQuote> {
         machine.eenter(core, self.eid, self.tcs)?;
         let ok = verify_nested_report(machine, core, report)?;
         machine.eexit(core)?;
@@ -225,18 +235,24 @@ mod tests {
     fn fixture() -> Fx {
         let mut app = NestedApp::new(HwConfig::small());
         app.load(
-            EnclaveImage::new("qe", b"intel-quoting").heap_pages(1).edl(Edl::new()),
+            EnclaveImage::new("qe", b"intel-quoting")
+                .heap_pages(1)
+                .edl(Edl::new()),
             [],
         )
         .unwrap();
         app.load(
-            EnclaveImage::new("hub", b"provider").heap_pages(4).edl(Edl::new()),
+            EnclaveImage::new("hub", b"provider")
+                .heap_pages(4)
+                .edl(Edl::new()),
             [],
         )
         .unwrap();
         for n in ["a", "b"] {
             app.load(
-                EnclaveImage::new(n, b"tenant").heap_pages(1).edl(Edl::new()),
+                EnclaveImage::new(n, b"tenant")
+                    .heap_pages(1)
+                    .edl(Edl::new()),
                 [],
             )
             .unwrap();
@@ -292,7 +308,9 @@ mod tests {
         // A foreign-signed inner joins the hub.
         fx.app
             .load(
-                EnclaveImage::new("intruder", b"other-vendor").heap_pages(1).edl(Edl::new()),
+                EnclaveImage::new("intruder", b"other-vendor")
+                    .heap_pages(1)
+                    .edl(Edl::new()),
                 [],
             )
             .unwrap();

@@ -100,8 +100,8 @@ pub fn accept_channel(
     let peer_ok = match (&expected_peer.mrenclave, &expected_peer.mrsigner) {
         (None, None) => false,
         (mre, mrs) => {
-            mre.map_or(true, |e| e == offer.report.mrenclave)
-                && mrs.map_or(true, |s| s == offer.report.mrsigner)
+            mre.is_none_or(|e| e == offer.report.mrenclave)
+                && mrs.is_none_or(|s| s == offer.report.mrsigner)
         }
     };
     if !peer_ok {
@@ -127,9 +127,11 @@ pub fn accept_channel(
         .iter()
         .filter_map(|o| cx.machine.enclaves().get(*o).map(|s| s.mrenclave))
         .collect();
-    let shares_outer = offer.report.relations.iter().any(|r| {
-        r.relation == Relation::Outer && my_outer_measurements.contains(&r.mrenclave)
-    });
+    let shares_outer = offer
+        .report
+        .relations
+        .iter()
+        .any(|r| r.relation == Relation::Outer && my_outer_measurements.contains(&r.mrenclave));
     if !shares_outer {
         return Err(SgxError::InitVerification(
             "channel offer: offerer does not share our outer enclave".into(),
@@ -151,14 +153,18 @@ mod tests {
         let mut app = NestedApp::new(HwConfig::small());
         for hub in ["hub", "hub2"] {
             app.load(
-                EnclaveImage::new(hub, b"provider").heap_pages(8).edl(Edl::new()),
+                EnclaveImage::new(hub, b"provider")
+                    .heap_pages(8)
+                    .edl(Edl::new()),
                 [],
             )
             .unwrap();
         }
         for (inner, outer) in [("a", "hub"), ("b", "hub"), ("c", "hub2")] {
             app.load(
-                EnclaveImage::new(inner, b"tenant").heap_pages(2).edl(Edl::new()),
+                EnclaveImage::new(inner, b"tenant")
+                    .heap_pages(2)
+                    .edl(Edl::new()),
                 [],
             )
             .unwrap();

@@ -88,11 +88,14 @@ pub fn nereport(
     target: EnclaveId,
     report_data: ReportData,
 ) -> Result<NestedReport> {
-    let eid = machine.current_enclave(core).ok_or_else(|| {
-        SgxError::GeneralProtection("NEREPORT outside enclave mode".into())
-    })?;
+    let eid = machine
+        .current_enclave(core)
+        .ok_or_else(|| SgxError::GeneralProtection("NEREPORT outside enclave mode".into()))?;
     let (mrenclave, mrsigner, outers, inners) = {
-        let secs = machine.enclaves().get(eid).expect("running enclave is live");
+        let secs = machine
+            .enclaves()
+            .get(eid)
+            .expect("running enclave is live");
         (
             secs.mrenclave,
             secs.mrsigner,

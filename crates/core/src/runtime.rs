@@ -17,17 +17,17 @@ use ne_sgx::config::HwConfig;
 use ne_sgx::enclave::{EnclaveId, ProcessId};
 use ne_sgx::error::{Result, SgxError};
 use ne_sgx::machine::Machine;
+use ne_sgx::metrics::CycleCategory;
+use ne_sgx::trace::SpanKind;
 use std::cell::Cell;
 use std::collections::HashMap;
 use std::sync::Arc;
 
 /// A trusted function body running inside an enclave.
-pub type TrustedFn =
-    Arc<dyn Fn(&mut EnclaveCtx<'_>, &[u8]) -> Result<Vec<u8>> + Send + Sync>;
+pub type TrustedFn = Arc<dyn Fn(&mut EnclaveCtx<'_>, &[u8]) -> Result<Vec<u8>> + Send + Sync>;
 
 /// An untrusted function body (ocall target).
-pub type UntrustedFn =
-    Arc<dyn Fn(&mut UntrustedCtx<'_>, &[u8]) -> Result<Vec<u8>> + Send + Sync>;
+pub type UntrustedFn = Arc<dyn Fn(&mut UntrustedCtx<'_>, &[u8]) -> Result<Vec<u8>> + Send + Sync>;
 
 /// Runtime record of a loaded enclave.
 struct EnclaveRt {
@@ -166,7 +166,9 @@ impl NestedApp {
             heap_cursor: Cell::new(0),
             image,
         };
-        self.registry.names_by_eid.insert(eid.0, rt.image.name.clone());
+        self.registry
+            .names_by_eid
+            .insert(eid.0, rt.image.name.clone());
         self.registry.enclaves.insert(rt.image.name.clone(), rt);
         Ok(eid)
     }
@@ -253,7 +255,13 @@ impl NestedApp {
     ///
     /// Interface violations, transition faults, and whatever the function
     /// itself returns.
-    pub fn ecall(&mut self, core: usize, enclave: &str, func: &str, args: &[u8]) -> Result<Vec<u8>> {
+    pub fn ecall(
+        &mut self,
+        core: usize,
+        enclave: &str,
+        func: &str,
+        args: &[u8],
+    ) -> Result<Vec<u8>> {
         let (eid, tcs, entry, f) = {
             let rt = self.registry.enclave(enclave)?;
             if !rt.edl.ecalls.contains(func) {
@@ -266,6 +274,9 @@ impl NestedApp {
             })?;
             (rt.layout.eid, rt.layout.base, rt.layout.entry, f.clone())
         };
+        let span = self
+            .machine
+            .span_begin(core, SpanKind::Ecall, &format!("{enclave}::{func}"));
         self.machine.eenter(core, eid, tcs)?;
         self.machine.fetch(core, entry)?;
         let mut cx = EnclaveCtx {
@@ -285,7 +296,9 @@ impl NestedApp {
             .cost
             .ecall
             .saturating_sub(2 * self.machine.config().cost.tlb_flush);
-        self.machine.charge(core, extra);
+        self.machine
+            .charge_cat(core, CycleCategory::Transition, extra);
+        self.machine.span_end(core, span);
         result
     }
 
@@ -469,9 +482,7 @@ impl<'a> EnclaveCtx<'a> {
         let nonce: [u8; 12] = blob[..12].try_into().expect("12 bytes");
         ne_crypto::gcm::AesGcm::new(&key)
             .open(&nonce, &blob[12..], b"ne-seal")
-            .map_err(|_| {
-                SgxError::GeneralProtection("sealed blob failed authentication".into())
-            })
+            .map_err(|_| SgxError::GeneralProtection("sealed blob failed authentication".into()))
     }
 
     /// Performs an ocall: EEXIT to untrusted mode, run the registered
@@ -494,10 +505,9 @@ impl<'a> EnclaveCtx<'a> {
             .registry
             .untrusted
             .get(func)
-            .ok_or_else(|| {
-                SgxError::GeneralProtection(format!("no untrusted body for '{func}'"))
-            })?
+            .ok_or_else(|| SgxError::GeneralProtection(format!("no untrusted body for '{func}'")))?
             .clone();
+        let span = self.machine.span_begin(self.core, SpanKind::Ocall, func);
         self.machine.eexit(self.core)?;
         let mut ucx = UntrustedCtx {
             machine: self.machine,
@@ -512,7 +522,9 @@ impl<'a> EnclaveCtx<'a> {
             .cost
             .ocall
             .saturating_sub(2 * self.machine.config().cost.tlb_flush);
-        self.machine.charge(self.core, extra);
+        self.machine
+            .charge_cat(self.core, CycleCategory::Transition, extra);
+        self.machine.span_end(self.core, span);
         result
     }
 
@@ -544,9 +556,7 @@ impl<'a> EnclaveCtx<'a> {
             .registry
             .untrusted
             .get(func)
-            .ok_or_else(|| {
-                SgxError::GeneralProtection(format!("no untrusted body for '{func}'"))
-            })?
+            .ok_or_else(|| SgxError::GeneralProtection(format!("no untrusted body for '{func}'")))?
             .clone();
         let mut ucx = UntrustedCtx {
             machine: self.machine,
@@ -576,6 +586,9 @@ impl<'a> EnclaveCtx<'a> {
             })?;
             (rt.layout.eid, rt.layout.base, f.clone())
         };
+        let span =
+            self.machine
+                .span_begin(self.core, SpanKind::NEcall, &format!("{inner}::{func}"));
         neenter(self.machine, self.core, inner_eid, inner_tcs)?;
         let mut cx = EnclaveCtx {
             machine: self.machine,
@@ -592,7 +605,9 @@ impl<'a> EnclaveCtx<'a> {
             .cost
             .n_ecall
             .saturating_sub(2 * self.machine.config().cost.tlb_flush);
-        self.machine.charge(self.core, extra);
+        self.machine
+            .charge_cat(self.core, CycleCategory::Transition, extra);
+        self.machine.span_end(self.core, span);
         result
     }
 
@@ -638,6 +653,7 @@ impl<'a> EnclaveCtx<'a> {
         }
         let inner_eid = self.eid;
         let inner_tcs = self.registry.enclave(&self.name)?.layout.base;
+        let span = self.machine.span_begin(self.core, SpanKind::NOcall, func);
         match target {
             Some(outer) => crate::transitions::neexit_to(self.machine, self.core, outer)?,
             None => neexit(self.machine, self.core)?,
@@ -674,7 +690,9 @@ impl<'a> EnclaveCtx<'a> {
             .cost
             .n_ocall
             .saturating_sub(2 * self.machine.config().cost.tlb_flush);
-        self.machine.charge(self.core, extra);
+        self.machine
+            .charge_cat(self.core, CycleCategory::Transition, extra);
+        self.machine.span_end(self.core, span);
         result
     }
 }
@@ -741,6 +759,9 @@ impl<'a> UntrustedCtx<'a> {
             })?;
             (rt.layout.eid, rt.layout.base, f.clone())
         };
+        let span =
+            self.machine
+                .span_begin(self.core, SpanKind::Ecall, &format!("{enclave}::{func}"));
         self.machine.eenter(self.core, eid, tcs)?;
         let mut cx = EnclaveCtx {
             machine: self.machine,
@@ -757,7 +778,9 @@ impl<'a> UntrustedCtx<'a> {
             .cost
             .ecall
             .saturating_sub(2 * self.machine.config().cost.tlb_flush);
-        self.machine.charge(self.core, extra);
+        self.machine
+            .charge_cat(self.core, CycleCategory::Transition, extra);
+        self.machine.span_end(self.core, span);
         result
     }
 }
@@ -816,9 +839,12 @@ mod tests {
         )
         .unwrap();
         // Inner: application logic that uses the outer library via n_ocall.
-        let appimg = EnclaveImage::new("app", b"tenant")
-            .heap_pages(2)
-            .edl(Edl::new().ecall("process").n_ecall("process").n_ocall("lib_twice"));
+        let appimg = EnclaveImage::new("app", b"tenant").heap_pages(2).edl(
+            Edl::new()
+                .ecall("process")
+                .n_ecall("process")
+                .n_ocall("lib_twice"),
+        );
         app.load(
             appimg,
             [(
@@ -865,21 +891,12 @@ mod tests {
     fn undeclared_n_ocall_rejected() {
         let mut app = NestedApp::new(HwConfig::small());
         let lib = EnclaveImage::new("lib", b"p").edl(Edl::new());
-        app.load(
-            lib,
-            [(
-                "secret_fn".to_string(),
-                tf(|_cx, _| Ok(vec![])),
-            )],
-        )
-        .unwrap();
+        app.load(lib, [("secret_fn".to_string(), tf(|_cx, _| Ok(vec![])))])
+            .unwrap();
         let inner = EnclaveImage::new("app", b"t").edl(Edl::new().ecall("go"));
         app.load(
             inner,
-            [(
-                "go".to_string(),
-                tf(|cx, _| cx.n_ocall("secret_fn", b"")),
-            )],
+            [("go".to_string(), tf(|cx, _| cx.n_ocall("secret_fn", b"")))],
         )
         .unwrap();
         app.associate("app", "lib").unwrap();
@@ -897,10 +914,7 @@ mod tests {
         let img = EnclaveImage::new("e", b"a").edl(Edl::new().ecall("run").ocall("get_time"));
         app.load(
             img,
-            [(
-                "run".to_string(),
-                tf(|cx, _| cx.ocall("get_time", b"")),
-            )],
+            [("run".to_string(), tf(|cx, _| cx.ocall("get_time", b"")))],
         )
         .unwrap();
         let out = app.ecall(0, "e", "run", b"").unwrap();
@@ -917,7 +931,8 @@ mod tests {
         let out = app.ecall(0, "app", "process", b"z").unwrap();
         assert!(!out.is_empty());
         // Direct allocation checks.
-        app.machine.eenter(0, app.eid("app").unwrap(), app.layout("app").unwrap().base)
+        app.machine
+            .eenter(0, app.eid("app").unwrap(), app.layout("app").unwrap().base)
             .unwrap();
         let mut cx = EnclaveCtx {
             machine: &mut app.machine,
@@ -966,7 +981,10 @@ mod tests {
             cycles >= expected_min,
             "cycles {cycles} < expected minimum {expected_min}"
         );
-        assert!(cycles < expected_min * 3, "cycles {cycles} unreasonably high");
+        assert!(
+            cycles < expected_min * 3,
+            "cycles {cycles} unreasonably high"
+        );
     }
 
     #[test]
@@ -978,10 +996,7 @@ mod tests {
             let reply = reply.to_vec();
             app.load(
                 img,
-                [(
-                    "whoami".to_string(),
-                    tf(move |_cx, _| Ok(reply.clone())),
-                )],
+                [("whoami".to_string(), tf(move |_cx, _| Ok(reply.clone())))],
             )
             .unwrap();
         }
@@ -1006,14 +1021,11 @@ mod tests {
         let out = app.ecall(0, "bridge", "ask_both", b"").unwrap();
         assert_eq!(out, b"NS");
         // Plain n_ocall is ambiguous for a lattice inner.
-        let img2 = EnclaveImage::new("bridge2", b"tenant")
-            .edl(Edl::new().ecall("ask").n_ocall("whoami"));
+        let img2 =
+            EnclaveImage::new("bridge2", b"tenant").edl(Edl::new().ecall("ask").n_ocall("whoami"));
         app.load(
             img2,
-            [(
-                "ask".to_string(),
-                tf(|cx, _| cx.n_ocall("whoami", b"")),
-            )],
+            [("ask".to_string(), tf(|cx, _| cx.n_ocall("whoami", b"")))],
         )
         .unwrap();
         app.associate_with_policy("bridge2", "north", AssocPolicy::Lattice)
@@ -1086,19 +1098,13 @@ mod tests {
     fn seal_unseal_roundtrip_and_cross_enclave_rejection() {
         let mut app = NestedApp::new(HwConfig::small());
         for name in ["one", "two"] {
-            let img = EnclaveImage::new(name, b"owner")
-                .edl(Edl::new().ecall("seal").ecall("unseal"));
+            let img =
+                EnclaveImage::new(name, b"owner").edl(Edl::new().ecall("seal").ecall("unseal"));
             app.load(
                 img,
                 [
-                    (
-                        "seal".to_string(),
-                        tf(|cx, args| cx.seal_data(args)),
-                    ),
-                    (
-                        "unseal".to_string(),
-                        tf(|cx, args| cx.unseal_data(args)),
-                    ),
+                    ("seal".to_string(), tf(|cx, args| cx.seal_data(args))),
+                    ("unseal".to_string(), tf(|cx, args| cx.unseal_data(args))),
                 ],
             )
             .unwrap();
@@ -1125,10 +1131,21 @@ mod tests {
         let mut app = demo_app();
         let lib = app.eid("lib").unwrap();
         let inner = app.eid("app").unwrap();
-        assert!(!app.machine.enclaves().get(inner).unwrap().outer_eids.is_empty());
+        assert!(!app
+            .machine
+            .enclaves()
+            .get(inner)
+            .unwrap()
+            .outer_eids
+            .is_empty());
         app.machine.eremove(lib).unwrap();
         assert!(
-            app.machine.enclaves().get(inner).unwrap().outer_eids.is_empty(),
+            app.machine
+                .enclaves()
+                .get(inner)
+                .unwrap()
+                .outer_eids
+                .is_empty(),
             "EREMOVE of the outer must sever the inner's link"
         );
         app.machine.audit_epcm().unwrap();
@@ -1143,8 +1160,7 @@ mod tests {
             [("lib_twice".to_string(), tf(|_cx, a| Ok(a.to_vec())))],
         )
         .unwrap();
-        let img = EnclaveImage::new("probe", b"t")
-            .edl(Edl::new().ecall("go").n_ocall("lib_twice"));
+        let img = EnclaveImage::new("probe", b"t").edl(Edl::new().ecall("go").n_ocall("lib_twice"));
         app.load(
             img,
             [(

@@ -1,7 +1,7 @@
 //! Switchless (exitless) ocalls.
 //!
-//! The paper's related work (§ IX) points at HotCalls [54] and the SDK's
-//! switchless calls [47]: instead of paying an EEXIT/EENTER round trip per
+//! The paper's related work (§ IX) points at HotCalls \[54\] and the SDK's
+//! switchless calls \[47\]: instead of paying an EEXIT/EENTER round trip per
 //! ocall, the enclave writes a request descriptor into *untrusted shared
 //! memory* and an untrusted worker thread on another core services it
 //! while the enclave thread polls for the response. No transition, no TLB
@@ -17,6 +17,8 @@
 use crate::runtime::{EnclaveCtx, UntrustedCtx};
 use ne_sgx::addr::VirtAddr;
 use ne_sgx::error::{Result, SgxError};
+use ne_sgx::metrics::CycleCategory;
+use ne_sgx::trace::SpanKind;
 
 /// Cycles the caller spends on the synchronization handshake (store
 /// request flag, poll response flag) — calibrated near HotCalls' reported
@@ -77,12 +79,7 @@ impl SwitchlessQueue {
     ///
     /// Oversized payloads, unknown functions, and whatever the untrusted
     /// function itself returns.
-    pub fn ocall(
-        &self,
-        cx: &mut EnclaveCtx<'_>,
-        func: &str,
-        args: &[u8],
-    ) -> Result<Vec<u8>> {
+    pub fn ocall(&self, cx: &mut EnclaveCtx<'_>, func: &str, args: &[u8]) -> Result<Vec<u8>> {
         if args.len() > self.capacity {
             return Err(SgxError::GeneralProtection(
                 "switchless request exceeds slot capacity".into(),
@@ -93,18 +90,30 @@ impl SwitchlessQueue {
                 "switchless worker core is not in untrusted mode".into(),
             ));
         }
+        let caller_core = cx.core();
+        let span = cx
+            .machine
+            .span_begin(caller_core, SpanKind::SwitchlessOcall, func);
+        cx.machine.stats_mut().switchless_ocalls += 1;
         // Marshal the request into untrusted memory (the enclave writes
         // untrusted pages directly; costs accrue through the memory model).
         cx.write(self.slot, &(args.len() as u32).to_le_bytes())?;
         cx.write(self.slot.add(4), args)?;
-        cx.charge(SYNC_CYCLES);
+        // The handshake replaces a hardware transition, so it lands in the
+        // same cycle category as EEXIT/EENTER would.
+        cx.machine
+            .charge_cat(caller_core, CycleCategory::Transition, SYNC_CYCLES);
         // The worker core picks it up and runs the untrusted function.
         let request = {
             let len_bytes = cx.machine.read(self.worker_core, self.slot, 4)?;
             let len = u32::from_le_bytes(len_bytes.try_into().expect("4 bytes")) as usize;
             cx.machine.read(self.worker_core, self.slot.add(4), len)?
         };
-        cx.machine.charge(self.worker_core, WORKER_POLL_CYCLES);
+        cx.machine.charge_cat(
+            self.worker_core,
+            CycleCategory::Transition,
+            WORKER_POLL_CYCLES,
+        );
         let response = cx.run_untrusted_on(self.worker_core, func, &request)?;
         if response.len() > self.capacity {
             return Err(SgxError::GeneralProtection(
@@ -112,14 +121,19 @@ impl SwitchlessQueue {
             ));
         }
         let resp_off = 4 + self.capacity as u64;
-        cx.machine
-            .write(self.worker_core, self.slot.add(resp_off), &(response.len() as u32).to_le_bytes())?;
+        cx.machine.write(
+            self.worker_core,
+            self.slot.add(resp_off),
+            &(response.len() as u32).to_le_bytes(),
+        )?;
         cx.machine
             .write(self.worker_core, self.slot.add(resp_off + 4), &response)?;
         // The enclave thread observes the response flag and copies out.
         let len_bytes = cx.read(self.slot.add(resp_off), 4)?;
         let len = u32::from_le_bytes(len_bytes.try_into().expect("4 bytes")) as usize;
-        cx.read(self.slot.add(resp_off + 4), len)
+        let out = cx.read(self.slot.add(resp_off + 4), len);
+        cx.machine.span_end(caller_core, span);
+        out
     }
 }
 
@@ -136,7 +150,9 @@ mod tests {
         let mut app = NestedApp::new(HwConfig::small());
         app.register_untrusted(
             "upper",
-            Arc::new(|_cx: &mut crate::runtime::UntrustedCtx<'_>, args: &[u8]| Ok(args.to_ascii_uppercase())) as UntrustedFn,
+            Arc::new(|_cx: &mut crate::runtime::UntrustedCtx<'_>, args: &[u8]| {
+                Ok(args.to_ascii_uppercase())
+            }) as UntrustedFn,
         );
         let img = EnclaveImage::new("e", b"o")
             .heap_pages(2)

@@ -35,7 +35,12 @@ use ne_sgx::trace::Event;
 /// # Errors
 ///
 /// [`SgxError::GeneralProtection`] on every invalid invocation.
-pub fn neenter(machine: &mut Machine, core: usize, inner: EnclaveId, tcs_va: VirtAddr) -> Result<()> {
+pub fn neenter(
+    machine: &mut Machine,
+    core: usize,
+    inner: EnclaveId,
+    tcs_va: VirtAddr,
+) -> Result<()> {
     let (outer_eid, outer_tcs) = match machine.core(core).mode {
         CoreMode::Enclave { eid, tcs } => (eid, tcs),
         CoreMode::NonEnclave => {
@@ -81,15 +86,21 @@ pub fn neenter(machine: &mut Machine, core: usize, inner: EnclaveId, tcs_va: Vir
         outer_slot.caller = None;
         *machine.regs_mut(core) = saved;
         machine.flush_tlb(core);
-        machine.set_core_mode(core, CoreMode::Enclave { eid: inner, tcs: tcs_va });
+        machine.set_core_mode(
+            core,
+            CoreMode::Enclave {
+                eid: inner,
+                tcs: tcs_va,
+            },
+        );
         if let Some(secs) = machine.enclaves_mut().get_mut(outer_eid) {
             secs.active_threads = secs.active_threads.saturating_sub(1);
         }
     } else {
         {
-            let tcs = machine.tcs_mut(inner, tcs_va).ok_or_else(|| {
-                SgxError::GeneralProtection("NEENTER with invalid TCS".into())
-            })?;
+            let tcs = machine
+                .tcs_mut(inner, tcs_va)
+                .ok_or_else(|| SgxError::GeneralProtection("NEENTER with invalid TCS".into()))?;
             if tcs.busy {
                 return Err(SgxError::GeneralProtection("NEENTER on busy TCS".into()));
             }
@@ -97,7 +108,13 @@ pub fn neenter(machine: &mut Machine, core: usize, inner: EnclaveId, tcs_va: Vir
             tcs.caller = Some((outer_eid, outer_tcs));
         }
         machine.flush_tlb(core);
-        machine.set_core_mode(core, CoreMode::Enclave { eid: inner, tcs: tcs_va });
+        machine.set_core_mode(
+            core,
+            CoreMode::Enclave {
+                eid: inner,
+                tcs: tcs_va,
+            },
+        );
         machine
             .enclaves_mut()
             .get_mut(inner)
@@ -340,7 +357,8 @@ mod tests {
         neenter(&mut m, 0, inner, VirtAddr(0x20_0000)).unwrap();
         m.set_reg(0, 0, 0x5EC2E7);
         // Populate the TLB from inner mode.
-        m.read(0, VirtAddr(0x20_0000 + PAGE_SIZE as u64), 1).unwrap();
+        m.read(0, VirtAddr(0x20_0000 + PAGE_SIZE as u64), 1)
+            .unwrap();
         assert!(!m.core(0).tlb.is_empty());
         neexit(&mut m, 0).unwrap();
         assert_eq!(m.reg(0, 0), 0, "NEEXIT must zero registers");

@@ -209,7 +209,11 @@ mod tests {
         let peer = enclaves.create(ProcessId(0), VirtRange::new(VirtAddr(96 * 4096), 16 * 4096));
         enclaves.get_mut(inner).unwrap().outer_eids.push(outer);
         enclaves.get_mut(peer).unwrap().outer_eids.push(outer);
-        enclaves.get_mut(outer).unwrap().inner_eids.extend([inner, peer]);
+        enclaves
+            .get_mut(outer)
+            .unwrap()
+            .inner_eids
+            .extend([inner, peer]);
         let mut epcm = Epcm::new();
         for (i, (eid, vpn)) in [(outer, 16u64), (inner, 64), (peer, 96)].iter().enumerate() {
             epcm.insert(
@@ -337,31 +341,57 @@ mod tests {
     fn three_level_chain_respects_depth_limit() {
         let mut fx = fixture();
         // grand: a new innermost enclave whose outer is `inner`.
-        let grand = fx
-            .enclaves
-            .create(ProcessId(0), VirtRange::new(VirtAddr(128 * 4096), 16 * 4096));
-        fx.enclaves.get_mut(grand).unwrap().outer_eids.push(fx.inner);
-        fx.enclaves.get_mut(fx.inner).unwrap().inner_eids.push(grand);
+        let grand = fx.enclaves.create(
+            ProcessId(0),
+            VirtRange::new(VirtAddr(128 * 4096), 16 * 4096),
+        );
+        fx.enclaves
+            .get_mut(grand)
+            .unwrap()
+            .outer_eids
+            .push(fx.inner);
+        fx.enclaves
+            .get_mut(fx.inner)
+            .unwrap()
+            .inner_eids
+            .push(grand);
         // Depth 2 (base design): grand may reach `inner` but NOT `outer`.
         let d2 = NestedValidator::new();
         let v = d2.validate(&ctx(&fx, Some(grand), 64, PRM_START + 2));
         assert!(matches!(v.outcome, Outcome::Insert(_)), "direct outer ok");
         let v = d2.validate(&ctx(&fx, Some(grand), 16, PRM_START + 1));
-        assert!(matches!(v.outcome, Outcome::Fault(_)), "depth-2 stops at one hop");
+        assert!(
+            matches!(v.outcome, Outcome::Fault(_)),
+            "depth-2 stops at one hop"
+        );
         // Depth 3 (§ VIII multi-level): grand reaches `outer` too.
         let d3 = NestedValidator::with_max_depth(3);
         let v = d3.validate(&ctx(&fx, Some(grand), 16, PRM_START + 1));
-        assert!(matches!(v.outcome, Outcome::Insert(_)), "depth-3 follows chain");
+        assert!(
+            matches!(v.outcome, Outcome::Insert(_)),
+            "depth-3 follows chain"
+        );
     }
 
     #[test]
     fn multiple_outers_lattice() {
         let mut fx = fixture();
         // Make `inner` also an inner of `peer` (lattice, § VIII).
-        fx.enclaves.get_mut(fx.inner).unwrap().outer_eids.push(fx.peer);
-        fx.enclaves.get_mut(fx.peer).unwrap().inner_eids.push(fx.inner);
+        fx.enclaves
+            .get_mut(fx.inner)
+            .unwrap()
+            .outer_eids
+            .push(fx.peer);
+        fx.enclaves
+            .get_mut(fx.peer)
+            .unwrap()
+            .inner_eids
+            .push(fx.inner);
         let v = validate(&fx, Some(fx.inner), 96, PRM_START + 3);
-        assert!(matches!(v.outcome, Outcome::Insert(_)), "second outer reachable");
+        assert!(
+            matches!(v.outcome, Outcome::Insert(_)),
+            "second outer reachable"
+        );
         // But peer still cannot read inner.
         let v = validate(&fx, Some(fx.peer), 64, PRM_START + 2);
         assert!(matches!(v.outcome, Outcome::Fault(_)));
@@ -370,11 +400,20 @@ mod tests {
     #[test]
     fn tracking_set_includes_transitive_inners() {
         let mut fx = fixture();
-        let grand = fx
-            .enclaves
-            .create(ProcessId(0), VirtRange::new(VirtAddr(128 * 4096), 16 * 4096));
-        fx.enclaves.get_mut(grand).unwrap().outer_eids.push(fx.inner);
-        fx.enclaves.get_mut(fx.inner).unwrap().inner_eids.push(grand);
+        let grand = fx.enclaves.create(
+            ProcessId(0),
+            VirtRange::new(VirtAddr(128 * 4096), 16 * 4096),
+        );
+        fx.enclaves
+            .get_mut(grand)
+            .unwrap()
+            .outer_eids
+            .push(fx.inner);
+        fx.enclaves
+            .get_mut(fx.inner)
+            .unwrap()
+            .inner_eids
+            .push(grand);
         let set = NestedValidator::new().eviction_tracking_set(fx.outer, &fx.enclaves);
         assert!(set.contains(&fx.outer));
         assert!(set.contains(&fx.inner));

@@ -12,13 +12,17 @@ use ne_sgx::error::SgxError;
 fn topology() -> NestedApp {
     let mut app = NestedApp::new(HwConfig::small());
     app.load(
-        EnclaveImage::new("outer", b"provider").heap_pages(4).edl(Edl::new()),
+        EnclaveImage::new("outer", b"provider")
+            .heap_pages(4)
+            .edl(Edl::new()),
         [],
     )
     .unwrap();
     for n in ["a", "b"] {
         app.load(
-            EnclaveImage::new(n, b"tenant").heap_pages(2).edl(Edl::new()),
+            EnclaveImage::new(n, b"tenant")
+                .heap_pages(2)
+                .edl(Edl::new()),
             [],
         )
         .unwrap();
@@ -57,13 +61,17 @@ fn n_ocall_call_paths_contend_for_outer_tcs() {
     let mut app = NestedApp::new(HwConfig::small());
     // Outer with TWO TCSes: the image gives one; add a second manually.
     app.load(
-        EnclaveImage::new("outer", b"provider").heap_pages(4).edl(Edl::new()),
+        EnclaveImage::new("outer", b"provider")
+            .heap_pages(4)
+            .edl(Edl::new()),
         [],
     )
     .unwrap();
     for n in ["a", "b", "c"] {
         app.load(
-            EnclaveImage::new(n, b"tenant").heap_pages(2).edl(Edl::new()),
+            EnclaveImage::new(n, b"tenant")
+                .heap_pages(2)
+                .edl(Edl::new()),
             [],
         )
         .unwrap();

@@ -213,7 +213,11 @@ mod tests {
             let pt: Vec<u8> = (0..len).map(|i| (i * 7) as u8).collect();
             let nonce = [len as u8; 12];
             let sealed = cipher.seal(&nonce, &pt, b"aad");
-            assert_eq!(cipher.open(&nonce, &sealed, b"aad").unwrap(), pt, "len {len}");
+            assert_eq!(
+                cipher.open(&nonce, &sealed, b"aad").unwrap(),
+                pt,
+                "len {len}"
+            );
         }
     }
 

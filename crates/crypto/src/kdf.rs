@@ -46,10 +46,7 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        assert_eq!(
-            derive_key(b"s", b"l", b"c"),
-            derive_key(b"s", b"l", b"c")
-        );
+        assert_eq!(derive_key(b"s", b"l", b"c"), derive_key(b"s", b"l", b"c"));
     }
 
     #[test]

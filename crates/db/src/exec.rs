@@ -92,7 +92,8 @@ impl Database {
                 if self.tables.contains_key(name) {
                     return Err(DbError::TableExists(name.clone()));
                 }
-                self.tables.insert(name.clone(), Table::new(columns.clone()));
+                self.tables
+                    .insert(name.clone(), Table::new(columns.clone()));
                 Ok(QueryResult::default())
             }
             Statement::Insert { table, values } => {
@@ -290,7 +291,9 @@ mod tests {
     #[test]
     fn select_non_key_predicate_scans() {
         let mut d = db();
-        let r = d.execute("SELECT key FROM usertable WHERE f1 = 20").unwrap();
+        let r = d
+            .execute("SELECT key FROM usertable WHERE f1 = 20")
+            .unwrap();
         assert_eq!(r.rows, vec![vec![Value::from("u2")]]);
     }
 

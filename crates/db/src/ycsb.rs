@@ -89,7 +89,10 @@ impl Workload {
                 format!("SELECT field0 FROM usertable WHERE key = 'user{k}'")
             } else {
                 let k = rng.gen_range(0..record_count.max(1));
-                format!("UPDATE usertable SET field0 = '{}' WHERE key = 'user{k}'", field(k + 7))
+                format!(
+                    "UPDATE usertable SET field0 = '{}' WHERE key = 'user{k}'",
+                    field(k + 7)
+                )
             };
             operations.push(op);
         }
@@ -114,8 +117,16 @@ mod tests {
     #[test]
     fn mixes_have_expected_composition() {
         let w = Workload::generate(WorkloadMix::Select95Update5, 100, 2000, 1);
-        let selects = w.operations.iter().filter(|o| o.starts_with("SELECT")).count();
-        let updates = w.operations.iter().filter(|o| o.starts_with("UPDATE")).count();
+        let selects = w
+            .operations
+            .iter()
+            .filter(|o| o.starts_with("SELECT"))
+            .count();
+        let updates = w
+            .operations
+            .iter()
+            .filter(|o| o.starts_with("UPDATE"))
+            .count();
         assert_eq!(selects + updates, 2000);
         let frac = selects as f64 / 2000.0;
         assert!((frac - 0.95).abs() < 0.03, "select fraction {frac}");

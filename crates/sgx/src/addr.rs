@@ -46,6 +46,7 @@ impl VirtAddr {
     }
 
     /// Address advanced by `n` bytes.
+    #[allow(clippy::should_implement_trait)] // pervasive call sites predate an `Add` impl
     pub fn add(self, n: u64) -> VirtAddr {
         VirtAddr(self.0 + n)
     }
@@ -125,9 +126,12 @@ impl VirtRange {
     ///
     /// Panics if the alignment requirements are violated.
     pub fn new(start: VirtAddr, len: u64) -> VirtRange {
-        assert!(start.is_page_aligned(), "ELRANGE start must be page aligned");
         assert!(
-            len > 0 && len % PAGE_SIZE as u64 == 0,
+            start.is_page_aligned(),
+            "ELRANGE start must be page aligned"
+        );
+        assert!(
+            len > 0 && len.is_multiple_of(PAGE_SIZE as u64),
             "ELRANGE length must be a non-zero multiple of the page size"
         );
         VirtRange { start, len }
@@ -146,6 +150,11 @@ impl VirtRange {
     /// Length in bytes.
     pub fn len(self) -> u64 {
         self.len
+    }
+
+    /// Always false: construction rejects zero-length ranges.
+    pub fn is_empty(self) -> bool {
+        false
     }
 
     /// Length in pages.

@@ -88,9 +88,9 @@ impl Machine {
         target: EnclaveId,
         report_data: ReportData,
     ) -> Result<Report> {
-        let eid = self.current_enclave(core).ok_or_else(|| {
-            SgxError::GeneralProtection("EREPORT outside enclave mode".into())
-        })?;
+        let eid = self
+            .current_enclave(core)
+            .ok_or_else(|| SgxError::GeneralProtection("EREPORT outside enclave mode".into()))?;
         let (mrenclave, mrsigner) = {
             let secs = self.enclaves().get(eid).expect("running enclave is live");
             (secs.mrenclave, secs.mrsigner)
@@ -128,15 +128,19 @@ impl Machine {
     ///
     /// General-protection fault outside enclave mode.
     pub fn egetkey(&mut self, core: usize, policy: KeyPolicy) -> Result<[u8; 16]> {
-        let eid = self.current_enclave(core).ok_or_else(|| {
-            SgxError::GeneralProtection("EGETKEY outside enclave mode".into())
-        })?;
+        let eid = self
+            .current_enclave(core)
+            .ok_or_else(|| SgxError::GeneralProtection("EGETKEY outside enclave mode".into()))?;
         let secs = self.enclaves().get(eid).expect("running enclave is live");
         let (label, ident): (&[u8], &[u8]) = match policy {
             KeyPolicy::SealToEnclave => (b"seal-mrenclave", &secs.mrenclave),
             KeyPolicy::SealToSigner => (b"seal-mrsigner", &secs.mrsigner),
         };
-        Ok(ne_crypto::kdf::derive_key(&self.platform_secret, label, ident))
+        Ok(ne_crypto::kdf::derive_key(
+            &self.platform_secret,
+            label,
+            ident,
+        ))
     }
 }
 

@@ -47,7 +47,7 @@ impl Llc {
     /// Panics if the geometry does not divide evenly.
     pub fn new(capacity_bytes: usize, ways: usize) -> Llc {
         let lines = capacity_bytes / LINE_SIZE;
-        assert!(ways > 0 && lines % ways == 0, "bad cache geometry");
+        assert!(ways > 0 && lines.is_multiple_of(ways), "bad cache geometry");
         let num_sets = lines / ways;
         Llc {
             sets: vec![Vec::with_capacity(ways); num_sets],

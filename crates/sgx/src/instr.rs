@@ -6,6 +6,7 @@ use crate::enclave::{EnclaveId, EnclaveState, ProcessId, SavedContext, SigStruct
 use crate::epcm::{EpcmEntry, PagePerms, PageType};
 use crate::error::{Result, SgxError};
 use crate::machine::{CoreMode, Machine};
+use crate::metrics::CycleCategory;
 use crate::trace::Event;
 use ne_crypto::gcm::AesGcm;
 use ne_crypto::Digest32;
@@ -107,7 +108,7 @@ impl Machine {
             },
         );
         let cost = self.config().cost.ecreate;
-        self.charge(0, cost);
+        self.charge_cat(0, CycleCategory::Lifecycle, cost);
         Ok(eid)
     }
 
@@ -153,7 +154,12 @@ impl Machine {
         if self.pending_digests.contains_key(&(eid.0, va.vpn().0))
             || self
                 .os_lookup(pid, va.vpn())
-                .map(|pte| self.epcm().get(pte.ppn).map(|e| e.eid == eid).unwrap_or(false))
+                .map(|pte| {
+                    self.epcm()
+                        .get(pte.ppn)
+                        .map(|e| e.eid == eid)
+                        .unwrap_or(false)
+                })
                 .unwrap_or(false)
         {
             return Err(SgxError::RangeConflict(format!("{va} already added")));
@@ -194,7 +200,7 @@ impl Machine {
             .eadd(page_offset, type_tag, perm_bits);
         self.pending_digests.insert((eid.0, va.vpn().0), digest);
         let cost = self.config().cost.eadd_page;
-        self.charge(0, cost);
+        self.charge_cat(0, CycleCategory::Lifecycle, cost);
         Ok(())
     }
 
@@ -212,9 +218,9 @@ impl Machine {
         if secs.state != EnclaveState::Building {
             return Err(SgxError::BadEnclaveState("EEXTEND after EINIT".into()));
         }
-        let page_offset = va.0.checked_sub(secs.elrange.start().0).ok_or_else(|| {
-            SgxError::RangeConflict(format!("EEXTEND {va} outside ELRANGE"))
-        })?;
+        let page_offset =
+            va.0.checked_sub(secs.elrange.start().0)
+                .ok_or_else(|| SgxError::RangeConflict(format!("EEXTEND {va} outside ELRANGE")))?;
         let digest = self
             .pending_digests
             .get(&(eid.0, va.vpn().0))
@@ -226,7 +232,7 @@ impl Machine {
             .measurement
             .eextend(page_offset, &digest);
         let cost = self.config().cost.eextend_page;
-        self.charge(0, cost);
+        self.charge_cat(0, CycleCategory::Lifecycle, cost);
         Ok(())
     }
 
@@ -256,7 +262,7 @@ impl Machine {
         secs.mrsigner = mrsigner;
         secs.state = EnclaveState::Initialized;
         let cost = self.config().cost.einit;
-        self.charge(0, cost);
+        self.charge_cat(0, CycleCategory::Lifecycle, cost);
         Ok(())
     }
 
@@ -336,7 +342,10 @@ impl Machine {
         tcs.busy = true;
         self.flush_tlb(core);
         self.set_core_mode(core, CoreMode::Enclave { eid, tcs: tcs_va });
-        self.enclaves_mut().get_mut(eid).expect("live").active_threads += 1;
+        self.enclaves_mut()
+            .get_mut(eid)
+            .expect("live")
+            .active_threads += 1;
         self.stats_mut().ecalls += 1;
         self.record_event(Event::Eenter { core, eid });
         Ok(())
@@ -381,7 +390,9 @@ impl Machine {
         let (eid, tcs_va) = match self.core(core).mode {
             CoreMode::Enclave { eid, tcs } => (eid, tcs),
             CoreMode::NonEnclave => {
-                return Err(SgxError::GeneralProtection("AEX outside enclave mode".into()))
+                return Err(SgxError::GeneralProtection(
+                    "AEX outside enclave mode".into(),
+                ))
             }
         };
         let saved = *self.regs_mut(core);
@@ -395,7 +406,9 @@ impl Machine {
             secs.active_threads = secs.active_threads.saturating_sub(1);
         }
         let cost = self.config().cost.aex;
-        self.charge(core, cost);
+        // The core already left enclave mode; the exit belongs to the
+        // interrupted enclave.
+        self.charge_to(core, CycleCategory::Transition, cost, Some(eid));
         self.stats_mut().aexes += 1;
         self.record_event(Event::Aex { core, eid });
         Ok(())
@@ -427,7 +440,12 @@ impl Machine {
         *self.regs_mut(core) = saved;
         self.flush_tlb(core);
         self.set_core_mode(core, CoreMode::Enclave { eid, tcs: tcs_va });
-        self.enclaves_mut().get_mut(eid).expect("live").active_threads += 1;
+        self.enclaves_mut()
+            .get_mut(eid)
+            .expect("live")
+            .active_threads += 1;
+        self.stats_mut().eresumes += 1;
+        self.record_event(Event::Eresume { core, eid });
         Ok(())
     }
 
@@ -467,7 +485,9 @@ impl Machine {
             return Err(SgxError::GeneralProtection("EAUG address unaligned".into()));
         }
         if !in_range {
-            return Err(SgxError::RangeConflict(format!("EAUG {va} outside ELRANGE")));
+            return Err(SgxError::RangeConflict(format!(
+                "EAUG {va} outside ELRANGE"
+            )));
         }
         if self
             .os_lookup(pid, va.vpn())
@@ -492,7 +512,7 @@ impl Machine {
         );
         self.os_map(pid, va.vpn(), ppn, PagePerms::RW);
         let cost = self.config().cost.eaug_page;
-        self.charge(0, cost);
+        self.charge_cat(0, CycleCategory::Lifecycle, cost);
         Ok(())
     }
 
@@ -504,13 +524,13 @@ impl Machine {
     /// General-protection fault outside enclave mode, or when `va` is not
     /// a pending page of the current enclave.
     pub fn eaccept(&mut self, core: usize, va: VirtAddr) -> Result<()> {
-        let eid = self.current_enclave(core).ok_or_else(|| {
-            SgxError::GeneralProtection("EACCEPT outside enclave mode".into())
-        })?;
+        let eid = self
+            .current_enclave(core)
+            .ok_or_else(|| SgxError::GeneralProtection("EACCEPT outside enclave mode".into()))?;
         let pid = self.core(core).pid;
-        let pte = self.os_lookup(pid, va.vpn()).ok_or_else(|| {
-            SgxError::GeneralProtection(format!("EACCEPT: {va} not mapped"))
-        })?;
+        let pte = self
+            .os_lookup(pid, va.vpn())
+            .ok_or_else(|| SgxError::GeneralProtection(format!("EACCEPT: {va} not mapped")))?;
         let entry = self.epcm_mut().get_mut(pte.ppn).ok_or_else(|| {
             SgxError::GeneralProtection(format!("EACCEPT: {va} is not an EPC page"))
         })?;
@@ -526,7 +546,7 @@ impl Machine {
         }
         entry.pending = false;
         let cost = self.config().cost.eaccept_page;
-        self.charge(core, cost);
+        self.charge_cat(core, CycleCategory::Lifecycle, cost);
         Ok(())
     }
 
@@ -586,7 +606,9 @@ impl Machine {
         self.os_unmap(pid, va.vpn());
         self.free_epc.push(pte.ppn);
         let cost = self.config().cost.ewb_page;
-        self.charge(0, cost);
+        // Paging runs in the (untrusted) driver but on behalf of the page's
+        // owner enclave — attribute it there for the hierarchy report.
+        self.charge_to(0, CycleCategory::Paging, cost, Some(eid));
         self.stats_mut().ewb_pages += 1;
         self.record_event(Event::Ewb { eid, addr: va });
         Ok(EvictedPage {
@@ -647,7 +669,7 @@ impl Machine {
         self.os_map(pid, page.vpn, ppn, page.perms);
         self.evicted_versions.remove(&(page.eid.0, page.vpn.0));
         let cost = self.config().cost.eldu_page;
-        self.charge(0, cost);
+        self.charge_to(0, CycleCategory::Paging, cost, Some(page.eid));
         self.stats_mut().eldu_pages += 1;
         self.record_event(Event::Eldu {
             eid: page.eid,
@@ -668,15 +690,14 @@ impl Machine {
         let ipi_cost = self.config().cost.ipi;
         for core in 0..self.num_cores() {
             let hit = match self.core(core).mode {
-                CoreMode::Enclave { eid: running, .. } => {
-                    flush_all || affected.contains(&running)
-                }
+                CoreMode::Enclave { eid: running, .. } => flush_all || affected.contains(&running),
                 // Idle/untrusted cores hold no enclave translations
                 // (invariant 1), except under flush-all which IPIs everyone.
                 CoreMode::NonEnclave => flush_all,
             };
             if hit {
-                self.charge(core, ipi_cost);
+                // Shootdown IPIs are part of the eviction's cost.
+                self.charge_to(core, CycleCategory::Paging, ipi_cost, Some(eid));
                 self.stats_mut().ipis += 1;
                 if self.current_enclave(core).is_some() {
                     self.aex(core)?;
@@ -782,7 +803,9 @@ impl Machine {
             PageType::Tcs => 1,
             PageType::Reg => 2,
         });
-        aad.push((entry.perms.r as u8) | ((entry.perms.w as u8) << 1) | ((entry.perms.x as u8) << 2));
+        aad.push(
+            (entry.perms.r as u8) | ((entry.perms.w as u8) << 1) | ((entry.perms.x as u8) << 2),
+        );
         aad
     }
 }
@@ -853,7 +876,9 @@ mod tests {
             .unwrap();
         m.eadd(eid, base, PageType::Reg, PageSource::Zeros, PagePerms::RW)
             .unwrap();
-        let err = m.einit(eid, &SigStruct::new(b"tester", [0xAB; 32])).unwrap_err();
+        let err = m
+            .einit(eid, &SigStruct::new(b"tester", [0xAB; 32]))
+            .unwrap_err();
         assert!(matches!(err, SgxError::InitVerification(_)));
     }
 
@@ -929,8 +954,7 @@ mod tests {
         m.eenter(0, eid, base).unwrap();
         let err = m.read(0, va, 4).unwrap_err();
         assert!(
-            err.is_fault(FaultKind::EnclavePageSwappedOut)
-                || err.is_fault(FaultKind::NotMapped)
+            err.is_fault(FaultKind::EnclavePageSwappedOut) || err.is_fault(FaultKind::NotMapped)
         );
         m.eexit(0).unwrap();
         m.eldu(&blob).unwrap();
@@ -1114,7 +1138,10 @@ mod tests {
         m.eextend(eid, base.add(PAGE_SIZE as u64)).unwrap();
         let dynamic = base.add(2 * PAGE_SIZE as u64);
         // EAUG before EINIT is rejected.
-        assert!(matches!(m.eaug(eid, dynamic), Err(SgxError::BadEnclaveState(_))));
+        assert!(matches!(
+            m.eaug(eid, dynamic),
+            Err(SgxError::BadEnclaveState(_))
+        ));
         let measured = m.enclaves().get(eid).unwrap().measurement.finalize();
         m.einit(eid, &SigStruct::new(b"t", measured)).unwrap();
         // OS grows the enclave.
@@ -1145,7 +1172,10 @@ mod tests {
         // A different enclave cannot accept the victim's pending page.
         let other_base = VirtAddr(0x80_0000);
         let other = m
-            .ecreate(ProcessId(0), VirtRange::new(other_base, 2 * PAGE_SIZE as u64))
+            .ecreate(
+                ProcessId(0),
+                VirtRange::new(other_base, 2 * PAGE_SIZE as u64),
+            )
             .unwrap();
         m.add_tcs(other, other_base, other_base.add(PAGE_SIZE as u64))
             .unwrap();

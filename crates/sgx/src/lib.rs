@@ -63,6 +63,7 @@ pub mod instr;
 pub mod machine;
 pub mod mee;
 pub mod mem;
+pub mod metrics;
 pub mod page_table;
 pub mod tlb;
 pub mod trace;

@@ -14,9 +14,10 @@ use crate::epcm::{Epcm, PagePerms};
 use crate::error::{FaultKind, Result, SgxError};
 use crate::mee::Mee;
 use crate::mem::Dram;
+use crate::metrics::{CycleBreakdown, CycleCategory, MachineMetrics};
 use crate::page_table::PageTable;
 use crate::tlb::Tlb;
-use crate::trace::{Event, Stats, Trace};
+use crate::trace::{Event, SpanKind, Stats, Trace};
 use crate::validate::{CoreView, Outcome, SgxValidator, TlbValidator, ValidationCtx};
 use ne_crypto::Digest32;
 use std::collections::HashMap;
@@ -46,6 +47,8 @@ pub struct Core {
     pub tlb: Tlb,
     /// Simulated cycle counter.
     pub cycles: u64,
+    /// Where this core's cycles went, by category; sums to `cycles`.
+    pub breakdown: CycleBreakdown,
     /// Architectural registers (modelled subset). Transition instructions
     /// scrub these so enclave state cannot leak (§ V "zeroing registers").
     pub regs: SavedContext,
@@ -93,6 +96,12 @@ pub struct Machine {
     validator: Box<dyn TlbValidator>,
     stats: Stats,
     trace: Trace,
+    /// Cycles attributed per enclave (`None` = untrusted execution).
+    enclave_cycles: HashMap<Option<EnclaveId>, CycleBreakdown>,
+    /// Monotonic id source for runtime call spans.
+    next_span_id: u64,
+    /// Per-core stack of open span ids (parents for nested spans).
+    span_stacks: Vec<Vec<u64>>,
     pub(crate) free_epc: Vec<Ppn>,
     next_ram_ppn: u64,
     pub(crate) platform_secret: [u8; 32],
@@ -134,6 +143,7 @@ impl Machine {
                 pid: ProcessId(0),
                 tlb: Tlb::new(cfg.tlb_entries),
                 cycles: 0,
+                breakdown: CycleBreakdown::default(),
                 regs: SavedContext::default(),
             })
             .collect();
@@ -153,7 +163,10 @@ impl Machine {
             cores,
             validator,
             stats: Stats::default(),
-            trace: Trace::new(cfg.trace_events),
+            trace: Trace::new(cfg.trace_events, cfg.trace_capacity),
+            enclave_cycles: HashMap::new(),
+            next_span_id: 0,
+            span_stacks: vec![Vec::new(); cfg.num_cores],
             free_epc,
             next_ram_ppn: 1,
             platform_secret,
@@ -255,10 +268,43 @@ impl Machine {
 
     // ----- cycles and stats -----------------------------------------------
 
-    /// Charges simulated cycles to a core. Public so higher layers (the SDK
-    /// runtime, workloads) can account software work in the same clock.
+    /// Charges simulated cycles of application work to a core. Public so
+    /// higher layers (the SDK runtime, workloads) can account software
+    /// work in the same clock; shorthand for [`Machine::charge_cat`] with
+    /// [`CycleCategory::AppCompute`].
     pub fn charge(&mut self, core: usize, cycles: u64) {
-        self.cores[core].cycles += cycles;
+        self.charge_cat(core, CycleCategory::AppCompute, cycles);
+    }
+
+    /// Charges cycles to a core under an explicit category, attributed to
+    /// the enclave the core is currently executing (or the untrusted
+    /// bucket). Every architectural cost in the simulator funnels through
+    /// here, which is what makes the [`crate::metrics`] identities hold.
+    pub fn charge_cat(&mut self, core: usize, category: CycleCategory, cycles: u64) {
+        let owner = self.current_enclave(core);
+        self.charge_to(core, category, cycles, owner);
+    }
+
+    /// Charges cycles to a core but attributes them to an explicit enclave
+    /// bucket — used when work executes in one context on behalf of
+    /// another (EWB/ELDU run untrusted but page for an owner enclave).
+    pub fn charge_to(
+        &mut self,
+        core: usize,
+        category: CycleCategory,
+        cycles: u64,
+        owner: Option<EnclaveId>,
+    ) {
+        if cycles == 0 {
+            return;
+        }
+        let c = &mut self.cores[core];
+        c.cycles += cycles;
+        c.breakdown.add(category, cycles);
+        self.enclave_cycles
+            .entry(owner)
+            .or_default()
+            .add(category, cycles);
     }
 
     /// Cycle counter of one core.
@@ -271,6 +317,27 @@ impl Machine {
         self.cores.iter().map(|c| c.cycles).sum()
     }
 
+    /// Category breakdown of one core's cycles.
+    pub fn core_breakdown(&self, core: usize) -> &CycleBreakdown {
+        &self.cores[core].breakdown
+    }
+
+    /// Cycle attribution per enclave (`None` = untrusted). Buckets appear
+    /// once something is charged to them.
+    pub fn enclave_cycle_table(&self) -> &HashMap<Option<EnclaveId>, CycleBreakdown> {
+        &self.enclave_cycles
+    }
+
+    /// Cycles attributed to one enclave bucket so far.
+    pub fn enclave_breakdown(&self, eid: Option<EnclaveId>) -> CycleBreakdown {
+        self.enclave_cycles.get(&eid).copied().unwrap_or_default()
+    }
+
+    /// Snapshots every counter into an exportable [`MachineMetrics`].
+    pub fn metrics(&self) -> MachineMetrics {
+        MachineMetrics::capture(self)
+    }
+
     /// Architectural event counters.
     pub fn stats(&self) -> Stats {
         self.stats
@@ -281,13 +348,17 @@ impl Machine {
         &mut self.stats
     }
 
-    /// Clears counters and cycle clocks (between experiment phases).
+    /// Clears counters, cycle clocks, attribution tables, and the event
+    /// trace (between experiment phases).
     pub fn reset_metrics(&mut self) {
         self.stats = Stats::default();
         for c in &mut self.cores {
             c.cycles = 0;
+            c.breakdown = CycleBreakdown::default();
         }
+        self.enclave_cycles.clear();
         self.mee.reset_counters();
+        self.trace.clear();
     }
 
     /// The event trace.
@@ -298,6 +369,40 @@ impl Machine {
     /// Records an event (extension crates use this for NEENTER/NEEXIT).
     pub fn record_event(&mut self, event: Event) {
         self.trace.record(event);
+    }
+
+    /// Opens a runtime call span on `core` and returns its id. The span
+    /// nests under any span already open on the core, so ecall→ocall
+    /// chains are reconstructable from the trace.
+    pub fn span_begin(&mut self, core: usize, kind: SpanKind, label: &str) -> u64 {
+        self.next_span_id += 1;
+        let id = self.next_span_id;
+        let parent = self.span_stacks[core].last().copied();
+        self.span_stacks[core].push(id);
+        if self.trace.is_enabled() {
+            let cycles = self.cores[core].cycles;
+            self.trace.record(Event::SpanBegin {
+                core,
+                id,
+                parent,
+                kind,
+                label: label.to_string(),
+                cycles,
+            });
+        }
+        id
+    }
+
+    /// Closes the span `id` opened by [`Machine::span_begin`] (also closes
+    /// any spans left open beneath it).
+    pub fn span_end(&mut self, core: usize, id: u64) {
+        if let Some(pos) = self.span_stacks[core].iter().rposition(|&s| s == id) {
+            self.span_stacks[core].truncate(pos);
+        }
+        if self.trace.is_enabled() {
+            let cycles = self.cores[core].cycles;
+            self.trace.record(Event::SpanEnd { core, id, cycles });
+        }
     }
 
     /// The MEE (counters used by Fig. 11).
@@ -363,11 +468,13 @@ impl Machine {
 
     // ----- TLB management --------------------------------------------------
 
-    /// Flushes one core's TLB, charging the flush cost.
+    /// Flushes one core's TLB, charging the flush cost. Flushes happen at
+    /// transition boundaries, so the cost lands in
+    /// [`CycleCategory::Transition`].
     pub fn flush_tlb(&mut self, core: usize) {
         self.cores[core].tlb.flush();
         let cost = self.cfg.cost.tlb_flush;
-        self.charge(core, cost);
+        self.charge_cat(core, CycleCategory::Transition, cost);
         self.trace.record(Event::TlbFlush { core });
     }
 
@@ -449,7 +556,7 @@ impl Machine {
     /// Returns the fault the validation flow (or permission check) raised.
     pub fn translate(&mut self, core: usize, va: VirtAddr, kind: AccessKind) -> Result<Translated> {
         let vpn = va.vpn();
-        self.charge(core, self.cfg.cost.tlb_hit);
+        self.charge_cat(core, CycleCategory::Memory, self.cfg.cost.tlb_hit);
         if let Some(entry) = self.cores[core].tlb.lookup(vpn) {
             self.check_perms(core, va, entry.perms, kind)?;
             return Ok(Translated::Phys(
@@ -459,8 +566,11 @@ impl Machine {
         }
         // TLB miss: walk the (untrusted) page table.
         self.stats.tlb_misses += 1;
-        self.charge(core, self.cfg.cost.tlb_miss_walk);
-        let pte = match self.processes[self.cores[core].pid.0].page_table.lookup(vpn) {
+        self.charge_cat(core, CycleCategory::TlbWalk, self.cfg.cost.tlb_miss_walk);
+        let pte = match self.processes[self.cores[core].pid.0]
+            .page_table
+            .lookup(vpn)
+        {
             Some(p) => p,
             None => {
                 self.stats.faults += 1;
@@ -491,7 +601,7 @@ impl Machine {
         };
         let validation = self.validator.validate(&cx);
         let step_cost = validation.steps as u64 * self.cfg.cost.validation_step;
-        self.charge(core, step_cost);
+        self.charge_cat(core, CycleCategory::Validation, step_cost);
         match validation.outcome {
             Outcome::Insert(entry) => {
                 self.cores[core].tlb.insert(vpn, entry);
@@ -546,28 +656,30 @@ impl Machine {
         }
         let first = paddr.0 / LINE_SIZE as u64;
         let last = (paddr.0 + len as u64 - 1) / LINE_SIZE as u64;
-        let mut cycles = 0u64;
+        let mut mem_cycles = 0u64;
+        let mut mee_cycles = 0u64;
         for line in first..=last {
             match self.llc.access(line, write) {
-                CacheAccess::Hit => cycles += self.cfg.cost.llc_hit,
+                CacheAccess::Hit => mem_cycles += self.cfg.cost.llc_hit,
                 CacheAccess::Miss { dirty_victim } => {
-                    cycles += self.cfg.cost.dram_access;
+                    mem_cycles += self.cfg.cost.dram_access;
                     let line_ppn = line * LINE_SIZE as u64 / PAGE_SIZE as u64;
                     if self.cfg.in_prm(line_ppn) {
                         self.mee.note_decrypt();
-                        cycles += self.cfg.cost.mee_decrypt_line;
+                        mee_cycles += self.cfg.cost.mee_decrypt_line;
                     }
                     if let Some(victim) = dirty_victim {
                         let victim_ppn = victim * LINE_SIZE as u64 / PAGE_SIZE as u64;
                         if self.cfg.in_prm(victim_ppn) {
                             self.mee.note_encrypt();
-                            cycles += self.cfg.cost.mee_encrypt_line;
+                            mee_cycles += self.cfg.cost.mee_encrypt_line;
                         }
                     }
                 }
             }
         }
-        self.charge(core, cycles);
+        self.charge_cat(core, CycleCategory::Memory, mem_cycles);
+        self.charge_cat(core, CycleCategory::MeeCrypto, mee_cycles);
     }
 
     /// Reads `buf.len()` bytes at `va` as `core`.
@@ -833,7 +945,10 @@ mod tests {
         assert_eq!(data, vec![0xFF; 4], "abort page reads all-ones");
         // Writes are dropped.
         m.write(0, VirtAddr(0x100 << 12), b"xx").unwrap();
-        assert_eq!(m.physical_probe(prm_ppn)[..2], m.physical_probe(prm_ppn)[..2]);
+        assert_eq!(
+            m.physical_probe(prm_ppn)[..2],
+            m.physical_probe(prm_ppn)[..2]
+        );
         m.audit_tlbs().unwrap();
     }
 

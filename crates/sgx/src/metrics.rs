@@ -1,0 +1,593 @@
+//! Cycle attribution and metrics export.
+//!
+//! Every cycle charged to a core is tagged with a [`CycleCategory`] and
+//! accumulated twice: per **core** (where it executed) and per **enclave**
+//! (who it was executed for — `None` meaning untrusted code). Because each
+//! charge lands in exactly one category of exactly one core and one
+//! enclave bucket, two identities hold by construction and are enforced by
+//! [`MachineMetrics::check`]:
+//!
+//! - each core's category breakdown sums to that core's cycle clock, and
+//! - the per-enclave breakdowns (untrusted bucket included) sum to
+//!   [`crate::machine::Machine::total_cycles`].
+//!
+//! [`MachineMetrics`] is a plain snapshot: capture it with
+//! [`crate::machine::Machine::metrics`], then inspect it, export it
+//! ([`MachineMetrics::to_json`] / [`MachineMetrics::to_csv`]), or validate
+//! it. The JSON schema is versioned (`ne-metrics/v1`) and key order is
+//! fixed, so downstream tooling can diff exports byte-for-byte.
+//!
+//! ```
+//! use ne_sgx::config::HwConfig;
+//! use ne_sgx::machine::Machine;
+//! use ne_sgx::metrics::CycleCategory;
+//!
+//! let mut m = Machine::new(HwConfig::small());
+//! let va = m.os_alloc_untrusted(ne_sgx::enclave::ProcessId(0), 1);
+//! m.write(0, va, b"hello").unwrap();
+//!
+//! let snap = m.metrics();
+//! snap.check().expect("counter identities hold");
+//! // The write charged TLB-walk and memory cycles to core 0, attributed
+//! // to untrusted execution (eid = None).
+//! assert!(snap.cores[0].breakdown.get(CycleCategory::TlbWalk) > 0);
+//! assert_eq!(snap.total_cycles, m.total_cycles());
+//! assert!(snap.to_json().starts_with("{\n  \"schema\": \"ne-metrics/v1\""));
+//! ```
+
+use crate::machine::Machine;
+use crate::trace::Stats;
+
+/// Where a charged cycle went, at the granularity the paper's evaluation
+/// reasons about (transition cost, validation walk, MEE crypto, paging).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CycleCategory {
+    /// Transition instructions and SDK dispatch (EENTER/EEXIT/AEX extras,
+    /// Table II call costs, transition TLB flushes).
+    Transition,
+    /// Page-table walks on TLB misses.
+    TlbWalk,
+    /// TLB-miss validation steps (Fig. 2 baseline walk, Fig. 6 nested).
+    Validation,
+    /// MEE line encryption/decryption on PRM traffic.
+    MeeCrypto,
+    /// EWB/ELDU paging, including shootdown IPIs.
+    Paging,
+    /// Enclave lifecycle instructions (ECREATE/EADD/EEXTEND/EINIT/EAUG/
+    /// EACCEPT/EREMOVE).
+    Lifecycle,
+    /// Cache/DRAM access latency and TLB-hit lookups.
+    Memory,
+    /// Application work charged by workloads through
+    /// [`crate::machine::Machine::charge`].
+    AppCompute,
+}
+
+impl CycleCategory {
+    /// Every category, in export order.
+    pub const ALL: [CycleCategory; 8] = [
+        CycleCategory::Transition,
+        CycleCategory::TlbWalk,
+        CycleCategory::Validation,
+        CycleCategory::MeeCrypto,
+        CycleCategory::Paging,
+        CycleCategory::Lifecycle,
+        CycleCategory::Memory,
+        CycleCategory::AppCompute,
+    ];
+
+    /// Stable snake_case name (used as JSON/CSV keys).
+    pub fn name(self) -> &'static str {
+        match self {
+            CycleCategory::Transition => "transition",
+            CycleCategory::TlbWalk => "tlb_walk",
+            CycleCategory::Validation => "validation",
+            CycleCategory::MeeCrypto => "mee_crypto",
+            CycleCategory::Paging => "paging",
+            CycleCategory::Lifecycle => "lifecycle",
+            CycleCategory::Memory => "memory",
+            CycleCategory::AppCompute => "app_compute",
+        }
+    }
+
+    fn index(self) -> usize {
+        Self::ALL.iter().position(|c| *c == self).unwrap()
+    }
+}
+
+/// Cycles accumulated per [`CycleCategory`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CycleBreakdown {
+    cycles: [u64; CycleCategory::ALL.len()],
+}
+
+impl CycleBreakdown {
+    /// Adds `cycles` to `category`.
+    pub fn add(&mut self, category: CycleCategory, cycles: u64) {
+        self.cycles[category.index()] += cycles;
+    }
+
+    /// Cycles recorded under `category`.
+    pub fn get(&self, category: CycleCategory) -> u64 {
+        self.cycles[category.index()]
+    }
+
+    /// Sum over all categories.
+    pub fn total(&self) -> u64 {
+        self.cycles.iter().sum()
+    }
+
+    /// Accumulates another breakdown into this one.
+    pub fn merge(&mut self, other: &CycleBreakdown) {
+        for (dst, src) in self.cycles.iter_mut().zip(other.cycles.iter()) {
+            *dst += src;
+        }
+    }
+
+    /// `(category, cycles)` pairs in export order.
+    pub fn iter(&self) -> impl Iterator<Item = (CycleCategory, u64)> + '_ {
+        CycleCategory::ALL.iter().map(|&c| (c, self.get(c)))
+    }
+}
+
+/// One core's share of the cycle accounting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoreMetrics {
+    /// Core index.
+    pub core: usize,
+    /// The core's cycle clock.
+    pub cycles: u64,
+    /// Category breakdown; sums to `cycles`.
+    pub breakdown: CycleBreakdown,
+}
+
+/// One enclave's (or the untrusted bucket's) share of the accounting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnclaveMetrics {
+    /// Enclave id; `None` is the untrusted (non-enclave) bucket.
+    pub eid: Option<u64>,
+    /// Outer enclaves this enclave is nested inside (empty for top-level
+    /// enclaves and the untrusted bucket) — the outer/inner hierarchy.
+    pub outer_eids: Vec<u64>,
+    /// Category breakdown of cycles attributed to this enclave.
+    pub breakdown: CycleBreakdown,
+}
+
+/// A point-in-time snapshot of every counter the machine maintains.
+///
+/// See the [module docs](self) for the identities [`check`]
+/// enforces and an end-to-end example.
+///
+/// [`check`]: MachineMetrics::check
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineMetrics {
+    /// Installed TLB-miss validator (`"sgx"` or `"nested"`).
+    pub validator: String,
+    /// Cost-profile name (`"hw-sgx"` / `"emulated"`).
+    pub cost_profile: String,
+    /// Modelled clock in GHz (converts cycles to wall time).
+    pub clock_ghz: f64,
+    /// Sum of all core cycle clocks.
+    pub total_cycles: u64,
+    /// Cores currently executing in enclave mode. The transition-pairing
+    /// identities only hold at rest (when this is zero).
+    pub cores_in_enclave_mode: usize,
+    /// Always-on event counters.
+    pub stats: Stats,
+    /// Per-core accounting, core 0 first.
+    pub cores: Vec<CoreMetrics>,
+    /// Per-enclave accounting: untrusted bucket first, then by ascending
+    /// enclave id.
+    pub enclaves: Vec<EnclaveMetrics>,
+    /// MEE lines decrypted (PRM reads from DRAM).
+    pub mee_lines_decrypted: u64,
+    /// MEE lines encrypted (PRM writebacks).
+    pub mee_lines_encrypted: u64,
+    /// LLC hits.
+    pub llc_hits: u64,
+    /// LLC misses.
+    pub llc_misses: u64,
+    /// TLB flushes across all cores.
+    pub tlb_flushes: u64,
+    /// Events offered to the trace while enabled.
+    pub trace_recorded: u64,
+    /// Events the trace ring dropped (oldest-first) after filling.
+    pub trace_dropped: u64,
+    /// Events currently retained in the trace ring.
+    pub trace_retained: usize,
+    /// Free EPC pages.
+    pub free_epc_pages: usize,
+    /// DRAM pages actually materialized by the backing store.
+    pub resident_pages: usize,
+}
+
+impl MachineMetrics {
+    /// Snapshots `machine`'s counters. Also available as
+    /// [`Machine::metrics`].
+    pub fn capture(machine: &Machine) -> MachineMetrics {
+        let cfg = machine.config();
+        let stats = machine.stats();
+        let cores = (0..machine.num_cores())
+            .map(|i| CoreMetrics {
+                core: i,
+                cycles: machine.cycles(i),
+                breakdown: *machine.core_breakdown(i),
+            })
+            .collect();
+        let mut enclaves: Vec<EnclaveMetrics> = machine
+            .enclave_cycle_table()
+            .iter()
+            .map(|(eid, breakdown)| EnclaveMetrics {
+                eid: eid.map(|e| e.0),
+                outer_eids: eid
+                    .and_then(|e| machine.enclaves().get(e))
+                    .map(|secs| secs.outer_eids.iter().map(|o| o.0).collect())
+                    .unwrap_or_default(),
+                breakdown: *breakdown,
+            })
+            .collect();
+        // Untrusted bucket (None) first, then ascending eid, so exports are
+        // stable run to run.
+        enclaves.sort_by_key(|e| e.eid.map_or((0, 0), |id| (1, id)));
+        if enclaves.first().is_none_or(|e| e.eid.is_some()) {
+            enclaves.insert(
+                0,
+                EnclaveMetrics {
+                    eid: None,
+                    outer_eids: Vec::new(),
+                    breakdown: CycleBreakdown::default(),
+                },
+            );
+        }
+        let cores_in_enclave_mode = (0..machine.num_cores())
+            .filter(|&i| machine.current_enclave(i).is_some())
+            .count();
+        MachineMetrics {
+            validator: machine.validator_name().to_string(),
+            cost_profile: cfg.cost.name.to_string(),
+            clock_ghz: cfg.cost.clock_ghz,
+            total_cycles: machine.total_cycles(),
+            cores_in_enclave_mode,
+            stats,
+            cores,
+            enclaves,
+            mee_lines_decrypted: machine.mee().lines_decrypted(),
+            mee_lines_encrypted: machine.mee().lines_encrypted(),
+            llc_hits: machine.llc().hits(),
+            llc_misses: machine.llc().misses(),
+            tlb_flushes: machine.tlb_flushes(),
+            trace_recorded: machine.trace().recorded(),
+            trace_dropped: machine.trace().dropped(),
+            trace_retained: machine.trace().len(),
+            free_epc_pages: machine.free_epc_pages(),
+            resident_pages: machine.resident_pages(),
+        }
+    }
+
+    /// Cycles attributed to enclave `eid` (`None` = untrusted bucket).
+    pub fn enclave(&self, eid: Option<u64>) -> Option<&EnclaveMetrics> {
+        self.enclaves.iter().find(|e| e.eid == eid)
+    }
+
+    /// Verifies the counter identities the accounting guarantees:
+    ///
+    /// 1. each core's breakdown sums to its cycle clock;
+    /// 2. core clocks sum to `total_cycles`;
+    /// 3. per-enclave breakdowns (untrusted included) sum to `total_cycles`;
+    /// 4. at rest (no core in enclave mode), enclave entries and exits
+    ///    pair up: `ecalls + eresumes == ocalls + aexes` and
+    ///    `n_ecalls == n_ocalls`;
+    /// 5. pages reloaded never exceed pages evicted;
+    /// 6. the trace ring accounts for every event offered:
+    ///    `recorded == dropped + retained`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first identity violated. The bench
+    /// harness treats that as a fatal error — a broken identity means the
+    /// simulator (or a new charge site) mis-attributed cycles.
+    pub fn check(&self) -> Result<(), String> {
+        for c in &self.cores {
+            let sum = c.breakdown.total();
+            if sum != c.cycles {
+                return Err(format!(
+                    "core {}: category breakdown sums to {sum} but the core clock is {} \
+                     (a charge bypassed category accounting)",
+                    c.core, c.cycles
+                ));
+            }
+        }
+        let core_sum: u64 = self.cores.iter().map(|c| c.cycles).sum();
+        if core_sum != self.total_cycles {
+            return Err(format!(
+                "core clocks sum to {core_sum}, total_cycles is {}",
+                self.total_cycles
+            ));
+        }
+        let enclave_sum: u64 = self.enclaves.iter().map(|e| e.breakdown.total()).sum();
+        if enclave_sum != self.total_cycles {
+            return Err(format!(
+                "per-enclave cycles sum to {enclave_sum}, total_cycles is {} \
+                 (a charge was attributed to no enclave bucket, or to two)",
+                self.total_cycles
+            ));
+        }
+        if self.cores_in_enclave_mode == 0 {
+            let entries = self.stats.ecalls + self.stats.eresumes;
+            let exits = self.stats.ocalls + self.stats.aexes;
+            if entries != exits {
+                return Err(format!(
+                    "at rest, enclave entries ({} ecalls + {} eresumes) != exits \
+                     ({} ocalls + {} aexes)",
+                    self.stats.ecalls, self.stats.eresumes, self.stats.ocalls, self.stats.aexes
+                ));
+            }
+            if self.stats.n_ecalls != self.stats.n_ocalls {
+                return Err(format!(
+                    "at rest, n_ecalls ({}) != n_ocalls ({})",
+                    self.stats.n_ecalls, self.stats.n_ocalls
+                ));
+            }
+        }
+        if self.stats.eldu_pages > self.stats.ewb_pages {
+            return Err(format!(
+                "more pages reloaded ({}) than evicted ({})",
+                self.stats.eldu_pages, self.stats.ewb_pages
+            ));
+        }
+        if self.trace_recorded != self.trace_dropped + self.trace_retained as u64 {
+            return Err(format!(
+                "trace ring leaked events: recorded {} != dropped {} + retained {}",
+                self.trace_recorded, self.trace_dropped, self.trace_retained
+            ));
+        }
+        Ok(())
+    }
+
+    /// Renders the snapshot as pretty-printed JSON with a fixed key order
+    /// (schema `ne-metrics/v1`).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(2048);
+        out.push_str("{\n");
+        out.push_str("  \"schema\": \"ne-metrics/v1\",\n");
+        out.push_str(&format!(
+            "  \"validator\": \"{}\",\n",
+            escape(&self.validator)
+        ));
+        out.push_str(&format!(
+            "  \"cost_profile\": \"{}\",\n",
+            escape(&self.cost_profile)
+        ));
+        out.push_str(&format!("  \"clock_ghz\": {},\n", self.clock_ghz));
+        out.push_str(&format!("  \"total_cycles\": {},\n", self.total_cycles));
+        out.push_str(&format!(
+            "  \"cores_in_enclave_mode\": {},\n",
+            self.cores_in_enclave_mode
+        ));
+        out.push_str("  \"stats\": {");
+        let s = &self.stats;
+        let stat_fields: [(&str, u64); 12] = [
+            ("ecalls", s.ecalls),
+            ("ocalls", s.ocalls),
+            ("n_ecalls", s.n_ecalls),
+            ("n_ocalls", s.n_ocalls),
+            ("aexes", s.aexes),
+            ("eresumes", s.eresumes),
+            ("switchless_ocalls", s.switchless_ocalls),
+            ("tlb_misses", s.tlb_misses),
+            ("faults", s.faults),
+            ("ewb_pages", s.ewb_pages),
+            ("eldu_pages", s.eldu_pages),
+            ("ipis", s.ipis),
+        ];
+        out.push_str(
+            &stat_fields
+                .iter()
+                .map(|(k, v)| format!("\"{k}\": {v}"))
+                .collect::<Vec<_>>()
+                .join(", "),
+        );
+        out.push_str("},\n");
+        out.push_str("  \"cores\": [\n");
+        for (i, c) in self.cores.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"core\": {}, \"cycles\": {}, \"breakdown\": {}}}{}\n",
+                c.core,
+                c.cycles,
+                breakdown_json(&c.breakdown),
+                if i + 1 < self.cores.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"enclaves\": [\n");
+        for (i, e) in self.enclaves.iter().enumerate() {
+            let eid = e.eid.map_or("null".to_string(), |id| id.to_string());
+            let outers = e
+                .outer_eids
+                .iter()
+                .map(|o| o.to_string())
+                .collect::<Vec<_>>()
+                .join(", ");
+            out.push_str(&format!(
+                "    {{\"eid\": {eid}, \"outer_eids\": [{outers}], \"breakdown\": {}}}{}\n",
+                breakdown_json(&e.breakdown),
+                if i + 1 < self.enclaves.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str(&format!(
+            "  \"mee\": {{\"lines_decrypted\": {}, \"lines_encrypted\": {}}},\n",
+            self.mee_lines_decrypted, self.mee_lines_encrypted
+        ));
+        out.push_str(&format!(
+            "  \"llc\": {{\"hits\": {}, \"misses\": {}}},\n",
+            self.llc_hits, self.llc_misses
+        ));
+        out.push_str(&format!("  \"tlb_flushes\": {},\n", self.tlb_flushes));
+        out.push_str(&format!(
+            "  \"trace\": {{\"recorded\": {}, \"dropped\": {}, \"retained\": {}}},\n",
+            self.trace_recorded, self.trace_dropped, self.trace_retained
+        ));
+        out.push_str(&format!(
+            "  \"epc\": {{\"free_pages\": {}, \"resident_dram_pages\": {}}}\n",
+            self.free_epc_pages, self.resident_pages
+        ));
+        out.push('}');
+        out
+    }
+
+    /// Renders the snapshot as `scope,id,metric,value` CSV rows (one
+    /// breakdown category per row), header included.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("scope,id,metric,value\n");
+        out.push_str(&format!("machine,,total_cycles,{}\n", self.total_cycles));
+        out.push_str(&format!("machine,,tlb_flushes,{}\n", self.tlb_flushes));
+        let s = &self.stats;
+        for (k, v) in [
+            ("ecalls", s.ecalls),
+            ("ocalls", s.ocalls),
+            ("n_ecalls", s.n_ecalls),
+            ("n_ocalls", s.n_ocalls),
+            ("aexes", s.aexes),
+            ("eresumes", s.eresumes),
+            ("switchless_ocalls", s.switchless_ocalls),
+            ("tlb_misses", s.tlb_misses),
+            ("faults", s.faults),
+            ("ewb_pages", s.ewb_pages),
+            ("eldu_pages", s.eldu_pages),
+            ("ipis", s.ipis),
+        ] {
+            out.push_str(&format!("stats,,{k},{v}\n"));
+        }
+        for c in &self.cores {
+            for (cat, v) in c.breakdown.iter() {
+                out.push_str(&format!("core,{},{},{v}\n", c.core, cat.name()));
+            }
+        }
+        for e in &self.enclaves {
+            let id = e.eid.map_or("untrusted".to_string(), |id| id.to_string());
+            for (cat, v) in e.breakdown.iter() {
+                out.push_str(&format!("enclave,{id},{},{v}\n", cat.name()));
+            }
+        }
+        out
+    }
+}
+
+fn breakdown_json(b: &CycleBreakdown) -> String {
+    let fields = b
+        .iter()
+        .map(|(cat, v)| format!("\"{}\": {v}", cat.name()))
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!("{{{fields}}}")
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::HwConfig;
+    use crate::enclave::ProcessId;
+
+    #[test]
+    fn breakdown_totals_and_merge() {
+        let mut b = CycleBreakdown::default();
+        b.add(CycleCategory::Transition, 10);
+        b.add(CycleCategory::MeeCrypto, 5);
+        assert_eq!(b.total(), 15);
+        assert_eq!(b.get(CycleCategory::Transition), 10);
+        let mut c = CycleBreakdown::default();
+        c.add(CycleCategory::Transition, 1);
+        c.merge(&b);
+        assert_eq!(c.get(CycleCategory::Transition), 11);
+        assert_eq!(c.total(), 16);
+    }
+
+    #[test]
+    fn snapshot_of_fresh_machine_checks_clean() {
+        let m = Machine::new(HwConfig::small());
+        let snap = m.metrics();
+        snap.check().unwrap();
+        assert_eq!(snap.total_cycles, 0);
+        assert_eq!(snap.enclaves.len(), 1, "only the untrusted bucket");
+        assert_eq!(snap.enclaves[0].eid, None);
+    }
+
+    #[test]
+    fn untrusted_work_is_attributed_and_consistent() {
+        let mut m = Machine::new(HwConfig::small());
+        let va = m.os_alloc_untrusted(ProcessId(0), 2);
+        m.write(0, va, b"some data crossing a line").unwrap();
+        m.read(0, va, 25).unwrap();
+        m.charge(1, 777);
+
+        let snap = m.metrics();
+        snap.check().unwrap();
+        assert!(snap.total_cycles > 777);
+        let untrusted = snap.enclave(None).unwrap();
+        assert_eq!(untrusted.breakdown.total(), snap.total_cycles);
+        assert_eq!(snap.cores[1].breakdown.get(CycleCategory::AppCompute), 777);
+        assert!(snap.cores[0].breakdown.get(CycleCategory::TlbWalk) > 0);
+        assert!(snap.cores[0].breakdown.get(CycleCategory::Memory) > 0);
+    }
+
+    #[test]
+    fn check_catches_mismatched_totals() {
+        let m = Machine::new(HwConfig::small());
+        let mut snap = m.metrics();
+        snap.total_cycles = 1;
+        assert!(snap.check().is_err());
+    }
+
+    #[test]
+    fn check_catches_unpaired_transitions_at_rest() {
+        let m = Machine::new(HwConfig::small());
+        let mut snap = m.metrics();
+        snap.stats.ecalls = 3;
+        snap.stats.ocalls = 2;
+        let err = snap.check().unwrap_err();
+        assert!(err.contains("entries"), "unexpected error: {err}");
+        // The same imbalance is fine while a core is still inside.
+        snap.cores_in_enclave_mode = 1;
+        snap.check().unwrap();
+    }
+
+    #[test]
+    fn json_is_schema_stable() {
+        let m = Machine::new(HwConfig::small());
+        let json = m.metrics().to_json();
+        assert!(json.starts_with("{\n  \"schema\": \"ne-metrics/v1\","));
+        for key in [
+            "\"validator\"",
+            "\"cost_profile\"",
+            "\"clock_ghz\"",
+            "\"total_cycles\"",
+            "\"stats\"",
+            "\"cores\"",
+            "\"enclaves\"",
+            "\"mee\"",
+            "\"llc\"",
+            "\"trace\"",
+            "\"epc\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        // Identical machines export identical bytes.
+        let again = Machine::new(HwConfig::small()).metrics().to_json();
+        assert_eq!(json, again);
+    }
+
+    #[test]
+    fn csv_has_header_and_categories() {
+        let m = Machine::new(HwConfig::small());
+        let csv = m.metrics().to_csv();
+        assert!(csv.starts_with("scope,id,metric,value\n"));
+        assert!(csv.contains("core,0,transition,"));
+        assert!(csv.contains("enclave,untrusted,app_compute,"));
+        assert!(csv.contains("stats,,ecalls,"));
+    }
+}

@@ -1,8 +1,23 @@
-//! Event counters and optional event trace.
+//! Event counters and the bounded event trace.
+//!
+//! Two layers, per the observability design in `ARCHITECTURE.md`:
+//!
+//! - [`Stats`]: cheap always-on counters, maintained unconditionally.
+//!   Fig. 7 plots ecall/ocall counts directly from these, and the
+//!   [`crate::metrics`] consistency checker asserts identities over them.
+//! - [`Trace`]: an opt-in **ring buffer** of architectural [`Event`]s.
+//!   When full it drops the *oldest* events (keeping the most recent
+//!   window) and counts what it dropped, so a long run can always be
+//!   inspected near its end without unbounded memory use.
+//!
+//! Span events ([`Event::SpanBegin`]/[`Event::SpanEnd`]) are emitted by the
+//! SDK runtime around ecall/ocall dispatch; `parent` links let a consumer
+//! reconstruct the ecall→ocall call tree from the trace alone.
 
 use crate::addr::VirtAddr;
 use crate::enclave::EnclaveId;
 use crate::error::FaultKind;
+use std::collections::VecDeque;
 
 /// Cheap always-on counters. Fig. 7 plots ecall/ocall counts directly from
 /// these; the higher-level runtime also reads them to report transitions.
@@ -18,6 +33,10 @@ pub struct Stats {
     pub n_ocalls: u64,
     /// Asynchronous enclave exits.
     pub aexes: u64,
+    /// ERESUME re-entries after an AEX.
+    pub eresumes: u64,
+    /// Ocalls served without an enclave transition (switchless queue).
+    pub switchless_ocalls: u64,
     /// TLB misses taken.
     pub tlb_misses: u64,
     /// Validation faults raised.
@@ -31,9 +50,38 @@ pub struct Stats {
 }
 
 impl Stats {
-    /// Total boundary crossings of any kind.
+    /// Total boundary crossings of any kind (ERESUME included; switchless
+    /// ocalls excluded — avoiding the crossing is their whole point).
     pub fn total_transitions(&self) -> u64 {
-        self.ecalls + self.ocalls + self.n_ecalls + self.n_ocalls + self.aexes
+        self.ecalls + self.ocalls + self.n_ecalls + self.n_ocalls + self.aexes + self.eresumes
+    }
+}
+
+/// What kind of call boundary a span covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanKind {
+    /// Untrusted → enclave call (EENTER/EEXIT pair).
+    Ecall,
+    /// Enclave → untrusted call (EEXIT/EENTER pair).
+    Ocall,
+    /// Outer → inner enclave call (NEENTER/NEEXIT pair).
+    NEcall,
+    /// Inner → outer enclave call (NEEXIT/NEENTER pair).
+    NOcall,
+    /// Ocall served through the switchless queue (no transition).
+    SwitchlessOcall,
+}
+
+impl SpanKind {
+    /// Stable lowercase name (used in exported JSON).
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanKind::Ecall => "ecall",
+            SpanKind::Ocall => "ocall",
+            SpanKind::NEcall => "n_ecall",
+            SpanKind::NOcall => "n_ocall",
+            SpanKind::SwitchlessOcall => "switchless_ocall",
+        }
     }
 }
 
@@ -79,6 +127,13 @@ pub enum Event {
         /// Interrupted enclave.
         eid: EnclaveId,
     },
+    /// ERESUME after an AEX.
+    Eresume {
+        /// Executing core.
+        core: usize,
+        /// Resumed enclave.
+        eid: EnclaveId,
+    },
     /// TLB flush on a core.
     TlbFlush {
         /// Flushed core.
@@ -107,42 +162,108 @@ pub enum Event {
         /// Reloaded virtual address.
         addr: VirtAddr,
     },
+    /// A runtime-level call span opened (ecall/ocall dispatch).
+    SpanBegin {
+        /// Executing core.
+        core: usize,
+        /// Machine-unique span id.
+        id: u64,
+        /// Enclosing span on the same core, if any.
+        parent: Option<u64>,
+        /// Boundary kind.
+        kind: SpanKind,
+        /// Registered function name (or a fixed label for queue ops).
+        label: String,
+        /// Core cycle clock when the span opened.
+        cycles: u64,
+    },
+    /// A runtime-level call span closed.
+    SpanEnd {
+        /// Executing core.
+        core: usize,
+        /// Id from the matching [`Event::SpanBegin`].
+        id: u64,
+        /// Core cycle clock when the span closed.
+        cycles: u64,
+    },
 }
 
-/// Bounded event recorder.
+/// Bounded ring-buffer event recorder.
+///
+/// `recorded` counts every event offered while enabled; once `len()`
+/// reaches the capacity, each new event evicts the oldest and increments
+/// `dropped`. Counters survive [`Trace::clear`]-less overflow intact, so
+/// `recorded == dropped + len()` always holds.
 #[derive(Debug, Default)]
 pub struct Trace {
-    events: Vec<Event>,
+    events: VecDeque<Event>,
+    capacity: usize,
     enabled: bool,
+    recorded: u64,
+    dropped: u64,
 }
 
-/// Safety valve so a forgotten trace cannot consume unbounded memory.
-const MAX_EVENTS: usize = 1 << 20;
-
 impl Trace {
-    /// Creates a trace; recording only happens once enabled.
-    pub fn new(enabled: bool) -> Trace {
+    /// Creates a trace holding at most `capacity` events; recording only
+    /// happens once enabled.
+    pub fn new(enabled: bool, capacity: usize) -> Trace {
         Trace {
-            events: Vec::new(),
+            events: VecDeque::new(),
+            capacity,
             enabled,
+            recorded: 0,
+            dropped: 0,
         }
     }
 
-    /// Records an event if enabled.
+    /// Records an event if enabled, evicting the oldest event when full.
     pub fn record(&mut self, event: Event) {
-        if self.enabled && self.events.len() < MAX_EVENTS {
-            self.events.push(event);
+        if !self.enabled || self.capacity == 0 {
+            return;
         }
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(event);
+        self.recorded += 1;
     }
 
-    /// The recorded events.
-    pub fn events(&self) -> &[Event] {
-        &self.events
+    /// The retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &Event> {
+        self.events.iter()
     }
 
-    /// Drops recorded events.
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Maximum number of retained events.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total events recorded while enabled (retained + dropped).
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Events evicted because the buffer was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Drops retained events and resets the overflow counters.
     pub fn clear(&mut self) {
         self.events.clear();
+        self.recorded = 0;
+        self.dropped = 0;
     }
 
     /// Whether recording is on.
@@ -157,18 +278,52 @@ mod tests {
 
     #[test]
     fn disabled_trace_records_nothing() {
-        let mut t = Trace::new(false);
+        let mut t = Trace::new(false, 16);
         t.record(Event::TlbFlush { core: 0 });
-        assert!(t.events().is_empty());
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.recorded(), 0);
     }
 
     #[test]
     fn enabled_trace_records() {
-        let mut t = Trace::new(true);
+        let mut t = Trace::new(true, 16);
         t.record(Event::TlbFlush { core: 1 });
-        assert_eq!(t.events(), &[Event::TlbFlush { core: 1 }]);
+        assert_eq!(
+            t.events().collect::<Vec<_>>(),
+            vec![&Event::TlbFlush { core: 1 }]
+        );
         t.clear();
-        assert!(t.events().is_empty());
+        assert!(t.is_empty());
+        assert_eq!(t.recorded(), 0);
+    }
+
+    #[test]
+    fn ring_drops_oldest_and_counts() {
+        let mut t = Trace::new(true, 3);
+        for core in 0..5 {
+            t.record(Event::TlbFlush { core });
+        }
+        // Oldest two (cores 0, 1) evicted; the window holds the newest three.
+        let kept: Vec<usize> = t
+            .events()
+            .map(|e| match e {
+                Event::TlbFlush { core } => *core,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(kept, vec![2, 3, 4]);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.dropped(), 2);
+        assert_eq!(t.recorded(), 5);
+        assert_eq!(t.recorded(), t.dropped() + t.len() as u64);
+    }
+
+    #[test]
+    fn zero_capacity_is_inert() {
+        let mut t = Trace::new(true, 0);
+        t.record(Event::TlbFlush { core: 0 });
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.dropped(), 0);
     }
 
     #[test]
@@ -182,5 +337,7 @@ mod tests {
             ..Stats::default()
         };
         assert_eq!(s.total_transitions(), 15);
+        let with_resume = Stats { eresumes: 2, ..s };
+        assert_eq!(with_resume.total_transitions(), 17);
     }
 }

@@ -123,7 +123,8 @@ fn sustained_paging_pressure() {
     // Fill every page with identifiable content.
     m.eenter(0, eid, base).unwrap();
     for i in 1..=pages {
-        m.write(0, base.add(i * PAGE_SIZE as u64), &[i as u8; 4]).unwrap();
+        m.write(0, base.add(i * PAGE_SIZE as u64), &[i as u8; 4])
+            .unwrap();
     }
     m.eexit(0).unwrap();
     // Evict half, reload in reverse order, verify all.

@@ -29,7 +29,10 @@ impl Dataset {
     /// Panics if samples/labels disagree or a label is out of range.
     pub fn new(samples: Vec<Vec<f64>>, labels: Vec<usize>, num_classes: usize) -> Dataset {
         assert_eq!(samples.len(), labels.len(), "samples/labels mismatch");
-        assert!(labels.iter().all(|&l| l < num_classes), "label out of range");
+        assert!(
+            labels.iter().all(|&l| l < num_classes),
+            "label out of range"
+        );
         Dataset {
             samples,
             labels,
@@ -246,7 +249,10 @@ mod tests {
         assert_eq!(TableVDataset::ColonCancer.shape(), (2, 62, None, 2_000));
         assert_eq!(TableVDataset::Dna.shape(), (3, 2_000, Some(1_186), 180));
         assert_eq!(TableVDataset::Phishing.shape(), (2, 11_055, None, 68));
-        assert_eq!(TableVDataset::Protein.shape(), (3, 17_766, Some(6_621), 357));
+        assert_eq!(
+            TableVDataset::Protein.shape(),
+            (3, 17_766, Some(6_621), 357)
+        );
     }
 
     #[test]

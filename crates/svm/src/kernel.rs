@@ -2,21 +2,16 @@
 
 /// Kernel functions supported by the trainer, matching the LibSVM defaults
 /// the paper's case study uses.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub enum Kernel {
     /// `K(x, y) = x · y`
+    #[default]
     Linear,
     /// `K(x, y) = exp(-gamma * ||x - y||²)`
     Rbf {
         /// Kernel width.
         gamma: f64,
     },
-}
-
-impl Default for Kernel {
-    fn default() -> Self {
-        Kernel::Linear
-    }
 }
 
 impl Kernel {
@@ -30,11 +25,7 @@ impl Kernel {
         match self {
             Kernel::Linear => dot(x, y),
             Kernel::Rbf { gamma } => {
-                let d2: f64 = x
-                    .iter()
-                    .zip(y.iter())
-                    .map(|(a, b)| (a - b) * (a - b))
-                    .sum();
+                let d2: f64 = x.iter().zip(y.iter()).map(|(a, b)| (a - b) * (a - b)).sum();
                 (-gamma * d2).exp()
             }
         }

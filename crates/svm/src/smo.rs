@@ -122,12 +122,8 @@ fn train_binary(samples: &[Vec<f64>], labels: &[f64], params: &TrainParams) -> B
             let ai = ai_old + labels[i] * labels[j] * (aj_old - aj);
             alpha[i] = ai;
             alpha[j] = aj;
-            let b1 = b - ei
-                - labels[i] * (ai - ai_old) * kii
-                - labels[j] * (aj - aj_old) * kij;
-            let b2 = b - ej
-                - labels[i] * (ai - ai_old) * kij
-                - labels[j] * (aj - aj_old) * kjj;
+            let b1 = b - ei - labels[i] * (ai - ai_old) * kii - labels[j] * (aj - aj_old) * kij;
+            let b2 = b - ej - labels[i] * (ai - ai_old) * kij - labels[j] * (aj - aj_old) * kjj;
             b = if ai > 0.0 && ai < params.c {
                 b1
             } else if aj > 0.0 && aj < params.c {
@@ -196,7 +192,11 @@ mod tests {
         let train_ds = Dataset::synthetic(2, 80, 4, 11);
         let test_ds = Dataset::synthetic(2, 20, 4, 999);
         let model = train(&train_ds, &TrainParams::default());
-        assert!(model.accuracy(&test_ds) > 0.9, "got {}", model.accuracy(&test_ds));
+        assert!(
+            model.accuracy(&test_ds) > 0.9,
+            "got {}",
+            model.accuracy(&test_ds)
+        );
     }
 
     #[test]

@@ -59,6 +59,9 @@ pub struct EchoRun {
     pub n_ocalls: u64,
     /// Clock for cycle→time conversion.
     pub clock_ghz: f64,
+    /// Full machine snapshot at the end of the run (per-enclave cycle
+    /// breakdowns included).
+    pub metrics: ne_sgx::metrics::MachineMetrics,
 }
 
 impl EchoRun {
@@ -143,7 +146,10 @@ pub fn build_echo_app(cfg: &EchoConfig) -> Result<NestedApp, SgxError> {
                 .expect("poisoned")
                 .open(&framed)
                 .map_err(|e| SgxError::GeneralProtection(e.to_string()))?;
-            let reply = tx.lock().expect("poisoned").seal(ContentType::Data, &payload);
+            let reply = tx
+                .lock()
+                .expect("poisoned")
+                .seal(ContentType::Data, &payload);
             cx.charge(gcm_cost(cx.machine.config(), payload.len()));
             let framed_reply = cx.n_ocall("ssl_seal_frame", &reply)?;
             cx.ocall("net_send", &framed_reply)
@@ -167,7 +173,10 @@ pub fn build_echo_app(cfg: &EchoConfig) -> Result<NestedApp, SgxError> {
                 .expect("poisoned")
                 .open(wire)
                 .map_err(|e| SgxError::GeneralProtection(e.to_string()))?;
-            let reply = tx.lock().expect("poisoned").seal(ContentType::Data, &payload);
+            let reply = tx
+                .lock()
+                .expect("poisoned")
+                .seal(ContentType::Data, &payload);
             cx.charge(gcm_cost(cx.machine.config(), payload.len()));
             cx.ocall("net_send", &reply)
         });
@@ -211,6 +220,7 @@ pub fn run_echo(cfg: &EchoConfig) -> Result<EchoRun, SgxError> {
         n_ecalls: stats.n_ecalls,
         n_ocalls: stats.n_ocalls,
         clock_ghz: app.machine.config().cost.clock_ghz,
+        metrics: app.machine.metrics(),
     })
 }
 

@@ -131,8 +131,11 @@ mod tests {
         let lib = EnclaveImage::new("ssl", b"openssl-project")
             .heap_pages(1)
             .edl(Edl::new().ecall("heartbeat"));
-        app.load(lib, [("heartbeat".to_string(), heartbeat_fn("ssl", vulnerable))])
-            .unwrap();
+        app.load(
+            lib,
+            [("heartbeat".to_string(), heartbeat_fn("ssl", vulnerable))],
+        )
+        .unwrap();
         let appimg = EnclaveImage::new("app", b"provider")
             .heap_pages(1)
             .edl(Edl::new().ecall("store_secret"));
@@ -141,7 +144,8 @@ mod tests {
             cx.write(heap, args)?;
             Ok(vec![])
         });
-        app.load(appimg, [("store_secret".to_string(), store)]).unwrap();
+        app.load(appimg, [("store_secret".to_string(), store)])
+            .unwrap();
         app.associate("app", "ssl").unwrap();
         app
     }

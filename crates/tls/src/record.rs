@@ -179,8 +179,14 @@ mod tests {
     fn malformed_records_rejected() {
         let (_, mut b) = pair();
         assert_eq!(b.open(&[]).unwrap_err(), RecordError::Malformed);
-        assert_eq!(b.open(&[23, 9, 0, 0, 0]).unwrap_err(), RecordError::Malformed);
-        assert_eq!(b.open(&[99, 0, 0, 0, 0]).unwrap_err(), RecordError::BadContentType(99));
+        assert_eq!(
+            b.open(&[23, 9, 0, 0, 0]).unwrap_err(),
+            RecordError::Malformed
+        );
+        assert_eq!(
+            b.open(&[99, 0, 0, 0, 0]).unwrap_err(),
+            RecordError::BadContentType(99)
+        );
     }
 
     #[test]

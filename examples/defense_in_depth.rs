@@ -69,7 +69,9 @@ fn main() -> Result<(), Box<dyn Error>> {
     let sign: TrustedFn = Arc::new(|cx, payload| {
         // Derive the signing key from the platform (EGETKEY) on demand —
         // it exists only inside the vault.
-        let key = cx.machine.egetkey(cx.core(), ne_sgx::attest::KeyPolicy::SealToEnclave)?;
+        let key = cx
+            .machine
+            .egetkey(cx.core(), ne_sgx::attest::KeyPolicy::SealToEnclave)?;
         Ok(ne_crypto::hmac::hmac_sha256(&key, payload).to_vec())
     });
     app.load(vault, [("sign".to_string(), sign)])?;

@@ -32,7 +32,13 @@ fn heartbeat_fn(lib: &'static str) -> TrustedFn {
         let payload = &args[4..];
         let buf = cx.heap_base_of(lib)?.add(256);
         cx.write(buf, payload)?;
-        process_heartbeat(cx, buf, payload.len(), claimed, &HeartbeatConfig { vulnerable: true })
+        process_heartbeat(
+            cx,
+            buf,
+            payload.len(),
+            claimed,
+            &HeartbeatConfig { vulnerable: true },
+        )
     })
 }
 
@@ -63,7 +69,10 @@ fn main() -> Result<(), Box<dyn Error>> {
     mono.ecall(0, "server", "store_secret", SECRET)?;
     let leaked = attack(&mut mono, "server", 600)?;
     let found = leaked.windows(SECRET.len()).any(|w| w == SECRET);
-    println!("  crafted heartbeat (claimed 600 B, sent 4 B) leaked {} bytes", leaked.len());
+    println!(
+        "  crafted heartbeat (claimed 600 B, sent 4 B) leaked {} bytes",
+        leaked.len()
+    );
     println!("  secret present in leak: {found}");
     assert!(found, "HeartBleed must reproduce in the monolithic enclave");
 
@@ -89,7 +98,10 @@ fn main() -> Result<(), Box<dyn Error>> {
     // only outer data...
     let leaked = attack(&mut nested, "ssl", 600)?;
     let found = leaked.windows(SECRET.len()).any(|w| w == SECRET);
-    println!("  in-library over-read leaked {} bytes; secret present: {found}", leaked.len());
+    println!(
+        "  in-library over-read leaked {} bytes; secret present: {found}",
+        leaked.len()
+    );
     assert!(!found, "the secret lives in the inner enclave");
 
     // ...and the maximal over-read that reaches the inner enclave's pages

@@ -108,7 +108,11 @@ fn main() -> Result<(), Box<dyn Error>> {
             .zip(&test.labels)
             .filter(|(&p, &l)| p as usize == l)
             .count();
-        println!("{user}: accuracy {}/{} on held-out data", correct, test.len());
+        println!(
+            "{user}: accuracy {}/{} on held-out data",
+            correct,
+            test.len()
+        );
         assert!(correct * 100 / test.len() > 70, "model should be useful");
     }
 

@@ -22,16 +22,15 @@ fn main() -> Result<(), Box<dyn Error>> {
     // The outer enclave: a third-party library we use but do not fully
     // trust. It offers `obfuscate` to its inner enclaves.
     let lib = EnclaveImage::new("library", b"third-party").edl(Edl::new());
-    let obfuscate: TrustedFn = Arc::new(|_cx: &mut EnclaveCtx<'_>, args: &[u8]| {
-        Ok(args.iter().rev().copied().collect())
-    });
+    let obfuscate: TrustedFn =
+        Arc::new(|_cx: &mut EnclaveCtx<'_>, args: &[u8]| Ok(args.iter().rev().copied().collect()));
     app.load(lib, [("obfuscate".to_string(), obfuscate)])?;
 
     // The inner enclave: our security-sensitive code. It can call down
     // into the library with plain procedure-call syntax (n_ocall), but the
     // library can never look back up into it.
-    let main_img = EnclaveImage::new("main", b"us")
-        .edl(Edl::new().ecall("handle").n_ocall("obfuscate"));
+    let main_img =
+        EnclaveImage::new("main", b"us").edl(Edl::new().ecall("handle").n_ocall("obfuscate"));
     let handle: TrustedFn = Arc::new(|cx: &mut EnclaveCtx<'_>, args: &[u8]| {
         let masked = cx.n_ocall("obfuscate", args)?;
         let mut out = b"processed:".to_vec();

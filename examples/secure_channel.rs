@@ -18,12 +18,16 @@ fn main() -> Result<(), Box<dyn Error>> {
     let mut app = NestedApp::new(HwConfig::testbed());
     // Outer hub + two peer inner enclaves.
     app.load(
-        EnclaveImage::new("hub", b"provider").heap_pages(64).edl(Edl::new()),
+        EnclaveImage::new("hub", b"provider")
+            .heap_pages(64)
+            .edl(Edl::new()),
         [],
     )?;
     for name in ["producer", "consumer"] {
         app.load(
-            EnclaveImage::new(name, b"tenant").heap_pages(2).edl(Edl::new()),
+            EnclaveImage::new(name, b"tenant")
+                .heap_pages(2)
+                .edl(Edl::new()),
             [],
         )?;
         app.associate(name, "hub")?;
@@ -37,7 +41,10 @@ fn main() -> Result<(), Box<dyn Error>> {
         let mut cx = app.enclave_ctx(0, "producer");
         let ch = OuterChannel::create(&mut cx, "hub", 64 * 1024)?;
         for i in 0..8u8 {
-            ch.send(&mut cx, &format!("order #{i}: buy 100 @ 42.{i}").into_bytes())?;
+            ch.send(
+                &mut cx,
+                &format!("order #{i}: buy 100 @ 42.{i}").into_bytes(),
+            )?;
         }
         ch
     };

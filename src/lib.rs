@@ -1,2 +1,3 @@
 //! Root package: examples and integration tests live here.
-pub use ne_core; pub use ne_sgx;
+pub use ne_core;
+pub use ne_sgx;

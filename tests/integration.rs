@@ -42,8 +42,8 @@ fn three_tier_call_chain() {
         )],
     )
     .unwrap();
-    let inner = EnclaveImage::new("app", b"owner")
-        .edl(Edl::new().ecall("handle").n_ocall("compress"));
+    let inner =
+        EnclaveImage::new("app", b"owner").edl(Edl::new().ecall("handle").n_ocall("compress"));
     app.load(
         inner,
         [(
@@ -75,7 +75,9 @@ fn three_level_nesting_end_to_end() {
     let mut app = NestedApp::with_machine(machine);
     for name in ["l0", "l1", "l2"] {
         app.load(
-            EnclaveImage::new(name, b"owner").heap_pages(2).edl(Edl::new()),
+            EnclaveImage::new(name, b"owner")
+                .heap_pages(2)
+                .edl(Edl::new()),
             [],
         )
         .unwrap();
@@ -109,12 +111,16 @@ fn three_level_nesting_end_to_end() {
 fn eviction_of_shared_outer_under_load() {
     let mut app = NestedApp::new(HwConfig::testbed());
     app.load(
-        EnclaveImage::new("outer", b"o").heap_pages(4).edl(Edl::new()),
+        EnclaveImage::new("outer", b"o")
+            .heap_pages(4)
+            .edl(Edl::new()),
         [],
     )
     .unwrap();
     app.load(
-        EnclaveImage::new("inner", b"i").heap_pages(2).edl(Edl::new()),
+        EnclaveImage::new("inner", b"i")
+            .heap_pages(2)
+            .edl(Edl::new()),
         [],
     )
     .unwrap();
@@ -147,7 +153,9 @@ fn bulk_transfer_through_outer_channel() {
     use ne_core::channel::OuterChannel;
     let mut app = NestedApp::new(HwConfig::testbed());
     app.load(
-        EnclaveImage::new("hub", b"p").heap_pages(40).edl(Edl::new()),
+        EnclaveImage::new("hub", b"p")
+            .heap_pages(40)
+            .edl(Edl::new()),
         [],
     )
     .unwrap();
@@ -183,7 +191,9 @@ fn sealing_across_reload() {
     use ne_crypto::gcm::AesGcm;
     use ne_sgx::attest::KeyPolicy;
     let mut app = NestedApp::new(HwConfig::testbed());
-    let img = EnclaveImage::new("sealer", b"owner").heap_pages(1).edl(Edl::new());
+    let img = EnclaveImage::new("sealer", b"owner")
+        .heap_pages(1)
+        .edl(Edl::new());
     app.load(img.clone(), []).unwrap();
     let l = app.layout("sealer").unwrap();
     app.machine.eenter(0, l.eid, l.base).unwrap();
@@ -202,7 +212,9 @@ fn sealing_across_reload() {
         b"persist me"
     );
     // A different enclave derives a different key.
-    let other = EnclaveImage::new("other", b"owner").heap_pages(1).edl(Edl::new());
+    let other = EnclaveImage::new("other", b"owner")
+        .heap_pages(1)
+        .edl(Edl::new());
     app.load(other, []).unwrap();
     let lo = app.layout("other").unwrap();
     app.machine.eenter(0, lo.eid, lo.base).unwrap();
@@ -217,7 +229,7 @@ fn sealing_across_reload() {
 #[test]
 fn tls_stack_end_to_end() {
     use ne_tls::echo::{run_echo, EchoConfig};
-    use ne_tls::handshake::{perform_handshake, ClientHello, CipherSuite, TLS_VERSION};
+    use ne_tls::handshake::{perform_handshake, CipherSuite, ClientHello, TLS_VERSION};
     let hello = ClientHello {
         version: TLS_VERSION,
         suites: vec![CipherSuite::Aes128Gcm],

@@ -20,17 +20,47 @@ use proptest::prelude::*;
 /// One step of the adversarial schedule.
 #[derive(Debug, Clone)]
 enum Op {
-    Read { core: usize, region: u8, offset: u16 },
-    Write { core: usize, region: u8, offset: u16 },
-    Eenter { core: usize, which: u8 },
-    Eexit { core: usize },
-    Neenter { core: usize, which: u8 },
-    Neexit { core: usize },
-    Aex { core: usize },
-    OsRemap { victim: u8, target: u8 },
-    OsUnmap { victim: u8 },
-    FlushTlb { core: usize },
-    Evict { which: u8, page: u8 },
+    Read {
+        core: usize,
+        region: u8,
+        offset: u16,
+    },
+    Write {
+        core: usize,
+        region: u8,
+        offset: u16,
+    },
+    Eenter {
+        core: usize,
+        which: u8,
+    },
+    Eexit {
+        core: usize,
+    },
+    Neenter {
+        core: usize,
+        which: u8,
+    },
+    Neexit {
+        core: usize,
+    },
+    Aex {
+        core: usize,
+    },
+    OsRemap {
+        victim: u8,
+        target: u8,
+    },
+    OsUnmap {
+        victim: u8,
+    },
+    FlushTlb {
+        core: usize,
+    },
+    Evict {
+        which: u8,
+        page: u8,
+    },
     Reload,
 }
 
@@ -71,13 +101,17 @@ struct Fixture {
 fn fixture() -> Fixture {
     let mut app = NestedApp::new(HwConfig::small());
     app.load(
-        EnclaveImage::new("hub", b"provider").heap_pages(4).edl(Edl::new()),
+        EnclaveImage::new("hub", b"provider")
+            .heap_pages(4)
+            .edl(Edl::new()),
         [],
     )
     .unwrap();
     for n in ["a", "b"] {
         app.load(
-            EnclaveImage::new(n, b"tenant").heap_pages(2).edl(Edl::new()),
+            EnclaveImage::new(n, b"tenant")
+                .heap_pages(2)
+                .edl(Edl::new()),
             [],
         )
         .unwrap();
@@ -102,11 +136,19 @@ impl Fixture {
     fn apply(&mut self, op: &Op) {
         let m = &mut self.app.machine;
         match op {
-            Op::Read { core, region, offset } => {
+            Op::Read {
+                core,
+                region,
+                offset,
+            } => {
                 let va = self.regions[*region as usize].add(*offset as u64);
                 let _ = m.read(*core, va, 8);
             }
-            Op::Write { core, region, offset } => {
+            Op::Write {
+                core,
+                region,
+                offset,
+            } => {
                 let va = self.regions[*region as usize].add(*offset as u64);
                 let _ = m.write(*core, va, b"propdata");
             }
@@ -236,6 +278,37 @@ proptest! {
             if let Ok(data) = fx.app.machine.read(2, b.heap_base, 8) {
                 prop_assert_ne!(data, b"B-SECRET".to_vec(), "inner a read peer b's secret");
             }
+        }
+    }
+
+    /// Cycle attribution is *total* under any schedule, hostile or not:
+    /// every per-core category breakdown sums to that core's clock, the
+    /// core clocks sum to the machine total, and the per-enclave buckets
+    /// (untrusted included) partition the same total. Unlike the at-rest
+    /// transition-pairing identities — which raw instruction sequences can
+    /// legitimately violate by EEXITing straight out of an inner enclave —
+    /// these must hold after *every single step*.
+    #[test]
+    fn cycle_attribution_is_total_under_any_schedule(ops in prop::collection::vec(op_strategy(), 1..80)) {
+        let mut fx = fixture();
+        for (i, op) in ops.iter().enumerate() {
+            fx.apply(op);
+            let m = fx.app.machine.metrics();
+            let total = m.total_cycles;
+            let core_sum: u64 = m.cores.iter().map(|c| c.cycles).sum();
+            prop_assert_eq!(core_sum, total, "core clocks diverged after step {} ({:?})", i, op);
+            for c in &m.cores {
+                prop_assert_eq!(
+                    c.breakdown.total(), c.cycles,
+                    "core {} breakdown diverged after step {} ({:?})", c.core, i, op
+                );
+            }
+            let enclave_sum: u64 = m.enclaves.iter().map(|e| e.breakdown.total()).sum();
+            prop_assert_eq!(enclave_sum, total, "enclave buckets diverged after step {} ({:?})", i, op);
+            prop_assert_eq!(
+                m.trace_recorded, m.trace_dropped + m.trace_retained as u64,
+                "trace accounting diverged after step {} ({:?})", i, op
+            );
         }
     }
 }

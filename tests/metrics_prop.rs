@@ -1,0 +1,156 @@
+//! Property test: the metrics checker accepts every run the runtime can
+//! produce.
+//!
+//! [`MachineMetrics::check`] encodes identities that must hold for *any*
+//! workload driven through the SDK runtime — per-core category breakdowns
+//! summing to the core clocks, per-enclave attribution summing to the
+//! machine total, and (at rest) enclave entries pairing with exits. Here
+//! we generate random call mixes over a nested outer/inner application —
+//! computation, ocalls, n_ocalls, enclave memory traffic — and assert the
+//! checker stays green after every completed top-level ecall.
+//!
+//! [`MachineMetrics::check`]: ne_sgx::metrics::MachineMetrics::check
+
+use ne_core::edl::Edl;
+use ne_core::loader::EnclaveImage;
+use ne_core::runtime::{NestedApp, TrustedFn, UntrustedFn};
+use ne_sgx::config::HwConfig;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// One top-level ecall of the generated workload.
+#[derive(Debug, Clone)]
+enum Call {
+    /// Pure in-enclave computation of the given cost.
+    Compute { cycles: u64 },
+    /// An ocall to the untrusted sink with a payload of the given size.
+    Ocall { len: u16 },
+    /// An n_ocall from the inner enclave down into the outer library.
+    NOcall { len: u16 },
+    /// Enclave heap traffic (write + read back) of the given size.
+    Memory { len: u16 },
+}
+
+fn call_strategy() -> impl Strategy<Value = Call> {
+    prop_oneof![
+        (1..50_000u64).prop_map(|cycles| Call::Compute { cycles }),
+        (0..1024u16).prop_map(|len| Call::Ocall { len }),
+        (0..1024u16).prop_map(|len| Call::NOcall { len }),
+        (1..2048u16).prop_map(|len| Call::Memory { len }),
+    ]
+}
+
+/// Outer "lib" + inner "app" with one trusted function per [`Call`] kind.
+fn build_app() -> NestedApp {
+    let mut app = NestedApp::new(HwConfig::small());
+    app.register_untrusted(
+        "sink",
+        Arc::new(|_cx: &mut ne_core::runtime::UntrustedCtx<'_>, args: &[u8]| Ok(args.to_vec()))
+            as UntrustedFn,
+    );
+    let lib = EnclaveImage::new("lib", b"provider")
+        .heap_pages(4)
+        .edl(Edl::new());
+    let lib_work: TrustedFn = Arc::new(|cx, args| {
+        cx.charge(100 + args.len() as u64);
+        Ok(args.to_vec())
+    });
+    app.load(lib, [("lib_work".to_string(), lib_work)])
+        .expect("load lib");
+    let inner = EnclaveImage::new("app", b"tenant").heap_pages(8).edl(
+        Edl::new()
+            .ecall("compute")
+            .ecall("do_ocall")
+            .ecall("do_nocall")
+            .ecall("do_memory")
+            .ocall("sink")
+            .n_ocall("lib_work"),
+    );
+    let compute: TrustedFn = Arc::new(|cx, args| {
+        let cycles = u64::from_le_bytes(args[..8].try_into().expect("8 bytes"));
+        cx.charge(cycles);
+        Ok(vec![])
+    });
+    let do_ocall: TrustedFn = Arc::new(|cx, args| cx.ocall("sink", args));
+    let do_nocall: TrustedFn = Arc::new(|cx, args| cx.n_ocall("lib_work", args));
+    let do_memory: TrustedFn = Arc::new(|cx, args| {
+        let hb = cx.heap_base_of("app")?;
+        cx.write(hb, args)?;
+        cx.read(hb, args.len())
+    });
+    app.load(
+        inner,
+        [
+            ("compute".to_string(), compute),
+            ("do_ocall".to_string(), do_ocall),
+            ("do_nocall".to_string(), do_nocall),
+            ("do_memory".to_string(), do_memory),
+        ],
+    )
+    .expect("load app");
+    app.associate("app", "lib").expect("NASSO");
+    app
+}
+
+fn issue(app: &mut NestedApp, call: &Call) {
+    match call {
+        Call::Compute { cycles } => {
+            app.ecall(0, "app", "compute", &cycles.to_le_bytes())
+                .expect("compute ecall");
+        }
+        Call::Ocall { len } => {
+            app.ecall(0, "app", "do_ocall", &vec![0x11; *len as usize])
+                .expect("ocall ecall");
+        }
+        Call::NOcall { len } => {
+            app.ecall(0, "app", "do_nocall", &vec![0x22; *len as usize])
+                .expect("n_ocall ecall");
+        }
+        Call::Memory { len } => {
+            app.ecall(0, "app", "do_memory", &vec![0x33; *len as usize])
+                .expect("memory ecall");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Every random runtime-driven workload keeps all counter identities.
+    #[test]
+    fn checker_accepts_every_valid_run(calls in prop::collection::vec(call_strategy(), 1..24)) {
+        let mut app = build_app();
+        for (i, call) in calls.iter().enumerate() {
+            issue(&mut app, call);
+            let m = app.machine.metrics();
+            if let Err(e) = m.check() {
+                panic!("after call {i} ({call:?}): {e}");
+            }
+        }
+        // The final snapshot is at rest: transitions must pair up exactly.
+        let m = app.machine.metrics();
+        prop_assert_eq!(m.cores_in_enclave_mode, 0);
+        prop_assert_eq!(m.stats.ecalls + m.stats.eresumes, m.stats.ocalls + m.stats.aexes);
+        prop_assert_eq!(m.stats.n_ecalls, m.stats.n_ocalls);
+    }
+
+    /// `reset_metrics` at rest re-arms the identities rather than breaking
+    /// them: a second measured phase checks clean on its own.
+    #[test]
+    fn checker_survives_mid_run_reset(
+        first in prop::collection::vec(call_strategy(), 1..8),
+        second in prop::collection::vec(call_strategy(), 1..8),
+    ) {
+        let mut app = build_app();
+        for call in &first {
+            issue(&mut app, call);
+        }
+        app.machine.reset_metrics();
+        prop_assert_eq!(app.machine.total_cycles(), 0);
+        for call in &second {
+            issue(&mut app, call);
+        }
+        let m = app.machine.metrics();
+        prop_assert!(m.check().is_ok(), "post-reset phase: {:?}", m.check());
+    }
+}

@@ -24,13 +24,17 @@ use ne_sgx::ProcessId;
 fn topology() -> NestedApp {
     let mut app = NestedApp::new(HwConfig::testbed());
     app.load(
-        EnclaveImage::new("hub", b"provider").heap_pages(8).edl(Edl::new()),
+        EnclaveImage::new("hub", b"provider")
+            .heap_pages(8)
+            .edl(Edl::new()),
         [],
     )
     .unwrap();
     for n in ["a", "b"] {
         app.load(
-            EnclaveImage::new(n, b"tenant").heap_pages(2).edl(Edl::new()),
+            EnclaveImage::new(n, b"tenant")
+                .heap_pages(2)
+                .edl(Edl::new()),
             [],
         )
         .unwrap();
@@ -55,7 +59,10 @@ fn outer_cannot_read_or_write_inner() {
     app.machine.eexit(0).unwrap();
     // And the secret is intact.
     app.machine.eenter(0, a.eid, a.base).unwrap();
-    assert_eq!(app.machine.read(0, a.heap_base, 13).unwrap(), b"tenant secret");
+    assert_eq!(
+        app.machine.read(0, a.heap_base, 13).unwrap(),
+        b"tenant secret"
+    );
 }
 
 #[test]
@@ -79,7 +86,8 @@ fn untrusted_world_sees_abort_page_everywhere() {
         let data = app.untrusted(0, |cx| cx.read(l.heap_base, 8)).unwrap();
         assert_eq!(data, vec![0xFF; 8], "{name} leaked to untrusted code");
         // Writes are dropped silently.
-        app.untrusted(0, |cx| cx.write(l.heap_base, b"inject")).unwrap();
+        app.untrusted(0, |cx| cx.write(l.heap_base, b"inject"))
+            .unwrap();
     }
     app.machine.audit_tlbs().unwrap();
 }
@@ -96,8 +104,12 @@ fn os_remap_cannot_graft_inner_page_into_outer_range() {
         .os_lookup(ProcessId(0), a.heap_base.vpn())
         .unwrap()
         .ppn;
-    app.machine
-        .os_map(ProcessId(0), hub.heap_base.vpn(), inner_frame, PagePerms::RW);
+    app.machine.os_map(
+        ProcessId(0),
+        hub.heap_base.vpn(),
+        inner_frame,
+        PagePerms::RW,
+    );
     app.machine.flush_all_tlbs();
     app.machine.eenter(0, hub.eid, hub.base).unwrap();
     let err = app.machine.read(0, hub.heap_base, 8).unwrap_err();
@@ -206,10 +218,7 @@ fn os_cannot_drop_or_see_outer_channel_messages() {
     );
 }
 
-fn cx_recv(
-    ch: &OuterChannel,
-    cx: &mut ne_core::runtime::EnclaveCtx<'_>,
-) -> Option<Vec<u8>> {
+fn cx_recv(ch: &OuterChannel, cx: &mut ne_core::runtime::EnclaveCtx<'_>) -> Option<Vec<u8>> {
     ch.recv(cx).unwrap()
 }
 

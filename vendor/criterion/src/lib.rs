@@ -1,0 +1,194 @@
+//! Offline stand-in for `criterion`, covering the subset the workspace's
+//! benches use: `Criterion::benchmark_group`, group `sample_size` /
+//! `measurement_time` / `throughput`, `bench_function` with a
+//! `Bencher::iter` closure, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Measurement is a simple wall-clock mean over `sample_size` samples
+//! (after one warm-up), printed as plain text — no statistics, plots, or
+//! baselines. Good enough for the relative comparisons these benches are
+//! read for.
+
+use std::time::{Duration, Instant};
+
+/// Units for reporting throughput alongside timing.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== bench group: {name} ==");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size: 10,
+            measurement_time: Duration::from_secs(2),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of benchmarks sharing sampling configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples to take per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Caps the total measurement time per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Records per-iteration throughput for the report.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark: `f` receives a [`Bencher`] and must call
+    /// [`Bencher::iter`] with the routine under test.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        // Warm-up pass (untimed).
+        let mut bencher = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut bencher);
+
+        let mut total = Duration::ZERO;
+        let mut iters: u64 = 0;
+        let deadline = Instant::now() + self.measurement_time;
+        for _ in 0..self.sample_size {
+            let mut bencher = Bencher {
+                elapsed: Duration::ZERO,
+                iters: 0,
+            };
+            f(&mut bencher);
+            total += bencher.elapsed;
+            iters += bencher.iters;
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+
+        if iters == 0 {
+            println!("{}/{id}: no iterations recorded", self.name);
+            return self;
+        }
+        let per_iter = total / iters as u32;
+        let mut line = format!("{}/{id}: {per_iter:?}/iter ({iters} iters)", self.name);
+        if let Some(tp) = self.throughput {
+            let secs = per_iter.as_secs_f64();
+            if secs > 0.0 {
+                match tp {
+                    Throughput::Bytes(b) => {
+                        line += &format!(", {:.1} MiB/s", b as f64 / secs / (1 << 20) as f64);
+                    }
+                    Throughput::Elements(e) => {
+                        line += &format!(", {:.0} elem/s", e as f64 / secs);
+                    }
+                }
+            }
+        }
+        println!("{line}");
+        self
+    }
+
+    /// Ends the group (report is printed incrementally; nothing to flush).
+    pub fn finish(&mut self) {}
+}
+
+/// Timing harness passed to the benchmark closure.
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine` once and records the sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        let out = routine();
+        self.elapsed += start.elapsed();
+        self.iters += 1;
+        drop(out);
+    }
+}
+
+/// Opaque-to-the-optimizer value passthrough (best effort without
+/// unstable intrinsics).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Bundles benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_counts() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("stub");
+        let mut runs = 0u32;
+        g.sample_size(3)
+            .measurement_time(Duration::from_millis(50))
+            .throughput(Throughput::Bytes(1024))
+            .bench_function("count", |b| {
+                b.iter(|| {
+                    runs += 1;
+                });
+            });
+        g.finish();
+        // warm-up + up to 3 samples, each one iteration
+        assert!(runs >= 2);
+    }
+}

@@ -1,0 +1,736 @@
+//! Offline stand-in for `proptest`, covering the subset of the API this
+//! workspace's property tests use:
+//!
+//! - the [`proptest!`] macro (with `#![proptest_config(..)]`, `#[test]`
+//!   attributes, and doc comments on test functions),
+//! - [`Strategy`] over primitive ranges, tuples, `Just`, mapped strategies
+//!   (`prop_map`), `prop_oneof!` unions, `collection::vec`,
+//!   `array::uniform12/16`, `any::<T>()`, `sample::Index`, and
+//!   `sample::select`,
+//! - `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!` /
+//!   `prop_assume!`.
+//!
+//! Differences from real proptest: generation is a deterministic
+//! SplitMix64 stream seeded from the test name (stable across runs and
+//! machines), rejected cases (`prop_assume!`) are simply re-drawn, and
+//! there is **no shrinking** — a failing case is reported verbatim.
+
+use std::fmt;
+use std::ops::Range;
+
+/// Deterministic random source handed to strategies during generation.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds the stream from an arbitrary label (typically the test name),
+    /// so every run of a given test sees the same case sequence.
+    pub fn deterministic(label: &str) -> Self {
+        // FNV-1a over the label.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in label.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng { state: h }
+    }
+
+    /// Next 64 random bits (SplitMix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, n)`; `n` must be nonzero.
+    pub fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// How a generated value is produced. Object-safe so `prop_oneof!` arms of
+/// different concrete types can be unified behind `Box<dyn Strategy>`.
+pub trait Strategy {
+    /// The type of value this strategy generates.
+    type Value: fmt::Debug;
+
+    /// Draws one value from the strategy.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Post-processes generated values with `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        U: fmt::Debug,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { source: self, f }
+    }
+}
+
+impl<V: fmt::Debug> Strategy for Box<dyn Strategy<Value = V>> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        (**self).generate(rng)
+    }
+}
+
+/// String-literal strategies: a `&str` is interpreted as a regex (subset)
+/// and generates matching `String`s, mirroring proptest's regex support.
+///
+/// Supported syntax: concatenations of atoms `[class]` (with ranges and
+/// literal chars), `\PC` (any printable char), `\d`, `\w`, or a literal
+/// char, each optionally followed by `{n}`, `{m,n}`, `*`, `+`, or `?`.
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        string::generate_matching(self, rng)
+    }
+}
+
+mod string {
+    use super::TestRng;
+
+    // Printable pool for `\PC`: ASCII printables plus a few multibyte
+    // chars so UTF-8 handling gets exercised.
+    const PRINTABLE_EXTRA: [char; 6] = ['é', 'ß', 'λ', '中', '→', '🙂'];
+
+    struct Atom {
+        pool: Vec<char>,
+        min: usize,
+        max: usize,
+    }
+
+    fn parse(pattern: &str) -> Vec<Atom> {
+        let mut chars = pattern.chars().peekable();
+        let mut atoms = Vec::new();
+        while let Some(c) = chars.next() {
+            let pool = match c {
+                '[' => {
+                    let mut pool = Vec::new();
+                    let mut prev: Option<char> = None;
+                    loop {
+                        match chars.next() {
+                            None => panic!("unterminated char class in {pattern:?}"),
+                            Some(']') => break,
+                            Some('-')
+                                if prev.is_some() && chars.peek().is_some_and(|&n| n != ']') =>
+                            {
+                                let lo = prev.take().unwrap();
+                                let hi = chars.next().unwrap();
+                                pool.extend((lo..=hi).filter(|ch| ch.is_ascii_graphic()));
+                            }
+                            Some('\\') => {
+                                let esc = chars.next().expect("dangling escape in class");
+                                if let Some(p) = prev.take() {
+                                    pool.push(p);
+                                }
+                                prev = Some(esc);
+                            }
+                            Some(other) => {
+                                if let Some(p) = prev.take() {
+                                    pool.push(p);
+                                }
+                                prev = Some(other);
+                            }
+                        }
+                    }
+                    if let Some(p) = prev {
+                        pool.push(p);
+                    }
+                    assert!(!pool.is_empty(), "empty char class in {pattern:?}");
+                    pool
+                }
+                '\\' => match chars.next() {
+                    Some('P') => {
+                        // `\PC` — not a control character, i.e. printable.
+                        assert_eq!(chars.next(), Some('C'), "only \\PC is supported");
+                        let mut pool: Vec<char> = (' '..='~').collect();
+                        pool.extend(PRINTABLE_EXTRA);
+                        pool
+                    }
+                    Some('d') => ('0'..='9').collect(),
+                    Some('w') => ('a'..='z')
+                        .chain('A'..='Z')
+                        .chain('0'..='9')
+                        .chain(['_'])
+                        .collect(),
+                    Some(esc) => vec![esc],
+                    None => panic!("dangling escape in {pattern:?}"),
+                },
+                lit => vec![lit],
+            };
+
+            let (min, max) = match chars.peek() {
+                Some('{') => {
+                    chars.next();
+                    let mut spec = String::new();
+                    for c in chars.by_ref() {
+                        if c == '}' {
+                            break;
+                        }
+                        spec.push(c);
+                    }
+                    match spec.split_once(',') {
+                        Some((lo, hi)) => (
+                            lo.parse().expect("bad repetition min"),
+                            hi.parse().expect("bad repetition max"),
+                        ),
+                        None => {
+                            let n = spec.parse().expect("bad repetition count");
+                            (n, n)
+                        }
+                    }
+                }
+                Some('*') => {
+                    chars.next();
+                    (0, 8)
+                }
+                Some('+') => {
+                    chars.next();
+                    (1, 8)
+                }
+                Some('?') => {
+                    chars.next();
+                    (0, 1)
+                }
+                _ => (1, 1),
+            };
+            assert!(min <= max, "inverted repetition in {pattern:?}");
+            atoms.push(Atom { pool, min, max });
+        }
+        atoms
+    }
+
+    pub fn generate_matching(pattern: &str, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for atom in parse(pattern) {
+            let n = atom.min + rng.below(atom.max - atom.min + 1);
+            for _ in 0..n {
+                out.push(atom.pool[rng.below(atom.pool.len())]);
+            }
+        }
+        out
+    }
+}
+
+/// Strategy that always yields a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + fmt::Debug>(pub T);
+
+impl<T: Clone + fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Result of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    U: fmt::Debug,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.source.generate(rng))
+    }
+}
+
+macro_rules! impl_range_strategy_uint {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u128) - (self.start as u128);
+                let draw = (rng.next_u64() as u128) % span;
+                (self.start as u128 + draw) as $t
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_range_strategy_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let draw = (rng.next_u64() as u128) % span;
+                (self.start as i128 + draw as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy_uint!(u8, u16, u32, u64, usize);
+impl_range_strategy_int!(i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + (rng.unit_f64() as f32) * (self.end - self.start)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+/// Union of same-valued strategies; backs the `prop_oneof!` macro.
+pub struct Union<V> {
+    arms: Vec<Box<dyn Strategy<Value = V>>>,
+}
+
+impl<V: fmt::Debug> Union<V> {
+    /// Builds a union that picks one of `arms` uniformly per case.
+    pub fn new(arms: Vec<Box<dyn Strategy<Value = V>>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<V: fmt::Debug> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let arm = rng.below(self.arms.len());
+        self.arms[arm].generate(rng)
+    }
+}
+
+/// Boxes a strategy arm for [`Union`]; used by `prop_oneof!` so type
+/// inference can unify heterogeneous arm types.
+pub fn boxed_arm<S>(s: S) -> Box<dyn Strategy<Value = S::Value>>
+where
+    S: Strategy + 'static,
+{
+    Box::new(s)
+}
+
+/// Types with a canonical "any value" strategy, via [`any`].
+pub trait Arbitrary: fmt::Debug + Sized {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_prim {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_prim!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for u128 {
+    fn arbitrary(rng: &mut TestRng) -> u128 {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Strategy producing any value of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s with element strategy `S` and a length range.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// `Vec` strategy with lengths drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty vec size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = self.size.end - self.size.start;
+            let len = self.size.start + rng.below(span.max(1));
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Fixed-size array strategies (`prop::array::uniform12/16/32`).
+pub mod array {
+    use super::{Strategy, TestRng};
+
+    /// Strategy for `[S::Value; N]` with every element drawn from `S`.
+    pub struct ArrayStrategy<S, const N: usize>(S);
+
+    impl<S: Strategy, const N: usize> Strategy for ArrayStrategy<S, N> {
+        type Value = [S::Value; N];
+        fn generate(&self, rng: &mut TestRng) -> [S::Value; N] {
+            std::array::from_fn(|_| self.0.generate(rng))
+        }
+    }
+
+    /// 12-element array strategy (e.g. AES-GCM nonces).
+    pub fn uniform12<S: Strategy>(element: S) -> ArrayStrategy<S, 12> {
+        ArrayStrategy(element)
+    }
+
+    /// 16-element array strategy (e.g. AES keys).
+    pub fn uniform16<S: Strategy>(element: S) -> ArrayStrategy<S, 16> {
+        ArrayStrategy(element)
+    }
+
+    /// 32-element array strategy.
+    pub fn uniform32<S: Strategy>(element: S) -> ArrayStrategy<S, 32> {
+        ArrayStrategy(element)
+    }
+}
+
+/// Sampling helpers (`prop::sample::Index`, `prop::sample::select`).
+pub mod sample {
+    use super::{Arbitrary, Strategy, TestRng};
+    use std::fmt;
+
+    /// An index into a collection whose length is only known inside the
+    /// test body; resolve it with [`Index::index`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Index(usize);
+
+    impl Index {
+        /// Maps this draw onto `[0, len)`; `len` must be nonzero.
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            self.0 % len
+        }
+    }
+
+    impl Arbitrary for Index {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            Index(rng.next_u64() as usize)
+        }
+    }
+
+    /// Strategy over a fixed option list; backs [`select`].
+    pub struct Select<T>(Vec<T>);
+
+    /// Picks one of `options` uniformly per case.
+    pub fn select<T: Clone + fmt::Debug>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select over empty options");
+        Select(options)
+    }
+
+    impl<T: Clone + fmt::Debug> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0[rng.below(self.0.len())].clone()
+        }
+    }
+}
+
+/// Why a test case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case was rejected by `prop_assume!`; a fresh case is drawn.
+    Reject,
+    /// A `prop_assert*` failed with this message.
+    Fail(String),
+}
+
+/// Per-test configuration (`#![proptest_config(..)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted cases each test must pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` accepted cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 32 }
+    }
+}
+
+/// Defines property tests. Each `fn name(arg in strategy, ..) { body }`
+/// becomes a `#[test]` that draws `cases` inputs and runs the body.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($cfg) $($rest)*);
+    };
+    (@cfg ($cfg:expr)
+        $( $(#[$meta:meta])* fn $name:ident
+            ( $( $arg:ident in $strat:expr ),* $(,)? ) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config = $cfg;
+                let mut rng = $crate::TestRng::deterministic(concat!(
+                    module_path!(), "::", stringify!($name)
+                ));
+                let mut accepted = 0u32;
+                let mut attempts = 0u32;
+                while accepted < config.cases {
+                    attempts += 1;
+                    assert!(
+                        attempts <= config.cases.saturating_mul(50).max(1000),
+                        "proptest {}: too many rejected cases (prop_assume too strict?)",
+                        stringify!($name)
+                    );
+                    $( let $arg = $crate::Strategy::generate(&($strat), &mut rng); )*
+                    let case_desc = format!("{:?}", ( $( &$arg, )* ));
+                    let outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    match outcome {
+                        ::std::result::Result::Ok(()) => accepted += 1,
+                        ::std::result::Result::Err($crate::TestCaseError::Reject) => continue,
+                        ::std::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
+                            panic!(
+                                "proptest {} failed: {}\n  inputs ({}): {}",
+                                stringify!($name),
+                                msg,
+                                stringify!($($arg),*),
+                                case_desc
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Fails the current case if the condition is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Fails the current case if the two values are not equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let left = &$a;
+        let right = &$b;
+        $crate::prop_assert!(
+            left == right,
+            "assert_eq failed: {:?} != {:?}",
+            left,
+            right
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let left = &$a;
+        let right = &$b;
+        $crate::prop_assert!(left == right, $($fmt)*);
+    }};
+}
+
+/// Fails the current case if the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let left = &$a;
+        let right = &$b;
+        $crate::prop_assert!(
+            left != right,
+            "assert_ne failed: both sides are {:?}",
+            left
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let left = &$a;
+        let right = &$b;
+        $crate::prop_assert!(left != right, $($fmt)*);
+    }};
+}
+
+/// Rejects the current case (a fresh one is drawn) if the condition fails.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Builds a [`Union`] strategy choosing uniformly among the arms.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![ $( $crate::boxed_arm($arm) ),+ ])
+    };
+}
+
+/// Everything a property test module needs, matching
+/// `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Arbitrary, Just, ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        /// Ranges stay in bounds and tuples compose.
+        #[test]
+        fn ranges_and_tuples(x in 0..10u32, pair in (0..5usize, 0..100i64)) {
+            prop_assert!(x < 10);
+            prop_assert!(pair.0 < 5 && (0..100).contains(&pair.1));
+        }
+
+        #[test]
+        fn vec_lengths_respected(v in prop::collection::vec(any::<u8>(), 2..7)) {
+            prop_assert!((2..7).contains(&v.len()));
+        }
+
+        #[test]
+        fn oneof_and_map(v in prop_oneof![
+            (0..4u8).prop_map(|n| n as u32),
+            Just(99u32),
+        ]) {
+            prop_assert!(v < 4 || v == 99);
+        }
+
+        #[test]
+        fn assume_redraws(n in 0..100u32) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn config_applies(idx in any::<prop::sample::Index>()) {
+            prop_assert!(idx.index(13) < 13);
+        }
+    }
+
+    #[test]
+    fn select_draws_from_options() {
+        let s = prop::sample::select(vec!["a", "b"]);
+        let mut rng = crate::TestRng::deterministic("select");
+        for _ in 0..32 {
+            let v = crate::Strategy::generate(&s, &mut rng);
+            assert!(v == "a" || v == "b");
+        }
+    }
+
+    #[test]
+    fn string_regex_subset() {
+        let mut rng = crate::TestRng::deterministic("regex");
+        for _ in 0..64 {
+            let s = crate::Strategy::generate(&"[a-z0-9]{0,12}", &mut rng);
+            assert!(s.len() <= 12);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+
+            let p = crate::Strategy::generate(&"\\PC{0,20}", &mut rng);
+            assert!(p.chars().count() <= 20);
+            assert!(p.chars().all(|c| !c.is_control()));
+
+            let d = crate::Strategy::generate(&"x\\d{2}y?", &mut rng);
+            assert!(d.starts_with('x'));
+        }
+    }
+
+    #[test]
+    fn arrays_have_fixed_len() {
+        let s = prop::array::uniform16(any::<u8>());
+        let mut rng = crate::TestRng::deterministic("arr");
+        let v = crate::Strategy::generate(&s, &mut rng);
+        assert_eq!(v.len(), 16);
+    }
+}
