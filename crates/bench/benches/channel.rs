@@ -8,10 +8,10 @@ fn bench_channel(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig11");
     g.sample_size(10).measurement_time(Duration::from_secs(3));
     g.bench_function("outer_channel_1k_256k", |b| {
-        b.iter(|| run_outer_channel(1024, 1 << 20, 256 << 10).expect("outer"))
+        b.iter(|| run_outer_channel(1024, 1 << 20, 256 << 10, false).expect("outer"))
     });
     g.bench_function("gcm_channel_1k_256k", |b| {
-        b.iter(|| run_gcm_channel(1024, 1 << 20, 256 << 10).expect("gcm"))
+        b.iter(|| run_gcm_channel(1024, 1 << 20, 256 << 10, false).expect("gcm"))
     });
     g.finish();
 }

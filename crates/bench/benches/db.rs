@@ -11,7 +11,9 @@ fn bench_db(c: &mut Criterion) {
     for nested in [false, true] {
         let label = if nested { "nested" } else { "monolithic" };
         g.bench_function(format!("ycsb_95_5_x100_{label}"), |b| {
-            b.iter(|| run_db_case(WorkloadMix::Select95Update5, 50, 100, nested).expect("db case"))
+            b.iter(|| {
+                run_db_case(WorkloadMix::Select95Update5, 50, 100, nested, false).expect("db case")
+            })
         });
     }
     g.finish();

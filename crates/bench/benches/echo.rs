@@ -15,6 +15,7 @@ fn bench_echo(c: &mut Criterion) {
                     chunk_size: 1024,
                     num_messages: 20,
                     nested,
+                    trace: false,
                 })
                 .expect("echo run")
             })

@@ -8,10 +8,10 @@ fn bench_loading(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig10");
     g.sample_size(10).measurement_time(Duration::from_secs(3));
     g.bench_function("combined_8", |b| {
-        b.iter(|| run_loading(LoadMode::BaselineCombined, 8, 0).expect("combined"))
+        b.iter(|| run_loading(LoadMode::BaselineCombined, 8, 0, false).expect("combined"))
     });
     g.bench_function("nested_8_shared_1", |b| {
-        b.iter(|| run_loading(LoadMode::Nested, 8, 1).expect("nested"))
+        b.iter(|| run_loading(LoadMode::Nested, 8, 1, false).expect("nested"))
     });
     g.finish();
 }

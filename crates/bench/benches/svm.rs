@@ -16,6 +16,7 @@ fn bench_svm(c: &mut Criterion) {
                     dataset: TableVDataset::Dna,
                     scale: 0.005,
                     nested,
+                    trace: false,
                 })
                 .expect("svm case")
             })

@@ -10,10 +10,10 @@ fn bench_transitions(c: &mut Criterion) {
     let mut g = c.benchmark_group("table2");
     g.sample_size(10).measurement_time(Duration::from_secs(2));
     g.bench_function("classic_emulated_100", |b| {
-        b.iter(|| measure_classic(CostProfile::emulated(), 100))
+        b.iter(|| measure_classic(CostProfile::emulated(), 100, false))
     });
     g.bench_function("nested_emulated_100", |b| {
-        b.iter(|| measure_nested(CostProfile::emulated(), 100))
+        b.iter(|| measure_nested(CostProfile::emulated(), 100, false))
     });
     g.finish();
 }

@@ -5,7 +5,7 @@
 //! measures the innermost enclave's cost of touching the outermost
 //! enclave's memory (worst-case chain traversal on every TLB miss).
 
-use ne_bench::report::{banner, f2, MetricsReport, Table};
+use ne_bench::report::{banner, f2, want_trace, write_trace, MetricsReport, Table};
 use ne_core::validate::NestedValidator;
 use ne_core::{nasso, AssocPolicy, EnclaveImage};
 use ne_sgx::addr::{VirtAddr, PAGE_SIZE};
@@ -13,10 +13,12 @@ use ne_sgx::config::HwConfig;
 use ne_sgx::enclave::ProcessId;
 use ne_sgx::machine::Machine;
 use ne_sgx::metrics::MachineMetrics;
+use ne_sgx::spantree::TraceBundle;
 
-fn run(depth: usize, touches: usize) -> (f64, MachineMetrics) {
+fn run(depth: usize, touches: usize, trace: bool) -> (f64, MachineMetrics, Option<TraceBundle>) {
     let mut cfg = HwConfig::testbed();
     cfg.tlb_entries = 1; // every access misses: isolates validation cost
+    cfg.trace_events = trace;
     let mut m = Machine::with_validator(cfg, Box::new(NestedValidator::with_max_depth(depth)));
     let mut next = 0x1000_0000u64;
     let mut layouts = Vec::new();
@@ -51,7 +53,8 @@ fn run(depth: usize, touches: usize) -> (f64, MachineMetrics) {
         m.read(0, outermost.heap_base.add(page * PAGE_SIZE as u64), 8)
             .expect("chain access");
     }
-    (m.cycles(0) as f64 / touches as f64, m.metrics())
+    let bundle = trace.then(|| TraceBundle::capture(&m));
+    (m.cycles(0) as f64 / touches as f64, m.metrics(), bundle)
 }
 
 fn main() {
@@ -60,8 +63,15 @@ fn main() {
     let mut t = Table::new(&["Chain depth", "Cycles per access (all TLB misses)"]);
     let mut report = MetricsReport::new("ablation_depth");
     let mut prev = 0.0;
+    let mut traced = None;
     for depth in 2..=6 {
-        let (c, metrics) = run(depth, touches);
+        // The traced sweep point is the deepest chain — the one whose
+        // per-miss walk the flamegraph is most interesting for.
+        let trace_this = want_trace() && depth == 6;
+        let (c, metrics, bundle) = run(depth, touches, trace_this);
+        if trace_this {
+            traced = bundle;
+        }
         report.push_run(&format!("depth-{depth}"), metrics);
         t.row(&[depth.to_string(), f2(c)]);
         assert!(c >= prev, "validation cost must grow with depth");
@@ -73,5 +83,8 @@ fn main() {
          § VIII observation that deeper nesting 'only increases the\n\
          validation time' with no new hardware."
     );
+    if want_trace() {
+        write_trace(traced.as_ref());
+    }
     report.finish();
 }

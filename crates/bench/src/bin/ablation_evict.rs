@@ -6,7 +6,7 @@
 //! potentially cause exceptions even for unrelated cores, but the tracking
 //! becomes simpler."
 
-use ne_bench::report::{banner, MetricsReport, Table};
+use ne_bench::report::{banner, want_trace, write_trace, MetricsReport, Table};
 use ne_core::validate::NestedValidator;
 use ne_core::{nasso, AssocPolicy, EnclaveImage};
 use ne_sgx::addr::{VirtAddr, PAGE_SIZE};
@@ -14,12 +14,18 @@ use ne_sgx::config::HwConfig;
 use ne_sgx::enclave::ProcessId;
 use ne_sgx::machine::Machine;
 use ne_sgx::metrics::MachineMetrics;
+use ne_sgx::spantree::TraceBundle;
 
 /// Builds a machine with one outer + one inner enclave pair and an
 /// *unrelated* enclave running on another core, then evicts outer pages.
-fn run(flush_all: bool, evictions: usize) -> (u64, u64, u64, MachineMetrics) {
+fn run(
+    flush_all: bool,
+    evictions: usize,
+    trace: bool,
+) -> (u64, u64, u64, MachineMetrics, Option<TraceBundle>) {
     let mut cfg = HwConfig::testbed();
     cfg.flush_all_on_evict = flush_all;
+    cfg.trace_events = trace;
     let mut m = Machine::with_validator(cfg, Box::new(NestedValidator::new()));
     let mut next = 0x1000_0000u64;
     let mut load = |m: &mut Machine, name: &str, pages: u64| {
@@ -65,7 +71,14 @@ fn run(flush_all: bool, evictions: usize) -> (u64, u64, u64, MachineMetrics) {
         }
     }
     let stats = m.stats();
-    (stats.ipis, stats.aexes, m.total_cycles(), m.metrics())
+    let bundle = trace.then(|| TraceBundle::capture(&m));
+    (
+        stats.ipis,
+        stats.aexes,
+        m.total_cycles(),
+        m.metrics(),
+        bundle,
+    )
 }
 
 fn main() {
@@ -73,8 +86,15 @@ fn main() {
     let evictions = 200;
     let mut t = Table::new(&["Policy", "IPIs", "AEXes", "Total cycles"]);
     let mut report = MetricsReport::new("ablation_evict");
+    let mut traced = None;
     for (label, flush_all) in [("precise inner tracking", false), ("flush all cores", true)] {
-        let (ipis, aexes, cycles, metrics) = run(flush_all, evictions);
+        // The traced policy is flush-all: the one with AEX/ERESUME storms
+        // worth seeing on a timeline.
+        let trace_this = want_trace() && flush_all;
+        let (ipis, aexes, cycles, metrics, bundle) = run(flush_all, evictions, trace_this);
+        if trace_this {
+            traced = bundle;
+        }
         report.push_run(if flush_all { "flush-all" } else { "precise" }, metrics);
         t.row(&[
             label.into(),
@@ -89,5 +109,8 @@ fn main() {
          enclave's tree (outer + inners); flush-all also kicks the\n\
          unrelated core on every eviction, spending more IPIs and cycles."
     );
+    if want_trace() {
+        write_trace(traced.as_ref());
+    }
     report.finish();
 }

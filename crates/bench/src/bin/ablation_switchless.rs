@@ -8,7 +8,7 @@
 //! NEENTER/NEEXIT attacks the *enclave-to-enclave* crossings instead —
 //! the two are complementary.
 
-use ne_bench::report::{banner, f2, MetricsReport, Table};
+use ne_bench::report::{banner, f2, want_trace, write_trace, MetricsReport, Table};
 use ne_core::edl::Edl;
 use ne_core::loader::EnclaveImage;
 use ne_core::runtime::{NestedApp, TrustedFn, UntrustedCtx, UntrustedFn};
@@ -17,8 +17,10 @@ use ne_sgx::addr::VirtAddr;
 use ne_sgx::config::HwConfig;
 use std::sync::Arc;
 
-fn build_app() -> NestedApp {
-    let mut app = NestedApp::new(HwConfig::testbed());
+fn build_app(trace: bool) -> NestedApp {
+    let mut hw = HwConfig::testbed();
+    hw.trace_events = trace;
+    let mut app = NestedApp::new(hw);
     app.register_untrusted(
         "service",
         Arc::new(|_cx: &mut UntrustedCtx<'_>, args: &[u8]| Ok(args.to_vec())) as UntrustedFn,
@@ -56,8 +58,12 @@ fn main() {
         "Switchless cycles/call",
         "Speedup",
     ]);
+    let mut traced = None;
     for payload in [16usize, 256, 1024, 4096] {
-        let mut app = build_app();
+        // The traced point is the 1KB payload — switchless and classic
+        // spans side by side at a representative size.
+        let trace_this = want_trace() && payload == 1024;
+        let mut app = build_app(trace_this);
         let q = app.untrusted(0, |cx| SwitchlessQueue::create(cx, 4096, 1));
         let data = vec![0x7Au8; payload];
         // Classic: measure the marginal ocall cost inside one ecall each.
@@ -76,6 +82,9 @@ fn main() {
         }
         let switchless = app.machine.cycles(0) / iters;
         report.push_run(&format!("switchless-{payload}B"), app.machine.metrics());
+        if trace_this {
+            traced = Some(ne_sgx::spantree::TraceBundle::capture(&app.machine));
+        }
         t.row(&[
             format!("{payload}B"),
             classic.to_string(),
@@ -90,5 +99,8 @@ fn main() {
          untrusted memory and a dedicated worker core — consistent with\n\
          HotCalls/SDK-switchless measurements the paper cites."
     );
+    if want_trace() {
+        write_trace(traced.as_ref());
+    }
     report.finish();
 }

@@ -3,15 +3,19 @@
 //! with software AES-GCM through untrusted memory, across chunk sizes and
 //! communication footprints.
 //!
-//! Run with `--full` for more traffic per point.
+//! Run with `--full` for more traffic per point. `--metrics-out`,
+//! `--bench-out`, `--profile-out` and `--trace-out` export snapshots,
+//! the regression baseline, latency histograms, and a Chrome/Perfetto
+//! trace of the 2MB/4KB MEE run (see `ne_bench::report`).
 
 use ne_bench::channel_exp::{run_gcm_channel, run_outer_channel};
-use ne_bench::report::{banner, f2, MetricsReport, Table};
+use ne_bench::report::{banner, f2, want_trace, write_trace, MetricsReport, Table};
 
 fn main() {
     let full = std::env::args().any(|a| a == "--full");
     banner("Fig. 11: MEE (outer-enclave channel) vs GCM (untrusted memory)");
     let mut report = MetricsReport::new("fig11");
+    let mut traced = None;
     // Footprints: below the 8 MiB LLC, at it, and far above.
     for (label, footprint) in [("2MB", 2usize << 20), ("8MB", 8 << 20), ("32MB", 32 << 20)] {
         // Traffic must loop over the region several times so the steady
@@ -30,8 +34,15 @@ fn main() {
             "MEE lines touched",
         ]);
         for chunk in [64usize, 256, 1024, 4096, 16384, 65536] {
-            let mee = run_outer_channel(chunk, footprint, total).expect("outer channel");
-            let gcm = run_gcm_channel(chunk, footprint, total).expect("gcm channel");
+            // The traced point is the smallest footprint at 4KB chunks:
+            // representative traffic without a multi-gigabyte trace file.
+            let trace_this = want_trace() && footprint == 2 << 20 && chunk == 4096;
+            let mee =
+                run_outer_channel(chunk, footprint, total, trace_this).expect("outer channel");
+            let gcm = run_gcm_channel(chunk, footprint, total, false).expect("gcm channel");
+            if trace_this {
+                traced = mee.trace.clone();
+            }
             let chunk_label = if chunk >= 1024 {
                 format!("{}KB", chunk / 1024)
             } else {
@@ -56,5 +67,8 @@ fn main() {
          footprint fits the 8 MiB LLC, where the MEE is never invoked; GCM\n\
          narrows the gap at large chunks as its setup cost amortizes."
     );
+    if want_trace() {
+        write_trace(traced.as_ref());
+    }
     report.finish();
 }

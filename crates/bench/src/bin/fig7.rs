@@ -5,8 +5,13 @@
 //!
 //! Run with `--full` for more messages per point, and
 //! `--metrics-out <path>` to export every run's machine snapshot.
+//! `--bench-out`, `--profile-out` and `--trace-out` export the
+//! regression baseline, the latency histograms, and a Chrome/Perfetto
+//! trace of the nested 1KB run (see `ne_bench::report`).
 
-use ne_bench::report::{banner, breakdown_table, f2, f3, MetricsReport, Table};
+use ne_bench::report::{
+    banner, breakdown_table, f2, f3, want_trace, write_trace, MetricsReport, Table,
+};
 use ne_tls::echo::{run_echo, EchoConfig};
 
 fn main() {
@@ -14,6 +19,7 @@ fn main() {
     let messages = if full { 2_000 } else { 200 };
     let mut report = MetricsReport::new("fig7");
     let mut nested_snapshot = None;
+    let mut nested_trace = None;
     banner(&format!(
         "Fig. 7: SSL echo server throughput ({messages} messages per point)"
     ));
@@ -30,12 +36,16 @@ fn main() {
             chunk_size: chunk,
             num_messages: messages,
             nested: false,
+            trace: false,
         })
         .expect("monolithic echo");
+        // The traced point is the nested 1KB run — the configuration the
+        // paper's Fig. 7 discussion centres on.
         let nested = run_echo(&EchoConfig {
             chunk_size: chunk,
             num_messages: messages,
             nested: true,
+            trace: want_trace() && chunk == 1024,
         })
         .expect("nested echo");
         let label = if chunk >= 1024 {
@@ -47,6 +57,7 @@ fn main() {
         report.push_run(&format!("nested-{label}"), nested.metrics.clone());
         if chunk == 1024 {
             nested_snapshot = Some(nested.metrics.clone());
+            nested_trace = nested.trace.clone();
         }
         // The paper plots call counts for a fixed data volume, which is
         // why "the number of additional calls increases as chunk size
@@ -73,5 +84,8 @@ fn main() {
     let m = nested_snapshot.expect("1KB point always runs");
     println!("\nPer-enclave cycle breakdown (nested run, 1KB chunks):");
     breakdown_table(&m).print();
+    if want_trace() {
+        write_trace(nested_trace.as_ref());
+    }
     report.finish();
 }

@@ -4,9 +4,11 @@
 //! Datasets are synthetic stand-ins with Table V's exact shapes; run with
 //! `--full` for the full sizes (slow: full cod-rna has ~60 k samples) —
 //! the default uses 2% scale. `--metrics-out <path>` exports every run's
-//! machine snapshot.
+//! machine snapshot; `--bench-out`, `--profile-out` and `--trace-out`
+//! export the regression baseline, latency histograms, and a
+//! Chrome/Perfetto trace of the nested dna run (see `ne_bench::report`).
 
-use ne_bench::report::{banner, f3, MetricsReport, Table};
+use ne_bench::report::{banner, f3, want_trace, write_trace, MetricsReport, Table};
 use ne_bench::svm_case::{run_svm_case, SvmCaseConfig};
 use ne_svm::data::TableVDataset;
 
@@ -40,19 +42,27 @@ fn main() {
         "accuracy",
         "n_calls",
     ]);
+    let mut traced = None;
     for ds in TableVDataset::ALL {
         let mono = run_svm_case(&SvmCaseConfig {
             dataset: ds,
             scale,
             nested: false,
+            trace: false,
         })
         .expect("monolithic run");
+        // The traced dataset is dna: the one Fig. 9's discussion names.
+        let trace_this = want_trace() && ds.name() == "dna";
         let nested = run_svm_case(&SvmCaseConfig {
             dataset: ds,
             scale,
             nested: true,
+            trace: trace_this,
         })
         .expect("nested run");
+        if trace_this {
+            traced = nested.trace.clone();
+        }
         report.push_run(&format!("mono-{}", ds.name()), mono.metrics.clone());
         report.push_run(&format!("nested-{}", ds.name()), nested.metrics.clone());
         t.row(&[
@@ -69,5 +79,8 @@ fn main() {
          transitions between the inner and outer enclaves do not add\n\
          significant overheads in the LibSVM computations\"."
     );
+    if want_trace() {
+        write_trace(traced.as_ref());
+    }
     report.finish();
 }

@@ -1,0 +1,76 @@
+//! Diffs a fresh `ne-bench/v1` baseline against a committed one and
+//! fails on regressions.
+//!
+//! ```text
+//! ne-bench-compare <baseline.json> <current.json> [--threshold 0.05] [--advisory]
+//! ```
+//!
+//! Exit codes:
+//!
+//! * `0` — no metric grew past the threshold (or `--advisory` was given
+//!   and only regressions were found),
+//! * `1` — at least one metric regressed past the threshold,
+//! * `2` — schema violation (unparseable file, wrong schema string, a
+//!   baseline metric missing from the current run). Never downgraded by
+//!   `--advisory`: a comparison that cannot be made is not a pass.
+
+use ne_bench::compare::compare;
+use std::process::ExitCode;
+
+const USAGE: &str =
+    "usage: ne-bench-compare <baseline.json> <current.json> [--threshold 0.05] [--advisory]";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut files = Vec::new();
+    let mut threshold = 0.05f64;
+    let mut advisory = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--advisory" => advisory = true,
+            "--threshold" => {
+                i += 1;
+                let Some(v) = args.get(i).and_then(|s| s.parse::<f64>().ok()) else {
+                    eprintln!("--threshold needs a numeric value\n{USAGE}");
+                    return ExitCode::from(2);
+                };
+                threshold = v;
+            }
+            arg if arg.starts_with("--threshold=") => {
+                let Ok(v) = arg["--threshold=".len()..].parse::<f64>() else {
+                    eprintln!("--threshold needs a numeric value\n{USAGE}");
+                    return ExitCode::from(2);
+                };
+                threshold = v;
+            }
+            arg if arg.starts_with("--") => {
+                eprintln!("unknown flag {arg}\n{USAGE}");
+                return ExitCode::from(2);
+            }
+            _ => files.push(args[i].clone()),
+        }
+        i += 1;
+    }
+    let [baseline_path, current_path] = files.as_slice() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let read = |path: &str| match std::fs::read_to_string(path) {
+        Ok(s) => Some(s),
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            None
+        }
+    };
+    let (Some(baseline), Some(current)) = (read(baseline_path), read(current_path)) else {
+        return ExitCode::from(2);
+    };
+    println!("baseline: {baseline_path}\ncurrent:  {current_path}");
+    let outcome = compare(&baseline, &current, threshold);
+    print!("{}", outcome.render(threshold));
+    if advisory && !outcome.regressions.is_empty() && outcome.schema_errors.is_empty() {
+        println!("(advisory mode: regressions reported, exit 0)");
+    }
+    ExitCode::from(outcome.exit_code(advisory) as u8)
+}

@@ -1,0 +1,161 @@
+//! Latency-profile front end: renders histogram summaries from exported
+//! metrics JSON, or runs a small traced demo workload.
+//!
+//! ```text
+//! ne-profile report <metrics.json>   # ne-metrics/v2 or ne-metrics-report/v2
+//! ne-profile demo [--metrics-out p] [--bench-out p] [--profile-out p] [--trace-out p]
+//! ```
+//!
+//! `report` accepts either a single [`ne-metrics/v2`] snapshot or a
+//! [`ne-metrics-report/v2`] multi-run report (the `--metrics-out`
+//! payloads of every experiment binary) and prints one
+//! count/mean/p50/p90/p99/max table per run from the embedded `profile`
+//! summaries. `demo` runs a short nested TLS echo with event tracing on
+//! and honors the same four export flags as the experiment binaries, so
+//! a full profile + Perfetto trace + bench baseline can be produced in
+//! one command without picking an experiment first.
+//!
+//! [`ne-metrics/v2`]: ne_sgx::metrics::METRICS_SCHEMA
+//! [`ne-metrics-report/v2`]: ne_bench::report::REPORT_SCHEMA
+
+use ne_bench::json::{self, Value};
+use ne_bench::report::{
+    banner, f2, profile_table, want_trace, write_trace, MetricsReport, Table, REPORT_SCHEMA,
+};
+use ne_sgx::metrics::METRICS_SCHEMA;
+use ne_tls::echo::{run_echo, EchoConfig};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: ne-profile report <metrics.json>\n\
+                     \x20      ne-profile demo [--metrics-out <p>] [--bench-out <p>] \
+                     [--profile-out <p>] [--trace-out <p>]";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("report") => {
+            let Some(path) = args.get(1) else {
+                eprintln!("report needs a metrics JSON path\n{USAGE}");
+                return ExitCode::from(2);
+            };
+            match report(path) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("{path}: {e}");
+                    ExitCode::from(2)
+                }
+            }
+        }
+        Some("demo") => demo(),
+        _ => {
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Parses an exported metrics file and prints its histogram tables.
+fn report(path: &str) -> Result<(), String> {
+    let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read: {e}"))?;
+    let doc = json::parse(&src)?;
+    let schema = doc
+        .get("schema")
+        .and_then(Value::as_str)
+        .ok_or("missing \"schema\" field")?;
+    match schema {
+        METRICS_SCHEMA => {
+            print_profile("snapshot", &doc)?;
+            Ok(())
+        }
+        REPORT_SCHEMA => {
+            let runs = doc
+                .get("runs")
+                .and_then(Value::as_array)
+                .ok_or("report has no \"runs\" array")?;
+            for run in runs {
+                let label = run
+                    .get("label")
+                    .and_then(Value::as_str)
+                    .ok_or("run without a \"label\"")?;
+                let metrics = run.get("metrics").ok_or("run without \"metrics\"")?;
+                print_profile(label, metrics)?;
+            }
+            Ok(())
+        }
+        other => Err(format!(
+            "unsupported schema \"{other}\" (expected \"{METRICS_SCHEMA}\" or \"{REPORT_SCHEMA}\")"
+        )),
+    }
+}
+
+/// Prints one run's `profile` summaries as a table.
+fn print_profile(label: &str, metrics: &Value) -> Result<(), String> {
+    let entries = metrics
+        .get("profile")
+        .and_then(Value::as_array)
+        .ok_or("metrics without a \"profile\" array")?;
+    println!("run: {label}");
+    if entries.is_empty() {
+        println!("  (no latency samples recorded)\n");
+        return Ok(());
+    }
+    let mut t = Table::new(&[
+        "event", "level", "count", "mean", "p50", "p90", "p99", "max",
+    ]);
+    for e in entries {
+        let s = |k: &str| {
+            e.get(k)
+                .and_then(Value::as_str)
+                .map(str::to_string)
+                .ok_or(format!("profile entry missing \"{k}\""))
+        };
+        let n = |k: &str| {
+            e.get(k)
+                .and_then(Value::as_u64)
+                .ok_or(format!("profile entry missing numeric \"{k}\""))
+        };
+        let (count, sum) = (n("count")?, n("sum")?);
+        let mean = if count == 0 {
+            0.0
+        } else {
+            sum as f64 / count as f64
+        };
+        t.row(&[
+            s("event")?,
+            s("level")?,
+            count.to_string(),
+            f2(mean),
+            n("p50")?.to_string(),
+            n("p90")?.to_string(),
+            n("p99")?.to_string(),
+            n("max")?.to_string(),
+        ]);
+    }
+    t.print();
+    println!();
+    Ok(())
+}
+
+/// Runs a short traced nested echo and exports like any experiment bin.
+fn demo() -> ExitCode {
+    banner("ne-profile demo: traced nested TLS echo (64 x 1 KiB)");
+    let run = run_echo(&EchoConfig {
+        chunk_size: 1024,
+        num_messages: 64,
+        nested: true,
+        trace: true,
+    })
+    .expect("echo");
+    println!(
+        "echoed {} bytes in {} cycles ({} ecalls, {} n_ecalls)\n",
+        run.bytes, run.cycles, run.ecalls, run.n_ecalls
+    );
+    profile_table(&run.metrics).print();
+    let mut report = MetricsReport::new("ne-profile-demo");
+    report.push_run("nested-echo-1KiB", run.metrics);
+    if want_trace() {
+        write_trace(run.trace.as_ref());
+    }
+    report.finish();
+    ExitCode::SUCCESS
+}

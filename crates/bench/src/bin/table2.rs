@@ -2,8 +2,11 @@
 //! for real-hardware SGX, emulated SGX, and emulated nested enclave.
 //!
 //! Run with `--full` for the paper's 1 M iterations (default 10 k).
+//! `--metrics-out`, `--bench-out`, `--profile-out` and `--trace-out`
+//! export snapshots, the regression baseline, latency histograms, and a
+//! Chrome/Perfetto trace of the nested phase (see `ne_bench::report`).
 
-use ne_bench::report::{banner, f2, MetricsReport, Table};
+use ne_bench::report::{banner, f2, want_trace, write_trace, MetricsReport, Table};
 use ne_bench::transitions::{measure_classic, measure_nested};
 use ne_sgx::cost::CostProfile;
 
@@ -13,9 +16,10 @@ fn main() {
     banner(&format!(
         "Table II: average transition latency ({iters} calls per mode)"
     ));
-    let hw = measure_classic(CostProfile::hw_sgx(), iters);
-    let em = measure_classic(CostProfile::emulated(), iters);
-    let ne = measure_nested(CostProfile::emulated(), iters);
+    let hw = measure_classic(CostProfile::hw_sgx(), iters, false);
+    let em = measure_classic(CostProfile::emulated(), iters, false);
+    // The traced mode is the one the paper introduces: nested transitions.
+    let ne = measure_nested(CostProfile::emulated(), iters, want_trace());
     let mut report = MetricsReport::new("table2");
     report.push_run("hw-sgx", hw.metrics.clone());
     report.push_run("emulated-sgx", em.metrics.clone());
@@ -48,5 +52,8 @@ fn main() {
          hardware cost, and nested transitions are slightly cheaper than\n\
          emulated classic transitions (no kernel round trip)."
     );
+    if want_trace() {
+        write_trace(ne.trace.as_ref());
+    }
     report.finish();
 }

@@ -3,7 +3,7 @@
 //! marker-counted porting glue.
 
 use ne_bench::loc::table3_rows;
-use ne_bench::report::{banner, MetricsReport, Table};
+use ne_bench::report::{banner, want_trace, write_trace, MetricsReport, Table};
 
 fn main() {
     banner("Table III: porting effort (modified lines of code)");
@@ -32,5 +32,10 @@ fn main() {
          enclave touches only initialization and call-site glue (tens of\n\
          lines), never the library implementation itself."
     );
+    if want_trace() {
+        // No machine runs in this table; say so instead of silently
+        // producing nothing.
+        write_trace(None);
+    }
     report.finish();
 }

@@ -2,10 +2,13 @@
 //! random request distribution), normalized to the monolithic enclave.
 //!
 //! The paper runs 10 000 queries; that is the `--full` setting (default
-//! 500 for a quick run).
+//! 500 for a quick run). `--metrics-out`, `--bench-out`, `--profile-out`
+//! and `--trace-out` export snapshots, the regression baseline, latency
+//! histograms, and a Chrome/Perfetto trace of the first nested mix (see
+//! `ne_bench::report`).
 
 use ne_bench::db_case::run_db_case;
-use ne_bench::report::{banner, f2, f3, MetricsReport, Table};
+use ne_bench::report::{banner, f2, f3, want_trace, write_trace, MetricsReport, Table};
 use ne_db::WorkloadMix;
 
 fn main() {
@@ -23,9 +26,15 @@ fn main() {
     ]);
     let paper = ["0.99", "0.99", "0.98", "0.98"];
     let mut report = MetricsReport::new("table6");
-    for (mix, paper_v) in WorkloadMix::ALL.into_iter().zip(paper) {
-        let mono = run_db_case(mix, records, ops, false).expect("monolithic");
-        let nested = run_db_case(mix, records, ops, true).expect("nested");
+    let mut traced = None;
+    for (i, (mix, paper_v)) in WorkloadMix::ALL.into_iter().zip(paper).enumerate() {
+        let mono = run_db_case(mix, records, ops, false, false).expect("monolithic");
+        // The traced mix is the first (pure-select) nested run.
+        let trace_this = want_trace() && i == 0;
+        let nested = run_db_case(mix, records, ops, true, trace_this).expect("nested");
+        if trace_this {
+            traced = nested.trace.clone();
+        }
         report.push_run(&format!("mono-{}", mix.name()), mono.metrics.clone());
         report.push_run(&format!("nested-{}", mix.name()), nested.metrics.clone());
         t.row(&[
@@ -42,5 +51,8 @@ fn main() {
          inner enclave's parse+encrypt and the extra n_ocall are a small\n\
          fraction of the per-query engine work."
     );
+    if want_trace() {
+        write_trace(traced.as_ref());
+    }
     report.finish();
 }

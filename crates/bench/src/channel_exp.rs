@@ -16,6 +16,7 @@ use ne_core::loader::EnclaveImage;
 use ne_core::runtime::NestedApp;
 use ne_sgx::config::HwConfig;
 use ne_sgx::error::SgxError;
+use ne_sgx::spantree::TraceBundle;
 
 /// Result of one channel run.
 #[derive(Debug, Clone)]
@@ -32,6 +33,10 @@ pub struct ChannelResult {
     /// measures steady-state channel traffic, not the surrounding
     /// transitions), so `cores_in_enclave_mode` is nonzero in it.
     pub metrics: ne_sgx::metrics::MachineMetrics,
+    /// Span-tree exports, when tracing was requested. Captured at the
+    /// same instant as `metrics`, so the enclosing ecall span shows as
+    /// unfinished in it — by design, not by accident.
+    pub trace: Option<TraceBundle>,
 }
 
 impl ChannelResult {
@@ -62,6 +67,7 @@ pub fn run_outer_channel(
     chunk: usize,
     footprint: usize,
     total_bytes: u64,
+    trace: bool,
 ) -> Result<ChannelResult, SgxError> {
     assert!(
         chunk + 64 <= footprint,
@@ -69,6 +75,7 @@ pub fn run_outer_channel(
     );
     let mut cfg = HwConfig::testbed();
     cfg.prm_pages = cfg.prm_pages.max(heap_pages_for(footprint) * 4);
+    cfg.trace_events = trace;
     let mut app = NestedApp::new(cfg);
     let hub = EnclaveImage::new("hub", b"provider")
         .heap_pages(heap_pages_for(footprint))
@@ -113,6 +120,7 @@ pub fn run_outer_channel(
             mee_lines: mee.lines_decrypted() + mee.lines_encrypted(),
             clock_ghz: cx.machine.config().cost.clock_ghz,
             metrics: cx.machine.metrics(),
+            trace: trace.then(|| TraceBundle::capture(cx.machine)),
         }
     };
     app.machine.eexit(0)?;
@@ -129,10 +137,13 @@ pub fn run_gcm_channel(
     chunk: usize,
     footprint: usize,
     total_bytes: u64,
+    trace: bool,
 ) -> Result<ChannelResult, SgxError> {
     // Sealed messages carry a 16-byte tag; size the ring accordingly.
     assert!(chunk + 20 <= footprint, "chunk must fit the ring");
-    let mut app = NestedApp::new(HwConfig::testbed());
+    let mut cfg = HwConfig::testbed();
+    cfg.trace_events = trace;
+    let mut app = NestedApp::new(cfg);
     let img = EnclaveImage::new("tx", b"owner")
         .heap_pages(2)
         .edl(Edl::new());
@@ -161,6 +172,7 @@ pub fn run_gcm_channel(
             mee_lines: mee.lines_decrypted() + mee.lines_encrypted(),
             clock_ghz: cx.machine.config().cost.clock_ghz,
             metrics: cx.machine.metrics(),
+            trace: trace.then(|| TraceBundle::capture(cx.machine)),
         }
     };
     app.machine.eexit(0)?;
@@ -177,8 +189,8 @@ mod tests {
     #[test]
     fn mee_beats_gcm_at_small_chunks() {
         let total = 1 << 20;
-        let mee = run_outer_channel(128, FIT, total).unwrap();
-        let gcm = run_gcm_channel(128, FIT, total).unwrap();
+        let mee = run_outer_channel(128, FIT, total, false).unwrap();
+        let gcm = run_gcm_channel(128, FIT, total, false).unwrap();
         let speedup = mee.throughput_mbps() / gcm.throughput_mbps();
         // Paper: "up to 29.9 times better" for small chunks.
         assert!(speedup > 5.0, "speedup {speedup}");
@@ -188,8 +200,8 @@ mod tests {
     fn gap_narrows_with_chunk_size() {
         let total = 4 << 20;
         let speedup = |chunk: usize| {
-            let mee = run_outer_channel(chunk, FIT, total).unwrap();
-            let gcm = run_gcm_channel(chunk, FIT, total).unwrap();
+            let mee = run_outer_channel(chunk, FIT, total, false).unwrap();
+            let gcm = run_gcm_channel(chunk, FIT, total, false).unwrap();
             mee.throughput_mbps() / gcm.throughput_mbps()
         };
         let small = speedup(128);
@@ -205,8 +217,8 @@ mod tests {
         // Enough traffic that the fit case loops over its ring many times
         // (steady-state hits) while the spilled case keeps missing.
         let total = 12 << 20;
-        let fit = run_outer_channel(4096, FIT, total).unwrap();
-        let spill = run_outer_channel(4096, SPILL, total).unwrap();
+        let fit = run_outer_channel(4096, FIT, total, false).unwrap();
+        let spill = run_outer_channel(4096, SPILL, total, false).unwrap();
         assert!(
             fit.mee_lines < spill.mee_lines / 10,
             "cache-resident: {} lines, spilled: {} lines",
@@ -221,14 +233,14 @@ mod tests {
         // "AES-GCM needs to perform encryption even if the footprint size
         // fits in the cache."
         let total = 8 << 20;
-        let gcm_fit = run_gcm_channel(4096, FIT, total).unwrap();
-        let mee_fit = run_outer_channel(4096, FIT, total).unwrap();
+        let gcm_fit = run_gcm_channel(4096, FIT, total, false).unwrap();
+        let mee_fit = run_outer_channel(4096, FIT, total, false).unwrap();
         assert!(mee_fit.throughput_mbps() > 2.0 * gcm_fit.throughput_mbps());
     }
 
     #[test]
     fn untrusted_ring_never_touches_the_mee() {
-        let r = run_gcm_channel(1024, FIT, 1 << 18).unwrap();
+        let r = run_gcm_channel(1024, FIT, 1 << 18, false).unwrap();
         assert_eq!(r.mee_lines, 0, "untrusted memory is outside the PRM");
     }
 }

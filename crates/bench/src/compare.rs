@@ -1,0 +1,350 @@
+//! The bench-regression engine behind `ne-bench-compare`.
+//!
+//! Compares a fresh `ne-bench/v1` baseline (see
+//! [`crate::report::MetricsReport::to_bench_json`]) against a committed
+//! one, metric by metric, with a relative threshold. The two failure
+//! classes are deliberately distinct:
+//!
+//! * **Schema violations** — wrong/missing schema string, a run or
+//!   metric present in the baseline but absent from the current file,
+//!   non-numeric leaves. These mean the comparison itself is meaningless
+//!   and always hard-fail (exit 2), even in advisory mode.
+//! * **Regressions** — a metric grew past the threshold. Exit 1, or
+//!   exit 0 with a report when running advisory.
+//!
+//! Metrics are flattened to `/`-separated paths
+//! (`run/<label>/transitions/ecalls`,
+//! `run/<label>/histograms/tlb_miss/p99`, ...) so the report reads the
+//! same way for counters and histogram percentiles.
+
+use std::collections::BTreeMap;
+
+use crate::json::{self, Value};
+use crate::report::BENCH_SCHEMA;
+
+/// One metric whose value moved between baseline and current.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricDelta {
+    /// Flattened metric path, e.g. `run/nested-1KB/total_cycles`.
+    pub path: String,
+    /// Value in the committed baseline.
+    pub baseline: f64,
+    /// Value in the current run.
+    pub current: f64,
+    /// Relative change `(current - baseline) / baseline`; infinite when
+    /// the baseline is zero and the current value is not.
+    pub rel: f64,
+}
+
+impl MetricDelta {
+    fn describe(&self) -> String {
+        let pct = if self.rel.is_finite() {
+            format!("{:+.2}%", self.rel * 100.0)
+        } else {
+            "+inf%".to_string()
+        };
+        format!(
+            "{}: {} -> {} ({pct})",
+            self.path, self.baseline, self.current
+        )
+    }
+}
+
+/// The outcome of one baseline comparison.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CompareOutcome {
+    /// Metrics present (and numeric) in both files.
+    pub compared: usize,
+    /// Metrics that grew past the threshold — higher is always worse in
+    /// an `ne-bench/v1` file (cycles, counts, latency percentiles).
+    pub regressions: Vec<MetricDelta>,
+    /// Metrics that shrank past the threshold. Informational: likely a
+    /// genuine improvement, but the baseline should be regenerated so
+    /// the next regression is measured from the new floor.
+    pub improvements: Vec<MetricDelta>,
+    /// Metric paths present only in the current file (new coverage;
+    /// informational).
+    pub new_metrics: Vec<String>,
+    /// Problems that make the comparison meaningless; always fatal.
+    pub schema_errors: Vec<String>,
+}
+
+impl CompareOutcome {
+    /// Process exit code: 2 on schema violations (even advisory), 1 on
+    /// regressions unless `advisory`, 0 otherwise.
+    pub fn exit_code(&self, advisory: bool) -> i32 {
+        if !self.schema_errors.is_empty() {
+            2
+        } else if !self.regressions.is_empty() && !advisory {
+            1
+        } else {
+            0
+        }
+    }
+
+    /// Human-readable multi-line report of the whole outcome.
+    pub fn render(&self, threshold: f64) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "compared {} metric(s) at threshold {:.1}%\n",
+            self.compared,
+            threshold * 100.0
+        ));
+        for err in &self.schema_errors {
+            out.push_str(&format!("SCHEMA VIOLATION: {err}\n"));
+        }
+        for delta in &self.regressions {
+            out.push_str(&format!("REGRESSION: {}\n", delta.describe()));
+        }
+        for delta in &self.improvements {
+            out.push_str(&format!("improvement: {}\n", delta.describe()));
+        }
+        for path in &self.new_metrics {
+            out.push_str(&format!("new metric (not in baseline): {path}\n"));
+        }
+        if self.schema_errors.is_empty()
+            && self.regressions.is_empty()
+            && self.improvements.is_empty()
+        {
+            out.push_str("ok: no metric moved past the threshold\n");
+        }
+        out
+    }
+}
+
+/// Flattens an `ne-bench/v1` document into `path -> value` leaves,
+/// validating its shape along the way.
+///
+/// # Errors
+///
+/// Every shape problem found (not just the first): unparseable JSON,
+/// wrong `schema`, missing `runs`, runs without a string `label`,
+/// non-numeric metric leaves.
+pub fn flatten(src: &str) -> Result<BTreeMap<String, f64>, Vec<String>> {
+    let doc = json::parse(src).map_err(|e| vec![format!("unparseable JSON: {e}")])?;
+    let mut errors = Vec::new();
+    match doc.get("schema").and_then(Value::as_str) {
+        Some(BENCH_SCHEMA) => {}
+        Some(other) => errors.push(format!(
+            "schema is \"{other}\", expected \"{BENCH_SCHEMA}\""
+        )),
+        None => errors.push("missing \"schema\" string".to_string()),
+    }
+    let mut leaves = BTreeMap::new();
+    match doc.get("runs").and_then(Value::as_array) {
+        None => errors.push("missing \"runs\" array".to_string()),
+        Some(runs) => {
+            for (i, run) in runs.iter().enumerate() {
+                let Some(label) = run.get("label").and_then(Value::as_str) else {
+                    errors.push(format!("runs[{i}] has no string \"label\""));
+                    continue;
+                };
+                flatten_value(run, &format!("run/{label}"), &mut leaves, &mut errors);
+            }
+        }
+    }
+    if errors.is_empty() {
+        Ok(leaves)
+    } else {
+        Err(errors)
+    }
+}
+
+fn flatten_value(
+    value: &Value,
+    path: &str,
+    leaves: &mut BTreeMap<String, f64>,
+    errors: &mut Vec<String>,
+) {
+    match value {
+        Value::Num(n) => {
+            leaves.insert(path.to_string(), *n);
+        }
+        Value::Obj(members) => {
+            // "label" is the run's identity (already folded into `path`),
+            // not a metric.
+            for (key, child) in members {
+                if key == "label" {
+                    continue;
+                }
+                flatten_value(child, &format!("{path}/{key}"), leaves, errors);
+            }
+        }
+        other => errors.push(format!("{path}: expected a number, found {other:?}")),
+    }
+}
+
+/// Compares a current `ne-bench/v1` document against a baseline one.
+///
+/// `threshold` is the relative growth past which a metric counts as a
+/// regression (e.g. `0.05` for 5%).
+pub fn compare(baseline_src: &str, current_src: &str, threshold: f64) -> CompareOutcome {
+    let mut outcome = CompareOutcome::default();
+    let baseline = match flatten(baseline_src) {
+        Ok(leaves) => leaves,
+        Err(errors) => {
+            outcome
+                .schema_errors
+                .extend(errors.into_iter().map(|e| format!("baseline: {e}")));
+            return outcome;
+        }
+    };
+    let current = match flatten(current_src) {
+        Ok(leaves) => leaves,
+        Err(errors) => {
+            outcome
+                .schema_errors
+                .extend(errors.into_iter().map(|e| format!("current: {e}")));
+            return outcome;
+        }
+    };
+    for (path, &base) in &baseline {
+        let Some(&cur) = current.get(path) else {
+            outcome
+                .schema_errors
+                .push(format!("current run is missing baseline metric {path}"));
+            continue;
+        };
+        outcome.compared += 1;
+        let rel = if base == 0.0 {
+            if cur == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            (cur - base) / base
+        };
+        let delta = MetricDelta {
+            path: path.clone(),
+            baseline: base,
+            current: cur,
+            rel,
+        };
+        if rel > threshold {
+            outcome.regressions.push(delta);
+        } else if rel < -threshold {
+            outcome.improvements.push(delta);
+        }
+    }
+    for path in current.keys() {
+        if !baseline.contains_key(path) {
+            outcome.new_metrics.push(path.clone());
+        }
+    }
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(cycles: u64, p99: u64) -> String {
+        format!(
+            r#"{{
+  "schema": "ne-bench/v1",
+  "experiment": "t",
+  "runs": [
+    {{
+      "label": "a",
+      "total_cycles": {cycles},
+      "transitions": {{"ecalls": 10, "total": 10}},
+      "histograms": {{"ecall": {{"count": 10, "sum": 100, "min": 1, "max": 40, "p50": 8, "p90": 16, "p99": {p99}}}}}
+    }}
+  ]
+}}"#
+        )
+    }
+
+    #[test]
+    fn identical_files_compare_clean() {
+        let outcome = compare(&doc(1000, 32), &doc(1000, 32), 0.05);
+        assert!(outcome.schema_errors.is_empty());
+        assert!(outcome.regressions.is_empty());
+        assert!(outcome.improvements.is_empty());
+        assert_eq!(outcome.compared, 10);
+        assert_eq!(outcome.exit_code(false), 0);
+    }
+
+    #[test]
+    fn ten_percent_growth_is_a_regression() {
+        let outcome = compare(&doc(1000, 32), &doc(1100, 32), 0.05);
+        assert_eq!(outcome.regressions.len(), 1);
+        assert_eq!(outcome.regressions[0].path, "run/a/total_cycles");
+        assert!((outcome.regressions[0].rel - 0.10).abs() < 1e-9);
+        assert_eq!(outcome.exit_code(false), 1);
+        // Advisory mode reports but does not fail.
+        assert_eq!(outcome.exit_code(true), 0);
+    }
+
+    #[test]
+    fn shrinkage_is_an_improvement_not_a_failure() {
+        let outcome = compare(&doc(1000, 32), &doc(800, 32), 0.05);
+        assert!(outcome.regressions.is_empty());
+        assert_eq!(outcome.improvements.len(), 1);
+        assert_eq!(outcome.exit_code(false), 0);
+    }
+
+    #[test]
+    fn wrong_schema_hard_fails_even_advisory() {
+        let bad = doc(1000, 32).replace("ne-bench/v1", "ne-bench/v9");
+        let outcome = compare(&doc(1000, 32), &bad, 0.05);
+        assert_eq!(outcome.schema_errors.len(), 1);
+        assert_eq!(outcome.exit_code(true), 2);
+    }
+
+    #[test]
+    fn missing_metric_is_a_schema_violation() {
+        let current = doc(1000, 32).replace("\"ecalls\": 10, ", "");
+        let outcome = compare(&doc(1000, 32), &current, 0.05);
+        assert!(outcome
+            .schema_errors
+            .iter()
+            .any(|e| e.contains("run/a/transitions/ecalls")));
+        assert_eq!(outcome.exit_code(true), 2);
+    }
+
+    #[test]
+    fn new_metrics_are_informational() {
+        let current = doc(1000, 32).replace("\"ecalls\": 10, ", "\"ecalls\": 10, \"shiny\": 1, ");
+        let outcome = compare(&doc(1000, 32), &current, 0.05);
+        assert!(outcome.schema_errors.is_empty());
+        assert_eq!(outcome.new_metrics, vec!["run/a/transitions/shiny"]);
+        assert_eq!(outcome.exit_code(false), 0);
+    }
+
+    #[test]
+    fn zero_baseline_growth_is_infinite_regression() {
+        let base = doc(1000, 32).replace("\"ecalls\": 10, ", "\"ecalls\": 0, ");
+        let outcome = compare(&base, &doc(1000, 32), 0.05);
+        assert_eq!(outcome.regressions.len(), 1);
+        assert!(outcome.regressions[0].rel.is_infinite());
+    }
+
+    #[test]
+    fn render_mentions_each_class() {
+        let outcome = compare(&doc(1000, 32), &doc(1100, 32), 0.05);
+        let text = outcome.render(0.05);
+        assert!(text.contains("REGRESSION: run/a/total_cycles"));
+        assert!(text.contains("+10.00%"));
+    }
+
+    #[test]
+    fn real_report_compares_clean_against_itself() {
+        use crate::report::MetricsReport;
+        let mut m = ne_sgx::machine::Machine::new(ne_sgx::config::HwConfig::small());
+        let va = m.os_alloc_untrusted(ne_sgx::enclave::ProcessId(0), 1);
+        m.write(0, va, b"x").unwrap();
+        let mut r = MetricsReport::new("self");
+        r.push_run("only", m.metrics());
+        let j = r.to_bench_json();
+        let outcome = compare(&j, &j, 0.05);
+        assert!(
+            outcome.schema_errors.is_empty(),
+            "{:?}",
+            outcome.schema_errors
+        );
+        assert!(outcome.regressions.is_empty());
+        assert!(outcome.compared > 0);
+    }
+}

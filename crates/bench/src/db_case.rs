@@ -16,6 +16,7 @@ use ne_core::runtime::{NestedApp, TrustedFn};
 use ne_db::{Database, Workload, WorkloadMix};
 use ne_sgx::config::HwConfig;
 use ne_sgx::error::SgxError;
+use ne_sgx::spantree::TraceBundle;
 use std::sync::{Arc, Mutex};
 
 /// Cycles per query of SQL engine work (parse, plan, B-tree traversal,
@@ -38,6 +39,9 @@ pub struct DbCaseResult {
     pub clock_ghz: f64,
     /// Machine snapshot after the measured query phase.
     pub metrics: ne_sgx::metrics::MachineMetrics,
+    /// Span-tree exports of the measured query phase, when tracing was
+    /// requested.
+    pub trace: Option<TraceBundle>,
 }
 
 impl DbCaseResult {
@@ -63,9 +67,11 @@ fn gcm_cost(cfg: &HwConfig, len: usize) -> u64 {
 /// # Errors
 ///
 /// Enclave plumbing errors.
-pub fn build_db_app(nested: bool) -> Result<NestedApp, SgxError> {
+pub fn build_db_app(nested: bool, trace: bool) -> Result<NestedApp, SgxError> {
     let db: Arc<Mutex<Database>> = Arc::new(Mutex::new(Database::new()));
-    let mut app = NestedApp::new(HwConfig::testbed());
+    let mut hw = HwConfig::testbed();
+    hw.trace_events = trace;
+    let mut app = NestedApp::new(hw);
     let exec_body = |db: Arc<Mutex<Database>>| -> TrustedFn {
         Arc::new(move |cx, args| {
             let sql = std::str::from_utf8(args)
@@ -144,9 +150,10 @@ pub fn run_db_case(
     records: usize,
     ops: usize,
     nested: bool,
+    trace: bool,
 ) -> Result<DbCaseResult, SgxError> {
     let workload = Workload::generate(mix, records, ops, 0xDB);
-    let mut app = build_db_app(nested)?;
+    let mut app = build_db_app(nested, trace)?;
     app.ecall(0, "client-proxy", "query", workload.create.as_bytes())?;
     for stmt in &workload.load {
         app.ecall(0, "client-proxy", "query", stmt.as_bytes())?;
@@ -162,6 +169,7 @@ pub fn run_db_case(
         n_calls: stats.n_ecalls + stats.n_ocalls,
         clock_ghz: app.machine.config().cost.clock_ghz,
         metrics: app.machine.metrics(),
+        trace: trace.then(|| TraceBundle::capture(&app.machine)),
     })
 }
 
@@ -172,7 +180,7 @@ mod tests {
     #[test]
     fn queries_execute_in_both_modes() {
         for nested in [false, true] {
-            let r = run_db_case(WorkloadMix::Select100, 20, 50, nested).unwrap();
+            let r = run_db_case(WorkloadMix::Select100, 20, 50, nested, false).unwrap();
             assert_eq!(r.ops, 50);
             assert!(r.cycles > 0);
             assert!(r.ops_per_second() > 0.0);
@@ -181,17 +189,17 @@ mod tests {
 
     #[test]
     fn nested_uses_n_calls() {
-        let r = run_db_case(WorkloadMix::Select100, 10, 20, true).unwrap();
+        let r = run_db_case(WorkloadMix::Select100, 10, 20, true, false).unwrap();
         assert_eq!(r.n_calls, 2 * 20, "one n_ocall round trip per query");
-        let r = run_db_case(WorkloadMix::Select100, 10, 20, false).unwrap();
+        let r = run_db_case(WorkloadMix::Select100, 10, 20, false, false).unwrap();
         assert_eq!(r.n_calls, 0);
     }
 
     #[test]
     fn table6_shape_under_two_percent_overhead() {
         for mix in WorkloadMix::ALL {
-            let mono = run_db_case(mix, 30, 100, false).unwrap();
-            let nested = run_db_case(mix, 30, 100, true).unwrap();
+            let mono = run_db_case(mix, 30, 100, false, false).unwrap();
+            let nested = run_db_case(mix, 30, 100, true, false).unwrap();
             let normalized = mono.cycles as f64 / nested.cycles as f64;
             assert!(
                 normalized > 0.96 && normalized <= 1.0,
@@ -203,7 +211,7 @@ mod tests {
 
     #[test]
     fn bad_query_surfaces_error() {
-        let mut app = build_db_app(true).unwrap();
+        let mut app = build_db_app(true, false).unwrap();
         let err = app
             .ecall(0, "client-proxy", "query", b"DROP EVERYTHING")
             .unwrap_err();

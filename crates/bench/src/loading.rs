@@ -22,6 +22,7 @@ use ne_sgx::config::HwConfig;
 use ne_sgx::enclave::ProcessId;
 use ne_sgx::error::SgxError;
 use ne_sgx::machine::Machine;
+use ne_sgx::spantree::TraceBundle;
 
 /// SSL library image size in pages (~4 MB).
 pub const SSL_PAGES: u64 = 1024;
@@ -58,6 +59,9 @@ pub struct LoadResult {
     ///
     /// [`Lifecycle`]: ne_sgx::metrics::CycleCategory::Lifecycle
     pub metrics: ne_sgx::metrics::MachineMetrics,
+    /// Span-tree exports of the loading phase, when tracing was
+    /// requested.
+    pub trace: Option<TraceBundle>,
 }
 
 fn ssl_image(idx: usize) -> EnclaveImage {
@@ -84,11 +88,17 @@ fn combined_image(idx: usize) -> EnclaveImage {
 ///
 /// EPC exhaustion if the machine's PRM cannot hold the requested
 /// configuration.
-pub fn run_loading(mode: LoadMode, apps: usize, ssl_outers: usize) -> Result<LoadResult, SgxError> {
+pub fn run_loading(
+    mode: LoadMode,
+    apps: usize,
+    ssl_outers: usize,
+    trace: bool,
+) -> Result<LoadResult, SgxError> {
     let mut cfg = HwConfig::testbed();
     // Fig. 10 loads up to ~2.5 GB of enclaves; give the PRM headroom.
     cfg.dram_pages = 8 * 1024 * 1024 / 4 * 2; // 16 GiB
     cfg.prm_pages = 1024 * 1024; // 4 GiB PRM
+    cfg.trace_events = trace;
     let mut machine = Machine::with_validator(cfg, Box::new(NestedValidator::new()));
     let mut next_base = 0x1000_0000u64;
     let mut place = |pages: u64| {
@@ -150,6 +160,7 @@ pub fn run_loading(mode: LoadMode, apps: usize, ssl_outers: usize) -> Result<Loa
         footprint_mb: epc_pages as f64 * PAGE_SIZE as f64 / 1e6,
         enclaves: machine.enclaves().len(),
         metrics: machine.metrics(),
+        trace: trace.then(|| TraceBundle::capture(&machine)),
     })
 }
 
@@ -160,10 +171,10 @@ mod tests {
     #[test]
     fn nested_sharing_reduces_footprint_and_time() {
         let apps = 8;
-        let separate = run_loading(LoadMode::BaselineSeparate, apps, 0).unwrap();
-        let combined = run_loading(LoadMode::BaselineCombined, apps, 0).unwrap();
-        let shared_1 = run_loading(LoadMode::Nested, apps, 1).unwrap();
-        let shared_all = run_loading(LoadMode::Nested, apps, apps).unwrap();
+        let separate = run_loading(LoadMode::BaselineSeparate, apps, 0, false).unwrap();
+        let combined = run_loading(LoadMode::BaselineCombined, apps, 0, false).unwrap();
+        let shared_1 = run_loading(LoadMode::Nested, apps, 1, false).unwrap();
+        let shared_all = run_loading(LoadMode::Nested, apps, apps, false).unwrap();
         // One shared SSL outer: footprint ≈ apps×1MB + 1×4MB, far below
         // both baselines (apps×5MB).
         assert!(shared_1.footprint_mb < 0.5 * combined.footprint_mb);
@@ -173,7 +184,7 @@ mod tests {
         let ratio = shared_all.footprint_mb / separate.footprint_mb;
         assert!((0.9..=1.1).contains(&ratio), "ratio {ratio}");
         // More sharing helps monotonically.
-        let shared_half = run_loading(LoadMode::Nested, apps, apps / 2).unwrap();
+        let shared_half = run_loading(LoadMode::Nested, apps, apps / 2, false).unwrap();
         assert!(shared_1.footprint_mb < shared_half.footprint_mb);
         assert!(shared_half.footprint_mb < shared_all.footprint_mb);
     }
@@ -181,7 +192,7 @@ mod tests {
     #[test]
     fn footprints_match_paper_sizes() {
         // 1 app + 1 ssl ≈ 5 MB.
-        let r = run_loading(LoadMode::Nested, 1, 1).unwrap();
+        let r = run_loading(LoadMode::Nested, 1, 1, false).unwrap();
         assert!(
             (4.9..5.6).contains(&r.footprint_mb),
             "{} MB",
@@ -193,8 +204,8 @@ mod tests {
     #[test]
     fn separate_and_combined_have_similar_footprints() {
         // "the memory sizes of the two runs in the baseline are similar".
-        let a = run_loading(LoadMode::BaselineSeparate, 4, 0).unwrap();
-        let b = run_loading(LoadMode::BaselineCombined, 4, 0).unwrap();
+        let a = run_loading(LoadMode::BaselineSeparate, 4, 0, false).unwrap();
+        let b = run_loading(LoadMode::BaselineCombined, 4, 0, false).unwrap();
         let ratio = a.footprint_mb / b.footprint_mb;
         assert!((0.9..=1.1).contains(&ratio), "ratio {ratio}");
     }
@@ -202,8 +213,8 @@ mod tests {
     #[test]
     fn separate_costs_more_load_time_than_combined() {
         // Twice the enclaves → extra ECREATE/EINIT overheads.
-        let a = run_loading(LoadMode::BaselineSeparate, 4, 0).unwrap();
-        let b = run_loading(LoadMode::BaselineCombined, 4, 0).unwrap();
+        let a = run_loading(LoadMode::BaselineSeparate, 4, 0, false).unwrap();
+        let b = run_loading(LoadMode::BaselineCombined, 4, 0, false).unwrap();
         assert!(a.cycles >= b.cycles);
         assert_eq!(a.enclaves, 8);
         assert_eq!(b.enclaves, 4);

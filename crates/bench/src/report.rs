@@ -1,16 +1,33 @@
 //! Table-formatting helpers and the metrics exporter shared by the
 //! experiment binaries.
 //!
-//! Every binary accepts `--metrics-out <path>`: it collects one
-//! [`MachineMetrics`] snapshot per labeled run into a [`MetricsReport`]
-//! and writes the whole report as schema-stable JSON
-//! (`ne-metrics-report/v1`). Each snapshot is passed through
-//! [`MachineMetrics::check`] on the way in, so a run whose cycle
-//! accounting does not add up aborts the binary instead of exporting
-//! silently-wrong numbers.
+//! Every binary accepts four export flags:
+//!
+//! - `--metrics-out <path>` — the full [`MetricsReport`]: one
+//!   [`MachineMetrics`] snapshot per labeled run, as schema-stable JSON
+//!   ([`REPORT_SCHEMA`]). Each snapshot passes [`MachineMetrics::check`]
+//!   on the way in, so a run whose cycle accounting does not add up
+//!   aborts the binary instead of exporting silently-wrong numbers.
+//! - `--bench-out <path>` — the distilled `ne-bench/v1` regression
+//!   baseline ([`MetricsReport::to_bench_json`]): per-run transition
+//!   counts, cycle totals, and histogram summaries, the input of
+//!   `ne-bench-compare`.
+//! - `--profile-out <path>` — human-readable latency histogram tables.
+//! - `--trace-out <path>` — Chrome Trace Event JSON of the traced run
+//!   (Perfetto-loadable; folded flamegraph stacks land at
+//!   `<path>.folded`), handled by [`write_trace`].
 
 use ne_sgx::metrics::{CycleCategory, MachineMetrics};
+use ne_sgx::profile::{Histogram, ProfileEvent};
+use ne_sgx::spantree::TraceBundle;
 use std::path::{Path, PathBuf};
+
+/// Schema tag of the `--metrics-out` report. v2 embeds `ne-metrics/v2`
+/// snapshots (latency histograms + span counters).
+pub const REPORT_SCHEMA: &str = "ne-metrics-report/v2";
+
+/// Schema tag of the `--bench-out` regression baseline.
+pub const BENCH_SCHEMA: &str = "ne-bench/v1";
 
 /// Prints a header banner for an experiment.
 pub fn banner(title: &str) {
@@ -128,12 +145,12 @@ impl MetricsReport {
     }
 
     /// Renders the report as pretty-printed JSON with a fixed key order
-    /// (schema `ne-metrics-report/v1`); each run embeds its full
-    /// `ne-metrics/v1` snapshot.
+    /// (schema [`REPORT_SCHEMA`]); each run embeds its full
+    /// [`ne_sgx::metrics::METRICS_SCHEMA`] snapshot.
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(4096);
         out.push_str("{\n");
-        out.push_str("  \"schema\": \"ne-metrics-report/v1\",\n");
+        out.push_str(&format!("  \"schema\": \"{REPORT_SCHEMA}\",\n"));
         out.push_str(&format!(
             "  \"experiment\": \"{}\",\n",
             self.experiment.replace('\\', "\\\\").replace('"', "\\\"")
@@ -166,38 +183,247 @@ impl MetricsReport {
         std::fs::write(path, self.to_json())
     }
 
-    /// Writes the report to the `--metrics-out` path, if one was given on
-    /// the command line, and prints where it went. Call this last.
+    /// Renders the distilled regression baseline (schema
+    /// [`BENCH_SCHEMA`]): per run, the total cycles, the transition
+    /// counters, and a merged-across-levels summary of every non-empty
+    /// latency histogram. Every leaf is numeric, so `ne-bench-compare`
+    /// can diff two of these with per-metric relative thresholds.
+    pub fn to_bench_json(&self) -> String {
+        let mut out = String::with_capacity(2048);
+        out.push_str("{\n");
+        out.push_str(&format!("  \"schema\": \"{BENCH_SCHEMA}\",\n"));
+        out.push_str(&format!(
+            "  \"experiment\": \"{}\",\n",
+            json_escape(&self.experiment)
+        ));
+        out.push_str("  \"runs\": [\n");
+        for (i, (label, m)) in self.runs.iter().enumerate() {
+            let s = &m.stats;
+            out.push_str("    {\n");
+            out.push_str(&format!("      \"label\": \"{}\",\n", json_escape(label)));
+            out.push_str(&format!("      \"total_cycles\": {},\n", m.total_cycles));
+            out.push_str("      \"transitions\": {");
+            out.push_str(
+                &[
+                    ("ecalls", s.ecalls),
+                    ("ocalls", s.ocalls),
+                    ("n_ecalls", s.n_ecalls),
+                    ("n_ocalls", s.n_ocalls),
+                    ("aexes", s.aexes),
+                    ("eresumes", s.eresumes),
+                    ("switchless_ocalls", s.switchless_ocalls),
+                    ("total", s.total_transitions()),
+                ]
+                .iter()
+                .map(|(k, v)| format!("\"{k}\": {v}"))
+                .collect::<Vec<_>>()
+                .join(", "),
+            );
+            out.push_str("},\n");
+            let merged = merged_histograms(m);
+            if merged.is_empty() {
+                out.push_str("      \"histograms\": {}\n");
+            } else {
+                out.push_str("      \"histograms\": {\n");
+                for (j, (event, h)) in merged.iter().enumerate() {
+                    let s = h.summary();
+                    out.push_str(&format!(
+                        "        \"{}\": {{\"count\": {}, \"sum\": {}, \"min\": {}, \
+                         \"max\": {}, \"p50\": {}, \"p90\": {}, \"p99\": {}}}{}\n",
+                        event.name(),
+                        s.count,
+                        s.sum,
+                        s.min,
+                        s.max,
+                        s.p50,
+                        s.p90,
+                        s.p99,
+                        if j + 1 < merged.len() { "," } else { "" }
+                    ));
+                }
+                out.push_str("      }\n");
+            }
+            out.push_str("    }");
+            out.push_str(if i + 1 < self.runs.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Renders latency histogram tables for every run (the
+    /// `--profile-out` payload; also printed by `ne-profile report`).
+    pub fn profile_text(&self) -> String {
+        let mut out = String::new();
+        for (label, m) in &self.runs {
+            out.push_str(&format!("run: {label}\n"));
+            if m.profile.is_empty() {
+                out.push_str("  (no latency samples recorded)\n\n");
+                continue;
+            }
+            out.push_str(&profile_table(m).render());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the requested exports — `--metrics-out`, `--bench-out`,
+    /// `--profile-out` — and prints where each went. Call this last.
     ///
     /// # Panics
     ///
-    /// Panics if the file cannot be written — a requested export that
+    /// Panics if a requested file cannot be written — an export that
     /// silently vanishes is worse than an abort.
     pub fn finish(&self) {
-        if let Some(path) = metrics_out_path() {
-            self.write_json(&path)
-                .unwrap_or_else(|e| panic!("cannot write metrics to {}: {e}", path.display()));
+        let write = |what: &str, path: &Path, payload: &str| {
+            std::fs::write(path, payload)
+                .unwrap_or_else(|e| panic!("cannot write {what} to {}: {e}", path.display()));
             println!(
-                "\nmetrics: wrote {} run(s) to {}",
+                "\n{what}: wrote {} run(s) to {}",
                 self.runs.len(),
                 path.display()
             );
+        };
+        if let Some(path) = metrics_out_path() {
+            write("metrics", &path, &self.to_json());
+        }
+        if let Some(path) = bench_out_path() {
+            write("bench baseline", &path, &self.to_bench_json());
+        }
+        if let Some(path) = profile_out_path() {
+            write("latency profile", &path, &self.profile_text());
         }
     }
 }
 
-/// Parses `--metrics-out <path>` from the process arguments.
-pub fn metrics_out_path() -> Option<PathBuf> {
+/// Non-empty per-event histograms of a snapshot, merged across hierarchy
+/// levels, in [`ProfileEvent::ALL`] order.
+pub fn merged_histograms(m: &MachineMetrics) -> Vec<(ProfileEvent, Histogram)> {
+    ProfileEvent::ALL
+        .into_iter()
+        .filter_map(|event| {
+            let mut merged = Histogram::new();
+            for e in m.profile.iter().filter(|e| e.event == event) {
+                merged.merge(&e.hist);
+            }
+            (!merged.is_empty()).then_some((event, merged))
+        })
+        .collect()
+}
+
+/// Renders one snapshot's latency histograms as a table: one row per
+/// (event, level) entry plus a merged `*` row per event with several
+/// levels, columns count/mean/p50/p90/p99/max (cycles).
+pub fn profile_table(m: &MachineMetrics) -> Table {
+    let mut t = Table::new(&[
+        "event", "level", "count", "mean", "p50", "p90", "p99", "max",
+    ]);
+    let mut push = |event: &str, level: &str, h: &Histogram| {
+        let s = h.summary();
+        t.row(&[
+            event.to_string(),
+            level.to_string(),
+            s.count.to_string(),
+            f2(h.mean()),
+            s.p50.to_string(),
+            s.p90.to_string(),
+            s.p99.to_string(),
+            s.max.to_string(),
+        ]);
+    };
+    for event in ProfileEvent::ALL {
+        let entries: Vec<_> = m.profile.iter().filter(|e| e.event == event).collect();
+        for e in &entries {
+            push(event.name(), e.level.name(), &e.hist);
+        }
+        if entries.len() > 1 {
+            let mut merged = Histogram::new();
+            for e in &entries {
+                merged.merge(&e.hist);
+            }
+            push(event.name(), "*", &merged);
+        }
+    }
+    t
+}
+
+/// Writes the traced run to `--trace-out` (Chrome Trace JSON; folded
+/// stacks beside it at `<path>.folded`), if the flag was given. Pass the
+/// bundle of the run the binary traced, or `None` when the experiment
+/// has no traceable machine — the flag is then acknowledged with a note
+/// instead of being silently ignored.
+///
+/// # Panics
+///
+/// Panics if a requested file cannot be written.
+pub fn write_trace(bundle: Option<&TraceBundle>) {
+    let Some(path) = trace_out_path() else {
+        return;
+    };
+    match bundle {
+        Some(b) => {
+            std::fs::write(&path, &b.chrome_json)
+                .unwrap_or_else(|e| panic!("cannot write trace to {}: {e}", path.display()));
+            let folded = PathBuf::from(format!("{}.folded", path.display()));
+            std::fs::write(&folded, &b.folded)
+                .unwrap_or_else(|e| panic!("cannot write stacks to {}: {e}", folded.display()));
+            println!(
+                "\ntrace: {} span(s) to {} (+ {}.folded); \
+                 truncated {}, unfinished {}, ring dropped {}",
+                b.spans,
+                path.display(),
+                path.display(),
+                b.truncated,
+                b.unfinished,
+                b.trace_dropped
+            );
+        }
+        None => println!("\ntrace: this experiment produced no traced machine; nothing written"),
+    }
+}
+
+fn flag_path(flag: &str) -> Option<PathBuf> {
+    let prefix = format!("{flag}=");
     let mut args = std::env::args();
     while let Some(a) = args.next() {
-        if a == "--metrics-out" {
+        if a == flag {
             return args.next().map(PathBuf::from);
         }
-        if let Some(p) = a.strip_prefix("--metrics-out=") {
+        if let Some(p) = a.strip_prefix(&prefix) {
             return Some(PathBuf::from(p));
         }
     }
     None
+}
+
+/// Parses `--metrics-out <path>` from the process arguments.
+pub fn metrics_out_path() -> Option<PathBuf> {
+    flag_path("--metrics-out")
+}
+
+/// Parses `--bench-out <path>` from the process arguments.
+pub fn bench_out_path() -> Option<PathBuf> {
+    flag_path("--bench-out")
+}
+
+/// Parses `--profile-out <path>` from the process arguments.
+pub fn profile_out_path() -> Option<PathBuf> {
+    flag_path("--profile-out")
+}
+
+/// Parses `--trace-out <path>` from the process arguments.
+pub fn trace_out_path() -> Option<PathBuf> {
+    flag_path("--trace-out")
+}
+
+/// True when any flag needing an event-traced run was given
+/// (`--trace-out`); binaries use this to enable tracing on the
+/// representative run they export.
+pub fn want_trace() -> bool {
+    trace_out_path().is_some()
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
 /// Re-indents every line of a pretty-printed JSON blob after the first by
@@ -276,6 +502,7 @@ pub fn f3(v: f64) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ne_sgx::metrics::METRICS_SCHEMA;
 
     #[test]
     fn renders_aligned() {
@@ -307,16 +534,43 @@ mod tests {
         r.push_run("a", snapshot());
         r.push_run("b", snapshot());
         let j = r.to_json();
-        assert!(j.starts_with("{\n  \"schema\": \"ne-metrics-report/v1\""));
+        assert!(j.starts_with(&format!("{{\n  \"schema\": \"{REPORT_SCHEMA}\"")));
+        assert!(j.starts_with("{\n  \"schema\": \"ne-metrics-report/v2\""));
         assert!(j.contains("\"experiment\": \"unit\""));
         assert!(j.contains("\"label\": \"a\""));
-        assert!(j.contains("\"schema\": \"ne-metrics/v1\""));
+        assert!(j.contains(&format!("\"schema\": \"{METRICS_SCHEMA}\"")));
         assert_eq!(r.len(), 2);
         // Identical inputs render byte-identically.
         let mut r2 = MetricsReport::new("unit");
         r2.push_run("a", snapshot());
         r2.push_run("b", snapshot());
         assert_eq!(j, r2.to_json());
+    }
+
+    #[test]
+    fn bench_json_distills_counters_and_histograms() {
+        let mut r = MetricsReport::new("unit");
+        r.push_run("a", snapshot());
+        let j = r.to_bench_json();
+        assert!(j.starts_with(&format!("{{\n  \"schema\": \"{BENCH_SCHEMA}\"")));
+        assert!(j.contains("\"total_cycles\": "));
+        assert!(j.contains("\"transitions\": {\"ecalls\": 0,"));
+        // The snapshot's write took TLB misses, so that histogram exists.
+        assert!(j.contains("\"tlb_miss\": {\"count\": "), "{j}");
+        // Identical inputs render byte-identically (baselines are diffable).
+        let mut r2 = MetricsReport::new("unit");
+        r2.push_run("a", snapshot());
+        assert_eq!(j, r2.to_bench_json());
+    }
+
+    #[test]
+    fn profile_text_renders_tables() {
+        let mut r = MetricsReport::new("unit");
+        r.push_run("a", snapshot());
+        let text = r.profile_text();
+        assert!(text.contains("run: a"));
+        assert!(text.contains("tlb_miss"));
+        assert!(text.contains("p99"));
     }
 
     #[test]

@@ -16,6 +16,7 @@ use ne_core::loader::EnclaveImage;
 use ne_core::runtime::{NestedApp, TrustedFn};
 use ne_sgx::config::HwConfig;
 use ne_sgx::error::SgxError;
+use ne_sgx::spantree::TraceBundle;
 use ne_svm::data::{Dataset, TableVDataset};
 use ne_svm::filter::FilterPolicy;
 use ne_svm::smo::{train, TrainParams};
@@ -36,6 +37,9 @@ pub struct SvmCaseConfig {
     pub scale: f64,
     /// Nested (per-user inner + shared LibSVM outer) vs. monolithic.
     pub nested: bool,
+    /// Record the event trace; the run's [`SvmCaseResult::trace`] then
+    /// covers the predict phase.
+    pub trace: bool,
 }
 
 /// Result of one run.
@@ -52,6 +56,9 @@ pub struct SvmCaseResult {
     /// Machine snapshot after the predict phase (`reset_metrics` runs
     /// between train and predict, so the counters cover predict only).
     pub metrics: ne_sgx::metrics::MachineMetrics,
+    /// Span-tree exports of the predict phase, when
+    /// [`SvmCaseConfig::trace`] was set.
+    pub trace: Option<TraceBundle>,
 }
 
 fn gcm_cost(cfg: &HwConfig, len: usize) -> u64 {
@@ -83,7 +90,9 @@ pub fn run_svm_case(cfg: &SvmCaseConfig) -> Result<SvmCaseResult, SgxError> {
         quantize: vec![],
     };
 
-    let mut app = NestedApp::new(HwConfig::testbed());
+    let mut hw = HwConfig::testbed();
+    hw.trace_events = cfg.trace;
+    let mut app = NestedApp::new(hw);
     // [port:begin svm]
     // Nested-enclave port of the LibSVM service: the library is loaded as
     // the shared outer enclave; each client's filter runs in an inner
@@ -208,6 +217,7 @@ pub fn run_svm_case(cfg: &SvmCaseConfig) -> Result<SvmCaseResult, SgxError> {
         accuracy: correct as f64 / test_ds.len().max(1) as f64,
         n_calls: stats.n_ecalls + stats.n_ocalls,
         metrics: app.machine.metrics(),
+        trace: cfg.trace.then(|| TraceBundle::capture(&app.machine)),
     })
 }
 
@@ -220,6 +230,7 @@ mod tests {
             dataset: TableVDataset::Dna,
             scale: 0.01,
             nested,
+            trace: false,
         })
         .unwrap()
     }

@@ -11,6 +11,7 @@ use ne_core::validate::NestedValidator;
 use ne_sgx::config::HwConfig;
 use ne_sgx::cost::CostProfile;
 use ne_sgx::machine::Machine;
+use ne_sgx::spantree::TraceBundle;
 use std::sync::Arc;
 
 /// Measured average latencies in microseconds.
@@ -23,13 +24,17 @@ pub struct TransitionLatency {
     /// Machine snapshot taken after the last measurement phase (the
     /// counters cover that phase only; `reset_metrics` runs in between).
     pub metrics: ne_sgx::metrics::MachineMetrics,
+    /// Span-tree exports of the last measurement phase, when tracing was
+    /// requested.
+    pub trace: Option<TraceBundle>,
 }
 
 /// Builds a minimal app: an outer "noop" enclave with an inner "noop"
 /// enclave, on the given cost profile.
-fn noop_app(profile: CostProfile) -> NestedApp {
+fn noop_app(profile: CostProfile, trace: bool) -> NestedApp {
     let mut cfg = HwConfig::testbed();
     cfg.cost = profile;
+    cfg.trace_events = trace;
     let machine = Machine::with_validator(cfg, Box::new(NestedValidator::new()));
     let mut app = NestedApp::with_machine(machine);
     let noop_untrusted: UntrustedFn = Arc::new(|_cx, _| Ok(vec![]));
@@ -77,9 +82,10 @@ fn noop_app(profile: CostProfile) -> NestedApp {
 }
 
 /// Measures the average latency of `iters` ecall and ocall round trips
-/// under the given cost profile.
-pub fn measure_classic(profile: CostProfile, iters: u64) -> TransitionLatency {
-    let mut app = noop_app(profile.clone());
+/// under the given cost profile. With `trace`, the returned
+/// [`TransitionLatency::trace`] covers the final (ocall) phase.
+pub fn measure_classic(profile: CostProfile, iters: u64, trace: bool) -> TransitionLatency {
+    let mut app = noop_app(profile.clone(), trace);
     app.machine.reset_metrics();
     for _ in 0..iters {
         app.ecall(0, "outer", "noop", b"").expect("ecall");
@@ -95,13 +101,16 @@ pub fn measure_classic(profile: CostProfile, iters: u64) -> TransitionLatency {
         ecall_us,
         ocall_us: total_us - ecall_us,
         metrics: app.machine.metrics(),
+        trace: trace.then(|| TraceBundle::capture(&app.machine)),
     }
 }
 
 /// Measures the average latency of `iters` n_ecall and n_ocall round trips
-/// (emulated profile; nested transitions only exist there, § V).
-pub fn measure_nested(profile: CostProfile, iters: u64) -> TransitionLatency {
-    let mut app = noop_app(profile.clone());
+/// (emulated profile; nested transitions only exist there, § V). With
+/// `trace`, the returned [`TransitionLatency::trace`] covers the final
+/// (n_ocall) phase.
+pub fn measure_nested(profile: CostProfile, iters: u64, trace: bool) -> TransitionLatency {
+    let mut app = noop_app(profile.clone(), trace);
     // Baseline: plain ecall into the outer.
     app.machine.reset_metrics();
     for _ in 0..iters {
@@ -129,6 +138,7 @@ pub fn measure_nested(profile: CostProfile, iters: u64) -> TransitionLatency {
         ecall_us: n_ecall_us,
         ocall_us: n_ocall_us,
         metrics: app.machine.metrics(),
+        trace: trace.then(|| TraceBundle::capture(&app.machine)),
     }
 }
 
@@ -138,21 +148,21 @@ mod tests {
 
     #[test]
     fn hw_profile_reproduces_table2_row1() {
-        let l = measure_classic(CostProfile::hw_sgx(), 200);
+        let l = measure_classic(CostProfile::hw_sgx(), 200, false);
         assert!((l.ecall_us - 3.45).abs() < 0.15, "ecall {}", l.ecall_us);
         assert!((l.ocall_us - 3.13).abs() < 0.15, "ocall {}", l.ocall_us);
     }
 
     #[test]
     fn emulated_profile_reproduces_table2_row2() {
-        let l = measure_classic(CostProfile::emulated(), 200);
+        let l = measure_classic(CostProfile::emulated(), 200, false);
         assert!((l.ecall_us - 1.25).abs() < 0.10, "ecall {}", l.ecall_us);
         assert!((l.ocall_us - 1.14).abs() < 0.10, "ocall {}", l.ocall_us);
     }
 
     #[test]
     fn nested_reproduces_table2_row3() {
-        let l = measure_nested(CostProfile::emulated(), 200);
+        let l = measure_nested(CostProfile::emulated(), 200, false);
         assert!((l.ecall_us - 1.11).abs() < 0.10, "n_ecall {}", l.ecall_us);
         assert!((l.ocall_us - 1.06).abs() < 0.10, "n_ocall {}", l.ocall_us);
     }
@@ -160,9 +170,9 @@ mod tests {
     #[test]
     fn ordering_matches_paper() {
         // HW > emulated classic > emulated nested.
-        let hw = measure_classic(CostProfile::hw_sgx(), 100);
-        let em = measure_classic(CostProfile::emulated(), 100);
-        let ne = measure_nested(CostProfile::emulated(), 100);
+        let hw = measure_classic(CostProfile::hw_sgx(), 100, false);
+        let em = measure_classic(CostProfile::emulated(), 100, false);
+        let ne = measure_nested(CostProfile::emulated(), 100, false);
         assert!(hw.ecall_us > em.ecall_us);
         assert!(em.ecall_us > ne.ecall_us);
         assert!(hw.ocall_us > em.ocall_us);

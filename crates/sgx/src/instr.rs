@@ -7,6 +7,7 @@ use crate::epcm::{EpcmEntry, PagePerms, PageType};
 use crate::error::{Result, SgxError};
 use crate::machine::{CoreMode, Machine};
 use crate::metrics::CycleCategory;
+use crate::profile::ProfileEvent;
 use crate::trace::Event;
 use ne_crypto::gcm::AesGcm;
 use ne_crypto::Digest32;
@@ -410,6 +411,8 @@ impl Machine {
         // interrupted enclave.
         self.charge_to(core, CycleCategory::Transition, cost, Some(eid));
         self.stats_mut().aexes += 1;
+        let level = self.hier_level(Some(eid));
+        self.profile_record(ProfileEvent::Aex, level, cost);
         self.record_event(Event::Aex { core, eid });
         Ok(())
     }
@@ -445,6 +448,10 @@ impl Machine {
             .expect("live")
             .active_threads += 1;
         self.stats_mut().eresumes += 1;
+        // ERESUME's modelled cost is the entry TLB flush charged above.
+        let level = self.hier_level(Some(eid));
+        let cost = self.config().cost.tlb_flush;
+        self.profile_record(ProfileEvent::Eresume, level, cost);
         self.record_event(Event::Eresume { core, eid });
         Ok(())
     }
@@ -610,6 +617,8 @@ impl Machine {
         // owner enclave — attribute it there for the hierarchy report.
         self.charge_to(0, CycleCategory::Paging, cost, Some(eid));
         self.stats_mut().ewb_pages += 1;
+        let level = self.hier_level(Some(eid));
+        self.profile_record(ProfileEvent::Paging, level, cost);
         self.record_event(Event::Ewb { eid, addr: va });
         Ok(EvictedPage {
             eid,
@@ -671,6 +680,8 @@ impl Machine {
         let cost = self.config().cost.eldu_page;
         self.charge_to(0, CycleCategory::Paging, cost, Some(page.eid));
         self.stats_mut().eldu_pages += 1;
+        let level = self.hier_level(Some(page.eid));
+        self.profile_record(ProfileEvent::Paging, level, cost);
         self.record_event(Event::Eldu {
             eid: page.eid,
             addr: page.vpn.base(),

@@ -65,6 +65,8 @@ pub mod mee;
 pub mod mem;
 pub mod metrics;
 pub mod page_table;
+pub mod profile;
+pub mod spantree;
 pub mod tlb;
 pub mod trace;
 pub mod validate;

@@ -16,6 +16,7 @@ use crate::mee::Mee;
 use crate::mem::Dram;
 use crate::metrics::{CycleBreakdown, CycleCategory, MachineMetrics};
 use crate::page_table::PageTable;
+use crate::profile::{HierLevel, Profile, ProfileEvent};
 use crate::tlb::Tlb;
 use crate::trace::{Event, SpanKind, Stats, Trace};
 use crate::validate::{CoreView, Outcome, SgxValidator, TlbValidator, ValidationCtx};
@@ -74,6 +75,17 @@ pub enum Translated {
     Abort,
 }
 
+/// A runtime call span still open on a core. Everything needed to record
+/// the span's latency at close time is captured at open time, so closing
+/// is independent of the (possibly wrapped) event trace.
+#[derive(Debug, Clone, Copy)]
+struct OpenSpan {
+    id: u64,
+    kind: SpanKind,
+    level: HierLevel,
+    begin_cycles: u64,
+}
+
 /// One simulated process.
 #[derive(Debug)]
 pub struct Process {
@@ -98,10 +110,13 @@ pub struct Machine {
     trace: Trace,
     /// Cycles attributed per enclave (`None` = untrusted execution).
     enclave_cycles: HashMap<Option<EnclaveId>, CycleBreakdown>,
+    /// Always-on latency histograms (span durations, TLB-miss walks, MEE
+    /// crypto, paging).
+    profile: Profile,
     /// Monotonic id source for runtime call spans.
     next_span_id: u64,
-    /// Per-core stack of open span ids (parents for nested spans).
-    span_stacks: Vec<Vec<u64>>,
+    /// Per-core stack of open spans (parents for nested spans).
+    span_stacks: Vec<Vec<OpenSpan>>,
     pub(crate) free_epc: Vec<Ppn>,
     next_ram_ppn: u64,
     pub(crate) platform_secret: [u8; 32],
@@ -165,6 +180,7 @@ impl Machine {
             stats: Stats::default(),
             trace: Trace::new(cfg.trace_events, cfg.trace_capacity),
             enclave_cycles: HashMap::new(),
+            profile: Profile::new(),
             next_span_id: 0,
             span_stacks: vec![Vec::new(); cfg.num_cores],
             free_epc,
@@ -348,8 +364,8 @@ impl Machine {
         &mut self.stats
     }
 
-    /// Clears counters, cycle clocks, attribution tables, and the event
-    /// trace (between experiment phases).
+    /// Clears counters, cycle clocks, attribution tables, latency
+    /// histograms, and the event trace (between experiment phases).
     pub fn reset_metrics(&mut self) {
         self.stats = Stats::default();
         for c in &mut self.cores {
@@ -358,7 +374,15 @@ impl Machine {
         }
         self.enclave_cycles.clear();
         self.mee.reset_counters();
+        self.profile.clear();
         self.trace.clear();
+        // Spans still open when the clock resets restart from zero, so
+        // their eventual durations cover post-reset work only.
+        for stack in &mut self.span_stacks {
+            for span in stack.iter_mut() {
+                span.begin_cycles = 0;
+            }
+        }
     }
 
     /// The event trace.
@@ -373,19 +397,28 @@ impl Machine {
 
     /// Opens a runtime call span on `core` and returns its id. The span
     /// nests under any span already open on the core, so ecall→ocall
-    /// chains are reconstructable from the trace.
+    /// chains are reconstructable from the trace. The duration histogram
+    /// key ([`HierLevel`]) is the caller's hierarchy level at open time.
     pub fn span_begin(&mut self, core: usize, kind: SpanKind, label: &str) -> u64 {
         self.next_span_id += 1;
         let id = self.next_span_id;
-        let parent = self.span_stacks[core].last().copied();
-        self.span_stacks[core].push(id);
+        let level = self.hier_level(self.current_enclave(core));
+        let cycles = self.cores[core].cycles;
+        let parent = self.span_stacks[core].last().map(|s| s.id);
+        self.span_stacks[core].push(OpenSpan {
+            id,
+            kind,
+            level,
+            begin_cycles: cycles,
+        });
+        self.stats.span_opens += 1;
         if self.trace.is_enabled() {
-            let cycles = self.cores[core].cycles;
             self.trace.record(Event::SpanBegin {
                 core,
                 id,
                 parent,
                 kind,
+                level,
                 label: label.to_string(),
                 cycles,
             });
@@ -394,14 +427,50 @@ impl Machine {
     }
 
     /// Closes the span `id` opened by [`Machine::span_begin`] (also closes
-    /// any spans left open beneath it).
+    /// any spans left open beneath it) and records each closed span's
+    /// duration in the latency [`Profile`].
     pub fn span_end(&mut self, core: usize, id: u64) {
-        if let Some(pos) = self.span_stacks[core].iter().rposition(|&s| s == id) {
-            self.span_stacks[core].truncate(pos);
+        let cycles = self.cores[core].cycles;
+        if let Some(pos) = self.span_stacks[core].iter().rposition(|s| s.id == id) {
+            while self.span_stacks[core].len() > pos {
+                let open = self.span_stacks[core].pop().expect("len > pos");
+                let duration = cycles.saturating_sub(open.begin_cycles);
+                self.profile
+                    .record(ProfileEvent::from_span(open.kind), open.level, duration);
+                self.stats.span_closes += 1;
+            }
         }
         if self.trace.is_enabled() {
-            let cycles = self.cores[core].cycles;
             self.trace.record(Event::SpanEnd { core, id, cycles });
+        }
+    }
+
+    /// Open runtime spans on `core` (diagnostics/tests).
+    pub fn open_spans(&self, core: usize) -> usize {
+        self.span_stacks[core].len()
+    }
+
+    /// The always-on latency histograms.
+    pub fn profile(&self) -> &Profile {
+        &self.profile
+    }
+
+    /// Records a latency sample directly — an architectural surface for
+    /// ISA-extension crates (AEX/ERESUME and paging record their costs).
+    pub fn profile_record(&mut self, event: ProfileEvent, level: HierLevel, cycles: u64) {
+        self.profile.record(event, level, cycles);
+    }
+
+    /// The [`HierLevel`] of an execution context: untrusted for `None`,
+    /// inner for enclaves associated with at least one outer, outer
+    /// otherwise.
+    pub fn hier_level(&self, eid: Option<EnclaveId>) -> HierLevel {
+        match eid {
+            None => HierLevel::Untrusted,
+            Some(e) => match self.enclaves.get(e) {
+                Some(secs) if !secs.outer_eids.is_empty() => HierLevel::Inner,
+                _ => HierLevel::Outer,
+            },
         }
     }
 
@@ -566,13 +635,18 @@ impl Machine {
         }
         // TLB miss: walk the (untrusted) page table.
         self.stats.tlb_misses += 1;
-        self.charge_cat(core, CycleCategory::TlbWalk, self.cfg.cost.tlb_miss_walk);
+        let walk_cost = self.cfg.cost.tlb_miss_walk;
+        let level = self.hier_level(self.current_enclave(core));
+        self.charge_cat(core, CycleCategory::TlbWalk, walk_cost);
         let pte = match self.processes[self.cores[core].pid.0]
             .page_table
             .lookup(vpn)
         {
             Some(p) => p,
             None => {
+                // The walk found nothing, so no validation ran: the miss
+                // cost recorded is the walk alone.
+                self.profile.record(ProfileEvent::TlbMiss, level, walk_cost);
                 self.stats.faults += 1;
                 self.trace.record(Event::Fault {
                     core,
@@ -602,6 +676,8 @@ impl Machine {
         let validation = self.validator.validate(&cx);
         let step_cost = validation.steps as u64 * self.cfg.cost.validation_step;
         self.charge_cat(core, CycleCategory::Validation, step_cost);
+        self.profile
+            .record(ProfileEvent::TlbMiss, level, walk_cost + step_cost);
         match validation.outcome {
             Outcome::Insert(entry) => {
                 self.cores[core].tlb.insert(vpn, entry);
@@ -680,6 +756,11 @@ impl Machine {
         }
         self.charge_cat(core, CycleCategory::Memory, mem_cycles);
         self.charge_cat(core, CycleCategory::MeeCrypto, mee_cycles);
+        if mee_cycles > 0 {
+            let level = self.hier_level(self.current_enclave(core));
+            self.profile
+                .record(ProfileEvent::MeeCrypto, level, mee_cycles);
+        }
     }
 
     /// Reads `buf.len()` bytes at `va` as `core`.

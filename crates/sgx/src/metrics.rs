@@ -14,8 +14,9 @@
 //! [`MachineMetrics`] is a plain snapshot: capture it with
 //! [`crate::machine::Machine::metrics`], then inspect it, export it
 //! ([`MachineMetrics::to_json`] / [`MachineMetrics::to_csv`]), or validate
-//! it. The JSON schema is versioned (`ne-metrics/v1`) and key order is
-//! fixed, so downstream tooling can diff exports byte-for-byte.
+//! it. The JSON schema is versioned (`ne-metrics/v2` — v2 added the
+//! `profile` latency-histogram section and the span counters) and key
+//! order is fixed, so downstream tooling can diff exports byte-for-byte.
 //!
 //! ```
 //! use ne_sgx::config::HwConfig;
@@ -32,11 +33,17 @@
 //! // to untrusted execution (eid = None).
 //! assert!(snap.cores[0].breakdown.get(CycleCategory::TlbWalk) > 0);
 //! assert_eq!(snap.total_cycles, m.total_cycles());
-//! assert!(snap.to_json().starts_with("{\n  \"schema\": \"ne-metrics/v1\""));
+//! assert!(snap.to_json().starts_with("{\n  \"schema\": \"ne-metrics/v2\""));
 //! ```
 
 use crate::machine::Machine;
+use crate::profile::{HierLevel, Histogram, ProfileEvent};
 use crate::trace::Stats;
+
+/// Version tag emitted at the top of [`MachineMetrics::to_json`]. Bump it
+/// whenever a key is added, removed, or reordered; compare tooling hard
+/// fails on a mismatch.
+pub const METRICS_SCHEMA: &str = "ne-metrics/v2";
 
 /// Where a charged cycle went, at the granularity the paper's evaluation
 /// reasons about (transition cost, validation walk, MEE crypto, paging).
@@ -153,6 +160,25 @@ pub struct EnclaveMetrics {
     pub breakdown: CycleBreakdown,
 }
 
+/// One non-empty latency histogram in a snapshot, keyed by what was
+/// measured and the hierarchy level it was measured at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProfileEntry {
+    /// What the samples measure.
+    pub event: ProfileEvent,
+    /// Hierarchy level the samples belong to.
+    pub level: HierLevel,
+    /// The recorded distribution (cycles).
+    pub hist: Histogram,
+}
+
+impl ProfileEntry {
+    /// Stable `event/level` identifier used in JSON/CSV exports.
+    pub fn key(&self) -> String {
+        format!("{}/{}", self.event.name(), self.level.name())
+    }
+}
+
 /// A point-in-time snapshot of every counter the machine maintains.
 ///
 /// See the [module docs](self) for the identities [`check`]
@@ -174,6 +200,8 @@ pub struct MachineMetrics {
     pub cores_in_enclave_mode: usize,
     /// Always-on event counters.
     pub stats: Stats,
+    /// Non-empty latency histograms, in (event, level) export order.
+    pub profile: Vec<ProfileEntry>,
     /// Per-core accounting, core 0 first.
     pub cores: Vec<CoreMetrics>,
     /// Per-enclave accounting: untrusted bucket first, then by ascending
@@ -249,6 +277,15 @@ impl MachineMetrics {
             total_cycles: machine.total_cycles(),
             cores_in_enclave_mode,
             stats,
+            profile: machine
+                .profile()
+                .entries()
+                .map(|(event, level, hist)| ProfileEntry {
+                    event,
+                    level,
+                    hist: hist.clone(),
+                })
+                .collect(),
             cores,
             enclaves,
             mee_lines_decrypted: machine.mee().lines_decrypted(),
@@ -279,7 +316,15 @@ impl MachineMetrics {
     ///    `n_ecalls == n_ocalls`;
     /// 5. pages reloaded never exceed pages evicted;
     /// 6. the trace ring accounts for every event offered:
-    ///    `recorded == dropped + retained`.
+    ///    `recorded == dropped + retained`;
+    /// 7. every latency histogram is internally consistent (bucket counts
+    ///    sum to its count) with monotone percentiles
+    ///    (`min ≤ p50 ≤ p90 ≤ p99 ≤ max`);
+    /// 8. the boundary histograms (ecall/ocall/n_ecall/n_ocall/switchless)
+    ///    together hold exactly `span_closes` samples;
+    /// 9. the microarchitectural histograms agree with the counters:
+    ///    `tlb_miss` count == `tlb_misses`, `aex` == `aexes`,
+    ///    `eresume` == `eresumes`, `paging` == `ewb_pages + eldu_pages`.
     ///
     /// # Errors
     ///
@@ -341,15 +386,71 @@ impl MachineMetrics {
                 self.trace_recorded, self.trace_dropped, self.trace_retained
             ));
         }
+        for e in &self.profile {
+            if e.hist.bucket_total() != e.hist.count() {
+                return Err(format!(
+                    "histogram {}: bucket counts sum to {} but count is {}",
+                    e.key(),
+                    e.hist.bucket_total(),
+                    e.hist.count()
+                ));
+            }
+            let s = e.hist.summary();
+            if !(s.min <= s.p50 && s.p50 <= s.p90 && s.p90 <= s.p99 && s.p99 <= s.max) {
+                return Err(format!(
+                    "histogram {}: percentiles not monotone \
+                     (min {} p50 {} p90 {} p99 {} max {})",
+                    e.key(),
+                    s.min,
+                    s.p50,
+                    s.p90,
+                    s.p99,
+                    s.max
+                ));
+            }
+        }
+        let count_of = |ev: ProfileEvent| -> u64 {
+            self.profile
+                .iter()
+                .filter(|e| e.event == ev)
+                .map(|e| e.hist.count())
+                .sum()
+        };
+        let boundary: u64 = ProfileEvent::BOUNDARY.iter().map(|&e| count_of(e)).sum();
+        if boundary != self.stats.span_closes {
+            return Err(format!(
+                "boundary histograms hold {boundary} samples but {} spans closed \
+                 (a span close bypassed latency recording)",
+                self.stats.span_closes
+            ));
+        }
+        for (ev, expect, what) in [
+            (ProfileEvent::TlbMiss, self.stats.tlb_misses, "tlb_misses"),
+            (ProfileEvent::Aex, self.stats.aexes, "aexes"),
+            (ProfileEvent::Eresume, self.stats.eresumes, "eresumes"),
+            (
+                ProfileEvent::Paging,
+                self.stats.ewb_pages + self.stats.eldu_pages,
+                "ewb_pages + eldu_pages",
+            ),
+        ] {
+            let got = count_of(ev);
+            if got != expect {
+                return Err(format!(
+                    "{} histogram holds {got} samples but {what} is {expect}",
+                    ev.name()
+                ));
+            }
+        }
         Ok(())
     }
 
     /// Renders the snapshot as pretty-printed JSON with a fixed key order
-    /// (schema `ne-metrics/v1`).
+    /// (schema [`METRICS_SCHEMA`]).
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(2048);
         out.push_str("{\n");
-        out.push_str("  \"schema\": \"ne-metrics/v1\",\n");
+        out.push_str(&format!("  \"schema\": \"{METRICS_SCHEMA}\",\n"));
         out.push_str(&format!(
             "  \"validator\": \"{}\",\n",
             escape(&self.validator)
@@ -366,20 +467,7 @@ impl MachineMetrics {
         ));
         out.push_str("  \"stats\": {");
         let s = &self.stats;
-        let stat_fields: [(&str, u64); 12] = [
-            ("ecalls", s.ecalls),
-            ("ocalls", s.ocalls),
-            ("n_ecalls", s.n_ecalls),
-            ("n_ocalls", s.n_ocalls),
-            ("aexes", s.aexes),
-            ("eresumes", s.eresumes),
-            ("switchless_ocalls", s.switchless_ocalls),
-            ("tlb_misses", s.tlb_misses),
-            ("faults", s.faults),
-            ("ewb_pages", s.ewb_pages),
-            ("eldu_pages", s.eldu_pages),
-            ("ipis", s.ipis),
-        ];
+        let stat_fields = stat_fields(s);
         out.push_str(
             &stat_fields
                 .iter()
@@ -388,6 +476,30 @@ impl MachineMetrics {
                 .join(", "),
         );
         out.push_str("},\n");
+        if self.profile.is_empty() {
+            out.push_str("  \"profile\": [],\n");
+        } else {
+            out.push_str("  \"profile\": [\n");
+            for (i, e) in self.profile.iter().enumerate() {
+                let s = e.hist.summary();
+                out.push_str(&format!(
+                    "    {{\"event\": \"{}\", \"level\": \"{}\", \"count\": {}, \
+                     \"sum\": {}, \"min\": {}, \"max\": {}, \"p50\": {}, \"p90\": {}, \
+                     \"p99\": {}}}{}\n",
+                    e.event.name(),
+                    e.level.name(),
+                    s.count,
+                    s.sum,
+                    s.min,
+                    s.max,
+                    s.p50,
+                    s.p90,
+                    s.p99,
+                    if i + 1 < self.profile.len() { "," } else { "" }
+                ));
+            }
+            out.push_str("  ],\n");
+        }
         out.push_str("  \"cores\": [\n");
         for (i, c) in self.cores.iter().enumerate() {
             out.push_str(&format!(
@@ -437,40 +549,75 @@ impl MachineMetrics {
     }
 
     /// Renders the snapshot as `scope,id,metric,value` CSV rows (one
-    /// breakdown category per row), header included.
+    /// breakdown category per row), header included. Label fields (ids,
+    /// metric names) are RFC-4180 quoted whenever they contain a comma,
+    /// quote, or newline, so downstream parsers can split rows naively
+    /// only when labels are tame and robustly otherwise.
     pub fn to_csv(&self) -> String {
         let mut out = String::from("scope,id,metric,value\n");
         out.push_str(&format!("machine,,total_cycles,{}\n", self.total_cycles));
         out.push_str(&format!("machine,,tlb_flushes,{}\n", self.tlb_flushes));
-        let s = &self.stats;
-        for (k, v) in [
-            ("ecalls", s.ecalls),
-            ("ocalls", s.ocalls),
-            ("n_ecalls", s.n_ecalls),
-            ("n_ocalls", s.n_ocalls),
-            ("aexes", s.aexes),
-            ("eresumes", s.eresumes),
-            ("switchless_ocalls", s.switchless_ocalls),
-            ("tlb_misses", s.tlb_misses),
-            ("faults", s.faults),
-            ("ewb_pages", s.ewb_pages),
-            ("eldu_pages", s.eldu_pages),
-            ("ipis", s.ipis),
-        ] {
-            out.push_str(&format!("stats,,{k},{v}\n"));
+        for (k, v) in stat_fields(&self.stats) {
+            out.push_str(&format!("stats,,{},{v}\n", csv_field(k)));
+        }
+        for e in &self.profile {
+            let id = csv_field(&e.key());
+            let s = e.hist.summary();
+            for (k, v) in [
+                ("count", s.count),
+                ("sum", s.sum),
+                ("min", s.min),
+                ("max", s.max),
+                ("p50", s.p50),
+                ("p90", s.p90),
+                ("p99", s.p99),
+            ] {
+                out.push_str(&format!("profile,{id},{k},{v}\n"));
+            }
         }
         for c in &self.cores {
             for (cat, v) in c.breakdown.iter() {
-                out.push_str(&format!("core,{},{},{v}\n", c.core, cat.name()));
+                out.push_str(&format!("core,{},{},{v}\n", c.core, csv_field(cat.name())));
             }
         }
         for e in &self.enclaves {
-            let id = e.eid.map_or("untrusted".to_string(), |id| id.to_string());
+            let id = csv_field(&e.eid.map_or("untrusted".to_string(), |id| id.to_string()));
             for (cat, v) in e.breakdown.iter() {
-                out.push_str(&format!("enclave,{id},{},{v}\n", cat.name()));
+                out.push_str(&format!("enclave,{id},{},{v}\n", csv_field(cat.name())));
             }
         }
         out
+    }
+}
+
+/// Stats counters in export order — the single source shared by the JSON
+/// and CSV renderers so the two can never drift.
+fn stat_fields(s: &Stats) -> [(&'static str, u64); 14] {
+    [
+        ("ecalls", s.ecalls),
+        ("ocalls", s.ocalls),
+        ("n_ecalls", s.n_ecalls),
+        ("n_ocalls", s.n_ocalls),
+        ("aexes", s.aexes),
+        ("eresumes", s.eresumes),
+        ("switchless_ocalls", s.switchless_ocalls),
+        ("tlb_misses", s.tlb_misses),
+        ("faults", s.faults),
+        ("ewb_pages", s.ewb_pages),
+        ("eldu_pages", s.eldu_pages),
+        ("ipis", s.ipis),
+        ("span_opens", s.span_opens),
+        ("span_closes", s.span_closes),
+    ]
+}
+
+/// RFC-4180 field quoting: wrap in quotes (doubling embedded quotes) when
+/// the field contains a comma, quote, or newline.
+fn csv_field(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
     }
 }
 
@@ -560,13 +707,15 @@ mod tests {
     fn json_is_schema_stable() {
         let m = Machine::new(HwConfig::small());
         let json = m.metrics().to_json();
-        assert!(json.starts_with("{\n  \"schema\": \"ne-metrics/v1\","));
+        assert!(json.starts_with("{\n  \"schema\": \"ne-metrics/v2\","));
+        assert!(json.starts_with(&format!("{{\n  \"schema\": \"{METRICS_SCHEMA}\",")));
         for key in [
             "\"validator\"",
             "\"cost_profile\"",
             "\"clock_ghz\"",
             "\"total_cycles\"",
             "\"stats\"",
+            "\"profile\"",
             "\"cores\"",
             "\"enclaves\"",
             "\"mee\"",
@@ -589,5 +738,56 @@ mod tests {
         assert!(csv.contains("core,0,transition,"));
         assert!(csv.contains("enclave,untrusted,app_compute,"));
         assert!(csv.contains("stats,,ecalls,"));
+        assert!(csv.contains("stats,,span_closes,"));
+    }
+
+    #[test]
+    fn csv_quotes_hostile_labels() {
+        assert_eq!(csv_field("plain"), "plain");
+        assert_eq!(csv_field("a,b"), "\"a,b\"");
+        assert_eq!(csv_field("say \"hi\""), "\"say \"\"hi\"\"\"");
+        assert_eq!(csv_field("two\nlines"), "\"two\nlines\"");
+    }
+
+    #[test]
+    fn profile_appears_in_snapshot_and_checks() {
+        let mut m = Machine::new(HwConfig::small());
+        let va = m.os_alloc_untrusted(ProcessId(0), 2);
+        m.write(0, va, b"touch two pages to take tlb misses")
+            .unwrap();
+        let snap = m.metrics();
+        snap.check().unwrap();
+        let misses: u64 = snap
+            .profile
+            .iter()
+            .filter(|e| e.event == ProfileEvent::TlbMiss)
+            .map(|e| e.hist.count())
+            .sum();
+        assert_eq!(misses, snap.stats.tlb_misses);
+        assert!(misses > 0);
+        let json = snap.to_json();
+        assert!(json.contains("\"event\": \"tlb_miss\", \"level\": \"untrusted\""));
+        let csv = snap.to_csv();
+        assert!(csv.contains("profile,tlb_miss/untrusted,p99,"));
+    }
+
+    #[test]
+    fn check_catches_histogram_count_drift() {
+        let mut m = Machine::new(HwConfig::small());
+        let va = m.os_alloc_untrusted(ProcessId(0), 1);
+        m.read(0, va, 1).unwrap();
+        let mut snap = m.metrics();
+        snap.stats.tlb_misses += 1;
+        let err = snap.check().unwrap_err();
+        assert!(err.contains("tlb_miss"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn check_catches_unclosed_boundary_accounting() {
+        let m = Machine::new(HwConfig::small());
+        let mut snap = m.metrics();
+        snap.stats.span_closes = 3; // no boundary histogram samples exist
+        let err = snap.check().unwrap_err();
+        assert!(err.contains("boundary"), "unexpected error: {err}");
     }
 }

@@ -17,6 +17,7 @@
 use crate::addr::VirtAddr;
 use crate::enclave::EnclaveId;
 use crate::error::FaultKind;
+use crate::profile::HierLevel;
 use std::collections::VecDeque;
 
 /// Cheap always-on counters. Fig. 7 plots ecall/ocall counts directly from
@@ -47,6 +48,12 @@ pub struct Stats {
     pub eldu_pages: u64,
     /// Inter-processor interrupts for eviction shootdowns.
     pub ipis: u64,
+    /// Runtime call spans opened ([`crate::machine::Machine::span_begin`]).
+    pub span_opens: u64,
+    /// Runtime call spans closed — explicitly, or implicitly when an
+    /// enclosing span closed over them. The combined count of the
+    /// boundary latency histograms equals this by construction.
+    pub span_closes: u64,
 }
 
 impl Stats {
@@ -172,6 +179,8 @@ pub enum Event {
         parent: Option<u64>,
         /// Boundary kind.
         kind: SpanKind,
+        /// Hierarchy level of the calling context when the span opened.
+        level: HierLevel,
         /// Registered function name (or a fixed label for queue ops).
         label: String,
         /// Core cycle clock when the span opened.

@@ -20,6 +20,7 @@ use ne_core::loader::EnclaveImage;
 use ne_core::runtime::{NestedApp, TrustedFn, UntrustedFn};
 use ne_sgx::config::HwConfig;
 use ne_sgx::error::SgxError;
+use ne_sgx::spantree::TraceBundle;
 use std::sync::{Arc, Mutex};
 
 /// Simulated cycles for one network send/receive (syscall + TCP/IP stack +
@@ -40,6 +41,10 @@ pub struct EchoConfig {
     pub num_messages: usize,
     /// Nested (library confined to the outer enclave) vs. monolithic.
     pub nested: bool,
+    /// Record the event trace and return a [`TraceBundle`] with the run
+    /// (Chrome Trace JSON + folded flamegraph stacks). Off by default in
+    /// the sweeps — tracing is cheap but not free.
+    pub trace: bool,
 }
 
 /// Results of one echo run.
@@ -62,6 +67,8 @@ pub struct EchoRun {
     /// Full machine snapshot at the end of the run (per-enclave cycle
     /// breakdowns included).
     pub metrics: ne_sgx::metrics::MachineMetrics,
+    /// Span-tree exports, when [`EchoConfig::trace`] was set.
+    pub trace: Option<TraceBundle>,
 }
 
 impl EchoRun {
@@ -94,7 +101,9 @@ fn gcm_cost(cfg: &HwConfig, len: usize) -> u64 {
 ///
 /// Loader/association failures.
 pub fn build_echo_app(cfg: &EchoConfig) -> Result<NestedApp, SgxError> {
-    let mut app = NestedApp::new(HwConfig::testbed());
+    let mut hw = HwConfig::testbed();
+    hw.trace_events = cfg.trace;
+    let mut app = NestedApp::new(hw);
     let net_send: UntrustedFn = Arc::new(|cx, args| {
         cx.charge(NET_SYSCALL_CYCLES);
         Ok(args.to_vec())
@@ -221,6 +230,7 @@ pub fn run_echo(cfg: &EchoConfig) -> Result<EchoRun, SgxError> {
         n_ocalls: stats.n_ocalls,
         clock_ghz: app.machine.config().cost.clock_ghz,
         metrics: app.machine.metrics(),
+        trace: cfg.trace.then(|| TraceBundle::capture(&app.machine)),
     })
 }
 
@@ -233,6 +243,7 @@ mod tests {
             chunk_size: chunk,
             num_messages: 20,
             nested,
+            trace: false,
         })
         .unwrap()
     }
@@ -275,6 +286,24 @@ mod tests {
         let mono = run(512, false);
         let nested = run(512, true);
         assert!(nested.calls_per_message(20) > mono.calls_per_message(20));
+    }
+
+    #[test]
+    fn tracing_captures_a_span_bundle() {
+        let r = run_echo(&EchoConfig {
+            chunk_size: 256,
+            num_messages: 3,
+            nested: true,
+            trace: true,
+        })
+        .unwrap();
+        let bundle = r.trace.expect("trace requested");
+        assert!(bundle.spans > 0, "spans reconstructed");
+        assert!(bundle.chrome_json.contains("\"traceEvents\""));
+        assert!(bundle.folded.contains("ecall"));
+        // The untraced path stays cheap: no bundle.
+        let quiet = run(256, true);
+        assert!(quiet.trace.is_none());
     }
 
     #[test]

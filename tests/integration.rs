@@ -241,6 +241,7 @@ fn tls_stack_end_to_end() {
         chunk_size: 512,
         num_messages: 10,
         nested: true,
+        trace: false,
     })
     .unwrap();
     assert_eq!(run.bytes, 5120);

@@ -15,6 +15,7 @@ use ne_core::edl::Edl;
 use ne_core::loader::EnclaveImage;
 use ne_core::runtime::{NestedApp, TrustedFn, UntrustedFn};
 use ne_sgx::config::HwConfig;
+use ne_sgx::profile::{Histogram, ProfileEvent};
 use proptest::prelude::*;
 use std::sync::Arc;
 
@@ -152,5 +153,119 @@ proptest! {
         }
         let m = app.machine.metrics();
         prop_assert!(m.check().is_ok(), "post-reset phase: {:?}", m.check());
+    }
+}
+
+/// Builds a histogram from a sample population.
+fn hist_of(vals: &[u64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &v in vals {
+        h.record(v);
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Count identity: for any population, `count == len == Σ buckets`,
+    /// and the summary reproduces the exact count/sum/min/max.
+    #[test]
+    fn histogram_count_identity(samples in prop::collection::vec(any::<u64>(), 0..256)) {
+        let h = hist_of(&samples);
+        prop_assert_eq!(h.count(), samples.len() as u64);
+        prop_assert_eq!(h.bucket_total(), h.count());
+        let s = h.summary();
+        prop_assert_eq!(s.count, h.count());
+        let exact_sum = samples.iter().fold(0u64, |a, &v| a.saturating_add(v));
+        prop_assert_eq!(s.sum, exact_sum);
+        prop_assert_eq!(s.min, samples.iter().min().copied().unwrap_or(0));
+        prop_assert_eq!(s.max, samples.iter().max().copied().unwrap_or(0));
+    }
+
+    /// Percentile monotonicity: `min ≤ p50 ≤ p90 ≤ p99 ≤ max` for any
+    /// non-empty population, and every quantile stays inside `[min, max]`.
+    #[test]
+    fn histogram_percentiles_monotone(samples in prop::collection::vec(any::<u64>(), 1..256)) {
+        let h = hist_of(&samples);
+        let s = h.summary();
+        prop_assert!(s.min <= s.p50, "min {} > p50 {}", s.min, s.p50);
+        prop_assert!(s.p50 <= s.p90, "p50 {} > p90 {}", s.p50, s.p90);
+        prop_assert!(s.p90 <= s.p99, "p90 {} > p99 {}", s.p90, s.p99);
+        prop_assert!(s.p99 <= s.max, "p99 {} > max {}", s.p99, s.max);
+        for q in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            let p = h.percentile(q);
+            prop_assert!(s.min <= p && p <= s.max, "p{q} = {p} outside [{}, {}]", s.min, s.max);
+        }
+    }
+
+    /// Merge is associative and commutative, the empty histogram is its
+    /// identity, and merging never loses samples.
+    #[test]
+    fn histogram_merge_associative(
+        a in prop::collection::vec(any::<u64>(), 0..64),
+        b in prop::collection::vec(any::<u64>(), 0..64),
+        c in prop::collection::vec(any::<u64>(), 0..64),
+    ) {
+        let (ha, hb, hc) = (hist_of(&a), hist_of(&b), hist_of(&c));
+        // (a ⊕ b) ⊕ c
+        let mut ab_c = ha.clone();
+        ab_c.merge(&hb);
+        ab_c.merge(&hc);
+        // a ⊕ (b ⊕ c)
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut a_bc = ha.clone();
+        a_bc.merge(&bc);
+        prop_assert_eq!(&ab_c, &a_bc);
+        // Commutativity.
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        prop_assert_eq!(&ab, &ba);
+        // Identity and sample conservation.
+        let mut with_empty = ha.clone();
+        with_empty.merge(&Histogram::new());
+        prop_assert_eq!(&with_empty, &ha);
+        prop_assert_eq!(ab_c.count(), (a.len() + b.len() + c.len()) as u64);
+        // A merge result is itself a valid population for the percentile
+        // invariant — merged summaries stay monotone.
+        let s = ab_c.summary();
+        prop_assert!(s.min <= s.p50 && s.p50 <= s.p90 && s.p90 <= s.p99 && s.p99 <= s.max);
+    }
+
+    /// The boundary histograms agree with the span counters for any
+    /// runtime-driven workload: their combined sample count equals
+    /// `Stats::span_closes`, and the per-event counts match the
+    /// transition counters ([`MachineMetrics::check`] asserts the same
+    /// identities; here they are exercised against random call mixes).
+    #[test]
+    fn boundary_histograms_match_stats(calls in prop::collection::vec(call_strategy(), 1..16)) {
+        let mut app = build_app();
+        for call in &calls {
+            issue(&mut app, call);
+        }
+        let m = app.machine.metrics();
+        let count_of = |event| {
+            m.profile
+                .iter()
+                .filter(|e| e.event == event)
+                .map(|e| e.hist.count())
+                .sum::<u64>()
+        };
+        let boundary: u64 = ProfileEvent::BOUNDARY.into_iter().map(count_of).sum();
+        prop_assert_eq!(boundary, m.stats.span_closes);
+        // Per-event counters must match the microarchitectural histograms.
+        // (No such identity holds for stats.ecalls vs the ecall histogram:
+        // returning from an ocall is an EENTER too, so the transition
+        // counter can exceed the span count.)
+        prop_assert_eq!(count_of(ProfileEvent::TlbMiss), m.stats.tlb_misses);
+        prop_assert_eq!(count_of(ProfileEvent::Aex), m.stats.aexes);
+        prop_assert_eq!(count_of(ProfileEvent::Eresume), m.stats.eresumes);
+        prop_assert_eq!(
+            count_of(ProfileEvent::Paging),
+            m.stats.ewb_pages + m.stats.eldu_pages
+        );
     }
 }
