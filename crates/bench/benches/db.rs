@@ -1,7 +1,7 @@
 //! Criterion bench: the Table VI SQLite/YCSB case study.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use ne_bench::db_case::run_db_case;
+use ne_bench::db_case::{run_db_case, DEFAULT_DB_SEED};
 use ne_db::WorkloadMix;
 use std::time::Duration;
 
@@ -12,7 +12,15 @@ fn bench_db(c: &mut Criterion) {
         let label = if nested { "nested" } else { "monolithic" };
         g.bench_function(format!("ycsb_95_5_x100_{label}"), |b| {
             b.iter(|| {
-                run_db_case(WorkloadMix::Select95Update5, 50, 100, nested, false).expect("db case")
+                run_db_case(
+                    WorkloadMix::Select95Update5,
+                    50,
+                    100,
+                    nested,
+                    false,
+                    DEFAULT_DB_SEED,
+                )
+                .expect("db case")
             })
         });
     }

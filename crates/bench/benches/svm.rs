@@ -17,6 +17,7 @@ fn bench_svm(c: &mut Criterion) {
                     scale: 0.005,
                     nested,
                     trace: false,
+                    seed: 0,
                 })
                 .expect("svm case")
             })

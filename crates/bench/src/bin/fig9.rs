@@ -3,18 +3,21 @@
 //!
 //! Datasets are synthetic stand-ins with Table V's exact shapes; run with
 //! `--full` for the full sizes (slow: full cod-rna has ~60 k samples) —
-//! the default uses 2% scale. `--metrics-out <path>` exports every run's
-//! machine snapshot; `--bench-out`, `--profile-out` and `--trace-out`
-//! export the regression baseline, latency histograms, and a
-//! Chrome/Perfetto trace of the nested dna run (see `ne_bench::report`).
+//! the default uses 2% scale. `--seed <u64>` draws different synthetic
+//! datasets of the same shapes (default 0 reproduces the committed
+//! numbers). `--metrics-out <path>` exports every run's machine snapshot;
+//! `--bench-out`, `--profile-out` and `--trace-out` export the regression
+//! baseline, latency histograms, and a Chrome/Perfetto trace of the
+//! nested dna run (see `ne_bench::report`).
 
-use ne_bench::report::{banner, f3, want_trace, write_trace, MetricsReport, Table};
+use ne_bench::report::{banner, f3, flag_u64, want_trace, write_trace, MetricsReport, Table};
 use ne_bench::svm_case::{run_svm_case, SvmCaseConfig};
 use ne_svm::data::TableVDataset;
 
 fn main() {
     let full = std::env::args().any(|a| a == "--full");
     let scale = if full { 1.0 } else { 0.005 };
+    let seed = flag_u64("--seed").unwrap_or(0);
     let mut report = MetricsReport::new("fig9");
 
     banner("Table V: datasets used for evaluating LibSVM");
@@ -33,7 +36,7 @@ fn main() {
     println!("(synthetic data of identical shape; '-' reuses a training fraction)\n");
 
     banner(&format!(
-        "Fig. 9: normalized execution time (scale {scale})"
+        "Fig. 9: normalized execution time (scale {scale}, seed {seed})"
     ));
     let mut t = Table::new(&[
         "dataset",
@@ -49,6 +52,7 @@ fn main() {
             scale,
             nested: false,
             trace: false,
+            seed,
         })
         .expect("monolithic run");
         // The traced dataset is dna: the one Fig. 9's discussion names.
@@ -58,6 +62,7 @@ fn main() {
             scale,
             nested: true,
             trace: trace_this,
+            seed,
         })
         .expect("nested run");
         if trace_this {

@@ -1,0 +1,290 @@
+//! **ne-load** — the load-generator harness for the `ne-host`
+//! multi-tenant hosting server.
+//!
+//! Where the figure/table binaries measure single calls, this one drives
+//! **sustained traffic** through the full admission → scheduler →
+//! ecall → n_ecall → reply chain and reports end-to-end request latency
+//! (p50/p99) and throughput. Two arrival processes run, each against a
+//! freshly built server:
+//!
+//! * **open-loop** — Poisson arrivals (exponential inter-arrival times
+//!   from the seeded RNG) offered regardless of completion; overload
+//!   surfaces as backpressure rejections, never queue growth;
+//! * **closed-loop** — one client per (tenant, service) pair that submits
+//!   its next request the moment the previous one completes, the classic
+//!   latency-oriented harness.
+//!
+//! Everything is deterministic under `--seed`: the arrival schedule, the
+//! request payloads, and the per-tenant models/datasets, so two runs with
+//! the same flags export byte-identical `ne-bench/v1` baselines.
+//!
+//! Flags: `--tenants N` (default 4), `--services N` per tenant (default
+//! 2, capped at the 3 service kinds), `--requests N` per (tenant,
+//! service) per run (default 12), `--seed S`, `--mode open|closed|both`
+//! (default both), `--no-switchless`, plus the standard `--metrics-out`,
+//! `--bench-out`, `--profile-out` and `--trace-out` exports (the traced
+//! run is the closed-loop one).
+
+use ne_bench::report::{
+    banner, f2, flag_str, flag_u64, throughput_rps, want_trace, write_trace, MetricsReport, Table,
+};
+use ne_host::{HostConfig, HostServer, RequestFactory, ServiceKind, TenantSpec};
+use ne_sgx::profile::ProfileEvent;
+use ne_sgx::spantree::TraceBundle;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Mean inter-arrival gap of the open-loop Poisson process, in cycles
+/// across all tenants. Roughly 70% utilization of three serving cores at
+/// the mixed-service cost, so the open-loop run is busy but not saturated.
+const MEAN_GAP_CYCLES: f64 = 120_000.0;
+
+#[derive(Clone)]
+struct Plan {
+    tenants: usize,
+    services: usize,
+    requests: usize,
+    seed: u64,
+    switchless: bool,
+}
+
+fn specs(plan: &Plan) -> Vec<TenantSpec> {
+    (0..plan.tenants)
+        .map(|i| {
+            let kinds: Vec<ServiceKind> = (0..plan.services)
+                .map(|s| ServiceKind::ALL[s % ServiceKind::ALL.len()])
+                .collect();
+            TenantSpec::new(&format!("tenant{i}"), (plan.tenants - i) as u8, kinds)
+        })
+        .collect()
+}
+
+fn build(plan: &Plan, trace: bool) -> HostServer {
+    let mut cfg = HostConfig::new(specs(plan));
+    cfg.seed = plan.seed;
+    cfg.switchless = plan.switchless;
+    cfg.hw.trace_events = trace;
+    HostServer::build(cfg).expect("host build")
+}
+
+fn factories(plan: &Plan) -> Vec<Vec<RequestFactory>> {
+    specs(plan)
+        .iter()
+        .enumerate()
+        .map(|(t, spec)| {
+            spec.services
+                .iter()
+                .map(|&k| RequestFactory::new(k, t, plan.seed))
+                .collect()
+        })
+        .collect()
+}
+
+/// Serves every provisioning request (db schema + pre-loads; at least one
+/// request per service to warm the paths), drains, and resets the
+/// measurement window so the measured runs see only steady-state work.
+fn warmup(server: &mut HostServer, factories: &mut [Vec<RequestFactory>]) {
+    for (t, tenant_factories) in factories.iter_mut().enumerate() {
+        if server.tenants()[t].shed {
+            continue;
+        }
+        for (s, factory) in tenant_factories.iter_mut().enumerate() {
+            for _ in 0..factory.setup_requests().max(1) {
+                let payload = factory.next_request();
+                assert!(
+                    server.submit(t, s, server.now(), payload).is_accepted(),
+                    "warmup request rejected (queue bound too small for setup?)"
+                );
+                // Serve as we go so setup never trips the queue bound.
+                server.step().expect("warmup step");
+            }
+        }
+    }
+    server.drain().expect("warmup drain");
+    server.reset_measurement();
+}
+
+/// Offered-load run: a pre-generated Poisson arrival schedule is submitted
+/// on time regardless of completions; full queues reject (backpressure).
+fn open_loop(server: &mut HostServer, factories: &mut [Vec<RequestFactory>], plan: &Plan) -> u64 {
+    let mut rng = StdRng::seed_from_u64(plan.seed ^ 0x5EED_AD11);
+    let pairs: Vec<(usize, usize)> = (0..plan.tenants)
+        .flat_map(|t| (0..factories[t].len()).map(move |s| (t, s)))
+        .collect();
+    let mut schedule = Vec::with_capacity(plan.requests * pairs.len());
+    let mut at = 0u64;
+    for i in 0..plan.requests * pairs.len() {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        at += (-(1.0 - u).ln() * MEAN_GAP_CYCLES) as u64;
+        let (t, s) = pairs[i % pairs.len()];
+        schedule.push((t, s, at));
+    }
+    let mut accepted = 0u64;
+    let mut i = 0;
+    while i < schedule.len() || server.pending() > 0 {
+        // Submit everything that has arrived by the serving clock; when
+        // the server is idle, jump to the next arrival.
+        while i < schedule.len() && (schedule[i].2 <= server.now() || server.pending() == 0) {
+            let (t, s, at) = schedule[i];
+            i += 1;
+            let payload = factories[t][s].next_request();
+            if server.submit(t, s, at, payload).is_accepted() {
+                accepted += 1;
+            }
+        }
+        if server.pending() > 0 {
+            server.step().expect("open-loop step");
+        }
+    }
+    accepted
+}
+
+/// Think-time-free closed loop: one client per (tenant, service); each
+/// submits its next request at the completion time of its previous one.
+fn closed_loop(server: &mut HostServer, factories: &mut [Vec<RequestFactory>], plan: &Plan) -> u64 {
+    let mut remaining: Vec<Vec<usize>> = factories
+        .iter()
+        .enumerate()
+        .map(|(t, fs)| {
+            let n = if server.tenants()[t].shed {
+                0
+            } else {
+                plan.requests
+            };
+            vec![n; fs.len()]
+        })
+        .collect();
+    let mut accepted = 0u64;
+    for t in 0..factories.len() {
+        for s in 0..factories[t].len() {
+            if remaining[t][s] > 0 {
+                remaining[t][s] -= 1;
+                let payload = factories[t][s].next_request();
+                assert!(server.submit(t, s, 0, payload).is_accepted());
+                accepted += 1;
+            }
+        }
+    }
+    while let Some(c) = server.step().expect("closed-loop step") {
+        if remaining[c.tenant][c.service] > 0 {
+            remaining[c.tenant][c.service] -= 1;
+            let payload = factories[c.tenant][c.service].next_request();
+            assert!(server
+                .submit(c.tenant, c.service, c.end, payload)
+                .is_accepted());
+            accepted += 1;
+        }
+    }
+    accepted
+}
+
+fn tenant_table(server: &HostServer) -> Table {
+    let mut t = Table::new(&[
+        "tenant",
+        "prio",
+        "loaded",
+        "accepted",
+        "rej_full",
+        "rej_shed",
+        "completed",
+    ]);
+    for r in server.report().tenants {
+        t.row(&[
+            r.name,
+            r.priority.to_string(),
+            if r.loaded { "yes" } else { "SHED" }.to_string(),
+            r.accepted.to_string(),
+            r.rejected_full.to_string(),
+            r.rejected_shed.to_string(),
+            r.completed.to_string(),
+        ]);
+    }
+    t
+}
+
+fn run(label: &str, plan: &Plan, report: &mut MetricsReport, trace: bool) -> Option<TraceBundle> {
+    let mut server = build(plan, trace);
+    let mut fs = factories(plan);
+    warmup(&mut server, &mut fs);
+    let accepted = match label {
+        "open-loop" => open_loop(&mut server, &mut fs, plan),
+        "closed-loop" => closed_loop(&mut server, &mut fs, plan),
+        other => unreachable!("unknown run label {other}"),
+    };
+    let hr = server.report();
+    assert_eq!(
+        hr.sched.invariant_violations, 0,
+        "scheduler invariant violated in {label}"
+    );
+    assert_eq!(hr.completed(), accepted, "accepted request lost in {label}");
+    // Spot-check every reply against a fresh factory of the same stream.
+    for c in server.completions() {
+        let spec = &server.tenants()[c.tenant].spec;
+        let f = RequestFactory::new(spec.services[c.service], c.tenant, plan.seed);
+        assert!(
+            f.check_reply(&c.reply),
+            "bad {label} reply for {}",
+            spec.name
+        );
+    }
+    let m = server.app.machine.metrics();
+    let hist = server.app.machine.profile().merged(ProfileEvent::Request);
+    let s = hist.summary();
+    let clock = plan_clock(&server);
+    println!("\n{label}: {accepted} requests served");
+    tenant_table(&server).print();
+    println!(
+        "  throughput: {} req/s   latency p50 {} cycles ({} us)  p99 {} cycles ({} us)\n  \
+         dispatches {} (home {}, steals {}), max backlog {}",
+        f2(throughput_rps(&m).unwrap_or(0.0)),
+        s.p50,
+        f2(s.p50 as f64 / (clock * 1e3)),
+        s.p99,
+        f2(s.p99 as f64 / (clock * 1e3)),
+        hr.sched.dispatched,
+        hr.sched.home_dispatches,
+        hr.sched.steals,
+        hr.sched.max_backlog,
+    );
+    report.push_run(label, m);
+    trace.then(|| TraceBundle::capture(&server.app.machine))
+}
+
+fn plan_clock(server: &HostServer) -> f64 {
+    server.app.machine.config().cost.clock_ghz
+}
+
+fn main() {
+    let plan = Plan {
+        tenants: flag_u64("--tenants").unwrap_or(4) as usize,
+        services: (flag_u64("--services").unwrap_or(2) as usize).min(ServiceKind::ALL.len()),
+        requests: flag_u64("--requests").unwrap_or(12) as usize,
+        seed: flag_u64("--seed").unwrap_or(0xC0FFEE),
+        switchless: !std::env::args().any(|a| a == "--no-switchless"),
+    };
+    let mode = flag_str("--mode").unwrap_or_else(|| "both".to_string());
+    let (open, closed) = match mode.as_str() {
+        "open" => (true, false),
+        "closed" => (false, true),
+        "both" => (true, true),
+        other => panic!("--mode expects open|closed|both, got '{other}'"),
+    };
+    banner(&format!(
+        "ne-load: {} tenants x {} services, {} requests per pair, seed {}, switchless {}",
+        plan.tenants, plan.services, plan.requests, plan.seed, plan.switchless
+    ));
+    let mut report = MetricsReport::new("ne-load");
+    let mut bundle = None;
+    if open {
+        run("open-loop", &plan, &mut report, false);
+    }
+    if closed {
+        // The traced run: the closed loop has the cleanest span structure
+        // (no overlapping idle-advance from future arrivals).
+        bundle = run("closed-loop", &plan, &mut report, want_trace());
+    }
+    if want_trace() {
+        write_trace(bundle.as_ref());
+    }
+    report.finish();
+}

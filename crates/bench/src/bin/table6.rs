@@ -2,20 +2,22 @@
 //! random request distribution), normalized to the monolithic enclave.
 //!
 //! The paper runs 10 000 queries; that is the `--full` setting (default
-//! 500 for a quick run). `--metrics-out`, `--bench-out`, `--profile-out`
-//! and `--trace-out` export snapshots, the regression baseline, latency
-//! histograms, and a Chrome/Perfetto trace of the first nested mix (see
-//! `ne_bench::report`).
+//! 500 for a quick run). `--seed <u64>` picks the YCSB workload stream
+//! (default reproduces the committed numbers). `--metrics-out`,
+//! `--bench-out`, `--profile-out` and `--trace-out` export snapshots, the
+//! regression baseline, latency histograms, and a Chrome/Perfetto trace
+//! of the first nested mix (see `ne_bench::report`).
 
-use ne_bench::db_case::run_db_case;
-use ne_bench::report::{banner, f2, f3, want_trace, write_trace, MetricsReport, Table};
+use ne_bench::db_case::{run_db_case, DEFAULT_DB_SEED};
+use ne_bench::report::{banner, f2, f3, flag_u64, want_trace, write_trace, MetricsReport, Table};
 use ne_db::WorkloadMix;
 
 fn main() {
     let full = std::env::args().any(|a| a == "--full");
     let (records, ops) = if full { (1_000, 10_000) } else { (100, 500) };
+    let seed = flag_u64("--seed").unwrap_or(DEFAULT_DB_SEED);
     banner(&format!(
-        "Table VI: SQLite YCSB throughput ({ops} queries, {records} records)"
+        "Table VI: SQLite YCSB throughput ({ops} queries, {records} records, seed {seed})"
     ));
     let mut t = Table::new(&[
         "Workload",
@@ -28,10 +30,10 @@ fn main() {
     let mut report = MetricsReport::new("table6");
     let mut traced = None;
     for (i, (mix, paper_v)) in WorkloadMix::ALL.into_iter().zip(paper).enumerate() {
-        let mono = run_db_case(mix, records, ops, false, false).expect("monolithic");
+        let mono = run_db_case(mix, records, ops, false, false, seed).expect("monolithic");
         // The traced mix is the first (pure-select) nested run.
         let trace_this = want_trace() && i == 0;
-        let nested = run_db_case(mix, records, ops, true, trace_this).expect("nested");
+        let nested = run_db_case(mix, records, ops, true, trace_this, seed).expect("nested");
         if trace_this {
             traced = nested.trace.clone();
         }

@@ -202,6 +202,14 @@ impl MetricsReport {
             out.push_str("    {\n");
             out.push_str(&format!("      \"label\": \"{}\",\n", json_escape(label)));
             out.push_str(&format!("      \"total_cycles\": {},\n", m.total_cycles));
+            // Serving-layer runs record end-to-end request latency; for
+            // those, distill a throughput number too: completed requests
+            // over the wall-clock of the busiest core. Runs without
+            // request samples (all the figure/table benchmarks) are
+            // byte-identical to before this key existed.
+            if let Some(rps) = throughput_rps(m) {
+                out.push_str(&format!("      \"throughput_rps\": {rps:.2},\n"));
+            }
             out.push_str("      \"transitions\": {");
             out.push_str(
                 &[
@@ -295,6 +303,21 @@ impl MetricsReport {
     }
 }
 
+/// Requests per (simulated) second of a snapshot: the count of the
+/// end-to-end [`ProfileEvent::Request`] histogram over the wall-clock of
+/// the busiest core. `None` when the run recorded no request latencies —
+/// i.e. for every benchmark that is not a serving-layer run.
+pub fn throughput_rps(m: &MachineMetrics) -> Option<f64> {
+    let requests: u64 = m
+        .profile
+        .iter()
+        .filter(|e| e.event == ProfileEvent::Request)
+        .map(|e| e.hist.count())
+        .sum();
+    let wall = m.cores.iter().map(|c| c.cycles).max().unwrap_or(0);
+    (requests > 0 && wall > 0).then(|| requests as f64 * m.clock_ghz * 1e9 / wall as f64)
+}
+
 /// Non-empty per-event histograms of a snapshot, merged across hierarchy
 /// levels, in [`ProfileEvent::ALL`] order.
 pub fn merged_histograms(m: &MachineMetrics) -> Vec<(ProfileEvent, Histogram)> {
@@ -381,18 +404,40 @@ pub fn write_trace(bundle: Option<&TraceBundle>) {
     }
 }
 
-fn flag_path(flag: &str) -> Option<PathBuf> {
+/// Parses a string-valued flag (`--flag v` or `--flag=v`) from the
+/// process arguments.
+pub fn flag_str(flag: &str) -> Option<String> {
     let prefix = format!("{flag}=");
     let mut args = std::env::args();
     while let Some(a) = args.next() {
         if a == flag {
-            return args.next().map(PathBuf::from);
+            return args.next();
         }
         if let Some(p) = a.strip_prefix(&prefix) {
-            return Some(PathBuf::from(p));
+            return Some(p.to_string());
         }
     }
     None
+}
+
+fn flag_path(flag: &str) -> Option<PathBuf> {
+    flag_str(flag).map(PathBuf::from)
+}
+
+/// Parses an integer flag (`--flag 7` or `--flag=7`) from the process
+/// arguments. Used by the experiment binaries for `--seed` and the
+/// load-generator knobs, so every binary parses them identically.
+///
+/// # Panics
+///
+/// Panics with a clear message when the value is present but not an
+/// unsigned integer — a silently ignored seed would make a "seeded" run
+/// unreproducible.
+pub fn flag_u64(flag: &str) -> Option<u64> {
+    flag_str(flag).map(|v| {
+        v.parse::<u64>()
+            .unwrap_or_else(|_| panic!("{flag} expects an unsigned integer, got '{v}'"))
+    })
 }
 
 /// Parses `--metrics-out <path>` from the process arguments.
@@ -561,6 +606,26 @@ mod tests {
         let mut r2 = MetricsReport::new("unit");
         r2.push_run("a", snapshot());
         assert_eq!(j, r2.to_bench_json());
+    }
+
+    #[test]
+    fn bench_json_adds_throughput_for_serving_runs_only() {
+        use ne_sgx::profile::HierLevel;
+        let mut m = ne_sgx::machine::Machine::new(ne_sgx::config::HwConfig::small());
+        let va = m.os_alloc_untrusted(ne_sgx::enclave::ProcessId(0), 1);
+        m.write(0, va, b"payload").unwrap();
+        m.profile_record(ProfileEvent::Request, HierLevel::Untrusted, 1000);
+        let metrics = m.metrics();
+        assert!(throughput_rps(&metrics).unwrap() > 0.0);
+        let mut r = MetricsReport::new("unit");
+        r.push_run("serve", metrics);
+        assert!(r.to_bench_json().contains("\"throughput_rps\": "));
+        // Runs without request samples stay byte-free of the key, so
+        // committed figure/table baselines are unchanged.
+        let mut r2 = MetricsReport::new("unit");
+        r2.push_run("plain", snapshot());
+        assert!(!r2.to_bench_json().contains("throughput_rps"));
+        assert!(throughput_rps(&snapshot()).is_none());
     }
 
     #[test]

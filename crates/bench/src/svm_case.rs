@@ -40,6 +40,9 @@ pub struct SvmCaseConfig {
     /// Record the event trace; the run's [`SvmCaseResult::trace`] then
     /// covers the predict phase.
     pub trace: bool,
+    /// XORed into the dataset seed and the trainer's heuristic seed; 0
+    /// reproduces the committed figures exactly.
+    pub seed: u64,
 }
 
 /// Result of one run.
@@ -82,8 +85,12 @@ fn predict_charge(model: &SvmModel, ds: &Dataset) -> u64 {
 ///
 /// Enclave plumbing errors (none expected for valid configs).
 pub fn run_svm_case(cfg: &SvmCaseConfig) -> Result<SvmCaseResult, SgxError> {
-    let (train_ds, test_ds) = cfg.dataset.generate(cfg.scale);
+    let (train_ds, test_ds) = cfg.dataset.generate_with_seed(cfg.scale, cfg.seed);
     let classes = train_ds.num_classes;
+    let params = TrainParams {
+        seed: TrainParams::default().seed ^ cfg.seed,
+        ..TrainParams::default()
+    };
     let model_slot: Arc<Mutex<Option<SvmModel>>> = Arc::new(Mutex::new(None));
     let policy = FilterPolicy {
         drop_columns: vec![0],
@@ -103,10 +110,11 @@ pub fn run_svm_case(cfg: &SvmCaseConfig) -> Result<SvmCaseResult, SgxError> {
             .heap_pages(8)
             .edl(Edl::new());
         let m1 = model_slot.clone();
+        let p = params.clone();
         let svm_train: TrustedFn = Arc::new(move |cx, args| {
             let ds = Dataset::from_bytes(args, classes);
             cx.charge(train_charge(&ds));
-            let model = train(&ds, &TrainParams::default());
+            let model = train(&ds, &p);
             *m1.lock().expect("poisoned") = Some(model);
             Ok(vec![])
         });
@@ -167,12 +175,13 @@ pub fn run_svm_case(cfg: &SvmCaseConfig) -> Result<SvmCaseResult, SgxError> {
             .edl(Edl::new().ecall("train").ecall("predict"));
         let m1 = model_slot.clone();
         let p1 = policy.clone();
+        let p = params.clone();
         let train_fn: TrustedFn = Arc::new(move |cx, args| {
             cx.charge(gcm_cost(cx.machine.config(), args.len()));
             let ds = Dataset::from_bytes(args, classes);
             let clean = p1.anonymize(&ds);
             cx.charge(train_charge(&clean));
-            *m1.lock().expect("poisoned") = Some(train(&clean, &TrainParams::default()));
+            *m1.lock().expect("poisoned") = Some(train(&clean, &p));
             Ok(vec![])
         });
         let m2 = model_slot.clone();
@@ -231,6 +240,7 @@ mod tests {
             scale: 0.01,
             nested,
             trace: false,
+            seed: 0,
         })
         .unwrap()
     }

@@ -136,6 +136,42 @@ fn teardown_ordering_respects_activity() {
     app.machine.audit_epcm().unwrap();
 }
 
+/// Regression: an outer that entered via an inner's n_ocall call path and
+/// then took an AEX has zero active threads, yet its TCS is busy and its
+/// caller link points at the suspended inner. EREMOVE in that window must
+/// fail cleanly — tearing the outer down here used to orphan the inner's
+/// saved context mid-call — and the whole chain must still unwind.
+#[test]
+fn eremove_rejects_aexed_outer_with_suspended_caller() {
+    let mut app = topology();
+    let outer = app.layout("outer").unwrap();
+    let a = app.layout("a").unwrap();
+    app.machine.eenter(0, a.eid, a.base).unwrap();
+    // Call path into the outer: a's context suspends, outer TCS acquired.
+    neexit(&mut app.machine, 0).unwrap();
+    // Interrupt the outer: active_threads drops to 0, TCS stays busy.
+    app.machine.aex(0).unwrap();
+    assert_eq!(
+        app.machine
+            .enclaves()
+            .get(outer.eid)
+            .unwrap()
+            .active_threads,
+        0
+    );
+    let err = app.machine.eremove(outer.eid).unwrap_err();
+    assert!(matches!(err, SgxError::BadEnclaveState(_)), "got {err}");
+    app.machine.audit_epcm().unwrap();
+    // Resume the outer, return into the inner, and unwind everything.
+    app.machine.eresume(0, outer.eid, outer.base).unwrap();
+    neenter(&mut app.machine, 0, a.eid, a.base).unwrap();
+    app.machine.eexit(0).unwrap();
+    app.machine.eremove(outer.eid).unwrap();
+    app.machine.eremove(a.eid).unwrap();
+    app.machine.audit_epcm().unwrap();
+    app.machine.audit_tlbs().unwrap();
+}
+
 /// After the outer is gone, the ex-inner's NEEXIT has nowhere to go.
 #[test]
 fn orphaned_inner_cannot_neexit() {

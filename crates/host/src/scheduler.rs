@@ -1,0 +1,248 @@
+//! The TCS-aware work-stealing scheduler.
+//!
+//! Serving cores each own a *home* set of tenants (round-robin at build
+//! time). A core about to dispatch prefers the next backlogged home
+//! tenant; with no home work it **steals** the head request of the most
+//! backlogged tenant anywhere. Stealing moves whole head-of-line requests
+//! only, so per-tenant FIFO order is preserved by construction — a later
+//! request of a tenant can never be dispatched before an earlier one,
+//! whichever core serves it.
+//!
+//! The simulator advances one core at a time, so "parallelism" is the
+//! per-core cycle clocks: the next dispatch always goes to the core whose
+//! clock is furthest behind ([`Scheduler::pick_core`]), which is exactly
+//! the work-conserving choice a real dispatcher approximates.
+//!
+//! TCS-awareness: every enclave in this model has a single TCS, so two
+//! contexts of one enclave must never be live at once, and a core must be
+//! out of enclave mode between requests. [`Scheduler::precheck`] verifies
+//! both before each dispatch and counts violations instead of panicking —
+//! [`SchedulerStats::invariant_violations`] must be zero after any run,
+//! and the property tests assert exactly that.
+
+use crate::tenant::{Request, TenantState};
+use ne_sgx::machine::Machine;
+use ne_sgx::EnclaveId;
+
+/// Counters the scheduler maintains across a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedulerStats {
+    /// Requests handed to a core.
+    pub dispatched: u64,
+    /// Dispatches that came from the core's own home tenants.
+    pub home_dispatches: u64,
+    /// Dispatches stolen from another core's home tenant.
+    pub steals: u64,
+    /// TCS/core-mode invariant failures observed by
+    /// [`Scheduler::precheck`]. Must be zero; a nonzero value means the
+    /// host tried to run two contexts on one core or re-enter a busy TCS.
+    pub invariant_violations: u64,
+    /// Largest total backlog (queued requests across all tenants) seen.
+    pub max_backlog: usize,
+}
+
+/// Work-stealing dispatcher over the serving cores.
+#[derive(Debug)]
+pub struct Scheduler {
+    cores: Vec<usize>,
+    /// `home[slot]` = tenant indices owned by `cores[slot]`.
+    home: Vec<Vec<usize>>,
+    /// Round-robin cursor per core slot.
+    cursor: Vec<usize>,
+    /// Run counters.
+    pub stats: SchedulerStats,
+}
+
+impl Scheduler {
+    /// A scheduler over `cores`, with `num_tenants` tenants distributed
+    /// round-robin as home assignments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is empty.
+    pub fn new(cores: Vec<usize>, num_tenants: usize) -> Scheduler {
+        assert!(!cores.is_empty(), "scheduler needs at least one core");
+        let mut home = vec![Vec::new(); cores.len()];
+        for t in 0..num_tenants {
+            home[t % cores.len()].push(t);
+        }
+        let cursor = vec![0; cores.len()];
+        Scheduler {
+            cores,
+            home,
+            cursor,
+            stats: SchedulerStats::default(),
+        }
+    }
+
+    /// The serving cores.
+    pub fn cores(&self) -> &[usize] {
+        &self.cores
+    }
+
+    /// The home tenants of the core at `slot`.
+    pub fn home_of(&self, slot: usize) -> &[usize] {
+        &self.home[slot]
+    }
+
+    /// The slot (index into [`Scheduler::cores`]) of the core whose clock
+    /// is furthest behind — the next one to dispatch on.
+    pub fn pick_core(&self, machine: &Machine) -> usize {
+        (0..self.cores.len())
+            .min_by_key(|&s| machine.cycles(self.cores[s]))
+            .expect("non-empty cores")
+    }
+
+    /// Picks the next request for the core at `slot`: round-robin over its
+    /// backlogged home tenants, else steal the head of the most backlogged
+    /// tenant anywhere. Updates dispatch counters; returns `None` when
+    /// every queue is empty.
+    pub fn pick_request(&mut self, slot: usize, tenants: &mut [TenantState]) -> Option<Request> {
+        let backlog: usize = tenants.iter().map(|t| t.backlog()).sum();
+        self.stats.max_backlog = self.stats.max_backlog.max(backlog);
+        let n = self.home[slot].len();
+        for k in 0..n {
+            let pos = (self.cursor[slot] + k) % n;
+            let t = self.home[slot][pos];
+            if let Some(req) = tenants[t].queue.pop_front() {
+                self.cursor[slot] = (pos + 1) % n;
+                self.stats.dispatched += 1;
+                self.stats.home_dispatches += 1;
+                return Some(req);
+            }
+        }
+        // Steal: head request of the most backlogged tenant (ties toward
+        // the lowest tenant index). Head-only stealing keeps per-tenant
+        // FIFO intact.
+        let victim = (0..tenants.len())
+            .filter(|&t| !tenants[t].queue.is_empty())
+            .max_by_key(|&t| (tenants[t].backlog(), std::cmp::Reverse(t)))?;
+        let req = tenants[victim].queue.pop_front().expect("non-empty");
+        self.stats.dispatched += 1;
+        self.stats.steals += 1;
+        Some(req)
+    }
+
+    /// Verifies the dispatch invariants for running `gate` (and its inner
+    /// service enclave `service`) on the core at `slot`:
+    ///
+    /// 1. the core is not already inside an enclave — one context per
+    ///    core at a time;
+    /// 2. the gate has an idle TCS — never two live contexts of one
+    ///    enclave;
+    /// 3. the service enclave has an idle TCS, for the same reason.
+    ///
+    /// Returns true when all hold; otherwise records a violation.
+    pub fn precheck(
+        &mut self,
+        machine: &Machine,
+        slot: usize,
+        gate: EnclaveId,
+        service: EnclaveId,
+    ) -> bool {
+        let core = self.cores[slot];
+        let ok = machine.current_enclave(core).is_none()
+            && machine.find_idle_tcs(gate).is_some()
+            && machine.find_idle_tcs(service).is_some();
+        if !ok {
+            self.stats.invariant_violations += 1;
+            debug_assert!(
+                false,
+                "scheduler invariant violated on core {core}: mode={:?}",
+                machine.current_enclave(core)
+            );
+        }
+        ok
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::ServiceKind;
+    use crate::tenant::TenantSpec;
+
+    fn tenants(n: usize) -> Vec<TenantState> {
+        (0..n)
+            .map(|i| {
+                TenantState::new(
+                    TenantSpec::new(&format!("t{i}"), 1, vec![ServiceKind::Db]),
+                    true,
+                )
+            })
+            .collect()
+    }
+
+    fn push(t: &mut TenantState, tenant: usize, seq: u64) {
+        t.queue.push_back(Request {
+            tenant,
+            service: 0,
+            seq,
+            arrival: 0,
+            payload: vec![],
+        });
+    }
+
+    #[test]
+    fn home_assignment_is_round_robin() {
+        let s = Scheduler::new(vec![0, 1], 5);
+        assert_eq!(s.home_of(0), &[0, 2, 4]);
+        assert_eq!(s.home_of(1), &[1, 3]);
+    }
+
+    #[test]
+    fn home_work_preferred_then_steals() {
+        let mut s = Scheduler::new(vec![0, 1], 2);
+        let mut ts = tenants(2);
+        push(&mut ts[0], 0, 0);
+        push(&mut ts[1], 1, 0);
+        // Core slot 0's home is tenant 0.
+        let r = s.pick_request(0, &mut ts).unwrap();
+        assert_eq!(r.tenant, 0);
+        assert_eq!(s.stats.home_dispatches, 1);
+        // Its home queue is now empty: it steals tenant 1's head.
+        let r = s.pick_request(0, &mut ts).unwrap();
+        assert_eq!(r.tenant, 1);
+        assert_eq!(s.stats.steals, 1);
+        assert!(s.pick_request(0, &mut ts).is_none());
+    }
+
+    #[test]
+    fn stealing_takes_heads_in_fifo_order() {
+        let mut s = Scheduler::new(vec![0, 1], 2);
+        let mut ts = tenants(2);
+        for seq in 0..3 {
+            push(&mut ts[1], 1, seq);
+        }
+        // Slot 0 steals tenant 1's requests: must come out 0, 1, 2.
+        for expect in 0..3u64 {
+            let r = s.pick_request(0, &mut ts).unwrap();
+            assert_eq!((r.tenant, r.seq), (1, expect));
+        }
+    }
+
+    #[test]
+    fn round_robin_rotates_between_home_tenants() {
+        let mut s = Scheduler::new(vec![0], 2);
+        let mut ts = tenants(2);
+        for seq in 0..2 {
+            push(&mut ts[0], 0, seq);
+            push(&mut ts[1], 1, seq);
+        }
+        let order: Vec<usize> = (0..4)
+            .map(|_| s.pick_request(0, &mut ts).unwrap().tenant)
+            .collect();
+        assert_eq!(order, vec![0, 1, 0, 1], "fair interleave");
+    }
+
+    #[test]
+    fn max_backlog_tracks_peak() {
+        let mut s = Scheduler::new(vec![0], 1);
+        let mut ts = tenants(1);
+        for seq in 0..7 {
+            push(&mut ts[0], 0, seq);
+        }
+        s.pick_request(0, &mut ts);
+        assert_eq!(s.stats.max_backlog, 7);
+    }
+}

@@ -1,0 +1,614 @@
+//! The hosting server: tenants, gates, and the serving loop.
+//!
+//! [`HostServer::build`] loads one outer **gate** enclave per tenant and
+//! one inner enclave per service, highest-priority tenants first; a tenant
+//! whose enclaves would push free EPC below the admission controller's
+//! low-water mark is *shed at birth* — its enclaves are never loaded and
+//! its submissions are rejected — rather than loaded into a working set
+//! that would thrash through EWB/ELDU for everyone.
+//!
+//! A request's life: [`HostServer::submit`] runs admission control
+//! ([`crate::admission`]); [`HostServer::step`] lets the scheduler
+//! ([`crate::scheduler`]) pick a core and a request, idle-advances the
+//! core's clock to the arrival time if the core was ahead of it, and
+//! drives the full nested call chain:
+//!
+//! ```text
+//! untrusted ── ecall ──► tenant gate (outer) ── n_ecall ──► service (inner)
+//!      ▲                   │   ▲                                 │
+//!      └── reply ocall ────┘   └───────────── reply ◄────────────┘
+//!       (switchless when a worker core is reserved)
+//! ```
+//!
+//! End-to-end latency (`completion − arrival`) is recorded into the
+//! machine's always-on profile under [`ProfileEvent::Request`], so the
+//! standard metrics/bench exports pick up request p50/p99 with no extra
+//! plumbing.
+
+use crate::admission::{Admission, AdmissionControl};
+use crate::scheduler::{Scheduler, SchedulerStats};
+use crate::service::{install_service, service_enclave_name};
+use crate::tenant::{Completion, TenantSpec, TenantState};
+use ne_core::edl::Edl;
+use ne_core::loader::EnclaveImage;
+use ne_core::runtime::{NestedApp, TrustedFn, UntrustedFn};
+use ne_core::switchless::SwitchlessQueue;
+use ne_sgx::config::HwConfig;
+use ne_sgx::error::SgxError;
+use ne_sgx::profile::{HierLevel, ProfileEvent};
+use std::sync::{Arc, Mutex};
+
+/// Cycles the gate charges per request for header parse + routing.
+pub const GATE_DISPATCH_CYCLES: u64 = 1_200;
+/// Cycles one reply transmission costs (syscall + TCP/IP stack + NIC
+/// handoff), charged to whichever core runs the untrusted `net_reply`.
+pub const NET_REPLY_CYCLES: u64 = 45_000;
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct HostConfig {
+    /// Hardware model; [`HwConfig::testbed`] unless an experiment narrows
+    /// it (e.g. a small `prm_pages` to provoke shedding).
+    pub hw: HwConfig,
+    /// The tenants to host.
+    pub tenants: Vec<TenantSpec>,
+    /// Reserve the last core as an untrusted switchless worker (needs at
+    /// least 2 cores; silently disabled otherwise). Gates then send
+    /// replies through a [`SwitchlessQueue`] instead of a classic ocall.
+    pub switchless: bool,
+    /// Seed for per-tenant models and datasets.
+    pub seed: u64,
+    /// Admission policy (queue bounds live in each [`TenantSpec`]).
+    pub admission: AdmissionControl,
+    /// Payload bound of the switchless reply queue.
+    pub switchless_capacity: usize,
+}
+
+impl HostConfig {
+    /// Testbed hardware, switchless on, default admission policy.
+    pub fn new(tenants: Vec<TenantSpec>) -> HostConfig {
+        HostConfig {
+            hw: HwConfig::testbed(),
+            tenants,
+            switchless: true,
+            seed: 0xC0FFEE,
+            admission: AdmissionControl::default(),
+            switchless_capacity: 4096,
+        }
+    }
+}
+
+/// Per-tenant slice of a [`HostReport`].
+#[derive(Debug, Clone)]
+pub struct TenantReport {
+    /// Tenant name.
+    pub name: String,
+    /// Priority (higher = more important).
+    pub priority: u8,
+    /// Whether the tenant's enclaves were loaded at all.
+    pub loaded: bool,
+    /// Whether the tenant ended the run shed.
+    pub shed: bool,
+    /// Requests accepted by admission control.
+    pub accepted: u64,
+    /// Rejections due to a full queue (backpressure).
+    pub rejected_full: u64,
+    /// Rejections due to shedding (EPC pressure).
+    pub rejected_shed: u64,
+    /// Requests served to completion.
+    pub completed: u64,
+}
+
+/// End-of-run summary.
+#[derive(Debug, Clone)]
+pub struct HostReport {
+    /// One row per tenant, in spec order.
+    pub tenants: Vec<TenantReport>,
+    /// Scheduler counters (dispatches, steals, invariant violations).
+    pub sched: SchedulerStats,
+    /// Whether a switchless worker core was active.
+    pub switchless: bool,
+}
+
+impl HostReport {
+    /// Total completions across tenants.
+    pub fn completed(&self) -> u64 {
+        self.tenants.iter().map(|t| t.completed).sum()
+    }
+
+    /// Total accepted across tenants.
+    pub fn accepted(&self) -> u64 {
+        self.tenants.iter().map(|t| t.accepted).sum()
+    }
+}
+
+/// The multi-tenant hosting server.
+pub struct HostServer {
+    /// The underlying runtime; public so harnesses can export metrics,
+    /// profiles, and traces from `app.machine` directly.
+    pub app: NestedApp,
+    tenants: Vec<TenantState>,
+    sched: Scheduler,
+    admission: AdmissionControl,
+    worker_core: Option<usize>,
+    completions: Vec<Completion>,
+}
+
+fn gate_image(name: &str) -> EnclaveImage {
+    EnclaveImage::new(name, b"host-gateway")
+        .code_pages(8)
+        .heap_pages(4)
+        .edl(Edl::new().ecall("dispatch").ocall("net_reply"))
+}
+
+/// The gate's `dispatch` body: route by the one-byte service index, call
+/// the inner service, push the reply out (switchless when available).
+fn gate_dispatch(
+    services: Vec<String>,
+    switchless: Arc<Mutex<Option<SwitchlessQueue>>>,
+) -> TrustedFn {
+    Arc::new(move |cx, msg| {
+        let (&svc, payload) = msg
+            .split_first()
+            .ok_or_else(|| SgxError::GeneralProtection("empty request".into()))?;
+        let name = services
+            .get(svc as usize)
+            .ok_or_else(|| SgxError::GeneralProtection(format!("unknown service index {svc}")))?;
+        cx.charge(GATE_DISPATCH_CYCLES);
+        let reply = cx.n_ecall(name, "handle", payload)?;
+        let queue = *switchless.lock().expect("poisoned");
+        match queue {
+            Some(q) => {
+                q.ocall(cx, "net_reply", &reply)?;
+            }
+            None => {
+                cx.ocall("net_reply", &reply)?;
+            }
+        }
+        Ok(reply)
+    })
+}
+
+/// EPC pages one tenant needs: gate + services, each `total_pages` of the
+/// image plus its SECS page.
+fn tenant_epc_pages(spec: &TenantSpec) -> u64 {
+    let gate = gate_image(&spec.gate_name()).total_pages() + 1;
+    let services: u64 = spec
+        .services
+        .iter()
+        .map(|&k| {
+            crate::service::service_image(&service_enclave_name(&spec.name, k), k).total_pages() + 1
+        })
+        .sum();
+    gate + services
+}
+
+impl HostServer {
+    /// Builds the server: loads tenants highest-priority first, shedding
+    /// (not loading) any tenant that would push free EPC below the
+    /// low-water mark, then sets up the switchless worker if configured.
+    ///
+    /// # Errors
+    ///
+    /// Loader failures other than the anticipated EPC exhaustion.
+    pub fn build(cfg: HostConfig) -> Result<HostServer, SgxError> {
+        let mut app = NestedApp::new(cfg.hw.clone());
+        let net_reply: UntrustedFn = Arc::new(|cx, _args| {
+            cx.charge(NET_REPLY_CYCLES);
+            Ok(Vec::new())
+        });
+        app.register_untrusted("net_reply", net_reply);
+
+        let switchless_handle: Arc<Mutex<Option<SwitchlessQueue>>> = Arc::new(Mutex::new(None));
+        let mut order: Vec<usize> = (0..cfg.tenants.len()).collect();
+        order.sort_by_key(|&i| std::cmp::Reverse(cfg.tenants[i].priority));
+        let mut loaded = vec![false; cfg.tenants.len()];
+        for &i in &order {
+            let spec = &cfg.tenants[i];
+            let need = tenant_epc_pages(spec);
+            if (app.machine.free_epc_pages() as u64) < need + cfg.admission.epc_low_water {
+                // Shed at birth: graceful degradation instead of loading a
+                // working set that would thrash EWB/ELDU.
+                continue;
+            }
+            let names: Vec<String> = spec
+                .services
+                .iter()
+                .map(|&k| service_enclave_name(&spec.name, k))
+                .collect();
+            app.load(
+                gate_image(&spec.gate_name()),
+                [(
+                    "dispatch".to_string(),
+                    gate_dispatch(names, switchless_handle.clone()),
+                )],
+            )?;
+            let gate_name = spec.gate_name();
+            for &kind in &spec.services {
+                install_service(&mut app, &spec.name, &gate_name, i, kind, cfg.seed)?;
+            }
+            loaded[i] = true;
+        }
+
+        let num_cores = app.machine.num_cores();
+        let worker_core = (cfg.switchless && num_cores >= 2).then(|| num_cores - 1);
+        if let Some(w) = worker_core {
+            let q = app.untrusted(0, |cx| {
+                SwitchlessQueue::create(cx, cfg.switchless_capacity, w)
+            });
+            *switchless_handle.lock().expect("poisoned") = Some(q);
+        }
+        let serving: Vec<usize> = (0..num_cores).filter(|c| Some(*c) != worker_core).collect();
+
+        let tenants: Vec<TenantState> = cfg
+            .tenants
+            .into_iter()
+            .zip(loaded)
+            .map(|(spec, ok)| TenantState::new(spec, ok))
+            .collect();
+        let sched = Scheduler::new(serving, tenants.len());
+        Ok(HostServer {
+            app,
+            tenants,
+            sched,
+            admission: cfg.admission,
+            worker_core,
+            completions: Vec::new(),
+        })
+    }
+
+    /// The reserved switchless worker core, when one is active.
+    pub fn worker_core(&self) -> Option<usize> {
+        self.worker_core
+    }
+
+    /// Tenant states (read-only).
+    pub fn tenants(&self) -> &[TenantState] {
+        &self.tenants
+    }
+
+    /// Completions recorded since the last reset, in completion order.
+    pub fn completions(&self) -> &[Completion] {
+        &self.completions
+    }
+
+    /// Scheduler counters.
+    pub fn sched_stats(&self) -> SchedulerStats {
+        self.sched.stats
+    }
+
+    /// Invariant violations observed so far (must stay zero).
+    pub fn invariant_violations(&self) -> u64 {
+        self.sched.stats.invariant_violations
+    }
+
+    /// Queued requests across all tenants.
+    pub fn pending(&self) -> usize {
+        self.tenants.iter().map(|t| t.backlog()).sum()
+    }
+
+    /// The serving clock: the furthest-behind serving core's cycle count
+    /// (where the next dispatch will happen).
+    pub fn now(&self) -> u64 {
+        self.sched
+            .cores()
+            .iter()
+            .map(|&c| self.app.machine.cycles(c))
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Offers one request. Re-evaluates EPC pressure first and sheds the
+    /// lowest-priority tenant when free EPC is under the low-water mark.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tenant` or `service` is out of range (harness bug).
+    pub fn submit(
+        &mut self,
+        tenant: usize,
+        service: usize,
+        arrival: u64,
+        payload: Vec<u8>,
+    ) -> Admission {
+        assert!(service < self.tenants[tenant].spec.services.len());
+        let free = self.app.machine.free_epc_pages() as u64;
+        if self.admission.under_pressure(free) {
+            if let Some(victim) = self.admission.shed_victim(&self.tenants) {
+                self.tenants[victim].shed = true;
+            }
+        }
+        self.admission
+            .offer(&mut self.tenants[tenant], tenant, service, arrival, payload)
+    }
+
+    /// Serves one queued request, if any: the scheduler picks the
+    /// furthest-behind core and a request (home tenants first, stealing
+    /// otherwise), the invariants are checked, the core idle-advances to
+    /// the arrival time if needed, and the full
+    /// ecall → n_ecall → reply-ocall chain runs.
+    ///
+    /// # Errors
+    ///
+    /// Service/runtime failures, or an invariant violation (the request is
+    /// put back at the head of its queue so no accepted work is lost).
+    pub fn step(&mut self) -> Result<Option<Completion>, SgxError> {
+        let slot = self.sched.pick_core(&self.app.machine);
+        let Some(req) = self.sched.pick_request(slot, &mut self.tenants) else {
+            return Ok(None);
+        };
+        let core = self.sched.cores()[slot];
+        let (gate_name, svc_name) = {
+            let spec = &self.tenants[req.tenant].spec;
+            (
+                spec.gate_name(),
+                service_enclave_name(&spec.name, spec.services[req.service]),
+            )
+        };
+        let gate_eid = self.app.eid(&gate_name)?;
+        let svc_eid = self.app.eid(&svc_name)?;
+        if !self
+            .sched
+            .precheck(&self.app.machine, slot, gate_eid, svc_eid)
+        {
+            self.tenants[req.tenant].queue.push_front(req);
+            return Err(SgxError::GeneralProtection(
+                "scheduler invariant violated".into(),
+            ));
+        }
+        // The core idles until the request arrives, if it was ahead of the
+        // arrival clock; the wait is charged as untrusted time so the
+        // cycle-attribution identities keep holding.
+        let now = self.app.machine.cycles(core);
+        if req.arrival > now {
+            let gap = req.arrival - now;
+            self.app.untrusted(core, |cx| cx.charge(gap));
+        }
+        let start = self.app.machine.cycles(core);
+        let mut msg = Vec::with_capacity(1 + req.payload.len());
+        msg.push(req.service as u8);
+        msg.extend_from_slice(&req.payload);
+        let reply = self.app.ecall(core, &gate_name, "dispatch", &msg)?;
+        let end = self.app.machine.cycles(core);
+        let latency = end.saturating_sub(req.arrival);
+        self.app
+            .machine
+            .profile_record(ProfileEvent::Request, HierLevel::Untrusted, latency);
+
+        let ts = &mut self.tenants[req.tenant];
+        if ts.last_completed_seq.is_some_and(|prev| req.seq <= prev) {
+            self.sched.stats.invariant_violations += 1;
+            debug_assert!(
+                false,
+                "per-tenant FIFO violated: tenant {} completed seq {} after {:?}",
+                req.tenant, req.seq, ts.last_completed_seq
+            );
+        }
+        ts.last_completed_seq = Some(ts.last_completed_seq.map_or(req.seq, |p| p.max(req.seq)));
+        ts.completed += 1;
+        let completion = Completion {
+            tenant: req.tenant,
+            service: req.service,
+            seq: req.seq,
+            core,
+            arrival: req.arrival,
+            start,
+            end,
+            latency,
+            reply,
+        };
+        self.completions.push(completion.clone());
+        Ok(Some(completion))
+    }
+
+    /// Serves queued requests until every queue is empty; returns how many
+    /// were served.
+    ///
+    /// # Errors
+    ///
+    /// As [`HostServer::step`].
+    pub fn drain(&mut self) -> Result<usize, SgxError> {
+        let mut served = 0;
+        while self.step()?.is_some() {
+            served += 1;
+        }
+        Ok(served)
+    }
+
+    /// Resets the measurement window: machine metrics (clocks, stats,
+    /// histograms, trace), recorded completions, and per-tenant traffic
+    /// counters. Call only with no queued work (e.g. after a warmup
+    /// drain); sequence numbers and shed state carry over.
+    ///
+    /// # Panics
+    ///
+    /// Panics if requests are still queued.
+    pub fn reset_measurement(&mut self) {
+        assert_eq!(self.pending(), 0, "reset with queued work");
+        self.app.machine.reset_metrics();
+        self.completions.clear();
+        self.sched.stats = SchedulerStats::default();
+        for t in &mut self.tenants {
+            t.accepted = 0;
+            t.rejected_full = 0;
+            t.rejected_shed = 0;
+            t.completed = 0;
+        }
+    }
+
+    /// The end-of-run summary.
+    pub fn report(&self) -> HostReport {
+        HostReport {
+            tenants: self
+                .tenants
+                .iter()
+                .map(|t| TenantReport {
+                    name: t.spec.name.clone(),
+                    priority: t.spec.priority,
+                    loaded: t.loaded,
+                    shed: t.shed,
+                    accepted: t.accepted,
+                    rejected_full: t.rejected_full,
+                    rejected_shed: t.rejected_shed,
+                    completed: t.completed,
+                })
+                .collect(),
+            sched: self.sched.stats,
+            switchless: self.worker_core.is_some(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::{RequestFactory, ServiceKind};
+
+    fn specs(n: usize, services: &[ServiceKind]) -> Vec<TenantSpec> {
+        (0..n)
+            .map(|i| TenantSpec::new(&format!("t{i}"), (n - i) as u8, services.to_vec()))
+            .collect()
+    }
+
+    fn run_load(server: &mut HostServer, per_tenant: usize) -> u64 {
+        let n = server.tenants().len();
+        let mut factories: Vec<Vec<RequestFactory>> = (0..n)
+            .map(|t| {
+                server.tenants()[t]
+                    .spec
+                    .services
+                    .iter()
+                    .map(|&k| RequestFactory::new(k, t, 42))
+                    .collect()
+            })
+            .collect();
+        let mut accepted = 0;
+        for r in 0..per_tenant {
+            for (t, tenant_factories) in factories.iter_mut().enumerate() {
+                let s = r % tenant_factories.len();
+                let payload = tenant_factories[s].next_request();
+                if server.submit(t, s, 0, payload).is_accepted() {
+                    accepted += 1;
+                }
+            }
+            // Interleave some service so queues breathe.
+            let _ = server.step().unwrap();
+        }
+        server.drain().unwrap();
+        accepted
+    }
+
+    #[test]
+    fn four_tenants_two_services_complete_cleanly() {
+        let cfg = HostConfig::new(specs(4, &[ServiceKind::TlsEcho, ServiceKind::Db]));
+        let mut server = HostServer::build(cfg).unwrap();
+        let accepted = run_load(&mut server, 6);
+        let report = server.report();
+        assert_eq!(report.completed(), accepted, "no accepted request lost");
+        assert_eq!(report.sched.invariant_violations, 0);
+        // Latency histograms flowed into the machine profile.
+        let m = server.app.machine.metrics();
+        m.check().unwrap();
+        let req_hist = server.app.machine.profile().merged(ProfileEvent::Request);
+        assert_eq!(req_hist.count(), accepted);
+        assert!(req_hist.percentile(0.5) > 0);
+        // Replies were valid for every completion.
+        for c in server.completions() {
+            let spec = &server.tenants()[c.tenant].spec;
+            let f = RequestFactory::new(spec.services[c.service], c.tenant, 42);
+            assert!(f.check_reply(&c.reply), "bad reply for {:?}", spec.name);
+        }
+    }
+
+    #[test]
+    fn switchless_worker_serves_replies() {
+        let mut cfg = HostConfig::new(specs(2, &[ServiceKind::SvmInfer]));
+        cfg.switchless = true;
+        let mut server = HostServer::build(cfg).unwrap();
+        assert!(server.worker_core().is_some());
+        let done = run_load(&mut server, 4);
+        let stats = server.app.machine.stats();
+        assert_eq!(stats.switchless_ocalls, done, "one switchless reply each");
+        // Only the dispatch ecall's own EENTER/EEXIT pair remains: the
+        // reply never takes a transition.
+        assert_eq!(stats.ecalls, done);
+        assert_eq!(stats.ocalls, done);
+        server.app.machine.metrics().check().unwrap();
+
+        let mut cfg = HostConfig::new(specs(2, &[ServiceKind::SvmInfer]));
+        cfg.switchless = false;
+        let mut server = HostServer::build(cfg).unwrap();
+        assert!(server.worker_core().is_none());
+        let done = run_load(&mut server, 4);
+        let stats = server.app.machine.stats();
+        assert_eq!(stats.switchless_ocalls, 0);
+        // Classic replies: the dispatch pair plus one EEXIT/EENTER round
+        // trip per reply ocall.
+        assert_eq!(stats.ecalls, 2 * done);
+        assert_eq!(stats.ocalls, 2 * done);
+    }
+
+    #[test]
+    fn backpressure_rejects_beyond_queue_bound() {
+        let tenants = vec![TenantSpec::new("t0", 1, vec![ServiceKind::SvmInfer]).queue_capacity(2)];
+        let mut server = HostServer::build(HostConfig::new(tenants)).unwrap();
+        let mut f = RequestFactory::new(ServiceKind::SvmInfer, 0, 1);
+        let verdicts: Vec<bool> = (0..5)
+            .map(|_| server.submit(0, 0, 0, f.next_request()).is_accepted())
+            .collect();
+        assert_eq!(verdicts, vec![true, true, false, false, false]);
+        assert_eq!(server.tenants()[0].rejected_full, 3);
+        server.drain().unwrap();
+        assert_eq!(server.report().completed(), 2);
+    }
+
+    #[test]
+    fn epc_pressure_sheds_lowest_priority_at_birth() {
+        // A PRM too small for all tenants: priorities 4,3,2,1 → the tail
+        // tenants never load, and their traffic is rejected as shed.
+        let mut hw = HwConfig::small();
+        hw.prm_pages = 220;
+        let mut cfg = HostConfig::new(specs(4, &[ServiceKind::SvmInfer, ServiceKind::TlsEcho]));
+        cfg.hw = hw;
+        cfg.switchless = false;
+        let mut server = HostServer::build(cfg).unwrap();
+        let loaded: Vec<bool> = server.tenants().iter().map(|t| t.loaded).collect();
+        assert!(loaded[0], "highest priority tenant must load");
+        assert!(!loaded[3], "lowest priority tenant must be shed");
+        // Priorities are descending in spec order: loaded must be a
+        // prefix.
+        let first_shed = loaded.iter().position(|l| !l).unwrap();
+        assert!(loaded[..first_shed].iter().all(|&l| l));
+        assert!(loaded[first_shed..].iter().all(|&l| !l));
+
+        let mut f = RequestFactory::new(ServiceKind::SvmInfer, 3, 1);
+        assert_eq!(
+            server.submit(3, 0, 0, f.next_request()),
+            Admission::RejectedShed
+        );
+        let mut f0 = RequestFactory::new(ServiceKind::SvmInfer, 0, 1);
+        assert!(server.submit(0, 0, 0, f0.next_request()).is_accepted());
+        server.drain().unwrap();
+        // Graceful degradation: the loaded tenants ran without paging.
+        assert_eq!(server.app.machine.stats().ewb_pages, 0, "no EWB thrash");
+        server.app.machine.metrics().check().unwrap();
+    }
+
+    #[test]
+    fn reset_measurement_gives_a_clean_window() {
+        let mut server =
+            HostServer::build(HostConfig::new(specs(2, &[ServiceKind::SvmInfer]))).unwrap();
+        run_load(&mut server, 3);
+        server.reset_measurement();
+        assert_eq!(server.report().completed(), 0);
+        assert_eq!(server.app.machine.total_cycles(), 0);
+        // Sequence numbers carry across the reset (FIFO continuity).
+        let mut f = RequestFactory::new(ServiceKind::SvmInfer, 0, 1);
+        let Admission::Accepted(seq) = server.submit(0, 0, 0, f.next_request()) else {
+            panic!("accept");
+        };
+        assert!(seq > 0, "seq continues after reset");
+        server.drain().unwrap();
+        server.app.machine.metrics().check().unwrap();
+    }
+}

@@ -1,0 +1,405 @@
+//! Service adapters: what runs inside each tenant's inner enclaves.
+//!
+//! Each tenant's outer "gate" enclave hosts one inner enclave per
+//! [`ServiceKind`]. All three adapters expose the same interface — a
+//! single `handle` n_ecall taking an opaque request payload and returning
+//! an opaque reply — so the gate can dispatch without knowing service
+//! internals. The adapters reuse the paper's case-study substrates:
+//!
+//! * [`ServiceKind::TlsEcho`] — the Fig. 7 echo server shape: open a
+//!   mini-TLS record, echo the payload back sealed ([`ne_tls`]);
+//! * [`ServiceKind::Db`] — the Table VI SQLite shape: parse and execute a
+//!   SQL statement against a per-tenant in-enclave database ([`ne_db`]);
+//! * [`ServiceKind::SvmInfer`] — the § VI-B MLaaS shape: classify a
+//!   feature vector with a per-tenant pre-trained SVM ([`ne_svm`]).
+//!
+//! The matching client side lives in [`RequestFactory`], which produces
+//! request payloads the adapters accept (sealed records, SQL text, encoded
+//! samples) from a deterministic seeded stream.
+
+use ne_core::edl::Edl;
+use ne_core::loader::EnclaveImage;
+use ne_core::runtime::{NestedApp, TrustedFn};
+use ne_db::{Database, Workload, WorkloadMix};
+use ne_sgx::config::HwConfig;
+use ne_sgx::error::SgxError;
+use ne_svm::{train, Dataset, SvmModel, TrainParams};
+use ne_tls::record::{ContentType, RecordLayer};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::{Arc, Mutex};
+
+/// Cycles the record-framing path charges per echo request, mirroring the
+/// SSL library cost of the Fig. 7 server.
+pub const ECHO_FRAMING_CYCLES: u64 = 900;
+/// Cycles of SQL-engine work charged per query (parse, plan, B-tree
+/// traversal), as in the Table VI case study.
+pub const DB_ENGINE_CYCLES_PER_QUERY: u64 = 360_000;
+/// Extra engine cycles per request/result byte.
+pub const DB_ENGINE_CYCLES_PER_BYTE: u64 = 2;
+/// Prediction cycles per kernel-matrix cell (support vector × dimension).
+pub const SVM_PREDICT_CYCLES_PER_CELL: u64 = 16;
+
+/// Records pre-loaded into each tenant database before the measured mix.
+const DB_RECORDS: usize = 16;
+/// Steady-state operations in each tenant's generated YCSB mix.
+const DB_OPS: usize = 64;
+
+/// Feature dimension of the per-tenant SVM models.
+pub const SVM_DIM: usize = 8;
+/// Classes of the per-tenant SVM models.
+pub const SVM_CLASSES: usize = 3;
+
+/// The kinds of service a tenant can run in an inner enclave.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServiceKind {
+    /// Mini-TLS echo (the Fig. 7 server shape).
+    TlsEcho,
+    /// SQL over a per-tenant database (the Table VI shape).
+    Db,
+    /// SVM inference (the § VI-B MLaaS shape).
+    SvmInfer,
+}
+
+impl ServiceKind {
+    /// Every kind, in load-generator rotation order.
+    pub const ALL: [ServiceKind; 3] =
+        [ServiceKind::TlsEcho, ServiceKind::Db, ServiceKind::SvmInfer];
+
+    /// Stable name (used in enclave names, flags, and reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            ServiceKind::TlsEcho => "echo",
+            ServiceKind::Db => "db",
+            ServiceKind::SvmInfer => "svm",
+        }
+    }
+
+    /// Parses a [`ServiceKind::name`] back.
+    pub fn parse(s: &str) -> Option<ServiceKind> {
+        Self::ALL.into_iter().find(|k| k.name() == s)
+    }
+}
+
+/// The per-tenant session key used by the echo adapter and its clients.
+pub fn tenant_key(tenant: usize) -> [u8; 16] {
+    let mut key = [0x42u8; 16];
+    key[0] ^= tenant as u8;
+    key[1] ^= (tenant >> 8) as u8;
+    key
+}
+
+fn gcm_cost(cfg: &HwConfig, len: usize) -> u64 {
+    cfg.cost.gcm_setup + cfg.cost.gcm_per_byte * len as u64
+}
+
+/// The enclave image for one service of one tenant. `name` must be the
+/// name the service will be registered under (see
+/// [`service_enclave_name`]).
+pub fn service_image(name: &str, kind: ServiceKind) -> EnclaveImage {
+    let edl = Edl::new().n_ecall("handle");
+    match kind {
+        ServiceKind::TlsEcho => EnclaveImage::new(name, b"tenant-echo")
+            .code_pages(8)
+            .heap_pages(4)
+            .edl(edl),
+        ServiceKind::Db => EnclaveImage::new(name, b"tenant-db")
+            .code_pages(32)
+            .heap_pages(8)
+            .edl(edl),
+        ServiceKind::SvmInfer => EnclaveImage::new(name, b"tenant-svm")
+            .code_pages(16)
+            .heap_pages(4)
+            .edl(edl),
+    }
+}
+
+/// Canonical enclave name for tenant `tenant`'s service of `kind`.
+pub fn service_enclave_name(tenant_name: &str, kind: ServiceKind) -> String {
+    format!("{}::{}", tenant_name, kind.name())
+}
+
+/// Builds the `handle` body for one service instance.
+///
+/// Per-service state (the echo session key, the tenant's [`Database`], the
+/// pre-trained [`SvmModel`]) is captured by the closure; models and tables
+/// are prepared host-side at build time — provisioning is not part of the
+/// measured serving path.
+pub fn service_handler(kind: ServiceKind, tenant: usize, seed: u64) -> TrustedFn {
+    match kind {
+        ServiceKind::TlsEcho => {
+            let key = tenant_key(tenant);
+            Arc::new(move |cx, wire| {
+                cx.charge(ECHO_FRAMING_CYCLES);
+                cx.charge(gcm_cost(cx.machine.config(), wire.len()));
+                // Each request is a self-contained record exchange (both
+                // sides start at sequence 0), so rejected or shed requests
+                // never desynchronize the stream.
+                let (_, payload) = RecordLayer::new(key)
+                    .open(wire)
+                    .map_err(|e| SgxError::GeneralProtection(e.to_string()))?;
+                let reply = RecordLayer::new(key).seal(ContentType::Data, &payload);
+                cx.charge(gcm_cost(cx.machine.config(), payload.len()));
+                Ok(reply)
+            })
+        }
+        ServiceKind::Db => {
+            let db: Arc<Mutex<Database>> = Arc::new(Mutex::new(Database::new()));
+            Arc::new(move |cx, args| {
+                let sql = std::str::from_utf8(args)
+                    .map_err(|_| SgxError::GeneralProtection("bad utf-8 query".into()))?;
+                ne_db::parse(sql).map_err(|e| SgxError::GeneralProtection(e.to_string()))?;
+                let result = db
+                    .lock()
+                    .expect("poisoned")
+                    .execute(sql)
+                    .map_err(|e| SgxError::GeneralProtection(e.to_string()))?;
+                let mut out = Vec::new();
+                for row in &result.rows {
+                    for v in row {
+                        out.extend_from_slice(v.to_string().as_bytes());
+                    }
+                }
+                cx.charge(
+                    DB_ENGINE_CYCLES_PER_QUERY
+                        + DB_ENGINE_CYCLES_PER_BYTE * (args.len() + out.len()) as u64,
+                );
+                Ok(out)
+            })
+        }
+        ServiceKind::SvmInfer => {
+            let model = tenant_model(tenant, seed);
+            Arc::new(move |cx, args| {
+                let x = decode_sample(args)?;
+                let cells = model.num_support_vectors() as u64 * SVM_DIM as u64;
+                cx.charge(SVM_PREDICT_CYCLES_PER_CELL * cells);
+                let class = model.predict(&x);
+                Ok(vec![class as u8])
+            })
+        }
+    }
+}
+
+/// Trains tenant `tenant`'s SVM on a small synthetic dataset. Done once at
+/// build time, host-side (model provisioning, not serving work).
+fn tenant_model(tenant: usize, seed: u64) -> SvmModel {
+    let ds = Dataset::synthetic(
+        SVM_CLASSES,
+        30,
+        SVM_DIM,
+        seed ^ (tenant as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+    );
+    train(
+        &ds,
+        &TrainParams {
+            seed: seed.wrapping_add(tenant as u64),
+            ..Default::default()
+        },
+    )
+}
+
+fn decode_sample(args: &[u8]) -> Result<Vec<f64>, SgxError> {
+    if args.len() != SVM_DIM * 8 {
+        return Err(SgxError::GeneralProtection(format!(
+            "svm sample must be {} bytes, got {}",
+            SVM_DIM * 8,
+            args.len()
+        )));
+    }
+    Ok(args
+        .chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().expect("8 bytes")))
+        .collect())
+}
+
+/// Encodes a feature vector the way [`ServiceKind::SvmInfer`] expects.
+pub fn encode_sample(x: &[f64]) -> Vec<u8> {
+    x.iter().flat_map(|v| v.to_le_bytes()).collect()
+}
+
+/// Loads one service enclave into `app` and associates it with the
+/// tenant's gate.
+///
+/// # Errors
+///
+/// Loader or association failures (e.g. EPC exhaustion).
+pub fn install_service(
+    app: &mut NestedApp,
+    tenant_name: &str,
+    gate_name: &str,
+    tenant: usize,
+    kind: ServiceKind,
+    seed: u64,
+) -> Result<(), SgxError> {
+    let name = service_enclave_name(tenant_name, kind);
+    app.load(
+        service_image(&name, kind),
+        [("handle".to_string(), service_handler(kind, tenant, seed))],
+    )?;
+    app.associate(&name, gate_name)?;
+    Ok(())
+}
+
+/// Deterministic client-side request stream for one (tenant, service)
+/// pair: produces payloads the matching [`service_handler`] accepts, plus
+/// a validity check for replies.
+#[derive(Debug)]
+pub struct RequestFactory {
+    kind: ServiceKind,
+    tenant: usize,
+    rng: StdRng,
+    /// Pre-generated SQL for [`ServiceKind::Db`]: schema creation first,
+    /// then pre-load inserts, then the measured mix, cycled when the run
+    /// outlasts it. Per-tenant FIFO guarantees the schema statement
+    /// reaches the engine before anything that needs the table.
+    db_script: Vec<String>,
+    db_next: usize,
+}
+
+impl RequestFactory {
+    /// A factory seeded deterministically from (`seed`, `tenant`, `kind`).
+    pub fn new(kind: ServiceKind, tenant: usize, seed: u64) -> RequestFactory {
+        let sub = seed
+            ^ (tenant as u64).wrapping_mul(0xA076_1D64_78BD_642F)
+            ^ (kind as u64).wrapping_mul(0xE703_7ED1_A0B4_28DB);
+        let db_script = if kind == ServiceKind::Db {
+            let w = Workload::generate(WorkloadMix::Select95Update5, DB_RECORDS, DB_OPS, sub);
+            let mut script = vec![w.create];
+            script.extend(w.load);
+            script.extend(w.operations);
+            script
+        } else {
+            Vec::new()
+        };
+        RequestFactory {
+            kind,
+            tenant,
+            rng: StdRng::seed_from_u64(sub),
+            db_script,
+            db_next: 0,
+        }
+    }
+
+    /// Leading requests that are provisioning rather than steady-state
+    /// work: the db schema statement plus the pre-load inserts (zero for
+    /// the other services). The load generator issues these during warmup
+    /// so the measured window sees only the steady mix.
+    pub fn setup_requests(&self) -> usize {
+        match self.kind {
+            // Script layout: [create] + load + operations (see `new`).
+            ServiceKind::Db => self.db_script.len() - DB_OPS,
+            _ => 0,
+        }
+    }
+
+    /// The next request payload.
+    pub fn next_request(&mut self) -> Vec<u8> {
+        match self.kind {
+            ServiceKind::TlsEcho => {
+                let len = self.rng.gen_range(64..1024usize);
+                let body: Vec<u8> = (0..len)
+                    .map(|_| self.rng.gen_range(0..256u32) as u8)
+                    .collect();
+                RecordLayer::new(tenant_key(self.tenant)).seal(ContentType::Data, &body)
+            }
+            ServiceKind::Db => {
+                // Cycle the measured mix once setup is exhausted, skipping
+                // the schema statement (index 0) on wrap.
+                let i = self.db_next;
+                self.db_next = if i + 1 >= self.db_script.len() {
+                    1
+                } else {
+                    i + 1
+                };
+                self.db_script[i].clone().into_bytes()
+            }
+            ServiceKind::SvmInfer => {
+                let x: Vec<f64> = (0..SVM_DIM)
+                    .map(|_| self.rng.gen_range(-4.0..4.0))
+                    .collect();
+                encode_sample(&x)
+            }
+        }
+    }
+
+    /// Checks that `reply` is a plausible reply to a request from this
+    /// factory (used by tests and the load generator's sanity pass).
+    pub fn check_reply(&self, reply: &[u8]) -> bool {
+        match self.kind {
+            // The echo reply must open under the tenant key.
+            ServiceKind::TlsEcho => RecordLayer::new(tenant_key(self.tenant))
+                .open(reply)
+                .is_ok(),
+            // SQL results are opaque bytes (possibly empty).
+            ServiceKind::Db => true,
+            // A class index.
+            ServiceKind::SvmInfer => reply.len() == 1 && (reply[0] as usize) < SVM_CLASSES,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_round_trip_through_names() {
+        for k in ServiceKind::ALL {
+            assert_eq!(ServiceKind::parse(k.name()), Some(k));
+        }
+        assert_eq!(ServiceKind::parse("nope"), None);
+    }
+
+    #[test]
+    fn tenant_keys_differ() {
+        assert_ne!(tenant_key(0), tenant_key(1));
+        assert_ne!(tenant_key(1), tenant_key(257));
+    }
+
+    #[test]
+    fn factory_is_deterministic() {
+        for kind in ServiceKind::ALL {
+            let mut a = RequestFactory::new(kind, 3, 77);
+            let mut b = RequestFactory::new(kind, 3, 77);
+            for _ in 0..5 {
+                assert_eq!(a.next_request(), b.next_request());
+            }
+            let mut c = RequestFactory::new(kind, 4, 77);
+            let differs = (0..5).any(|_| a.next_request() != c.next_request());
+            assert!(differs, "{} stream should depend on tenant", kind.name());
+        }
+    }
+
+    #[test]
+    fn setup_prefix_covers_schema_and_load() {
+        let f = RequestFactory::new(ServiceKind::Db, 0, 1);
+        assert_eq!(f.setup_requests(), 1 + DB_RECORDS);
+        assert_eq!(
+            RequestFactory::new(ServiceKind::TlsEcho, 0, 1).setup_requests(),
+            0
+        );
+        assert_eq!(
+            RequestFactory::new(ServiceKind::SvmInfer, 0, 1).setup_requests(),
+            0
+        );
+    }
+
+    #[test]
+    fn db_script_starts_with_schema_and_cycles_past_it() {
+        let mut f = RequestFactory::new(ServiceKind::Db, 0, 1);
+        let first = String::from_utf8(f.next_request()).unwrap();
+        assert!(first.to_uppercase().starts_with("CREATE TABLE"), "{first}");
+        // Exhaust the script and wrap: CREATE must never repeat.
+        for _ in 0..500 {
+            let stmt = String::from_utf8(f.next_request()).unwrap();
+            assert!(!stmt.to_uppercase().starts_with("CREATE TABLE"));
+        }
+    }
+
+    #[test]
+    fn sample_codec_round_trips() {
+        let x = vec![1.5, -2.25, 0.0, 3.0, -0.5, 8.0, 1e-3, -7.75];
+        assert_eq!(decode_sample(&encode_sample(&x)).unwrap(), x);
+        assert!(decode_sample(&[0u8; 7]).is_err());
+    }
+}

@@ -1,0 +1,163 @@
+//! Tenants: who the host serves, and the bookkeeping of their traffic.
+//!
+//! A tenant owns one outer "gate" enclave and one inner enclave per
+//! service (see [`crate::service`]). Requests wait in a bounded per-tenant
+//! FIFO between admission and dispatch; everything the admission
+//! controller and scheduler need to know about a tenant — priority, queue
+//! depth, shed state, acceptance counters — lives here.
+
+use crate::service::ServiceKind;
+use std::collections::VecDeque;
+
+/// Static description of one tenant.
+#[derive(Debug, Clone)]
+pub struct TenantSpec {
+    /// Unique tenant name; enclave names are derived from it.
+    pub name: String,
+    /// Scheduling/shedding priority: higher is more important. Under EPC
+    /// pressure, the lowest-priority tenants are shed first.
+    pub priority: u8,
+    /// Services this tenant runs, one inner enclave each.
+    pub services: Vec<ServiceKind>,
+    /// Bound on the tenant's request queue; submissions beyond it are
+    /// rejected (backpressure) rather than buffered without limit.
+    pub queue_capacity: usize,
+}
+
+impl TenantSpec {
+    /// A spec with the default queue capacity (32).
+    pub fn new(name: &str, priority: u8, services: Vec<ServiceKind>) -> TenantSpec {
+        TenantSpec {
+            name: name.to_string(),
+            priority,
+            services,
+            queue_capacity: 32,
+        }
+    }
+
+    /// Overrides the queue bound.
+    pub fn queue_capacity(mut self, capacity: usize) -> TenantSpec {
+        self.queue_capacity = capacity;
+        self
+    }
+
+    /// The tenant's gate (outer enclave) name.
+    pub fn gate_name(&self) -> String {
+        format!("{}::gate", self.name)
+    }
+}
+
+/// One admitted request waiting for (or finished with) service.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Index of the owning tenant.
+    pub tenant: usize,
+    /// Index into the tenant's service list.
+    pub service: usize,
+    /// Per-tenant admission sequence number (FIFO order witness).
+    pub seq: u64,
+    /// Arrival time in simulated cycles (on the serving clock).
+    pub arrival: u64,
+    /// Opaque request payload, built by a
+    /// [`crate::service::RequestFactory`].
+    pub payload: Vec<u8>,
+}
+
+/// The record of one served request.
+#[derive(Debug, Clone)]
+pub struct Completion {
+    /// Owning tenant.
+    pub tenant: usize,
+    /// Index into the tenant's service list.
+    pub service: usize,
+    /// The request's per-tenant sequence number.
+    pub seq: u64,
+    /// Core the request was served on.
+    pub core: usize,
+    /// Arrival time (cycles).
+    pub arrival: u64,
+    /// Cycle the serving core started on it.
+    pub start: u64,
+    /// Cycle the serving core finished.
+    pub end: u64,
+    /// End-to-end latency: `end - arrival` (queueing + service).
+    pub latency: u64,
+    /// The service's reply.
+    pub reply: Vec<u8>,
+}
+
+/// Runtime state of one tenant.
+#[derive(Debug)]
+pub struct TenantState {
+    /// The static spec.
+    pub spec: TenantSpec,
+    /// False when the tenant's enclaves were never loaded because EPC
+    /// pressure at build time shed it (lowest priorities first).
+    pub loaded: bool,
+    /// True while the tenant is shed: new submissions are rejected.
+    /// Already-accepted requests still complete — shedding never drops
+    /// work the host committed to.
+    pub shed: bool,
+    /// Admitted-but-not-yet-served requests, FIFO.
+    pub queue: VecDeque<Request>,
+    /// Next admission sequence number.
+    pub next_seq: u64,
+    /// Requests accepted by admission control.
+    pub accepted: u64,
+    /// Requests rejected because the queue was full (backpressure).
+    pub rejected_full: u64,
+    /// Requests rejected because the tenant was shed (EPC pressure).
+    pub rejected_shed: u64,
+    /// Requests served to completion.
+    pub completed: u64,
+    /// Highest completed sequence number, for FIFO auditing.
+    pub last_completed_seq: Option<u64>,
+}
+
+impl TenantState {
+    /// Fresh state for `spec`; `loaded` reflects whether the tenant's
+    /// enclaves were actually built.
+    pub fn new(spec: TenantSpec, loaded: bool) -> TenantState {
+        TenantState {
+            spec,
+            loaded,
+            shed: !loaded,
+            queue: VecDeque::new(),
+            next_seq: 0,
+            accepted: 0,
+            rejected_full: 0,
+            rejected_shed: 0,
+            completed: 0,
+            last_completed_seq: None,
+        }
+    }
+
+    /// Requests currently waiting.
+    pub fn backlog(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True when every accepted request has been served.
+    pub fn drained(&self) -> bool {
+        self.completed == self.accepted && self.queue.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_builder_and_names() {
+        let s = TenantSpec::new("t0", 3, vec![ServiceKind::Db]).queue_capacity(7);
+        assert_eq!(s.queue_capacity, 7);
+        assert_eq!(s.gate_name(), "t0::gate");
+    }
+
+    #[test]
+    fn unloaded_tenants_start_shed() {
+        let s = TenantSpec::new("t", 0, vec![]);
+        assert!(!TenantState::new(s.clone(), true).shed);
+        assert!(TenantState::new(s, false).shed);
+    }
+}

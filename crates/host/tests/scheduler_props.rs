@@ -1,0 +1,159 @@
+//! Property-based tests of the hosting server's scheduling invariants.
+//!
+//! Random tenant counts, priorities, queue bounds, and submit/step
+//! interleavings must never be able to break:
+//!
+//! 1. **TCS exclusivity** — no simulated core ever runs two contexts at
+//!    once, and no enclave's TCS is entered while busy
+//!    ([`SchedulerStats::invariant_violations`] stays zero; the
+//!    scheduler's debug asserts would also abort a debug run);
+//! 2. **per-tenant FIFO** — completion sequence numbers are strictly
+//!    increasing within a tenant, whichever cores served them;
+//! 3. **no lost work** — every accepted request completes; rejections
+//!    happen only at admission, never after.
+//!
+//! Every case also passes [`MachineMetrics::check`], so the cycle
+//! attribution identities hold under arbitrary interleavings too.
+
+use ne_host::tenant::{Request, TenantState};
+use ne_host::{HostConfig, HostServer, RequestFactory, Scheduler, ServiceKind, TenantSpec};
+use proptest::prelude::*;
+
+fn build_server(
+    num_tenants: usize,
+    prios: &[u8],
+    caps: &[usize],
+    switchless: bool,
+) -> (HostServer, Vec<Vec<RequestFactory>>) {
+    let kinds = [ServiceKind::TlsEcho, ServiceKind::SvmInfer];
+    let specs: Vec<TenantSpec> = (0..num_tenants)
+        .map(|i| {
+            TenantSpec::new(&format!("t{i}"), prios[i], kinds.to_vec()).queue_capacity(caps[i])
+        })
+        .collect();
+    let mut cfg = HostConfig::new(specs);
+    cfg.switchless = switchless;
+    let server = HostServer::build(cfg).expect("build");
+    let factories = (0..num_tenants)
+        .map(|t| {
+            kinds
+                .iter()
+                .map(|&k| RequestFactory::new(k, t, 99))
+                .collect()
+        })
+        .collect();
+    (server, factories)
+}
+
+proptest! {
+    /// The full server under random traffic: random (tenant, service)
+    /// submissions with interleaved serving steps, then a drain. All
+    /// three invariants plus the machine's cycle accounting must hold.
+    #[test]
+    fn random_traffic_preserves_all_invariants(
+        num_tenants in 1..5usize,
+        prios in prop::collection::vec(0..4u8, 4..5),
+        caps in prop::collection::vec(1..6usize, 4..5),
+        switchless in any::<bool>(),
+        submits in prop::collection::vec(
+            (0..4usize, 0..2usize, any::<bool>()),
+            1..60,
+        ),
+    ) {
+        let (mut server, mut factories) =
+            build_server(num_tenants, &prios, &caps, switchless);
+        let mut accepted = 0u64;
+        for (t_raw, s, step_now) in submits {
+            let t = t_raw % num_tenants;
+            let payload = factories[t][s].next_request();
+            if server.submit(t, s, server.now(), payload).is_accepted() {
+                accepted += 1;
+            }
+            if step_now {
+                server.step().expect("step");
+            }
+        }
+        server.drain().expect("drain");
+
+        // (1) TCS exclusivity / core-mode invariants.
+        prop_assert_eq!(server.invariant_violations(), 0);
+        // (3) nothing accepted was dropped, nothing rejected completed.
+        let report = server.report();
+        prop_assert_eq!(report.completed(), accepted);
+        prop_assert_eq!(server.pending(), 0);
+        for t in server.tenants() {
+            prop_assert!(t.drained());
+        }
+        // (2) per-tenant FIFO: strictly increasing completion seqs.
+        let mut last: Vec<Option<u64>> = vec![None; num_tenants];
+        for c in server.completions() {
+            if let Some(prev) = last[c.tenant] {
+                prop_assert!(
+                    c.seq > prev,
+                    "tenant {} completed {} after {}", c.tenant, c.seq, prev
+                );
+            }
+            last[c.tenant] = Some(c.seq);
+        }
+        // Cycle attribution identities survive arbitrary interleavings.
+        server.app.machine.metrics().check().expect("metrics check");
+    }
+
+    /// The dispatcher alone, against plain queues: whatever mix of home
+    /// dispatch and stealing happens, each tenant's requests come out in
+    /// admission order, and exactly once.
+    #[test]
+    fn pick_request_emits_each_tenant_in_fifo_order(
+        num_cores in 1..5usize,
+        depths in prop::collection::vec(0..12usize, 1..6),
+        slots in prop::collection::vec(0..5usize, 0..80),
+    ) {
+        let mut sched = Scheduler::new((0..num_cores).collect(), depths.len());
+        let mut tenants: Vec<TenantState> = depths
+            .iter()
+            .enumerate()
+            .map(|(t, &depth)| {
+                let spec = TenantSpec::new(
+                    &format!("t{t}"),
+                    1,
+                    vec![ServiceKind::TlsEcho],
+                ).queue_capacity(depth.max(1));
+                let mut state = TenantState::new(spec, true);
+                for seq in 0..depth as u64 {
+                    state.queue.push_back(Request {
+                        tenant: t,
+                        service: 0,
+                        seq,
+                        arrival: 0,
+                        payload: vec![],
+                    });
+                }
+                state
+            })
+            .collect();
+        let total: usize = depths.iter().sum();
+        let mut next_expected: Vec<u64> = vec![0; depths.len()];
+        let mut served = 0usize;
+        // Random slot choices first, then round-robin until dry: every
+        // pop must be its tenant's next sequence number.
+        let drive: Vec<usize> = slots
+            .into_iter()
+            .chain(0..total)
+            .map(|s| s % num_cores)
+            .collect();
+        for slot in drive {
+            if let Some(req) = sched.pick_request(slot, &mut tenants) {
+                prop_assert_eq!(req.seq, next_expected[req.tenant]);
+                next_expected[req.tenant] += 1;
+                served += 1;
+            }
+        }
+        prop_assert_eq!(served, total);
+        prop_assert_eq!(sched.stats.dispatched, total as u64);
+        prop_assert_eq!(
+            sched.stats.home_dispatches + sched.stats.steals,
+            total as u64
+        );
+        prop_assert_eq!(sched.stats.invariant_violations, 0);
+    }
+}

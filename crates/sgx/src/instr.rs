@@ -724,7 +724,13 @@ impl Machine {
     ///
     /// # Errors
     ///
-    /// Fails while any thread is executing inside the enclave.
+    /// Fails while any thread is executing inside the enclave, and also
+    /// while any of its TCSes is still **busy** without counting as an
+    /// active thread — an AEX'd context awaiting `ERESUME`, or an inner
+    /// context suspended mid-`n_ocall`. Tearing those down would free the
+    /// pages a live `SavedContext` still refers to; the enclave (and its
+    /// EPCM entries) is left untouched so the context can be resumed and
+    /// exited cleanly first.
     pub fn eremove(&mut self, eid: EnclaveId) -> Result<()> {
         let secs = self
             .enclaves()
@@ -733,6 +739,15 @@ impl Machine {
         if secs.active_threads > 0 {
             return Err(SgxError::BadEnclaveState(
                 "EREMOVE while threads are active".into(),
+            ));
+        }
+        if self
+            .tcs_table
+            .iter()
+            .any(|((e, _), tcs)| *e == eid.0 && tcs.busy)
+        {
+            return Err(SgxError::BadEnclaveState(
+                "EREMOVE while a TCS is busy (interrupted or suspended context in flight)".into(),
             ));
         }
         let pid = secs.pid;
@@ -1029,6 +1044,33 @@ mod tests {
         // 1 SECS + 1 TCS + 3 REG pages come back.
         assert_eq!(m.free_epc_pages(), free_before + 5);
         assert!(m.enclaves().get(eid).is_none());
+    }
+
+    /// Regression: after an AEX the thread no longer counts as active, but
+    /// its TCS is still busy with a saved context awaiting ERESUME.
+    /// EREMOVE in that window must refuse cleanly — previously it freed
+    /// the pages out from under the interrupted context — and must leave
+    /// the enclave fully resumable.
+    #[test]
+    fn eremove_rejects_interrupted_context() {
+        let (mut m, eid, base) = built_enclave();
+        m.eenter(0, eid, base).unwrap();
+        m.set_reg(0, 4, 0xFEED);
+        m.aex(0).unwrap();
+        assert_eq!(m.enclaves().get(eid).unwrap().active_threads, 0);
+        let free_before = m.free_epc_pages();
+        let err = m.eremove(eid).unwrap_err();
+        assert!(matches!(err, SgxError::BadEnclaveState(_)), "got {err}");
+        // The refusal must not have touched EPCM or enclave state.
+        assert_eq!(m.free_epc_pages(), free_before);
+        assert!(m.enclaves().get(eid).is_some());
+        m.audit_epcm().unwrap();
+        // The interrupted context is still intact and can unwind.
+        m.eresume(0, eid, base).unwrap();
+        assert_eq!(m.reg(0, 4), 0xFEED, "saved context survived");
+        m.eexit(0).unwrap();
+        m.eremove(eid).unwrap();
+        m.audit_epcm().unwrap();
     }
 
     #[test]

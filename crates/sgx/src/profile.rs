@@ -17,6 +17,10 @@
 //! - MEE line crypto records per-access crypto cycles;
 //! - AEX/ERESUME and EWB/ELDU record their architectural costs.
 //!
+//! One event, [`ProfileEvent::Request`], is recorded from *outside*
+//! `ne-sgx` (by the `ne-host` serving layer, through
+//! `Machine::profile_record`) and deliberately has no counter identity.
+//!
 //! Histograms use 64 power-of-two buckets (bucket *i* holds values whose
 //! `ilog2` is *i*), HDR-style: constant-size, mergeable by bucket-wise
 //! addition, with percentile error bounded by the bucket width. Exact
@@ -220,11 +224,19 @@ pub enum ProfileEvent {
     MeeCrypto,
     /// One EWB or ELDU page operation.
     Paging,
+    /// End-to-end request latency as observed by a serving layer (arrival
+    /// to completion). Recorded by hosting code outside `ne-sgx` via
+    /// [`crate::machine::Machine::profile_record`]; like [`MeeCrypto`]
+    /// (whose samples have no dedicated `Stats` counter either) it carries
+    /// no counter identity in the metrics checker.
+    ///
+    /// [`MeeCrypto`]: ProfileEvent::MeeCrypto
+    Request,
 }
 
 impl ProfileEvent {
     /// Every event, in export order.
-    pub const ALL: [ProfileEvent; 10] = [
+    pub const ALL: [ProfileEvent; 11] = [
         ProfileEvent::Ecall,
         ProfileEvent::Ocall,
         ProfileEvent::NEcall,
@@ -235,6 +247,7 @@ impl ProfileEvent {
         ProfileEvent::TlbMiss,
         ProfileEvent::MeeCrypto,
         ProfileEvent::Paging,
+        ProfileEvent::Request,
     ];
 
     /// The call-boundary events — those recorded at span close. Their
@@ -260,6 +273,7 @@ impl ProfileEvent {
             ProfileEvent::TlbMiss => "tlb_miss",
             ProfileEvent::MeeCrypto => "mee_crypto",
             ProfileEvent::Paging => "paging",
+            ProfileEvent::Request => "request",
         }
     }
 
