@@ -24,11 +24,21 @@
 //! (default both), `--no-switchless`, plus the standard `--metrics-out`,
 //! `--bench-out`, `--profile-out` and `--trace-out` exports (the traced
 //! run is the closed-loop one).
+//!
+//! `--chaos <spec>` installs a deterministic fault-injection plan
+//! (see [`ne_sgx::fault::FaultPlan::parse`]) after warmup: terms joined
+//! by `+`, each `kind[:period]` with kinds `aex`, `evict`, `mac`,
+//! `crash`, `stall` — e.g. `--chaos aex+evict` or `--chaos crash:11`.
+//! The plan's RNG is derived from `--seed`, so a chaos run is exactly as
+//! reproducible as a clean one: same flags, byte-identical exports. The
+//! run then asserts reply-or-shed (`completed + shed == accepted`) and
+//! the metrics identities instead of zero-loss.
 
 use ne_bench::report::{
     banner, f2, flag_str, flag_u64, throughput_rps, want_trace, write_trace, MetricsReport, Table,
 };
 use ne_host::{HostConfig, HostServer, RequestFactory, ServiceKind, TenantSpec};
+use ne_sgx::fault::FaultPlan;
 use ne_sgx::profile::ProfileEvent;
 use ne_sgx::spantree::TraceBundle;
 use rand::rngs::StdRng;
@@ -46,6 +56,7 @@ struct Plan {
     requests: usize,
     seed: u64,
     switchless: bool,
+    chaos: Option<String>,
 }
 
 fn specs(plan: &Plan) -> Vec<TenantSpec> {
@@ -160,19 +171,33 @@ fn closed_loop(server: &mut HostServer, factories: &mut [Vec<RequestFactory>], p
             if remaining[t][s] > 0 {
                 remaining[t][s] -= 1;
                 let payload = factories[t][s].next_request();
-                assert!(server.submit(t, s, 0, payload).is_accepted());
-                accepted += 1;
+                if server.submit(t, s, 0, payload).is_accepted() {
+                    accepted += 1;
+                } else {
+                    // Shed (e.g. a tripped breaker under chaos): this
+                    // client stops; reply-or-shed still holds.
+                    remaining[t][s] = 0;
+                }
             }
         }
     }
-    while let Some(c) = server.step().expect("closed-loop step") {
+    // A `None` step under chaos means a request was shed, not that the
+    // queues are dry — keep stepping until pending work is gone.
+    while server.pending() > 0 {
+        let Some(c) = server.step().expect("closed-loop step") else {
+            continue;
+        };
         if remaining[c.tenant][c.service] > 0 {
             remaining[c.tenant][c.service] -= 1;
             let payload = factories[c.tenant][c.service].next_request();
-            assert!(server
+            if server
                 .submit(c.tenant, c.service, c.end, payload)
-                .is_accepted());
-            accepted += 1;
+                .is_accepted()
+            {
+                accepted += 1;
+            } else {
+                remaining[c.tenant][c.service] = 0;
+            }
         }
     }
     accepted
@@ -187,6 +212,8 @@ fn tenant_table(server: &HostServer) -> Table {
         "rej_full",
         "rej_shed",
         "completed",
+        "shed_req",
+        "respawns",
     ]);
     for r in server.report().tenants {
         t.row(&[
@@ -197,6 +224,12 @@ fn tenant_table(server: &HostServer) -> Table {
             r.rejected_full.to_string(),
             r.rejected_shed.to_string(),
             r.completed.to_string(),
+            r.shed_requests.to_string(),
+            if r.breaker_open {
+                format!("{}!", r.respawns)
+            } else {
+                r.respawns.to_string()
+            },
         ]);
     }
     t
@@ -206,6 +239,13 @@ fn run(label: &str, plan: &Plan, report: &mut MetricsReport, trace: bool) -> Opt
     let mut server = build(plan, trace);
     let mut fs = factories(plan);
     warmup(&mut server, &mut fs);
+    if let Some(spec) = &plan.chaos {
+        // Installed after warmup so the fault clock starts with the
+        // measured window; seeded from --seed for byte reproducibility.
+        let fp = FaultPlan::parse(spec, plan.seed ^ 0xC4A0_5EED)
+            .unwrap_or_else(|e| panic!("--chaos: {e}"));
+        server.install_chaos(fp);
+    }
     let accepted = match label {
         "open-loop" => open_loop(&mut server, &mut fs, plan),
         "closed-loop" => closed_loop(&mut server, &mut fs, plan),
@@ -216,7 +256,13 @@ fn run(label: &str, plan: &Plan, report: &mut MetricsReport, trace: bool) -> Opt
         hr.sched.invariant_violations, 0,
         "scheduler invariant violated in {label}"
     );
-    assert_eq!(hr.completed(), accepted, "accepted request lost in {label}");
+    // Reply-or-shed: every accepted request terminated, with a reply or
+    // an explicit counted shed (zero sheds without chaos).
+    assert_eq!(
+        hr.completed() + hr.shed_requests(),
+        accepted,
+        "accepted request lost in {label}"
+    );
     // Spot-check every reply against a fresh factory of the same stream.
     for c in server.completions() {
         let spec = &server.tenants()[c.tenant].spec;
@@ -228,11 +274,28 @@ fn run(label: &str, plan: &Plan, report: &mut MetricsReport, trace: bool) -> Opt
         );
     }
     let m = server.app.machine.metrics();
+    m.check()
+        .unwrap_or_else(|e| panic!("metrics identity broken in {label}: {e}"));
     let hist = server.app.machine.profile().merged(ProfileEvent::Request);
     let s = hist.summary();
     let clock = plan_clock(&server);
     println!("\n{label}: {accepted} requests served");
     tenant_table(&server).print();
+    if let Some(cs) = server.chaos_stats() {
+        println!(
+            "  chaos: {} eenters seen | {} aex storms, {} forced evictions, {} tamperings, \
+             {} crashes, {} stalls -> {} respawns, {} sheds, {} degraded replies",
+            cs.eenters_seen,
+            cs.aex_storms,
+            cs.forced_evictions,
+            cs.tamperings,
+            cs.crashes,
+            cs.stalls,
+            hr.respawns(),
+            hr.shed_requests(),
+            hr.degraded_replies,
+        );
+    }
     println!(
         "  throughput: {} req/s   latency p50 {} cycles ({} us)  p99 {} cycles ({} us)\n  \
          dispatches {} (home {}, steals {}), max backlog {}",
@@ -261,6 +324,7 @@ fn main() {
         requests: flag_u64("--requests").unwrap_or(12) as usize,
         seed: flag_u64("--seed").unwrap_or(0xC0FFEE),
         switchless: !std::env::args().any(|a| a == "--no-switchless"),
+        chaos: flag_str("--chaos"),
     };
     let mode = flag_str("--mode").unwrap_or_else(|| "both".to_string());
     let (open, closed) = match mode.as_str() {
@@ -270,8 +334,16 @@ fn main() {
         other => panic!("--mode expects open|closed|both, got '{other}'"),
     };
     banner(&format!(
-        "ne-load: {} tenants x {} services, {} requests per pair, seed {}, switchless {}",
-        plan.tenants, plan.services, plan.requests, plan.seed, plan.switchless
+        "ne-load: {} tenants x {} services, {} requests per pair, seed {}, switchless {}{}",
+        plan.tenants,
+        plan.services,
+        plan.requests,
+        plan.seed,
+        plan.switchless,
+        plan.chaos
+            .as_deref()
+            .map(|c| format!(", chaos {c}"))
+            .unwrap_or_default()
     ));
     let mut report = MetricsReport::new("ne-load");
     let mut bundle = None;

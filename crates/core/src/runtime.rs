@@ -191,6 +191,23 @@ impl NestedApp {
         Ok(self.registry.enclave(name)?.layout.clone())
     }
 
+    /// Tears the named enclave down (EREMOVE) and forgets it, so a fresh
+    /// [`load`](NestedApp::load) may reuse the name — the respawn path of
+    /// a self-healing host. The EPC pages are freed; the virtual range is
+    /// not reused (a respawn gets a fresh ELRANGE further up).
+    ///
+    /// # Errors
+    ///
+    /// Unknown name, or EREMOVE refusing because threads are still active
+    /// or a TCS carries an in-flight context.
+    pub fn unload(&mut self, name: &str) -> Result<EnclaveId> {
+        let eid = self.registry.enclave(name)?.layout.eid;
+        self.machine.eremove(eid)?;
+        self.registry.enclaves.remove(name);
+        self.registry.names_by_eid.remove(&eid.0);
+        Ok(eid)
+    }
+
     /// Runs NASSO between two loaded enclaves, using the expected
     /// identities embedded in their images (falling back to the live
     /// identity when the image did not pin one — convenient for tests).
@@ -277,8 +294,18 @@ impl NestedApp {
         let span = self
             .machine
             .span_begin(core, SpanKind::Ecall, &format!("{enclave}::{func}"));
-        self.machine.eenter(core, eid, tcs)?;
-        self.machine.fetch(core, entry)?;
+        if let Err(e) = self.machine.eenter(core, eid, tcs) {
+            self.machine.span_end(core, span);
+            return Err(e);
+        }
+        if let Err(e) = self.machine.fetch(core, entry) {
+            // Unwind the completed entry so the core and TCS stay usable:
+            // without the EEXIT a failed fetch (evicted or tampered code
+            // page) would leave the core stuck in enclave mode.
+            self.machine.eexit(core)?;
+            self.machine.span_end(core, span);
+            return Err(e);
+        }
         let mut cx = EnclaveCtx {
             machine: &mut self.machine,
             registry: &self.registry,
@@ -589,7 +616,12 @@ impl<'a> EnclaveCtx<'a> {
         let span =
             self.machine
                 .span_begin(self.core, SpanKind::NEcall, &format!("{inner}::{func}"));
-        neenter(self.machine, self.core, inner_eid, inner_tcs)?;
+        if let Err(e) = neenter(self.machine, self.core, inner_eid, inner_tcs) {
+            // Close the span so a refused entry (busy TCS, poisoned inner)
+            // cannot leak an open frame into the latency accounting.
+            self.machine.span_end(self.core, span);
+            return Err(e);
+        }
         let mut cx = EnclaveCtx {
             machine: self.machine,
             registry: self.registry,
@@ -762,7 +794,10 @@ impl<'a> UntrustedCtx<'a> {
         let span =
             self.machine
                 .span_begin(self.core, SpanKind::Ecall, &format!("{enclave}::{func}"));
-        self.machine.eenter(self.core, eid, tcs)?;
+        if let Err(e) = self.machine.eenter(self.core, eid, tcs) {
+            self.machine.span_end(self.core, span);
+            return Err(e);
+        }
         let mut cx = EnclaveCtx {
             machine: self.machine,
             registry: self.registry,

@@ -78,7 +78,9 @@ impl SwitchlessQueue {
     /// # Errors
     ///
     /// Oversized payloads, unknown functions, and whatever the untrusted
-    /// function itself returns.
+    /// function itself returns. [`SgxError::Stalled`] when an injected
+    /// stall window has the worker core not polling — the caller is free
+    /// to degrade to a classic exit-based ocall.
     pub fn ocall(&self, cx: &mut EnclaveCtx<'_>, func: &str, args: &[u8]) -> Result<Vec<u8>> {
         if args.len() > self.capacity {
             return Err(SgxError::GeneralProtection(
@@ -88,6 +90,13 @@ impl SwitchlessQueue {
         if cx.machine.current_enclave(self.worker_core).is_some() {
             return Err(SgxError::GeneralProtection(
                 "switchless worker core is not in untrusted mode".into(),
+            ));
+        }
+        // Fail before any marshalling or accounting: a stalled worker never
+        // saw the request, so the call must look like it never started.
+        if cx.machine.chaos_take_stall() {
+            return Err(SgxError::Stalled(
+                "switchless reply core stopped polling".into(),
             ));
         }
         let caller_core = cx.core();

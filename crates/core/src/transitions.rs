@@ -65,6 +65,11 @@ pub fn neenter(
             ));
         }
     }
+    // A crashed inner enclave faults fresh entries until it is rebuilt
+    // (same semantics as EENTER into a poisoned enclave).
+    if machine.is_poisoned(inner) {
+        return Err(SgxError::EnclavePoisoned(inner));
+    }
     // Distinguish a fresh call from an n_ocall return: on return, the
     // *current outer* TCS carries a caller link pointing at `tcs_va`.
     let returning = machine

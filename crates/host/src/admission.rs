@@ -14,8 +14,14 @@
 //!    tenants instead of letting the working set thrash through EWB/ELDU
 //!    paging for everyone (§ IV-E is the expensive path this avoids).
 //!
-//! Once a request is **accepted it is never dropped** — shedding only
-//! closes the front door. The scheduler drains whatever admission let in.
+//! Once a request is **accepted it is never silently dropped** — shedding
+//! closes the front door, and the scheduler drains whatever admission let
+//! in. Under fault injection an accepted request may still terminate as
+//! an *explicit* shed counted in
+//! [`crate::tenant::TenantState::shed_requests`] (attempt budget or
+//! deadline exhausted, or the tenant's circuit breaker opened — see
+//! [`crate::recovery`]); the invariant the property tests hold is
+//! reply-or-shed: `accepted == completed + shed_requests`.
 
 use crate::tenant::{Request, TenantState};
 
@@ -26,8 +32,12 @@ pub enum Admission {
     Accepted(u64),
     /// Rejected: the tenant's bounded queue is full (backpressure).
     RejectedFull,
-    /// Rejected: the tenant is shed (EPC pressure or never loaded).
+    /// Rejected: the tenant is shed (EPC pressure, never loaded, or its
+    /// circuit breaker is open).
     RejectedShed,
+    /// Rejected: the submission named a tenant or service that does not
+    /// exist (a client bug; the server keeps running).
+    RejectedInvalid,
 }
 
 impl Admission {
@@ -78,6 +88,7 @@ impl AdmissionControl {
             seq,
             arrival,
             payload,
+            attempts: 0,
         });
         Admission::Accepted(seq)
     }

@@ -1,0 +1,83 @@
+//! Host-level error type.
+//!
+//! The serving path used to `unwrap()` its way across the host/simulator
+//! boundary, which meant an injected architectural fault could panic the
+//! server loop instead of reaching the recovery layer. Everything the
+//! host can fail on now flows through [`HostError`], so the dispatch loop
+//! in [`crate::server`] sees every fault as a value it can classify
+//! (see [`crate::recovery::classify`]) rather than as an unwound stack.
+
+use ne_sgx::error::SgxError;
+use std::fmt;
+
+/// Everything the hosting server can fail with.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HostError {
+    /// An architectural fault surfaced by the simulator and judged
+    /// unrecoverable by the recovery layer (or raised outside a request,
+    /// e.g. while building the server).
+    Sgx(SgxError),
+    /// A submission or API call named a tenant/service that does not
+    /// exist. The request is rejected; the server keeps running.
+    BadRequest(String),
+    /// A respawn attempt itself failed. The tenant is left shed; sibling
+    /// tenants are unaffected.
+    Respawn {
+        /// Name of the tenant whose enclaves could not be rebuilt.
+        tenant: String,
+        /// The fault that aborted the rebuild.
+        source: SgxError,
+    },
+    /// A host-side invariant broke (a bug in the host, not a fault).
+    Internal(String),
+}
+
+impl fmt::Display for HostError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HostError::Sgx(e) => write!(f, "sgx: {e}"),
+            HostError::BadRequest(s) => write!(f, "bad request: {s}"),
+            HostError::Respawn { tenant, source } => {
+                write!(f, "respawn of tenant {tenant} failed: {source}")
+            }
+            HostError::Internal(s) => write!(f, "host invariant broken: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for HostError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            HostError::Sgx(e) | HostError::Respawn { source: e, .. } => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SgxError> for HostError {
+    fn from(e: SgxError) -> HostError {
+        HostError::Sgx(e)
+    }
+}
+
+/// Result alias for host operations.
+pub type HostResult<T> = std::result::Result<T, HostError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sgx_errors_convert_and_display() {
+        let e: HostError = SgxError::EpcFull.into();
+        assert_eq!(e, HostError::Sgx(SgxError::EpcFull));
+        assert!(e.to_string().contains("exhausted"));
+        let r = HostError::Respawn {
+            tenant: "t0".into(),
+            source: SgxError::EpcFull,
+        };
+        assert!(r.to_string().contains("t0"));
+        assert!(std::error::Error::source(&r).is_some());
+        assert!(std::error::Error::source(&HostError::BadRequest("x".into())).is_none());
+    }
+}

@@ -19,6 +19,11 @@
 //!   shedding, lowest-priority tenants first;
 //! * [`scheduler`] — the TCS-aware work-stealing dispatcher across the
 //!   simulated cores, with invariant counters that must read zero;
+//! * [`recovery`] — fault classification, retry/backoff policy, enclave
+//!   respawn bookkeeping, and the per-tenant circuit breaker that turns
+//!   injected chaos ([`ne_sgx::fault`]) into reply-or-shed outcomes;
+//! * [`error`] — the typed [`error::HostError`] every serving-path
+//!   failure flows through (no `unwrap` on the request path);
 //! * [`server`] — [`server::HostServer`], which wires it all to a
 //!   [`ne_core::runtime::NestedApp`] and records end-to-end request
 //!   latency into the machine's always-on histograms
@@ -29,12 +34,16 @@
 //! the standard `ne-bench/v1` / metrics / profile / trace exports.
 
 pub mod admission;
+pub mod error;
+pub mod recovery;
 pub mod scheduler;
 pub mod server;
 pub mod service;
 pub mod tenant;
 
 pub use admission::{Admission, AdmissionControl};
+pub use error::{HostError, HostResult};
+pub use recovery::{RecoveryAction, RecoveryPolicy, RecoveryState};
 pub use scheduler::{Scheduler, SchedulerStats};
 pub use server::{HostConfig, HostReport, HostServer, TenantReport};
 pub use service::{RequestFactory, ServiceKind};

@@ -1,0 +1,280 @@
+//! Fault recovery: retry policy, fault classification, and the per-tenant
+//! circuit breaker.
+//!
+//! The chaos layer ([`ne_sgx::fault`]) injects architectural faults at
+//! EENTER boundaries; this module is the host's answer. Every fault a
+//! dispatch can surface maps to exactly one [`RecoveryAction`]; the
+//! server's dispatch loop applies the action (reload evicted pages,
+//! respawn a poisoned enclave, respawn the whole tenant), charges a
+//! deterministic exponential backoff with jitter, and retries — until the
+//! request completes, its attempt budget is exhausted, or its deadline
+//! passes, at which point the request is **explicitly shed and counted**,
+//! never silently dropped. The reply-or-shed invariant the property tests
+//! assert is `accepted == completed + shed_requests` for every tenant.
+//!
+//! Respawns are the expensive path (EREMOVE, then a full
+//! ECREATE/EADD/EINIT rebuild plus NASSO re-association). A tenant whose
+//! enclaves churn through respawns faster than
+//! [`RecoveryPolicy::breaker_threshold`] per
+//! [`RecoveryPolicy::breaker_window`] cycles trips its **circuit
+//! breaker**: the tenant is shed at admission and its queued requests are
+//! shed explicitly, converting a grey failure (every request limping
+//! through rebuild after rebuild) into a fast, attributable one — without
+//! touching sibling tenants.
+
+use ne_sgx::error::{FaultKind, SgxError};
+use ne_sgx::EnclaveId;
+use std::collections::VecDeque;
+
+/// Knobs of the retry/respawn/breaker machinery.
+#[derive(Debug, Clone, Copy)]
+pub struct RecoveryPolicy {
+    /// Dispatch attempts per request before it is shed (first try
+    /// included).
+    pub max_attempts: u32,
+    /// Backoff before retry `n` is `backoff_base << min(n, 6)` plus
+    /// jitter, charged to the serving core as untrusted cycles.
+    pub backoff_base: u64,
+    /// Upper bound (inclusive) on the deterministic per-retry jitter.
+    pub backoff_jitter: u64,
+    /// A request older than this (cycles since arrival, checked between
+    /// attempts) is shed instead of retried. Zero disables the deadline.
+    pub deadline: u64,
+    /// Respawns within [`RecoveryPolicy::breaker_window`] that trip the
+    /// tenant's circuit breaker.
+    pub breaker_threshold: u32,
+    /// Sliding window (cycles) over which respawns are counted.
+    pub breaker_window: u64,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> RecoveryPolicy {
+        RecoveryPolicy {
+            max_attempts: 4,
+            backoff_base: 20_000,
+            backoff_jitter: 8_000,
+            deadline: 400_000_000,
+            breaker_threshold: 8,
+            breaker_window: 50_000_000,
+        }
+    }
+}
+
+/// What the dispatch loop should do about one failed attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryAction {
+    /// Transient condition (e.g. a stalled switchless window): retry
+    /// after backoff, nothing to repair.
+    Retry,
+    /// Chaos evicted the enclave's hot pages: reload the parked blobs
+    /// (ELDU) and retry.
+    ReloadAndRetry,
+    /// This enclave is poisoned: tear it down (EREMOVE) and rebuild it,
+    /// then retry.
+    RespawnEnclave(EnclaveId),
+    /// Integrity is gone at an unknown blast radius: rebuild the whole
+    /// tenant (gate and services), then retry.
+    RespawnTenant,
+    /// The request itself failed deterministically (application-level
+    /// error): shed it now, retrying cannot help.
+    Shed,
+    /// Not a fault the host can absorb — propagate; something is wrong
+    /// with the host itself.
+    Fatal,
+}
+
+/// Maps one dispatch fault to the action that repairs it.
+///
+/// The table is total over [`SgxError`]: anything not explicitly
+/// recoverable is [`RecoveryAction::Fatal`], so a new error variant fails
+/// loud instead of being retried blindly.
+pub fn classify(err: &SgxError) -> RecoveryAction {
+    match err {
+        SgxError::EnclavePoisoned(eid) => RecoveryAction::RespawnEnclave(*eid),
+        SgxError::Stalled(_) => RecoveryAction::Retry,
+        SgxError::Fault { kind, .. } => match kind {
+            // Physical tamper: the MEE refuses the line until the page is
+            // rebuilt. EADD on the respawn clears the tamper marks.
+            FaultKind::IntegrityViolation => RecoveryAction::RespawnTenant,
+            // Chaos-forced EWB left ELRANGE pages swapped out; the blobs
+            // are parked machine-side and reloadable.
+            FaultKind::EnclavePageSwappedOut | FaultKind::NotMapped => {
+                RecoveryAction::ReloadAndRetry
+            }
+            _ => RecoveryAction::Fatal,
+        },
+        // Sealing/replay rejection on reload: the blob is unusable, the
+        // enclave's evicted state is lost — rebuild from the image.
+        SgxError::Paging(_) => RecoveryAction::RespawnTenant,
+        // Application-level failure (bad SQL against a rebuilt-and-empty
+        // database, oversized payload, ...): deterministic, shed it.
+        SgxError::GeneralProtection(_) => RecoveryAction::Shed,
+        _ => RecoveryAction::Fatal,
+    }
+}
+
+/// Backoff (cycles) to charge before retry number `attempt` of request
+/// (`tenant`, `seq`): exponential in the attempt with a deterministic
+/// jitter hashed from the identifiers, so two runs of the same seeded
+/// workload back off identically while concurrent retries of different
+/// requests still de-synchronize.
+pub fn backoff_cycles(
+    policy: &RecoveryPolicy,
+    seed: u64,
+    tenant: usize,
+    seq: u64,
+    attempt: u32,
+) -> u64 {
+    let base = policy.backoff_base << attempt.min(6);
+    if policy.backoff_jitter == 0 {
+        return base;
+    }
+    // SplitMix64 finalizer over the request identity.
+    let mut x = seed
+        ^ (tenant as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ seq.wrapping_mul(0xBF58_476D_1CE4_E5B9)
+        ^ u64::from(attempt).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    base + x % (policy.backoff_jitter + 1)
+}
+
+/// Per-tenant recovery bookkeeping: respawn history and breaker state.
+#[derive(Debug, Default)]
+pub struct RecoveryState {
+    /// Cycle timestamps of recent respawns, oldest first, pruned to the
+    /// breaker window.
+    pub respawn_times: VecDeque<u64>,
+    /// Cumulative respawns (reporting; never pruned).
+    pub respawns: u64,
+    /// True once the breaker tripped: the tenant is shed, its queue
+    /// drained to explicit sheds, and no further respawns are attempted.
+    pub breaker_open: bool,
+}
+
+impl RecoveryState {
+    /// Records a respawn at cycle `now`; returns true when this respawn
+    /// trips (or finds already tripped) the circuit breaker.
+    pub fn note_respawn(&mut self, now: u64, policy: &RecoveryPolicy) -> bool {
+        self.respawns += 1;
+        self.respawn_times.push_back(now);
+        while let Some(&t0) = self.respawn_times.front() {
+            if now.saturating_sub(t0) > policy.breaker_window {
+                self.respawn_times.pop_front();
+            } else {
+                break;
+            }
+        }
+        if self.respawn_times.len() as u32 >= policy.breaker_threshold {
+            self.breaker_open = true;
+        }
+        self.breaker_open
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ne_sgx::addr::VirtAddr;
+
+    #[test]
+    fn classification_table() {
+        let eid = EnclaveId(7);
+        assert_eq!(
+            classify(&SgxError::EnclavePoisoned(eid)),
+            RecoveryAction::RespawnEnclave(eid)
+        );
+        assert_eq!(
+            classify(&SgxError::Stalled("x".into())),
+            RecoveryAction::Retry
+        );
+        assert_eq!(
+            classify(&SgxError::Fault {
+                kind: FaultKind::IntegrityViolation,
+                addr: VirtAddr(0)
+            }),
+            RecoveryAction::RespawnTenant
+        );
+        assert_eq!(
+            classify(&SgxError::Fault {
+                kind: FaultKind::EnclavePageSwappedOut,
+                addr: VirtAddr(0)
+            }),
+            RecoveryAction::ReloadAndRetry
+        );
+        assert_eq!(
+            classify(&SgxError::Paging("replay".into())),
+            RecoveryAction::RespawnTenant
+        );
+        assert_eq!(
+            classify(&SgxError::GeneralProtection("app error".into())),
+            RecoveryAction::Shed
+        );
+        assert_eq!(classify(&SgxError::EpcFull), RecoveryAction::Fatal);
+        assert_eq!(
+            classify(&SgxError::Fault {
+                kind: FaultKind::WriteToReadOnly,
+                addr: VirtAddr(0)
+            }),
+            RecoveryAction::Fatal
+        );
+    }
+
+    #[test]
+    fn backoff_is_deterministic_exponential_and_jittered() {
+        let p = RecoveryPolicy::default();
+        let a = backoff_cycles(&p, 1, 0, 5, 1);
+        assert_eq!(
+            a,
+            backoff_cycles(&p, 1, 0, 5, 1),
+            "same identity, same wait"
+        );
+        // Exponential floor, bounded jitter.
+        for attempt in 0..8 {
+            let w = backoff_cycles(&p, 1, 0, 5, attempt);
+            let floor = p.backoff_base << attempt.min(6);
+            assert!(
+                w >= floor && w <= floor + p.backoff_jitter,
+                "{attempt}: {w}"
+            );
+        }
+        // Different requests de-synchronize.
+        assert_ne!(
+            backoff_cycles(&p, 1, 0, 5, 1) - (p.backoff_base << 1),
+            backoff_cycles(&p, 1, 0, 6, 1) - (p.backoff_base << 1),
+        );
+        let no_jitter = RecoveryPolicy {
+            backoff_jitter: 0,
+            ..p
+        };
+        assert_eq!(
+            backoff_cycles(&no_jitter, 9, 3, 3, 2),
+            no_jitter.backoff_base << 2
+        );
+    }
+
+    #[test]
+    fn breaker_trips_on_churn_within_window_only() {
+        let p = RecoveryPolicy {
+            breaker_threshold: 3,
+            breaker_window: 1_000,
+            ..RecoveryPolicy::default()
+        };
+        // Spread out: never trips.
+        let mut calm = RecoveryState::default();
+        for i in 0..10u64 {
+            assert!(!calm.note_respawn(i * 10_000, &p));
+        }
+        assert_eq!(calm.respawns, 10);
+        // Churn: third respawn within the window trips it, and it latches.
+        let mut churn = RecoveryState::default();
+        assert!(!churn.note_respawn(100, &p));
+        assert!(!churn.note_respawn(200, &p));
+        assert!(churn.note_respawn(300, &p));
+        assert!(churn.breaker_open);
+        assert!(churn.note_respawn(999_999, &p), "breaker latches open");
+    }
+}

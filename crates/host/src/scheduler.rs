@@ -86,11 +86,13 @@ impl Scheduler {
     }
 
     /// The slot (index into [`Scheduler::cores`]) of the core whose clock
-    /// is furthest behind — the next one to dispatch on.
+    /// is furthest behind — the next one to dispatch on. (The constructor
+    /// guarantees at least one core, so the fold always has a winner; the
+    /// `unwrap_or(0)` keeps the request path panic-free regardless.)
     pub fn pick_core(&self, machine: &Machine) -> usize {
         (0..self.cores.len())
             .min_by_key(|&s| machine.cycles(self.cores[s]))
-            .expect("non-empty cores")
+            .unwrap_or(0)
     }
 
     /// Picks the next request for the core at `slot`: round-robin over its
@@ -117,7 +119,7 @@ impl Scheduler {
         let victim = (0..tenants.len())
             .filter(|&t| !tenants[t].queue.is_empty())
             .max_by_key(|&t| (tenants[t].backlog(), std::cmp::Reverse(t)))?;
-        let req = tenants[victim].queue.pop_front().expect("non-empty");
+        let req = tenants[victim].queue.pop_front()?;
         self.stats.dispatched += 1;
         self.stats.steals += 1;
         Some(req)
@@ -180,6 +182,7 @@ mod tests {
             seq,
             arrival: 0,
             payload: vec![],
+            attempts: 0,
         });
     }
 

@@ -24,10 +24,24 @@
 //! machine's always-on profile under [`ProfileEvent::Request`], so the
 //! standard metrics/bench exports pick up request p50/p99 with no extra
 //! plumbing.
+//!
+//! **Self-healing**: when a chaos plan ([`ne_sgx::fault::FaultPlan`]) is
+//! installed, dispatches can fault. [`HostServer::step`] classifies every
+//! fault ([`crate::recovery::classify`]), repairs what is repairable —
+//! reload chaos-evicted pages, respawn a poisoned enclave
+//! (EREMOVE → rebuild → NASSO re-association), respawn a whole tenant
+//! after an integrity violation — charges a deterministic backoff, and
+//! retries, all without touching sibling tenants. A request whose attempt
+//! budget or deadline runs out is shed **explicitly and counted**
+//! ([`crate::tenant::TenantState::shed_requests`]); a tenant whose
+//! respawns churn trips a circuit breaker and fails fast. The server loop
+//! itself never panics on an injected fault.
 
 use crate::admission::{Admission, AdmissionControl};
+use crate::error::{HostError, HostResult};
+use crate::recovery::{backoff_cycles, classify, RecoveryAction, RecoveryPolicy, RecoveryState};
 use crate::scheduler::{Scheduler, SchedulerStats};
-use crate::service::{install_service, service_enclave_name};
+use crate::service::{install_service, service_enclave_name, ServiceKind};
 use crate::tenant::{Completion, TenantSpec, TenantState};
 use ne_core::edl::Edl;
 use ne_core::loader::EnclaveImage;
@@ -35,8 +49,11 @@ use ne_core::runtime::{NestedApp, TrustedFn, UntrustedFn};
 use ne_core::switchless::SwitchlessQueue;
 use ne_sgx::config::HwConfig;
 use ne_sgx::error::SgxError;
+use ne_sgx::fault::{ChaosStats, FaultPlan};
 use ne_sgx::profile::{HierLevel, ProfileEvent};
-use std::sync::{Arc, Mutex};
+use ne_sgx::EnclaveId;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
 
 /// Cycles the gate charges per request for header parse + routing.
 pub const GATE_DISPATCH_CYCLES: u64 = 1_200;
@@ -62,6 +79,8 @@ pub struct HostConfig {
     pub admission: AdmissionControl,
     /// Payload bound of the switchless reply queue.
     pub switchless_capacity: usize,
+    /// Retry/respawn/circuit-breaker policy for faulted dispatches.
+    pub recovery: RecoveryPolicy,
 }
 
 impl HostConfig {
@@ -74,6 +93,7 @@ impl HostConfig {
             seed: 0xC0FFEE,
             admission: AdmissionControl::default(),
             switchless_capacity: 4096,
+            recovery: RecoveryPolicy::default(),
         }
     }
 }
@@ -97,6 +117,12 @@ pub struct TenantReport {
     pub rejected_shed: u64,
     /// Requests served to completion.
     pub completed: u64,
+    /// Accepted requests the recovery layer shed explicitly.
+    pub shed_requests: u64,
+    /// Enclave respawns performed for this tenant.
+    pub respawns: u64,
+    /// Whether the tenant's circuit breaker ended the run open.
+    pub breaker_open: bool,
 }
 
 /// End-of-run summary.
@@ -108,6 +134,9 @@ pub struct HostReport {
     pub sched: SchedulerStats,
     /// Whether a switchless worker core was active.
     pub switchless: bool,
+    /// Replies that degraded from switchless to a classic exit-based
+    /// ocall because the reply core was in an injected stall window.
+    pub degraded_replies: u64,
 }
 
 impl HostReport {
@@ -119,6 +148,17 @@ impl HostReport {
     /// Total accepted across tenants.
     pub fn accepted(&self) -> u64 {
         self.tenants.iter().map(|t| t.accepted).sum()
+    }
+
+    /// Total explicit sheds across tenants. Reply-or-shed says
+    /// `accepted() == completed() + shed_requests()` once drained.
+    pub fn shed_requests(&self) -> u64 {
+        self.tenants.iter().map(|t| t.shed_requests).sum()
+    }
+
+    /// Total enclave respawns across tenants.
+    pub fn respawns(&self) -> u64 {
+        self.tenants.iter().map(|t| t.respawns).sum()
     }
 }
 
@@ -132,6 +172,14 @@ pub struct HostServer {
     admission: AdmissionControl,
     worker_core: Option<usize>,
     completions: Vec<Completion>,
+    seed: u64,
+    policy: RecoveryPolicy,
+    recovery: Vec<RecoveryState>,
+    /// Shared with every gate closure; respawned gates reuse it.
+    switchless_handle: Arc<Mutex<Option<SwitchlessQueue>>>,
+    /// Switchless→classic reply degradations, counted from inside the
+    /// gate closures.
+    degraded_replies: Arc<AtomicU64>,
 }
 
 fn gate_image(name: &str) -> EnclaveImage {
@@ -142,10 +190,13 @@ fn gate_image(name: &str) -> EnclaveImage {
 }
 
 /// The gate's `dispatch` body: route by the one-byte service index, call
-/// the inner service, push the reply out (switchless when available).
+/// the inner service, push the reply out (switchless when available,
+/// degrading to a classic exit-based ocall when the reply core is inside
+/// an injected stall window).
 fn gate_dispatch(
     services: Vec<String>,
     switchless: Arc<Mutex<Option<SwitchlessQueue>>>,
+    degraded: Arc<AtomicU64>,
 ) -> TrustedFn {
     Arc::new(move |cx, msg| {
         let (&svc, payload) = msg
@@ -156,11 +207,19 @@ fn gate_dispatch(
             .ok_or_else(|| SgxError::GeneralProtection(format!("unknown service index {svc}")))?;
         cx.charge(GATE_DISPATCH_CYCLES);
         let reply = cx.n_ecall(name, "handle", payload)?;
-        let queue = *switchless.lock().expect("poisoned");
+        let queue = *switchless.lock().unwrap_or_else(PoisonError::into_inner);
         match queue {
-            Some(q) => {
-                q.ocall(cx, "net_reply", &reply)?;
-            }
+            Some(q) => match q.ocall(cx, "net_reply", &reply) {
+                Ok(_) => {}
+                // The worker core stopped polling: pay the transition and
+                // push the reply out the classic way instead of failing
+                // the whole dispatch.
+                Err(SgxError::Stalled(_)) => {
+                    degraded.fetch_add(1, Ordering::Relaxed);
+                    cx.ocall("net_reply", &reply)?;
+                }
+                Err(e) => return Err(e),
+            },
             None => {
                 cx.ocall("net_reply", &reply)?;
             }
@@ -191,8 +250,9 @@ impl HostServer {
     /// # Errors
     ///
     /// Loader failures other than the anticipated EPC exhaustion.
-    pub fn build(cfg: HostConfig) -> Result<HostServer, SgxError> {
+    pub fn build(cfg: HostConfig) -> HostResult<HostServer> {
         let mut app = NestedApp::new(cfg.hw.clone());
+        let degraded_replies = Arc::new(AtomicU64::new(0));
         let net_reply: UntrustedFn = Arc::new(|cx, _args| {
             cx.charge(NET_REPLY_CYCLES);
             Ok(Vec::new())
@@ -220,7 +280,7 @@ impl HostServer {
                 gate_image(&spec.gate_name()),
                 [(
                     "dispatch".to_string(),
-                    gate_dispatch(names, switchless_handle.clone()),
+                    gate_dispatch(names, switchless_handle.clone(), degraded_replies.clone()),
                 )],
             )?;
             let gate_name = spec.gate_name();
@@ -236,7 +296,9 @@ impl HostServer {
             let q = app.untrusted(0, |cx| {
                 SwitchlessQueue::create(cx, cfg.switchless_capacity, w)
             });
-            *switchless_handle.lock().expect("poisoned") = Some(q);
+            *switchless_handle
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner) = Some(q);
         }
         let serving: Vec<usize> = (0..num_cores).filter(|c| Some(*c) != worker_core).collect();
 
@@ -247,6 +309,7 @@ impl HostServer {
             .map(|(spec, ok)| TenantState::new(spec, ok))
             .collect();
         let sched = Scheduler::new(serving, tenants.len());
+        let recovery = tenants.iter().map(|_| RecoveryState::default()).collect();
         Ok(HostServer {
             app,
             tenants,
@@ -254,6 +317,11 @@ impl HostServer {
             admission: cfg.admission,
             worker_core,
             completions: Vec::new(),
+            seed: cfg.seed,
+            policy: cfg.recovery,
+            recovery,
+            switchless_handle,
+            degraded_replies,
         })
     }
 
@@ -300,10 +368,8 @@ impl HostServer {
 
     /// Offers one request. Re-evaluates EPC pressure first and sheds the
     /// lowest-priority tenant when free EPC is under the low-water mark.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `tenant` or `service` is out of range (harness bug).
+    /// A `tenant`/`service` out of range is rejected as
+    /// [`Admission::RejectedInvalid`] rather than panicking the server.
     pub fn submit(
         &mut self,
         tenant: usize,
@@ -311,7 +377,13 @@ impl HostServer {
         arrival: u64,
         payload: Vec<u8>,
     ) -> Admission {
-        assert!(service < self.tenants[tenant].spec.services.len());
+        let valid = self
+            .tenants
+            .get(tenant)
+            .is_some_and(|t| service < t.spec.services.len());
+        if !valid {
+            return Admission::RejectedInvalid;
+        }
         let free = self.app.machine.free_epc_pages() as u64;
         if self.admission.under_pressure(free) {
             if let Some(victim) = self.admission.shed_victim(&self.tenants) {
@@ -328,16 +400,29 @@ impl HostServer {
     /// the arrival time if needed, and the full
     /// ecall → n_ecall → reply-ocall chain runs.
     ///
+    /// Faulted dispatches go through the recovery layer: classify, repair
+    /// (reload / respawn), back off, retry — up to the policy's attempt
+    /// budget and deadline, after which the request is shed explicitly.
+    /// `Ok(None)` therefore means "no request completed this step": the
+    /// queues were empty, or a request was shed.
+    ///
     /// # Errors
     ///
-    /// Service/runtime failures, or an invariant violation (the request is
-    /// put back at the head of its queue so no accepted work is lost).
-    pub fn step(&mut self) -> Result<Option<Completion>, SgxError> {
+    /// Unrecoverable faults only ([`crate::recovery::RecoveryAction::Fatal`]
+    /// — host bugs, not injected chaos); the request is put back at the
+    /// head of its queue so no accepted work is lost.
+    pub fn step(&mut self) -> HostResult<Option<Completion>> {
         let slot = self.sched.pick_core(&self.app.machine);
-        let Some(req) = self.sched.pick_request(slot, &mut self.tenants) else {
+        let Some(mut req) = self.sched.pick_request(slot, &mut self.tenants) else {
             return Ok(None);
         };
         let core = self.sched.cores()[slot];
+        // Fail fast once the tenant's breaker is open: queued work is
+        // shed explicitly instead of limping through rebuilds.
+        if self.recovery[req.tenant].breaker_open {
+            self.tenants[req.tenant].shed_requests += 1;
+            return Ok(None);
+        }
         let (gate_name, svc_name) = {
             let spec = &self.tenants[req.tenant].spec;
             (
@@ -352,9 +437,9 @@ impl HostServer {
             .precheck(&self.app.machine, slot, gate_eid, svc_eid)
         {
             self.tenants[req.tenant].queue.push_front(req);
-            return Err(SgxError::GeneralProtection(
+            return Err(HostError::Sgx(SgxError::GeneralProtection(
                 "scheduler invariant violated".into(),
-            ));
+            )));
         }
         // The core idles until the request arrives, if it was ahead of the
         // arrival clock; the wait is charged as untrusted time so the
@@ -368,7 +453,55 @@ impl HostServer {
         let mut msg = Vec::with_capacity(1 + req.payload.len());
         msg.push(req.service as u8);
         msg.extend_from_slice(&req.payload);
-        let reply = self.app.ecall(core, &gate_name, "dispatch", &msg)?;
+        let reply = loop {
+            match self.app.ecall(core, &gate_name, "dispatch", &msg) {
+                Ok(reply) => break reply,
+                Err(e) => {
+                    req.attempts += 1;
+                    match classify(&e) {
+                        RecoveryAction::Fatal => {
+                            self.tenants[req.tenant].queue.push_front(req);
+                            return Err(e.into());
+                        }
+                        RecoveryAction::Shed => {
+                            // Deterministic application-level failure:
+                            // retrying cannot change the outcome.
+                            self.tenants[req.tenant].shed_requests += 1;
+                            return Ok(None);
+                        }
+                        action => {
+                            if req.attempts >= self.policy.max_attempts {
+                                self.tenants[req.tenant].shed_requests += 1;
+                                return Ok(None);
+                            }
+                            if self.repair(req.tenant, action).is_err() {
+                                // The tenant could not be healed; fail it
+                                // fast and keep its siblings running.
+                                self.trip_breaker(req.tenant);
+                            }
+                            if self.recovery[req.tenant].breaker_open {
+                                self.trip_breaker(req.tenant);
+                                self.tenants[req.tenant].shed_requests += 1;
+                                return Ok(None);
+                            }
+                            let wait = backoff_cycles(
+                                &self.policy,
+                                self.seed,
+                                req.tenant,
+                                req.seq,
+                                req.attempts,
+                            );
+                            self.app.untrusted(core, |cx| cx.charge(wait));
+                            let age = self.app.machine.cycles(core).saturating_sub(req.arrival);
+                            if self.policy.deadline > 0 && age > self.policy.deadline {
+                                self.tenants[req.tenant].shed_requests += 1;
+                                return Ok(None);
+                            }
+                        }
+                    }
+                }
+            }
+        };
         let end = self.app.machine.cycles(core);
         let latency = end.saturating_sub(req.arrival);
         self.app
@@ -401,16 +534,191 @@ impl HostServer {
         Ok(Some(completion))
     }
 
-    /// Serves queued requests until every queue is empty; returns how many
-    /// were served.
+    /// Applies one repair action for `tenant`. Errors mean the repair
+    /// itself failed (e.g. EPC exhausted during a rebuild) — the caller
+    /// trips the breaker.
+    fn repair(&mut self, tenant: usize, action: RecoveryAction) -> HostResult<()> {
+        match action {
+            RecoveryAction::Retry => Ok(()),
+            RecoveryAction::ReloadAndRetry => {
+                // Reload failures (sealing/replay rejection) escalate to a
+                // full tenant rebuild: the evicted state is unusable.
+                if self.reload_evicted(tenant).is_err() {
+                    self.respawn_tenant(tenant)
+                } else {
+                    Ok(())
+                }
+            }
+            RecoveryAction::RespawnEnclave(eid) => self.respawn_enclave(tenant, eid),
+            RecoveryAction::RespawnTenant => self.respawn_tenant(tenant),
+            // Shed/Fatal never reach repair (handled by the caller).
+            RecoveryAction::Shed | RecoveryAction::Fatal => Ok(()),
+        }
+    }
+
+    /// Reloads (ELDU) every chaos-evicted page parked for the tenant's
+    /// enclaves.
+    fn reload_evicted(&mut self, tenant: usize) -> HostResult<usize> {
+        let mut reloaded = 0;
+        for name in self.tenant_enclave_names(tenant) {
+            let eid = self.app.eid(&name)?;
+            reloaded += self.app.machine.reload_chaos_evicted(eid)?;
+        }
+        Ok(reloaded)
+    }
+
+    /// Gate-first list of the tenant's enclave names.
+    fn tenant_enclave_names(&self, tenant: usize) -> Vec<String> {
+        let spec = &self.tenants[tenant].spec;
+        let mut names = vec![spec.gate_name()];
+        names.extend(
+            spec.services
+                .iter()
+                .map(|&k| service_enclave_name(&spec.name, k)),
+        );
+        names
+    }
+
+    /// Respawns whichever of the tenant's enclaves `eid` names (the gate,
+    /// or one inner service); an `eid` that matches none of them (already
+    /// torn down) falls back to a whole-tenant rebuild.
+    fn respawn_enclave(&mut self, tenant: usize, eid: EnclaveId) -> HostResult<()> {
+        let spec = self.tenants[tenant].spec.clone();
+        if self.app.eid(&spec.gate_name()) == Ok(eid) {
+            return self.respawn_gate(tenant);
+        }
+        for &kind in &spec.services {
+            if self.app.eid(&service_enclave_name(&spec.name, kind)) == Ok(eid) {
+                return self.respawn_service(tenant, kind);
+            }
+        }
+        self.respawn_tenant(tenant)
+    }
+
+    /// Tears down and rebuilds the tenant's gate (EREMOVE, fresh
+    /// ECREATE/EADD/EINIT), then re-associates every service enclave with
+    /// the new gate (NASSO). Counts as one respawn toward the breaker.
+    fn respawn_gate(&mut self, tenant: usize) -> HostResult<()> {
+        self.note_respawn(tenant);
+        self.rebuild_gate(tenant)
+            .map_err(|source| self.respawn_failed(tenant, source))
+    }
+
+    /// Tears down and rebuilds one inner service enclave and re-associates
+    /// it with the gate. Counts as one respawn toward the breaker.
+    fn respawn_service(&mut self, tenant: usize, kind: ServiceKind) -> HostResult<()> {
+        self.note_respawn(tenant);
+        self.rebuild_service(tenant, kind)
+            .map_err(|source| self.respawn_failed(tenant, source))
+    }
+
+    /// Rebuilds the whole tenant — every service, then the gate. Counts as
+    /// one respawn event toward the breaker (one recovery, many EREMOVEs).
+    fn respawn_tenant(&mut self, tenant: usize) -> HostResult<()> {
+        self.note_respawn(tenant);
+        let kinds = self.tenants[tenant].spec.services.clone();
+        for kind in kinds {
+            self.rebuild_service(tenant, kind)
+                .map_err(|source| self.respawn_failed(tenant, source))?;
+        }
+        self.rebuild_gate(tenant)
+            .map_err(|source| self.respawn_failed(tenant, source))
+    }
+
+    fn rebuild_gate(&mut self, tenant: usize) -> Result<(), SgxError> {
+        let spec = self.tenants[tenant].spec.clone();
+        let gate_name = spec.gate_name();
+        let names: Vec<String> = spec
+            .services
+            .iter()
+            .map(|&k| service_enclave_name(&spec.name, k))
+            .collect();
+        let old = self.app.unload(&gate_name)?;
+        self.app.load(
+            gate_image(&gate_name),
+            [(
+                "dispatch".to_string(),
+                gate_dispatch(
+                    names.clone(),
+                    self.switchless_handle.clone(),
+                    self.degraded_replies.clone(),
+                ),
+            )],
+        )?;
+        let new = self.app.eid(&gate_name)?;
+        self.app.machine.chaos_retarget(old, new);
+        for name in &names {
+            self.app.associate(name, &gate_name)?;
+        }
+        Ok(())
+    }
+
+    fn rebuild_service(&mut self, tenant: usize, kind: ServiceKind) -> Result<(), SgxError> {
+        let spec = self.tenants[tenant].spec.clone();
+        let name = service_enclave_name(&spec.name, kind);
+        let old = self.app.unload(&name)?;
+        install_service(
+            &mut self.app,
+            &spec.name,
+            &spec.gate_name(),
+            tenant,
+            kind,
+            self.seed,
+        )?;
+        let new = self.app.eid(&name)?;
+        self.app.machine.chaos_retarget(old, new);
+        Ok(())
+    }
+
+    /// Records one respawn; the breaker check happens in the step loop.
+    fn note_respawn(&mut self, tenant: usize) {
+        let now = self.now();
+        self.recovery[tenant].note_respawn(now, &self.policy);
+    }
+
+    fn respawn_failed(&self, tenant: usize, source: SgxError) -> HostError {
+        HostError::Respawn {
+            tenant: self.tenants[tenant].spec.name.clone(),
+            source,
+        }
+    }
+
+    /// Opens the tenant's breaker: sheds the tenant at admission and
+    /// converts its queued requests into explicit sheds. Idempotent.
+    fn trip_breaker(&mut self, tenant: usize) {
+        self.recovery[tenant].breaker_open = true;
+        let ts = &mut self.tenants[tenant];
+        ts.shed = true;
+        ts.shed_requests += ts.queue.len() as u64;
+        ts.queue.clear();
+    }
+
+    /// Serves queued requests until every accepted request has terminated
+    /// (reply or explicit shed); returns how many completed.
+    ///
+    /// The loop is **bounded**: a server bug that stops making progress
+    /// (e.g. a service enclave wedged in a way the recovery layer cannot
+    /// see) surfaces as [`SgxError::Stalled`] instead of a hang.
     ///
     /// # Errors
     ///
-    /// As [`HostServer::step`].
-    pub fn drain(&mut self) -> Result<usize, SgxError> {
+    /// As [`HostServer::step`], plus the stall guard.
+    pub fn drain(&mut self) -> HostResult<usize> {
+        // Every step terminates one request (completion or shed), so the
+        // budget only bites when progress genuinely stops.
+        let mut budget = 4 * (self.pending() as u64 + 1) + 16;
         let mut served = 0;
-        while self.step()?.is_some() {
-            served += 1;
+        while self.pending() > 0 {
+            if budget == 0 {
+                return Err(HostError::Sgx(SgxError::Stalled(format!(
+                    "drain exceeded its step budget with {} requests still queued",
+                    self.pending()
+                ))));
+            }
+            budget -= 1;
+            if self.step()?.is_some() {
+                served += 1;
+            }
         }
         Ok(served)
     }
@@ -433,7 +741,69 @@ impl HostServer {
             t.rejected_full = 0;
             t.rejected_shed = 0;
             t.completed = 0;
+            t.shed_requests = 0;
         }
+        // The cycle clocks just reset, so respawn timestamps from before
+        // the window are meaningless; breaker latch state carries over
+        // (like shed state).
+        for r in &mut self.recovery {
+            r.respawn_times.clear();
+            r.respawns = 0;
+        }
+        self.degraded_replies.store(0, Ordering::Relaxed);
+    }
+
+    /// Installs a chaos plan on the machine (see [`ne_sgx::fault`]).
+    /// Typically called after warmup/[`HostServer::reset_measurement`] so
+    /// the fault clock starts with the measured window.
+    pub fn install_chaos(&mut self, plan: FaultPlan) {
+        self.app.machine.install_chaos(plan);
+    }
+
+    /// Installs a chaos plan confined to one tenant's enclaves (gate and
+    /// services): siblings share the machine but never see an injected
+    /// fault.
+    ///
+    /// # Errors
+    ///
+    /// [`HostError::BadRequest`] for an unknown or unloaded tenant.
+    pub fn install_chaos_for_tenant(&mut self, plan: FaultPlan, tenant: usize) -> HostResult<()> {
+        let eids = self.tenant_eids(tenant)?;
+        self.app.machine.install_chaos(plan.target_eids(eids));
+        Ok(())
+    }
+
+    /// Raw enclave ids (gate first, then services) of one tenant.
+    ///
+    /// # Errors
+    ///
+    /// [`HostError::BadRequest`] for an unknown or unloaded tenant.
+    pub fn tenant_eids(&self, tenant: usize) -> HostResult<Vec<u64>> {
+        if tenant >= self.tenants.len() || !self.tenants[tenant].loaded {
+            return Err(HostError::BadRequest(format!(
+                "no loaded tenant at index {tenant}"
+            )));
+        }
+        self.tenant_enclave_names(tenant)
+            .iter()
+            .map(|n| Ok(self.app.eid(n)?.0))
+            .collect()
+    }
+
+    /// Decision counters of the installed chaos plan, if any.
+    pub fn chaos_stats(&self) -> Option<ChaosStats> {
+        self.app.machine.chaos_stats()
+    }
+
+    /// Per-tenant recovery state (respawn history, breaker), in spec
+    /// order.
+    pub fn recovery_states(&self) -> &[RecoveryState] {
+        &self.recovery
+    }
+
+    /// Replies that degraded from switchless to classic ocalls so far.
+    pub fn degraded_replies(&self) -> u64 {
+        self.degraded_replies.load(Ordering::Relaxed)
     }
 
     /// The end-of-run summary.
@@ -442,7 +812,8 @@ impl HostServer {
             tenants: self
                 .tenants
                 .iter()
-                .map(|t| TenantReport {
+                .zip(&self.recovery)
+                .map(|(t, r)| TenantReport {
                     name: t.spec.name.clone(),
                     priority: t.spec.priority,
                     loaded: t.loaded,
@@ -451,10 +822,14 @@ impl HostServer {
                     rejected_full: t.rejected_full,
                     rejected_shed: t.rejected_shed,
                     completed: t.completed,
+                    shed_requests: t.shed_requests,
+                    respawns: r.respawns,
+                    breaker_open: r.breaker_open,
                 })
                 .collect(),
             sched: self.sched.stats,
             switchless: self.worker_core.is_some(),
+            degraded_replies: self.degraded_replies(),
         }
     }
 }

@@ -149,9 +149,12 @@ pub fn service_handler(kind: ServiceKind, tenant: usize, seed: u64) -> TrustedFn
                 let sql = std::str::from_utf8(args)
                     .map_err(|_| SgxError::GeneralProtection("bad utf-8 query".into()))?;
                 ne_db::parse(sql).map_err(|e| SgxError::GeneralProtection(e.to_string()))?;
+                // A poisoned lock only means a previous handler panicked
+                // mid-query; recover the guard rather than panicking the
+                // serving loop too.
                 let result = db
                     .lock()
-                    .expect("poisoned")
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
                     .execute(sql)
                     .map_err(|e| SgxError::GeneralProtection(e.to_string()))?;
                 let mut out = Vec::new();
@@ -208,7 +211,7 @@ fn decode_sample(args: &[u8]) -> Result<Vec<f64>, SgxError> {
     }
     Ok(args
         .chunks_exact(8)
-        .map(|c| f64::from_le_bytes(c.try_into().expect("8 bytes")))
+        .map(|c| f64::from_le_bytes(c.try_into().unwrap_or([0u8; 8])))
         .collect())
 }
 

@@ -61,6 +61,9 @@ pub struct Request {
     /// Opaque request payload, built by a
     /// [`crate::service::RequestFactory`].
     pub payload: Vec<u8>,
+    /// Dispatch attempts so far (the recovery layer retries faulted
+    /// dispatches up to [`crate::recovery::RecoveryPolicy::max_attempts`]).
+    pub attempts: u32,
 }
 
 /// The record of one served request.
@@ -95,8 +98,9 @@ pub struct TenantState {
     /// pressure at build time shed it (lowest priorities first).
     pub loaded: bool,
     /// True while the tenant is shed: new submissions are rejected.
-    /// Already-accepted requests still complete — shedding never drops
-    /// work the host committed to.
+    /// Already-accepted requests still terminate — with a reply, or with
+    /// an **explicit, counted** shed ([`TenantState::shed_requests`]);
+    /// accepted work is never silently dropped.
     pub shed: bool,
     /// Admitted-but-not-yet-served requests, FIFO.
     pub queue: VecDeque<Request>,
@@ -110,6 +114,11 @@ pub struct TenantState {
     pub rejected_shed: u64,
     /// Requests served to completion.
     pub completed: u64,
+    /// Accepted requests the recovery layer shed explicitly (attempt
+    /// budget or deadline exhausted, unrecoverable application error, or
+    /// the tenant's circuit breaker opened). The reply-or-shed invariant
+    /// is `accepted == completed + shed_requests` once drained.
+    pub shed_requests: u64,
     /// Highest completed sequence number, for FIFO auditing.
     pub last_completed_seq: Option<u64>,
 }
@@ -128,6 +137,7 @@ impl TenantState {
             rejected_full: 0,
             rejected_shed: 0,
             completed: 0,
+            shed_requests: 0,
             last_completed_seq: None,
         }
     }
@@ -137,9 +147,10 @@ impl TenantState {
         self.queue.len()
     }
 
-    /// True when every accepted request has been served.
+    /// True when every accepted request has terminated — served to
+    /// completion or explicitly shed.
     pub fn drained(&self) -> bool {
-        self.completed == self.accepted && self.queue.is_empty()
+        self.completed + self.shed_requests == self.accepted && self.queue.is_empty()
     }
 }
 

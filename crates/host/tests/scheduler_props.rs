@@ -126,6 +126,7 @@ proptest! {
                         seq,
                         arrival: 0,
                         payload: vec![],
+                        attempts: 0,
                     });
                 }
                 state

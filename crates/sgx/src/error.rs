@@ -72,6 +72,13 @@ pub enum SgxError {
     Paging(String),
     /// The virtual range conflicts with an existing enclave or mapping.
     RangeConflict(String),
+    /// The enclave crashed (or was crash-injected) and is poisoned:
+    /// every EENTER/NEENTER faults until the enclave is torn down with
+    /// EREMOVE and rebuilt.
+    EnclavePoisoned(EnclaveId),
+    /// Forward progress stopped: a bounded wait (drain loop, switchless
+    /// reply queue) exceeded its iteration budget. The string says where.
+    Stalled(String),
 }
 
 impl fmt::Display for SgxError {
@@ -85,6 +92,13 @@ impl fmt::Display for SgxError {
             SgxError::InitVerification(s) => write!(f, "EINIT verification failed: {s}"),
             SgxError::Paging(s) => write!(f, "EPC paging error: {s}"),
             SgxError::RangeConflict(s) => write!(f, "address range conflict: {s}"),
+            SgxError::EnclavePoisoned(id) => {
+                write!(
+                    f,
+                    "enclave {id:?} is poisoned (crashed; rebuild with EREMOVE)"
+                )
+            }
+            SgxError::Stalled(s) => write!(f, "stalled: {s}"),
         }
     }
 }

@@ -1,10 +1,11 @@
 //! Enclave life-cycle and transition instructions
 //! (ECREATE/EADD/EEXTEND/EINIT/EENTER/EEXIT/AEX/ERESUME/EWB/ELDU/EREMOVE).
 
-use crate::addr::{VirtAddr, VirtRange, Vpn, PAGE_SIZE};
+use crate::addr::{VirtAddr, VirtRange, Vpn, LINE_SIZE, PAGE_SIZE};
 use crate::enclave::{EnclaveId, EnclaveState, ProcessId, SavedContext, SigStruct, Tcs};
 use crate::epcm::{EpcmEntry, PagePerms, PageType};
 use crate::error::{Result, SgxError};
+use crate::fault::ChaosAction;
 use crate::machine::{CoreMode, Machine};
 use crate::metrics::CycleCategory;
 use crate::profile::ProfileEvent;
@@ -313,6 +314,8 @@ impl Machine {
     ///
     /// General-protection fault if the core is already in enclave mode, the
     /// enclave is not initialized, or the TCS is missing/busy/foreign.
+    /// [`SgxError::EnclavePoisoned`] if the enclave crashed earlier (entry
+    /// into a crashed enclave faults until EREMOVE rebuilds it).
     pub fn eenter(&mut self, core: usize, eid: EnclaveId, tcs_va: VirtAddr) -> Result<()> {
         if self.current_enclave(core).is_some() {
             return Err(SgxError::GeneralProtection(
@@ -333,14 +336,25 @@ impl Machine {
                 ));
             }
         }
-        let tcs = self
-            .tcs_table
-            .get_mut(&(eid.0, tcs_va.0))
-            .ok_or_else(|| SgxError::GeneralProtection("EENTER with invalid TCS".into()))?;
-        if tcs.busy {
-            return Err(SgxError::GeneralProtection("EENTER on busy TCS".into()));
+        if self.is_poisoned(eid) {
+            return Err(SgxError::EnclavePoisoned(eid));
         }
-        tcs.busy = true;
+        {
+            let tcs = self
+                .tcs_table
+                .get(&(eid.0, tcs_va.0))
+                .ok_or_else(|| SgxError::GeneralProtection("EENTER with invalid TCS".into()))?;
+            if tcs.busy {
+                return Err(SgxError::GeneralProtection("EENTER on busy TCS".into()));
+            }
+        }
+        // Consult the fault plan once the entry is architecturally valid: a
+        // crash injection poisons its victim and, if the victim is this
+        // enclave, preempts the entry itself.
+        let chaos_actions = self.chaos_decide_eenter(eid)?;
+        if let Some(tcs) = self.tcs_table.get_mut(&(eid.0, tcs_va.0)) {
+            tcs.busy = true;
+        }
         self.flush_tlb(core);
         self.set_core_mode(core, CoreMode::Enclave { eid, tcs: tcs_va });
         self.enclaves_mut()
@@ -349,6 +363,7 @@ impl Machine {
             .active_threads += 1;
         self.stats_mut().ecalls += 1;
         self.record_event(Event::Eenter { core, eid });
+        self.chaos_apply_post_entry(core, eid, tcs_va, chaos_actions)?;
         Ok(())
     }
 
@@ -779,8 +794,137 @@ impl Machine {
             }
         }
         self.enclaves_mut().remove(eid);
+        // Destroying the enclave cures a crash-injected poisoning and
+        // invalidates any chaos-evicted blobs still parked for it.
+        self.poisoned.remove(&eid.0);
+        self.chaos_evicted.retain(|b| b.eid != eid);
         self.flush_all_tlbs();
         Ok(())
+    }
+
+    // ----- fault-injection application ---------------------------------------
+
+    /// Runs the fault plan's EENTER trigger (if a plan is installed) and
+    /// applies crash poisonings. Returns the remaining actions to apply
+    /// after the entry completes.
+    ///
+    /// # Errors
+    ///
+    /// [`SgxError::EnclavePoisoned`] if a crash injection selected the
+    /// entered enclave itself — the entry is preempted, exactly as if the
+    /// enclave had aborted inside the previous ecall.
+    fn chaos_decide_eenter(&mut self, eid: EnclaveId) -> Result<Vec<ChaosAction>> {
+        let actions = match self.chaos.as_mut() {
+            Some(plan) => plan.on_eenter(eid.0),
+            None => return Ok(Vec::new()),
+        };
+        for action in &actions {
+            if let ChaosAction::Crash { pick } = *action {
+                let victim = self.chaos_crash_victim(eid, pick);
+                self.poison_enclave(victim);
+                if victim == eid {
+                    return Err(SgxError::EnclavePoisoned(eid));
+                }
+            }
+        }
+        Ok(actions)
+    }
+
+    /// The crash victim for an entry into `eid`: the enclave itself or one
+    /// of its inner enclaves, selected by the plan's PRNG draw over the
+    /// VA-sorted candidate list (deterministic across runs).
+    fn chaos_crash_victim(&self, eid: EnclaveId, pick: u64) -> EnclaveId {
+        let mut candidates = vec![eid];
+        if let Some(secs) = self.enclaves().get(eid) {
+            let mut inners = secs.inner_eids.clone();
+            inners.sort_by_key(|e| e.0);
+            candidates.extend(inners);
+        }
+        candidates[(pick % candidates.len() as u64) as usize]
+    }
+
+    /// Applies the non-crash chaos actions after the entry completed, using
+    /// the real instruction implementations so every attribution identity
+    /// keeps holding.
+    fn chaos_apply_post_entry(
+        &mut self,
+        core: usize,
+        eid: EnclaveId,
+        tcs_va: VirtAddr,
+        actions: Vec<ChaosAction>,
+    ) -> Result<()> {
+        for action in actions {
+            match action {
+                ChaosAction::AexStorm { rounds } => {
+                    for _ in 0..rounds {
+                        self.aex(core)?;
+                        self.eresume(core, eid, tcs_va)?;
+                    }
+                }
+                ChaosAction::Evict { pages } => {
+                    let mut victims = vec![eid];
+                    if let Some(secs) = self.enclaves().get(eid) {
+                        let mut inners = secs.inner_eids.clone();
+                        inners.sort_by_key(|e| e.0);
+                        victims.extend(inners);
+                    }
+                    for victim in victims {
+                        for vpn in self.chaos_hot_pages(victim, pages as usize) {
+                            let blob = self.ewb(victim, vpn.base())?;
+                            if let Some(plan) = self.chaos.as_mut() {
+                                plan.count_forced_eviction();
+                            }
+                            self.chaos_evicted.push(blob);
+                        }
+                    }
+                    // The eviction shootdown may have AEXed this very core;
+                    // resume so the caller still holds a completed entry.
+                    if self.current_enclave(core).is_none() {
+                        self.eresume(core, eid, tcs_va)?;
+                    }
+                }
+                ChaosAction::Mac => self.chaos_apply_mac(eid),
+                ChaosAction::Stall { window } => {
+                    if let Some(plan) = self.chaos.as_mut() {
+                        plan.open_stall(window);
+                    }
+                }
+                ChaosAction::Crash { .. } => {} // applied before entry
+            }
+        }
+        Ok(())
+    }
+
+    /// The `n` lowest-VA resident REG pages of `victim` — its hottest
+    /// pages in practice (entry code first), and a deterministic choice.
+    fn chaos_hot_pages(&self, victim: EnclaveId, n: usize) -> Vec<Vpn> {
+        let mut vpns: Vec<Vpn> = self
+            .epcm()
+            .pages_of(victim)
+            .into_iter()
+            .filter_map(|ppn| self.epcm().get(ppn))
+            .filter(|e| e.page_type == PageType::Reg && !e.blocked && !e.pending)
+            .map(|e| e.vpn)
+            .collect();
+        vpns.sort();
+        vpns.truncate(n);
+        vpns
+    }
+
+    /// Tampers one cache line of `eid`'s lowest-VA REG page (the entry
+    /// code page) on the DRAM bus: the MEE rejects the next fetch through
+    /// that line with an integrity violation.
+    fn chaos_apply_mac(&mut self, eid: EnclaveId) {
+        let target = self
+            .epcm()
+            .pages_of(eid)
+            .into_iter()
+            .filter_map(|ppn| self.epcm().get(ppn).map(|e| (e.vpn, ppn, e.page_type)))
+            .filter(|&(_, _, t)| t == PageType::Reg)
+            .min_by_key(|&(vpn, _, _)| vpn.0);
+        if let Some((_, ppn, _)) = target {
+            self.physical_tamper(ppn.base(), &[0xA5; LINE_SIZE]);
+        }
     }
 
     /// Audits EPCM consistency: every valid EPC entry points into PRM, and

@@ -59,6 +59,7 @@ pub mod cost;
 pub mod enclave;
 pub mod epcm;
 pub mod error;
+pub mod fault;
 pub mod instr;
 pub mod machine;
 pub mod mee;
@@ -76,5 +77,6 @@ pub use config::HwConfig;
 pub use cost::CostProfile;
 pub use enclave::{EnclaveId, ProcessId, SigStruct};
 pub use error::{FaultKind, Result, SgxError};
+pub use fault::{ChaosStats, FaultPlan};
 pub use instr::{EvictedPage, PageSource};
 pub use machine::{AccessKind, CoreMode, Machine};

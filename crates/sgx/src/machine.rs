@@ -12,6 +12,8 @@ use crate::config::HwConfig;
 use crate::enclave::{EnclaveId, EnclaveTable, ProcessId, SavedContext, Tcs};
 use crate::epcm::{Epcm, PagePerms};
 use crate::error::{FaultKind, Result, SgxError};
+use crate::fault::{ChaosStats, FaultPlan};
+use crate::instr::EvictedPage;
 use crate::mee::Mee;
 use crate::mem::Dram;
 use crate::metrics::{CycleBreakdown, CycleCategory, MachineMetrics};
@@ -21,7 +23,7 @@ use crate::tlb::Tlb;
 use crate::trace::{Event, SpanKind, Stats, Trace};
 use crate::validate::{CoreView, Outcome, SgxValidator, TlbValidator, ValidationCtx};
 use ne_crypto::Digest32;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// Execution mode of a core.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -125,6 +127,14 @@ pub struct Machine {
     /// Anti-replay version store for EWB/ELDU, keyed by (eid, vpn).
     pub(crate) evicted_versions: HashMap<(u64, u64), u64>,
     pub(crate) next_evict_version: u64,
+    /// Installed fault-injection plan (None = chaos off, the default).
+    pub(crate) chaos: Option<FaultPlan>,
+    /// Raw ids of crashed (poisoned) enclaves; EENTER/NEENTER fault until
+    /// the enclave is EREMOVEd.
+    pub(crate) poisoned: HashSet<u64>,
+    /// Sealed blobs of pages the chaos layer force-evicted, in eviction
+    /// order, waiting for the host to reload them.
+    pub(crate) chaos_evicted: Vec<EvictedPage>,
 }
 
 impl std::fmt::Debug for Machine {
@@ -189,6 +199,9 @@ impl Machine {
             pending_digests: HashMap::new(),
             evicted_versions: HashMap::new(),
             next_evict_version: 1,
+            chaos: None,
+            poisoned: HashSet::new(),
+            chaos_evicted: Vec::new(),
             cfg,
         }
     }
@@ -844,7 +857,18 @@ impl Machine {
     /// in the current mode — e.g. untrusted pages fetched from enclave mode.
     pub fn fetch(&mut self, core: usize, va: VirtAddr) -> Result<()> {
         match self.translate(core, va, AccessKind::Fetch)? {
-            Translated::Phys(..) => Ok(()),
+            Translated::Phys(pa, _) => {
+                // Instruction fetch pulls a cache line through the MEE
+                // like any other read: a tampered line faults here.
+                if self.mee.any_tampered(pa.0, LINE_SIZE) {
+                    self.stats.faults += 1;
+                    return Err(SgxError::Fault {
+                        kind: FaultKind::IntegrityViolation,
+                        addr: va,
+                    });
+                }
+                Ok(())
+            }
             Translated::Abort => Err(SgxError::Fault {
                 kind: FaultKind::ExecFromNonExec,
                 addr: va,
@@ -873,6 +897,83 @@ impl Machine {
         if self.cfg.in_prm(paddr.ppn().0) {
             self.mee.mark_tampered(paddr.0, data.len());
         }
+    }
+
+    // ----- fault injection (chaos) ------------------------------------------
+
+    /// Installs a fault-injection plan; replaces any previous one.
+    /// Chaos is off until this is called.
+    pub fn install_chaos(&mut self, plan: FaultPlan) {
+        self.chaos = Some(plan);
+    }
+
+    /// Uninstalls the fault plan (chaos off), returning it. Enclaves
+    /// already poisoned stay poisoned until EREMOVEd.
+    pub fn clear_chaos(&mut self) -> Option<FaultPlan> {
+        self.chaos.take()
+    }
+
+    /// True if a fault plan is installed.
+    pub fn chaos_active(&self) -> bool {
+        self.chaos.is_some()
+    }
+
+    /// Injection counters of the installed plan, if any.
+    pub fn chaos_stats(&self) -> Option<ChaosStats> {
+        self.chaos.as_ref().map(FaultPlan::stats)
+    }
+
+    /// Re-aims a targeted plan after a respawn handed the same logical
+    /// enclave a fresh id.
+    pub fn chaos_retarget(&mut self, old: EnclaveId, new: EnclaveId) {
+        if let Some(p) = self.chaos.as_mut() {
+            p.retarget(old.0, new.0);
+        }
+    }
+
+    /// Marks `eid` crashed: every subsequent EENTER/NEENTER faults with
+    /// [`SgxError::EnclavePoisoned`] until the enclave is EREMOVEd.
+    pub fn poison_enclave(&mut self, eid: EnclaveId) {
+        self.poisoned.insert(eid.0);
+    }
+
+    /// True if `eid` is currently poisoned.
+    pub fn is_poisoned(&self, eid: EnclaveId) -> bool {
+        self.poisoned.contains(&eid.0)
+    }
+
+    /// Sealed blobs the chaos layer has force-evicted and not yet
+    /// reloaded (inspection; the host calls
+    /// [`reload_chaos_evicted`](Machine::reload_chaos_evicted)).
+    pub fn chaos_evicted_blobs(&self) -> &[EvictedPage] {
+        &self.chaos_evicted
+    }
+
+    /// ELDUs every chaos-evicted page belonging to `eid` back into the
+    /// EPC, in eviction order. Returns the number of pages reloaded.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SgxError::Paging`]/[`SgxError::EpcFull`] from ELDU;
+    /// blobs not yet processed stay parked.
+    pub fn reload_chaos_evicted(&mut self, eid: EnclaveId) -> Result<usize> {
+        let mut reloaded = 0;
+        while let Some(pos) = self.chaos_evicted.iter().position(|b| b.eid == eid) {
+            let blob = self.chaos_evicted.remove(pos);
+            if let Err(e) = self.eldu(&blob) {
+                self.chaos_evicted.insert(pos, blob);
+                return Err(e);
+            }
+            reloaded += 1;
+        }
+        Ok(reloaded)
+    }
+
+    /// Consumed by the switchless layer on every queue ocall: true if
+    /// the reply core is inside an injected stall window (the ocall must
+    /// fail with [`SgxError::Stalled`]).
+    pub fn chaos_take_stall(&mut self) -> bool {
+        self.chaos.as_mut().is_some_and(FaultPlan::take_stall)
     }
 
     // ----- internal access for instruction implementations -------------------

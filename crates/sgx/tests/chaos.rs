@@ -1,0 +1,228 @@
+//! Fault-injection tests: enclave poisoning, tampered/evicted-page
+//! recovery, respawn lifecycles, and chaos-plan determinism at the
+//! machine level.
+
+use ne_sgx::addr::{VirtAddr, VirtRange, PAGE_SIZE};
+use ne_sgx::config::HwConfig;
+use ne_sgx::enclave::{EnclaveId, ProcessId};
+use ne_sgx::epcm::{PagePerms, PageType};
+use ne_sgx::fault::FaultPlan;
+use ne_sgx::instr::PageSource;
+use ne_sgx::machine::Machine;
+use ne_sgx::{SgxError, SigStruct};
+
+fn build(m: &mut Machine, base: u64, pages: u64) -> EnclaveId {
+    let base = VirtAddr(base);
+    let eid = m
+        .ecreate(
+            ProcessId(0),
+            VirtRange::new(base, (pages + 1) * PAGE_SIZE as u64),
+        )
+        .unwrap();
+    m.add_tcs(eid, base, base.add(PAGE_SIZE as u64)).unwrap();
+    for i in 1..=pages {
+        let va = base.add(i * PAGE_SIZE as u64);
+        // RWX so tests can both store data and fetch through the page.
+        m.eadd(eid, va, PageType::Reg, PageSource::Zeros, PagePerms::RWX)
+            .unwrap();
+        m.eextend(eid, va).unwrap();
+    }
+    let measured = m.enclaves().get(eid).unwrap().measurement.finalize();
+    m.einit(eid, &SigStruct::new(b"chaos", measured)).unwrap();
+    eid
+}
+
+/// A poisoned enclave faults every EENTER until it is torn down with
+/// EREMOVE and rebuilt; the rebuilt enclave enters cleanly.
+#[test]
+fn poisoned_enclave_faults_until_rebuilt() {
+    let mut m = Machine::new(HwConfig::small());
+    let eid = build(&mut m, 0x10_0000, 2);
+    m.poison_enclave(eid);
+    assert!(m.is_poisoned(eid));
+    for _ in 0..3 {
+        let err = m.eenter(0, eid, VirtAddr(0x10_0000)).unwrap_err();
+        assert_eq!(err, SgxError::EnclavePoisoned(eid));
+    }
+    // EREMOVE clears the poison; the respawned enclave works.
+    m.eremove(eid).unwrap();
+    let fresh = build(&mut m, 0x10_0000, 2);
+    assert!(!m.is_poisoned(fresh));
+    m.eenter(0, fresh, VirtAddr(0x10_0000)).unwrap();
+    m.eexit(0).unwrap();
+    m.audit_epcm().unwrap();
+}
+
+/// A crash-injection plan with period 1 poisons the entered enclave at
+/// the EENTER boundary itself; EREMOVE + rebuild recovers.
+#[test]
+fn crash_injection_poisons_at_entry() {
+    let mut m = Machine::new(HwConfig::small());
+    let eid = build(&mut m, 0x10_0000, 2);
+    m.install_chaos(FaultPlan::parse("crash:1", 99).unwrap());
+    let err = m.eenter(0, eid, VirtAddr(0x10_0000)).unwrap_err();
+    assert_eq!(err, SgxError::EnclavePoisoned(eid));
+    assert!(m.is_poisoned(eid));
+    let stats = m.chaos_stats().unwrap();
+    assert_eq!((stats.eenters_seen, stats.crashes), (1, 1));
+    // Respawn: EREMOVE, rebuild, and retarget the plan to the new id so
+    // the fault clock keeps ticking against the replacement.
+    m.eremove(eid).unwrap();
+    let fresh = build(&mut m, 0x10_0000, 2);
+    m.chaos_retarget(eid, fresh);
+    // The fresh enclave is immediately poisoned again (period 1) — the
+    // plan follows the respawned identity, not the dead id.
+    let err = m.eenter(0, fresh, VirtAddr(0x10_0000)).unwrap_err();
+    assert_eq!(err, SgxError::EnclavePoisoned(fresh));
+}
+
+/// ELDU rejects a sealed blob whose ciphertext was flipped (MAC/auth
+/// failure), and the enclave can still be rebuilt from scratch afterward
+/// — the regression pair for recovery escalating reload → respawn.
+#[test]
+fn eldu_rejects_tampered_blob_then_respawn_recovers() {
+    let mut m = Machine::new(HwConfig::small());
+    let eid = build(&mut m, 0x10_0000, 2);
+    let data = VirtAddr(0x10_0000 + PAGE_SIZE as u64);
+    m.eenter(0, eid, VirtAddr(0x10_0000)).unwrap();
+    m.write(0, data, b"sealed secret").unwrap();
+    m.eexit(0).unwrap();
+    let mut blob = m.ewb(eid, data).unwrap();
+    blob.sealed[0] ^= 0x80;
+    let err = m.eldu(&blob).unwrap_err();
+    assert!(matches!(err, SgxError::Paging(_)), "got {err}");
+    // The evicted state is unusable: tear down and rebuild.
+    m.eremove(eid).unwrap();
+    let fresh = build(&mut m, 0x10_0000, 2);
+    m.eenter(0, fresh, VirtAddr(0x10_0000)).unwrap();
+    assert_eq!(m.read(0, data, 4).unwrap(), vec![0u8; 4], "no residue");
+    m.eexit(0).unwrap();
+}
+
+/// EENTER into a busy TCS keeps failing cleanly under retry and succeeds
+/// once the TCS frees — then the enclave survives a full
+/// EREMOVE/rebuild cycle (regression for busy-TCS state after faulted
+/// entries).
+#[test]
+fn busy_tcs_retry_then_respawn_lifecycle() {
+    let mut m = Machine::new(HwConfig::small());
+    let eid = build(&mut m, 0x10_0000, 2);
+    let tcs = VirtAddr(0x10_0000);
+    m.eenter(0, eid, tcs).unwrap();
+    // Retrying on another core must fail the same way every time and
+    // leave no state behind.
+    for _ in 0..3 {
+        let err = m.eenter(1, eid, tcs).unwrap_err();
+        assert!(matches!(err, SgxError::GeneralProtection(_)), "got {err}");
+    }
+    m.eexit(0).unwrap();
+    // The TCS is idle again: the retried entry now succeeds.
+    m.eenter(1, eid, tcs).unwrap();
+    m.eexit(1).unwrap();
+    m.eremove(eid).unwrap();
+    let fresh = build(&mut m, 0x10_0000, 2);
+    m.eenter(0, fresh, tcs).unwrap();
+    m.eexit(0).unwrap();
+    m.audit_tlbs().unwrap();
+    m.audit_epcm().unwrap();
+}
+
+/// Instruction fetch through a physically tampered line faults with an
+/// integrity violation instead of executing tampered bytes.
+#[test]
+fn fetch_from_tampered_page_faults() {
+    let mut m = Machine::new(HwConfig::small());
+    let eid = build(&mut m, 0x10_0000, 2);
+    let entry = VirtAddr(0x10_0000 + PAGE_SIZE as u64);
+    m.eenter(0, eid, VirtAddr(0x10_0000)).unwrap();
+    m.fetch(0, entry).unwrap();
+    // Tamper with the backing physical line from outside the enclave.
+    let ne_sgx::machine::Translated::Phys(pa, _) = m
+        .translate(0, entry, ne_sgx::machine::AccessKind::Fetch)
+        .unwrap()
+    else {
+        panic!("entry page must translate");
+    };
+    m.physical_tamper(pa, &[0xA5; 64]);
+    let err = m.fetch(0, entry).unwrap_err();
+    assert!(
+        err.is_fault(ne_sgx::FaultKind::IntegrityViolation),
+        "got {err}"
+    );
+    m.eexit(0).unwrap();
+}
+
+/// The same seed drives the same chaos decisions and the same
+/// architectural event counts, instruction for instruction; a different
+/// seed diverges.
+#[test]
+fn chaos_plans_are_deterministic_per_seed() {
+    let run = |seed: u64| {
+        let mut m = Machine::new(HwConfig::small());
+        let eid = build(&mut m, 0x10_0000, 4);
+        m.install_chaos(FaultPlan::parse("aex:2+evict:3+stall:5", seed).unwrap());
+        for _ in 0..12 {
+            match m.eenter(0, eid, VirtAddr(0x10_0000)) {
+                Ok(()) => {
+                    let _ = m.chaos_take_stall();
+                    m.eexit(0).unwrap();
+                }
+                Err(e) => panic!("aex/evict/stall must not fail entries: {e}"),
+            }
+            // Reload whatever the plan evicted so later entries fetch.
+            m.reload_chaos_evicted(eid).unwrap();
+        }
+        (m.chaos_stats().unwrap(), m.stats())
+    };
+    let (c1, s1) = run(7);
+    let (c2, s2) = run(7);
+    assert_eq!(c1, c2, "same seed, same decisions");
+    assert_eq!(s1, s2, "same seed, same architectural event counts");
+    assert!(c1.aex_storms > 0 && c1.forced_evictions > 0 && c1.stalls > 0);
+    let (c3, _) = run(8);
+    assert_ne!(c1, c3, "different seed diverges");
+}
+
+/// Pages the chaos layer force-evicts are sealed: the parked blobs never
+/// contain the enclave's plaintext, so a curious OS (or outer enclave)
+/// observing the eviction stream learns nothing.
+#[test]
+fn chaos_evicted_blobs_are_sealed() {
+    let mut m = Machine::new(HwConfig::small());
+    let eid = build(&mut m, 0x10_0000, 4);
+    let secret = b"inner enclave secret state";
+    m.eenter(0, eid, VirtAddr(0x10_0000)).unwrap();
+    for i in 1..=4u64 {
+        m.write(0, VirtAddr(0x10_0000 + i * PAGE_SIZE as u64), secret)
+            .unwrap();
+    }
+    m.eexit(0).unwrap();
+    // evict:1 with a large page budget sweeps the hot pages at entry.
+    m.install_chaos(FaultPlan::parse("evict:1", 5).unwrap());
+    m.eenter(0, eid, VirtAddr(0x10_0000)).unwrap();
+    if m.current_enclave(0).is_some() {
+        m.eexit(0).unwrap();
+    }
+    let blobs = m.chaos_evicted_blobs();
+    assert!(!blobs.is_empty(), "evict term must have fired");
+    for blob in blobs {
+        assert!(
+            !blob
+                .sealed
+                .windows(secret.len())
+                .any(|w| w == secret.as_slice()),
+            "sealed blob leaks plaintext"
+        );
+    }
+    // The sealed state reloads intact (chaos off so the verification
+    // entry does not re-evict).
+    m.clear_chaos();
+    m.reload_chaos_evicted(eid).unwrap();
+    m.eenter(0, eid, VirtAddr(0x10_0000)).unwrap();
+    assert_eq!(
+        m.read(0, VirtAddr(0x10_0000 + PAGE_SIZE as u64), secret.len())
+            .unwrap(),
+        secret.to_vec()
+    );
+    m.eexit(0).unwrap();
+}
