@@ -790,11 +790,7 @@ impl Machine {
             match self.translate(core, cur, AccessKind::Read)? {
                 Translated::Phys(pa, _) => {
                     if self.mee.any_tampered(pa.0, in_page) {
-                        self.stats.faults += 1;
-                        return Err(SgxError::Fault {
-                            kind: FaultKind::IntegrityViolation,
-                            addr: cur,
-                        });
+                        return Err(self.integrity_fault(core, cur));
                     }
                     self.charge_data_access(core, pa, in_page, false);
                     self.dram
@@ -832,11 +828,7 @@ impl Machine {
             match self.translate(core, cur, AccessKind::Write)? {
                 Translated::Phys(pa, _) => {
                     if self.mee.any_tampered(pa.0, in_page) {
-                        self.stats.faults += 1;
-                        return Err(SgxError::Fault {
-                            kind: FaultKind::IntegrityViolation,
-                            addr: cur,
-                        });
+                        return Err(self.integrity_fault(core, cur));
                     }
                     self.charge_data_access(core, pa, in_page, true);
                     self.dram
@@ -858,21 +850,36 @@ impl Machine {
     pub fn fetch(&mut self, core: usize, va: VirtAddr) -> Result<()> {
         match self.translate(core, va, AccessKind::Fetch)? {
             Translated::Phys(pa, _) => {
-                // Instruction fetch pulls a cache line through the MEE
-                // like any other read: a tampered line faults here.
-                if self.mee.any_tampered(pa.0, LINE_SIZE) {
-                    self.stats.faults += 1;
-                    return Err(SgxError::Fault {
-                        kind: FaultKind::IntegrityViolation,
-                        addr: va,
-                    });
+                // Instruction fetch pulls exactly the cache line holding
+                // `pa` through the MEE like any other read: a tampered
+                // line faults here, untouched neighbours do not.
+                let line_base = pa.0 & !(LINE_SIZE as u64 - 1);
+                if self.mee.any_tampered(line_base, LINE_SIZE) {
+                    return Err(self.integrity_fault(core, va));
                 }
+                self.charge_data_access(core, PhysAddr(line_base), LINE_SIZE, false);
                 Ok(())
             }
             Translated::Abort => Err(SgxError::Fault {
                 kind: FaultKind::ExecFromNonExec,
                 addr: va,
             }),
+        }
+    }
+
+    /// Records an MEE integrity violation at `addr`: bumps the fault
+    /// counter and the trace ring together so trace-derived fault counts
+    /// agree with [`Stats::faults`].
+    fn integrity_fault(&mut self, core: usize, addr: VirtAddr) -> SgxError {
+        self.stats.faults += 1;
+        self.trace.record(Event::Fault {
+            core,
+            addr,
+            kind: FaultKind::IntegrityViolation,
+        });
+        SgxError::Fault {
+            kind: FaultKind::IntegrityViolation,
+            addr,
         }
     }
 

@@ -152,6 +152,79 @@ fn fetch_from_tampered_page_faults() {
     m.eexit(0).unwrap();
 }
 
+/// Integrity violations raised by `read`/`write`/`fetch` land in the
+/// trace ring as `Event::Fault`, so trace-derived fault counts agree
+/// with `Stats::faults` under MEE tamper chaos.
+#[test]
+fn integrity_faults_reach_trace_ring() {
+    let mut cfg = HwConfig::small();
+    cfg.trace_events = true;
+    let mut m = Machine::new(cfg);
+    let eid = build(&mut m, 0x10_0000, 2);
+    let data = VirtAddr(0x10_0000 + PAGE_SIZE as u64);
+    // mac:1 tampers a line of the lowest-VA REG page at every EENTER.
+    m.install_chaos(FaultPlan::parse("mac:1", 11).unwrap());
+    m.eenter(0, eid, VirtAddr(0x10_0000)).unwrap();
+    let before = m.stats().faults;
+    let kinds = [
+        m.read(0, data, 8).unwrap_err(),
+        m.write(0, data, b"x").unwrap_err(),
+        m.fetch(0, data).unwrap_err(),
+    ];
+    for err in kinds {
+        assert!(
+            err.is_fault(ne_sgx::FaultKind::IntegrityViolation),
+            "got {err}"
+        );
+    }
+    assert_eq!(m.stats().faults - before, 3);
+    let traced = m
+        .trace()
+        .events()
+        .filter(|e| {
+            matches!(
+                e,
+                ne_sgx::trace::Event::Fault {
+                    kind: ne_sgx::FaultKind::IntegrityViolation,
+                    ..
+                }
+            )
+        })
+        .count();
+    assert_eq!(traced, 3, "trace ring and Stats::faults must agree");
+    m.eexit(0).unwrap();
+}
+
+/// A fetch whose physical address is not line-aligned checks exactly the
+/// line containing `pa` — a tampered *neighbouring* line must not fault
+/// it, and a fetch landing in the tampered line still does.
+#[test]
+fn misaligned_fetch_checks_only_its_own_line() {
+    use ne_sgx::addr::{PhysAddr, LINE_SIZE};
+    let mut m = Machine::new(HwConfig::small());
+    let eid = build(&mut m, 0x10_0000, 2);
+    let entry = VirtAddr(0x10_0000 + PAGE_SIZE as u64);
+    m.eenter(0, eid, VirtAddr(0x10_0000)).unwrap();
+    let ne_sgx::machine::Translated::Phys(pa, _) = m
+        .translate(0, entry, ne_sgx::machine::AccessKind::Fetch)
+        .unwrap()
+    else {
+        panic!("entry page must translate");
+    };
+    // Tamper only the *second* line of the page.
+    m.physical_tamper(PhysAddr(pa.0 + LINE_SIZE as u64), &[0xA5; 64]);
+    // A fetch at the last byte of line 0 used to scan [pa, pa+64),
+    // spilling into the tampered neighbour; it must succeed.
+    m.fetch(0, entry.add(LINE_SIZE as u64 - 1)).unwrap();
+    // Fetching inside the tampered line itself still faults.
+    let err = m.fetch(0, entry.add(LINE_SIZE as u64)).unwrap_err();
+    assert!(
+        err.is_fault(ne_sgx::FaultKind::IntegrityViolation),
+        "got {err}"
+    );
+    m.eexit(0).unwrap();
+}
+
 /// The same seed drives the same chaos decisions and the same
 /// architectural event counts, instruction for instruction; a different
 /// seed diverges.
