@@ -16,6 +16,7 @@ fn bench_echo(c: &mut Criterion) {
                     num_messages: 20,
                     nested,
                     trace: false,
+                    reference: false,
                 })
                 .expect("echo run")
             })

@@ -37,6 +37,7 @@ fn main() {
             num_messages: messages,
             nested: false,
             trace: false,
+            reference: false,
         })
         .expect("monolithic echo");
         // The traced point is the nested 1KB run — the configuration the
@@ -46,6 +47,7 @@ fn main() {
             num_messages: messages,
             nested: true,
             trace: want_trace() && chunk == 1024,
+            reference: false,
         })
         .expect("nested echo");
         let label = if chunk >= 1024 {

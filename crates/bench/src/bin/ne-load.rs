@@ -57,6 +57,7 @@ struct Plan {
     seed: u64,
     switchless: bool,
     chaos: Option<String>,
+    reference: bool,
 }
 
 fn specs(plan: &Plan) -> Vec<TenantSpec> {
@@ -75,6 +76,7 @@ fn build(plan: &Plan, trace: bool) -> HostServer {
     cfg.seed = plan.seed;
     cfg.switchless = plan.switchless;
     cfg.hw.trace_events = trace;
+    cfg.hw.reference_path = plan.reference;
     HostServer::build(cfg).expect("host build")
 }
 
@@ -325,7 +327,12 @@ fn main() {
         seed: flag_u64("--seed").unwrap_or(0xC0FFEE),
         switchless: !std::env::args().any(|a| a == "--no-switchless"),
         chaos: flag_str("--chaos"),
+        reference: std::env::args().any(|a| a == "--reference"),
     };
+    // `--reference` means the naive forms of every optimized hot path: the
+    // simulator's memory pipeline (via `HwConfig::reference_path`) and the
+    // bit/byte-wise crypto primitives. Outputs are identical either way.
+    ne_crypto::set_reference_impl(plan.reference);
     let mode = flag_str("--mode").unwrap_or_else(|| "both".to_string());
     let (open, closed) = match mode.as_str() {
         "open" => (true, false),

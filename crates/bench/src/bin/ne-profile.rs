@@ -144,6 +144,7 @@ fn demo() -> ExitCode {
         num_messages: 64,
         nested: true,
         trace: true,
+        reference: false,
     })
     .expect("echo");
     println!(

@@ -96,6 +96,7 @@ fn echo_trace_round_trips_through_the_parser() {
         num_messages: 8,
         nested: true,
         trace: true,
+        reference: false,
     })
     .expect("echo");
     let bundle = run.trace.expect("traced run returns a bundle");

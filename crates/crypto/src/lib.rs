@@ -42,5 +42,25 @@ pub mod sha256;
 pub use gcm::{AesGcm, OpenError};
 pub use sha256::{digest as sha256_digest, Sha256};
 
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static REFERENCE_IMPL: AtomicBool = AtomicBool::new(false);
+
+/// Switches AES/GHASH between the table-driven hot-path implementation
+/// (default) and the byte-and-bit-wise reference implementation they were
+/// derived from. Both compute the identical functions — the per-crate tests
+/// check them against each other and against the NIST/FIPS known-answer
+/// vectors — so the flag changes wall-clock speed only, never output. The
+/// wall-clock harness (`ne-wallclock`) uses it to measure what the
+/// table-driven forms buy on real serving runs.
+pub fn set_reference_impl(on: bool) {
+    REFERENCE_IMPL.store(on, Ordering::Relaxed);
+}
+
+/// True when [`set_reference_impl`] selected the reference implementation.
+pub fn reference_impl() -> bool {
+    REFERENCE_IMPL.load(Ordering::Relaxed)
+}
+
 /// A 256-bit digest, the unit of enclave measurement in SGX.
 pub type Digest32 = [u8; 32];

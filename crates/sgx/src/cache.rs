@@ -27,6 +27,13 @@ pub enum CacheAccess {
 struct Way {
     line: u64,
     dirty: bool,
+    /// Last-touch generation stamp. Stamps increase monotonically with
+    /// every access, so the way holding the set's minimum stamp is exactly
+    /// the one a move-to-back recency list would keep at its front: the
+    /// O(1)-update stamp scheme picks the same LRU victim the old
+    /// `Vec::remove(0)` implementation did, without shifting ways on
+    /// every hit.
+    stamp: u64,
 }
 
 /// Set-associative LLC with LRU replacement, tracking line residency only
@@ -37,6 +44,8 @@ pub struct Llc {
     ways: usize,
     hits: u64,
     misses: u64,
+    /// Generation counter feeding [`Way::stamp`].
+    tick: u64,
 }
 
 impl Llc {
@@ -54,6 +63,7 @@ impl Llc {
             ways,
             hits: 0,
             misses: 0,
+            tick: 0,
         }
     }
 
@@ -61,23 +71,61 @@ impl Llc {
     /// if `write`.
     pub fn access(&mut self, line: u64, write: bool) -> CacheAccess {
         let set_idx = (line as usize) % self.sets.len();
+        let stamp = self.tick;
+        self.tick += 1;
         let set = &mut self.sets[set_idx];
-        if let Some(pos) = set.iter().position(|w| w.line == line) {
-            let mut way = set.remove(pos);
+        if let Some(way) = set.iter_mut().find(|w| w.line == line) {
             way.dirty |= write;
-            set.push(way); // most-recently-used at the back
+            way.stamp = stamp;
             self.hits += 1;
             return CacheAccess::Hit;
         }
         self.misses += 1;
         let dirty_victim = if set.len() == self.ways {
-            let victim = set.remove(0);
+            let lru = set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, w)| w.stamp)
+                .map(|(i, _)| i)
+                .expect("full set has ways");
+            let victim = set.swap_remove(lru);
             victim.dirty.then_some(victim.line)
         } else {
             None
         };
-        set.push(Way { line, dirty: write });
+        set.push(Way {
+            line,
+            dirty: write,
+            stamp,
+        });
         CacheAccess::Miss { dirty_victim }
+    }
+
+    /// Accesses every line in `[first, last]`, returning `(hits, misses)`
+    /// and appending dirty victims to `dirty_victims`. Equivalent to
+    /// calling [`Llc::access`] per line; exists so the machine's range
+    /// charging can fold per-line cost math into two multiplications.
+    pub fn access_range(
+        &mut self,
+        first: u64,
+        last: u64,
+        write: bool,
+        dirty_victims: &mut Vec<u64>,
+    ) -> (u64, u64) {
+        let mut hits = 0u64;
+        let mut misses = 0u64;
+        for line in first..=last {
+            match self.access(line, write) {
+                CacheAccess::Hit => hits += 1,
+                CacheAccess::Miss { dirty_victim } => {
+                    misses += 1;
+                    if let Some(v) = dirty_victim {
+                        dirty_victims.push(v);
+                    }
+                }
+            }
+        }
+        (hits, misses)
     }
 
     /// Drops every line (e.g. simulating a wbinvd); dirty victims are not

@@ -31,6 +31,12 @@ pub struct HwConfig {
     /// Ring-buffer capacity of the event trace: when full, the oldest
     /// events are dropped (and counted) so memory use stays bounded.
     pub trace_capacity: usize,
+    /// Run the naive (pre-optimization) translate/data-access pipeline
+    /// instead of the fast one. Both produce byte-identical architectural
+    /// outputs; the reference path exists as the differential oracle the
+    /// optimized path is property-tested against, and as the baseline the
+    /// wall-clock harness measures speedups over.
+    pub reference_path: bool,
 }
 
 /// Default [`HwConfig::trace_capacity`]: large enough to hold the full
@@ -53,6 +59,7 @@ impl HwConfig {
             flush_all_on_evict: false,
             trace_events: false,
             trace_capacity: DEFAULT_TRACE_CAPACITY,
+            reference_path: false,
         }
     }
 
@@ -70,6 +77,7 @@ impl HwConfig {
             flush_all_on_evict: false,
             trace_events: false,
             trace_capacity: DEFAULT_TRACE_CAPACITY,
+            reference_path: false,
         }
     }
 

@@ -127,6 +127,9 @@ pub struct Machine {
     /// Anti-replay version store for EWB/ELDU, keyed by (eid, vpn).
     pub(crate) evicted_versions: HashMap<(u64, u64), u64>,
     pub(crate) next_evict_version: u64,
+    /// Reusable dirty-victim buffer for the range-charging fast path, so
+    /// the hot loop never allocates.
+    dirty_scratch: Vec<u64>,
     /// Installed fault-injection plan (None = chaos off, the default).
     pub(crate) chaos: Option<FaultPlan>,
     /// Raw ids of crashed (poisoned) enclaves; EENTER/NEENTER fault until
@@ -199,6 +202,7 @@ impl Machine {
             pending_digests: HashMap::new(),
             evicted_versions: HashMap::new(),
             next_evict_version: 1,
+            dirty_scratch: Vec::new(),
             chaos: None,
             poisoned: HashSet::new(),
             chaos_evicted: Vec::new(),
@@ -639,7 +643,12 @@ impl Machine {
     pub fn translate(&mut self, core: usize, va: VirtAddr, kind: AccessKind) -> Result<Translated> {
         let vpn = va.vpn();
         self.charge_cat(core, CycleCategory::Memory, self.cfg.cost.tlb_hit);
-        if let Some(entry) = self.cores[core].tlb.lookup(vpn) {
+        let hit = if self.cfg.reference_path {
+            self.cores[core].tlb.lookup(vpn)
+        } else {
+            self.cores[core].tlb.lookup_hot(vpn)
+        };
+        if let Some(entry) = hit {
             self.check_perms(core, va, entry.perms, kind)?;
             return Ok(Translated::Phys(
                 PhysAddr(entry.ppn.base().0 + va.page_offset() as u64),
@@ -739,10 +748,33 @@ impl Machine {
     }
 
     /// Charges cache/DRAM/MEE costs for touching `[paddr, paddr+len)`.
+    ///
+    /// Dispatches between the optimized range-charging implementation and
+    /// the naive per-line reference ([`HwConfig::reference_path`]); the two
+    /// are architecturally identical and differentially tested against
+    /// each other.
     fn charge_data_access(&mut self, core: usize, paddr: PhysAddr, len: usize, write: bool) {
         if len == 0 {
             return;
         }
+        if self.cfg.reference_path {
+            self.charge_data_access_reference(core, paddr, len, write);
+        } else {
+            self.charge_data_access_fast(core, paddr, len, write);
+        }
+    }
+
+    /// The naive data-access cost path: one LLC probe, one cost branch, and
+    /// one MEE counter bump per line, then two separate category charges.
+    /// Retained verbatim as the differential-oracle reference for
+    /// [`Machine::charge_data_access_fast`].
+    fn charge_data_access_reference(
+        &mut self,
+        core: usize,
+        paddr: PhysAddr,
+        len: usize,
+        write: bool,
+    ) {
         let first = paddr.0 / LINE_SIZE as u64;
         let last = (paddr.0 + len as u64 - 1) / LINE_SIZE as u64;
         let mut mem_cycles = 0u64;
@@ -776,6 +808,73 @@ impl Machine {
         }
     }
 
+    /// Optimized data-access charging: walks the range page segment by page
+    /// segment so the PRM check runs once per page instead of once per
+    /// line, folds per-line cost arithmetic into `hits × cost` products,
+    /// batches the MEE traffic counters, and books both cycle categories
+    /// through a single attribution-table update. Produces exactly the
+    /// charges, counters, and eviction decisions of
+    /// [`Machine::charge_data_access_reference`] — cost addition commutes,
+    /// all lines of a page segment share PRM residency, and the LLC visits
+    /// lines in the same order.
+    fn charge_data_access_fast(&mut self, core: usize, paddr: PhysAddr, len: usize, write: bool) {
+        const LINES_PER_PAGE: u64 = (PAGE_SIZE / LINE_SIZE) as u64;
+        let first = paddr.0 / LINE_SIZE as u64;
+        let last = (paddr.0 + len as u64 - 1) / LINE_SIZE as u64;
+        let mut mem_cycles = 0u64;
+        let mut mee_cycles = 0u64;
+        let mut decrypts = 0u64;
+        let mut encrypts = 0u64;
+        let mut victims = std::mem::take(&mut self.dirty_scratch);
+        victims.clear();
+        let mut seg = first;
+        while seg <= last {
+            let seg_last = last.min((seg / LINES_PER_PAGE + 1) * LINES_PER_PAGE - 1);
+            let (hits, misses) = self.llc.access_range(seg, seg_last, write, &mut victims);
+            mem_cycles += hits * self.cfg.cost.llc_hit + misses * self.cfg.cost.dram_access;
+            if self.cfg.in_prm(seg / LINES_PER_PAGE) {
+                decrypts += misses;
+                mee_cycles += misses * self.cfg.cost.mee_decrypt_line;
+            }
+            seg = seg_last + 1;
+        }
+        for &victim in &victims {
+            if self.cfg.in_prm(victim / LINES_PER_PAGE) {
+                encrypts += 1;
+                mee_cycles += self.cfg.cost.mee_encrypt_line;
+            }
+        }
+        self.dirty_scratch = victims;
+        self.mee.note_decrypts(decrypts);
+        self.mee.note_encrypts(encrypts);
+        // Single fused charge for both categories: one core update and one
+        // attribution-table lookup per access instead of two.
+        let owner = self.current_enclave(core);
+        if mem_cycles + mee_cycles > 0 {
+            let c = &mut self.cores[core];
+            c.cycles += mem_cycles + mee_cycles;
+            c.breakdown.add(CycleCategory::Memory, mem_cycles);
+            c.breakdown.add(CycleCategory::MeeCrypto, mee_cycles);
+            let bucket = self.enclave_cycles.entry(owner).or_default();
+            bucket.add(CycleCategory::Memory, mem_cycles);
+            bucket.add(CycleCategory::MeeCrypto, mee_cycles);
+        }
+        if mee_cycles > 0 {
+            let level = self.hier_level(owner);
+            self.profile
+                .record(ProfileEvent::MeeCrypto, level, mee_cycles);
+        }
+    }
+
+    /// Range tamper check, honouring [`HwConfig::reference_path`].
+    fn tampered(&self, paddr: u64, len: usize) -> bool {
+        if self.cfg.reference_path {
+            self.mee.any_tampered_scan(paddr, len)
+        } else {
+            self.mee.any_tampered(paddr, len)
+        }
+    }
+
     /// Reads `buf.len()` bytes at `va` as `core`.
     ///
     /// # Errors
@@ -789,7 +888,7 @@ impl Machine {
             let in_page = (PAGE_SIZE - cur.page_offset()).min(buf.len() - done);
             match self.translate(core, cur, AccessKind::Read)? {
                 Translated::Phys(pa, _) => {
-                    if self.mee.any_tampered(pa.0, in_page) {
+                    if self.tampered(pa.0, in_page) {
                         return Err(self.integrity_fault(core, cur));
                     }
                     self.charge_data_access(core, pa, in_page, false);
@@ -827,7 +926,7 @@ impl Machine {
             let in_page = (PAGE_SIZE - cur.page_offset()).min(data.len() - done);
             match self.translate(core, cur, AccessKind::Write)? {
                 Translated::Phys(pa, _) => {
-                    if self.mee.any_tampered(pa.0, in_page) {
+                    if self.tampered(pa.0, in_page) {
                         return Err(self.integrity_fault(core, cur));
                     }
                     self.charge_data_access(core, pa, in_page, true);
@@ -854,7 +953,7 @@ impl Machine {
                 // `pa` through the MEE like any other read: a tampered
                 // line faults here, untouched neighbours do not.
                 let line_base = pa.0 & !(LINE_SIZE as u64 - 1);
-                if self.mee.any_tampered(line_base, LINE_SIZE) {
+                if self.tampered(line_base, LINE_SIZE) {
                     return Err(self.integrity_fault(core, va));
                 }
                 self.charge_data_access(core, PhysAddr(line_base), LINE_SIZE, false);

@@ -22,13 +22,19 @@
 
 use crate::addr::LINE_SIZE;
 use ne_crypto::sha256::Sha256;
-use std::collections::HashSet;
+use std::collections::{BTreeMap, HashSet};
 
 /// The Memory Encryption Engine.
 #[derive(Debug)]
 pub struct Mee {
     key: [u8; 32],
     tampered_lines: HashSet<u64>,
+    /// The same tamper record as `tampered_lines`, indexed as disjoint
+    /// inclusive line intervals `start → end` (never adjacent — touching
+    /// ranges merge on insert). Lets [`Mee::any_tampered`] answer a range
+    /// query with one ordered lookup instead of a per-line scan, and makes
+    /// the universal no-chaos case (`is_empty`) free.
+    tampered_intervals: BTreeMap<u64, u64>,
     lines_decrypted: u64,
     lines_encrypted: u64,
 }
@@ -39,6 +45,7 @@ impl Mee {
         Mee {
             key,
             tampered_lines: HashSet::new(),
+            tampered_intervals: BTreeMap::new(),
             lines_decrypted: 0,
             lines_encrypted: 0,
         }
@@ -49,9 +56,19 @@ impl Mee {
         self.lines_decrypted += 1;
     }
 
+    /// Records that `n` PRM lines were fetched from DRAM (decrypt + verify).
+    pub fn note_decrypts(&mut self, n: u64) {
+        self.lines_decrypted += n;
+    }
+
     /// Records that a dirty PRM line was written back (encrypt + re-hash).
     pub fn note_encrypt(&mut self) {
         self.lines_encrypted += 1;
+    }
+
+    /// Records that `n` dirty PRM lines were written back.
+    pub fn note_encrypts(&mut self, n: u64) {
+        self.lines_encrypted += n;
     }
 
     /// PRM lines decrypted so far.
@@ -92,11 +109,15 @@ impl Mee {
     /// Marks the lines covering `[paddr, paddr + len)` as physically
     /// tampered. The next architectural access to any of them must fault.
     pub fn mark_tampered(&mut self, paddr: u64, len: usize) {
+        if len == 0 {
+            return;
+        }
         let first = paddr / LINE_SIZE as u64;
         let last = (paddr + len as u64 - 1) / LINE_SIZE as u64;
         for line in first..=last {
             self.tampered_lines.insert(line);
         }
+        self.insert_interval(first, last);
     }
 
     /// True if the line containing `paddr` fails integrity verification.
@@ -105,7 +126,30 @@ impl Mee {
     }
 
     /// True if any line in `[paddr, paddr + len)` fails verification.
+    ///
+    /// Answered from the interval index: free when no tampering has been
+    /// recorded (the universal no-chaos case), one ordered lookup
+    /// otherwise. [`Mee::any_tampered_scan`] is the per-line reference
+    /// implementation the oracle suite checks this against.
     pub fn any_tampered(&self, paddr: u64, len: usize) -> bool {
+        if len == 0 || self.tampered_intervals.is_empty() {
+            return false;
+        }
+        let first = paddr / LINE_SIZE as u64;
+        let last = (paddr + len as u64 - 1) / LINE_SIZE as u64;
+        // Intervals are disjoint and non-adjacent, so both starts and ends
+        // ascend: the interval with the greatest start ≤ `last` is the only
+        // candidate that can reach back into `[first, last]`.
+        match self.tampered_intervals.range(..=last).next_back() {
+            Some((_, &end)) => end >= first,
+            None => false,
+        }
+    }
+
+    /// Reference implementation of [`Mee::any_tampered`]: scans the line
+    /// set one probe per line. Kept for the differential oracle and the
+    /// `reference_path` machine configuration.
+    pub fn any_tampered_scan(&self, paddr: u64, len: usize) -> bool {
         if len == 0 {
             return false;
         }
@@ -117,13 +161,63 @@ impl Mee {
     /// Clears the tamper record for lines overwritten by an architectural
     /// write (a full-line store re-encrypts and re-hashes the line).
     pub fn clear_tamper(&mut self, paddr: u64, len: usize) {
-        if len == 0 {
+        if len == 0 || self.tampered_intervals.is_empty() {
             return;
         }
         let first = paddr / LINE_SIZE as u64;
         let last = (paddr + len as u64 - 1) / LINE_SIZE as u64;
         for line in first..=last {
             self.tampered_lines.remove(&line);
+        }
+        self.remove_interval(first, last);
+    }
+
+    /// Merges `[first, last]` into the interval index, coalescing any
+    /// overlapping or adjacent intervals.
+    fn insert_interval(&mut self, first: u64, last: u64) {
+        let mut lo = first;
+        let mut hi = last;
+        // Absorb every interval that overlaps or touches [lo, hi]. Each
+        // candidate is the greatest start ≤ hi+1; anything earlier that
+        // still reaches lo gets picked up on the next iteration once the
+        // absorbed interval is gone.
+        while let Some((&s, &e)) = self
+            .tampered_intervals
+            .range(..=hi.saturating_add(1))
+            .next_back()
+        {
+            if e.saturating_add(1) < lo {
+                break;
+            }
+            lo = lo.min(s);
+            hi = hi.max(e);
+            self.tampered_intervals.remove(&s);
+        }
+        self.tampered_intervals.insert(lo, hi);
+    }
+
+    /// Removes `[first, last]` from the interval index, splitting any
+    /// partially covered interval.
+    fn remove_interval(&mut self, first: u64, last: u64) {
+        let mut split: Vec<(u64, u64)> = Vec::new();
+        let mut doomed: Vec<u64> = Vec::new();
+        for (&s, &e) in self.tampered_intervals.range(..=last).rev() {
+            if e < first {
+                break; // disjoint intervals: earlier starts have earlier ends
+            }
+            doomed.push(s);
+            if s < first {
+                split.push((s, first - 1));
+            }
+            if e > last {
+                split.push((last + 1, e));
+            }
+        }
+        for s in doomed {
+            self.tampered_intervals.remove(&s);
+        }
+        for (s, e) in split {
+            self.tampered_intervals.insert(s, e);
         }
     }
 
@@ -187,6 +281,38 @@ mod tests {
         mee.mark_tampered(60, 10); // crosses the 64-byte boundary
         assert!(mee.is_tampered(0));
         assert!(mee.is_tampered(64));
+    }
+
+    #[test]
+    fn interval_index_matches_scan() {
+        let mut mee = Mee::new([0u8; 32]);
+        // Build a ragged tamper pattern: disjoint runs, merges, and splits.
+        mee.mark_tampered(0, 64);
+        mee.mark_tampered(256, 192);
+        mee.mark_tampered(192, 64); // adjacent: merges with the run above
+        mee.mark_tampered(4096, 64);
+        mee.clear_tamper(320, 64); // splits the merged run
+        for (paddr, len) in [
+            (0u64, 1usize),
+            (0, 64),
+            (64, 64),
+            (128, 512),
+            (320, 64),
+            (384, 64),
+            (448, 4096),
+            (4096, 64),
+            (8192, 64),
+            (0, 16384),
+        ] {
+            assert_eq!(
+                mee.any_tampered(paddr, len),
+                mee.any_tampered_scan(paddr, len),
+                "divergence at ({paddr}, {len})"
+            );
+        }
+        mee.clear_tamper(0, 16384);
+        assert!(!mee.any_tampered(0, 16384));
+        assert!(!mee.any_tampered_scan(0, 16384));
     }
 
     #[test]

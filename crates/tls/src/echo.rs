@@ -45,6 +45,10 @@ pub struct EchoConfig {
     /// (Chrome Trace JSON + folded flamegraph stacks). Off by default in
     /// the sweeps — tracing is cheap but not free.
     pub trace: bool,
+    /// Run on the naive reference memory pipeline instead of the optimized
+    /// one (see [`HwConfig::reference_path`]). Architecturally identical;
+    /// used by the wall-clock harness and the differential oracle.
+    pub reference: bool,
 }
 
 /// Results of one echo run.
@@ -103,6 +107,7 @@ fn gcm_cost(cfg: &HwConfig, len: usize) -> u64 {
 pub fn build_echo_app(cfg: &EchoConfig) -> Result<NestedApp, SgxError> {
     let mut hw = HwConfig::testbed();
     hw.trace_events = cfg.trace;
+    hw.reference_path = cfg.reference;
     let mut app = NestedApp::new(hw);
     let net_send: UntrustedFn = Arc::new(|cx, args| {
         cx.charge(NET_SYSCALL_CYCLES);
@@ -244,6 +249,7 @@ mod tests {
             num_messages: 20,
             nested,
             trace: false,
+            reference: false,
         })
         .unwrap()
     }
@@ -295,6 +301,7 @@ mod tests {
             num_messages: 3,
             nested: true,
             trace: true,
+            reference: false,
         })
         .unwrap();
         let bundle = r.trace.expect("trace requested");

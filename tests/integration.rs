@@ -242,6 +242,7 @@ fn tls_stack_end_to_end() {
         num_messages: 10,
         nested: true,
         trace: false,
+        reference: false,
     })
     .unwrap();
     assert_eq!(run.bytes, 5120);
