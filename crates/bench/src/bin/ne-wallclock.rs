@@ -1,0 +1,264 @@
+//! Wall-clock harness for the simulator's hot paths.
+//!
+//! Runs each scenario twice — once on the optimized pipelines (the
+//! default) and once with every optimization swapped for its naive
+//! reference form (`HwConfig::reference_path` for the memory pipeline,
+//! [`ne_crypto::set_reference_impl`] for the crypto primitives) — and
+//! reports host wall-clock for both. The two runs must be
+//! architecturally indistinguishable: the harness hard-fails if cycle
+//! totals or the full metrics exports differ by a byte, so a speedup
+//! here is evidence of faster simulation, never of changed simulation.
+//!
+//! Scenarios:
+//!
+//! * `closed-loop` — the multi-tenant hosting server under think-time-
+//!   free closed-loop load (the `ne-load` shape): crypto-heavy services,
+//!   scheduling, admission control.
+//! * `echo` — the nested SSL echo server (the Fig. 7 shape): bulk
+//!   record traffic through two enclave levels.
+//!
+//! Flags: `--requests <n>` / `--messages <n>` scale the scenarios,
+//! `--repeat <n>` takes the best of n timings per path (default 1),
+//! `--full` is a bigger preset, `--min-speedup <x>` exits nonzero if
+//! any scenario's speedup lands below `x` (for local verification;
+//! wall-clock on shared CI runners is too noisy to gate on), and
+//! `--bench-out <path>` writes an `ne-bench/v1` document whose leaves
+//! are the deterministic cycle totals plus the (noisy) wall times and
+//! the optimized/reference ratio — compare against
+//! `results/baselines/BENCH_wallclock.json` with `ne-bench-compare
+//! --advisory` and a generous threshold.
+
+use std::time::Instant;
+
+use ne_bench::report::{banner, bench_out_path, f2, flag_str, flag_u64, Table, BENCH_SCHEMA};
+use ne_host::{HostConfig, HostServer, RequestFactory, ServiceKind, TenantSpec};
+use ne_tls::echo::{run_echo, EchoConfig};
+
+const TENANTS: usize = 4;
+const SEED: u64 = 7;
+
+/// One scenario's paired measurement. `total_cycles` and `metrics_json`
+/// come from the optimized run after being checked equal to the
+/// reference run's.
+struct Measurement {
+    label: &'static str,
+    wall_ms_opt: f64,
+    wall_ms_ref: f64,
+    total_cycles: u64,
+}
+
+impl Measurement {
+    fn speedup(&self) -> f64 {
+        self.wall_ms_ref / self.wall_ms_opt.max(1e-9)
+    }
+}
+
+/// Times `run` on both paths, best of `repeat`, checking that the
+/// architectural outputs — total cycles and the full metrics export —
+/// are byte-identical across paths and across repeats.
+fn measure(label: &'static str, repeat: usize, run: impl Fn(bool) -> (u64, String)) -> Measurement {
+    let mut outputs: Vec<(bool, u64, String)> = Vec::new();
+    let mut best = [f64::INFINITY; 2];
+    for reference in [false, true] {
+        for _ in 0..repeat {
+            ne_crypto::set_reference_impl(reference);
+            let start = Instant::now();
+            let (cycles, metrics) = run(reference);
+            let ms = start.elapsed().as_secs_f64() * 1e3;
+            ne_crypto::set_reference_impl(false);
+            best[reference as usize] = best[reference as usize].min(ms);
+            outputs.push((reference, cycles, metrics));
+        }
+    }
+    let (_, cycles0, metrics0) = &outputs[0];
+    for (reference, cycles, metrics) in &outputs[1..] {
+        assert_eq!(
+            cycles0, cycles,
+            "{label}: cycle totals diverged (reference={reference})"
+        );
+        assert_eq!(
+            metrics0, metrics,
+            "{label}: metrics exports diverged (reference={reference})"
+        );
+    }
+    Measurement {
+        label,
+        wall_ms_opt: best[0],
+        wall_ms_ref: best[1],
+        total_cycles: *cycles0,
+    }
+}
+
+/// The `ne-load` closed-loop shape: every (tenant, service) client keeps
+/// exactly one request in flight until its quota is served.
+fn closed_loop(requests: usize, reference: bool) -> (u64, String) {
+    let specs: Vec<TenantSpec> = (0..TENANTS)
+        .map(|i| {
+            TenantSpec::new(
+                &format!("tenant{i}"),
+                (TENANTS - i) as u8,
+                ServiceKind::ALL.to_vec(),
+            )
+        })
+        .collect();
+    let mut cfg = HostConfig::new(specs);
+    cfg.seed = SEED;
+    cfg.hw.reference_path = reference;
+    let mut server = HostServer::build(cfg).expect("host build");
+    let mut factories: Vec<Vec<RequestFactory>> = (0..TENANTS)
+        .map(|t| {
+            ServiceKind::ALL
+                .iter()
+                .map(|&k| RequestFactory::new(k, t, SEED))
+                .collect()
+        })
+        .collect();
+    // Provisioning pass (the ne-load warmup): serve each service's setup
+    // requests so the measured loop sees steady-state work — real
+    // sealed-state traffic, not cold-start no-ops.
+    for (t, tenant_factories) in factories.iter_mut().enumerate() {
+        for (s, factory) in tenant_factories.iter_mut().enumerate() {
+            for _ in 0..factory.setup_requests().max(1) {
+                let payload = factory.next_request();
+                assert!(server.submit(t, s, server.now(), payload).is_accepted());
+                server.step().expect("warmup step");
+            }
+        }
+    }
+    server.drain().expect("warmup drain");
+    server.reset_measurement();
+    let mut remaining = vec![vec![requests; ServiceKind::ALL.len()]; TENANTS];
+    for (t, tenant_factories) in factories.iter_mut().enumerate() {
+        for (s, factory) in tenant_factories.iter_mut().enumerate() {
+            remaining[t][s] -= 1;
+            let payload = factory.next_request();
+            assert!(server.submit(t, s, 0, payload).is_accepted());
+        }
+    }
+    while server.pending() > 0 {
+        let Some(c) = server.step().expect("closed-loop step") else {
+            continue;
+        };
+        if remaining[c.tenant][c.service] > 0 {
+            remaining[c.tenant][c.service] -= 1;
+            let payload = factories[c.tenant][c.service].next_request();
+            if !server
+                .submit(c.tenant, c.service, c.end, payload)
+                .is_accepted()
+            {
+                // Shed under pressure: this client stops.
+                remaining[c.tenant][c.service] = 0;
+            }
+        }
+    }
+    server.drain().expect("drain");
+    let m = server.app.machine.metrics();
+    (m.total_cycles, m.to_json())
+}
+
+/// The Fig. 7 shape: nested SSL echo, bulk records through two levels.
+fn echo(messages: usize, reference: bool) -> (u64, String) {
+    let run = run_echo(&EchoConfig {
+        chunk_size: 4096,
+        num_messages: messages,
+        nested: true,
+        trace: false,
+        reference,
+    })
+    .expect("echo run");
+    (run.metrics.total_cycles, run.metrics.to_json())
+}
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let requests = flag_u64("--requests").unwrap_or(if full { 1024 } else { 256 }) as usize;
+    let messages = flag_u64("--messages").unwrap_or(if full { 1_000 } else { 200 }) as usize;
+    let repeat = flag_u64("--repeat").unwrap_or(1).max(1) as usize;
+    let min_speedup = flag_str("--min-speedup").map(|s| {
+        s.parse::<f64>()
+            .unwrap_or_else(|e| panic!("--min-speedup {s}: {e}"))
+    });
+    banner(&format!(
+        "Wall-clock: optimized vs reference paths \
+         ({requests} req/client closed loop, {messages} echo messages, best of {repeat})"
+    ));
+    let runs = vec![
+        measure("closed-loop", repeat, |r| closed_loop(requests, r)),
+        measure("echo", repeat, |r| echo(messages, r)),
+    ];
+    let mut t = Table::new(&[
+        "Scenario",
+        "Optimized ms",
+        "Reference ms",
+        "Speedup",
+        "Total cycles",
+    ]);
+    for m in &runs {
+        t.row(&[
+            m.label.to_string(),
+            f2(m.wall_ms_opt),
+            f2(m.wall_ms_ref),
+            format!("{}x", f2(m.speedup())),
+            m.total_cycles.to_string(),
+        ]);
+    }
+    t.print();
+    println!(
+        "\nBoth paths produced byte-identical metrics exports; the speedup\n\
+         is pure wall-clock. Cycle totals are deterministic; wall times\n\
+         are host-dependent (compare advisory, with a generous threshold)."
+    );
+    if let Some(path) = bench_out_path() {
+        std::fs::write(&path, bench_json(&runs))
+            .unwrap_or_else(|e| panic!("cannot write bench baseline to {}: {e}", path.display()));
+        println!(
+            "\nbench baseline: wrote {} run(s) to {}",
+            runs.len(),
+            path.display()
+        );
+    }
+    if let Some(min) = min_speedup {
+        for m in &runs {
+            if m.speedup() < min {
+                eprintln!(
+                    "FAIL: {} speedup {:.2}x below required {min:.2}x",
+                    m.label,
+                    m.speedup()
+                );
+                std::process::exit(1);
+            }
+        }
+        println!("\nok: every scenario at or above {min:.2}x");
+    }
+}
+
+/// Hand-rolled `ne-bench/v1` document. Higher is worse for every leaf:
+/// cycles (deterministic), wall milliseconds (noisy), and the
+/// optimized-over-reference wall ratio in permille (the regression
+/// signal — it grows when the optimized path loses its lead).
+fn bench_json(runs: &[Measurement]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"schema\": \"{BENCH_SCHEMA}\",\n"));
+    out.push_str("  \"experiment\": \"wallclock\",\n");
+    out.push_str("  \"runs\": [\n");
+    for (i, m) in runs.iter().enumerate() {
+        let permille = (1000.0 * m.wall_ms_opt / m.wall_ms_ref.max(1e-9)).round();
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"label\": \"{}\",\n", m.label));
+        out.push_str(&format!("      \"total_cycles\": {},\n", m.total_cycles));
+        out.push_str(&format!(
+            "      \"wall_ms_optimized\": {:.0},\n",
+            m.wall_ms_opt.max(1.0).round()
+        ));
+        out.push_str(&format!(
+            "      \"wall_ms_reference\": {:.0},\n",
+            m.wall_ms_ref.max(1.0).round()
+        ));
+        out.push_str(&format!("      \"opt_over_ref_permille\": {permille}\n"));
+        out.push_str("    }");
+        out.push_str(if i + 1 < runs.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
