@@ -1,11 +1,12 @@
 //! **ne-load** — the load-generator harness for the `ne-host`
-//! multi-tenant hosting server.
+//! multi-tenant hosting server, driven through the `ne-cluster` shard
+//! layer.
 //!
 //! Where the figure/table binaries measure single calls, this one drives
 //! **sustained traffic** through the full admission → scheduler →
 //! ecall → n_ecall → reply chain and reports end-to-end request latency
 //! (p50/p99) and throughput. Two arrival processes run, each against a
-//! freshly built server:
+//! freshly built cluster:
 //!
 //! * **open-loop** — Poisson arrivals (exponential inter-arrival times
 //!   from the seeded RNG) offered regardless of completion; overload
@@ -16,38 +17,39 @@
 //!
 //! Everything is deterministic under `--seed`: the arrival schedule, the
 //! request payloads, and the per-tenant models/datasets, so two runs with
-//! the same flags export byte-identical `ne-bench/v1` baselines.
+//! the same flags export byte-identical `ne-bench/v1` baselines. With
+//! `--shards N` the tenants are consistent-hashed onto N independent
+//! machine shards, one OS thread each; `--shards 1` (the default) is
+//! byte-identical to the historic unsharded harness, and the per-tenant
+//! export (`--tenants-out`) is byte-identical at **every** shard count
+//! for clean closed-loop runs — the shard-count-invariance oracle (see
+//! `ARCHITECTURE.md` §8).
 //!
 //! Flags: `--tenants N` (default 4), `--services N` per tenant (default
 //! 2, capped at the 3 service kinds), `--requests N` per (tenant,
 //! service) per run (default 12), `--seed S`, `--mode open|closed|both`
-//! (default both), `--no-switchless`, plus the standard `--metrics-out`,
-//! `--bench-out`, `--profile-out` and `--trace-out` exports (the traced
-//! run is the closed-loop one).
+//! (default both), `--shards N` (default 1), `--no-switchless`, plus the
+//! standard `--metrics-out`, `--bench-out`, `--profile-out` and
+//! `--trace-out` exports (the traced run is the closed-loop one; shard
+//! `k > 0` traces land at `<path>.shard<k>`), and `--tenants-out <path>`
+//! for the `ne-tenants/v1` per-tenant export of the last run.
 //!
-//! `--chaos <spec>` installs a deterministic fault-injection plan
-//! (see [`ne_sgx::fault::FaultPlan::parse`]) after warmup: terms joined
-//! by `+`, each `kind[:period]` with kinds `aex`, `evict`, `mac`,
+//! `--chaos <spec>` installs a deterministic fault-injection plan per
+//! shard (see [`ne_sgx::fault::FaultPlan::parse`]) after warmup: terms
+//! joined by `+`, each `kind[:period]` with kinds `aex`, `evict`, `mac`,
 //! `crash`, `stall` — e.g. `--chaos aex+evict` or `--chaos crash:11`.
-//! The plan's RNG is derived from `--seed`, so a chaos run is exactly as
-//! reproducible as a clean one: same flags, byte-identical exports. The
-//! run then asserts reply-or-shed (`completed + shed == accepted`) and
-//! the metrics identities instead of zero-loss.
+//! The plan's RNG is derived from `--seed` (and, above shard 0, the
+//! shard id), so a chaos run is exactly as reproducible as a clean one:
+//! same flags, byte-identical exports. The run then asserts
+//! reply-or-shed (`completed + shed == accepted`) and the metrics
+//! identities instead of zero-loss.
 
 use ne_bench::report::{
-    banner, f2, flag_str, flag_u64, throughput_rps, want_trace, write_trace, MetricsReport, Table,
+    banner, f2, flag_str, flag_u64, tenants_out_path, throughput_rps, want_trace,
+    write_shard_traces, MetricsReport, Table,
 };
-use ne_host::{HostConfig, HostServer, RequestFactory, ServiceKind, TenantSpec};
-use ne_sgx::fault::FaultPlan;
-use ne_sgx::profile::ProfileEvent;
-use ne_sgx::spantree::TraceBundle;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
-/// Mean inter-arrival gap of the open-loop Poisson process, in cycles
-/// across all tenants. Roughly 70% utilization of three serving cores at
-/// the mixed-service cost, so the open-loop run is busy but not saturated.
-const MEAN_GAP_CYCLES: f64 = 120_000.0;
+use ne_cluster::{drive, Cluster, ClusterConfig, ClusterReport};
+use ne_host::{RequestFactory, ServiceKind};
 
 #[derive(Clone)]
 struct Plan {
@@ -55,158 +57,26 @@ struct Plan {
     services: usize,
     requests: usize,
     seed: u64,
+    shards: usize,
     switchless: bool,
     chaos: Option<String>,
     reference: bool,
 }
 
-fn specs(plan: &Plan) -> Vec<TenantSpec> {
-    (0..plan.tenants)
-        .map(|i| {
-            let kinds: Vec<ServiceKind> = (0..plan.services)
-                .map(|s| ServiceKind::ALL[s % ServiceKind::ALL.len()])
-                .collect();
-            TenantSpec::new(&format!("tenant{i}"), (plan.tenants - i) as u8, kinds)
-        })
-        .collect()
+fn build(plan: &Plan, trace: bool) -> Cluster {
+    let mut cfg = ClusterConfig::new(
+        drive::standard_specs(plan.tenants, plan.services),
+        plan.shards,
+    );
+    cfg.host.seed = plan.seed;
+    cfg.host.switchless = plan.switchless;
+    cfg.host.hw.trace_events = trace;
+    cfg.host.hw.reference_path = plan.reference;
+    Cluster::build(cfg).expect("cluster build")
 }
 
-fn build(plan: &Plan, trace: bool) -> HostServer {
-    let mut cfg = HostConfig::new(specs(plan));
-    cfg.seed = plan.seed;
-    cfg.switchless = plan.switchless;
-    cfg.hw.trace_events = trace;
-    cfg.hw.reference_path = plan.reference;
-    HostServer::build(cfg).expect("host build")
-}
-
-fn factories(plan: &Plan) -> Vec<Vec<RequestFactory>> {
-    specs(plan)
-        .iter()
-        .enumerate()
-        .map(|(t, spec)| {
-            spec.services
-                .iter()
-                .map(|&k| RequestFactory::new(k, t, plan.seed))
-                .collect()
-        })
-        .collect()
-}
-
-/// Serves every provisioning request (db schema + pre-loads; at least one
-/// request per service to warm the paths), drains, and resets the
-/// measurement window so the measured runs see only steady-state work.
-fn warmup(server: &mut HostServer, factories: &mut [Vec<RequestFactory>]) {
-    for (t, tenant_factories) in factories.iter_mut().enumerate() {
-        if server.tenants()[t].shed {
-            continue;
-        }
-        for (s, factory) in tenant_factories.iter_mut().enumerate() {
-            for _ in 0..factory.setup_requests().max(1) {
-                let payload = factory.next_request();
-                assert!(
-                    server.submit(t, s, server.now(), payload).is_accepted(),
-                    "warmup request rejected (queue bound too small for setup?)"
-                );
-                // Serve as we go so setup never trips the queue bound.
-                server.step().expect("warmup step");
-            }
-        }
-    }
-    server.drain().expect("warmup drain");
-    server.reset_measurement();
-}
-
-/// Offered-load run: a pre-generated Poisson arrival schedule is submitted
-/// on time regardless of completions; full queues reject (backpressure).
-fn open_loop(server: &mut HostServer, factories: &mut [Vec<RequestFactory>], plan: &Plan) -> u64 {
-    let mut rng = StdRng::seed_from_u64(plan.seed ^ 0x5EED_AD11);
-    let pairs: Vec<(usize, usize)> = (0..plan.tenants)
-        .flat_map(|t| (0..factories[t].len()).map(move |s| (t, s)))
-        .collect();
-    let mut schedule = Vec::with_capacity(plan.requests * pairs.len());
-    let mut at = 0u64;
-    for i in 0..plan.requests * pairs.len() {
-        let u: f64 = rng.gen_range(0.0..1.0);
-        at += (-(1.0 - u).ln() * MEAN_GAP_CYCLES) as u64;
-        let (t, s) = pairs[i % pairs.len()];
-        schedule.push((t, s, at));
-    }
-    let mut accepted = 0u64;
-    let mut i = 0;
-    while i < schedule.len() || server.pending() > 0 {
-        // Submit everything that has arrived by the serving clock; when
-        // the server is idle, jump to the next arrival.
-        while i < schedule.len() && (schedule[i].2 <= server.now() || server.pending() == 0) {
-            let (t, s, at) = schedule[i];
-            i += 1;
-            let payload = factories[t][s].next_request();
-            if server.submit(t, s, at, payload).is_accepted() {
-                accepted += 1;
-            }
-        }
-        if server.pending() > 0 {
-            server.step().expect("open-loop step");
-        }
-    }
-    accepted
-}
-
-/// Think-time-free closed loop: one client per (tenant, service); each
-/// submits its next request at the completion time of its previous one.
-fn closed_loop(server: &mut HostServer, factories: &mut [Vec<RequestFactory>], plan: &Plan) -> u64 {
-    let mut remaining: Vec<Vec<usize>> = factories
-        .iter()
-        .enumerate()
-        .map(|(t, fs)| {
-            let n = if server.tenants()[t].shed {
-                0
-            } else {
-                plan.requests
-            };
-            vec![n; fs.len()]
-        })
-        .collect();
-    let mut accepted = 0u64;
-    for t in 0..factories.len() {
-        for s in 0..factories[t].len() {
-            if remaining[t][s] > 0 {
-                remaining[t][s] -= 1;
-                let payload = factories[t][s].next_request();
-                if server.submit(t, s, 0, payload).is_accepted() {
-                    accepted += 1;
-                } else {
-                    // Shed (e.g. a tripped breaker under chaos): this
-                    // client stops; reply-or-shed still holds.
-                    remaining[t][s] = 0;
-                }
-            }
-        }
-    }
-    // A `None` step under chaos means a request was shed, not that the
-    // queues are dry — keep stepping until pending work is gone.
-    while server.pending() > 0 {
-        let Some(c) = server.step().expect("closed-loop step") else {
-            continue;
-        };
-        if remaining[c.tenant][c.service] > 0 {
-            remaining[c.tenant][c.service] -= 1;
-            let payload = factories[c.tenant][c.service].next_request();
-            if server
-                .submit(c.tenant, c.service, c.end, payload)
-                .is_accepted()
-            {
-                accepted += 1;
-            } else {
-                remaining[c.tenant][c.service] = 0;
-            }
-        }
-    }
-    accepted
-}
-
-fn tenant_table(server: &HostServer) -> Table {
-    let mut t = Table::new(&[
+fn tenant_table(report: &ClusterReport, shards: usize) -> Table {
+    let mut headers = vec![
         "tenant",
         "prio",
         "loaded",
@@ -216,10 +86,17 @@ fn tenant_table(server: &HostServer) -> Table {
         "completed",
         "shed_req",
         "respawns",
-    ]);
-    for r in server.report().tenants {
-        t.row(&[
-            r.name,
+    ];
+    // The shard column only appears for actual multi-shard runs, keeping
+    // one-shard output byte-identical to the historic harness.
+    if shards > 1 {
+        headers.push("shard");
+    }
+    let mut t = Table::new(&headers);
+    for g in &report.tenants {
+        let r = &g.report;
+        let mut row = vec![
+            r.name.clone(),
             r.priority.to_string(),
             if r.loaded { "yes" } else { "SHED" }.to_string(),
             r.accepted.to_string(),
@@ -232,28 +109,37 @@ fn tenant_table(server: &HostServer) -> Table {
             } else {
                 r.respawns.to_string()
             },
-        ]);
+        ];
+        if shards > 1 {
+            row.push(g.shard.to_string());
+        }
+        t.row(&row);
     }
     t
 }
 
-fn run(label: &str, plan: &Plan, report: &mut MetricsReport, trace: bool) -> Option<TraceBundle> {
-    let mut server = build(plan, trace);
-    let mut fs = factories(plan);
-    warmup(&mut server, &mut fs);
-    if let Some(spec) = &plan.chaos {
-        // Installed after warmup so the fault clock starts with the
-        // measured window; seeded from --seed for byte reproducibility.
-        let fp = FaultPlan::parse(spec, plan.seed ^ 0xC4A0_5EED)
-            .unwrap_or_else(|e| panic!("--chaos: {e}"));
-        server.install_chaos(fp);
-    }
+/// Runs one scenario on a fresh cluster; returns the per-tenant export
+/// and, when traced, the per-shard trace bundles.
+fn run(
+    label: &str,
+    plan: &Plan,
+    report: &mut MetricsReport,
+    trace: bool,
+) -> (String, Option<Vec<ne_sgx::spantree::TraceBundle>>) {
+    let mut cluster = build(plan, trace);
+    // Chaos plans are seeded from --seed (salted) at shard 0, exactly the
+    // historic harness; higher shards get independent derived streams.
+    let chaos = plan
+        .chaos
+        .as_deref()
+        .map(|spec| (spec, plan.seed ^ 0xC4A0_5EED));
     let accepted = match label {
-        "open-loop" => open_loop(&mut server, &mut fs, plan),
-        "closed-loop" => closed_loop(&mut server, &mut fs, plan),
+        "open-loop" => cluster.run_open_loop(plan.requests, chaos),
+        "closed-loop" => cluster.run_closed_loop(plan.requests, chaos),
         other => unreachable!("unknown run label {other}"),
-    };
-    let hr = server.report();
+    }
+    .unwrap_or_else(|e| panic!("--chaos: {e}"));
+    let hr = cluster.report();
     assert_eq!(
         hr.sched.invariant_violations, 0,
         "scheduler invariant violated in {label}"
@@ -265,25 +151,27 @@ fn run(label: &str, plan: &Plan, report: &mut MetricsReport, trace: bool) -> Opt
         accepted,
         "accepted request lost in {label}"
     );
-    // Spot-check every reply against a fresh factory of the same stream.
-    for c in server.completions() {
-        let spec = &server.tenants()[c.tenant].spec;
-        let f = RequestFactory::new(spec.services[c.service], c.tenant, plan.seed);
+    // Spot-check every reply against a fresh factory of the same stream,
+    // keyed by the tenant's global id.
+    let specs = drive::standard_specs(plan.tenants, plan.services);
+    for (global, c) in cluster.completions() {
+        let f = RequestFactory::new(specs[global].services[c.service], global, plan.seed);
         assert!(
             f.check_reply(&c.reply),
             "bad {label} reply for {}",
-            spec.name
+            specs[global].name
         );
     }
-    let m = server.app.machine.metrics();
+    let m = cluster
+        .merged_metrics()
+        .unwrap_or_else(|e| panic!("metrics merge failed in {label}: {e}"));
     m.check()
         .unwrap_or_else(|e| panic!("metrics identity broken in {label}: {e}"));
-    let hist = server.app.machine.profile().merged(ProfileEvent::Request);
-    let s = hist.summary();
-    let clock = plan_clock(&server);
+    let s = cluster.request_histogram().summary();
+    let clock = cluster.clock_ghz();
     println!("\n{label}: {accepted} requests served");
-    tenant_table(&server).print();
-    if let Some(cs) = server.chaos_stats() {
+    tenant_table(&hr, plan.shards).print();
+    if let Some(cs) = cluster.chaos_stats() {
         println!(
             "  chaos: {} eenters seen | {} aex storms, {} forced evictions, {} tamperings, \
              {} crashes, {} stalls -> {} respawns, {} sheds, {} degraded replies",
@@ -312,11 +200,8 @@ fn run(label: &str, plan: &Plan, report: &mut MetricsReport, trace: bool) -> Opt
         hr.sched.max_backlog,
     );
     report.push_run(label, m);
-    trace.then(|| TraceBundle::capture(&server.app.machine))
-}
-
-fn plan_clock(server: &HostServer) -> f64 {
-    server.app.machine.config().cost.clock_ghz
+    let export = cluster.tenants_export();
+    (export, trace.then(|| cluster.trace_bundles()))
 }
 
 fn main() {
@@ -325,6 +210,7 @@ fn main() {
         services: (flag_u64("--services").unwrap_or(2) as usize).min(ServiceKind::ALL.len()),
         requests: flag_u64("--requests").unwrap_or(12) as usize,
         seed: flag_u64("--seed").unwrap_or(0xC0FFEE),
+        shards: (flag_u64("--shards").unwrap_or(1) as usize).max(1),
         switchless: !std::env::args().any(|a| a == "--no-switchless"),
         chaos: flag_str("--chaos"),
         reference: std::env::args().any(|a| a == "--reference"),
@@ -341,29 +227,46 @@ fn main() {
         other => panic!("--mode expects open|closed|both, got '{other}'"),
     };
     banner(&format!(
-        "ne-load: {} tenants x {} services, {} requests per pair, seed {}, switchless {}{}",
+        "ne-load: {} tenants x {} services, {} requests per pair, seed {}, switchless {}{}{}",
         plan.tenants,
         plan.services,
         plan.requests,
         plan.seed,
         plan.switchless,
+        // Only announced when actually sharded, so one-shard stdout stays
+        // byte-identical to the pre-cluster harness.
+        if plan.shards > 1 {
+            format!(", shards {}", plan.shards)
+        } else {
+            String::new()
+        },
         plan.chaos
             .as_deref()
             .map(|c| format!(", chaos {c}"))
             .unwrap_or_default()
     ));
     let mut report = MetricsReport::new("ne-load");
-    let mut bundle = None;
+    let mut bundles = None;
+    let mut export = None;
     if open {
-        run("open-loop", &plan, &mut report, false);
+        let (e, _) = run("open-loop", &plan, &mut report, false);
+        export = Some(e);
     }
     if closed {
         // The traced run: the closed loop has the cleanest span structure
         // (no overlapping idle-advance from future arrivals).
-        bundle = run("closed-loop", &plan, &mut report, want_trace());
+        let (e, b) = run("closed-loop", &plan, &mut report, want_trace());
+        export = Some(e);
+        bundles = b;
     }
     if want_trace() {
-        write_trace(bundle.as_ref());
+        write_shard_traces(bundles.as_deref().unwrap_or(&[]));
+    }
+    if let Some(path) = tenants_out_path() {
+        let payload = export.expect("at least one run when --tenants-out is given");
+        std::fs::write(&path, &payload)
+            .unwrap_or_else(|e| panic!("cannot write tenants export to {}: {e}", path.display()));
+        println!("\ntenants export: wrote {}", path.display());
     }
     report.finish();
 }

@@ -404,6 +404,42 @@ pub fn write_trace(bundle: Option<&TraceBundle>) {
     }
 }
 
+/// Writes one trace bundle per shard of a sharded run, if `--trace-out`
+/// was given. Shard 0 lands at the flag's path exactly where the
+/// unsharded path would write (so a one-shard run is byte-identical);
+/// shard `k > 0` lands beside it at `<path>.shard<k>` with its folded
+/// stacks at `<path>.shard<k>.folded`.
+///
+/// # Panics
+///
+/// Panics if a requested file cannot be written.
+pub fn write_shard_traces(bundles: &[TraceBundle]) {
+    let Some(path) = trace_out_path() else {
+        return;
+    };
+    write_trace(bundles.first());
+    for (k, b) in bundles.iter().enumerate().skip(1) {
+        let shard_path = PathBuf::from(format!("{}.shard{k}", path.display()));
+        std::fs::write(&shard_path, &b.chrome_json)
+            .unwrap_or_else(|e| panic!("cannot write trace to {}: {e}", shard_path.display()));
+        let folded = PathBuf::from(format!("{}.folded", shard_path.display()));
+        std::fs::write(&folded, &b.folded)
+            .unwrap_or_else(|e| panic!("cannot write stacks to {}: {e}", folded.display()));
+        println!(
+            "trace: shard {k}: {} span(s) to {} (+ .folded)",
+            b.spans,
+            shard_path.display()
+        );
+    }
+}
+
+/// Parses `--tenants-out <path>` — the canonical per-tenant export
+/// (`ne-tenants/v1`) that CI's `shard-smoke` job byte-diffs across shard
+/// counts.
+pub fn tenants_out_path() -> Option<PathBuf> {
+    flag_path("--tenants-out")
+}
+
 /// Parses a string-valued flag (`--flag v` or `--flag=v`) from the
 /// process arguments.
 pub fn flag_str(flag: &str) -> Option<String> {

@@ -1,0 +1,482 @@
+//! The cluster: N independent machine shards behind one report.
+//!
+//! [`Cluster::build`] places every tenant on a shard (consistent
+//! hashing by name), builds one full [`HostServer`] per shard with the
+//! tenant's seeding identity pinned to its **global** id, and keeps the
+//! global ↔ (shard, local) mapping so reports and exports can always be
+//! presented in global-tenant order — sorted by tenant id everywhere,
+//! never in shard or hash order.
+
+use crate::drive;
+use crate::ring::{shard_seed, ShardRing};
+use ne_host::scheduler::SchedulerStats;
+use ne_host::server::{HostConfig, HostServer, TenantReport};
+use ne_host::tenant::Completion;
+use ne_host::{HostResult, TenantSpec};
+use ne_sgx::fault::{ChaosStats, FaultPlan};
+use ne_sgx::metrics::MachineMetrics;
+use ne_sgx::profile::{Histogram, ProfileEvent};
+use ne_sgx::spantree::TraceBundle;
+
+/// Cluster configuration: a host-server template plus the shard layout.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Template for every shard's server. Its `tenants` list is the
+    /// **global** tenant list (global tenant id = index in this list);
+    /// every other field (hardware model, seed, switchless, admission,
+    /// recovery) is applied to each shard as-is.
+    pub host: HostConfig,
+    /// Number of machine shards (≥ 1). Each shard is a fully
+    /// independent simulated machine driven by its own OS thread.
+    pub shards: usize,
+    /// Virtual nodes per shard on the placement ring.
+    pub vnodes: usize,
+}
+
+impl ClusterConfig {
+    /// A cluster over `tenants` with `shards` shards and the default
+    /// host template / ring geometry.
+    pub fn new(tenants: Vec<TenantSpec>, shards: usize) -> ClusterConfig {
+        ClusterConfig {
+            host: HostConfig::new(tenants),
+            shards,
+            vnodes: ShardRing::DEFAULT_VNODES,
+        }
+    }
+}
+
+/// One shard: an independent [`HostServer`] (own machine, own EPC, own
+/// scheduler) plus its placement bookkeeping.
+pub struct Shard {
+    /// Shard index; fixes merge order and id namespacing.
+    pub id: usize,
+    /// The shard-local seed stream, [`shard_seed`]`(base, id)` — for
+    /// shard-local machinery (chaos plans) only.
+    pub seed: u64,
+    /// Global ids of the tenants on this shard, in global order; entry
+    /// `l` is the global id of the shard's local tenant `l`.
+    pub globals: Vec<usize>,
+    /// The shard's server.
+    pub server: HostServer,
+}
+
+/// Per-tenant row of a [`ClusterReport`], tagged with the tenant's
+/// global id and placement.
+#[derive(Debug, Clone)]
+pub struct GlobalTenantReport {
+    /// Global tenant id (index in the cluster's tenant list).
+    pub global: usize,
+    /// Shard the tenant was placed on.
+    pub shard: usize,
+    /// The tenant's report from its shard's server.
+    pub report: TenantReport,
+}
+
+/// End-of-run summary across every shard, in global-tenant order.
+#[derive(Debug, Clone)]
+pub struct ClusterReport {
+    /// One row per tenant, sorted by global tenant id.
+    pub tenants: Vec<GlobalTenantReport>,
+    /// Scheduler counters folded across shards (sums; `max_backlog` is
+    /// the max over shards).
+    pub sched: SchedulerStats,
+    /// Whether the shards ran with a switchless worker core.
+    pub switchless: bool,
+    /// Switchless→classic reply degradations across shards.
+    pub degraded_replies: u64,
+}
+
+impl ClusterReport {
+    /// Total completions across tenants.
+    pub fn completed(&self) -> u64 {
+        self.tenants.iter().map(|t| t.report.completed).sum()
+    }
+
+    /// Total accepted across tenants.
+    pub fn accepted(&self) -> u64 {
+        self.tenants.iter().map(|t| t.report.accepted).sum()
+    }
+
+    /// Total explicit sheds across tenants.
+    pub fn shed_requests(&self) -> u64 {
+        self.tenants.iter().map(|t| t.report.shed_requests).sum()
+    }
+
+    /// Total enclave respawns across tenants.
+    pub fn respawns(&self) -> u64 {
+        self.tenants.iter().map(|t| t.report.respawns).sum()
+    }
+}
+
+/// The sharded cluster. See the [crate docs](crate) for the invariants.
+pub struct Cluster {
+    shards: Vec<Shard>,
+    /// `assignment[global] == (shard, local index on that shard)`.
+    assignment: Vec<(usize, usize)>,
+    seed: u64,
+}
+
+impl Cluster {
+    /// Builds the cluster: places each tenant with the ring, pins its
+    /// seeding identity to its global id, and builds every shard's
+    /// server (serially — builds are cheap and a fixed build order keeps
+    /// EPC-shedding decisions reproducible).
+    ///
+    /// # Errors
+    ///
+    /// Any shard's [`HostServer::build`] failure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.shards` is zero (via [`ShardRing::new`]).
+    pub fn build(cfg: ClusterConfig) -> HostResult<Cluster> {
+        let ring = ShardRing::new(cfg.shards, cfg.vnodes);
+        let mut specs: Vec<Vec<TenantSpec>> = (0..cfg.shards).map(|_| Vec::new()).collect();
+        let mut globals: Vec<Vec<usize>> = (0..cfg.shards).map(|_| Vec::new()).collect();
+        let mut assignment = Vec::with_capacity(cfg.host.tenants.len());
+        for (g, spec) in cfg.host.tenants.iter().enumerate() {
+            let s = ring.shard_of(&spec.name);
+            assignment.push((s, specs[s].len()));
+            // Pin the seeding identity to the global id unless the caller
+            // already pinned one; local slots shift with placement, global
+            // ids do not — that is what makes tenant streams
+            // shard-layout-invariant.
+            let mut spec = spec.clone();
+            spec.seed_index = Some(spec.seed_index.unwrap_or(g));
+            specs[s].push(spec);
+            globals[s].push(g);
+        }
+        let mut shards = Vec::with_capacity(cfg.shards);
+        for (id, (specs, globals)) in specs.into_iter().zip(globals).enumerate() {
+            let mut host = cfg.host.clone();
+            host.tenants = specs;
+            let server = HostServer::build(host)?;
+            shards.push(Shard {
+                id,
+                seed: shard_seed(cfg.host.seed, id),
+                globals,
+                server,
+            });
+        }
+        Ok(Cluster {
+            shards,
+            assignment,
+            seed: cfg.host.seed,
+        })
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Number of tenants across the cluster.
+    pub fn num_tenants(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// The base seed the cluster was built with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The shards, in shard order.
+    pub fn shards(&self) -> &[Shard] {
+        &self.shards
+    }
+
+    /// `(shard, local index)` of a global tenant id.
+    pub fn placement(&self, global: usize) -> (usize, usize) {
+        self.assignment[global]
+    }
+
+    /// Runs `f` once per shard — **one OS thread per shard** — and
+    /// returns the results in shard order. The single-shard case runs
+    /// inline on the calling thread, so a one-shard cluster is
+    /// bit-compatible with (and as debuggable as) the unsharded path.
+    pub fn run_parallel<R, F>(&mut self, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(&mut Shard) -> R + Sync,
+    {
+        self.run_parallel_with(self.shards.iter().map(|_| ()).collect(), |shard, ()| {
+            f(shard)
+        })
+    }
+
+    /// [`Cluster::run_parallel`] with one owned payload per shard (e.g.
+    /// a per-shard arrival schedule or chaos plan). `payloads[i]` goes
+    /// to shard `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `payloads` is not one per shard, or if a shard thread
+    /// panics (the panic is propagated).
+    pub fn run_parallel_with<P, R, F>(&mut self, payloads: Vec<P>, f: F) -> Vec<R>
+    where
+        P: Send,
+        R: Send,
+        F: Fn(&mut Shard, P) -> R + Sync,
+    {
+        assert_eq!(payloads.len(), self.shards.len(), "one payload per shard");
+        if self.shards.len() == 1 {
+            let payload = payloads.into_iter().next().expect("one payload");
+            return vec![f(&mut self.shards[0], payload)];
+        }
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .shards
+                .iter_mut()
+                .zip(payloads)
+                .map(|(shard, payload)| {
+                    let f = &f;
+                    scope.spawn(move || f(shard, payload))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard thread panicked"))
+                .collect()
+        })
+    }
+
+    /// Drives the closed-loop scenario on every shard in parallel (see
+    /// [`drive::closed_loop`]): warmup, optional per-shard chaos, then
+    /// one client per (tenant, service) keeping a request in flight
+    /// until `requests` are served. Returns total accepted.
+    ///
+    /// `chaos` is `(spec, base seed)`; each shard derives its own plan
+    /// seed with [`shard_seed`], so shard 0 of a one-shard cluster is
+    /// byte-identical to the unsharded chaos path.
+    ///
+    /// # Errors
+    ///
+    /// A malformed chaos spec.
+    pub fn run_closed_loop(
+        &mut self,
+        requests: usize,
+        chaos: Option<(&str, u64)>,
+    ) -> Result<u64, String> {
+        let plans = self.chaos_plans(chaos)?;
+        let seed = self.seed;
+        let accepted = self.run_parallel_with(plans, |shard, plan| {
+            let mut factories = drive::factories(shard, seed);
+            drive::warmup(shard, &mut factories);
+            if let Some(plan) = plan {
+                shard.server.install_chaos(plan);
+            }
+            drive::closed_loop(shard, &mut factories, requests)
+        });
+        Ok(accepted.iter().sum())
+    }
+
+    /// Drives the open-loop scenario: one **global** Poisson arrival
+    /// schedule (seeded by the base seed, so offered arrival times are
+    /// shard-count-invariant) routed to each tenant's shard, then every
+    /// shard plays its sub-schedule in parallel. Returns total accepted.
+    ///
+    /// # Errors
+    ///
+    /// A malformed chaos spec.
+    pub fn run_open_loop(
+        &mut self,
+        requests: usize,
+        chaos: Option<(&str, u64)>,
+    ) -> Result<u64, String> {
+        let plans = self.chaos_plans(chaos)?;
+        // Global (tenant, service) pairs in global order — exactly the
+        // unsharded harness's pair list.
+        let pairs: Vec<(usize, usize)> = (0..self.num_tenants())
+            .flat_map(|g| {
+                let (s, l) = self.assignment[g];
+                let services = self.shards[s].server.tenants()[l].spec.services.len();
+                (0..services).map(move |svc| (g, svc))
+            })
+            .collect();
+        let schedule = drive::poisson_schedule(&pairs, requests, self.seed);
+        // Route each arrival to its tenant's shard, in schedule order,
+        // rewriting the global tenant id to the shard-local index.
+        let mut routed: Vec<Vec<(usize, usize, u64)>> =
+            (0..self.shards.len()).map(|_| Vec::new()).collect();
+        for &(g, svc, at) in &schedule {
+            let (s, l) = self.assignment[g];
+            routed[s].push((l, svc, at));
+        }
+        let seed = self.seed;
+        let payloads: Vec<_> = routed.into_iter().zip(plans).collect();
+        let accepted = self.run_parallel_with(payloads, |shard, (schedule, plan)| {
+            let mut factories = drive::factories(shard, seed);
+            drive::warmup(shard, &mut factories);
+            if let Some(plan) = plan {
+                shard.server.install_chaos(plan);
+            }
+            drive::open_loop(shard, &mut factories, &schedule)
+        });
+        Ok(accepted.iter().sum())
+    }
+
+    /// One parsed chaos plan per shard (or `None`s without a spec).
+    fn chaos_plans(&self, chaos: Option<(&str, u64)>) -> Result<Vec<Option<FaultPlan>>, String> {
+        self.shards
+            .iter()
+            .map(|shard| {
+                chaos
+                    .map(|(spec, base)| FaultPlan::parse(spec, shard_seed(base, shard.id)))
+                    .transpose()
+            })
+            .collect()
+    }
+
+    /// Per-shard metrics snapshots, in shard order.
+    pub fn shard_metrics(&self) -> Vec<MachineMetrics> {
+        self.shards
+            .iter()
+            .map(|s| s.server.app.machine.metrics())
+            .collect()
+    }
+
+    /// The merged cluster-wide metrics report: per-shard snapshots
+    /// namespaced and folded in shard order
+    /// ([`MachineMetrics::merge_shards`]). The result passes the §5
+    /// attribution identity checker; for one shard it is byte-identical
+    /// to that shard's plain snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Shards with mismatched machine configurations (never happens for
+    /// a [`Cluster::build`]-built cluster).
+    pub fn merged_metrics(&self) -> Result<MachineMetrics, String> {
+        MachineMetrics::merge_shards(&self.shard_metrics())
+    }
+
+    /// Chaos decision counters summed across shards; `None` when no
+    /// shard has a plan installed.
+    pub fn chaos_stats(&self) -> Option<ChaosStats> {
+        let per_shard: Vec<ChaosStats> = self
+            .shards
+            .iter()
+            .filter_map(|s| s.server.chaos_stats())
+            .collect();
+        if per_shard.is_empty() {
+            return None;
+        }
+        let mut total = ChaosStats::default();
+        for cs in per_shard {
+            total.eenters_seen += cs.eenters_seen;
+            total.aex_storms += cs.aex_storms;
+            total.forced_evictions += cs.forced_evictions;
+            total.tamperings += cs.tamperings;
+            total.crashes += cs.crashes;
+            total.stalls += cs.stalls;
+        }
+        Some(total)
+    }
+
+    /// The end-to-end request-latency histogram folded across shards.
+    pub fn request_histogram(&self) -> Histogram {
+        let mut out = Histogram::new();
+        for s in &self.shards {
+            out.merge(&s.server.app.machine.profile().merged(ProfileEvent::Request));
+        }
+        out
+    }
+
+    /// The modelled clock (same on every shard).
+    pub fn clock_ghz(&self) -> f64 {
+        self.shards[0].server.app.machine.config().cost.clock_ghz
+    }
+
+    /// Every completion with its tenant's **global** id, shard by shard.
+    pub fn completions(&self) -> Vec<(usize, &Completion)> {
+        self.shards
+            .iter()
+            .flat_map(|s| {
+                s.server
+                    .completions()
+                    .iter()
+                    .map(move |c| (s.globals[c.tenant], c))
+            })
+            .collect()
+    }
+
+    /// Trace bundles captured per shard, in shard order.
+    pub fn trace_bundles(&self) -> Vec<TraceBundle> {
+        self.shards
+            .iter()
+            .map(|s| TraceBundle::capture(&s.server.app.machine))
+            .collect()
+    }
+
+    /// The end-of-run summary, rows sorted by global tenant id.
+    pub fn report(&self) -> ClusterReport {
+        let per_shard: Vec<_> = self.shards.iter().map(|s| s.server.report()).collect();
+        let tenants = self
+            .assignment
+            .iter()
+            .enumerate()
+            .map(|(g, &(s, l))| GlobalTenantReport {
+                global: g,
+                shard: s,
+                report: per_shard[s].tenants[l].clone(),
+            })
+            .collect();
+        let mut sched = SchedulerStats::default();
+        for r in &per_shard {
+            sched.dispatched += r.sched.dispatched;
+            sched.home_dispatches += r.sched.home_dispatches;
+            sched.steals += r.sched.steals;
+            sched.invariant_violations += r.sched.invariant_violations;
+            sched.max_backlog = sched.max_backlog.max(r.sched.max_backlog);
+        }
+        ClusterReport {
+            tenants,
+            sched,
+            switchless: per_shard.first().is_some_and(|r| r.switchless),
+            degraded_replies: per_shard.iter().map(|r| r.degraded_replies).sum(),
+        }
+    }
+
+    /// The canonical per-tenant export (`ne-tenants/v1`): one line per
+    /// tenant, **sorted by global tenant id**, carrying the traffic
+    /// counters and a SHA-256 digest over the tenant's replies in
+    /// (service, seq) order. Shard placement is deliberately excluded:
+    /// under the clean closed-loop scenario these bytes are identical at
+    /// every shard count, which is exactly what the
+    /// shard-count-invariance oracle (and CI's `shard-smoke` byte-diff)
+    /// checks.
+    pub fn tenants_export(&self) -> String {
+        let mut out = String::from("schema: ne-tenants/v1\n");
+        for (g, &(s, l)) in self.assignment.iter().enumerate() {
+            let server = &self.shards[s].server;
+            let t = &server.tenants()[l];
+            // Replies in (service, seq) order, independent of completion
+            // interleaving across cores.
+            let mut replies: Vec<&Completion> = server
+                .completions()
+                .iter()
+                .filter(|c| c.tenant == l)
+                .collect();
+            replies.sort_by_key(|c| (c.service, c.seq));
+            let mut bytes = Vec::new();
+            for c in &replies {
+                bytes.extend_from_slice(&(c.service as u32).to_le_bytes());
+                bytes.extend_from_slice(&c.seq.to_le_bytes());
+                bytes.extend_from_slice(&(c.reply.len() as u32).to_le_bytes());
+                bytes.extend_from_slice(&c.reply);
+            }
+            let digest = ne_crypto::sha256_digest(&bytes);
+            let hex: String = digest.iter().map(|b| format!("{b:02x}")).collect();
+            out.push_str(&format!(
+                "tenant {g} name {} accepted {} rejected_full {} rejected_shed {} \
+                 completed {} shed {} replies sha256:{hex}\n",
+                t.spec.name,
+                t.accepted,
+                t.rejected_full,
+                t.rejected_shed,
+                t.completed,
+                t.shed_requests,
+            ));
+        }
+        out
+    }
+}

@@ -1,0 +1,199 @@
+//! Shard drivers: the load-generator loops, factored out of the
+//! unsharded `ne-load` harness **byte for byte** so a one-shard cluster
+//! reproduces its exact request streams, arrival times, and replies.
+//!
+//! Two things differ from the unsharded code, both required for
+//! shard-count invariance and neither observable at one shard:
+//!
+//! * request factories are keyed by the tenant's **global** id
+//!   ([`crate::Shard::globals`]), not its local slot, so a tenant's
+//!   payload stream survives re-placement;
+//! * the open-loop Poisson schedule is generated **globally**
+//!   ([`poisson_schedule`], same RNG and salt as `ne-load`) and routed to
+//!   shards afterwards, so offered arrival times do not depend on the
+//!   shard count.
+
+use crate::cluster::Shard;
+use ne_host::{RequestFactory, ServiceKind, TenantSpec};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Mean inter-arrival gap of the open-loop Poisson process, in cycles
+/// across all tenants — the same constant the unsharded `ne-load`
+/// harness uses (roughly 70% utilization of three serving cores at the
+/// mixed-service cost).
+pub const MEAN_GAP_CYCLES: f64 = 120_000.0;
+
+/// Salt XORed into the base seed for the open-loop arrival RNG; matches
+/// `ne-load` so the global schedule is byte-identical to the unsharded
+/// harness's.
+pub const OPEN_LOOP_SALT: u64 = 0x5EED_AD11;
+
+/// The standard tenant population the load harnesses use: `tenant{i}`
+/// with priority `tenants - i` (earlier tenants more important) and
+/// `services` service kinds cycling through [`ServiceKind::ALL`].
+pub fn standard_specs(tenants: usize, services: usize) -> Vec<TenantSpec> {
+    (0..tenants)
+        .map(|i| {
+            let kinds: Vec<ServiceKind> = (0..services)
+                .map(|s| ServiceKind::ALL[s % ServiceKind::ALL.len()])
+                .collect();
+            TenantSpec::new(&format!("tenant{i}"), (tenants - i) as u8, kinds)
+        })
+        .collect()
+}
+
+/// The global open-loop Poisson arrival schedule: `requests` arrivals per
+/// `(tenant, service)` pair, round-robin over `pairs`, with exponential
+/// inter-arrival gaps of mean [`MEAN_GAP_CYCLES`] drawn from
+/// `StdRng(seed ^ OPEN_LOOP_SALT)`. Entries are `(tenant, service, at)`
+/// with whatever id space `pairs` carries (the cluster passes global
+/// tenant ids and rewrites them to shard-local slots while routing).
+pub fn poisson_schedule(
+    pairs: &[(usize, usize)],
+    requests: usize,
+    seed: u64,
+) -> Vec<(usize, usize, u64)> {
+    let mut rng = StdRng::seed_from_u64(seed ^ OPEN_LOOP_SALT);
+    let mut schedule = Vec::with_capacity(requests * pairs.len());
+    let mut at = 0u64;
+    for i in 0..requests * pairs.len() {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        at += (-(1.0 - u).ln() * MEAN_GAP_CYCLES) as u64;
+        let (t, s) = pairs[i % pairs.len()];
+        schedule.push((t, s, at));
+    }
+    schedule
+}
+
+/// One factory per (local tenant, service) on the shard, keyed by the
+/// tenant's **global** id so the payload stream is placement-invariant.
+pub fn factories(shard: &Shard, seed: u64) -> Vec<Vec<RequestFactory>> {
+    shard
+        .server
+        .tenants()
+        .iter()
+        .enumerate()
+        .map(|(l, state)| {
+            state
+                .spec
+                .services
+                .iter()
+                .map(|&k| RequestFactory::new(k, shard.globals[l], seed))
+                .collect()
+        })
+        .collect()
+}
+
+/// Serves every provisioning request (db schema + pre-loads; at least one
+/// request per service to warm the paths), drains, and resets the
+/// measurement window so the measured runs see only steady-state work.
+pub fn warmup(shard: &mut Shard, factories: &mut [Vec<RequestFactory>]) {
+    let server = &mut shard.server;
+    for (t, tenant_factories) in factories.iter_mut().enumerate() {
+        if server.tenants()[t].shed {
+            continue;
+        }
+        for (s, factory) in tenant_factories.iter_mut().enumerate() {
+            for _ in 0..factory.setup_requests().max(1) {
+                let payload = factory.next_request();
+                assert!(
+                    server.submit(t, s, server.now(), payload).is_accepted(),
+                    "warmup request rejected (queue bound too small for setup?)"
+                );
+                // Serve as we go so setup never trips the queue bound.
+                server.step().expect("warmup step");
+            }
+        }
+    }
+    server.drain().expect("warmup drain");
+    server.reset_measurement();
+}
+
+/// Offered-load run over a pre-routed arrival schedule (`(local tenant,
+/// service, at)`): arrivals are submitted on time regardless of
+/// completions; full queues reject (backpressure). Returns accepted.
+pub fn open_loop(
+    shard: &mut Shard,
+    factories: &mut [Vec<RequestFactory>],
+    schedule: &[(usize, usize, u64)],
+) -> u64 {
+    let server = &mut shard.server;
+    let mut accepted = 0u64;
+    let mut i = 0;
+    while i < schedule.len() || server.pending() > 0 {
+        // Submit everything that has arrived by the serving clock; when
+        // the server is idle, jump to the next arrival.
+        while i < schedule.len() && (schedule[i].2 <= server.now() || server.pending() == 0) {
+            let (t, s, at) = schedule[i];
+            i += 1;
+            let payload = factories[t][s].next_request();
+            if server.submit(t, s, at, payload).is_accepted() {
+                accepted += 1;
+            }
+        }
+        if server.pending() > 0 {
+            server.step().expect("open-loop step");
+        }
+    }
+    accepted
+}
+
+/// Think-time-free closed loop: one client per (tenant, service); each
+/// submits its next request at the completion time of its previous one,
+/// `requests` times. Returns accepted.
+pub fn closed_loop(
+    shard: &mut Shard,
+    factories: &mut [Vec<RequestFactory>],
+    requests: usize,
+) -> u64 {
+    let server = &mut shard.server;
+    let mut remaining: Vec<Vec<usize>> = factories
+        .iter()
+        .enumerate()
+        .map(|(t, fs)| {
+            let n = if server.tenants()[t].shed {
+                0
+            } else {
+                requests
+            };
+            vec![n; fs.len()]
+        })
+        .collect();
+    let mut accepted = 0u64;
+    for t in 0..factories.len() {
+        for s in 0..factories[t].len() {
+            if remaining[t][s] > 0 {
+                remaining[t][s] -= 1;
+                let payload = factories[t][s].next_request();
+                if server.submit(t, s, 0, payload).is_accepted() {
+                    accepted += 1;
+                } else {
+                    // Shed (e.g. a tripped breaker under chaos): this
+                    // client stops; reply-or-shed still holds.
+                    remaining[t][s] = 0;
+                }
+            }
+        }
+    }
+    // A `None` step under chaos means a request was shed, not that the
+    // queues are dry — keep stepping until pending work is gone.
+    while server.pending() > 0 {
+        let Some(c) = server.step().expect("closed-loop step") else {
+            continue;
+        };
+        if remaining[c.tenant][c.service] > 0 {
+            remaining[c.tenant][c.service] -= 1;
+            let payload = factories[c.tenant][c.service].next_request();
+            if server
+                .submit(c.tenant, c.service, c.end, payload)
+                .is_accepted()
+            {
+                accepted += 1;
+            } else {
+                remaining[c.tenant][c.service] = 0;
+            }
+        }
+    }
+    accepted
+}

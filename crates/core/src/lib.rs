@@ -1,4 +1,4 @@
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 //! # ne-core — Nested Enclave (ISCA 2020) on the `ne-sgx` simulator
 //!

@@ -284,8 +284,12 @@ impl HostServer {
                 )],
             )?;
             let gate_name = spec.gate_name();
+            // Seed per-service state by the spec's pinned identity when it
+            // has one (the sharded cluster pins the global tenant id), by
+            // list position otherwise — the historic unsharded behavior.
+            let seed_index = spec.seed_index.unwrap_or(i);
             for &kind in &spec.services {
-                install_service(&mut app, &spec.name, &gate_name, i, kind, cfg.seed)?;
+                install_service(&mut app, &spec.name, &gate_name, seed_index, kind, cfg.seed)?;
             }
             loaded[i] = true;
         }
@@ -657,11 +661,13 @@ impl HostServer {
         let spec = self.tenants[tenant].spec.clone();
         let name = service_enclave_name(&spec.name, kind);
         let old = self.app.unload(&name)?;
+        // Same seeding identity as the original install, so a respawned
+        // service regenerates exactly the state that was lost.
         install_service(
             &mut self.app,
             &spec.name,
             &spec.gate_name(),
-            tenant,
+            spec.seed_index.unwrap_or(tenant),
             kind,
             self.seed,
         )?;
@@ -833,6 +839,19 @@ impl HostServer {
         }
     }
 }
+
+// The sharded cluster runs one `HostServer` (and its `Machine`) per OS
+// thread. This compile-time assertion is the Send audit's lock-in: if a
+// future change adds `Rc`, a non-`Send` trait object, or thread-bound
+// interior mutability anywhere inside the server, the crate stops
+// compiling here instead of failing at the `thread::scope` call site.
+const _: fn() = || {
+    fn assert_send<T: Send>() {}
+    assert_send::<HostServer>();
+    assert_send::<HostConfig>();
+    assert_send::<ne_sgx::machine::Machine>();
+    assert_send::<NestedApp>();
+};
 
 #[cfg(test)]
 mod tests {

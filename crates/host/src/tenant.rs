@@ -22,6 +22,14 @@ pub struct TenantSpec {
     /// Bound on the tenant's request queue; submissions beyond it are
     /// rejected (backpressure) rather than buffered without limit.
     pub queue_capacity: usize,
+    /// Identity used to seed the tenant's per-service state (models,
+    /// datasets, keys, request streams). `None` — the default — means
+    /// "my position in the server's tenant list", which is the historic
+    /// behavior. The sharded cluster sets it to the tenant's **global**
+    /// id so a tenant's streams are identical no matter which shard (and
+    /// local slot) it lands on — the property the shard-count-invariance
+    /// oracle checks.
+    pub seed_index: Option<usize>,
 }
 
 impl TenantSpec {
@@ -32,12 +40,19 @@ impl TenantSpec {
             priority,
             services,
             queue_capacity: 32,
+            seed_index: None,
         }
     }
 
     /// Overrides the queue bound.
     pub fn queue_capacity(mut self, capacity: usize) -> TenantSpec {
         self.queue_capacity = capacity;
+        self
+    }
+
+    /// Pins the tenant's seeding identity (see [`TenantSpec::seed_index`]).
+    pub fn seed_index(mut self, index: usize) -> TenantSpec {
+        self.seed_index = Some(index);
         self
     }
 

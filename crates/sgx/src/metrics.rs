@@ -445,6 +445,146 @@ impl MachineMetrics {
         Ok(())
     }
 
+    /// Namespaces this snapshot's core and enclave ids into shard
+    /// `shard`'s id range, so snapshots captured from **independent
+    /// machines** can be folded with [`MachineMetrics::absorb`] without
+    /// id collisions: core ids gain `shard << SHARD_CORE_BITS`, enclave
+    /// ids (including `outer_eids`) gain `shard << SHARD_EID_BITS`. The
+    /// untrusted bucket (`eid == None`) is shared by design and stays
+    /// `None`. Rebasing into shard 0 is a strict no-op, which is what
+    /// makes a single-shard merged report byte-identical to the plain
+    /// captured snapshot.
+    pub fn rebase_shard(&mut self, shard: usize) {
+        let core_base = shard << SHARD_CORE_BITS;
+        let eid_base = (shard as u64) << SHARD_EID_BITS;
+        for c in &mut self.cores {
+            c.core += core_base;
+        }
+        for e in &mut self.enclaves {
+            if let Some(id) = &mut e.eid {
+                *id += eid_base;
+            }
+            for o in &mut e.outer_eids {
+                *o += eid_base;
+            }
+        }
+    }
+
+    /// Folds `other` into `self` component-wise: counters and cycle
+    /// totals sum, per-core and per-enclave rows with the same id merge
+    /// (rows are kept sorted — untrusted bucket first, then ascending
+    /// id), and latency histograms merge bucket-wise. The operation is
+    /// **commutative and associative** (see the `shard_merge` tests), so
+    /// folding per-shard snapshots in any fixed order yields the same
+    /// merged report; every identity [`MachineMetrics::check`] verifies
+    /// is a sum over these components and therefore survives the fold.
+    ///
+    /// Snapshots from different shards must be namespaced first with
+    /// [`MachineMetrics::rebase_shard`] — otherwise shard-local enclave
+    /// ids collide and unrelated enclaves merge into one row.
+    ///
+    /// # Errors
+    ///
+    /// The snapshots must describe identically configured machines:
+    /// same validator, cost profile, and clock. A same-id enclave row
+    /// whose outer chain disagrees is also an error (it means the
+    /// caller skipped rebasing).
+    pub fn absorb(&mut self, other: &MachineMetrics) -> Result<(), String> {
+        if self.validator != other.validator {
+            return Err(format!(
+                "cannot merge snapshots of different validators: {} vs {}",
+                self.validator, other.validator
+            ));
+        }
+        if self.cost_profile != other.cost_profile {
+            return Err(format!(
+                "cannot merge snapshots of different cost profiles: {} vs {}",
+                self.cost_profile, other.cost_profile
+            ));
+        }
+        if self.clock_ghz != other.clock_ghz {
+            return Err(format!(
+                "cannot merge snapshots of different clocks: {} vs {} GHz",
+                self.clock_ghz, other.clock_ghz
+            ));
+        }
+        self.total_cycles += other.total_cycles;
+        self.cores_in_enclave_mode += other.cores_in_enclave_mode;
+        self.stats.merge(&other.stats);
+        self.profile = merged_profiles(&self.profile, &other.profile);
+
+        let mut cores: Vec<CoreMetrics> = Vec::with_capacity(self.cores.len() + other.cores.len());
+        cores.append(&mut self.cores);
+        cores.extend(other.cores.iter().cloned());
+        cores.sort_by_key(|c| c.core);
+        for c in cores {
+            match self.cores.last_mut() {
+                Some(prev) if prev.core == c.core => {
+                    prev.cycles += c.cycles;
+                    prev.breakdown.merge(&c.breakdown);
+                }
+                _ => self.cores.push(c),
+            }
+        }
+
+        let mut enclaves: Vec<EnclaveMetrics> =
+            Vec::with_capacity(self.enclaves.len() + other.enclaves.len());
+        enclaves.append(&mut self.enclaves);
+        enclaves.extend(other.enclaves.iter().cloned());
+        enclaves.sort_by_key(|e| e.eid.map_or((0, 0), |id| (1, id)));
+        for e in enclaves {
+            match self.enclaves.last_mut() {
+                Some(prev) if prev.eid == e.eid => {
+                    if prev.eid.is_some() && prev.outer_eids != e.outer_eids {
+                        return Err(format!(
+                            "enclave {:?} merged with conflicting outer chains \
+                             {:?} vs {:?} (rebase_shard skipped?)",
+                            e.eid, prev.outer_eids, e.outer_eids
+                        ));
+                    }
+                    prev.breakdown.merge(&e.breakdown);
+                }
+                _ => self.enclaves.push(e),
+            }
+        }
+
+        self.mee_lines_decrypted += other.mee_lines_decrypted;
+        self.mee_lines_encrypted += other.mee_lines_encrypted;
+        self.llc_hits += other.llc_hits;
+        self.llc_misses += other.llc_misses;
+        self.tlb_flushes += other.tlb_flushes;
+        self.trace_recorded += other.trace_recorded;
+        self.trace_dropped += other.trace_dropped;
+        self.trace_retained += other.trace_retained;
+        self.free_epc_pages += other.free_epc_pages;
+        self.resident_pages += other.resident_pages;
+        Ok(())
+    }
+
+    /// Merges per-shard snapshots into one report: each snapshot is
+    /// namespaced into its slice index's id range
+    /// ([`MachineMetrics::rebase_shard`]) and folded in shard order with
+    /// [`MachineMetrics::absorb`]. For a single shard this returns the
+    /// snapshot unchanged (rebasing into shard 0 is a no-op), so a
+    /// one-shard cluster exports byte-identical metrics to the unsharded
+    /// path.
+    ///
+    /// # Errors
+    ///
+    /// An empty slice, or any [`MachineMetrics::absorb`] failure.
+    pub fn merge_shards(shards: &[MachineMetrics]) -> Result<MachineMetrics, String> {
+        let Some(first) = shards.first() else {
+            return Err("merge_shards: no shard snapshots to merge".to_string());
+        };
+        let mut merged = first.clone();
+        for (shard, snap) in shards.iter().enumerate().skip(1) {
+            let mut rebased = snap.clone();
+            rebased.rebase_shard(shard);
+            merged.absorb(&rebased)?;
+        }
+        Ok(merged)
+    }
+
     /// Renders the snapshot as pretty-printed JSON with a fixed key order
     /// (schema [`METRICS_SCHEMA`]).
     pub fn to_json(&self) -> String {
@@ -588,6 +728,45 @@ impl MachineMetrics {
         }
         out
     }
+}
+
+/// Bit position where [`MachineMetrics::rebase_shard`] places the shard
+/// index inside a core id. 16 bits leave room for 65 535 cores per shard —
+/// far beyond any modelled machine.
+pub const SHARD_CORE_BITS: u32 = 16;
+
+/// Bit position where [`MachineMetrics::rebase_shard`] places the shard
+/// index inside an enclave id. Per-machine eids are small sequential
+/// integers, so the low 32 bits never collide with the shard tag.
+pub const SHARD_EID_BITS: u32 = 32;
+
+/// Bucket-wise merge of two profile entry lists, preserving the canonical
+/// (event, level) export order and dropping empty histograms — the same
+/// shape [`MachineMetrics::capture`] produces.
+fn merged_profiles(a: &[ProfileEntry], b: &[ProfileEntry]) -> Vec<ProfileEntry> {
+    let mut out = Vec::with_capacity(a.len().max(b.len()));
+    for event in ProfileEvent::ALL {
+        for level in HierLevel::ALL {
+            let find = |entries: &[ProfileEntry]| {
+                entries
+                    .iter()
+                    .find(|e| e.event == event && e.level == level)
+                    .map(|e| e.hist.clone())
+            };
+            let hist = match (find(a), find(b)) {
+                (Some(mut h), Some(other)) => {
+                    h.merge(&other);
+                    Some(h)
+                }
+                (Some(h), None) | (None, Some(h)) => Some(h),
+                (None, None) => None,
+            };
+            if let Some(hist) = hist.filter(|h| !h.is_empty()) {
+                out.push(ProfileEntry { event, level, hist });
+            }
+        }
+    }
+    out
 }
 
 /// Stats counters in export order — the single source shared by the JSON
@@ -780,6 +959,86 @@ mod tests {
         snap.stats.tlb_misses += 1;
         let err = snap.check().unwrap_err();
         assert!(err.contains("tlb_miss"), "unexpected error: {err}");
+    }
+
+    /// A small snapshot with real work on it, for the merge tests.
+    fn busy_snapshot(work: u64) -> MachineMetrics {
+        let mut m = Machine::new(HwConfig::small());
+        let va = m.os_alloc_untrusted(ProcessId(0), 2);
+        m.write(0, va, b"cross a cache line boundary here").unwrap();
+        m.read(0, va, 17).unwrap();
+        m.charge(1, work);
+        m.metrics()
+    }
+
+    #[test]
+    fn rebase_into_shard_zero_is_a_no_op() {
+        let snap = busy_snapshot(100);
+        let mut rebased = snap.clone();
+        rebased.rebase_shard(0);
+        assert_eq!(snap, rebased);
+        assert_eq!(snap.to_json(), rebased.to_json());
+    }
+
+    #[test]
+    fn rebase_namespaces_cores_and_eids() {
+        let mut snap = busy_snapshot(100);
+        snap.enclaves.push(EnclaveMetrics {
+            eid: Some(3),
+            outer_eids: vec![1],
+            breakdown: CycleBreakdown::default(),
+        });
+        snap.rebase_shard(2);
+        assert_eq!(snap.cores[0].core, 2 << SHARD_CORE_BITS);
+        assert_eq!(snap.enclaves[0].eid, None, "untrusted bucket is shared");
+        let e = snap.enclaves.last().unwrap();
+        assert_eq!(e.eid, Some(3 + (2u64 << SHARD_EID_BITS)));
+        assert_eq!(e.outer_eids, vec![1 + (2u64 << SHARD_EID_BITS)]);
+    }
+
+    #[test]
+    fn merge_shards_sums_components_and_checks_clean() {
+        let a = busy_snapshot(100);
+        let b = busy_snapshot(999);
+        let merged = MachineMetrics::merge_shards(&[a.clone(), b.clone()]).unwrap();
+        merged.check().unwrap();
+        assert_eq!(merged.total_cycles, a.total_cycles + b.total_cycles);
+        assert_eq!(
+            merged.stats.tlb_misses,
+            a.stats.tlb_misses + b.stats.tlb_misses
+        );
+        assert_eq!(merged.cores.len(), a.cores.len() + b.cores.len());
+        // One shared untrusted bucket, not two.
+        assert_eq!(merged.enclaves.len(), 1);
+        assert_eq!(merged.enclaves[0].eid, None);
+        assert_eq!(
+            merged.enclaves[0].breakdown.total(),
+            a.total_cycles + b.total_cycles
+        );
+        // Core rows stay sorted after the fold.
+        assert!(merged.cores.windows(2).all(|w| w[0].core < w[1].core));
+    }
+
+    #[test]
+    fn merge_of_one_shard_is_identity() {
+        let snap = busy_snapshot(123);
+        let merged = MachineMetrics::merge_shards(std::slice::from_ref(&snap)).unwrap();
+        assert_eq!(snap, merged);
+        assert_eq!(snap.to_json(), merged.to_json());
+    }
+
+    #[test]
+    fn merge_rejects_mismatched_machines() {
+        assert!(MachineMetrics::merge_shards(&[]).is_err());
+        let a = busy_snapshot(10);
+        let mut b = busy_snapshot(10);
+        b.validator = "nested".to_string();
+        let err = MachineMetrics::merge_shards(&[a.clone(), b]).unwrap_err();
+        assert!(err.contains("validator"), "unexpected error: {err}");
+        let mut c = busy_snapshot(10);
+        c.clock_ghz += 1.0;
+        let err = MachineMetrics::merge_shards(&[a, c]).unwrap_err();
+        assert!(err.contains("clock"), "unexpected error: {err}");
     }
 
     #[test]

@@ -62,6 +62,28 @@ impl Stats {
     pub fn total_transitions(&self) -> u64 {
         self.ecalls + self.ocalls + self.n_ecalls + self.n_ocalls + self.aexes + self.eresumes
     }
+
+    /// Accumulates another counter set into this one (field-wise sums;
+    /// associative and commutative). Used when folding per-shard machine
+    /// snapshots into one merged report — every counter is a plain event
+    /// count, so addition preserves all the identities
+    /// [`crate::metrics::MachineMetrics::check`] verifies.
+    pub fn merge(&mut self, other: &Stats) {
+        self.ecalls += other.ecalls;
+        self.ocalls += other.ocalls;
+        self.n_ecalls += other.n_ecalls;
+        self.n_ocalls += other.n_ocalls;
+        self.aexes += other.aexes;
+        self.eresumes += other.eresumes;
+        self.switchless_ocalls += other.switchless_ocalls;
+        self.tlb_misses += other.tlb_misses;
+        self.faults += other.faults;
+        self.ewb_pages += other.ewb_pages;
+        self.eldu_pages += other.eldu_pages;
+        self.ipis += other.ipis;
+        self.span_opens += other.span_opens;
+        self.span_closes += other.span_closes;
+    }
 }
 
 /// What kind of call boundary a span covers.

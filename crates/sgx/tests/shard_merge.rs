@@ -1,0 +1,132 @@
+//! Property tests for the per-shard metrics merge.
+//!
+//! The sharded cluster captures one [`MachineMetrics`] snapshot per
+//! shard, namespaces each with `rebase_shard`, and folds them with
+//! `absorb`. These tests pin down the algebra that makes the merged
+//! report trustworthy:
+//!
+//! - folding the (rebased) snapshots in **any** fixed order produces the
+//!   same merged report — `absorb` is commutative and associative over
+//!   namespaced snapshots;
+//! - the merged report always passes the §5 attribution identity checker
+//!   ([`MachineMetrics::check`]), because every identity is a sum over
+//!   the components the fold adds;
+//! - `merge_shards` (the canonical shard-order fold) agrees with every
+//!   permuted fold.
+
+use ne_sgx::config::HwConfig;
+use ne_sgx::enclave::ProcessId;
+use ne_sgx::machine::Machine;
+use ne_sgx::metrics::MachineMetrics;
+use proptest::prelude::*;
+
+/// A deterministic per-shard workload: a few pages of untrusted traffic
+/// (TLB walks, MEE crypto, LLC churn) plus app compute on a second core.
+fn shard_snapshot(work: u64, pages: usize) -> MachineMetrics {
+    let mut m = Machine::new(HwConfig::small());
+    let va = m.os_alloc_untrusted(ProcessId(0), pages);
+    for p in 0..pages {
+        let addr = ne_sgx::addr::VirtAddr(va.0 + (p as u64) * 4096);
+        m.write(0, addr, b"shard workload page traffic").unwrap();
+        m.read(0, addr, 27).unwrap();
+    }
+    m.charge(1, work);
+    let snap = m.metrics();
+    snap.check().expect("workload snapshot is self-consistent");
+    snap
+}
+
+/// Folds the snapshots in the order given by `order`.
+fn fold_in_order(snaps: &[MachineMetrics], order: &[usize]) -> MachineMetrics {
+    let mut merged = snaps[order[0]].clone();
+    for &i in &order[1..] {
+        merged
+            .absorb(&snaps[i])
+            .expect("absorb namespaced snapshot");
+    }
+    merged
+}
+
+/// All permutations of `0..n` (Heap's algorithm; `n` stays tiny here).
+fn permutations(n: usize) -> Vec<Vec<usize>> {
+    fn go(k: usize, a: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        if k <= 1 {
+            out.push(a.clone());
+            return;
+        }
+        for i in 0..k {
+            go(k - 1, a, out);
+            if k.is_multiple_of(2) {
+                a.swap(i, k - 1);
+            } else {
+                a.swap(0, k - 1);
+            }
+        }
+    }
+    let mut a: Vec<usize> = (0..n).collect();
+    let mut out = Vec::new();
+    go(n, &mut a, &mut out);
+    out
+}
+
+proptest! {
+    #[test]
+    fn any_fold_order_yields_the_same_checked_report(
+        works in proptest::collection::vec(1u64..50_000, 2..5),
+    ) {
+        // Distinct workloads per shard, namespaced like the cluster does.
+        let raw: Vec<MachineMetrics> = works
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| shard_snapshot(w + i as u64, 1 + i % 3))
+            .collect();
+        let rebased: Vec<MachineMetrics> = raw
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let mut s = s.clone();
+                s.rebase_shard(i);
+                s
+            })
+            .collect();
+
+        // The canonical merge (shard-index order, rebasing internally).
+        let canonical = MachineMetrics::merge_shards(&raw).expect("merge");
+        canonical.check().expect("merged report passes the identity checker");
+        prop_assert_eq!(
+            canonical.total_cycles,
+            raw.iter().map(|s| s.total_cycles).sum::<u64>()
+        );
+
+        // Every permutation of the fold produces the identical report.
+        for order in permutations(rebased.len()) {
+            let folded = fold_in_order(&rebased, &order);
+            prop_assert_eq!(&folded, &canonical, "fold order {:?} diverged", order);
+            folded.check().expect("permuted fold passes the identity checker");
+        }
+    }
+
+    #[test]
+    fn absorb_is_associative(
+        wa in 1u64..10_000,
+        wb in 1u64..10_000,
+        wc in 1u64..10_000,
+    ) {
+        let mk = |i: usize, w: u64| {
+            let mut s = shard_snapshot(w, 1 + i);
+            s.rebase_shard(i);
+            s
+        };
+        let (a, b, c) = (mk(0, wa), mk(1, wb), mk(2, wc));
+        // (a ⊕ b) ⊕ c
+        let mut left = a.clone();
+        left.absorb(&b).unwrap();
+        left.absorb(&c).unwrap();
+        // a ⊕ (b ⊕ c)
+        let mut bc = b.clone();
+        bc.absorb(&c).unwrap();
+        let mut right = a.clone();
+        right.absorb(&bc).unwrap();
+        prop_assert_eq!(left, right);
+    }
+}
