@@ -43,13 +43,22 @@
 //! same flags, byte-identical exports. The run then asserts
 //! reply-or-shed (`completed + shed == accepted`) and the metrics
 //! identities instead of zero-loss.
+//!
+//! `--timeline-out <path>` writes the `ne-obs/v1` windowed timeline of
+//! the last run (per-window counter deltas, latency histograms, SLO
+//! burn-rate states, chaos injections joined with recovery events, and
+//! correlated incident reports — all on simulated cycles, so the bytes
+//! are seed-deterministic); `--window <cycles>` sets the window length
+//! (default 2,000,000) and `--dash` replays the timeline as a text
+//! dashboard after the run summary.
 
 use ne_bench::report::{
-    banner, f2, flag_str, flag_u64, tenants_out_path, throughput_rps, want_trace,
-    write_shard_traces, MetricsReport, Table,
+    banner, f2, flag_str, flag_u64, tenants_out_path, throughput_rps, timeline_out_path,
+    want_trace, write_shard_traces, MetricsReport, Table,
 };
 use ne_cluster::{drive, Cluster, ClusterConfig, ClusterReport};
 use ne_host::{RequestFactory, ServiceKind};
+use ne_obs::{SamplerConfig, Timeline};
 
 #[derive(Clone)]
 struct Plan {
@@ -125,7 +134,12 @@ fn run(
     plan: &Plan,
     report: &mut MetricsReport,
     trace: bool,
-) -> (String, Option<Vec<ne_sgx::spantree::TraceBundle>>) {
+    obs: Option<SamplerConfig>,
+) -> (
+    String,
+    Option<Vec<ne_sgx::spantree::TraceBundle>>,
+    Option<Timeline>,
+) {
     let mut cluster = build(plan, trace);
     // Chaos plans are seeded from --seed (salted) at shard 0, exactly the
     // historic harness; higher shards get independent derived streams.
@@ -133,12 +147,25 @@ fn run(
         .chaos
         .as_deref()
         .map(|spec| (spec, plan.seed ^ 0xC4A0_5EED));
-    let accepted = match label {
-        "open-loop" => cluster.run_open_loop(plan.requests, chaos),
-        "closed-loop" => cluster.run_closed_loop(plan.requests, chaos),
-        other => unreachable!("unknown run label {other}"),
-    }
-    .unwrap_or_else(|e| panic!("--chaos: {e}"));
+    // The sampler only reads the servers, so the observed variants are
+    // byte-identical to the plain runs in every pre-existing export.
+    let (accepted, timeline) = match (label, obs) {
+        ("open-loop", None) => (cluster.run_open_loop(plan.requests, chaos), None),
+        ("closed-loop", None) => (cluster.run_closed_loop(plan.requests, chaos), None),
+        ("open-loop", Some(cfg)) => match cluster.run_open_loop_observed(plan.requests, chaos, cfg)
+        {
+            Ok((a, t)) => (Ok(a), Some(t)),
+            Err(e) => (Err(e), None),
+        },
+        ("closed-loop", Some(cfg)) => {
+            match cluster.run_closed_loop_observed(plan.requests, chaos, cfg) {
+                Ok((a, t)) => (Ok(a), Some(t)),
+                Err(e) => (Err(e), None),
+            }
+        }
+        (other, _) => unreachable!("unknown run label {other}"),
+    };
+    let accepted = accepted.unwrap_or_else(|e| panic!("--chaos: {e}"));
     let hr = cluster.report();
     assert_eq!(
         hr.sched.invariant_violations, 0,
@@ -201,7 +228,7 @@ fn run(
     );
     report.push_run(label, m);
     let export = cluster.tenants_export();
-    (export, trace.then(|| cluster.trace_bundles()))
+    (export, trace.then(|| cluster.trace_bundles()), timeline)
 }
 
 fn main() {
@@ -245,19 +272,36 @@ fn main() {
             .map(|c| format!(", chaos {c}"))
             .unwrap_or_default()
     ));
+    let dash = std::env::args().any(|a| a == "--dash");
+    // The observability plane rides along only when asked for — the
+    // plain runs stay exactly the historic code path.
+    let obs = (dash || timeline_out_path().is_some()).then(|| SamplerConfig {
+        window_cycles: flag_u64("--window").unwrap_or(2_000_000).max(1),
+        ..SamplerConfig::default()
+    });
     let mut report = MetricsReport::new("ne-load");
     let mut bundles = None;
     let mut export = None;
+    let mut timeline = None;
+    let mut timeline_label = "";
     if open {
-        let (e, _) = run("open-loop", &plan, &mut report, false);
+        let (e, _, t) = run("open-loop", &plan, &mut report, false, obs);
         export = Some(e);
+        if t.is_some() {
+            timeline = t;
+            timeline_label = "open-loop";
+        }
     }
     if closed {
         // The traced run: the closed loop has the cleanest span structure
         // (no overlapping idle-advance from future arrivals).
-        let (e, b) = run("closed-loop", &plan, &mut report, want_trace());
+        let (e, b, t) = run("closed-loop", &plan, &mut report, want_trace(), obs);
         export = Some(e);
         bundles = b;
+        if t.is_some() {
+            timeline = t;
+            timeline_label = "closed-loop";
+        }
     }
     if want_trace() {
         write_shard_traces(bundles.as_deref().unwrap_or(&[]));
@@ -267,6 +311,20 @@ fn main() {
         std::fs::write(&path, &payload)
             .unwrap_or_else(|e| panic!("cannot write tenants export to {}: {e}", path.display()));
         println!("\ntenants export: wrote {}", path.display());
+    }
+    // Like --tenants-out, the timeline describes the *last* run.
+    if let Some(t) = &timeline {
+        let label = format!("ne-load-{timeline_label}");
+        if dash {
+            println!();
+            print!("{}", ne_obs::dash::render(t, &label));
+        }
+        if let Some(path) = timeline_out_path() {
+            std::fs::write(&path, ne_obs::to_jsonl(t, &label)).unwrap_or_else(|e| {
+                panic!("cannot write timeline export to {}: {e}", path.display())
+            });
+            println!("\ntimeline export: wrote {}", path.display());
+        }
     }
     report.finish();
 }

@@ -2,7 +2,8 @@
 //! metrics JSON, or runs a small traced demo workload.
 //!
 //! ```text
-//! ne-profile report <metrics.json>   # ne-metrics/v2 or ne-metrics-report/v2
+//! ne-profile report <metrics.json>     # ne-metrics/v2 or ne-metrics-report/v2
+//! ne-profile timeline <timeline.jsonl> # ne-obs/v1
 //! ne-profile demo [--metrics-out p] [--bench-out p] [--profile-out p] [--trace-out p]
 //! ```
 //!
@@ -10,10 +11,13 @@
 //! [`ne-metrics-report/v2`] multi-run report (the `--metrics-out`
 //! payloads of every experiment binary) and prints one
 //! count/mean/p50/p90/p99/max table per run from the embedded `profile`
-//! summaries. `demo` runs a short nested TLS echo with event tracing on
-//! and honors the same four export flags as the experiment binaries, so
-//! a full profile + Perfetto trace + bench baseline can be produced in
-//! one command without picking an experiment first.
+//! summaries. `timeline` pretty-prints an `ne-obs/v1` JSONL timeline
+//! (from `ne-load --timeline-out` / `ne-wallclock --timeline-out`): a
+//! per-window table, the per-tenant SLO state transitions, and the
+//! correlated incidents. `demo` runs a short nested TLS echo with event
+//! tracing on and honors the same four export flags as the experiment
+//! binaries, so a full profile + Perfetto trace + bench baseline can be
+//! produced in one command without picking an experiment first.
 //!
 //! [`ne-metrics/v2`]: ne_sgx::metrics::METRICS_SCHEMA
 //! [`ne-metrics-report/v2`]: ne_bench::report::REPORT_SCHEMA
@@ -27,6 +31,7 @@ use ne_tls::echo::{run_echo, EchoConfig};
 use std::process::ExitCode;
 
 const USAGE: &str = "usage: ne-profile report <metrics.json>\n\
+                     \x20      ne-profile timeline <timeline.jsonl>\n\
                      \x20      ne-profile demo [--metrics-out <p>] [--bench-out <p>] \
                      [--profile-out <p>] [--trace-out <p>]";
 
@@ -39,6 +44,19 @@ fn main() -> ExitCode {
                 return ExitCode::from(2);
             };
             match report(path) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("{path}: {e}");
+                    ExitCode::from(2)
+                }
+            }
+        }
+        Some("timeline") => {
+            let Some(path) = args.get(1) else {
+                eprintln!("timeline needs an ne-obs/v1 JSONL path\n{USAGE}");
+                return ExitCode::from(2);
+            };
+            match timeline(path) {
                 Ok(()) => ExitCode::SUCCESS,
                 Err(e) => {
                     eprintln!("{path}: {e}");
@@ -133,6 +151,186 @@ fn print_profile(label: &str, metrics: &Value) -> Result<(), String> {
     }
     t.print();
     println!();
+    Ok(())
+}
+
+/// Pretty-prints an `ne-obs/v1` JSONL timeline: per-window table, SLO
+/// state transitions, incidents, and the reconciliation totals.
+fn timeline(path: &str) -> Result<(), String> {
+    let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read: {e}"))?;
+    let mut lines = src.lines().enumerate();
+    let (_, meta_line) = lines.next().ok_or("empty timeline file")?;
+    let meta = json::parse(meta_line)?;
+    let schema = meta
+        .get("schema")
+        .and_then(Value::as_str)
+        .ok_or("first line has no \"schema\" field")?;
+    if schema != ne_obs::OBS_SCHEMA {
+        return Err(format!(
+            "unsupported schema \"{schema}\" (expected \"{}\")",
+            ne_obs::OBS_SCHEMA
+        ));
+    }
+    let mu = |k: &str| meta.get(k).and_then(Value::as_u64).unwrap_or(0);
+    println!(
+        "timeline: {} — {} window(s) of {} cycles, {} shard(s), {} tenant(s)",
+        meta.get("label").and_then(Value::as_str).unwrap_or("?"),
+        mu("windows"),
+        mu("window_cycles"),
+        mu("shards"),
+        mu("tenants"),
+    );
+    if let Some(slo) = meta.get("slo") {
+        let su = |k: &str| slo.get(k).and_then(Value::as_u64).unwrap_or(0);
+        println!(
+            "slo: latency target {} cycles, availability {} permille, \
+             warn/page burn {}/{} over {} long window(s)\n",
+            su("latency_target"),
+            su("availability_permille"),
+            su("warn_burn"),
+            su("page_burn"),
+            su("long_windows"),
+        );
+    }
+
+    let mut windows = Table::new(&[
+        "window", "cycles", "done", "shed", "p50", "p99", "viol", "inj", "rec", "slo",
+    ]);
+    let mut transitions: Vec<String> = Vec::new();
+    let mut incidents: Vec<String> = Vec::new();
+    let mut total: Option<String> = None;
+    // tenant id -> last seen SLO state, for the transition log.
+    let mut last_state: Vec<(u64, String)> = Vec::new();
+    for (i, line) in lines {
+        let doc = json::parse(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        let kind = doc
+            .get("kind")
+            .and_then(Value::as_str)
+            .ok_or(format!("line {}: no \"kind\"", i + 1))?;
+        match kind {
+            "window" | "base" => {
+                let wu = |k: &str| doc.get(k).and_then(Value::as_u64).unwrap_or(0);
+                let req = doc.get("request").ok_or("window without \"request\"")?;
+                let ru = |k: &str| req.get(k).and_then(Value::as_u64).unwrap_or(0);
+                let tenants = doc
+                    .get("tenants")
+                    .and_then(Value::as_array)
+                    .ok_or("window without \"tenants\"")?;
+                let index = wu("index");
+                let mut done = 0;
+                let mut shed = 0;
+                let mut viol = 0;
+                let mut states: Vec<String> = Vec::new();
+                for t in tenants {
+                    let tu = |k: &str| t.get(k).and_then(Value::as_u64).unwrap_or(0);
+                    done += tu("completed");
+                    shed += tu("shed");
+                    viol += tu("latency_violations");
+                    let id = tu("tenant");
+                    let state = t
+                        .get("slo")
+                        .and_then(Value::as_str)
+                        .unwrap_or("?")
+                        .to_string();
+                    if state != "ok" {
+                        states.push(format!("t{id}:{state}"));
+                    }
+                    match last_state.iter_mut().find(|(t, _)| *t == id) {
+                        Some((_, prev)) => {
+                            if *prev != state {
+                                transitions.push(format!(
+                                    "window {index}: tenant {id} {prev} -> {state} \
+                                     (burn {}/{})",
+                                    tu("burn_short"),
+                                    tu("burn_long")
+                                ));
+                                *prev = state;
+                            }
+                        }
+                        None => {
+                            if state != "ok" {
+                                transitions.push(format!(
+                                    "window {index}: tenant {id} ok -> {state} (burn {}/{})",
+                                    tu("burn_short"),
+                                    tu("burn_long")
+                                ));
+                            }
+                            last_state.push((id, state));
+                        }
+                    }
+                }
+                windows.row(&[
+                    if kind == "base" {
+                        format!("{index}*")
+                    } else {
+                        index.to_string()
+                    },
+                    wu("cycles").to_string(),
+                    done.to_string(),
+                    shed.to_string(),
+                    ru("p50").to_string(),
+                    ru("p99").to_string(),
+                    viol.to_string(),
+                    doc.get("injections")
+                        .and_then(Value::as_array)
+                        .map_or(0, |a| a.len())
+                        .to_string(),
+                    doc.get("recoveries")
+                        .and_then(Value::as_array)
+                        .map_or(0, |a| a.len())
+                        .to_string(),
+                    if states.is_empty() {
+                        "ok".to_string()
+                    } else {
+                        states.join(" ")
+                    },
+                ]);
+            }
+            "incident" => {
+                let iu = |k: &str| doc.get(k).and_then(Value::as_u64).unwrap_or(0);
+                incidents.push(format!(
+                    "tenant {} windows {}..{}: worst {}, {} impacted window(s)",
+                    iu("tenant"),
+                    iu("first_window"),
+                    iu("last_window"),
+                    doc.get("worst").and_then(Value::as_str).unwrap_or("?"),
+                    iu("impacted_windows"),
+                ));
+            }
+            "total" => {
+                let tu = |k: &str| doc.get(k).and_then(Value::as_u64).unwrap_or(0);
+                total = Some(format!(
+                    "totals: {} cycles, {} completed, {} shed (window deltas \
+                     reconcile to these exactly)",
+                    tu("cycles"),
+                    tu("completed"),
+                    tu("shed"),
+                ));
+            }
+            // Checkpoints and tenant totals are the byte-diff plane, not
+            // for human eyes.
+            "checkpoint" | "tenant_total" => {}
+            other => return Err(format!("line {}: unknown kind \"{other}\"", i + 1)),
+        }
+    }
+    windows.print();
+    println!("\nSLO transitions:");
+    if transitions.is_empty() {
+        println!("  (none — every tenant stayed OK)");
+    }
+    for t in &transitions {
+        println!("  {t}");
+    }
+    println!("\nincidents:");
+    if incidents.is_empty() {
+        println!("  (none)");
+    }
+    for i in &incidents {
+        println!("  {i}");
+    }
+    if let Some(t) = total {
+        println!("\n{t}");
+    }
     Ok(())
 }
 

@@ -41,12 +41,21 @@
 //! `results/baselines/BENCH_wallclock.json` (or
 //! `BENCH_wallclock_shards.json` for `--shards` runs) with
 //! `ne-bench-compare --advisory` and a generous threshold.
+//!
+//! `--timeline-out <path>` runs the closed-loop scenario once more on
+//! each path with an `ne-obs` sampler attached and writes the
+//! `ne-obs/v1` windowed timeline — after hard-failing unless the
+//! optimized and reference timelines are byte-identical, extending the
+//! differential oracle to the observability plane.
 
 use std::time::Instant;
 
-use ne_bench::report::{banner, bench_out_path, f2, flag_str, flag_u64, Table, BENCH_SCHEMA};
+use ne_bench::report::{
+    banner, bench_out_path, f2, flag_str, flag_u64, timeline_out_path, Table, BENCH_SCHEMA,
+};
 use ne_cluster::{drive, Cluster, ClusterConfig};
 use ne_host::{HostConfig, HostServer, RequestFactory, ServiceKind, TenantSpec};
+use ne_obs::{Sampler, SamplerConfig};
 use ne_tls::echo::{run_echo, EchoConfig};
 
 const TENANTS: usize = 4;
@@ -107,6 +116,26 @@ fn measure(label: &'static str, repeat: usize, run: impl Fn(bool) -> (u64, Strin
 /// The `ne-load` closed-loop shape: every (tenant, service) client keeps
 /// exactly one request in flight until its quota is served.
 fn closed_loop(requests: usize, reference: bool) -> (u64, String) {
+    let (cycles, metrics, _) = closed_loop_inner(requests, reference, None);
+    (cycles, metrics)
+}
+
+/// The closed-loop scenario with an `ne-obs` sampler riding along; the
+/// sampler only reads, so the simulated run is byte-identical to the
+/// unobserved one. Returns the `ne-obs/v1` export.
+fn closed_loop_timeline(requests: usize, reference: bool) -> String {
+    let (_, _, timeline) = closed_loop_inner(requests, reference, Some(SamplerConfig::default()));
+    ne_obs::to_jsonl(
+        &timeline.expect("sampled run yields a timeline"),
+        "ne-wallclock-closed-loop",
+    )
+}
+
+fn closed_loop_inner(
+    requests: usize,
+    reference: bool,
+    obs: Option<SamplerConfig>,
+) -> (u64, String, Option<ne_obs::Timeline>) {
     let specs: Vec<TenantSpec> = (0..TENANTS)
         .map(|i| {
             TenantSpec::new(
@@ -142,6 +171,7 @@ fn closed_loop(requests: usize, reference: bool) -> (u64, String) {
     }
     server.drain().expect("warmup drain");
     server.reset_measurement();
+    let mut sampler = obs.map(|cfg| Sampler::new(&server, (0..TENANTS).collect(), cfg));
     let mut remaining = vec![vec![requests; ServiceKind::ALL.len()]; TENANTS];
     for (t, tenant_factories) in factories.iter_mut().enumerate() {
         for (s, factory) in tenant_factories.iter_mut().enumerate() {
@@ -151,7 +181,11 @@ fn closed_loop(requests: usize, reference: bool) -> (u64, String) {
         }
     }
     while server.pending() > 0 {
-        let Some(c) = server.step().expect("closed-loop step") else {
+        let stepped = server.step().expect("closed-loop step");
+        if let Some(sampler) = &mut sampler {
+            sampler.poll(&server);
+        }
+        let Some(c) = stepped else {
             continue;
         };
         if remaining[c.tenant][c.service] > 0 {
@@ -168,7 +202,11 @@ fn closed_loop(requests: usize, reference: bool) -> (u64, String) {
     }
     server.drain().expect("drain");
     let m = server.app.machine.metrics();
-    (m.total_cycles, m.to_json())
+    (
+        m.total_cycles,
+        m.to_json(),
+        sampler.map(|s| s.finish(&server)),
+    )
 }
 
 /// One cluster closed-loop run at `shards` shards: merged total cycles,
@@ -316,6 +354,26 @@ fn main() {
         println!(
             "\nbench baseline: wrote {} run(s) to {}",
             runs.len(),
+            path.display()
+        );
+    }
+    if let Some(path) = timeline_out_path() {
+        // One more closed-loop run per path, sampled: the timelines must
+        // be byte-identical — the differential oracle extended to the
+        // observability plane (window boundaries, SLO verdicts, event
+        // attribution all ride on architectural state only).
+        let opt = closed_loop_timeline(requests, false);
+        ne_crypto::set_reference_impl(true);
+        let reference = closed_loop_timeline(requests, true);
+        ne_crypto::set_reference_impl(false);
+        assert_eq!(
+            opt, reference,
+            "timeline export diverged between optimized and reference paths"
+        );
+        std::fs::write(&path, &opt)
+            .unwrap_or_else(|e| panic!("cannot write timeline export to {}: {e}", path.display()));
+        println!(
+            "timeline export: optimized and reference paths byte-identical; wrote {}",
             path.display()
         );
     }

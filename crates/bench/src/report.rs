@@ -440,6 +440,13 @@ pub fn tenants_out_path() -> Option<PathBuf> {
     flag_path("--tenants-out")
 }
 
+/// Parses `--timeline-out <path>` — destination for the `ne-obs/v1`
+/// windowed timeline export (CI's `timeline-smoke` job byte-diffs two
+/// same-seed chaos runs of it).
+pub fn timeline_out_path() -> Option<PathBuf> {
+    flag_path("--timeline-out")
+}
+
 /// Parses a string-valued flag (`--flag v` or `--flag=v`) from the
 /// process arguments.
 pub fn flag_str(flag: &str) -> Option<String> {

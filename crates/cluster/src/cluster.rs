@@ -13,6 +13,7 @@ use ne_host::scheduler::SchedulerStats;
 use ne_host::server::{HostConfig, HostServer, TenantReport};
 use ne_host::tenant::Completion;
 use ne_host::{HostResult, TenantSpec};
+use ne_obs::{Sampler, SamplerConfig, Timeline};
 use ne_sgx::fault::{ChaosStats, FaultPlan};
 use ne_sgx::metrics::MachineMetrics;
 use ne_sgx::profile::{Histogram, ProfileEvent};
@@ -313,6 +314,91 @@ impl Cluster {
             drive::open_loop(shard, &mut factories, &schedule)
         });
         Ok(accepted.iter().sum())
+    }
+
+    /// [`Cluster::run_closed_loop`] with the observability plane
+    /// attached: each shard carries an [`ne_obs::Sampler`] (created
+    /// after warmup and chaos install, so it sees exactly the measured
+    /// run), the per-shard timelines are namespaced with
+    /// [`Timeline::rebase_shard`] and folded into one cluster timeline.
+    /// The sampler only reads, so accepted counts, metrics, and every
+    /// existing export are byte-identical to the unobserved run.
+    ///
+    /// # Errors
+    ///
+    /// A malformed chaos spec, or an impossible fold (cannot happen for
+    /// timelines produced here — all shards share one config).
+    pub fn run_closed_loop_observed(
+        &mut self,
+        requests: usize,
+        chaos: Option<(&str, u64)>,
+        obs: SamplerConfig,
+    ) -> Result<(u64, Timeline), String> {
+        let plans = self.chaos_plans(chaos)?;
+        let seed = self.seed;
+        let results = self.run_parallel_with(plans, |shard, plan| {
+            let mut factories = drive::factories(shard, seed);
+            drive::warmup(shard, &mut factories);
+            if let Some(plan) = plan {
+                shard.server.install_chaos(plan);
+            }
+            let mut sampler = Sampler::new(&shard.server, shard.globals.clone(), obs);
+            let accepted =
+                drive::closed_loop_with(shard, &mut factories, requests, &mut |s| sampler.poll(s));
+            let mut timeline = sampler.finish(&shard.server);
+            timeline.rebase_shard(shard.id);
+            (accepted, timeline)
+        });
+        let accepted = results.iter().map(|(a, _)| a).sum();
+        let timelines: Vec<Timeline> = results.into_iter().map(|(_, t)| t).collect();
+        Ok((accepted, Timeline::fold(&timelines)?))
+    }
+
+    /// [`Cluster::run_open_loop`] with the observability plane attached
+    /// (see [`Cluster::run_closed_loop_observed`]).
+    ///
+    /// # Errors
+    ///
+    /// A malformed chaos spec.
+    pub fn run_open_loop_observed(
+        &mut self,
+        requests: usize,
+        chaos: Option<(&str, u64)>,
+        obs: SamplerConfig,
+    ) -> Result<(u64, Timeline), String> {
+        let plans = self.chaos_plans(chaos)?;
+        let pairs: Vec<(usize, usize)> = (0..self.num_tenants())
+            .flat_map(|g| {
+                let (s, l) = self.assignment[g];
+                let services = self.shards[s].server.tenants()[l].spec.services.len();
+                (0..services).map(move |svc| (g, svc))
+            })
+            .collect();
+        let schedule = drive::poisson_schedule(&pairs, requests, self.seed);
+        let mut routed: Vec<Vec<(usize, usize, u64)>> =
+            (0..self.shards.len()).map(|_| Vec::new()).collect();
+        for &(g, svc, at) in &schedule {
+            let (s, l) = self.assignment[g];
+            routed[s].push((l, svc, at));
+        }
+        let seed = self.seed;
+        let payloads: Vec<_> = routed.into_iter().zip(plans).collect();
+        let results = self.run_parallel_with(payloads, |shard, (schedule, plan)| {
+            let mut factories = drive::factories(shard, seed);
+            drive::warmup(shard, &mut factories);
+            if let Some(plan) = plan {
+                shard.server.install_chaos(plan);
+            }
+            let mut sampler = Sampler::new(&shard.server, shard.globals.clone(), obs);
+            let accepted =
+                drive::open_loop_with(shard, &mut factories, &schedule, &mut |s| sampler.poll(s));
+            let mut timeline = sampler.finish(&shard.server);
+            timeline.rebase_shard(shard.id);
+            (accepted, timeline)
+        });
+        let accepted = results.iter().map(|(a, _)| a).sum();
+        let timelines: Vec<Timeline> = results.into_iter().map(|(_, t)| t).collect();
+        Ok((accepted, Timeline::fold(&timelines)?))
     }
 
     /// One parsed chaos plan per shard (or `None`s without a spec).

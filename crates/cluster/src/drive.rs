@@ -14,6 +14,7 @@
 //!   shard count.
 
 use crate::cluster::Shard;
+use ne_host::server::HostServer;
 use ne_host::{RequestFactory, ServiceKind, TenantSpec};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -118,6 +119,19 @@ pub fn open_loop(
     factories: &mut [Vec<RequestFactory>],
     schedule: &[(usize, usize, u64)],
 ) -> u64 {
+    open_loop_with(shard, factories, schedule, &mut |_| {})
+}
+
+/// [`open_loop`] with an observer called after every server step (the
+/// observability sampler polls the serving clock here). The observer
+/// only reads, so driving with a no-op observer is byte-identical to
+/// [`open_loop`].
+pub fn open_loop_with(
+    shard: &mut Shard,
+    factories: &mut [Vec<RequestFactory>],
+    schedule: &[(usize, usize, u64)],
+    observe: &mut dyn FnMut(&HostServer),
+) -> u64 {
     let server = &mut shard.server;
     let mut accepted = 0u64;
     let mut i = 0;
@@ -134,6 +148,7 @@ pub fn open_loop(
         }
         if server.pending() > 0 {
             server.step().expect("open-loop step");
+            observe(server);
         }
     }
     accepted
@@ -146,6 +161,17 @@ pub fn closed_loop(
     shard: &mut Shard,
     factories: &mut [Vec<RequestFactory>],
     requests: usize,
+) -> u64 {
+    closed_loop_with(shard, factories, requests, &mut |_| {})
+}
+
+/// [`closed_loop`] with an observer called after every server step (see
+/// [`open_loop_with`]).
+pub fn closed_loop_with(
+    shard: &mut Shard,
+    factories: &mut [Vec<RequestFactory>],
+    requests: usize,
+    observe: &mut dyn FnMut(&HostServer),
 ) -> u64 {
     let server = &mut shard.server;
     let mut remaining: Vec<Vec<usize>> = factories
@@ -179,7 +205,9 @@ pub fn closed_loop(
     // A `None` step under chaos means a request was shed, not that the
     // queues are dry — keep stepping until pending work is gone.
     while server.pending() > 0 {
-        let Some(c) = server.step().expect("closed-loop step") else {
+        let stepped = server.step().expect("closed-loop step");
+        observe(server);
+        let Some(c) = stepped else {
             continue;
         };
         if remaining[c.tenant][c.service] > 0 {

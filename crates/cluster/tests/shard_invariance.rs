@@ -11,6 +11,7 @@
 
 use ne_cluster::{drive, Cluster, ClusterConfig};
 use ne_host::{HostConfig, HostServer, RequestFactory};
+use ne_obs::SamplerConfig;
 
 const TENANTS: usize = 4;
 const SERVICES: usize = 2;
@@ -216,6 +217,91 @@ fn chaos_runs_are_deterministic_per_shard_count() {
         cluster.tenants_export()
     };
     assert_eq!(run(2), run(2), "chaos run not reproducible at 2 shards");
+}
+
+/// One observed closed-loop run: accepted count plus the `ne-obs/v1`
+/// export of the folded timeline.
+fn observed_export(shards: usize, chaos: Option<(&str, u64)>) -> (u64, String) {
+    let mut cluster = build_cluster(shards);
+    let (accepted, timeline) = cluster
+        .run_closed_loop_observed(REQUESTS, chaos, SamplerConfig::default())
+        .expect("observed closed loop");
+    (accepted, ne_obs::to_jsonl(&timeline, "shard-invariance"))
+}
+
+#[test]
+fn timeline_export_is_reproducible_under_chaos() {
+    // The full timeline — cycle-bearing windows, injections, recoveries,
+    // SLO states, incidents — must be byte-reproducible at a fixed shard
+    // count, chaos included.
+    let chaos = Some(("aex+evict", SEED ^ 0xC4A0_5EED));
+    let (a1, e1) = observed_export(2, chaos);
+    let (a2, e2) = observed_export(2, chaos);
+    assert_eq!(a1, a2, "accepted count not reproducible");
+    assert_eq!(e1, e2, "observed chaos timeline not byte-reproducible");
+    assert!(
+        e1.contains("\"kind\":\"incident\""),
+        "chaos left no incident"
+    );
+}
+
+#[test]
+fn timeline_invariant_plane_is_shard_count_invariant() {
+    // Cycle-bearing lines drift slightly across shard counts (see the
+    // merged-metrics test above), but the invariant plane — rolling
+    // checkpoints and per-tenant reply digests — is derived purely from
+    // reply bytes in (service, seq) order, so those lines must be
+    // byte-identical at every shard count.
+    let invariant_plane = |export: &str| -> String {
+        export
+            .lines()
+            .filter(|l| {
+                l.contains("\"kind\":\"checkpoint\"") || l.contains("\"kind\":\"tenant_total\"")
+            })
+            .map(|l| format!("{l}\n"))
+            .collect()
+    };
+    let (a1, e1) = observed_export(1, None);
+    let (a4, e4) = observed_export(4, None);
+    assert_eq!(a1, a4, "accepted count changed at 4 shards");
+    let (p1, p4) = (invariant_plane(&e1), invariant_plane(&e4));
+    assert!(
+        p1.lines().count() > TENANTS,
+        "invariant plane unexpectedly thin:\n{p1}"
+    );
+    assert_eq!(
+        p1, p4,
+        "timeline invariant plane changed between 1 and 4 shards"
+    );
+}
+
+#[test]
+fn observed_runs_leave_the_simulation_untouched() {
+    // The sampler only reads, so an observed run must report the same
+    // accepted count and per-tenant export as the plain run, and the
+    // timeline totals must reconcile with the merged metrics.
+    let mut plain = build_cluster(2);
+    let plain_accepted = plain.run_closed_loop(REQUESTS, None).expect("closed loop");
+    let plain_export = plain.tenants_export();
+
+    let mut observed = build_cluster(2);
+    let (accepted, timeline) = observed
+        .run_closed_loop_observed(REQUESTS, None, SamplerConfig::default())
+        .expect("observed closed loop");
+    assert_eq!(plain_accepted, accepted, "observation changed acceptance");
+    assert_eq!(
+        plain_export,
+        observed.tenants_export(),
+        "observation changed the per-tenant export"
+    );
+    let merged = observed.merged_metrics().expect("merge");
+    let (cycles, _, _) = timeline.total();
+    assert_eq!(cycles, merged.total_cycles, "timeline cycles must match");
+    assert_eq!(
+        timeline.totals.iter().map(|t| t.completed).sum::<u64>(),
+        observed.report().completed(),
+        "timeline totals must match the cluster report"
+    );
 }
 
 #[test]

@@ -1,4 +1,4 @@
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 //! # ne-host — a multi-tenant nested-enclave hosting server
 //!
@@ -43,7 +43,9 @@ pub mod tenant;
 
 pub use admission::{Admission, AdmissionControl};
 pub use error::{HostError, HostResult};
-pub use recovery::{RecoveryAction, RecoveryPolicy, RecoveryState};
+pub use recovery::{
+    RecoveryAction, RecoveryEvent, RecoveryEventKind, RecoveryPolicy, RecoveryState, ShedReason,
+};
 pub use scheduler::{Scheduler, SchedulerStats};
 pub use server::{HostConfig, HostReport, HostServer, TenantReport};
 pub use service::{RequestFactory, ServiceKind};

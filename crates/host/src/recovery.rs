@@ -142,6 +142,88 @@ pub fn backoff_cycles(
     base + x % (policy.backoff_jitter + 1)
 }
 
+/// Why a request was explicitly shed (the label on a
+/// [`RecoveryEventKind::Shed`] event).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedReason {
+    /// The tenant's circuit breaker was open at dispatch time.
+    BreakerOpen,
+    /// A deterministic application-level failure; retrying cannot help.
+    AppError,
+    /// The request's attempt budget ran out.
+    Attempts,
+    /// The request's deadline passed between attempts.
+    Deadline,
+    /// The request was queued when the breaker tripped and the queue was
+    /// drained to explicit sheds.
+    QueueDrained,
+}
+
+impl ShedReason {
+    /// Stable snake_case name (export key).
+    pub fn name(self) -> &'static str {
+        match self {
+            ShedReason::BreakerOpen => "breaker_open",
+            ShedReason::AppError => "app_error",
+            ShedReason::Attempts => "attempts",
+            ShedReason::Deadline => "deadline",
+            ShedReason::QueueDrained => "queue_drained",
+        }
+    }
+}
+
+/// What one recovery event was.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryEventKind {
+    /// A retry backoff of `wait` cycles was charged.
+    Backoff {
+        /// Cycles charged to the serving core before the retry.
+        wait: u64,
+    },
+    /// Chaos-evicted pages were reloaded (ELDU) for the tenant.
+    Reload,
+    /// The tenant's gate enclave was torn down and rebuilt.
+    RespawnGate,
+    /// One of the tenant's service enclaves was torn down and rebuilt.
+    RespawnService,
+    /// The whole tenant (every service, then the gate) was rebuilt.
+    RespawnTenant,
+    /// The tenant's circuit breaker tripped open (logged once; the
+    /// breaker latches).
+    BreakerOpen,
+    /// A request was shed explicitly.
+    Shed(ShedReason),
+}
+
+impl RecoveryEventKind {
+    /// Stable snake_case name (export key).
+    pub fn name(self) -> &'static str {
+        match self {
+            RecoveryEventKind::Backoff { .. } => "backoff",
+            RecoveryEventKind::Reload => "reload",
+            RecoveryEventKind::RespawnGate => "respawn_gate",
+            RecoveryEventKind::RespawnService => "respawn_service",
+            RecoveryEventKind::RespawnTenant => "respawn_tenant",
+            RecoveryEventKind::BreakerOpen => "breaker_open",
+            RecoveryEventKind::Shed(_) => "shed",
+        }
+    }
+}
+
+/// One cycle-stamped recovery action the server took, in the order it was
+/// taken. The server keeps a log of these (cleared with the measurement
+/// window) so an observability layer can correlate chaos injections
+/// ([`ne_sgx::fault::ChaosInjection`]) with the host's response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryEvent {
+    /// Serving-clock cycle stamp at the time the action was taken.
+    pub cycle: u64,
+    /// The tenant the action was for (spec-order index).
+    pub tenant: usize,
+    /// What happened.
+    pub kind: RecoveryEventKind,
+}
+
 /// Per-tenant recovery bookkeeping: respawn history and breaker state.
 #[derive(Debug, Default)]
 pub struct RecoveryState {

@@ -39,7 +39,10 @@
 
 use crate::admission::{Admission, AdmissionControl};
 use crate::error::{HostError, HostResult};
-use crate::recovery::{backoff_cycles, classify, RecoveryAction, RecoveryPolicy, RecoveryState};
+use crate::recovery::{
+    backoff_cycles, classify, RecoveryAction, RecoveryEvent, RecoveryEventKind, RecoveryPolicy,
+    RecoveryState, ShedReason,
+};
 use crate::scheduler::{Scheduler, SchedulerStats};
 use crate::service::{install_service, service_enclave_name, ServiceKind};
 use crate::tenant::{Completion, TenantSpec, TenantState};
@@ -52,6 +55,7 @@ use ne_sgx::error::SgxError;
 use ne_sgx::fault::{ChaosStats, FaultPlan};
 use ne_sgx::profile::{HierLevel, ProfileEvent};
 use ne_sgx::EnclaveId;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 
@@ -180,6 +184,16 @@ pub struct HostServer {
     /// Switchless→classic reply degradations, counted from inside the
     /// gate closures.
     degraded_replies: Arc<AtomicU64>,
+    /// Cycle-stamped recovery actions since the last measurement reset,
+    /// in the order they were taken.
+    events: Vec<RecoveryEvent>,
+    /// Raw enclave id → owning tenant, covering every enclave ever built
+    /// for a tenant (respawned-away ids stay mapped so late-arriving
+    /// chaos events still attribute). Never cleared.
+    eid_owner: BTreeMap<u64, usize>,
+    /// Per-tenant "breaker-open already logged" latch, so the event log
+    /// carries exactly one [`RecoveryEventKind::BreakerOpen`] per trip.
+    breaker_logged: Vec<bool>,
 }
 
 fn gate_image(name: &str) -> EnclaveImage {
@@ -314,6 +328,27 @@ impl HostServer {
             .collect();
         let sched = Scheduler::new(serving, tenants.len());
         let recovery = tenants.iter().map(|_| RecoveryState::default()).collect();
+        // Map every built enclave (gate and services) to its owner, so
+        // machine-side chaos events can be attributed to tenants.
+        let mut eid_owner = BTreeMap::new();
+        for (i, t) in tenants.iter().enumerate() {
+            if !t.loaded {
+                continue;
+            }
+            let mut names = vec![t.spec.gate_name()];
+            names.extend(
+                t.spec
+                    .services
+                    .iter()
+                    .map(|&k| service_enclave_name(&t.spec.name, k)),
+            );
+            for name in names {
+                if let Ok(eid) = app.eid(&name) {
+                    eid_owner.insert(eid.0, i);
+                }
+            }
+        }
+        let breaker_logged = vec![false; tenants.len()];
         Ok(HostServer {
             app,
             tenants,
@@ -326,6 +361,9 @@ impl HostServer {
             recovery,
             switchless_handle,
             degraded_replies,
+            events: Vec::new(),
+            eid_owner,
+            breaker_logged,
         })
     }
 
@@ -425,6 +463,11 @@ impl HostServer {
         // shed explicitly instead of limping through rebuilds.
         if self.recovery[req.tenant].breaker_open {
             self.tenants[req.tenant].shed_requests += 1;
+            self.log_event(
+                core,
+                req.tenant,
+                RecoveryEventKind::Shed(ShedReason::BreakerOpen),
+            );
             return Ok(None);
         }
         let (gate_name, svc_name) = {
@@ -471,11 +514,21 @@ impl HostServer {
                             // Deterministic application-level failure:
                             // retrying cannot change the outcome.
                             self.tenants[req.tenant].shed_requests += 1;
+                            self.log_event(
+                                core,
+                                req.tenant,
+                                RecoveryEventKind::Shed(ShedReason::AppError),
+                            );
                             return Ok(None);
                         }
                         action => {
                             if req.attempts >= self.policy.max_attempts {
                                 self.tenants[req.tenant].shed_requests += 1;
+                                self.log_event(
+                                    core,
+                                    req.tenant,
+                                    RecoveryEventKind::Shed(ShedReason::Attempts),
+                                );
                                 return Ok(None);
                             }
                             if self.repair(req.tenant, action).is_err() {
@@ -486,6 +539,11 @@ impl HostServer {
                             if self.recovery[req.tenant].breaker_open {
                                 self.trip_breaker(req.tenant);
                                 self.tenants[req.tenant].shed_requests += 1;
+                                self.log_event(
+                                    core,
+                                    req.tenant,
+                                    RecoveryEventKind::Shed(ShedReason::BreakerOpen),
+                                );
                                 return Ok(None);
                             }
                             let wait = backoff_cycles(
@@ -495,10 +553,16 @@ impl HostServer {
                                 req.seq,
                                 req.attempts,
                             );
+                            self.log_event(core, req.tenant, RecoveryEventKind::Backoff { wait });
                             self.app.untrusted(core, |cx| cx.charge(wait));
                             let age = self.app.machine.cycles(core).saturating_sub(req.arrival);
                             if self.policy.deadline > 0 && age > self.policy.deadline {
                                 self.tenants[req.tenant].shed_requests += 1;
+                                self.log_event(
+                                    core,
+                                    req.tenant,
+                                    RecoveryEventKind::Shed(ShedReason::Deadline),
+                                );
                                 return Ok(None);
                             }
                         }
@@ -550,6 +614,8 @@ impl HostServer {
                 if self.reload_evicted(tenant).is_err() {
                     self.respawn_tenant(tenant)
                 } else {
+                    let now = self.now();
+                    self.log_event_at(now, tenant, RecoveryEventKind::Reload);
                     Ok(())
                 }
             }
@@ -604,6 +670,8 @@ impl HostServer {
     /// the new gate (NASSO). Counts as one respawn toward the breaker.
     fn respawn_gate(&mut self, tenant: usize) -> HostResult<()> {
         self.note_respawn(tenant);
+        let now = self.now();
+        self.log_event_at(now, tenant, RecoveryEventKind::RespawnGate);
         self.rebuild_gate(tenant)
             .map_err(|source| self.respawn_failed(tenant, source))
     }
@@ -612,6 +680,8 @@ impl HostServer {
     /// it with the gate. Counts as one respawn toward the breaker.
     fn respawn_service(&mut self, tenant: usize, kind: ServiceKind) -> HostResult<()> {
         self.note_respawn(tenant);
+        let now = self.now();
+        self.log_event_at(now, tenant, RecoveryEventKind::RespawnService);
         self.rebuild_service(tenant, kind)
             .map_err(|source| self.respawn_failed(tenant, source))
     }
@@ -620,6 +690,8 @@ impl HostServer {
     /// one respawn event toward the breaker (one recovery, many EREMOVEs).
     fn respawn_tenant(&mut self, tenant: usize) -> HostResult<()> {
         self.note_respawn(tenant);
+        let now = self.now();
+        self.log_event_at(now, tenant, RecoveryEventKind::RespawnTenant);
         let kinds = self.tenants[tenant].spec.services.clone();
         for kind in kinds {
             self.rebuild_service(tenant, kind)
@@ -650,6 +722,7 @@ impl HostServer {
             )],
         )?;
         let new = self.app.eid(&gate_name)?;
+        self.eid_owner.insert(new.0, tenant);
         self.app.machine.chaos_retarget(old, new);
         for name in &names {
             self.app.associate(name, &gate_name)?;
@@ -672,6 +745,7 @@ impl HostServer {
             self.seed,
         )?;
         let new = self.app.eid(&name)?;
+        self.eid_owner.insert(new.0, tenant);
         self.app.machine.chaos_retarget(old, new);
         Ok(())
     }
@@ -693,10 +767,41 @@ impl HostServer {
     /// converts its queued requests into explicit sheds. Idempotent.
     fn trip_breaker(&mut self, tenant: usize) {
         self.recovery[tenant].breaker_open = true;
-        let ts = &mut self.tenants[tenant];
-        ts.shed = true;
-        ts.shed_requests += ts.queue.len() as u64;
-        ts.queue.clear();
+        let now = self.now();
+        if !self.breaker_logged[tenant] {
+            self.breaker_logged[tenant] = true;
+            self.log_event_at(now, tenant, RecoveryEventKind::BreakerOpen);
+        }
+        let drained = {
+            let ts = &mut self.tenants[tenant];
+            ts.shed = true;
+            let n = ts.queue.len() as u64;
+            ts.shed_requests += n;
+            ts.queue.clear();
+            n
+        };
+        if drained > 0 {
+            self.log_event_at(
+                now,
+                tenant,
+                RecoveryEventKind::Shed(ShedReason::QueueDrained),
+            );
+        }
+    }
+
+    /// Appends one recovery event stamped with `core`'s current cycle.
+    fn log_event(&mut self, core: usize, tenant: usize, kind: RecoveryEventKind) {
+        let cycle = self.app.machine.cycles(core);
+        self.log_event_at(cycle, tenant, kind);
+    }
+
+    /// Appends one recovery event with an explicit cycle stamp.
+    fn log_event_at(&mut self, cycle: u64, tenant: usize, kind: RecoveryEventKind) {
+        self.events.push(RecoveryEvent {
+            cycle,
+            tenant,
+            kind,
+        });
     }
 
     /// Serves queued requests until every accepted request has terminated
@@ -757,6 +862,7 @@ impl HostServer {
             r.respawns = 0;
         }
         self.degraded_replies.store(0, Ordering::Relaxed);
+        self.events.clear();
     }
 
     /// Installs a chaos plan on the machine (see [`ne_sgx::fault`]).
@@ -805,6 +911,19 @@ impl HostServer {
     /// order.
     pub fn recovery_states(&self) -> &[RecoveryState] {
         &self.recovery
+    }
+
+    /// Cycle-stamped recovery actions taken since the last measurement
+    /// reset, in the order they were taken.
+    pub fn recovery_events(&self) -> &[RecoveryEvent] {
+        &self.events
+    }
+
+    /// The tenant owning the enclave with raw id `eid`, if the server
+    /// ever built one with that id. Covers respawned-away ids, so a
+    /// machine-side chaos event can always be attributed.
+    pub fn eid_owner(&self, eid: u64) -> Option<usize> {
+        self.eid_owner.get(&eid).copied()
     }
 
     /// Replies that degraded from switchless to classic ocalls so far.

@@ -1,0 +1,318 @@
+//! The [`Sampler`]: rides along a driving loop, snapshots cumulative
+//! server counters, and closes a window each time the serving clock is
+//! observed past a window boundary.
+//!
+//! Windows hold **deltas** of cumulative counters, so the sum of all
+//! windows telescopes back to the end-of-run totals exactly; the
+//! per-window latency histograms are built from the window's own
+//! completions, and the server records exactly one `Request` profile
+//! sample per completion, so those reconcile exactly too (both are
+//! enforced by test).
+
+use ne_host::server::HostServer;
+
+use crate::slo::{self, SloPolicy};
+use crate::window::{Checkpoint, Injection, Recovery, TenantTotal, TenantWindow, Timeline, Window};
+
+/// Sampler knobs. Defaults give ~10 windows on the committed `ne-load`
+/// baseline (runs of ~20M serving cycles).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SamplerConfig {
+    /// Window length in simulated serving-clock cycles.
+    pub window_cycles: u64,
+    /// Bounded ring capacity (older windows roll into the base).
+    pub capacity: usize,
+    /// Emit a reply-stream checkpoint every this many completions per
+    /// (tenant, service) pair.
+    pub checkpoint_every: u64,
+    /// SLO policy to judge tenant rows against.
+    pub slo: SloPolicy,
+}
+
+impl Default for SamplerConfig {
+    fn default() -> SamplerConfig {
+        SamplerConfig {
+            window_cycles: 2_000_000,
+            capacity: 1_024,
+            checkpoint_every: 4,
+            slo: SloPolicy::default(),
+        }
+    }
+}
+
+/// Cumulative per-tenant counter snapshot (for window deltas).
+#[derive(Debug, Clone, Copy, Default)]
+struct TenantSnap {
+    accepted: u64,
+    completed: u64,
+    shed: u64,
+    rejected: u64,
+    respawns: u64,
+}
+
+fn snap(server: &HostServer) -> Vec<TenantSnap> {
+    server
+        .tenants()
+        .iter()
+        .zip(server.recovery_states())
+        .map(|(t, r)| TenantSnap {
+            accepted: t.accepted,
+            completed: t.completed,
+            shed: t.shed_requests,
+            rejected: t.rejected_full + t.rejected_shed,
+            respawns: r.respawns,
+        })
+        .collect()
+}
+
+/// Observes a [`HostServer`] and grows a [`Timeline`]. Create one
+/// right after `reset_measurement` (and after chaos is installed),
+/// call [`Sampler::poll`] after every server step, and
+/// [`Sampler::finish`] once the run drains.
+#[derive(Debug)]
+pub struct Sampler {
+    cfg: SamplerConfig,
+    /// Local tenant index → global tenant id.
+    globals: Vec<usize>,
+    timeline: Timeline,
+    next_boundary: u64,
+    next_index: u64,
+    prev_cycles: u64,
+    prev_stats: ne_sgx::trace::Stats,
+    prev_degraded: u64,
+    prev_tenants: Vec<TenantSnap>,
+    base_tenants: Vec<TenantSnap>,
+    completions_seen: usize,
+    base_completions: usize,
+    chaos_seen: usize,
+    recovery_seen: usize,
+}
+
+impl Sampler {
+    /// Starts sampling `server`. `globals[local]` maps the server's
+    /// local tenant indices to global (cluster-wide) tenant ids; pass
+    /// the identity mapping for an unsharded server.
+    pub fn new(server: &HostServer, globals: Vec<usize>, cfg: SamplerConfig) -> Sampler {
+        assert_eq!(
+            globals.len(),
+            server.tenants().len(),
+            "globals must map every tenant"
+        );
+        let window = cfg.window_cycles.max(1);
+        let start = server.now();
+        let tenants = snap(server);
+        Sampler {
+            cfg: SamplerConfig {
+                window_cycles: window,
+                ..cfg
+            },
+            globals,
+            timeline: Timeline::new(window, cfg.capacity, cfg.slo, cfg.checkpoint_every),
+            next_boundary: (start / window + 1) * window,
+            next_index: start / window,
+            prev_cycles: server.app.machine.total_cycles(),
+            prev_stats: server.app.machine.stats(),
+            prev_degraded: server.degraded_replies(),
+            prev_tenants: tenants.clone(),
+            base_tenants: tenants,
+            completions_seen: server.completions().len(),
+            base_completions: server.completions().len(),
+            chaos_seen: server.app.machine.chaos_events().len(),
+            recovery_seen: server.recovery_events().len(),
+        }
+    }
+
+    /// The timeline grown so far (closed windows only).
+    pub fn timeline(&self) -> &Timeline {
+        &self.timeline
+    }
+
+    /// Observes the server, closing every window the serving clock has
+    /// crossed since the last poll. Call after each server step; extra
+    /// calls are free.
+    pub fn poll(&mut self, server: &HostServer) {
+        while server.now() >= self.next_boundary {
+            self.close(server);
+        }
+    }
+
+    /// True if any counter moved or any event landed since the last
+    /// window close.
+    fn pending(&self, server: &HostServer) -> bool {
+        server.app.machine.total_cycles() != self.prev_cycles
+            || server.completions().len() != self.completions_seen
+            || server.app.machine.chaos_events().len() != self.chaos_seen
+            || server.recovery_events().len() != self.recovery_seen
+            || snap(server)
+                .iter()
+                .zip(&self.prev_tenants)
+                .any(|(a, b)| a.accepted != b.accepted || a.rejected != b.rejected)
+    }
+
+    /// Closes the current window with everything observed since the
+    /// previous close.
+    fn close(&mut self, server: &HostServer) {
+        let mut w = Window::new(self.next_index);
+        let machine = &server.app.machine;
+        let cycles = machine.total_cycles();
+        w.cycles = cycles - self.prev_cycles;
+        self.prev_cycles = cycles;
+        let stats = machine.stats();
+        w.stats = stats_delta(&stats, &self.prev_stats);
+        self.prev_stats = stats;
+        let degraded = server.degraded_replies();
+        w.degraded = degraded - self.prev_degraded;
+        self.prev_degraded = degraded;
+        w.free_epc = machine.free_epc_pages() as u64;
+        w.resident = machine.resident_pages() as u64;
+
+        // Per-tenant counter deltas plus gauges, in local order first.
+        let cur = snap(server);
+        let mut rows: Vec<TenantWindow> = Vec::with_capacity(cur.len());
+        for (l, (c, p)) in cur.iter().zip(&self.prev_tenants).enumerate() {
+            let mut row = TenantWindow::new(self.globals[l]);
+            row.accepted = c.accepted - p.accepted;
+            row.completed = c.completed - p.completed;
+            row.shed = c.shed - p.shed;
+            row.rejected = c.rejected - p.rejected;
+            row.respawns = c.respawns - p.respawns;
+            row.breaker_open = server.recovery_states()[l].breaker_open;
+            rows.push(row);
+        }
+        self.prev_tenants = cur;
+
+        // This window's completions feed the latency histograms and
+        // the exact violation counts.
+        for c in &server.completions()[self.completions_seen..] {
+            let row = &mut rows[c.tenant];
+            row.latency.record(c.latency);
+            if c.latency > self.cfg.slo.latency_target {
+                row.latency_violations += 1;
+            }
+        }
+        self.completions_seen = server.completions().len();
+        rows.sort_by_key(|r| r.tenant);
+        w.tenants = rows;
+
+        // Machine-side chaos injections, attributed via the server's
+        // persistent eid → tenant map.
+        for inj in &machine.chaos_events()[self.chaos_seen..] {
+            w.injections.push(Injection {
+                cycle: inj.cycle,
+                eid: inj.eid,
+                tenant: server.eid_owner(inj.eid).map(|l| self.globals[l]),
+                kind: inj.kind,
+            });
+        }
+        self.chaos_seen = machine.chaos_events().len();
+
+        // Host-side recovery events.
+        for ev in &server.recovery_events()[self.recovery_seen..] {
+            w.recoveries.push(Recovery {
+                cycle: ev.cycle,
+                tenant: self.globals[ev.tenant],
+                kind: ev.kind,
+            });
+        }
+        self.recovery_seen = server.recovery_events().len();
+
+        crate::window::sort_events(&mut w.injections, &mut w.recoveries);
+        self.timeline.push(w);
+        self.next_boundary += self.cfg.window_cycles;
+        self.next_index += 1;
+    }
+
+    /// Finishes the run: closes the trailing partial window (if
+    /// anything landed in it), computes per-tenant totals and
+    /// reply-stream checkpoints, runs the SLO monitor over every
+    /// window, and returns the timeline.
+    pub fn finish(mut self, server: &HostServer) -> Timeline {
+        self.poll(server);
+        if self.pending(server) {
+            self.close(server);
+        }
+
+        let cur = snap(server);
+        for (l, (c, b)) in cur.iter().zip(&self.base_tenants).enumerate() {
+            // Replies in (service, seq) order — the same layout as the
+            // ne-tenants/v1 digest, so the totals line is part of the
+            // shard-count-invariant data plane.
+            let mut replies: Vec<&ne_host::Completion> = server.completions()
+                [self.base_completions..]
+                .iter()
+                .filter(|r| r.tenant == l)
+                .collect();
+            replies.sort_by_key(|r| (r.service, r.seq));
+            let mut bytes = Vec::new();
+            for r in &replies {
+                push_reply(&mut bytes, r);
+            }
+            self.timeline.totals.push(TenantTotal {
+                tenant: self.globals[l],
+                accepted: c.accepted - b.accepted,
+                completed: c.completed - b.completed,
+                shed: c.shed - b.shed,
+                rejected: c.rejected - b.rejected,
+                respawns: c.respawns - b.respawns,
+                digest: ne_crypto::sha256_digest(&bytes),
+            });
+
+            // Rolling checkpoints per service: digest over the first
+            // k * checkpoint_every replies in seq order.
+            let services = server.tenants()[l].spec.services.len();
+            for s in 0..services {
+                let mut bytes = Vec::new();
+                let mut n = 0u64;
+                for r in replies.iter().filter(|r| r.service == s) {
+                    push_reply(&mut bytes, r);
+                    n += 1;
+                    if n.is_multiple_of(self.cfg.checkpoint_every) {
+                        self.timeline.checkpoints.push(Checkpoint {
+                            tenant: self.globals[l],
+                            service: s,
+                            completions: n,
+                            digest: ne_crypto::sha256_digest(&bytes),
+                        });
+                    }
+                }
+            }
+        }
+        self.timeline.totals.sort_by_key(|t| t.tenant);
+        self.timeline
+            .checkpoints
+            .sort_by_key(|c| (c.tenant, c.service, c.completions));
+
+        if let Some(base) = &mut self.timeline.base {
+            slo::annotate(&self.cfg.slo, std::slice::from_mut(base));
+        }
+        slo::annotate(&self.cfg.slo, &mut self.timeline.windows);
+        self.timeline
+    }
+}
+
+fn push_reply(bytes: &mut Vec<u8>, c: &ne_host::Completion) {
+    bytes.extend_from_slice(&(c.service as u32).to_le_bytes());
+    bytes.extend_from_slice(&c.seq.to_le_bytes());
+    bytes.extend_from_slice(&(c.reply.len() as u32).to_le_bytes());
+    bytes.extend_from_slice(&c.reply);
+}
+
+/// Field-wise `cur - prev` for the cumulative transition counters.
+fn stats_delta(cur: &ne_sgx::trace::Stats, prev: &ne_sgx::trace::Stats) -> ne_sgx::trace::Stats {
+    ne_sgx::trace::Stats {
+        ecalls: cur.ecalls - prev.ecalls,
+        ocalls: cur.ocalls - prev.ocalls,
+        n_ecalls: cur.n_ecalls - prev.n_ecalls,
+        n_ocalls: cur.n_ocalls - prev.n_ocalls,
+        aexes: cur.aexes - prev.aexes,
+        eresumes: cur.eresumes - prev.eresumes,
+        switchless_ocalls: cur.switchless_ocalls - prev.switchless_ocalls,
+        tlb_misses: cur.tlb_misses - prev.tlb_misses,
+        faults: cur.faults - prev.faults,
+        ewb_pages: cur.ewb_pages - prev.ewb_pages,
+        eldu_pages: cur.eldu_pages - prev.eldu_pages,
+        ipis: cur.ipis - prev.ipis,
+        span_opens: cur.span_opens - prev.span_opens,
+        span_closes: cur.span_closes - prev.span_closes,
+    }
+}

@@ -64,7 +64,8 @@ pub enum ChaosKind {
 }
 
 impl ChaosKind {
-    fn name(self) -> &'static str {
+    /// Stable lowercase name (spec syntax and export key).
+    pub fn name(self) -> &'static str {
         match self {
             ChaosKind::Aex => "aex",
             ChaosKind::Evict => "evict",
@@ -139,6 +140,24 @@ pub enum ChaosAction {
         /// Number of consecutive switchless ocalls to fail (1–3).
         window: u32,
     },
+}
+
+/// One applied chaos injection, as recorded by the machine at the moment
+/// the fault was put into effect. The log (see
+/// [`Machine::chaos_events`](crate::machine::Machine::chaos_events)) is
+/// what lets an observability layer join *injections* with the *recovery
+/// actions* they later trigger: the cycle stamps come from the simulated
+/// clock, so the log is byte-deterministic like everything else here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaosInjection {
+    /// Cycle count of the entering core when the fault was applied.
+    pub cycle: u64,
+    /// Raw id of the affected enclave — the crash *victim* for
+    /// [`ChaosKind::Crash`] (which may be an inner enclave of the entered
+    /// one), the entered enclave otherwise.
+    pub eid: u64,
+    /// What was injected.
+    pub kind: ChaosKind,
 }
 
 /// Counters for the faults a plan has injected so far. Deterministic for

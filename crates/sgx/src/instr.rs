@@ -5,7 +5,7 @@ use crate::addr::{VirtAddr, VirtRange, Vpn, LINE_SIZE, PAGE_SIZE};
 use crate::enclave::{EnclaveId, EnclaveState, ProcessId, SavedContext, SigStruct, Tcs};
 use crate::epcm::{EpcmEntry, PagePerms, PageType};
 use crate::error::{Result, SgxError};
-use crate::fault::ChaosAction;
+use crate::fault::{ChaosAction, ChaosInjection, ChaosKind};
 use crate::machine::{CoreMode, Machine};
 use crate::metrics::CycleCategory;
 use crate::profile::ProfileEvent;
@@ -351,7 +351,7 @@ impl Machine {
         // Consult the fault plan once the entry is architecturally valid: a
         // crash injection poisons its victim and, if the victim is this
         // enclave, preempts the entry itself.
-        let chaos_actions = self.chaos_decide_eenter(eid)?;
+        let chaos_actions = self.chaos_decide_eenter(core, eid)?;
         if let Some(tcs) = self.tcs_table.get_mut(&(eid.0, tcs_va.0)) {
             tcs.busy = true;
         }
@@ -813,14 +813,20 @@ impl Machine {
     /// [`SgxError::EnclavePoisoned`] if a crash injection selected the
     /// entered enclave itself — the entry is preempted, exactly as if the
     /// enclave had aborted inside the previous ecall.
-    fn chaos_decide_eenter(&mut self, eid: EnclaveId) -> Result<Vec<ChaosAction>> {
+    fn chaos_decide_eenter(&mut self, core: usize, eid: EnclaveId) -> Result<Vec<ChaosAction>> {
         let actions = match self.chaos.as_mut() {
             Some(plan) => plan.on_eenter(eid.0),
             None => return Ok(Vec::new()),
         };
+        let cycle = self.cycles(core);
         for action in &actions {
             if let ChaosAction::Crash { pick } = *action {
                 let victim = self.chaos_crash_victim(eid, pick);
+                self.chaos_events.push(ChaosInjection {
+                    cycle,
+                    eid: victim.0,
+                    kind: ChaosKind::Crash,
+                });
                 self.poison_enclave(victim);
                 if victim == eid {
                     return Err(SgxError::EnclavePoisoned(eid));
@@ -854,6 +860,21 @@ impl Machine {
         actions: Vec<ChaosAction>,
     ) -> Result<()> {
         for action in actions {
+            // Log the injection before applying it, stamped with the
+            // entering core's clock at the injection point.
+            if let Some(kind) = match action {
+                ChaosAction::AexStorm { .. } => Some(ChaosKind::Aex),
+                ChaosAction::Evict { .. } => Some(ChaosKind::Evict),
+                ChaosAction::Mac => Some(ChaosKind::Mac),
+                ChaosAction::Stall { .. } => Some(ChaosKind::Stall),
+                ChaosAction::Crash { .. } => None, // logged pre-entry
+            } {
+                self.chaos_events.push(ChaosInjection {
+                    cycle: self.cycles(core),
+                    eid: eid.0,
+                    kind,
+                });
+            }
             match action {
                 ChaosAction::AexStorm { rounds } => {
                     for _ in 0..rounds {

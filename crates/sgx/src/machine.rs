@@ -12,7 +12,7 @@ use crate::config::HwConfig;
 use crate::enclave::{EnclaveId, EnclaveTable, ProcessId, SavedContext, Tcs};
 use crate::epcm::{Epcm, PagePerms};
 use crate::error::{FaultKind, Result, SgxError};
-use crate::fault::{ChaosStats, FaultPlan};
+use crate::fault::{ChaosInjection, ChaosStats, FaultPlan};
 use crate::instr::EvictedPage;
 use crate::mee::Mee;
 use crate::mem::Dram;
@@ -138,6 +138,10 @@ pub struct Machine {
     /// Sealed blobs of pages the chaos layer force-evicted, in eviction
     /// order, waiting for the host to reload them.
     pub(crate) chaos_evicted: Vec<EvictedPage>,
+    /// Cycle-stamped log of every injection the plan applied, in
+    /// application order (the observability layer's join key against
+    /// host-side recovery events). Cleared by `reset_metrics`.
+    pub(crate) chaos_events: Vec<ChaosInjection>,
 }
 
 impl std::fmt::Debug for Machine {
@@ -206,6 +210,7 @@ impl Machine {
             chaos: None,
             poisoned: HashSet::new(),
             chaos_evicted: Vec::new(),
+            chaos_events: Vec::new(),
             cfg,
         }
     }
@@ -393,6 +398,7 @@ impl Machine {
         self.mee.reset_counters();
         self.profile.clear();
         self.trace.clear();
+        self.chaos_events.clear();
         // Spans still open when the clock resets restart from zero, so
         // their eventual durations cover post-reset work only.
         for stack in &mut self.span_stacks {
@@ -1027,6 +1033,14 @@ impl Machine {
     /// Injection counters of the installed plan, if any.
     pub fn chaos_stats(&self) -> Option<ChaosStats> {
         self.chaos.as_ref().map(FaultPlan::stats)
+    }
+
+    /// Cycle-stamped log of every injection applied since the last
+    /// [`Machine::reset_metrics`], in application order. Empty when chaos
+    /// never ran. The observability layer joins these against host-side
+    /// recovery events to build incident reports.
+    pub fn chaos_events(&self) -> &[ChaosInjection] {
+        &self.chaos_events
     }
 
     /// Re-aims a targeted plan after a respawn handed the same logical

@@ -135,11 +135,26 @@ impl Histogram {
     }
 
     /// The `q`-quantile (`q` in `[0, 1]`), as the inclusive upper bound of
-    /// the bucket holding that rank, clamped to `[min, max]`. Returns 0
-    /// for an empty histogram.
+    /// the bucket holding that rank, clamped to `[min, max]`.
+    ///
+    /// Edge behavior (exact, not bucket-approximated):
+    ///
+    /// * an **empty** histogram returns 0 for every `q`;
+    /// * `q <= 0.0` returns [`Histogram::min`] exactly (the bucket upper
+    ///   bound could overshoot the smallest sample);
+    /// * `q >= 1.0` returns [`Histogram::max`] exactly.
+    ///
+    /// Out-of-range `q` is clamped, so `percentile(-1.0) == min()` and
+    /// `percentile(2.0) == max()`.
     pub fn percentile(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
+        }
+        if q <= 0.0 {
+            return self.min;
+        }
+        if q >= 1.0 {
+            return self.max;
         }
         let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
         let mut seen = 0u64;
@@ -171,6 +186,7 @@ impl Histogram {
     /// Fixed-quantile summary for exports.
     pub fn summary(&self) -> HistogramSummary {
         HistogramSummary {
+            buckets: BUCKETS,
             count: self.count(),
             sum: self.sum(),
             min: self.min(),
@@ -185,6 +201,10 @@ impl Histogram {
 /// The fixed quantiles exported for one histogram.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct HistogramSummary {
+    /// Number of log2 buckets the source histogram used ([`BUCKETS`]).
+    /// Carried in the summary so downstream parsers and schema consumers
+    /// need not hardcode the histogram geometry.
+    pub buckets: usize,
     /// Values recorded.
     pub count: u64,
     /// Sum of recorded values.
@@ -458,6 +478,39 @@ mod tests {
         for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
             assert_eq!(one.percentile(q), 777);
         }
+    }
+
+    #[test]
+    fn percentile_edges_are_exact() {
+        // Empty: every quantile (including the edges) is 0.
+        let empty = Histogram::new();
+        for q in [-1.0, 0.0, 0.5, 1.0, 2.0] {
+            assert_eq!(empty.percentile(q), 0);
+        }
+        // Two values sharing one log2 bucket: the bucket upper bound
+        // (1023 for bucket 9) would overshoot both samples, but the edges
+        // must return the exact extremes.
+        let mut h = Histogram::new();
+        h.record(513);
+        h.record(700);
+        assert_eq!(h.percentile(0.0), 513, "q=0 is the exact minimum");
+        assert_eq!(h.percentile(1.0), 700, "q=1 is the exact maximum");
+        // Out-of-range q clamps to the edges.
+        assert_eq!(h.percentile(-0.5), 513);
+        assert_eq!(h.percentile(1.5), 700);
+        // Interior quantiles stay inside [min, max].
+        let p50 = h.percentile(0.5);
+        assert!((513..=700).contains(&p50));
+    }
+
+    #[test]
+    fn summary_carries_the_bucket_count() {
+        assert_eq!(Histogram::new().summary().buckets, BUCKETS);
+        let mut h = Histogram::new();
+        h.record(42);
+        let s = h.summary();
+        assert_eq!(s.buckets, BUCKETS);
+        assert_eq!((s.p50, s.min, s.max), (42, 42, 42));
     }
 
     #[test]
