@@ -51,6 +51,16 @@
 //! are seed-deterministic); `--window <cycles>` sets the window length
 //! (default 2,000,000) and `--dash` replays the timeline as a text
 //! dashboard after the run summary.
+//!
+//! `--connect host:port` switches the harness into **wire client**
+//! mode: instead of building a cluster it opens one TCP connection per
+//! (tenant, service) pair to a running `ne-serve` front door and plays
+//! the same seeded request streams over the socket (`--tls` seals every
+//! frame in an `ne-tls` record; `--mode` must be `open` or `closed` —
+//! the server pins one scenario). The printed report is
+//! byte-deterministic: every number in it is a simulation fact carried
+//! back in Reply frames, and the per-tenant reply digests match the
+//! server's `ne-tenants/v1` export line for line.
 
 use ne_bench::report::{
     banner, f2, flag_str, flag_u64, tenants_out_path, throughput_rps, timeline_out_path,
@@ -231,7 +241,38 @@ fn run(
     (export, trace.then(|| cluster.trace_bundles()), timeline)
 }
 
+/// Wire-client mode (`--connect`): replay the seeded streams against a
+/// running `ne-serve` front door and print the deterministic report.
+fn run_connect(addr: String) {
+    let mode = match flag_str("--mode").as_deref().unwrap_or("closed") {
+        "closed" => ne_serve::Mode::Closed,
+        "open" => ne_serve::Mode::Open,
+        other => panic!("--connect runs one scenario; --mode expects open|closed, got '{other}'"),
+    };
+    let cfg = ne_serve::ClientConfig {
+        addr,
+        tenants: flag_u64("--tenants").unwrap_or(4) as usize,
+        services: (flag_u64("--services").unwrap_or(2) as usize).min(ServiceKind::ALL.len()),
+        requests: flag_u64("--requests").unwrap_or(12) as usize,
+        seed: flag_u64("--seed").unwrap_or(0xC0FFEE),
+        mode,
+        tls: std::env::args().any(|a| a == "--tls"),
+        read_timeout: std::time::Duration::from_millis(
+            flag_u64("--read-timeout-ms").unwrap_or(30_000),
+        ),
+    };
+    let report = ne_serve::LoadClient::new(cfg).run();
+    print!("{}", report.render());
+    if report.pairs.iter().any(|p| p.error.is_some()) {
+        std::process::exit(1);
+    }
+}
+
 fn main() {
+    if let Some(addr) = flag_str("--connect") {
+        run_connect(addr);
+        return;
+    }
     let plan = Plan {
         tenants: flag_u64("--tenants").unwrap_or(4) as usize,
         services: (flag_u64("--services").unwrap_or(2) as usize).min(ServiceKind::ALL.len()),

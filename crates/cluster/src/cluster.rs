@@ -186,6 +186,13 @@ impl Cluster {
         &self.shards
     }
 
+    /// Mutable access to the shards, for external drivers (the
+    /// `ne-serve` wire front door drives shard 0 of a one-shard cluster
+    /// with [`drive::closed_loop_external`] between socket polls).
+    pub fn shards_mut(&mut self) -> &mut [Shard] {
+        &mut self.shards
+    }
+
     /// `(shard, local index)` of a global tenant id.
     pub fn placement(&self, global: usize) -> (usize, usize) {
         self.assignment[global]

@@ -154,6 +154,267 @@ pub fn open_loop_with(
     accepted
 }
 
+/// What a [`RequestSource`] produced for one `pull`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Pulled {
+    /// The pair's next request payload.
+    Request(Vec<u8>),
+    /// The pair has no further requests (graceful end of stream).
+    Done,
+    /// The pair stopped producing before its stream ended (a wire
+    /// client hit its read deadline, broke the connection, or violated
+    /// the protocol). The driver sheds the whole tenant via
+    /// [`HostServer::shed_tenant`].
+    Stalled,
+}
+
+/// Where an external drive loop gets its request payloads and posts its
+/// results — the seam between the simulation-stepping loops below and a
+/// transport (the `ne-serve` TCP front door) or an in-process stand-in
+/// ([`FactorySource`]).
+///
+/// The contract that keeps external drives byte-identical to the plain
+/// loops: `pull` may block on wall-clock I/O but must not touch the
+/// simulation, and for a well-behaved source it returns exactly the
+/// payload stream a [`RequestFactory`] keyed by the same `(seed, global
+/// tenant)` would produce. `deliver` and `rejected` are notifications
+/// only (the driver ignores their effects entirely).
+pub trait RequestSource {
+    /// Produces the next request payload for `(tenant, service)`.
+    fn pull(&mut self, tenant: usize, service: usize) -> Pulled;
+    /// Reports a completion for `(tenant, service)` (reply delivery).
+    fn deliver(&mut self, tenant: usize, service: usize, completion: &ne_host::Completion);
+    /// Reports that the pair's last pulled request was rejected by
+    /// admission (backpressure or shed).
+    fn rejected(&mut self, tenant: usize, service: usize);
+}
+
+/// Warmup request counts per (tenant, service): each pair serves its
+/// provisioning requests plus at least one path-warming request —
+/// exactly [`warmup`]'s per-factory loop bound.
+pub fn setup_counts(factories: &[Vec<RequestFactory>]) -> Vec<Vec<usize>> {
+    factories
+        .iter()
+        .map(|fs| fs.iter().map(|f| f.setup_requests().max(1)).collect())
+        .collect()
+}
+
+/// A [`RequestSource`] backed by the shard's own [`RequestFactory`]s —
+/// the reference implementation of the source contract. Driving
+/// [`closed_loop_external`] / [`open_loop_external`] with a
+/// `FactorySource` is byte-identical to [`closed_loop`] / [`open_loop`]
+/// (asserted by test); the `ne-serve` wire source must match it.
+pub struct FactorySource<'a> {
+    factories: &'a mut [Vec<RequestFactory>],
+    /// Warmup requests still to serve per pair, consumed first — the
+    /// stream position a wire client's fire-and-forget warmup frames
+    /// occupy.
+    warmup: Vec<Vec<usize>>,
+    /// Measured requests still to serve per pair.
+    remaining: Vec<Vec<usize>>,
+}
+
+impl<'a> FactorySource<'a> {
+    /// A source serving each pair's setup requests and then `requests`
+    /// measured ones from `factories`.
+    pub fn new(factories: &'a mut [Vec<RequestFactory>], requests: usize) -> FactorySource<'a> {
+        let warmup = setup_counts(factories);
+        let remaining = factories
+            .iter()
+            .map(|fs| vec![requests; fs.len()])
+            .collect();
+        FactorySource {
+            factories,
+            warmup,
+            remaining,
+        }
+    }
+}
+
+impl RequestSource for FactorySource<'_> {
+    fn pull(&mut self, tenant: usize, service: usize) -> Pulled {
+        if self.warmup[tenant][service] > 0 {
+            self.warmup[tenant][service] -= 1;
+        } else if self.remaining[tenant][service] > 0 {
+            self.remaining[tenant][service] -= 1;
+        } else {
+            return Pulled::Done;
+        }
+        Pulled::Request(self.factories[tenant][service].next_request())
+    }
+
+    fn deliver(&mut self, _tenant: usize, _service: usize, _completion: &ne_host::Completion) {}
+
+    fn rejected(&mut self, _tenant: usize, _service: usize) {}
+}
+
+/// [`warmup`] driven from a [`RequestSource`]: serves `setup[t][s]`
+/// requests per live pair (see [`setup_counts`]), drains, and resets the
+/// measurement window. A pair that stalls or ends early gets its whole
+/// tenant shed ([`HostServer::shed_tenant`]) and the tenant's remaining
+/// warmup is skipped — the measured loops then treat it exactly like a
+/// tenant shed at admission.
+pub fn warmup_external(shard: &mut Shard, source: &mut dyn RequestSource, setup: &[Vec<usize>]) {
+    let server = &mut shard.server;
+    'tenants: for (t, counts) in setup.iter().enumerate() {
+        if server.tenants()[t].shed {
+            continue;
+        }
+        for (s, &n) in counts.iter().enumerate() {
+            for _ in 0..n {
+                match source.pull(t, s) {
+                    Pulled::Request(payload) => {
+                        assert!(
+                            server.submit(t, s, server.now(), payload).is_accepted(),
+                            "warmup request rejected (queue bound too small for setup?)"
+                        );
+                        server.step().expect("warmup step");
+                    }
+                    Pulled::Done | Pulled::Stalled => {
+                        server.shed_tenant(t);
+                        continue 'tenants;
+                    }
+                }
+            }
+        }
+    }
+    server.drain().expect("warmup drain");
+    server.reset_measurement();
+}
+
+/// [`open_loop_with`] driven from a [`RequestSource`]: the same arrival
+/// schedule, submit and step sequence — arrival stamps come from the
+/// schedule, never from wall clock, so a blocking `pull` cannot perturb
+/// the simulation. Byte-identical to [`open_loop`] for a well-behaved
+/// source; a stalled pair sheds its tenant and its later arrivals are
+/// dropped (the only divergence, and only under client failure).
+pub fn open_loop_external(
+    shard: &mut Shard,
+    source: &mut dyn RequestSource,
+    schedule: &[(usize, usize, u64)],
+    observe: &mut dyn FnMut(&HostServer),
+) -> u64 {
+    let server = &mut shard.server;
+    let mut live: Vec<Vec<bool>> = server
+        .tenants()
+        .iter()
+        .map(|t| vec![true; t.spec.services.len()])
+        .collect();
+    let mut accepted = 0u64;
+    let mut i = 0;
+    while i < schedule.len() || server.pending() > 0 {
+        while i < schedule.len() && (schedule[i].2 <= server.now() || server.pending() == 0) {
+            let (t, s, at) = schedule[i];
+            i += 1;
+            if !live[t][s] {
+                continue;
+            }
+            match source.pull(t, s) {
+                Pulled::Request(payload) => {
+                    if server.submit(t, s, at, payload).is_accepted() {
+                        accepted += 1;
+                    } else {
+                        source.rejected(t, s);
+                    }
+                }
+                Pulled::Done => live[t][s] = false,
+                Pulled::Stalled => {
+                    server.shed_tenant(t);
+                    live[t].iter_mut().for_each(|l| *l = false);
+                }
+            }
+        }
+        if server.pending() > 0 {
+            let stepped = server.step().expect("open-loop step");
+            observe(server);
+            if let Some(c) = stepped {
+                source.deliver(c.tenant, c.service, &c);
+            }
+        }
+    }
+    accepted
+}
+
+/// [`closed_loop_with`] driven from a [`RequestSource`]: one in-flight
+/// request per live pair, resubmitted at the completion time of the
+/// previous one. Byte-identical to [`closed_loop`] for a well-behaved
+/// source — the pull on the *specific completed pair's* stream re-imposes
+/// the deterministic order no matter how the transport interleaves
+/// arrivals. A rejected resubmit closes the pair (the client sees a
+/// reject notification); a stalled pair sheds its tenant.
+pub fn closed_loop_external(
+    shard: &mut Shard,
+    source: &mut dyn RequestSource,
+    observe: &mut dyn FnMut(&HostServer),
+) -> u64 {
+    let server = &mut shard.server;
+    let mut open: Vec<Vec<bool>> = server
+        .tenants()
+        .iter()
+        .map(|t| vec![!t.shed; t.spec.services.len()])
+        .collect();
+    let mut accepted = 0u64;
+    // Prime one in-flight request per live pair, in (tenant, service)
+    // order — the same order the plain loop seeds its clients.
+    for (t, row) in open.iter_mut().enumerate() {
+        let mut stalled = false;
+        for (s, live) in row.iter_mut().enumerate() {
+            if !*live {
+                continue;
+            }
+            match source.pull(t, s) {
+                Pulled::Request(payload) => {
+                    if server.submit(t, s, 0, payload).is_accepted() {
+                        accepted += 1;
+                    } else {
+                        source.rejected(t, s);
+                        *live = false;
+                    }
+                }
+                Pulled::Done => *live = false,
+                Pulled::Stalled => {
+                    server.shed_tenant(t);
+                    stalled = true;
+                    break;
+                }
+            }
+        }
+        if stalled {
+            row.iter_mut().for_each(|o| *o = false);
+        }
+    }
+    while server.pending() > 0 {
+        let stepped = server.step().expect("closed-loop step");
+        observe(server);
+        let Some(c) = stepped else {
+            continue;
+        };
+        source.deliver(c.tenant, c.service, &c);
+        if !open[c.tenant][c.service] {
+            continue;
+        }
+        match source.pull(c.tenant, c.service) {
+            Pulled::Request(payload) => {
+                if server
+                    .submit(c.tenant, c.service, c.end, payload)
+                    .is_accepted()
+                {
+                    accepted += 1;
+                } else {
+                    source.rejected(c.tenant, c.service);
+                    open[c.tenant][c.service] = false;
+                }
+            }
+            Pulled::Done => open[c.tenant][c.service] = false,
+            Pulled::Stalled => {
+                server.shed_tenant(c.tenant);
+                open[c.tenant].iter_mut().for_each(|o| *o = false);
+            }
+        }
+    }
+    accepted
+}
+
 /// Think-time-free closed loop: one client per (tenant, service); each
 /// submits its next request at the completion time of its previous one,
 /// `requests` times. Returns accepted.

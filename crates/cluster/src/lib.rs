@@ -46,5 +46,8 @@ pub mod drive;
 pub mod ring;
 
 pub use cluster::{Cluster, ClusterConfig, ClusterReport, GlobalTenantReport, Shard};
-pub use drive::{poisson_schedule, standard_specs, MEAN_GAP_CYCLES, OPEN_LOOP_SALT};
+pub use drive::{
+    poisson_schedule, setup_counts, standard_specs, FactorySource, Pulled, RequestSource,
+    MEAN_GAP_CYCLES, OPEN_LOOP_SALT,
+};
 pub use ring::{shard_seed, splitmix64, ShardRing};

@@ -1,0 +1,108 @@
+//! The external-drive equivalence oracle: the [`RequestSource`]-driven
+//! loops ([`drive::warmup_external`], [`drive::closed_loop_external`],
+//! [`drive::open_loop_external`]) fed by the reference
+//! [`FactorySource`] must be **byte-identical** to the plain factory
+//! loops in every export — accepted counts, the `ne-tenants/v1` export,
+//! and the merged `ne-metrics/v2` JSON, clean and under chaos.
+//!
+//! This is the in-process half of the `ne-serve` wire-oracle invariant:
+//! the wire source only has to match `FactorySource`, and this test
+//! pins `FactorySource` to the historic loops.
+
+use ne_cluster::{drive, shard_seed, Cluster, ClusterConfig, FactorySource};
+use ne_sgx::fault::FaultPlan;
+
+const SEED: u64 = 0x5E12_4E57;
+const CHAOS_BASE: u64 = SEED ^ 0xC4A0_5EED;
+
+fn build(tenants: usize, services: usize) -> Cluster {
+    let mut cfg = ClusterConfig::new(drive::standard_specs(tenants, services), 1);
+    cfg.host.seed = SEED;
+    Cluster::build(cfg).expect("cluster build")
+}
+
+fn exports(cluster: &Cluster) -> (String, String) {
+    let metrics = cluster.merged_metrics().expect("metrics merge");
+    metrics.check().expect("metrics identities");
+    (cluster.tenants_export(), metrics.to_json())
+}
+
+/// Plain closed loop on one cluster, external closed loop on another;
+/// same bytes out.
+fn assert_closed_equivalent(tenants: usize, services: usize, requests: usize, chaos: Option<&str>) {
+    let mut plain = build(tenants, services);
+    let expected_accepted = plain
+        .run_closed_loop(requests, chaos.map(|spec| (spec, CHAOS_BASE)))
+        .expect("plain closed run");
+    let expected = exports(&plain);
+
+    let mut external = build(tenants, services);
+    let shard = &mut external.shards_mut()[0];
+    let mut factories = drive::factories(shard, SEED);
+    let setup = drive::setup_counts(&factories);
+    let mut source = FactorySource::new(&mut factories, requests);
+    drive::warmup_external(shard, &mut source, &setup);
+    if let Some(spec) = chaos {
+        let plan = FaultPlan::parse(spec, shard_seed(CHAOS_BASE, shard.id)).expect("chaos spec");
+        shard.server.install_chaos(plan);
+    }
+    let accepted = drive::closed_loop_external(shard, &mut source, &mut |_| {});
+
+    assert_eq!(accepted, expected_accepted, "accepted diverged");
+    assert_eq!(exports(&external), expected, "exports diverged");
+}
+
+/// Plain open loop vs external open loop over the same global schedule.
+fn assert_open_equivalent(tenants: usize, services: usize, requests: usize, chaos: Option<&str>) {
+    let mut plain = build(tenants, services);
+    let expected_accepted = plain
+        .run_open_loop(requests, chaos.map(|spec| (spec, CHAOS_BASE)))
+        .expect("plain open run");
+    let expected = exports(&plain);
+
+    let mut external = build(tenants, services);
+    let shard = &mut external.shards_mut()[0];
+    // One shard: the global pair list is the local one, in order.
+    let pairs: Vec<(usize, usize)> = (0..tenants)
+        .flat_map(|t| (0..services).map(move |s| (t, s)))
+        .collect();
+    let schedule = drive::poisson_schedule(&pairs, requests, SEED);
+    let mut factories = drive::factories(shard, SEED);
+    let setup = drive::setup_counts(&factories);
+    let mut source = FactorySource::new(&mut factories, requests);
+    drive::warmup_external(shard, &mut source, &setup);
+    if let Some(spec) = chaos {
+        let plan = FaultPlan::parse(spec, shard_seed(CHAOS_BASE, shard.id)).expect("chaos spec");
+        shard.server.install_chaos(plan);
+    }
+    let accepted = drive::open_loop_external(shard, &mut source, &schedule, &mut |_| {});
+
+    assert_eq!(accepted, expected_accepted, "accepted diverged");
+    assert_eq!(exports(&external), expected, "exports diverged");
+}
+
+#[test]
+fn closed_external_matches_plain() {
+    assert_closed_equivalent(3, 2, 5, None);
+}
+
+#[test]
+fn open_external_matches_plain() {
+    assert_open_equivalent(3, 2, 5, None);
+}
+
+#[test]
+fn closed_external_matches_plain_under_chaos() {
+    // crash sheds whole tenants mid-run; the external loop must take the
+    // exact same counter path (including rejected resubmits).
+    for spec in ["aex+evict", "crash:3", "aex:2+mac:5+stall:4"] {
+        assert_closed_equivalent(3, 2, 5, Some(spec));
+    }
+}
+
+#[test]
+fn open_external_matches_plain_under_chaos() {
+    for spec in ["aex+evict", "crash:3"] {
+        assert_open_equivalent(3, 2, 5, Some(spec));
+    }
+}

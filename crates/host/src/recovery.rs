@@ -157,6 +157,10 @@ pub enum ShedReason {
     /// The request was queued when the breaker tripped and the queue was
     /// drained to explicit sheds.
     QueueDrained,
+    /// The request was queued when its client stopped producing the
+    /// traffic it promised (a wire front-door read deadline expired) and
+    /// the tenant was shed at admission.
+    ClientStalled,
 }
 
 impl ShedReason {
@@ -168,6 +172,7 @@ impl ShedReason {
             ShedReason::Attempts => "attempts",
             ShedReason::Deadline => "deadline",
             ShedReason::QueueDrained => "queue_drained",
+            ShedReason::ClientStalled => "client_stalled",
         }
     }
 }

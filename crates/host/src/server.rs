@@ -789,6 +789,41 @@ impl HostServer {
         }
     }
 
+    /// Sheds `tenant` at the front door: marks it shed at admission and
+    /// converts its queued requests into explicit sheds, counted through
+    /// the existing `shed_requests` counter, with one
+    /// [`RecoveryEventKind::Shed`]`(`[`ShedReason::ClientStalled`]`)`
+    /// event when anything was queued. External drivers (the `ne-serve`
+    /// wire front door) call this when a client stops producing the
+    /// requests it promised — a read deadline expired mid-stream — so
+    /// slow clients degrade into the same reply-or-shed accounting as
+    /// every other loss path, never a hang. Idempotent; does **not**
+    /// open the circuit breaker (the tenant's enclaves are healthy — it
+    /// is the client that went away). Returns how many queued requests
+    /// were shed.
+    pub fn shed_tenant(&mut self, tenant: usize) -> u64 {
+        if tenant >= self.tenants.len() {
+            return 0;
+        }
+        let now = self.now();
+        let drained = {
+            let ts = &mut self.tenants[tenant];
+            ts.shed = true;
+            let n = ts.queue.len() as u64;
+            ts.shed_requests += n;
+            ts.queue.clear();
+            n
+        };
+        if drained > 0 {
+            self.log_event_at(
+                now,
+                tenant,
+                RecoveryEventKind::Shed(ShedReason::ClientStalled),
+            );
+        }
+        drained
+    }
+
     /// Appends one recovery event stamped with `core`'s current cycle.
     fn log_event(&mut self, core: usize, tenant: usize, kind: RecoveryEventKind) {
         let cycle = self.app.machine.cycles(core);

@@ -1,0 +1,228 @@
+//! Framed TCP connections: a [`FramedConn`] pairs a [`FrameSender`] and
+//! a [`FrameReceiver`] over one socket (via `try_clone`), so open-loop
+//! clients can split sending and receiving across threads. With TLS
+//! enabled ([`FramedConn::enable_tls`]) every frame travels inside one
+//! `ne-tls` record — the wire bytes are ciphertext; framing, sequence
+//! numbers, and tampering are authenticated by the record layer before
+//! the frame decoder ever sees a byte.
+
+use std::fmt;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use ne_tls::record::{ContentType, RecordError, RecordLayer};
+
+use crate::frame::{Decoder, Frame, FrameError, HEADER_LEN, MAX_PAYLOAD};
+
+/// Largest admissible TLS record body on the wire: one maximal frame
+/// plus the record tag, with a little slack. Anything larger is a
+/// protocol violation, refused before allocating.
+const MAX_RECORD: usize = HEADER_LEN + MAX_PAYLOAD + 64;
+
+/// Connection-level failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConnError {
+    /// The read deadline expired (slow or stalled peer).
+    TimedOut,
+    /// The peer closed the connection.
+    Closed,
+    /// Frame decode failure (see [`FrameError`]); the stream is dead.
+    Frame(FrameError),
+    /// TLS record failure (tamper, replay, framing); the stream is dead.
+    Record(RecordError),
+    /// Protocol violation above the codec (wrong frame kind, oversized
+    /// record, handshake refusal).
+    Protocol(String),
+    /// Any other socket error.
+    Io(std::io::ErrorKind),
+}
+
+impl fmt::Display for ConnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConnError::TimedOut => write!(f, "read deadline expired"),
+            ConnError::Closed => write!(f, "connection closed by peer"),
+            ConnError::Frame(e) => write!(f, "frame error: {e}"),
+            ConnError::Record(e) => write!(f, "record error: {e}"),
+            ConnError::Protocol(m) => write!(f, "protocol error: {m}"),
+            ConnError::Io(k) => write!(f, "socket error: {k:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ConnError {}
+
+fn map_io(e: std::io::Error) -> ConnError {
+    match e.kind() {
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => ConnError::TimedOut,
+        std::io::ErrorKind::UnexpectedEof => ConnError::Closed,
+        k => ConnError::Io(k),
+    }
+}
+
+/// The sending half of a framed connection.
+#[derive(Debug)]
+pub struct FrameSender {
+    stream: TcpStream,
+    seal: Option<RecordLayer>,
+}
+
+impl FrameSender {
+    /// Encodes and writes one frame (sealed in a record when TLS is
+    /// enabled).
+    ///
+    /// # Errors
+    ///
+    /// Socket write failures.
+    pub fn send(&mut self, frame: &Frame) -> Result<(), ConnError> {
+        let bytes = frame.encode();
+        let wire = match &mut self.seal {
+            Some(layer) => layer.seal(ContentType::Data, &bytes),
+            None => bytes,
+        };
+        self.stream.write_all(&wire).map_err(map_io)
+    }
+}
+
+/// The receiving half of a framed connection.
+#[derive(Debug)]
+pub struct FrameReceiver {
+    stream: TcpStream,
+    seal: Option<RecordLayer>,
+    decoder: Decoder,
+}
+
+impl FrameReceiver {
+    /// Blocks for the next frame, honoring the socket's read timeout.
+    ///
+    /// In plaintext mode a timeout leaves buffered partial bytes intact
+    /// (the read is resumable); in TLS mode a timeout mid-record is
+    /// fatal to the stream — the caller treats any [`ConnError`] other
+    /// than a clean first-byte timeout as reason to drop the peer.
+    ///
+    /// # Errors
+    ///
+    /// [`ConnError`] on timeout, close, decode, or record failure.
+    pub fn recv(&mut self) -> Result<Frame, ConnError> {
+        loop {
+            if let Some(frame) = self.decoder.next_frame().map_err(ConnError::Frame)? {
+                return Ok(frame);
+            }
+            match &mut self.seal {
+                None => {
+                    let mut chunk = [0u8; 4096];
+                    let n = self.stream.read(&mut chunk).map_err(map_io)?;
+                    if n == 0 {
+                        return Err(ConnError::Closed);
+                    }
+                    self.decoder.feed(&chunk[..n]).map_err(ConnError::Frame)?;
+                }
+                Some(layer) => {
+                    let mut header = [0u8; 5];
+                    read_exact(&mut self.stream, &mut header)?;
+                    let len =
+                        u32::from_le_bytes(header[1..5].try_into().expect("4 bytes")) as usize;
+                    if len > MAX_RECORD {
+                        return Err(ConnError::Protocol(format!(
+                            "oversized record of {len} bytes"
+                        )));
+                    }
+                    let mut wire = vec![0u8; 5 + len];
+                    wire[..5].copy_from_slice(&header);
+                    read_exact(&mut self.stream, &mut wire[5..])?;
+                    let (ty, plaintext) = layer.open(&wire).map_err(ConnError::Record)?;
+                    if ty != ContentType::Data {
+                        return Err(ConnError::Protocol(format!(
+                            "unexpected record type {ty:?}"
+                        )));
+                    }
+                    self.decoder.feed(&plaintext).map_err(ConnError::Frame)?;
+                }
+            }
+        }
+    }
+}
+
+fn read_exact(stream: &mut TcpStream, buf: &mut [u8]) -> Result<(), ConnError> {
+    stream.read_exact(buf).map_err(map_io)
+}
+
+/// A framed connection: one socket, both directions.
+#[derive(Debug)]
+pub struct FramedConn {
+    tx: FrameSender,
+    rx: FrameReceiver,
+}
+
+impl FramedConn {
+    /// Wraps a connected stream. The stream is cloned so the two halves
+    /// can later be split across threads.
+    ///
+    /// # Errors
+    ///
+    /// Socket clone failure.
+    pub fn new(stream: TcpStream) -> std::io::Result<FramedConn> {
+        let write_half = stream.try_clone()?;
+        Ok(FramedConn {
+            tx: FrameSender {
+                stream: write_half,
+                seal: None,
+            },
+            rx: FrameReceiver {
+                stream,
+                seal: None,
+                decoder: Decoder::new(),
+            },
+        })
+    }
+
+    /// Sets the read deadline for [`FramedConn::recv`] (`None` blocks
+    /// forever).
+    ///
+    /// # Errors
+    ///
+    /// Socket option failure.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.rx.stream.set_read_timeout(timeout)
+    }
+
+    /// Switches both directions to sealed records under `key` (each
+    /// direction gets its own [`RecordLayer`] so the halves stay
+    /// independently owned). Must be called at a frame boundary — i.e.
+    /// right after the plaintext handshake frames — or the leftover
+    /// buffered bytes would be misinterpreted.
+    pub fn enable_tls(&mut self, key: [u8; 16]) {
+        assert_eq!(
+            self.rx.decoder.buffered(),
+            0,
+            "enable_tls mid-stream would desynchronize"
+        );
+        self.tx.seal = Some(RecordLayer::new(key));
+        self.rx.seal = Some(RecordLayer::new(key));
+    }
+
+    /// Sends one frame.
+    ///
+    /// # Errors
+    ///
+    /// As [`FrameSender::send`].
+    pub fn send(&mut self, frame: &Frame) -> Result<(), ConnError> {
+        self.tx.send(frame)
+    }
+
+    /// Receives one frame.
+    ///
+    /// # Errors
+    ///
+    /// As [`FrameReceiver::recv`].
+    pub fn recv(&mut self) -> Result<Frame, ConnError> {
+        self.rx.recv()
+    }
+
+    /// Splits the connection into independently owned halves (the
+    /// open-loop client writes from one thread and reads from another).
+    pub fn into_split(self) -> (FrameSender, FrameReceiver) {
+        (self.tx, self.rx)
+    }
+}

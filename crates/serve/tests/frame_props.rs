@@ -1,0 +1,115 @@
+//! Property tests of the wire frame codec: arbitrary junk, truncations,
+//! and bit flips must produce typed errors or "need more bytes" — never
+//! a panic, and never a decoded frame from corrupted input. Chunking
+//! must be invisible: a frame stream split at any byte boundaries
+//! decodes to the same frames.
+
+use ne_serve::{Decoder, Frame, FrameKind};
+use proptest::prelude::*;
+
+const KINDS: [FrameKind; 10] = [
+    FrameKind::Hello,
+    FrameKind::HelloAck,
+    FrameKind::Request,
+    FrameKind::Reply,
+    FrameKind::Reject,
+    FrameKind::Done,
+    FrameKind::Finish,
+    FrameKind::ClientHello,
+    FrameKind::ServerHello,
+    FrameKind::Abort,
+];
+
+fn arb_frame() -> impl Strategy<Value = Frame> {
+    (
+        prop::sample::select(KINDS.to_vec()),
+        any::<u32>(),
+        any::<u32>(),
+        any::<u64>(),
+        prop::collection::vec(any::<u8>(), 0..300),
+    )
+        .prop_map(|(kind, tenant, service, req_id, payload)| {
+            Frame::new(kind, tenant, service, req_id, payload)
+        })
+}
+
+/// Feeds `bytes` in the chunking described by `splits` and collects
+/// every decode outcome until the buffer is exhausted or the decoder
+/// errors.
+fn drain(decoder: &mut Decoder) -> Result<Vec<Frame>, ()> {
+    let mut out = Vec::new();
+    loop {
+        match decoder.next_frame() {
+            Ok(Some(frame)) => out.push(frame),
+            Ok(None) => return Ok(out),
+            Err(_) => return Err(()),
+        }
+    }
+}
+
+proptest! {
+    /// A stream of valid frames decodes identically no matter how the
+    /// bytes are chunked.
+    #[test]
+    fn roundtrip_survives_arbitrary_chunking(
+        frames in prop::collection::vec(arb_frame(), 1..5),
+        splits in prop::collection::vec(any::<prop::sample::Index>(), 0..8),
+    ) {
+        let mut wire = Vec::new();
+        for f in &frames {
+            wire.extend_from_slice(&f.encode());
+        }
+        let mut points: Vec<usize> = splits.iter().map(|s| s.index(wire.len() + 1)).collect();
+        points.push(0);
+        points.push(wire.len());
+        points.sort_unstable();
+        let mut decoder = Decoder::new();
+        let mut decoded = Vec::new();
+        for w in points.windows(2) {
+            decoder.feed(&wire[w[0]..w[1]]).expect("valid stream never overflows");
+            decoded.extend(drain(&mut decoder).expect("valid stream decodes"));
+        }
+        prop_assert_eq!(decoded, frames);
+    }
+
+    /// Arbitrary junk never panics: every outcome is a frame, "need more
+    /// bytes", or a typed error.
+    #[test]
+    fn junk_never_panics(junk in prop::collection::vec(any::<u8>(), 0..2048)) {
+        let mut decoder = Decoder::new();
+        if decoder.feed(&junk).is_ok() {
+            let _ = drain(&mut decoder);
+        }
+    }
+
+    /// Any strict prefix of a valid frame is "need more bytes", never an
+    /// error and never a frame — truncation cannot desynchronize.
+    #[test]
+    fn truncation_is_incomplete(frame in arb_frame(), cut in any::<prop::sample::Index>()) {
+        let wire = frame.encode();
+        let cut = cut.index(wire.len()); // 0..len, always a strict prefix
+        let mut decoder = Decoder::new();
+        decoder.feed(&wire[..cut]).expect("prefix fits");
+        prop_assert_eq!(drain(&mut decoder), Ok(Vec::new()));
+    }
+
+    /// A single bit flip anywhere in a frame never yields a decoded
+    /// frame: the outcome is a typed error (bad magic/version/kind,
+    /// oversized, checksum mismatch) or "need more bytes" (a length
+    /// corrupted upward keeps the decoder waiting, which is safe).
+    #[test]
+    fn bitflip_never_yields_a_frame(
+        frame in arb_frame(),
+        byte in any::<prop::sample::Index>(),
+        bit in 0..8u32,
+    ) {
+        let mut wire = frame.encode();
+        let idx = byte.index(wire.len());
+        wire[idx] ^= 1 << bit;
+        let mut decoder = Decoder::new();
+        if decoder.feed(&wire).is_ok() {
+            let decoded = drain(&mut decoder);
+            prop_assert_eq!(decoded.unwrap_or_default(), Vec::new());
+        }
+    }
+}
