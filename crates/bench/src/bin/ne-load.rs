@@ -52,6 +52,20 @@
 //! (default 2,000,000) and `--dash` replays the timeline as a text
 //! dashboard after the run summary.
 //!
+//! `--migrate <tenant>@<trigger>` runs one **segmented** closed-loop
+//! scenario with a live migration at the mid-run barrier (shards are
+//! forced to at least 2). Triggers: `planned` moves that tenant to the
+//! next shard; `epc` arms the EPC low-water evacuation policy (the
+//! largest tenant per pressured shard moves — the named tenant is the
+//! one the summary highlights); `chaos[:period]` injects seeded
+//! migration requests through the fault plan (composable with
+//! `--chaos`). The run prints the usual per-tenant table, one line per
+//! migration record, and a final `dropped=<n>` line that is asserted to
+//! be `dropped=0` — the zero-dropped-requests invariant. Everything is
+//! a simulation fact, so the report and the `--tenants-out` /
+//! `--timeline-out` exports are byte-identical across repeats of the
+//! same flags.
+//!
 //! `--connect host:port` switches the harness into **wire client**
 //! mode: instead of building a cluster it opens one TCP connection per
 //! (tenant, service) pair to a running `ne-serve` front door and plays
@@ -66,7 +80,10 @@ use ne_bench::report::{
     banner, f2, flag_str, flag_u64, tenants_out_path, throughput_rps, timeline_out_path,
     want_trace, write_shard_traces, MetricsReport, Table,
 };
-use ne_cluster::{drive, Cluster, ClusterConfig, ClusterReport};
+use ne_cluster::{
+    drive, Cluster, ClusterConfig, ClusterReport, MigrationOutcome, MigrationPolicy,
+    MigrationRecord, PlannedMove,
+};
 use ne_host::{RequestFactory, ServiceKind};
 use ne_obs::{SamplerConfig, Timeline};
 
@@ -241,6 +258,177 @@ fn run(
     (export, trace.then(|| cluster.trace_bundles()), timeline)
 }
 
+/// What `--migrate <tenant>@<trigger>` asked for.
+enum MigrateTrigger {
+    Planned,
+    Epc,
+    Chaos(u64),
+}
+
+fn parse_migrate(spec: &str, tenants: usize) -> (usize, MigrateTrigger) {
+    fn bad(spec: &str) -> ! {
+        panic!("--migrate expects <tenant>@<planned|epc|chaos[:period]>, got '{spec}'")
+    }
+    let (tenant, trigger) = spec.split_once('@').unwrap_or_else(|| bad(spec));
+    let tenant: usize = tenant.parse().unwrap_or_else(|_| bad(spec));
+    assert!(
+        tenant < tenants,
+        "--migrate names tenant {tenant}, but the run has {tenants} tenants"
+    );
+    let trigger = match trigger.split_once(':') {
+        None => match trigger {
+            "planned" => MigrateTrigger::Planned,
+            "epc" => MigrateTrigger::Epc,
+            "chaos" => MigrateTrigger::Chaos(5),
+            _ => bad(spec),
+        },
+        Some(("chaos", period)) => {
+            MigrateTrigger::Chaos(period.parse().unwrap_or_else(|_| bad(spec)))
+        }
+        Some(_) => bad(spec),
+    };
+    (tenant, trigger)
+}
+
+fn migration_line(r: &MigrationRecord) -> String {
+    match &r.outcome {
+        MigrationOutcome::Adopted { to, .. } => format!(
+            "  barrier {}: tenant {} shard {} -> shard {} ({})",
+            r.segment,
+            r.global,
+            r.from,
+            to,
+            r.trigger.name()
+        ),
+        MigrationOutcome::RolledBack { error, .. } => format!(
+            "  barrier {}: tenant {} stayed on shard {} ({}, rolled back: {error})",
+            r.segment,
+            r.global,
+            r.from,
+            r.trigger.name()
+        ),
+    }
+}
+
+/// Migration mode (`--migrate`): one segmented closed-loop run with a
+/// barrier migration mid-run, the per-tenant table, the migration log,
+/// and the asserted `dropped=0` line. Exports describe this run.
+fn run_migrate(spec: &str, plan: &Plan, obs: Option<SamplerConfig>, dash: bool) {
+    let (tenant, trigger) = parse_migrate(spec, plan.tenants);
+    assert!(
+        plan.requests >= 2,
+        "--migrate needs at least 2 requests per pair (one per segment)"
+    );
+    let mut plan = plan.clone();
+    // Migration needs a destination; a single-shard request is promoted.
+    plan.shards = plan.shards.max(2);
+    let mut cluster = build(&plan, false);
+    // One barrier at the midpoint of the run.
+    let first = plan.requests - plan.requests / 2;
+    let segments = [first, plan.requests - first];
+    let mut policy = MigrationPolicy::default();
+    let mut chaos_spec = plan.chaos.clone();
+    let highlight = match trigger {
+        MigrateTrigger::Planned => {
+            let (from, _) = cluster.placement(tenant);
+            policy.moves.push(PlannedMove {
+                segment: 0,
+                global: tenant,
+                to_shard: (from + 1) % plan.shards,
+            });
+            format!("planned move of tenant {tenant} off shard {from}")
+        }
+        MigrateTrigger::Epc => {
+            // Always below the water line: every shard evacuates its
+            // largest tenant at the barrier.
+            policy.epc_low_water = Some(usize::MAX);
+            format!("EPC-pressure evacuation (watching tenant {tenant})")
+        }
+        MigrateTrigger::Chaos(period) => {
+            let term = format!("migrate:{period}");
+            chaos_spec = Some(match chaos_spec.take() {
+                Some(existing) => format!("{existing}+{term}"),
+                None => term.clone(),
+            });
+            format!("chaos-injected requests ({term}, watching tenant {tenant})")
+        }
+    };
+    banner(&format!(
+        "ne-load --migrate: {} tenants x {} services, {} requests per pair ({}+{} around the \
+         barrier), seed {}, shards {}, {}{}",
+        plan.tenants,
+        plan.services,
+        plan.requests,
+        segments[0],
+        segments[1],
+        plan.seed,
+        plan.shards,
+        highlight,
+        chaos_spec
+            .as_deref()
+            .map(|c| format!(", chaos {c}"))
+            .unwrap_or_default()
+    ));
+    let chaos = chaos_spec.as_deref().map(|s| (s, plan.seed ^ 0xC4A0_5EED));
+    let (accepted, timeline, log) = match obs {
+        None => {
+            let (a, log) = cluster
+                .run_segmented_closed_loop(&segments, chaos, &policy)
+                .unwrap_or_else(|e| panic!("--migrate run failed: {e}"));
+            (a, None, log)
+        }
+        Some(cfg) => {
+            let (a, t, log) = cluster
+                .run_segmented_closed_loop_observed(&segments, chaos, &policy, cfg)
+                .unwrap_or_else(|e| panic!("--migrate run failed: {e}"));
+            (a, Some(t), log)
+        }
+    };
+    let hr = cluster.report();
+    assert_eq!(
+        hr.sched.invariant_violations, 0,
+        "scheduler invariant violated"
+    );
+    println!("\nsegmented closed-loop: {accepted} requests served");
+    tenant_table(&hr, plan.shards).print();
+    println!("\nmigrations: {}", log.len());
+    for r in &log {
+        println!("{}", migration_line(r));
+    }
+    for r in &log {
+        let (shard, _) = cluster.placement(r.global);
+        println!(
+            "  tenant {} now on shard {} (seal floor {})",
+            r.global,
+            shard,
+            cluster.seal_floor(r.global)
+        );
+    }
+    // The headline invariant: every accepted request terminated with a
+    // reply or an explicit counted shed — migration dropped nothing.
+    let dropped = accepted - hr.completed() - hr.shed_requests();
+    println!("dropped={dropped}");
+    assert_eq!(dropped, 0, "migration dropped an accepted request");
+    if let Some(path) = tenants_out_path() {
+        let payload = cluster.tenants_export();
+        std::fs::write(&path, &payload)
+            .unwrap_or_else(|e| panic!("cannot write tenants export to {}: {e}", path.display()));
+        println!("\ntenants export: wrote {}", path.display());
+    }
+    if let Some(t) = &timeline {
+        if dash {
+            println!();
+            print!("{}", ne_obs::dash::render(t, "ne-load-migrate"));
+        }
+        if let Some(path) = timeline_out_path() {
+            std::fs::write(&path, ne_obs::to_jsonl(t, "ne-load-migrate")).unwrap_or_else(|e| {
+                panic!("cannot write timeline export to {}: {e}", path.display())
+            });
+            println!("\ntimeline export: wrote {}", path.display());
+        }
+    }
+}
+
 /// Wire-client mode (`--connect`): replay the seeded streams against a
 /// running `ne-serve` front door and print the deterministic report.
 fn run_connect(addr: String) {
@@ -287,6 +475,15 @@ fn main() {
     // simulator's memory pipeline (via `HwConfig::reference_path`) and the
     // bit/byte-wise crypto primitives. Outputs are identical either way.
     ne_crypto::set_reference_impl(plan.reference);
+    if let Some(spec) = flag_str("--migrate") {
+        let dash = std::env::args().any(|a| a == "--dash");
+        let obs = (dash || timeline_out_path().is_some()).then(|| SamplerConfig {
+            window_cycles: flag_u64("--window").unwrap_or(2_000_000).max(1),
+            ..SamplerConfig::default()
+        });
+        run_migrate(&spec, &plan, obs, dash);
+        return;
+    }
     let mode = flag_str("--mode").unwrap_or_else(|| "both".to_string());
     let (open, closed) = match mode.as_str() {
         "open" => (true, false),

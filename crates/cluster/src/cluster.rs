@@ -111,10 +111,18 @@ impl ClusterReport {
 
 /// The sharded cluster. See the [crate docs](crate) for the invariants.
 pub struct Cluster {
-    shards: Vec<Shard>,
+    pub(crate) shards: Vec<Shard>,
     /// `assignment[global] == (shard, local index on that shard)`.
-    assignment: Vec<(usize, usize)>,
-    seed: u64,
+    pub(crate) assignment: Vec<(usize, usize)>,
+    pub(crate) seed: u64,
+    /// Authoritative per-global-tenant seal-counter floor: the highest
+    /// seal counter the cluster has ever extracted for the tenant. A
+    /// sealed snapshot below its tenant's floor is a replay of retired
+    /// state and every adoption refuses it
+    /// ([`ne_host::HostError::StateRollback`]). The floor lives here —
+    /// not in any snapshot — because a replayed snapshot is internally
+    /// consistent; only the coordinator knows it is old.
+    pub(crate) seal_floors: Vec<u64>,
 }
 
 impl Cluster {
@@ -159,10 +167,12 @@ impl Cluster {
                 server,
             });
         }
+        let seal_floors = vec![0; assignment.len()];
         Ok(Cluster {
             shards,
             assignment,
             seed: cfg.host.seed,
+            seal_floors,
         })
     }
 
@@ -196,6 +206,13 @@ impl Cluster {
     /// `(shard, local index)` of a global tenant id.
     pub fn placement(&self, global: usize) -> (usize, usize) {
         self.assignment[global]
+    }
+
+    /// The authoritative seal-counter floor for a global tenant: sealed
+    /// snapshots with a lower counter are replays and are refused at
+    /// adoption. Grows by one with every extraction.
+    pub fn seal_floor(&self, global: usize) -> u64 {
+        self.seal_floors[global]
     }
 
     /// Runs `f` once per shard — **one OS thread per shard** — and
@@ -409,7 +426,10 @@ impl Cluster {
     }
 
     /// One parsed chaos plan per shard (or `None`s without a spec).
-    fn chaos_plans(&self, chaos: Option<(&str, u64)>) -> Result<Vec<Option<FaultPlan>>, String> {
+    pub(crate) fn chaos_plans(
+        &self,
+        chaos: Option<(&str, u64)>,
+    ) -> Result<Vec<Option<FaultPlan>>, String> {
         self.shards
             .iter()
             .map(|shard| {
@@ -461,6 +481,7 @@ impl Cluster {
             total.tamperings += cs.tamperings;
             total.crashes += cs.crashes;
             total.stalls += cs.stalls;
+            total.migrations += cs.migrations;
         }
         Some(total)
     }

@@ -43,11 +43,15 @@
 
 pub mod cluster;
 pub mod drive;
+pub mod migrate;
 pub mod ring;
 
 pub use cluster::{Cluster, ClusterConfig, ClusterReport, GlobalTenantReport, Shard};
 pub use drive::{
     poisson_schedule, setup_counts, standard_specs, FactorySource, Pulled, RequestSource,
     MEAN_GAP_CYCLES, OPEN_LOOP_SALT,
+};
+pub use migrate::{
+    MigrationOutcome, MigrationPolicy, MigrationRecord, MigrationTrigger, PlannedMove,
 };
 pub use ring::{shard_seed, splitmix64, ShardRing};

@@ -53,6 +53,7 @@
 pub mod channel;
 pub mod concurrent;
 pub mod edl;
+pub mod lifecycle;
 pub mod loader;
 pub mod nasso;
 pub mod quote;
@@ -66,6 +67,9 @@ pub mod validate;
 pub use channel::{OuterChannel, UntrustedChannel};
 pub use concurrent::SharedApp;
 pub use edl::Edl;
+pub use lifecycle::{
+    attest_chain, peek_header, seal_state, unseal_state, AttestError, LifecycleError,
+};
 pub use loader::{load_image, EnclaveImage, LoadedLayout};
 pub use nasso::{nasso, AssocPolicy, ExpectedIdentity};
 pub use quote::{attest_remote, NestedQuote, QuotingEnclave, RemoteVerifier};

@@ -201,11 +201,15 @@ mod tests {
             .ecreate(pid, VirtRange::new(base, 2 * PAGE_SIZE as u64))
             .unwrap();
         m.add_tcs(eid, base, base.add(PAGE_SIZE as u64)).unwrap();
+        // Page contents derive from the author so each test enclave is a
+        // *content-distinct* identity (measurement is load-position
+        // independent, so base alone no longer distinguishes enclaves —
+        // exactly as on real hardware).
         m.eadd(
             eid,
             base.add(PAGE_SIZE as u64),
             PageType::Reg,
-            PageSource::Zeros,
+            PageSource::Image(signer.to_vec()),
             PagePerms::RW,
         )
         .unwrap();

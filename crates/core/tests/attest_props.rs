@@ -1,0 +1,211 @@
+//! NEREPORT hardening: property tests of the admission gate over random
+//! enclave trees. Whatever the topology, the § IV-E chain must hold —
+//! a genuine (gate, inner) pair always admits, and every forgery the
+//! untrusted host could attempt (MAC flips, relation-list tampering and
+//! reordering, reports targeted elsewhere, non-associated reporters) is
+//! refused with a typed [`AttestError`], never admitted and never a
+//! panic.
+
+use ne_core::edl::Edl;
+use ne_core::lifecycle::{admit_report, attest_chain, collect_report, AttestError};
+use ne_core::loader::EnclaveImage;
+use ne_core::report::{Relation, RelationRecord};
+use ne_core::runtime::NestedApp;
+use ne_sgx::config::HwConfig;
+use proptest::prelude::*;
+
+/// A random forest: `fanout[g]` inner enclaves under gate `g`. Returns
+/// the app plus (gate name, inner names) per tree.
+fn build_forest(fanout: &[usize]) -> (NestedApp, Vec<(String, Vec<String>)>) {
+    let mut app = NestedApp::new(HwConfig::small());
+    let mut forest = Vec::new();
+    for (g, &n) in fanout.iter().enumerate() {
+        let gate = format!("gate{g}");
+        app.load(
+            EnclaveImage::new(&gate, format!("signer{g}").as_bytes())
+                .heap_pages(2)
+                .edl(Edl::new()),
+            [],
+        )
+        .expect("load gate");
+        let mut inners = Vec::new();
+        for i in 0..n {
+            let inner = format!("inner{g}x{i}");
+            app.load(
+                EnclaveImage::new(&inner, format!("tenant{g}x{i}").as_bytes())
+                    .heap_pages(2)
+                    .edl(Edl::new()),
+                [],
+            )
+            .expect("load inner");
+            app.associate(&inner, &gate).expect("associate");
+            inners.push(inner);
+        }
+        forest.push((gate, inners));
+    }
+    (app, forest)
+}
+
+fn pick(names: &[(String, Vec<String>)], gate: usize, inner: usize) -> (&str, &str) {
+    let (g, inners) = &names[gate % names.len()];
+    (g.as_str(), inners[inner % inners.len()].as_str())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Every genuine (gate, inner) pair in a random forest admits, and
+    /// the verified report's relation list names that gate as an outer.
+    #[test]
+    fn genuine_pairs_admit_everywhere(
+        fanout in prop::collection::vec(1usize..4, 1..4),
+        nonce_seed in any::<u8>(),
+    ) {
+        let (mut app, forest) = build_forest(&fanout);
+        let nonce = [nonce_seed; 32];
+        for (gate, inners) in &forest {
+            for inner in inners {
+                let report = attest_chain(&mut app, 0, gate, inner, &nonce)
+                    .expect("genuine pair must admit");
+                prop_assert!(report
+                    .relations
+                    .iter()
+                    .any(|r| r.relation == Relation::Outer));
+            }
+        }
+    }
+
+    /// A report from an inner enclave that is NOT associated with the
+    /// verifying gate is refused: the MAC verifies (the report was
+    /// genuinely targeted at this gate) but the relation list cannot
+    /// name it, so the refusal is the typed `NotAssociated`.
+    #[test]
+    fn non_associated_reporter_is_refused(
+        fanout in prop::collection::vec(1usize..4, 2..4),
+        ga in any::<u8>(),
+        gb in any::<u8>(),
+        inner_ix in any::<u8>(),
+    ) {
+        let (mut app, forest) = build_forest(&fanout);
+        let ga = ga as usize % forest.len();
+        let mut gb = gb as usize % forest.len();
+        if gb == ga {
+            gb = (gb + 1) % forest.len();
+        }
+        let gate = forest[ga].0.as_str();
+        let (_, stranger) = pick(&forest, gb, inner_ix as usize);
+        let nonce = [3u8; 32];
+        let report = collect_report(&mut app, 0, stranger, gate, &nonce)
+            .expect("any enclave may target a report");
+        prop_assert_eq!(
+            admit_report(&mut app, 0, gate, stranger, &nonce, &report),
+            Err(AttestError::NotAssociated)
+        );
+    }
+
+    /// A report targeted at some other enclave never verifies at the
+    /// gate, whatever the tree looks like: report keys are
+    /// per-(target, machine), so the gate's key refuses the MAC.
+    #[test]
+    fn report_for_another_target_is_refused(
+        fanout in prop::collection::vec(1usize..4, 1..4),
+        gate_ix in any::<u8>(),
+        inner_ix in any::<u8>(),
+    ) {
+        let (mut app, forest) = build_forest(&fanout);
+        let (gate, inner) = pick(&forest, gate_ix as usize, inner_ix as usize);
+        let nonce = [5u8; 32];
+        // Targeted at itself instead of the gate.
+        let misdirected = collect_report(&mut app, 0, inner, inner, &nonce).unwrap();
+        prop_assert_eq!(
+            admit_report(&mut app, 0, gate, inner, &nonce, &misdirected),
+            Err(AttestError::BadMac)
+        );
+    }
+
+    /// Any single bit flip in the MAC, the measurement, the signer, or
+    /// the echoed nonce is refused (MAC forgery / tamper).
+    #[test]
+    fn bit_flips_anywhere_are_refused(
+        fanout in prop::collection::vec(1usize..4, 1..4),
+        gate_ix in any::<u8>(),
+        inner_ix in any::<u8>(),
+        field in 0usize..4,
+        byte in any::<u8>(),
+        bit in 0u32..8,
+    ) {
+        let (mut app, forest) = build_forest(&fanout);
+        let (gate, inner) = pick(&forest, gate_ix as usize, inner_ix as usize);
+        let nonce = [7u8; 32];
+        let report = collect_report(&mut app, 0, inner, gate, &nonce).unwrap();
+        let mut forged = report.clone();
+        let flip = 1u8 << bit;
+        match field {
+            0 => forged.mac[byte as usize % forged.mac.len()] ^= flip,
+            1 => forged.mrenclave[byte as usize % forged.mrenclave.len()] ^= flip,
+            2 => forged.mrsigner[byte as usize % forged.mrsigner.len()] ^= flip,
+            _ => forged.report_data[byte as usize % forged.report_data.len()] ^= flip,
+        }
+        let verdict = admit_report(&mut app, 0, gate, inner, &nonce, &forged);
+        prop_assert!(
+            matches!(
+                verdict,
+                Err(AttestError::BadMac) | Err(AttestError::Freshness)
+            ),
+            "forged report admitted or odd refusal: {:?}", verdict
+        );
+    }
+
+    /// Any tampering of the relation list — reordering, deletion,
+    /// record corruption, role flips, or injecting a forged record that
+    /// names the gate — is refused. The relations are inside the MACed
+    /// body, so reordering alone must already break verification.
+    #[test]
+    fn relation_list_tamper_is_refused(
+        fanout in prop::collection::vec(1usize..4, 1..4),
+        gate_ix in any::<u8>(),
+        inner_ix in any::<u8>(),
+        mutation in 0usize..4,
+        byte in any::<u8>(),
+    ) {
+        let (mut app, forest) = build_forest(&fanout);
+        let (gate, inner) = pick(&forest, gate_ix as usize, inner_ix as usize);
+        let nonce = [11u8; 32];
+        let report = collect_report(&mut app, 0, inner, gate, &nonce).unwrap();
+        prop_assert!(!report.relations.is_empty(), "associated inner must report a relation");
+        let mut forged = report.clone();
+        match mutation {
+            // Reorder: move a fresh (distinct) record in front, so the
+            // list order changes even when it had one entry.
+            0 => {
+                let mut decoy = forged.relations[0].clone();
+                decoy.mrenclave[0] ^= 0xFF;
+                forged.relations.insert(0, decoy);
+            }
+            // Delete the association evidence entirely.
+            1 => forged.relations.clear(),
+            // Corrupt the related measurement in place.
+            2 => {
+                let r = &mut forged.relations[0];
+                r.mrenclave[byte as usize % r.mrenclave.len()] ^= 1;
+            }
+            // Inject a forged "outer" record claiming the gate — the
+            // classic association forgery. Build it from the gate's
+            // real live identity.
+            _ => {
+                let eid = app.eid(gate).unwrap();
+                let secs = app.machine.enclaves().get(eid).unwrap();
+                let (mr, signer) = (secs.mrenclave, secs.mrsigner);
+                forged.relations.push(RelationRecord {
+                    relation: Relation::Outer,
+                    mrenclave: mr,
+                    mrsigner: signer,
+                });
+            }
+        }
+        prop_assert_eq!(
+            admit_report(&mut app, 0, gate, inner, &nonce, &forged),
+            Err(AttestError::BadMac)
+        );
+    }
+}

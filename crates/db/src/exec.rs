@@ -59,7 +59,7 @@ pub struct QueryResult {
 }
 
 /// An in-memory SQL database.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, PartialEq, Eq)]
 pub struct Database {
     tables: HashMap<String, Table>,
 }
@@ -253,6 +253,20 @@ impl Database {
     /// Row count of a table, if it exists.
     pub fn table_len(&self, name: &str) -> Option<usize> {
         self.tables.get(name).map(Table::len)
+    }
+
+    /// Tables in ascending name order (the snapshot codec's canonical
+    /// iteration order — `HashMap` iteration order must never leak into
+    /// serialized bytes).
+    pub(crate) fn tables_sorted(&self) -> Vec<(&String, &Table)> {
+        let mut tables: Vec<_> = self.tables.iter().collect();
+        tables.sort_by_key(|(name, _)| (*name).clone());
+        tables
+    }
+
+    /// Installs a fully-built table under `name` (snapshot restore path).
+    pub(crate) fn install_table(&mut self, name: String, table: Table) {
+        self.tables.insert(name, table);
     }
 }
 

@@ -21,11 +21,13 @@
 
 pub mod exec;
 pub mod parser;
+pub mod snapshot;
 pub mod storage;
 pub mod value;
 pub mod ycsb;
 
 pub use exec::{Database, QueryResult};
 pub use parser::{parse, Statement};
+pub use snapshot::SnapshotError;
 pub use value::Value;
 pub use ycsb::{Workload, WorkloadMix};

@@ -1,0 +1,325 @@
+//! Deterministic whole-database serialization.
+//!
+//! The sealed-state lifecycle (ne-core `lifecycle`, ROADMAP item 2) needs
+//! to freeze a tenant's database engine into bytes, move those bytes to
+//! another enclave — possibly on another shard — and thaw an engine that
+//! answers every subsequent query exactly as the original would have.
+//! That only works if serialization is **canonical**: the same logical
+//! database state always produces the same bytes, regardless of the
+//! insertion history or `HashMap` iteration order. Tables are therefore
+//! written in ascending name order and rows in primary-key order (the
+//! `BTreeMap` already guarantees the latter).
+//!
+//! The format is versioned and length-prefixed throughout, and
+//! [`Database::restore_bytes`] is total: any truncated, corrupt, or
+//! future-versioned input yields a typed [`SnapshotError`], never a
+//! panic — the blob may have crossed a trust boundary.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! "NEDBSNAP" | version u16 | table-count u32
+//! per table (name order):
+//!   name: len u32 + bytes
+//!   column-count u32, per column: len u32 + bytes
+//!   row-count u64, per row (key order), per value:
+//!     tag u8 (0 = Int, 1 = Text) | i64  or  len u32 + bytes
+//! ```
+
+use crate::exec::Database;
+use crate::storage::Table;
+use crate::value::Value;
+use std::fmt;
+
+/// Magic prefix of every snapshot.
+const MAGIC: &[u8; 8] = b"NEDBSNAP";
+/// Current snapshot format version.
+const VERSION: u16 = 1;
+
+/// Why a snapshot could not be restored.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The input ended before the structure it promised.
+    Truncated,
+    /// The input does not start with the snapshot magic.
+    BadMagic,
+    /// The input's format version is not one this build reads.
+    BadVersion(u16),
+    /// An unknown value tag (neither Int nor Text).
+    BadTag(u8),
+    /// A name or text value was not valid UTF-8.
+    BadUtf8,
+    /// Bytes remained after the last promised table.
+    TrailingBytes(usize),
+    /// A table arrived with zero columns (never produced by snapshot).
+    EmptyTable(String),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Truncated => write!(f, "snapshot truncated"),
+            SnapshotError::BadMagic => write!(f, "not a ne-db snapshot"),
+            SnapshotError::BadVersion(v) => write!(f, "unsupported snapshot version {v}"),
+            SnapshotError::BadTag(t) => write!(f, "unknown value tag {t}"),
+            SnapshotError::BadUtf8 => write!(f, "snapshot string is not UTF-8"),
+            SnapshotError::TrailingBytes(n) => write!(f, "{n} trailing bytes after snapshot"),
+            SnapshotError::EmptyTable(t) => write!(f, "table {t} has no columns"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_value(out: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Int(i) => {
+            out.push(0);
+            out.extend_from_slice(&i.to_le_bytes());
+        }
+        Value::Text(s) => {
+            out.push(1);
+            put_str(out, s);
+        }
+    }
+}
+
+/// Bounded little-endian reader over the snapshot bytes.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        let end = self.pos.checked_add(n).ok_or(SnapshotError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(SnapshotError::Truncated);
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, SnapshotError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, SnapshotError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, SnapshotError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, SnapshotError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn i64(&mut self) -> Result<i64, SnapshotError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn str(&mut self) -> Result<String, SnapshotError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| SnapshotError::BadUtf8)
+    }
+
+    fn value(&mut self) -> Result<Value, SnapshotError> {
+        match self.u8()? {
+            0 => Ok(Value::Int(self.i64()?)),
+            1 => Ok(Value::Text(self.str()?)),
+            t => Err(SnapshotError::BadTag(t)),
+        }
+    }
+}
+
+impl Database {
+    /// Serializes the whole database into canonical bytes: the same
+    /// logical state always yields the same bytes (tables sorted by
+    /// name, rows in key order).
+    pub fn snapshot_bytes(&self) -> Vec<u8> {
+        let tables = self.tables_sorted();
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&(tables.len() as u32).to_le_bytes());
+        for (name, table) in tables {
+            put_str(&mut out, name);
+            out.extend_from_slice(&(table.columns.len() as u32).to_le_bytes());
+            for c in &table.columns {
+                put_str(&mut out, c);
+            }
+            out.extend_from_slice(&(table.len() as u64).to_le_bytes());
+            for row in table.scan() {
+                for v in row {
+                    put_value(&mut out, v);
+                }
+            }
+        }
+        out
+    }
+
+    /// Rebuilds a database from [`Database::snapshot_bytes`] output.
+    ///
+    /// # Errors
+    ///
+    /// Any malformed input — truncation, wrong magic or version, unknown
+    /// tags, non-UTF-8 strings, trailing bytes — yields a
+    /// [`SnapshotError`]; restore never panics on hostile bytes.
+    pub fn restore_bytes(bytes: &[u8]) -> Result<Database, SnapshotError> {
+        let mut r = Reader { buf: bytes, pos: 0 };
+        if r.take(MAGIC.len())? != MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        let version = r.u16()?;
+        if version != VERSION {
+            return Err(SnapshotError::BadVersion(version));
+        }
+        let mut db = Database::new();
+        let num_tables = r.u32()?;
+        for _ in 0..num_tables {
+            let name = r.str()?;
+            let num_columns = r.u32()? as usize;
+            if num_columns == 0 {
+                return Err(SnapshotError::EmptyTable(name));
+            }
+            let mut columns = Vec::with_capacity(num_columns);
+            for _ in 0..num_columns {
+                columns.push(r.str()?);
+            }
+            let mut table = Table::new(columns);
+            let rows = r.u64()?;
+            for _ in 0..rows {
+                let mut row = Vec::with_capacity(num_columns);
+                for _ in 0..num_columns {
+                    row.push(r.value()?);
+                }
+                table.insert(row);
+            }
+            db.install_table(name, table);
+        }
+        if r.pos != bytes.len() {
+            return Err(SnapshotError::TrailingBytes(bytes.len() - r.pos));
+        }
+        Ok(db)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Database {
+        let mut db = Database::new();
+        db.execute("CREATE TABLE usertable (key TEXT, field0 TEXT)")
+            .unwrap();
+        db.execute("INSERT INTO usertable VALUES ('user3', 'c')")
+            .unwrap();
+        db.execute("INSERT INTO usertable VALUES ('user1', 'a')")
+            .unwrap();
+        db.execute("CREATE TABLE nums (k TEXT, n TEXT)").unwrap();
+        db.execute("INSERT INTO nums VALUES ('x', '42')").unwrap();
+        db
+    }
+
+    #[test]
+    fn roundtrip_preserves_queries() {
+        let db = sample();
+        let bytes = db.snapshot_bytes();
+        let back = Database::restore_bytes(&bytes).unwrap();
+        assert_eq!(back.num_tables(), 2);
+        assert_eq!(back.table_len("usertable"), Some(2));
+        let mut back = back;
+        let r = back
+            .execute("SELECT field0 FROM usertable WHERE key = 'user1'")
+            .unwrap();
+        assert_eq!(r.rows[0][0].as_text(), Some("a"));
+    }
+
+    #[test]
+    fn snapshot_is_canonical() {
+        // Same logical state built in two different orders → same bytes.
+        let a = sample();
+        let mut b = Database::new();
+        b.execute("CREATE TABLE nums (k TEXT, n TEXT)").unwrap();
+        b.execute("INSERT INTO nums VALUES ('x', '42')").unwrap();
+        b.execute("CREATE TABLE usertable (key TEXT, field0 TEXT)")
+            .unwrap();
+        b.execute("INSERT INTO usertable VALUES ('user1', 'a')")
+            .unwrap();
+        b.execute("INSERT INTO usertable VALUES ('user3', 'c')")
+            .unwrap();
+        assert_eq!(a.snapshot_bytes(), b.snapshot_bytes());
+        // And restore → snapshot is the identity on bytes.
+        let bytes = a.snapshot_bytes();
+        let back = Database::restore_bytes(&bytes).unwrap();
+        assert_eq!(back.snapshot_bytes(), bytes);
+    }
+
+    #[test]
+    fn empty_database_roundtrips() {
+        let db = Database::new();
+        let back = Database::restore_bytes(&db.snapshot_bytes()).unwrap();
+        assert_eq!(back.num_tables(), 0);
+    }
+
+    #[test]
+    fn malformed_inputs_are_typed_errors() {
+        let good = sample().snapshot_bytes();
+        assert_eq!(
+            Database::restore_bytes(b"not a snapshot at all"),
+            Err(SnapshotError::BadMagic)
+        );
+        // Every truncation point fails cleanly.
+        for cut in 0..good.len() {
+            let r = Database::restore_bytes(&good[..cut]);
+            assert!(r.is_err(), "truncation at {cut} must fail");
+        }
+        // Future version refused.
+        let mut v2 = good.clone();
+        v2[8] = 2;
+        assert_eq!(
+            Database::restore_bytes(&v2),
+            Err(SnapshotError::BadVersion(2))
+        );
+        // Trailing garbage refused.
+        let mut long = good.clone();
+        long.push(0);
+        assert_eq!(
+            Database::restore_bytes(&long),
+            Err(SnapshotError::TrailingBytes(1))
+        );
+        // Unknown value tag refused (tag byte of the first row value).
+        let mut bad = good;
+        // Find the first value tag: after magic+version+count, table name,
+        // columns, row count. Easier: flip a byte and require *an* error
+        // or a state that still round-trips; the typed-tag path is
+        // covered by constructing a tiny snapshot by hand below.
+        bad.truncate(10);
+        assert_eq!(Database::restore_bytes(&bad), Err(SnapshotError::Truncated));
+    }
+
+    #[test]
+    fn bad_value_tag_is_refused() {
+        let mut db = Database::new();
+        db.execute("CREATE TABLE t (k TEXT)").unwrap();
+        db.execute("INSERT INTO t VALUES ('a')").unwrap();
+        let mut bytes = db.snapshot_bytes();
+        // The single row's single value tag is 1 (Text); corrupt it.
+        let pos = bytes.len() - (4 + 1) - 1; // len u32 + 'a' + tag before them
+        assert_eq!(bytes[pos], 1);
+        bytes[pos] = 9;
+        assert_eq!(
+            Database::restore_bytes(&bytes),
+            Err(SnapshotError::BadTag(9))
+        );
+    }
+}

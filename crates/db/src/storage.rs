@@ -5,7 +5,7 @@ use crate::value::Value;
 use std::collections::BTreeMap;
 
 /// One table: schema + ordered rows.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Table {
     /// Column names; column 0 is the primary key.
     pub columns: Vec<String>,

@@ -38,6 +38,10 @@ pub enum Admission {
     /// Rejected: the submission named a tenant or service that does not
     /// exist (a client bug; the server keeps running).
     RejectedInvalid,
+    /// Rejected: the tenant's inner enclaves have not passed (or have
+    /// lost, after a rebuild) NEREPORT-gated admission — no verified
+    /// attestation chain, no traffic.
+    RejectedUnattested,
 }
 
 impl Admission {

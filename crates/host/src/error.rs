@@ -28,6 +28,27 @@ pub enum HostError {
         /// The fault that aborted the rebuild.
         source: SgxError,
     },
+    /// A sealed-state blob offered at migration resume carried a
+    /// monotonic counter below the freshness floor: someone replayed
+    /// genuine old state. Refused with the same stance `ne-tls` takes on
+    /// version/cipher rollback offers — a typed refusal, never a retry.
+    StateRollback {
+        /// Name of the tenant whose state was replayed.
+        tenant: String,
+        /// Counter the stale blob presented.
+        presented: u64,
+        /// Minimum counter the rebuilt enclave accepts.
+        expected: u64,
+    },
+    /// A sealed-state blob was refused at migration resume for a
+    /// non-rollback reason (failed MAC, malformed structure, or an
+    /// authenticated payload the service could not decode).
+    SealedState {
+        /// Name of the tenant whose blob was refused.
+        tenant: String,
+        /// What the rebuilt enclave reported.
+        reason: String,
+    },
     /// A host-side invariant broke (a bug in the host, not a fault).
     Internal(String),
 }
@@ -39,6 +60,17 @@ impl fmt::Display for HostError {
             HostError::BadRequest(s) => write!(f, "bad request: {s}"),
             HostError::Respawn { tenant, source } => {
                 write!(f, "respawn of tenant {tenant} failed: {source}")
+            }
+            HostError::StateRollback {
+                tenant,
+                presented,
+                expected,
+            } => write!(
+                f,
+                "rollback refused for tenant {tenant}: sealed counter {presented} below expected {expected}"
+            ),
+            HostError::SealedState { tenant, reason } => {
+                write!(f, "sealed state refused for tenant {tenant}: {reason}")
             }
             HostError::Internal(s) => write!(f, "host invariant broken: {s}"),
         }

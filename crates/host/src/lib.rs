@@ -35,6 +35,7 @@
 
 pub mod admission;
 pub mod error;
+pub mod migrate;
 pub mod recovery;
 pub mod scheduler;
 pub mod server;
@@ -43,8 +44,10 @@ pub mod tenant;
 
 pub use admission::{Admission, AdmissionControl};
 pub use error::{HostError, HostResult};
+pub use migrate::TenantSnapshot;
 pub use recovery::{
-    RecoveryAction, RecoveryEvent, RecoveryEventKind, RecoveryPolicy, RecoveryState, ShedReason,
+    MigratePhase, RecoveryAction, RecoveryEvent, RecoveryEventKind, RecoveryPolicy, RecoveryState,
+    ShedReason,
 };
 pub use scheduler::{Scheduler, SchedulerStats};
 pub use server::{HostConfig, HostReport, HostServer, TenantReport};

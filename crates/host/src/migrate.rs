@@ -1,0 +1,854 @@
+//! Live tenant migration: the five-phase sealed-state machine.
+//!
+//! A tenant moves between hosts as `Quiesce → Seal → Remove` on the
+//! source ([`HostServer::extract_tenant`]) and `Rebuild → Resume` on the
+//! target ([`HostServer::adopt_tenant`]):
+//!
+//! 1. **Quiesce** — admission for the tenant is already closed by the
+//!    caller; queued requests are parked into the snapshot's bounded
+//!    buffer ([`crate::recovery::RecoveryPolicy::migrate_park_capacity`]).
+//!    Overflow beyond the buffer is shed *explicitly* with
+//!    [`ShedReason::Migrating`] — counted in `shed_requests` like every
+//!    other loss path, never dropped silently.
+//! 2. **Seal** — each service enclave seals its session state into a
+//!    versioned, MACed, counter-stamped blob (`ne-core` lifecycle
+//!    format) via its `seal` ecall. The seal key is derived inside the
+//!    enclave (EGETKEY, seal-to-enclave policy), so the host carries the
+//!    blob but cannot read or forge it.
+//! 3. **Remove** — the tenant's enclaves are torn down (EREMOVE), their
+//!    EPC pages freed. The source slot becomes a dead stub: admission
+//!    closed, counters zeroed (they travel inside the snapshot — leaving
+//!    them behind would double-count on a same-host round trip).
+//! 4. **Rebuild** — the target rebuilds the gate and service enclaves
+//!    from the same images and re-associates them (NASSO), retrying with
+//!    deterministic backoff on transient faults, then re-proves the full
+//!    NEREPORT chain before any state or traffic lands: no verified
+//!    chain, no adoption.
+//! 5. **Resume** — each sealed blob is handed back through the service's
+//!    `restore` ecall with the snapshot's counter as the freshness
+//!    floor. A replayed stale blob is refused as the typed
+//!    [`HostError::StateRollback`] (the same stance `ne-tls` takes on
+//!    version/cipher rollback offers); any other refusal is
+//!    [`HostError::SealedState`]. On success the parked requests are
+//!    re-queued and admission reopens.
+//!
+//! Every phase runs against a cycle deadline
+//! ([`crate::recovery::RecoveryPolicy::migrate_phase_deadline`]); a
+//! phase that overruns fails the migration with a typed stall. A failed
+//! extraction leaves the source tenant serving (its parked queue is
+//! restored); a failed adoption tears the half-built enclaves down and
+//! leaves the target clean, so the caller can roll the snapshot back to
+//! the source with [`HostServer::rollback_tenant`].
+//!
+//! The invariant the whole machine exists for: **zero accepted requests
+//! dropped**. Requests either complete (possibly on the new host), or
+//! terminate as explicit sheds — `accepted == completed + shed_requests`
+//! holds through any interleaving of migration and chaos.
+
+use std::collections::BTreeMap;
+
+use ne_core::lifecycle::{attest_chain, AttestError};
+use ne_sgx::error::SgxError;
+
+use crate::error::{HostError, HostResult};
+use crate::recovery::{backoff_cycles, MigratePhase, RecoveryEventKind, RecoveryState, ShedReason};
+use crate::server::{gate_dispatch, gate_image, tenant_epc_pages, HostServer};
+use crate::service::{
+    decode_restore_reply, encode_restore_args, encode_seal_args, install_service,
+    service_enclave_name, RestoreOutcome, ServiceKind,
+};
+use crate::tenant::{Completion, Request, TenantSpec, TenantState};
+
+/// Everything one tenant is, portable across hosts: spec, traffic
+/// counters, parked requests, sealed per-service state, and recovery
+/// history. Produced by [`HostServer::extract_tenant`], consumed by
+/// [`HostServer::adopt_tenant`] / [`HostServer::rollback_tenant`].
+///
+/// The snapshot is plain data — the sealed blobs inside it are opaque to
+/// the host (MACed under keys derived inside the enclaves), so carrying
+/// a snapshot across the wire leaks nothing and forging one is caught at
+/// restore.
+#[derive(Debug, Clone)]
+pub struct TenantSnapshot {
+    /// The tenant's spec, including its pinned seeding identity
+    /// ([`TenantSpec::seed_index`]) — which is what lets the rebuilt
+    /// enclaves on the target derive the same seal key and accept the
+    /// blobs.
+    pub spec: TenantSpec,
+    /// Whether the tenant was shed at extraction time (carried, so a
+    /// pressure-shed tenant does not silently un-shed by migrating).
+    pub shed: bool,
+    /// Requests accepted by admission control so far.
+    pub accepted: u64,
+    /// Rejections due to a full queue.
+    pub rejected_full: u64,
+    /// Rejections due to shedding.
+    pub rejected_shed: u64,
+    /// Requests served to completion.
+    pub completed: u64,
+    /// Accepted requests explicitly shed (including any quiesce
+    /// overflow shed by the extraction itself).
+    pub shed_requests: u64,
+    /// Next per-tenant sequence number to assign.
+    pub next_seq: u64,
+    /// Highest completed sequence number, if any.
+    pub last_completed_seq: Option<u64>,
+    /// Requests that were queued at quiesce, parked for the target to
+    /// re-queue at resume. Bounded by
+    /// [`crate::recovery::RecoveryPolicy::migrate_park_capacity`].
+    pub parked: Vec<Request>,
+    /// One sealed blob per service, in spec order.
+    pub sealed: Vec<(ServiceKind, Vec<u8>)>,
+    /// The monotonic counter the blobs were stamped with — the freshness
+    /// floor the restore enforces.
+    pub seal_counter: u64,
+    /// The tenant's completion records (copied, with source-local tenant
+    /// indices), so per-tenant reply digests stay whole across the move.
+    pub completions: Vec<Completion>,
+    /// Cumulative respawns (carried into the target's recovery state).
+    pub respawns: u64,
+    /// Typed attestation-refusal history, keyed by
+    /// [`AttestError::name`].
+    pub attest_failures: BTreeMap<&'static str, u64>,
+}
+
+impl HostServer {
+    /// Fails the migration when `phase` has overrun its cycle budget.
+    fn phase_guard(&self, tenant: &str, phase: MigratePhase, start: u64) -> HostResult<()> {
+        let budget = self.policy.migrate_phase_deadline;
+        let elapsed = self.now().saturating_sub(start);
+        if budget > 0 && elapsed > budget {
+            return Err(HostError::Sgx(SgxError::Stalled(format!(
+                "migration {} phase for tenant {tenant} overran its deadline: \
+                 {elapsed} > {budget} cycles",
+                phase.name()
+            ))));
+        }
+        Ok(())
+    }
+
+    /// Seals every service enclave's state at `counter`, in spec order.
+    fn seal_services(
+        &mut self,
+        spec: &TenantSpec,
+        tenant: usize,
+        counter: u64,
+    ) -> HostResult<Vec<(ServiceKind, Vec<u8>)>> {
+        let Some(core) = self.idle_core() else {
+            return Err(HostError::Sgx(SgxError::GeneralProtection(
+                "no serving core out of enclave mode for seal".into(),
+            )));
+        };
+        let identity = spec.seed_index.unwrap_or(tenant) as u64;
+        let args = encode_seal_args(identity, counter);
+        spec.services
+            .iter()
+            .map(|&kind| {
+                let name = service_enclave_name(&spec.name, kind);
+                let blob = self.app.ecall(core, &name, "seal", &args)?;
+                Ok((kind, blob))
+            })
+            .collect()
+    }
+
+    /// Extracts `tenant` for migration: quiesces its queue into the
+    /// snapshot's bounded park buffer (overflow shed explicitly with
+    /// [`ShedReason::Migrating`]), seals every service's state, tears the
+    /// enclaves down (EREMOVE), and freezes the slot as a dead stub.
+    ///
+    /// On error the tenant is left serving at the source with its queue
+    /// restored — a failed extraction never half-kills a tenant.
+    ///
+    /// # Errors
+    ///
+    /// [`HostError::BadRequest`] for an unknown, unloaded, or
+    /// breaker-open tenant; a seal fault or phase-deadline overrun as
+    /// [`HostError::Sgx`].
+    pub fn extract_tenant(&mut self, tenant: usize) -> HostResult<TenantSnapshot> {
+        if tenant >= self.tenants.len() || !self.tenants[tenant].loaded {
+            return Err(HostError::BadRequest(format!(
+                "no loaded tenant at index {tenant}"
+            )));
+        }
+        if self.recovery[tenant].breaker_open {
+            return Err(HostError::BadRequest(format!(
+                "tenant {tenant} has an open breaker; migration needs healthy enclaves"
+            )));
+        }
+        let mut spec = self.tenants[tenant].spec.clone();
+        // Pin the seeding identity into the snapshot: the adopting host
+        // assigns a fresh local index, and the rebuilt enclaves must
+        // derive the *original* identity's seal key or the blobs will
+        // never authenticate.
+        spec.seed_index = Some(spec.seed_index.unwrap_or(tenant));
+
+        // Quiesce: park the queue, bounded; overflow terminates as
+        // explicit sheds (the requests were accepted — they must be
+        // accounted, never dropped).
+        let quiesce_start = self.now();
+        self.log_event_at(
+            quiesce_start,
+            tenant,
+            RecoveryEventKind::Migrate(MigratePhase::Quiesce),
+        );
+        let cap = self.policy.migrate_park_capacity;
+        let mut parked: Vec<Request> = self.tenants[tenant].queue.drain(..).collect();
+        let overflow = parked.split_off(parked.len().min(cap));
+        if !overflow.is_empty() {
+            self.tenants[tenant].shed_requests += overflow.len() as u64;
+            let now = self.now();
+            self.log_event_at(now, tenant, RecoveryEventKind::Shed(ShedReason::Migrating));
+        }
+        if let Err(e) = self.phase_guard(&spec.name, MigratePhase::Quiesce, quiesce_start) {
+            self.tenants[tenant].queue = parked.into_iter().collect();
+            return Err(e);
+        }
+
+        // Seal: counter-stamp this migration's blobs one past the last
+        // seal, so a replay of any earlier extraction is refused at
+        // restore.
+        let seal_start = self.now();
+        self.log_event_at(
+            seal_start,
+            tenant,
+            RecoveryEventKind::Migrate(MigratePhase::Seal),
+        );
+        let counter = self.seal_counters[tenant] + 1;
+        let sealed = match self.seal_services(&spec, tenant, counter) {
+            Ok(sealed) => sealed,
+            Err(e) => {
+                // Un-quiesce: the tenant keeps serving at the source.
+                self.tenants[tenant].queue = parked.into_iter().collect();
+                return Err(e);
+            }
+        };
+        if let Err(e) = self.phase_guard(&spec.name, MigratePhase::Seal, seal_start) {
+            self.tenants[tenant].queue = parked.into_iter().collect();
+            return Err(e);
+        }
+        self.seal_counters[tenant] = counter;
+
+        // Remove: EREMOVE services first, gate last; EPC pages free here.
+        let remove_start = self.now();
+        self.log_event_at(
+            remove_start,
+            tenant,
+            RecoveryEventKind::Migrate(MigratePhase::Remove),
+        );
+        let mut names = self.tenant_enclave_names(tenant);
+        names.reverse();
+        for name in names {
+            self.app.unload(&name)?;
+        }
+
+        let completions: Vec<Completion> = self
+            .completions
+            .iter()
+            .filter(|c| c.tenant == tenant)
+            .cloned()
+            .collect();
+        let respawns = self.recovery[tenant].respawns;
+        let attest_failures = std::mem::take(&mut self.attest_failures[tenant]);
+        let snap = {
+            let ts = &self.tenants[tenant];
+            TenantSnapshot {
+                spec,
+                shed: ts.shed,
+                accepted: ts.accepted,
+                rejected_full: ts.rejected_full,
+                rejected_shed: ts.rejected_shed,
+                completed: ts.completed,
+                shed_requests: ts.shed_requests,
+                next_seq: ts.next_seq,
+                last_completed_seq: ts.last_completed_seq,
+                parked,
+                sealed,
+                seal_counter: counter,
+                completions,
+                respawns,
+                attest_failures,
+            }
+        };
+        // Freeze the slot: a dead stub that rejects at the front door and
+        // contributes nothing to reports (its counters travel inside the
+        // snapshot; leaving them here would double-count after a
+        // same-host round trip).
+        let ts = &mut self.tenants[tenant];
+        ts.loaded = false;
+        ts.shed = true;
+        ts.accepted = 0;
+        ts.rejected_full = 0;
+        ts.rejected_shed = 0;
+        ts.completed = 0;
+        ts.shed_requests = 0;
+        ts.next_seq = 0;
+        ts.last_completed_seq = None;
+        self.attested[tenant] = false;
+        Ok(snap)
+    }
+
+    /// Adopts an extracted tenant on this host: rebuilds its enclaves
+    /// (with retry/backoff), re-proves the NEREPORT chain, restores the
+    /// sealed state, re-queues the parked requests, and reopens
+    /// admission. Returns the tenant's **local index** on this host.
+    ///
+    /// `floor` is the caller's authoritative freshness floor — the
+    /// highest seal counter it has ever seen for this tenant (the
+    /// cluster's migration coordinator keeps one per global tenant). A
+    /// replayed old snapshot is internally consistent (its blobs match
+    /// its own counter), so only an external floor can catch it: the
+    /// restore enforces `max(floor, snapshot counter)`. Pass 0 when no
+    /// history exists.
+    ///
+    /// Adoption requires EPC headroom above the admission low-water mark
+    /// — a migration must not immediately push the target into pressure
+    /// shedding.
+    ///
+    /// # Errors
+    ///
+    /// On any error the target is left clean (half-built enclaves torn
+    /// down) and the snapshot is untouched, so the caller can
+    /// [`HostServer::rollback_tenant`] it to the source. Stale blobs are
+    /// refused as [`HostError::StateRollback`]; other blob refusals as
+    /// [`HostError::SealedState`].
+    pub fn adopt_tenant(&mut self, snap: &TenantSnapshot, floor: u64) -> HostResult<usize> {
+        self.adopt_inner(snap, floor, false)
+    }
+
+    /// Re-adopts a snapshot on the host that extracted it, after a failed
+    /// adoption elsewhere — the `Rollback` arm of the migration machine.
+    /// Identical to [`HostServer::adopt_tenant`] except the phase is
+    /// logged as [`MigratePhase::Rollback`] and the EPC check skips the
+    /// low-water headroom (the pages were this tenant's to begin with).
+    ///
+    /// # Errors
+    ///
+    /// As [`HostServer::adopt_tenant`].
+    pub fn rollback_tenant(&mut self, snap: &TenantSnapshot, floor: u64) -> HostResult<usize> {
+        self.adopt_inner(snap, floor, true)
+    }
+
+    fn adopt_inner(
+        &mut self,
+        snap: &TenantSnapshot,
+        floor: u64,
+        rollback: bool,
+    ) -> HostResult<usize> {
+        let spec = snap.spec.clone();
+        if self.app.eid(&spec.gate_name()).is_ok() {
+            return Err(HostError::BadRequest(format!(
+                "enclaves named for tenant {} already exist on this host",
+                spec.name
+            )));
+        }
+        let need = tenant_epc_pages(&spec);
+        let headroom = if rollback {
+            0
+        } else {
+            self.admission.epc_low_water
+        };
+        if (self.app.machine.free_epc_pages() as u64) < need + headroom {
+            return Err(HostError::Sgx(SgxError::EpcFull));
+        }
+
+        let local = self.tenants.len();
+        let phase = if rollback {
+            MigratePhase::Rollback
+        } else {
+            MigratePhase::Rebuild
+        };
+        let rebuild_start = self.now();
+        self.log_event_at(rebuild_start, local, RecoveryEventKind::Migrate(phase));
+
+        // Rebuild + NASSO, retried with deterministic backoff on
+        // transient faults (chaos can land on the very loads that are
+        // supposed to receive the migrated state).
+        let identity = spec.seed_index.unwrap_or(local);
+        let mut attempt: u32 = 0;
+        loop {
+            match self.build_tenant_enclaves(&spec, identity, local) {
+                Ok(()) => break,
+                Err(source) => {
+                    attempt += 1;
+                    if attempt >= self.policy.max_attempts {
+                        return Err(HostError::Respawn {
+                            tenant: spec.name.clone(),
+                            source,
+                        });
+                    }
+                    let wait =
+                        backoff_cycles(&self.policy, self.seed, local, snap.seal_counter, attempt);
+                    let now = self.now();
+                    self.log_event_at(now, local, RecoveryEventKind::Backoff { wait });
+                    if let Some(core) = self.idle_core() {
+                        self.app.untrusted(core, |cx| cx.charge(wait));
+                    }
+                }
+            }
+        }
+
+        // Attest + restore; any failure from here tears the rebuilt
+        // enclaves down so the target stays clean for a rollback.
+        let min_counter = floor.max(snap.seal_counter);
+        if let Err(e) = self.finish_adoption(
+            &spec,
+            identity as u64,
+            snap,
+            min_counter,
+            phase,
+            rebuild_start,
+            local,
+        ) {
+            self.teardown_enclaves(&spec);
+            return Err(e);
+        }
+
+        // Commit: the tenant exists on this host from here on.
+        let mut ts = TenantState::new(spec.clone(), true);
+        ts.shed = snap.shed;
+        ts.accepted = snap.accepted;
+        ts.rejected_full = snap.rejected_full;
+        ts.rejected_shed = snap.rejected_shed;
+        ts.completed = snap.completed;
+        ts.shed_requests = snap.shed_requests;
+        ts.next_seq = snap.next_seq;
+        ts.last_completed_seq = snap.last_completed_seq;
+        for r in &snap.parked {
+            let mut r = r.clone();
+            r.tenant = local;
+            ts.queue.push_back(r);
+        }
+        self.tenants.push(ts);
+        self.sched.add_tenant(local);
+        self.recovery.push(RecoveryState {
+            respawns: snap.respawns,
+            ..RecoveryState::default()
+        });
+        self.breaker_logged.push(false);
+        self.attested.push(true);
+        self.attest_failures.push(snap.attest_failures.clone());
+        self.attest_epoch.push(1);
+        self.seal_counters.push(snap.seal_counter);
+        for c in &snap.completions {
+            let mut c = c.clone();
+            c.tenant = local;
+            self.completions.push(c);
+        }
+        Ok(local)
+    }
+
+    /// Loads the gate and service enclaves for an adoption, registering
+    /// their eids under `local`. On failure everything partially built is
+    /// torn down before the error returns.
+    fn build_tenant_enclaves(
+        &mut self,
+        spec: &TenantSpec,
+        identity: usize,
+        local: usize,
+    ) -> Result<(), SgxError> {
+        let gate_name = spec.gate_name();
+        let names: Vec<String> = spec
+            .services
+            .iter()
+            .map(|&k| service_enclave_name(&spec.name, k))
+            .collect();
+        let mut result = self
+            .app
+            .load(
+                gate_image(&gate_name),
+                [(
+                    "dispatch".to_string(),
+                    gate_dispatch(
+                        names,
+                        self.switchless_handle.clone(),
+                        self.degraded_replies.clone(),
+                    ),
+                )],
+            )
+            .map(|_| ());
+        if result.is_ok() {
+            for &kind in &spec.services {
+                result = install_service(
+                    &mut self.app,
+                    &spec.name,
+                    &gate_name,
+                    identity,
+                    kind,
+                    self.seed,
+                );
+                if result.is_err() {
+                    break;
+                }
+            }
+        }
+        if let Err(e) = result {
+            self.teardown_enclaves(spec);
+            return Err(e);
+        }
+        for name in self.tenant_names_of(spec) {
+            if let Ok(eid) = self.app.eid(&name) {
+                self.eid_owner.insert(eid.0, local);
+            }
+        }
+        Ok(())
+    }
+
+    /// Gate-first enclave names of a spec (the adoption path cannot use
+    /// [`HostServer::tenant_enclave_names`] — the slot does not exist
+    /// yet).
+    fn tenant_names_of(&self, spec: &TenantSpec) -> Vec<String> {
+        let mut names = vec![spec.gate_name()];
+        names.extend(
+            spec.services
+                .iter()
+                .map(|&k| service_enclave_name(&spec.name, k)),
+        );
+        names
+    }
+
+    /// Unloads whatever subset of the spec's enclaves exists, ignoring
+    /// errors (cleanup of a partial build).
+    fn teardown_enclaves(&mut self, spec: &TenantSpec) {
+        let mut names = self.tenant_names_of(spec);
+        names.reverse();
+        for name in names {
+            if self.app.eid(&name).is_ok() {
+                let _ = self.app.unload(&name);
+            }
+        }
+    }
+
+    /// The attest-and-restore tail of an adoption, separated so every
+    /// error path funnels through one teardown in the caller.
+    #[allow(clippy::too_many_arguments)]
+    fn finish_adoption(
+        &mut self,
+        spec: &TenantSpec,
+        identity: u64,
+        snap: &TenantSnapshot,
+        min_counter: u64,
+        phase: MigratePhase,
+        rebuild_start: u64,
+        local: usize,
+    ) -> HostResult<()> {
+        self.phase_guard(&spec.name, phase, rebuild_start)?;
+
+        // NEREPORT-gated adoption: the rebuilt chain must prove itself
+        // before any sealed state (or later, traffic) lands. The epoch's
+        // top bit keeps adoption nonces disjoint from the per-slot
+        // attestation epochs.
+        let Some(core) = self.idle_core() else {
+            return Err(HostError::Sgx(SgxError::GeneralProtection(
+                "no serving core out of enclave mode for attestation".into(),
+            )));
+        };
+        let gate = spec.gate_name();
+        for &kind in &spec.services {
+            let svc = service_enclave_name(&spec.name, kind);
+            let nonce = HostServer::attest_nonce(
+                self.seed,
+                identity,
+                kind as u64,
+                (1 << 63) | snap.seal_counter,
+            );
+            if let Err(e) = attest_chain(&mut self.app, core, &gate, &svc, &nonce) {
+                return Err(match e {
+                    AttestError::Sgx(source) => HostError::Sgx(source),
+                    refusal => HostError::SealedState {
+                        tenant: spec.name.clone(),
+                        reason: format!("attestation refused: {refusal}"),
+                    },
+                });
+            }
+        }
+
+        // Resume: hand each blob back through the service's restore
+        // ecall. Refusals come back as typed reply bytes (the enclave
+        // rejecting input, not faulting), so the host can distinguish a
+        // replay from a forgery without string-matching.
+        let resume_start = self.now();
+        self.log_event_at(
+            resume_start,
+            local,
+            RecoveryEventKind::Migrate(MigratePhase::Resume),
+        );
+        for (kind, blob) in &snap.sealed {
+            let name = service_enclave_name(&spec.name, *kind);
+            let args = encode_restore_args(identity, min_counter, blob);
+            let Some(core) = self.idle_core() else {
+                return Err(HostError::Sgx(SgxError::GeneralProtection(
+                    "no serving core out of enclave mode for restore".into(),
+                )));
+            };
+            let reply = self.app.ecall(core, &name, "restore", &args)?;
+            match decode_restore_reply(&reply) {
+                Some(RestoreOutcome::Ok { .. }) => {}
+                Some(RestoreOutcome::Rollback {
+                    presented,
+                    expected,
+                }) => {
+                    return Err(HostError::StateRollback {
+                        tenant: spec.name.clone(),
+                        presented,
+                        expected,
+                    });
+                }
+                Some(RestoreOutcome::BadMac) => {
+                    return Err(HostError::SealedState {
+                        tenant: spec.name.clone(),
+                        reason: "sealed blob failed authentication".into(),
+                    });
+                }
+                Some(RestoreOutcome::Malformed) => {
+                    return Err(HostError::SealedState {
+                        tenant: spec.name.clone(),
+                        reason: "sealed blob malformed".into(),
+                    });
+                }
+                Some(RestoreOutcome::BadPayload) => {
+                    return Err(HostError::SealedState {
+                        tenant: spec.name.clone(),
+                        reason: "authenticated payload rejected by the service".into(),
+                    });
+                }
+                None => {
+                    return Err(HostError::Internal(format!(
+                        "unintelligible restore reply from {name}"
+                    )));
+                }
+            }
+        }
+        self.phase_guard(&spec.name, MigratePhase::Resume, resume_start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::admission::Admission;
+    use crate::server::HostConfig;
+    use crate::service::RequestFactory;
+
+    fn specs(n: usize, services: &[ServiceKind]) -> Vec<TenantSpec> {
+        (0..n)
+            .map(|i| TenantSpec::new(&format!("t{i}"), (n - i) as u8, services.to_vec()))
+            .collect()
+    }
+
+    /// Submits `per_tenant` requests to each (tenant slot, factory) pair
+    /// and drains; the factories persist across calls (and migrations),
+    /// like the cluster's do.
+    fn run_segment(
+        server: &mut HostServer,
+        slots: &[usize],
+        factories: &mut [RequestFactory],
+        per_tenant: usize,
+    ) -> u64 {
+        let mut accepted = 0;
+        for _ in 0..per_tenant {
+            for (&slot, f) in slots.iter().zip(factories.iter_mut()) {
+                if server.submit(slot, 0, 0, f.next_request()).is_accepted() {
+                    accepted += 1;
+                }
+            }
+        }
+        server.drain().unwrap();
+        accepted
+    }
+
+    fn replies_for(server: &HostServer, slot: usize) -> Vec<(usize, u64, Vec<u8>)> {
+        let mut rows: Vec<(usize, u64, Vec<u8>)> = server
+            .completions()
+            .iter()
+            .filter(|c| c.tenant == slot)
+            .map(|c| (c.service, c.seq, c.reply.clone()))
+            .collect();
+        rows.sort();
+        rows
+    }
+
+    #[test]
+    fn round_trip_preserves_state_and_reply_bytes() {
+        // Migrated run: serve, extract tenant 0, adopt it back (new local
+        // slot), serve more through the rebuilt+restored enclaves.
+        let mut server = HostServer::build(HostConfig::new(specs(2, &[ServiceKind::Db]))).unwrap();
+        let mut factories = vec![
+            RequestFactory::new(ServiceKind::Db, 0, 42),
+            RequestFactory::new(ServiceKind::Db, 1, 42),
+        ];
+        let a1 = run_segment(&mut server, &[0, 1], &mut factories, 4);
+        assert_eq!(a1, 8);
+
+        let snap = server.extract_tenant(0).unwrap();
+        assert_eq!(snap.seal_counter, 1);
+        assert_eq!(snap.completed, 4);
+        assert!(!server.tenants()[0].loaded, "source slot is a dead stub");
+        assert_eq!(server.tenants()[0].accepted, 0, "counters travel, not stay");
+
+        let local = server.adopt_tenant(&snap, snap.seal_counter).unwrap();
+        assert_eq!(local, 2);
+        assert!(server.attested(local), "adoption re-proved the chain");
+        let a2 = run_segment(&mut server, &[local, 1], &mut factories, 4);
+        assert_eq!(a2, 8);
+        let migrated = replies_for(&server, local);
+        assert_eq!(migrated.len(), 8, "old completions carried + new ones");
+
+        // Control run: identical workload, no migration.
+        let mut control = HostServer::build(HostConfig::new(specs(2, &[ServiceKind::Db]))).unwrap();
+        let mut cf = vec![
+            RequestFactory::new(ServiceKind::Db, 0, 42),
+            RequestFactory::new(ServiceKind::Db, 1, 42),
+        ];
+        run_segment(&mut control, &[0, 1], &mut cf, 4);
+        run_segment(&mut control, &[0, 1], &mut cf, 4);
+        assert_eq!(
+            migrated,
+            replies_for(&control, 0),
+            "per-request reply bytes are migration-invariant"
+        );
+
+        // The five phases all hit the event log, in order.
+        let phases: Vec<&str> = server
+            .recovery_events()
+            .iter()
+            .filter_map(|e| match e.kind {
+                RecoveryEventKind::Migrate(p) => Some(p.name()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(phases, ["quiesce", "seal", "remove", "rebuild", "resume"]);
+    }
+
+    #[test]
+    fn parked_requests_drain_after_adoption_with_zero_drops() {
+        let mut server =
+            HostServer::build(HostConfig::new(specs(1, &[ServiceKind::TlsEcho]))).unwrap();
+        let mut f = RequestFactory::new(ServiceKind::TlsEcho, 0, 7);
+        for _ in 0..5 {
+            assert!(server.submit(0, 0, 0, f.next_request()).is_accepted());
+        }
+        // Mid-migration: the queue is parked into the snapshot, not lost.
+        let snap = server.extract_tenant(0).unwrap();
+        assert_eq!(snap.parked.len(), 5);
+        assert_eq!(snap.accepted, 5);
+        assert_eq!(snap.completed, 0);
+        let local = server.adopt_tenant(&snap, snap.seal_counter).unwrap();
+        assert_eq!(server.pending(), 5, "parked requests re-queued at resume");
+        server.drain().unwrap();
+        let t = &server.tenants()[local];
+        assert_eq!(t.accepted, t.completed + t.shed_requests, "reply-or-shed");
+        assert_eq!((t.completed, t.shed_requests), (5, 0), "zero drops");
+    }
+
+    #[test]
+    fn park_overflow_is_shed_explicitly_never_dropped() {
+        let mut cfg = HostConfig::new(specs(1, &[ServiceKind::TlsEcho]));
+        cfg.recovery.migrate_park_capacity = 2;
+        let mut server = HostServer::build(cfg).unwrap();
+        let mut f = RequestFactory::new(ServiceKind::TlsEcho, 0, 7);
+        for _ in 0..5 {
+            assert!(server.submit(0, 0, 0, f.next_request()).is_accepted());
+        }
+        let snap = server.extract_tenant(0).unwrap();
+        assert_eq!(snap.parked.len(), 2, "bounded park buffer");
+        assert_eq!(snap.shed_requests, 3, "overflow shed, counted");
+        assert!(
+            server
+                .recovery_events()
+                .iter()
+                .any(|e| e.kind == RecoveryEventKind::Shed(ShedReason::Migrating)),
+            "overflow shed carries the Migrating reason"
+        );
+        let local = server.adopt_tenant(&snap, snap.seal_counter).unwrap();
+        server.drain().unwrap();
+        let t = &server.tenants()[local];
+        assert_eq!(t.accepted, t.completed + t.shed_requests, "reply-or-shed");
+        assert_eq!((t.completed, t.shed_requests), (2, 3));
+    }
+
+    #[test]
+    fn stale_snapshot_replay_is_refused_with_typed_rollback() {
+        let mut server = HostServer::build(HostConfig::new(specs(1, &[ServiceKind::Db]))).unwrap();
+        let mut factories = vec![RequestFactory::new(ServiceKind::Db, 0, 42)];
+        run_segment(&mut server, &[0], &mut factories, 2);
+        let stale = server.extract_tenant(0).unwrap();
+        let local = server.adopt_tenant(&stale, stale.seal_counter).unwrap();
+        run_segment(&mut server, &[local], &mut factories, 2);
+        let fresh = server.extract_tenant(local).unwrap();
+        assert_eq!((stale.seal_counter, fresh.seal_counter), (1, 2));
+
+        // Replaying the internally-consistent stale snapshot against the
+        // coordinator's floor is refused with the typed rollback error —
+        // the ne-tls stance: refuse, never downgrade.
+        let err = server.adopt_tenant(&stale, fresh.seal_counter).unwrap_err();
+        assert_eq!(
+            err,
+            HostError::StateRollback {
+                tenant: "t0".into(),
+                presented: 1,
+                expected: 2,
+            }
+        );
+        // The refusal left the host clean: the fresh snapshot still lands.
+        let local = server.adopt_tenant(&fresh, fresh.seal_counter).unwrap();
+        run_segment(&mut server, &[local], &mut factories, 2);
+        let t = &server.tenants()[local];
+        assert_eq!(t.accepted, t.completed + t.shed_requests, "reply-or-shed");
+    }
+
+    #[test]
+    fn failed_adoption_rolls_back_to_source() {
+        // Target with no EPC headroom refuses the adoption; the snapshot
+        // then rolls back onto the source, which skips the low-water
+        // headroom (the pages were the tenant's to begin with).
+        let mut server =
+            HostServer::build(HostConfig::new(specs(1, &[ServiceKind::TlsEcho]))).unwrap();
+        let mut f = RequestFactory::new(ServiceKind::TlsEcho, 0, 7);
+        for _ in 0..3 {
+            assert!(server.submit(0, 0, 0, f.next_request()).is_accepted());
+        }
+        let snap = server.extract_tenant(0).unwrap();
+        let free = server.app.machine.free_epc_pages() as u64;
+        server.admission.epc_low_water = free; // adoption headroom now unmeetable
+        assert_eq!(
+            server.adopt_tenant(&snap, snap.seal_counter).unwrap_err(),
+            HostError::Sgx(SgxError::EpcFull)
+        );
+        let local = server.rollback_tenant(&snap, snap.seal_counter).unwrap();
+        let phases: Vec<&str> = server
+            .recovery_events()
+            .iter()
+            .filter_map(|e| match e.kind {
+                RecoveryEventKind::Migrate(p) => Some(p.name()),
+                _ => None,
+            })
+            .collect();
+        assert!(phases.contains(&"rollback"), "rollback phase logged");
+        server.drain().unwrap();
+        let t = &server.tenants()[local];
+        assert_eq!((t.completed, t.shed_requests), (3, 0), "zero drops");
+    }
+
+    #[test]
+    fn unattested_tenant_is_refused_admission() {
+        let mut server =
+            HostServer::build(HostConfig::new(specs(1, &[ServiceKind::TlsEcho]))).unwrap();
+        assert!(server.attested(0), "build attests loaded tenants");
+        // Break the chain: tear the inner service down behind the host's
+        // back and invalidate the verdict, as a respawn would.
+        let svc = service_enclave_name("t0", ServiceKind::TlsEcho);
+        server.app.unload(&svc).unwrap();
+        server.attested[0] = false;
+        let mut f = RequestFactory::new(ServiceKind::TlsEcho, 0, 7);
+        assert_eq!(
+            server.submit(0, 0, 0, f.next_request()),
+            Admission::RejectedUnattested,
+            "no verified chain, no traffic"
+        );
+        assert_eq!(
+            server.attest_failures(0).values().sum::<u64>(),
+            1,
+            "the refusal reason was counted"
+        );
+    }
+}

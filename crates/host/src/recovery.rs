@@ -45,6 +45,16 @@ pub struct RecoveryPolicy {
     pub breaker_threshold: u32,
     /// Sliding window (cycles) over which respawns are counted.
     pub breaker_window: u64,
+    /// Bound on the number of already-admitted requests a live migration
+    /// parks while the tenant's enclaves are torn down and rebuilt.
+    /// Parked requests drain after resume; overflow is shed explicitly
+    /// with [`ShedReason::Migrating`] — never dropped silently.
+    pub migrate_park_capacity: usize,
+    /// Budget (cycles on the migrating core) for each phase of the
+    /// five-phase migration machine. A phase that overruns fails the
+    /// migration, which rolls back to the source. Zero disables the
+    /// check.
+    pub migrate_phase_deadline: u64,
 }
 
 impl Default for RecoveryPolicy {
@@ -56,6 +66,8 @@ impl Default for RecoveryPolicy {
             deadline: 400_000_000,
             breaker_threshold: 8,
             breaker_window: 50_000_000,
+            migrate_park_capacity: 64,
+            migrate_phase_deadline: 800_000_000,
         }
     }
 }
@@ -161,6 +173,10 @@ pub enum ShedReason {
     /// traffic it promised (a wire front-door read deadline expired) and
     /// the tenant was shed at admission.
     ClientStalled,
+    /// The request was queued when a live migration started and the
+    /// bounded park buffer ([`RecoveryPolicy::migrate_park_capacity`])
+    /// was already full.
+    Migrating,
 }
 
 impl ShedReason {
@@ -173,6 +189,44 @@ impl ShedReason {
             ShedReason::Deadline => "deadline",
             ShedReason::QueueDrained => "queue_drained",
             ShedReason::ClientStalled => "client_stalled",
+            ShedReason::Migrating => "migrating",
+        }
+    }
+}
+
+/// The phases of the live-migration state machine, in execution order:
+/// `Quiesce → Seal → Remove → Rebuild → Resume`, with `Rollback` taken
+/// from any failed phase back to the source host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MigratePhase {
+    /// Admission closed; queued requests parked (bounded) or shed.
+    Quiesce,
+    /// Every service enclave sealed its session state into a
+    /// counter-stamped blob (`ne-core` lifecycle format).
+    Seal,
+    /// Source enclaves torn down (EREMOVE), EPC pages freed.
+    Remove,
+    /// Gate and service enclaves rebuilt on the target and re-associated
+    /// (NASSO), admission re-gated on a verified NEREPORT chain.
+    Rebuild,
+    /// Sealed state restored into the rebuilt enclaves, parked requests
+    /// re-queued, admission reopened.
+    Resume,
+    /// The target failed; the tenant was rebuilt on the source from the
+    /// same sealed blobs.
+    Rollback,
+}
+
+impl MigratePhase {
+    /// Stable snake_case name (export key).
+    pub fn name(self) -> &'static str {
+        match self {
+            MigratePhase::Quiesce => "quiesce",
+            MigratePhase::Seal => "seal",
+            MigratePhase::Remove => "remove",
+            MigratePhase::Rebuild => "rebuild",
+            MigratePhase::Resume => "resume",
+            MigratePhase::Rollback => "rollback",
         }
     }
 }
@@ -198,6 +252,9 @@ pub enum RecoveryEventKind {
     BreakerOpen,
     /// A request was shed explicitly.
     Shed(ShedReason),
+    /// A live-migration phase completed (or, for
+    /// [`MigratePhase::Rollback`], was taken).
+    Migrate(MigratePhase),
 }
 
 impl RecoveryEventKind {
@@ -211,6 +268,12 @@ impl RecoveryEventKind {
             RecoveryEventKind::RespawnTenant => "respawn_tenant",
             RecoveryEventKind::BreakerOpen => "breaker_open",
             RecoveryEventKind::Shed(_) => "shed",
+            RecoveryEventKind::Migrate(MigratePhase::Quiesce) => "migrate_quiesce",
+            RecoveryEventKind::Migrate(MigratePhase::Seal) => "migrate_seal",
+            RecoveryEventKind::Migrate(MigratePhase::Remove) => "migrate_remove",
+            RecoveryEventKind::Migrate(MigratePhase::Rebuild) => "migrate_rebuild",
+            RecoveryEventKind::Migrate(MigratePhase::Resume) => "migrate_resume",
+            RecoveryEventKind::Migrate(MigratePhase::Rollback) => "migrate_rollback",
         }
     }
 }

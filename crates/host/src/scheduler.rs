@@ -80,6 +80,17 @@ impl Scheduler {
         &self.cores
     }
 
+    /// Registers a late-arriving tenant slot (live-migration adoption):
+    /// homed on the core slot that currently owns the fewest tenants,
+    /// ties broken toward the lowest slot, so repeated adoptions stay
+    /// balanced and deterministic.
+    pub fn add_tenant(&mut self, tenant: usize) {
+        let slot = (0..self.home.len())
+            .min_by_key(|&s| (self.home[s].len(), s))
+            .unwrap_or(0);
+        self.home[slot].push(tenant);
+    }
+
     /// The home tenants of the core at `slot`.
     pub fn home_of(&self, slot: usize) -> &[usize] {
         &self.home[slot]

@@ -47,6 +47,7 @@ use crate::scheduler::{Scheduler, SchedulerStats};
 use crate::service::{install_service, service_enclave_name, ServiceKind};
 use crate::tenant::{Completion, TenantSpec, TenantState};
 use ne_core::edl::Edl;
+use ne_core::lifecycle::{attest_chain, AttestError};
 use ne_core::loader::EnclaveImage;
 use ne_core::runtime::{NestedApp, TrustedFn, UntrustedFn};
 use ne_core::switchless::SwitchlessQueue;
@@ -171,32 +172,46 @@ pub struct HostServer {
     /// The underlying runtime; public so harnesses can export metrics,
     /// profiles, and traces from `app.machine` directly.
     pub app: NestedApp,
-    tenants: Vec<TenantState>,
-    sched: Scheduler,
-    admission: AdmissionControl,
+    pub(crate) tenants: Vec<TenantState>,
+    pub(crate) sched: Scheduler,
+    pub(crate) admission: AdmissionControl,
     worker_core: Option<usize>,
-    completions: Vec<Completion>,
-    seed: u64,
-    policy: RecoveryPolicy,
-    recovery: Vec<RecoveryState>,
+    pub(crate) completions: Vec<Completion>,
+    pub(crate) seed: u64,
+    pub(crate) policy: RecoveryPolicy,
+    pub(crate) recovery: Vec<RecoveryState>,
     /// Shared with every gate closure; respawned gates reuse it.
-    switchless_handle: Arc<Mutex<Option<SwitchlessQueue>>>,
+    pub(crate) switchless_handle: Arc<Mutex<Option<SwitchlessQueue>>>,
     /// Switchless→classic reply degradations, counted from inside the
     /// gate closures.
-    degraded_replies: Arc<AtomicU64>,
+    pub(crate) degraded_replies: Arc<AtomicU64>,
     /// Cycle-stamped recovery actions since the last measurement reset,
     /// in the order they were taken.
-    events: Vec<RecoveryEvent>,
+    pub(crate) events: Vec<RecoveryEvent>,
     /// Raw enclave id → owning tenant, covering every enclave ever built
     /// for a tenant (respawned-away ids stay mapped so late-arriving
     /// chaos events still attribute). Never cleared.
-    eid_owner: BTreeMap<u64, usize>,
+    pub(crate) eid_owner: BTreeMap<u64, usize>,
     /// Per-tenant "breaker-open already logged" latch, so the event log
     /// carries exactly one [`RecoveryEventKind::BreakerOpen`] per trip.
-    breaker_logged: Vec<bool>,
+    pub(crate) breaker_logged: Vec<bool>,
+    /// Per-tenant NEREPORT admission verdict: true once every (gate,
+    /// service) pair has a verified attestation chain. Cleared whenever a
+    /// tenant enclave is respawned — a rebuilt enclave is a new instance
+    /// and must re-prove its chain before new traffic is admitted.
+    pub(crate) attested: Vec<bool>,
+    /// Per-tenant typed attestation refusal counts, keyed by
+    /// [`AttestError::name`].
+    pub(crate) attest_failures: Vec<BTreeMap<&'static str, u64>>,
+    /// Per-tenant attestation epochs (bumped per chain attempt, so every
+    /// challenge nonce is fresh).
+    pub(crate) attest_epoch: Vec<u64>,
+    /// Per-tenant monotonic sealed-state counters: the counter the last
+    /// seal was stamped with, and the floor a restore must meet.
+    pub(crate) seal_counters: Vec<u64>,
 }
 
-fn gate_image(name: &str) -> EnclaveImage {
+pub(crate) fn gate_image(name: &str) -> EnclaveImage {
     EnclaveImage::new(name, b"host-gateway")
         .code_pages(8)
         .heap_pages(4)
@@ -207,7 +222,7 @@ fn gate_image(name: &str) -> EnclaveImage {
 /// the inner service, push the reply out (switchless when available,
 /// degrading to a classic exit-based ocall when the reply core is inside
 /// an injected stall window).
-fn gate_dispatch(
+pub(crate) fn gate_dispatch(
     services: Vec<String>,
     switchless: Arc<Mutex<Option<SwitchlessQueue>>>,
     degraded: Arc<AtomicU64>,
@@ -244,7 +259,7 @@ fn gate_dispatch(
 
 /// EPC pages one tenant needs: gate + services, each `total_pages` of the
 /// image plus its SECS page.
-fn tenant_epc_pages(spec: &TenantSpec) -> u64 {
+pub(crate) fn tenant_epc_pages(spec: &TenantSpec) -> u64 {
     let gate = gate_image(&spec.gate_name()).total_pages() + 1;
     let services: u64 = spec
         .services
@@ -349,7 +364,8 @@ impl HostServer {
             }
         }
         let breaker_logged = vec![false; tenants.len()];
-        Ok(HostServer {
+        let n = tenants.len();
+        let mut server = HostServer {
             app,
             tenants,
             sched,
@@ -364,7 +380,99 @@ impl HostServer {
             events: Vec::new(),
             eid_owner,
             breaker_logged,
-        })
+            attested: vec![false; n],
+            attest_failures: vec![BTreeMap::new(); n],
+            attest_epoch: vec![0; n],
+            seal_counters: vec![0; n],
+        };
+        // NEREPORT-gated admission: every loaded tenant must prove its
+        // attestation chain before the front door opens for it. A clean
+        // build attests everything; a refusal leaves the tenant
+        // unattested (traffic rejected, reason counted) without failing
+        // the build — siblings are unaffected.
+        for t in 0..n {
+            if server.tenants[t].loaded {
+                let _ = server.attest_tenant(t);
+            }
+        }
+        Ok(server)
+    }
+
+    /// Deterministic 32-byte attestation challenge for one chain attempt.
+    pub(crate) fn attest_nonce(seed: u64, identity: u64, kind: u64, epoch: u64) -> [u8; 32] {
+        let mut n = [0u8; 32];
+        n[..8]
+            .copy_from_slice(&(seed ^ identity.wrapping_mul(0x9E37_79B9_7F4A_7C15)).to_le_bytes());
+        n[8..16].copy_from_slice(&identity.to_le_bytes());
+        n[16..24].copy_from_slice(&kind.to_le_bytes());
+        n[24..32].copy_from_slice(&epoch.to_le_bytes());
+        n
+    }
+
+    /// A serving core currently out of enclave mode (attestation and
+    /// lifecycle ecalls must start from untrusted context).
+    pub(crate) fn idle_core(&self) -> Option<usize> {
+        self.sched
+            .cores()
+            .iter()
+            .copied()
+            .find(|&c| self.app.machine.current_enclave(c).is_none())
+    }
+
+    /// Drives the § IV-E NEREPORT admission chain for every (gate,
+    /// service) pair of `tenant`: the inner enclave reports, the gate
+    /// verifies MAC, nonce echo, live measurement, and the NASSO
+    /// outer-relation. Success marks the tenant attested; the first broken
+    /// link leaves it unattested with the typed refusal reason counted
+    /// (see [`HostServer::attest_failures`]).
+    ///
+    /// # Errors
+    ///
+    /// The first [`AttestError`] in chain order.
+    pub fn attest_tenant(&mut self, tenant: usize) -> Result<(), AttestError> {
+        if tenant >= self.tenants.len() || !self.tenants[tenant].loaded {
+            return Err(AttestError::Sgx(SgxError::GeneralProtection(format!(
+                "no loaded tenant at index {tenant}"
+            ))));
+        }
+        let Some(core) = self.idle_core() else {
+            return Err(AttestError::Sgx(SgxError::GeneralProtection(
+                "no serving core out of enclave mode for attestation".into(),
+            )));
+        };
+        self.attest_epoch[tenant] += 1;
+        let epoch = self.attest_epoch[tenant];
+        let spec = self.tenants[tenant].spec.clone();
+        let identity = spec.seed_index.unwrap_or(tenant) as u64;
+        let gate = spec.gate_name();
+        let result = spec.services.iter().try_for_each(|&kind| {
+            let svc = service_enclave_name(&spec.name, kind);
+            let nonce = Self::attest_nonce(self.seed, identity, kind as u64, epoch);
+            attest_chain(&mut self.app, core, &gate, &svc, &nonce).map(|_| ())
+        });
+        match result {
+            Ok(()) => {
+                self.attested[tenant] = true;
+                Ok(())
+            }
+            Err(e) => {
+                self.attested[tenant] = false;
+                *self.attest_failures[tenant].entry(e.name()).or_insert(0) += 1;
+                Err(e)
+            }
+        }
+    }
+
+    /// Whether `tenant` currently holds a verified attestation chain.
+    pub fn attested(&self, tenant: usize) -> bool {
+        self.attested.get(tenant).copied().unwrap_or(false)
+    }
+
+    /// Typed attestation refusal counts for `tenant`, keyed by
+    /// [`AttestError::name`]. Empty for a tenant that never failed.
+    pub fn attest_failures(&self, tenant: usize) -> &BTreeMap<&'static str, u64> {
+        static EMPTY: BTreeMap<&'static str, u64> = BTreeMap::new();
+        self.attest_failures.get(tenant).unwrap_or(&EMPTY)
     }
 
     /// The reserved switchless worker core, when one is active.
@@ -431,6 +539,17 @@ impl HostServer {
             if let Some(victim) = self.admission.shed_victim(&self.tenants) {
                 self.tenants[victim].shed = true;
             }
+        }
+        // NEREPORT gate: a loaded, serving tenant whose chain lapsed (a
+        // respawn invalidated it) gets one re-attestation attempt here;
+        // still unproven means no admission. Shed tenants skip the gate —
+        // their front door is already closed.
+        if self.tenants[tenant].loaded
+            && !self.tenants[tenant].shed
+            && !self.attested[tenant]
+            && self.attest_tenant(tenant).is_err()
+        {
+            return Admission::RejectedUnattested;
         }
         self.admission
             .offer(&mut self.tenants[tenant], tenant, service, arrival, payload)
@@ -638,7 +757,7 @@ impl HostServer {
     }
 
     /// Gate-first list of the tenant's enclave names.
-    fn tenant_enclave_names(&self, tenant: usize) -> Vec<String> {
+    pub(crate) fn tenant_enclave_names(&self, tenant: usize) -> Vec<String> {
         let spec = &self.tenants[tenant].spec;
         let mut names = vec![spec.gate_name()];
         names.extend(
@@ -751,9 +870,13 @@ impl HostServer {
     }
 
     /// Records one respawn; the breaker check happens in the step loop.
+    /// A respawn also invalidates the tenant's attestation chain — the
+    /// rebuilt enclave is a new instance and must re-prove it (lazily, at
+    /// the next submission) before new traffic is admitted.
     fn note_respawn(&mut self, tenant: usize) {
         let now = self.now();
         self.recovery[tenant].note_respawn(now, &self.policy);
+        self.attested[tenant] = false;
     }
 
     fn respawn_failed(&self, tenant: usize, source: SgxError) -> HostError {
@@ -831,7 +954,7 @@ impl HostServer {
     }
 
     /// Appends one recovery event with an explicit cycle stamp.
-    fn log_event_at(&mut self, cycle: u64, tenant: usize, kind: RecoveryEventKind) {
+    pub(crate) fn log_event_at(&mut self, cycle: u64, tenant: usize, kind: RecoveryEventKind) {
         self.events.push(RecoveryEvent {
             cycle,
             tenant,
@@ -961,6 +1084,13 @@ impl HostServer {
         self.eid_owner.get(&eid).copied()
     }
 
+    /// EPC pages tenant `tenant`'s enclaves occupy when loaded (gate +
+    /// services, each with its SECS page) — the footprint a migration
+    /// placement policy weighs shards by.
+    pub fn tenant_epc_pages(&self, tenant: usize) -> u64 {
+        tenant_epc_pages(&self.tenants[tenant].spec)
+    }
+
     /// Replies that degraded from switchless to classic ocalls so far.
     pub fn degraded_replies(&self) -> u64 {
         self.degraded_replies.load(Ordering::Relaxed)
@@ -1074,6 +1204,9 @@ mod tests {
         cfg.switchless = true;
         let mut server = HostServer::build(cfg).unwrap();
         assert!(server.worker_core().is_some());
+        // Build-time NEREPORT attestation takes transitions of its own;
+        // start the measured window after it, like every harness does.
+        server.reset_measurement();
         let done = run_load(&mut server, 4);
         let stats = server.app.machine.stats();
         assert_eq!(stats.switchless_ocalls, done, "one switchless reply each");
@@ -1087,6 +1220,7 @@ mod tests {
         cfg.switchless = false;
         let mut server = HostServer::build(cfg).unwrap();
         assert!(server.worker_core().is_none());
+        server.reset_measurement();
         let done = run_load(&mut server, 4);
         let stats = server.app.machine.stats();
         assert_eq!(stats.switchless_ocalls, 0);

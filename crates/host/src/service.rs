@@ -18,6 +18,7 @@
 //! samples) from a deterministic seeded stream.
 
 use ne_core::edl::Edl;
+use ne_core::lifecycle::{self, LifecycleError};
 use ne_core::loader::EnclaveImage;
 use ne_core::runtime::{NestedApp, TrustedFn};
 use ne_db::{Database, Workload, WorkloadMix};
@@ -97,7 +98,9 @@ fn gcm_cost(cfg: &HwConfig, len: usize) -> u64 {
 /// name the service will be registered under (see
 /// [`service_enclave_name`]).
 pub fn service_image(name: &str, kind: ServiceKind) -> EnclaveImage {
-    let edl = Edl::new().n_ecall("handle");
+    // `handle` is the gate-facing n_ecall; `seal`/`restore` are the
+    // host-facing lifecycle ecalls driven at migration safe points.
+    let edl = Edl::new().n_ecall("handle").ecall("seal").ecall("restore");
     match kind {
         ServiceKind::TlsEcho => EnclaveImage::new(name, b"tenant-echo")
             .code_pages(8)
@@ -119,17 +122,170 @@ pub fn service_enclave_name(tenant_name: &str, kind: ServiceKind) -> String {
     format!("{}::{}", tenant_name, kind.name())
 }
 
-/// Builds the `handle` body for one service instance.
+/// Reply status of a `restore` ecall: sealed state installed. Followed by
+/// the blob's counter as 8 LE bytes.
+pub const RESTORE_OK: u8 = 0;
+/// Restore refused: the blob's counter is older than the freshness floor
+/// (a replayed/stale blob). Followed by presented and expected counters,
+/// 8 LE bytes each.
+pub const RESTORE_ROLLBACK: u8 = 1;
+/// Restore refused: seal MAC verification failed.
+pub const RESTORE_BAD_MAC: u8 = 2;
+/// Restore refused: the blob is malformed (truncated, wrong magic or
+/// version, or sealed for a different tenant).
+pub const RESTORE_MALFORMED: u8 = 3;
+/// Restore refused: the blob authenticated but its payload is not a valid
+/// state snapshot for this service.
+pub const RESTORE_BAD_PAYLOAD: u8 = 4;
+
+/// Host-side decode of a `restore` ecall reply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RestoreOutcome {
+    /// State installed; the blob carried this counter.
+    Ok {
+        /// Counter stamped into the accepted blob.
+        counter: u64,
+    },
+    /// Stale blob refused (counter below the freshness floor).
+    Rollback {
+        /// Counter the blob presented.
+        presented: u64,
+        /// Minimum counter the service would accept.
+        expected: u64,
+    },
+    /// MAC verification failed.
+    BadMac,
+    /// Structurally invalid blob.
+    Malformed,
+    /// Authenticated blob with an unusable payload.
+    BadPayload,
+}
+
+/// Encodes the argument buffer of a `seal` ecall.
+pub fn encode_seal_args(tenant: u64, counter: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16);
+    out.extend_from_slice(&tenant.to_le_bytes());
+    out.extend_from_slice(&counter.to_le_bytes());
+    out
+}
+
+/// Encodes the argument buffer of a `restore` ecall.
+pub fn encode_restore_args(tenant: u64, min_counter: u64, blob: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16 + blob.len());
+    out.extend_from_slice(&tenant.to_le_bytes());
+    out.extend_from_slice(&min_counter.to_le_bytes());
+    out.extend_from_slice(blob);
+    out
+}
+
+/// Decodes a `restore` ecall reply. `None` means the reply itself is
+/// malformed (which would indicate a bug, not an untrusted input).
+pub fn decode_restore_reply(reply: &[u8]) -> Option<RestoreOutcome> {
+    let le_u64 = |b: &[u8]| b.try_into().ok().map(u64::from_le_bytes);
+    match *reply.first()? {
+        RESTORE_OK if reply.len() == 9 => Some(RestoreOutcome::Ok {
+            counter: le_u64(&reply[1..9])?,
+        }),
+        RESTORE_ROLLBACK if reply.len() == 17 => Some(RestoreOutcome::Rollback {
+            presented: le_u64(&reply[1..9])?,
+            expected: le_u64(&reply[9..17])?,
+        }),
+        RESTORE_BAD_MAC if reply.len() == 1 => Some(RestoreOutcome::BadMac),
+        RESTORE_MALFORMED if reply.len() == 1 => Some(RestoreOutcome::Malformed),
+        RESTORE_BAD_PAYLOAD if reply.len() == 1 => Some(RestoreOutcome::BadPayload),
+        _ => None,
+    }
+}
+
+fn decode_seal_args(args: &[u8]) -> Result<(u64, u64), SgxError> {
+    if args.len() != 16 {
+        return Err(SgxError::GeneralProtection(format!(
+            "seal args must be 16 bytes, got {}",
+            args.len()
+        )));
+    }
+    let word = |b: &[u8]| u64::from_le_bytes(b.try_into().unwrap_or([0u8; 8]));
+    Ok((word(&args[..8]), word(&args[8..16])))
+}
+
+fn decode_restore_args(args: &[u8]) -> Result<(u64, u64, &[u8]), SgxError> {
+    if args.len() < 16 {
+        return Err(SgxError::GeneralProtection(format!(
+            "restore args must be at least 16 bytes, got {}",
+            args.len()
+        )));
+    }
+    let word = |b: &[u8]| u64::from_le_bytes(b.try_into().unwrap_or([0u8; 8]));
+    Ok((word(&args[..8]), word(&args[8..16]), &args[16..]))
+}
+
+/// Lifecycle failures that are SGX faults propagate as faults; everything
+/// else is a caller error on the host-facing ecall surface.
+fn seal_fault(e: LifecycleError) -> SgxError {
+    match e {
+        LifecycleError::Sgx(e) => e,
+        other => SgxError::GeneralProtection(other.to_string()),
+    }
+}
+
+/// Maps an unseal failure to a typed `restore` reply. Rollback and MAC
+/// refusals are expected-input outcomes the host must distinguish, so they
+/// travel as data, not as faults.
+fn restore_refusal(e: LifecycleError) -> Result<Vec<u8>, SgxError> {
+    match e {
+        LifecycleError::Rollback {
+            presented,
+            expected,
+        } => {
+            let mut out = vec![RESTORE_ROLLBACK];
+            out.extend_from_slice(&presented.to_le_bytes());
+            out.extend_from_slice(&expected.to_le_bytes());
+            Ok(out)
+        }
+        LifecycleError::BadMac => Ok(vec![RESTORE_BAD_MAC]),
+        LifecycleError::Sgx(e) => Err(e),
+        _ => Ok(vec![RESTORE_MALFORMED]),
+    }
+}
+
+fn restore_ok(counter: u64) -> Vec<u8> {
+    let mut out = vec![RESTORE_OK];
+    out.extend_from_slice(&counter.to_le_bytes());
+    out
+}
+
+/// `seal`/`restore` bodies for services whose serving state is derived,
+/// not accumulated (echo keys, SVM models): the sealed payload is empty
+/// and restore only validates freshness and provenance.
+fn stateless_lifecycle() -> [(String, TrustedFn); 2] {
+    let seal: TrustedFn = Arc::new(|cx, args| {
+        let (tenant, counter) = decode_seal_args(args)?;
+        lifecycle::seal_state(cx, tenant, counter, &[]).map_err(seal_fault)
+    });
+    let restore: TrustedFn = Arc::new(|cx, args| {
+        let (tenant, min_counter, blob) = decode_restore_args(args)?;
+        match lifecycle::unseal_state(cx, tenant, min_counter, blob) {
+            Ok((counter, payload)) if payload.is_empty() => Ok(restore_ok(counter)),
+            Ok(_) => Ok(vec![RESTORE_BAD_PAYLOAD]),
+            Err(e) => restore_refusal(e),
+        }
+    });
+    [("seal".to_string(), seal), ("restore".to_string(), restore)]
+}
+
+/// Builds the trusted-function set for one service instance: the
+/// gate-facing `handle` body plus the host-facing `seal`/`restore`
+/// lifecycle pair, all sharing the instance's captured state.
 ///
 /// Per-service state (the echo session key, the tenant's [`Database`], the
-/// pre-trained [`SvmModel`]) is captured by the closure; models and tables
-/// are prepared host-side at build time — provisioning is not part of the
-/// measured serving path.
-pub fn service_handler(kind: ServiceKind, tenant: usize, seed: u64) -> TrustedFn {
+/// pre-trained [`SvmModel`]) is captured by the closures; models and
+/// tables are prepared host-side at build time — provisioning is not part
+/// of the measured serving path.
+pub fn service_handlers(kind: ServiceKind, tenant: usize, seed: u64) -> Vec<(String, TrustedFn)> {
     match kind {
         ServiceKind::TlsEcho => {
             let key = tenant_key(tenant);
-            Arc::new(move |cx, wire| {
+            let handle: TrustedFn = Arc::new(move |cx, wire| {
                 cx.charge(ECHO_FRAMING_CYCLES);
                 cx.charge(gcm_cost(cx.machine.config(), wire.len()));
                 // Each request is a self-contained record exchange (both
@@ -141,18 +297,22 @@ pub fn service_handler(kind: ServiceKind, tenant: usize, seed: u64) -> TrustedFn
                 let reply = RecordLayer::new(key).seal(ContentType::Data, &payload);
                 cx.charge(gcm_cost(cx.machine.config(), payload.len()));
                 Ok(reply)
-            })
+            });
+            let mut fns = vec![("handle".to_string(), handle)];
+            fns.extend(stateless_lifecycle());
+            fns
         }
         ServiceKind::Db => {
             let db: Arc<Mutex<Database>> = Arc::new(Mutex::new(Database::new()));
-            Arc::new(move |cx, args| {
+            let handle_db = db.clone();
+            let handle: TrustedFn = Arc::new(move |cx, args| {
                 let sql = std::str::from_utf8(args)
                     .map_err(|_| SgxError::GeneralProtection("bad utf-8 query".into()))?;
                 ne_db::parse(sql).map_err(|e| SgxError::GeneralProtection(e.to_string()))?;
                 // A poisoned lock only means a previous handler panicked
                 // mid-query; recover the guard rather than panicking the
                 // serving loop too.
-                let result = db
+                let result = handle_db
                     .lock()
                     .unwrap_or_else(std::sync::PoisonError::into_inner)
                     .execute(sql)
@@ -168,17 +328,49 @@ pub fn service_handler(kind: ServiceKind, tenant: usize, seed: u64) -> TrustedFn
                         + DB_ENGINE_CYCLES_PER_BYTE * (args.len() + out.len()) as u64,
                 );
                 Ok(out)
-            })
+            });
+            let seal_db = db.clone();
+            let seal: TrustedFn = Arc::new(move |cx, args| {
+                let (tenant, counter) = decode_seal_args(args)?;
+                let snap = seal_db
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .snapshot_bytes();
+                lifecycle::seal_state(cx, tenant, counter, &snap).map_err(seal_fault)
+            });
+            let restore: TrustedFn = Arc::new(move |cx, args| {
+                let (tenant, min_counter, blob) = decode_restore_args(args)?;
+                let (counter, payload) =
+                    match lifecycle::unseal_state(cx, tenant, min_counter, blob) {
+                        Ok(v) => v,
+                        Err(e) => return restore_refusal(e),
+                    };
+                match Database::restore_bytes(&payload) {
+                    Ok(restored) => {
+                        *db.lock().unwrap_or_else(std::sync::PoisonError::into_inner) = restored;
+                        Ok(restore_ok(counter))
+                    }
+                    Err(_) => Ok(vec![RESTORE_BAD_PAYLOAD]),
+                }
+            });
+            vec![
+                ("handle".to_string(), handle),
+                ("seal".to_string(), seal),
+                ("restore".to_string(), restore),
+            ]
         }
         ServiceKind::SvmInfer => {
             let model = tenant_model(tenant, seed);
-            Arc::new(move |cx, args| {
+            let handle: TrustedFn = Arc::new(move |cx, args| {
                 let x = decode_sample(args)?;
                 let cells = model.num_support_vectors() as u64 * SVM_DIM as u64;
                 cx.charge(SVM_PREDICT_CYCLES_PER_CELL * cells);
                 let class = model.predict(&x);
                 Ok(vec![class as u8])
-            })
+            });
+            let mut fns = vec![("handle".to_string(), handle)];
+            fns.extend(stateless_lifecycle());
+            fns
         }
     }
 }
@@ -237,15 +429,15 @@ pub fn install_service(
     let name = service_enclave_name(tenant_name, kind);
     app.load(
         service_image(&name, kind),
-        [("handle".to_string(), service_handler(kind, tenant, seed))],
+        service_handlers(kind, tenant, seed),
     )?;
     app.associate(&name, gate_name)?;
     Ok(())
 }
 
 /// Deterministic client-side request stream for one (tenant, service)
-/// pair: produces payloads the matching [`service_handler`] accepts, plus
-/// a validity check for replies.
+/// pair: produces payloads the matching [`service_handlers`] `handle` body
+/// accepts, plus a validity check for replies.
 #[derive(Debug)]
 pub struct RequestFactory {
     kind: ServiceKind,

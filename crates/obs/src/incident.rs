@@ -37,12 +37,16 @@ pub struct Incident {
     pub crash: u64,
     /// Stall injections.
     pub stall: u64,
+    /// Migration-trigger injections.
+    pub migrate: u64,
     /// Retry backoffs taken.
     pub backoffs: u64,
     /// Chaos-evicted pages reloaded.
     pub reloads: u64,
     /// Enclaves respawned (gate, service, or whole tenant).
     pub respawns: u64,
+    /// Live-migration phases executed (quiesce through resume/rollback).
+    pub migrations: u64,
     /// Requests shed during the incident.
     pub sheds: u64,
     /// True if the tenant's circuit breaker opened.
@@ -60,10 +64,12 @@ struct Activity {
     mac: u64,
     crash: u64,
     stall: u64,
+    migrate: u64,
     first_cycle: Option<u64>,
     backoffs: u64,
     reloads: u64,
     respawns: u64,
+    migrations: u64,
     sheds: u64,
     breaker: bool,
     impact: Option<SloState>,
@@ -71,12 +77,12 @@ struct Activity {
 
 impl Activity {
     fn injections(&self) -> u64 {
-        self.aex + self.evict + self.mac + self.crash + self.stall
+        self.aex + self.evict + self.mac + self.crash + self.stall + self.migrate
     }
 
     fn any(&self) -> bool {
         self.injections() > 0
-            || self.backoffs + self.reloads + self.respawns + self.sheds > 0
+            || self.backoffs + self.reloads + self.respawns + self.migrations + self.sheds > 0
             || self.breaker
             || self.impact.is_some()
     }
@@ -89,10 +95,12 @@ fn activity(w: &Window, tenant: usize) -> Activity {
         mac: 0,
         crash: 0,
         stall: 0,
+        migrate: 0,
         first_cycle: None,
         backoffs: 0,
         reloads: 0,
         respawns: 0,
+        migrations: 0,
         sheds: 0,
         breaker: false,
         impact: None,
@@ -104,6 +112,7 @@ fn activity(w: &Window, tenant: usize) -> Activity {
             ChaosKind::Mac => a.mac += 1,
             ChaosKind::Crash => a.crash += 1,
             ChaosKind::Stall => a.stall += 1,
+            ChaosKind::Migrate => a.migrate += 1,
         }
         a.first_cycle = Some(a.first_cycle.map_or(inj.cycle, |c| c.min(inj.cycle)));
     }
@@ -114,6 +123,7 @@ fn activity(w: &Window, tenant: usize) -> Activity {
             RecoveryEventKind::RespawnGate
             | RecoveryEventKind::RespawnService
             | RecoveryEventKind::RespawnTenant => a.respawns += 1,
+            RecoveryEventKind::Migrate(_) => a.migrations += 1,
             RecoveryEventKind::BreakerOpen => a.breaker = true,
             RecoveryEventKind::Shed(_) => a.sheds += 1,
         }
@@ -162,9 +172,11 @@ pub fn correlate(t: &Timeline) -> Vec<Incident> {
                             mac: 0,
                             crash: 0,
                             stall: 0,
+                            migrate: 0,
                             backoffs: 0,
                             reloads: 0,
                             respawns: 0,
+                            migrations: 0,
                             sheds: 0,
                             breaker_opened: false,
                             impacted_windows: 0,
@@ -189,9 +201,11 @@ fn extend(inc: &mut Incident, window: u64, a: &Activity) {
     inc.mac += a.mac;
     inc.crash += a.crash;
     inc.stall += a.stall;
+    inc.migrate += a.migrate;
     inc.backoffs += a.backoffs;
     inc.reloads += a.reloads;
     inc.respawns += a.respawns;
+    inc.migrations += a.migrations;
     inc.sheds += a.sheds;
     inc.breaker_opened |= a.breaker;
     if let Some(s) = a.impact {
@@ -219,6 +233,7 @@ pub fn render_incidents(incidents: &[Incident]) -> String {
             ("mac", inc.mac),
             ("crash", inc.crash),
             ("stall", inc.stall),
+            ("migrate", inc.migrate),
         ] {
             if v > 0 {
                 inj.push(format!("{n} {v}"));
@@ -226,10 +241,11 @@ pub fn render_incidents(incidents: &[Incident]) -> String {
         }
         out.push_str(&format!("  injections: {}\n", inj.join(", ")));
         out.push_str(&format!(
-            "  recovery:   backoffs {}, reloads {}, respawns {}, sheds {}{}\n",
+            "  recovery:   backoffs {}, reloads {}, respawns {}, migrations {}, sheds {}{}\n",
             inc.backoffs,
             inc.reloads,
             inc.respawns,
+            inc.migrations,
             inc.sheds,
             if inc.breaker_opened {
                 ", breaker opened"

@@ -65,6 +65,18 @@ fn snap(server: &HostServer) -> Vec<TenantSnap> {
         .collect()
 }
 
+/// Opaque cross-sampler carry for one migrating tenant: the source
+/// sampler's last-observed counter cursor, handed from
+/// [`Sampler::retire_tenant`] to the destination's
+/// [`Sampler::adopt_tenant`]. Seeding the destination's delta cursor
+/// with it makes the destination's first window pick up exactly the
+/// increments that landed between the source's last window close and
+/// adoption (for example requests shed during the migration quiesce),
+/// so per-tenant window deltas keep telescoping to the end-of-run
+/// totals across the move.
+#[derive(Debug, Clone, Copy)]
+pub struct TenantCarry(TenantSnap);
+
 /// Observes a [`HostServer`] and grows a [`Timeline`]. Create one
 /// right after `reset_measurement` (and after chaos is installed),
 /// call [`Sampler::poll`] after every server step, and
@@ -74,6 +86,13 @@ pub struct Sampler {
     cfg: SamplerConfig,
     /// Local tenant index → global tenant id.
     globals: Vec<usize>,
+    /// Local slots whose tenant migrated away (extracted); they emit
+    /// no totals and only non-empty window rows.
+    retired: Vec<bool>,
+    /// Per-local completion-index floor: completion records below this
+    /// index are not window-attributed (an adopted slot's carried
+    /// copies were already attributed by the source sampler).
+    adopted_floor: Vec<usize>,
     timeline: Timeline,
     next_boundary: u64,
     next_index: u64,
@@ -106,6 +125,8 @@ impl Sampler {
                 window_cycles: window,
                 ..cfg
             },
+            retired: vec![false; globals.len()],
+            adopted_floor: vec![0; globals.len()],
             globals,
             timeline: Timeline::new(window, cfg.capacity, cfg.slo, cfg.checkpoint_every),
             next_boundary: (start / window + 1) * window,
@@ -125,6 +146,56 @@ impl Sampler {
     /// The timeline grown so far (closed windows only).
     pub fn timeline(&self) -> &Timeline {
         &self.timeline
+    }
+
+    /// Marks global tenant `global`'s live local slot as migrated away.
+    /// Call right after `HostServer::extract_tenant`. The retired slot
+    /// stops contributing totals and checkpoints (the adopting sampler
+    /// owns the tenant's full history from then on) and its zeroed
+    /// server counters read as clean zero deltas. Returns the carry to
+    /// hand to the destination sampler's [`Sampler::adopt_tenant`].
+    ///
+    /// # Panics
+    ///
+    /// If `global` has no live (un-retired) slot on this sampler —
+    /// that is a driver bug, not an observable condition.
+    pub fn retire_tenant(&mut self, global: usize) -> TenantCarry {
+        let l = self
+            .globals
+            .iter()
+            .zip(&self.retired)
+            .position(|(g, retired)| *g == global && !retired)
+            .unwrap_or_else(|| panic!("retire_tenant: tenant {global} has no live slot here"));
+        self.retired[l] = true;
+        let carry = TenantCarry(self.prev_tenants[l]);
+        // Extract zeroes the dead slot's counters; zero the cursor to
+        // match so later windows see zero deltas, not underflow. The
+        // increments between the last close and extract travel to the
+        // destination inside the carry.
+        self.prev_tenants[l] = TenantSnap::default();
+        carry
+    }
+
+    /// Registers the local slot `HostServer::adopt_tenant` just
+    /// appended for global tenant `global`. Call immediately after the
+    /// adoption commits, before the next poll. The slot's totals start
+    /// from zero (so the end-of-run totals line covers the tenant's
+    /// full carried history), its window cursor starts from `carry`
+    /// (so the first window holds exactly the migration-gap
+    /// increments), and the carried completion copies — already
+    /// window-attributed by the source sampler — are excluded from
+    /// this sampler's window histograms.
+    pub fn adopt_tenant(&mut self, server: &HostServer, global: usize, carry: TenantCarry) {
+        assert_eq!(
+            self.globals.len() + 1,
+            server.tenants().len(),
+            "adopt_tenant wants exactly the one new slot"
+        );
+        self.globals.push(global);
+        self.retired.push(false);
+        self.prev_tenants.push(carry.0);
+        self.base_tenants.push(TenantSnap::default());
+        self.adopted_floor.push(server.completions().len());
     }
 
     /// Observes the server, closing every window the serving clock has
@@ -168,6 +239,12 @@ impl Sampler {
 
         // Per-tenant counter deltas plus gauges, in local order first.
         let cur = snap(server);
+        assert_eq!(
+            cur.len(),
+            self.prev_tenants.len(),
+            "server grew a tenant slot the sampler was not told about \
+             (call adopt_tenant after every adoption)"
+        );
         let mut rows: Vec<TenantWindow> = Vec::with_capacity(cur.len());
         for (l, (c, p)) in cur.iter().zip(&self.prev_tenants).enumerate() {
             let mut row = TenantWindow::new(self.globals[l]);
@@ -182,8 +259,13 @@ impl Sampler {
         self.prev_tenants = cur;
 
         // This window's completions feed the latency histograms and
-        // the exact violation counts.
-        for c in &server.completions()[self.completions_seen..] {
+        // the exact violation counts. An adopted slot's carried copies
+        // (below its floor) were attributed by the source sampler.
+        let completions = server.completions();
+        for (i, c) in completions.iter().enumerate().skip(self.completions_seen) {
+            if i < self.adopted_floor[c.tenant] {
+                continue;
+            }
             let row = &mut rows[c.tenant];
             row.latency.record(c.latency);
             if c.latency > self.cfg.slo.latency_target {
@@ -191,7 +273,19 @@ impl Sampler {
             }
         }
         self.completions_seen = server.completions().len();
+        // A retired slot's row is empty except in the migration window
+        // itself (completions landed before the extract); drop the
+        // empty ones, and merge same-tenant rows when a migration left
+        // this server holding both the retired and the adopted slot.
+        let retired = &self.retired;
+        let mut l = 0;
+        rows.retain(|r| {
+            let keep = !retired[l] || r.latency_violations > 0 || !r.latency.is_empty();
+            l += 1;
+            keep
+        });
         rows.sort_by_key(|r| r.tenant);
+        crate::window::coalesce_rows(&mut rows);
         w.tenants = rows;
 
         // Machine-side chaos injections, attributed via the server's
@@ -234,6 +328,13 @@ impl Sampler {
 
         let cur = snap(server);
         for (l, (c, b)) in cur.iter().zip(&self.base_tenants).enumerate() {
+            // A retired slot's tenant migrated away; the adopting
+            // sampler owns its full history (carried completions
+            // included), so exactly one totals line per global tenant
+            // survives a cluster fold.
+            if self.retired[l] {
+                continue;
+            }
             // Replies in (service, seq) order — the same layout as the
             // ne-tenants/v1 digest, so the totals line is part of the
             // shard-count-invariant data plane.

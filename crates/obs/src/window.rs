@@ -141,6 +141,22 @@ impl TenantWindow {
     }
 }
 
+/// Coalesces adjacent rows with the same global tenant id (input must
+/// be sorted by tenant). A live migration can briefly leave one server
+/// with two local slots for the same global tenant — the retired
+/// source slot and the adopted destination slot — and their rows for
+/// the migration window merge exactly like a shard merge.
+pub(crate) fn coalesce_rows(rows: &mut Vec<TenantWindow>) {
+    let mut out: Vec<TenantWindow> = Vec::with_capacity(rows.len());
+    for row in rows.drain(..) {
+        match out.last_mut() {
+            Some(last) if last.tenant == row.tenant => last.accumulate(&row, false),
+            _ => out.push(row),
+        }
+    }
+    *rows = out;
+}
+
 /// One closed observation window.
 #[derive(Debug, Clone)]
 pub struct Window {

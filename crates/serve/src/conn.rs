@@ -13,7 +13,7 @@ use std::time::Duration;
 
 use ne_tls::record::{ContentType, RecordError, RecordLayer};
 
-use crate::frame::{Decoder, Frame, FrameError, HEADER_LEN, MAX_PAYLOAD};
+use crate::frame::{le_u32, Decoder, Frame, FrameError, HEADER_LEN, MAX_PAYLOAD};
 
 /// Largest admissible TLS record body on the wire: one maximal frame
 /// plus the record tag, with a little slack. Anything larger is a
@@ -74,8 +74,15 @@ impl FrameSender {
     ///
     /// # Errors
     ///
-    /// Socket write failures.
+    /// [`FrameError::Oversized`] for a payload past [`MAX_PAYLOAD`]
+    /// (the peer's decoder would refuse it anyway — failing here keeps
+    /// the stream alive), or socket write failures.
     pub fn send(&mut self, frame: &Frame) -> Result<(), ConnError> {
+        if frame.payload.len() > MAX_PAYLOAD {
+            return Err(ConnError::Frame(FrameError::Oversized(
+                frame.payload.len().min(u32::MAX as usize) as u32,
+            )));
+        }
         let bytes = frame.encode();
         let wire = match &mut self.seal {
             Some(layer) => layer.seal(ContentType::Data, &bytes),
@@ -121,8 +128,7 @@ impl FrameReceiver {
                 Some(layer) => {
                     let mut header = [0u8; 5];
                     read_exact(&mut self.stream, &mut header)?;
-                    let len =
-                        u32::from_le_bytes(header[1..5].try_into().expect("4 bytes")) as usize;
+                    let len = le_u32(&header[1..5]) as usize;
                     if len > MAX_RECORD {
                         return Err(ConnError::Protocol(format!(
                             "oversized record of {len} bytes"
@@ -190,16 +196,25 @@ impl FramedConn {
     /// Switches both directions to sealed records under `key` (each
     /// direction gets its own [`RecordLayer`] so the halves stay
     /// independently owned). Must be called at a frame boundary — i.e.
-    /// right after the plaintext handshake frames — or the leftover
-    /// buffered bytes would be misinterpreted.
-    pub fn enable_tls(&mut self, key: [u8; 16]) {
-        assert_eq!(
-            self.rx.decoder.buffered(),
-            0,
-            "enable_tls mid-stream would desynchronize"
-        );
+    /// right after the plaintext handshake frames.
+    ///
+    /// # Errors
+    ///
+    /// [`ConnError::Protocol`] if the peer pipelined bytes past its
+    /// handshake frame: those buffered plaintext bytes would be
+    /// misinterpreted once records are on, so the stream is refused
+    /// instead of desynchronized (a hostile client must not be able to
+    /// abort the front door — it only gets its own connection dropped).
+    pub fn enable_tls(&mut self, key: [u8; 16]) -> Result<(), ConnError> {
+        let buffered = self.rx.decoder.buffered();
+        if buffered != 0 {
+            return Err(ConnError::Protocol(format!(
+                "{buffered} bytes pipelined past the handshake frame"
+            )));
+        }
         self.tx.seal = Some(RecordLayer::new(key));
         self.rx.seal = Some(RecordLayer::new(key));
+        Ok(())
     }
 
     /// Sends one frame.

@@ -117,14 +117,12 @@ pub struct Frame {
 }
 
 impl Frame {
-    /// A frame with the given header fields and payload.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `payload` exceeds [`MAX_PAYLOAD`] — senders never
-    /// produce such frames; the bound exists to reject them on receive.
+    /// A frame with the given header fields and payload. The payload
+    /// bound is not checked here: [`crate::conn::FrameSender::send`]
+    /// refuses oversized frames with [`FrameError::Oversized`] on the
+    /// way out, and the [`Decoder`] refuses them on the way in — the
+    /// fallible seams, so nothing on the wire path can panic.
     pub fn new(kind: FrameKind, tenant: u32, service: u32, req_id: u64, payload: Vec<u8>) -> Frame {
-        assert!(payload.len() <= MAX_PAYLOAD, "frame payload too large");
         Frame {
             kind,
             tenant,
@@ -149,6 +147,30 @@ impl Frame {
         out.extend_from_slice(&self.payload);
         out
     }
+}
+
+/// Panic-free little-endian reads for the wire path: they take at most
+/// the needed bytes and treat missing trailing bytes as zero. Callers
+/// bounds-check first — the fold exists so that no slice-length mistake
+/// can ever abort a connection thread.
+pub(crate) fn le_u16(bytes: &[u8]) -> u16 {
+    le(bytes, 2) as u16
+}
+
+pub(crate) fn le_u32(bytes: &[u8]) -> u32 {
+    le(bytes, 4) as u32
+}
+
+pub(crate) fn le_u64(bytes: &[u8]) -> u64 {
+    le(bytes, 8)
+}
+
+fn le(bytes: &[u8], width: usize) -> u64 {
+    bytes
+        .iter()
+        .take(width)
+        .enumerate()
+        .fold(0u64, |acc, (i, &b)| acc | (u64::from(b)) << (8 * i))
 }
 
 /// FNV-1a over the 24 checksum-free header bytes followed by the
@@ -282,14 +304,14 @@ impl Decoder {
         if self.buf.len() < HEADER_LEN {
             return Ok(None);
         }
-        let magic = u16::from_le_bytes([self.buf[0], self.buf[1]]);
+        let magic = le_u16(&self.buf[..2]);
         if magic != MAGIC {
             return Err(self.poison(FrameError::BadMagic(magic)));
         }
         if self.buf[2] != VERSION {
             return Err(self.poison(FrameError::BadVersion(self.buf[2])));
         }
-        let len = u32::from_le_bytes(self.buf[20..24].try_into().expect("4 bytes"));
+        let len = le_u32(&self.buf[20..24]);
         if len as usize > MAX_PAYLOAD {
             return Err(self.poison(FrameError::Oversized(len)));
         }
@@ -297,7 +319,7 @@ impl Decoder {
         if self.buf.len() < total {
             return Ok(None);
         }
-        let claimed = u32::from_le_bytes(self.buf[24..28].try_into().expect("4 bytes"));
+        let claimed = le_u32(&self.buf[24..28]);
         let computed = checksum(&self.buf[..24], &self.buf[28..total]);
         if claimed != computed {
             return Err(self.poison(FrameError::BadChecksum { claimed, computed }));
@@ -310,9 +332,9 @@ impl Decoder {
         };
         let frame = Frame {
             kind,
-            tenant: u32::from_le_bytes(self.buf[4..8].try_into().expect("4 bytes")),
-            service: u32::from_le_bytes(self.buf[8..12].try_into().expect("4 bytes")),
-            req_id: u64::from_le_bytes(self.buf[12..20].try_into().expect("8 bytes")),
+            tenant: le_u32(&self.buf[4..8]),
+            service: le_u32(&self.buf[8..12]),
+            req_id: le_u64(&self.buf[12..20]),
             payload: self.buf[28..total].to_vec(),
         };
         self.buf.drain(..total);

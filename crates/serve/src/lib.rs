@@ -143,11 +143,11 @@ impl Scenario {
             return Err("malformed Hello payload".to_string());
         }
         Ok(Scenario {
-            seed: u64::from_le_bytes(bytes[..8].try_into().expect("8 bytes")),
+            seed: frame::le_u64(&bytes[..8]),
             mode: Mode::from_byte(bytes[8]).ok_or_else(|| format!("unknown mode {}", bytes[8]))?,
-            requests: u32::from_le_bytes(bytes[9..13].try_into().expect("4 bytes")),
-            tenants: u32::from_le_bytes(bytes[13..17].try_into().expect("4 bytes")),
-            services: u32::from_le_bytes(bytes[17..21].try_into().expect("4 bytes")),
+            requests: frame::le_u32(&bytes[9..13]),
+            tenants: frame::le_u32(&bytes[13..17]),
+            services: frame::le_u32(&bytes[17..21]),
         })
     }
 }
@@ -211,17 +211,17 @@ impl WireCompletion {
         if bytes.len() < 48 {
             return Err("short Reply payload".to_string());
         }
-        let reply_len = u32::from_le_bytes(bytes[44..48].try_into().expect("4 bytes")) as usize;
+        let reply_len = frame::le_u32(&bytes[44..48]) as usize;
         if bytes.len() != 48 + reply_len {
             return Err("malformed Reply payload".to_string());
         }
         Ok(WireCompletion {
-            seq: u64::from_le_bytes(bytes[..8].try_into().expect("8 bytes")),
-            arrival: u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes")),
-            start: u64::from_le_bytes(bytes[16..24].try_into().expect("8 bytes")),
-            end: u64::from_le_bytes(bytes[24..32].try_into().expect("8 bytes")),
-            latency: u64::from_le_bytes(bytes[32..40].try_into().expect("8 bytes")),
-            core: u32::from_le_bytes(bytes[40..44].try_into().expect("4 bytes")),
+            seq: frame::le_u64(&bytes[..8]),
+            arrival: frame::le_u64(&bytes[8..16]),
+            start: frame::le_u64(&bytes[16..24]),
+            end: frame::le_u64(&bytes[24..32]),
+            latency: frame::le_u64(&bytes[32..40]),
+            core: frame::le_u32(&bytes[40..44]),
             reply: bytes[48..].to_vec(),
         })
     }

@@ -142,7 +142,7 @@ pub fn client_handshake(
                 decode_server_hello(&answer.payload).map_err(ConnError::Protocol)?;
             let keys = perform_handshake(&tenant_key(tenant), &hello, server_random)
                 .map_err(|e| ConnError::Protocol(e.to_string()))?;
-            conn.enable_tls(keys.record_key);
+            conn.enable_tls(keys.record_key)?;
             Ok(())
         }
         FrameKind::Abort => Err(ConnError::Protocol(format!(
@@ -178,7 +178,7 @@ pub fn server_handshake(conn: &mut FramedConn, offer: &Frame, seed: u64) -> Resu
                 0,
                 encode_server_hello(random, keys.suite),
             ))?;
-            conn.enable_tls(keys.record_key);
+            conn.enable_tls(keys.record_key)?;
             Ok(())
         }
         Err(e) => {

@@ -1,0 +1,158 @@
+//! Malformed-peer regressions: no byte sequence a client can send may
+//! panic the front door. Garbage is refused with typed errors, the
+//! offending tenant is shed through the normal admission counters, and
+//! every other tenant's run completes byte-exactly.
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::time::Duration;
+
+use ne_serve::client::run_pair;
+use ne_serve::frame::{Decoder, Frame, FrameKind, MAX_PAYLOAD};
+use ne_serve::session::{client_random, encode_client_hello};
+use ne_serve::{ClientConfig, ConnError, FrameError, FramedConn, FrontDoor, ServeConfig};
+use ne_tls::handshake::{CipherSuite, ClientHello, TLS_VERSION};
+
+fn scenario(tls: bool) -> ServeConfig {
+    let mut cfg = ServeConfig::new(2, 1, 2, 0xFA11_FEED);
+    cfg.tls = tls;
+    cfg.read_timeout = Duration::from_millis(250);
+    cfg.accept_timeout = Duration::from_secs(10);
+    cfg
+}
+
+fn client_config(cfg: &ServeConfig, addr: String) -> ClientConfig {
+    ClientConfig {
+        addr,
+        tenants: cfg.tenants,
+        services: cfg.services,
+        requests: cfg.requests,
+        seed: cfg.seed,
+        mode: cfg.mode,
+        tls: cfg.tls,
+        read_timeout: Duration::from_secs(10),
+    }
+}
+
+fn export_line(export: &str, tenant: usize) -> &str {
+    export
+        .lines()
+        .find(|l| l.starts_with(&format!("tenant {tenant} ")))
+        .expect("tenant line in export")
+}
+
+/// Reads frames off a raw socket until one decodes (helper for tests
+/// that drive the wire by hand).
+fn read_frame(stream: &mut TcpStream, decoder: &mut Decoder) -> Frame {
+    loop {
+        if let Some(frame) = decoder.next_frame().expect("decode") {
+            return frame;
+        }
+        let mut chunk = [0u8; 4096];
+        let n = stream.read(&mut chunk).expect("read");
+        assert!(n > 0, "peer closed before a frame arrived");
+        decoder.feed(&chunk[..n]).expect("feed");
+    }
+}
+
+/// A hostile client that pipelines garbage bytes behind its ClientHello
+/// in a single TCP write. Enabling records with plaintext still
+/// buffered would desynchronize the stream — the server must refuse the
+/// connection with a typed error (this used to be an `assert!` in
+/// `enable_tls`, i.e. a remotely-triggerable panic) and the honest
+/// tenant must be untouched.
+#[test]
+fn pipelined_handshake_bytes_are_refused_not_panicked() {
+    let cfg = scenario(true);
+    let door = FrontDoor::bind(cfg.clone(), "127.0.0.1:0").expect("bind");
+    let addr = door.local_addr().expect("addr").to_string();
+    let server = std::thread::spawn(move || door.run());
+    let ccfg = client_config(&cfg, addr.clone());
+
+    let mut stream = TcpStream::connect(&addr).expect("connect");
+    let hello = ClientHello {
+        version: TLS_VERSION,
+        suites: vec![CipherSuite::Aes128Gcm],
+        random: client_random(cfg.seed, 0, 0),
+    };
+    let mut bytes =
+        Frame::new(FrameKind::ClientHello, 0, 0, 0, encode_client_hello(&hello)).encode();
+    bytes.extend_from_slice(b"pipelined plaintext the record layer must never see");
+    stream.write_all(&bytes).expect("write offer + garbage");
+
+    // The server must survive: the honest pair completes, the hostile
+    // pair's tenant serves nothing.
+    let good = run_pair(&ccfg, 1, 0);
+    let outcome = server.join().expect("server thread").expect("serve run");
+    assert_eq!(good.error, None, "good pair failed: {:?}", good.error);
+    assert_eq!(good.replies.len(), cfg.requests);
+    assert!(export_line(&outcome.tenants_export, 0).contains("accepted 0"));
+    assert!(
+        export_line(&outcome.tenants_export, 1).contains(&format!("completed {}", cfg.requests))
+    );
+}
+
+/// A fuzzed frame after a clean Hello: the greeted pair starts spewing
+/// bytes that are not frames. The decoder latches a typed error, the
+/// tenant is shed, and the rest of the run is untouched.
+#[test]
+fn fuzzed_frame_sheds_the_tenant_only() {
+    let cfg = scenario(false);
+    let door = FrontDoor::bind(cfg.clone(), "127.0.0.1:0").expect("bind");
+    let addr = door.local_addr().expect("addr").to_string();
+    let server = std::thread::spawn(move || door.run());
+    let ccfg = client_config(&cfg, addr.clone());
+
+    // Hello by hand on a raw socket so the fuzz bytes can follow.
+    let mut stream = TcpStream::connect(&addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+    stream
+        .write_all(&Frame::new(FrameKind::Hello, 0, 0, 0, ccfg.scenario().encode()).encode())
+        .expect("hello");
+    let mut decoder = Decoder::new();
+    let ack = read_frame(&mut stream, &mut decoder);
+    assert_eq!(ack.kind, FrameKind::HelloAck);
+
+    // Deterministic fuzz: a byte soup that breaks the magic on the
+    // first header and keeps the stream poisoned from there.
+    let junk: Vec<u8> = (0u32..512)
+        .map(|i| (i.wrapping_mul(167) >> 3) as u8)
+        .collect();
+    stream.write_all(&junk).expect("fuzz");
+
+    let good = run_pair(&ccfg, 1, 0);
+    let outcome = server.join().expect("server thread").expect("serve run");
+    assert_eq!(good.error, None, "good pair failed: {:?}", good.error);
+    assert_eq!(good.replies.len(), cfg.requests);
+    assert!(export_line(&outcome.tenants_export, 0).contains("accepted 0"));
+    assert!(
+        export_line(&outcome.tenants_export, 1).contains(&format!("completed {}", cfg.requests))
+    );
+}
+
+/// An oversized payload is refused at the send seam with the typed
+/// frame error — not a panic — and the connection stays healthy for
+/// well-formed frames afterwards.
+#[test]
+fn oversized_send_is_a_typed_error_not_a_panic() {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let peer = std::thread::spawn(move || {
+        let (stream, _) = listener.accept().expect("accept");
+        let mut conn = FramedConn::new(stream).expect("conn");
+        conn.recv().expect("valid frame after the refused one")
+    });
+    let mut conn = FramedConn::new(TcpStream::connect(addr).expect("connect")).expect("conn");
+    let huge = Frame::new(FrameKind::Request, 0, 0, 1, vec![0u8; MAX_PAYLOAD + 1]);
+    match conn.send(&huge) {
+        Err(ConnError::Frame(FrameError::Oversized(n))) => {
+            assert_eq!(n as usize, MAX_PAYLOAD + 1)
+        }
+        other => panic!("want Oversized, got {other:?}"),
+    }
+    let ok = Frame::new(FrameKind::Request, 0, 0, 2, vec![7; 16]);
+    conn.send(&ok).expect("stream survives the refusal");
+    assert_eq!(peer.join().expect("peer"), ok);
+}

@@ -153,7 +153,10 @@ mod tests {
     use crate::epcm::{PagePerms, PageType};
     use crate::instr::PageSource;
 
-    fn build(m: &mut Machine, base: u64, signer: &[u8]) -> EnclaveId {
+    /// Builds a minimal enclave whose identity comes from `code` —
+    /// measurement is load-position independent, so distinct test
+    /// enclaves must differ in *content*, as on real hardware.
+    fn build(m: &mut Machine, base: u64, signer: &[u8], code: &[u8]) -> EnclaveId {
         let base = VirtAddr(base);
         let eid = m
             .ecreate(ProcessId(0), VirtRange::new(base, 2 * PAGE_SIZE as u64))
@@ -163,7 +166,7 @@ mod tests {
             eid,
             base.add(PAGE_SIZE as u64),
             PageType::Reg,
-            PageSource::Zeros,
+            PageSource::Image(code.to_vec()),
             PagePerms::RW,
         )
         .unwrap();
@@ -176,8 +179,8 @@ mod tests {
     #[test]
     fn report_roundtrip() {
         let mut m = Machine::new(HwConfig::small());
-        let a = build(&mut m, 0x10_0000, b"alice");
-        let b = build(&mut m, 0x20_0000, b"bob");
+        let a = build(&mut m, 0x10_0000, b"alice", b"code-a");
+        let b = build(&mut m, 0x20_0000, b"bob", b"code-b");
         // A reports to B.
         m.eenter(0, a, VirtAddr(0x10_0000)).unwrap();
         let report = m.ereport(0, b, [7u8; 64]).unwrap();
@@ -191,8 +194,8 @@ mod tests {
     #[test]
     fn tampered_report_rejected() {
         let mut m = Machine::new(HwConfig::small());
-        let a = build(&mut m, 0x10_0000, b"alice");
-        let b = build(&mut m, 0x20_0000, b"bob");
+        let a = build(&mut m, 0x10_0000, b"alice", b"code-a");
+        let b = build(&mut m, 0x20_0000, b"bob", b"code-b");
         m.eenter(0, a, VirtAddr(0x10_0000)).unwrap();
         let mut report = m.ereport(0, b, [7u8; 64]).unwrap();
         m.eexit(0).unwrap();
@@ -204,9 +207,9 @@ mod tests {
     #[test]
     fn report_for_wrong_target_fails_verification() {
         let mut m = Machine::new(HwConfig::small());
-        let a = build(&mut m, 0x10_0000, b"alice");
-        let b = build(&mut m, 0x20_0000, b"bob");
-        let c = build(&mut m, 0x30_0000, b"carol");
+        let a = build(&mut m, 0x10_0000, b"alice", b"code-a");
+        let b = build(&mut m, 0x20_0000, b"bob", b"code-b");
+        let c = build(&mut m, 0x30_0000, b"carol", b"code-c");
         // A reports *to C*, but B tries to verify it.
         m.eenter(0, a, VirtAddr(0x10_0000)).unwrap();
         let report = m.ereport(0, c, [0u8; 64]).unwrap();
@@ -218,15 +221,15 @@ mod tests {
     #[test]
     fn ereport_requires_enclave_mode() {
         let mut m = Machine::new(HwConfig::small());
-        let a = build(&mut m, 0x10_0000, b"alice");
+        let a = build(&mut m, 0x10_0000, b"alice", b"code-a");
         assert!(m.ereport(0, a, [0u8; 64]).is_err());
     }
 
     #[test]
     fn seal_keys_differ_by_policy_and_identity() {
         let mut m = Machine::new(HwConfig::small());
-        let a = build(&mut m, 0x10_0000, b"alice");
-        let b = build(&mut m, 0x20_0000, b"alice"); // same signer, diff code? same pages → same measurement? ranges differ
+        let a = build(&mut m, 0x10_0000, b"alice", b"code-a");
+        let b = build(&mut m, 0x20_0000, b"alice", b"code-b"); // same author, different code
         m.eenter(0, a, VirtAddr(0x10_0000)).unwrap();
         let a_encl = m.egetkey(0, KeyPolicy::SealToEnclave).unwrap();
         let a_sign = m.egetkey(0, KeyPolicy::SealToSigner).unwrap();
@@ -236,7 +239,7 @@ mod tests {
         let b_sign = m.egetkey(0, KeyPolicy::SealToSigner).unwrap();
         m.eexit(0).unwrap();
         assert_ne!(a_encl, a_sign);
-        // ELRANGEs differ → measurements differ → enclave-bound keys differ.
+        // Code differs → measurements differ → enclave-bound keys differ.
         assert_ne!(a_encl, b_encl);
         // Same author → signer-bound keys shared.
         assert_eq!(a_sign, b_sign);

@@ -142,10 +142,16 @@ impl Measurement {
         }
     }
 
-    /// Absorbs the ECREATE record (ELRANGE geometry).
+    /// Absorbs the ECREATE record (ELRANGE geometry). Only the *size*
+    /// is measured, exactly as real SGX measures SECS.SIZE and not the
+    /// base: every EADD/EEXTEND already binds its base-relative page
+    /// offset, so MRENCLAVE is load-position-independent. That is what
+    /// makes enclave identity portable — the same image loaded at a
+    /// different base (a respawn, or a live migration onto another
+    /// machine) derives the same `EGETKEY` seal key and can open state
+    /// sealed by its previous incarnation.
     pub fn ecreate(&mut self, elrange: VirtRange) {
         self.hasher.update(b"ECREATE");
-        self.hasher.update(&elrange.start().0.to_le_bytes());
         self.hasher.update(&elrange.len().to_le_bytes());
     }
 

@@ -40,12 +40,13 @@ use std::fmt;
 
 /// Default trigger period (in targeted EENTERs) per fault kind. Chosen
 /// mutually coprime so combined specs interleave rather than align.
-const DEFAULT_PERIODS: [(ChaosKind, u64); 5] = [
+const DEFAULT_PERIODS: [(ChaosKind, u64); 6] = [
     (ChaosKind::Aex, 4),
     (ChaosKind::Evict, 7),
     (ChaosKind::Stall, 5),
     (ChaosKind::Mac, 19),
     (ChaosKind::Crash, 23),
+    (ChaosKind::Migrate, 29),
 ];
 
 /// The injectable fault kinds.
@@ -61,6 +62,13 @@ pub enum ChaosKind {
     Crash,
     /// Switchless reply-queue stall window.
     Stall,
+    /// Migration pressure: ask the host to live-migrate the entered
+    /// enclave's tenant. Unlike the other kinds this injects no
+    /// architectural fault — it parks a request the driving layer picks
+    /// up at its next safe point, so the five-phase migration machine
+    /// itself runs *under* whatever other chaos the spec combines it
+    /// with.
+    Migrate,
 }
 
 impl ChaosKind {
@@ -72,6 +80,7 @@ impl ChaosKind {
             ChaosKind::Mac => "mac",
             ChaosKind::Crash => "crash",
             ChaosKind::Stall => "stall",
+            ChaosKind::Migrate => "migrate",
         }
     }
 
@@ -82,6 +91,7 @@ impl ChaosKind {
             "mac" => Some(ChaosKind::Mac),
             "crash" => Some(ChaosKind::Crash),
             "stall" => Some(ChaosKind::Stall),
+            "migrate" => Some(ChaosKind::Migrate),
             _ => None,
         }
     }
@@ -140,6 +150,8 @@ pub enum ChaosAction {
         /// Number of consecutive switchless ocalls to fail (1–3).
         window: u32,
     },
+    /// Park a migration request for the entered enclave (no fault).
+    Migrate,
 }
 
 /// One applied chaos injection, as recorded by the machine at the moment
@@ -176,6 +188,8 @@ pub struct ChaosStats {
     pub crashes: u64,
     /// Switchless ocalls failed by a stall window.
     pub stalls: u64,
+    /// Migration requests parked for the host.
+    pub migrations: u64,
 }
 
 /// SplitMix64: tiny, seedable, excellent diffusion; keeps `ne-sgx` free
@@ -267,7 +281,7 @@ impl FaultPlan {
                 None => (raw, None),
             };
             let kind = ChaosKind::parse(name).ok_or_else(|| {
-                format!("unknown chaos kind '{name}' (want aex|evict|mac|crash|stall)")
+                format!("unknown chaos kind '{name}' (want aex|evict|mac|crash|stall|migrate)")
             })?;
             terms.push(FaultTerm {
                 kind,
@@ -346,6 +360,10 @@ impl FaultPlan {
                     actions.push(ChaosAction::Stall {
                         window: self.rng.one_to(3) as u32,
                     });
+                }
+                ChaosKind::Migrate => {
+                    self.stats.migrations += 1;
+                    actions.push(ChaosAction::Migrate);
                 }
             }
         }

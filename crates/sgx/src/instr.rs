@@ -867,6 +867,7 @@ impl Machine {
                 ChaosAction::Evict { .. } => Some(ChaosKind::Evict),
                 ChaosAction::Mac => Some(ChaosKind::Mac),
                 ChaosAction::Stall { .. } => Some(ChaosKind::Stall),
+                ChaosAction::Migrate => Some(ChaosKind::Migrate),
                 ChaosAction::Crash { .. } => None, // logged pre-entry
             } {
                 self.chaos_events.push(ChaosInjection {
@@ -908,6 +909,14 @@ impl Machine {
                 ChaosAction::Stall { window } => {
                     if let Some(plan) = self.chaos.as_mut() {
                         plan.open_stall(window);
+                    }
+                }
+                // No architectural fault: park the request for the host's
+                // next safe point (a cluster barrier). Dedup keeps a storm
+                // of entries from queueing the same victim twice.
+                ChaosAction::Migrate => {
+                    if !self.migration_requests.contains(&eid.0) {
+                        self.migration_requests.push(eid.0);
                     }
                 }
                 ChaosAction::Crash { .. } => {} // applied before entry

@@ -142,6 +142,10 @@ pub struct Machine {
     /// application order (the observability layer's join key against
     /// host-side recovery events). Cleared by `reset_metrics`.
     pub(crate) chaos_events: Vec<ChaosInjection>,
+    /// Raw ids of enclaves a `migrate` chaos injection asked the host to
+    /// live-migrate, deduplicated, in request order. Drained by
+    /// [`Machine::take_migration_requests`] at the host's next safe point.
+    pub(crate) migration_requests: Vec<u64>,
 }
 
 impl std::fmt::Debug for Machine {
@@ -211,6 +215,7 @@ impl Machine {
             poisoned: HashSet::new(),
             chaos_evicted: Vec::new(),
             chaos_events: Vec::new(),
+            migration_requests: Vec::new(),
             cfg,
         }
     }
@@ -1094,6 +1099,14 @@ impl Machine {
     /// fail with [`SgxError::Stalled`]).
     pub fn chaos_take_stall(&mut self) -> bool {
         self.chaos.as_mut().is_some_and(FaultPlan::take_stall)
+    }
+
+    /// Drains the raw enclave ids a `migrate` chaos injection has parked
+    /// since the last drain. The host calls this at a safe point (e.g. a
+    /// cluster barrier) and drives its live-migration machine for each
+    /// victim; ids are deduplicated and in request order.
+    pub fn take_migration_requests(&mut self) -> Vec<u64> {
+        std::mem::take(&mut self.migration_requests)
     }
 
     // ----- internal access for instruction implementations -------------------
