@@ -28,7 +28,9 @@
 //! Flags: `--tenants N` (default 4), `--services N` per tenant (default
 //! 2, capped at the 3 service kinds), `--requests N` per (tenant,
 //! service) per run (default 12), `--seed S`, `--mode open|closed|both`
-//! (default both), `--shards N` (default 1), `--no-switchless`, plus the
+//! (default both), `--shards N` (default 1), `--no-switchless`,
+//! `--replay` (the macro-op replay cache — byte-invisible in every
+//! export, host wall-clock only), plus the
 //! standard `--metrics-out`, `--bench-out`, `--profile-out` and
 //! `--trace-out` exports (the traced run is the closed-loop one; shard
 //! `k > 0` traces land at `<path>.shard<k>`), and `--tenants-out <path>`
@@ -97,6 +99,7 @@ struct Plan {
     switchless: bool,
     chaos: Option<String>,
     reference: bool,
+    replay: bool,
 }
 
 fn build(plan: &Plan, trace: bool) -> Cluster {
@@ -108,6 +111,7 @@ fn build(plan: &Plan, trace: bool) -> Cluster {
     cfg.host.switchless = plan.switchless;
     cfg.host.hw.trace_events = trace;
     cfg.host.hw.reference_path = plan.reference;
+    cfg.host.replay_cache = plan.replay;
     Cluster::build(cfg).expect("cluster build")
 }
 
@@ -259,35 +263,47 @@ fn run(
 }
 
 /// What `--migrate <tenant>@<trigger>` asked for.
+#[derive(Debug, PartialEq, Eq)]
 enum MigrateTrigger {
     Planned,
     Epc,
     Chaos(u64),
 }
 
-fn parse_migrate(spec: &str, tenants: usize) -> (usize, MigrateTrigger) {
-    fn bad(spec: &str) -> ! {
-        panic!("--migrate expects <tenant>@<planned|epc|chaos[:period]>, got '{spec}'")
+/// Parses `--migrate <tenant>@<planned|epc|chaos[:period]>`.
+///
+/// # Errors
+///
+/// A typed message for malformed specs, out-of-range tenants, and — like
+/// the `--chaos` grammar ([`ne_sgx::fault::FaultPlan::parse`]) — a zero
+/// chaos period,
+/// which would otherwise produce a trigger that can never fire.
+fn parse_migrate(spec: &str, tenants: usize) -> Result<(usize, MigrateTrigger), String> {
+    let bad = |spec: &str| format!("expected <tenant>@<planned|epc|chaos[:period]>, got '{spec}'");
+    let (tenant, trigger) = spec.split_once('@').ok_or_else(|| bad(spec))?;
+    let tenant: usize = tenant.parse().map_err(|_| bad(spec))?;
+    if tenant >= tenants {
+        return Err(format!(
+            "names tenant {tenant}, but the run has {tenants} tenants"
+        ));
     }
-    let (tenant, trigger) = spec.split_once('@').unwrap_or_else(|| bad(spec));
-    let tenant: usize = tenant.parse().unwrap_or_else(|_| bad(spec));
-    assert!(
-        tenant < tenants,
-        "--migrate names tenant {tenant}, but the run has {tenants} tenants"
-    );
     let trigger = match trigger.split_once(':') {
         None => match trigger {
             "planned" => MigrateTrigger::Planned,
             "epc" => MigrateTrigger::Epc,
             "chaos" => MigrateTrigger::Chaos(5),
-            _ => bad(spec),
+            _ => return Err(bad(spec)),
         },
         Some(("chaos", period)) => {
-            MigrateTrigger::Chaos(period.parse().unwrap_or_else(|_| bad(spec)))
+            let period: u64 = period.parse().map_err(|_| bad(spec))?;
+            if period == 0 {
+                return Err(format!("zero period in migrate trigger '{spec}'"));
+            }
+            MigrateTrigger::Chaos(period)
         }
-        Some(_) => bad(spec),
+        Some(_) => return Err(bad(spec)),
     };
-    (tenant, trigger)
+    Ok((tenant, trigger))
 }
 
 fn migration_line(r: &MigrationRecord) -> String {
@@ -314,7 +330,8 @@ fn migration_line(r: &MigrationRecord) -> String {
 /// barrier migration mid-run, the per-tenant table, the migration log,
 /// and the asserted `dropped=0` line. Exports describe this run.
 fn run_migrate(spec: &str, plan: &Plan, obs: Option<SamplerConfig>, dash: bool) {
-    let (tenant, trigger) = parse_migrate(spec, plan.tenants);
+    let (tenant, trigger) =
+        parse_migrate(spec, plan.tenants).unwrap_or_else(|e| panic!("--migrate: {e}"));
     assert!(
         plan.requests >= 2,
         "--migrate needs at least 2 requests per pair (one per segment)"
@@ -470,6 +487,10 @@ fn main() {
         switchless: !std::env::args().any(|a| a == "--no-switchless"),
         chaos: flag_str("--chaos"),
         reference: std::env::args().any(|a| a == "--reference"),
+        // The macro-op replay cache is byte-invisible in every export
+        // (the replay differential oracle); the flag only changes host
+        // wall-clock, exactly like --reference in the other direction.
+        replay: std::env::args().any(|a| a == "--replay"),
     };
     // `--reference` means the naive forms of every optimized hot path: the
     // simulator's memory pipeline (via `HwConfig::reference_path`) and the
@@ -565,4 +586,62 @@ fn main() {
         }
     }
     report.finish();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{parse_migrate, MigrateTrigger};
+    use ne_sgx::fault::FaultPlan;
+
+    #[test]
+    fn migrate_grammar_parses_every_trigger() {
+        assert_eq!(
+            parse_migrate("0@planned", 2),
+            Ok((0, MigrateTrigger::Planned))
+        );
+        assert_eq!(parse_migrate("1@epc", 2), Ok((1, MigrateTrigger::Epc)));
+        assert_eq!(
+            parse_migrate("0@chaos", 2),
+            Ok((0, MigrateTrigger::Chaos(5)))
+        );
+        assert_eq!(
+            parse_migrate("0@chaos:3", 2),
+            Ok((0, MigrateTrigger::Chaos(3)))
+        );
+    }
+
+    /// `chaos:0` is a trigger that can never fire; it must be a typed
+    /// parse error, not a silently-dead migration request.
+    #[test]
+    fn migrate_grammar_rejects_zero_period() {
+        let err = parse_migrate("0@chaos:0", 2).unwrap_err();
+        assert!(err.contains("zero period"), "got: {err}");
+    }
+
+    #[test]
+    fn migrate_grammar_rejects_malformed_specs() {
+        for spec in [
+            "",
+            "0",
+            "@planned",
+            "x@planned",
+            "0@",
+            "0@chaos:x",
+            "0@epc:1",
+        ] {
+            assert!(parse_migrate(spec, 2).is_err(), "accepted '{spec}'");
+        }
+        // Out-of-range tenants are named in the error, not asserted on.
+        let err = parse_migrate("2@planned", 2).unwrap_err();
+        assert!(err.contains("2 tenants"), "got: {err}");
+    }
+
+    /// The `--chaos` grammar shares the zero-period rule: `aex:0` must
+    /// stay a typed error too (the authoritative test lives with
+    /// `FaultPlan`; this pins the CLI-visible contract).
+    #[test]
+    fn chaos_grammar_rejects_zero_period() {
+        let err = FaultPlan::parse("aex:0", 1).unwrap_err();
+        assert!(err.contains("zero period"), "got: {err}");
+    }
 }

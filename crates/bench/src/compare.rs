@@ -31,10 +31,20 @@ pub struct MetricDelta {
     pub baseline: f64,
     /// Value in the current run.
     pub current: f64,
-    /// Relative change `(current - baseline) / baseline`; infinite when
-    /// the baseline is zero and the current value is not.
+    /// Relative change `(current - baseline) / max(|baseline|,
+    /// ZERO_FLOOR)`. The floored magnitude denominator keeps the verdict
+    /// finite for a zero baseline (a 0-valued seed metric that grows
+    /// reads as an enormous — but orderable and printable — regression,
+    /// not `inf`/`NaN`) and keeps the sign meaningful should a baseline
+    /// leaf ever be negative: growth toward the current value is always
+    /// positive `rel`.
     pub rel: f64,
 }
+
+/// Floor for the relative-change denominator; far below any real
+/// `ne-bench/v1` leaf (cycles, counts, percentiles are integers), so it
+/// only engages when the baseline is exactly zero.
+const ZERO_FLOOR: f64 = 1e-9;
 
 impl MetricDelta {
     fn describe(&self) -> String {
@@ -206,14 +216,12 @@ pub fn compare(baseline_src: &str, current_src: &str, threshold: f64) -> Compare
             continue;
         };
         outcome.compared += 1;
-        let rel = if base == 0.0 {
-            if cur == 0.0 {
-                0.0
-            } else {
-                f64::INFINITY
-            }
+        let rel = if cur == base {
+            // Covers both-zero (and exactly-equal) without touching the
+            // division at all.
+            0.0
         } else {
-            (cur - base) / base
+            (cur - base) / base.abs().max(ZERO_FLOOR)
         };
         let delta = MetricDelta {
             path: path.clone(),
@@ -314,11 +322,52 @@ mod tests {
     }
 
     #[test]
-    fn zero_baseline_growth_is_infinite_regression() {
+    fn zero_baseline_growth_is_a_finite_regression() {
         let base = doc(1000, 32).replace("\"ecalls\": 10, ", "\"ecalls\": 0, ");
         let outcome = compare(&base, &doc(1000, 32), 0.05);
         assert_eq!(outcome.regressions.len(), 1);
-        assert!(outcome.regressions[0].rel.is_infinite());
+        let rel = outcome.regressions[0].rel;
+        assert!(rel.is_finite(), "zero baseline must not verdict inf: {rel}");
+        assert!(rel > 0.05, "growth from zero is still a regression: {rel}");
+        // The report must render a percentage, not a placeholder.
+        assert!(outcome.render(0.05).contains('%'));
+    }
+
+    #[test]
+    fn zero_baseline_zero_current_is_clean() {
+        let both = doc(1000, 32).replace("\"ecalls\": 10, ", "\"ecalls\": 0, ");
+        let outcome = compare(&both, &both, 0.05);
+        assert!(outcome.regressions.is_empty());
+        assert!(outcome.improvements.is_empty());
+        let zeroed = compare(&both, &both, 0.0);
+        // Even at threshold zero, 0 -> 0 is "no movement", not NaN.
+        assert!(zeroed.regressions.is_empty());
+        assert!(zeroed.improvements.is_empty());
+    }
+
+    #[test]
+    fn equal_nonzero_values_never_verdict() {
+        // cur == base short-circuits to rel 0.0 even at threshold 0.
+        let outcome = compare(&doc(1000, 32), &doc(1000, 32), 0.0);
+        assert!(outcome.regressions.is_empty());
+        assert!(outcome.improvements.is_empty());
+    }
+
+    #[test]
+    fn sign_flip_across_zero_keeps_verdict_direction() {
+        // A (hypothetical) negative baseline growing through zero must
+        // read as a positive regression, not an improvement: the
+        // magnitude denominator keeps (cur - base) in charge of the sign.
+        let base = doc(1000, 32).replace("\"min\": 1,", "\"min\": -4,");
+        let cur = doc(1000, 32).replace("\"min\": 1,", "\"min\": 4,");
+        let outcome = compare(&base, &cur, 0.05);
+        assert_eq!(outcome.regressions.len(), 1);
+        assert_eq!(outcome.regressions[0].path, "run/a/histograms/ecall/min");
+        assert!((outcome.regressions[0].rel - 2.0).abs() < 1e-9);
+        // And shrinking through zero is an improvement, symmetrically.
+        let outcome = compare(&cur, &base, 0.05);
+        assert_eq!(outcome.improvements.len(), 1);
+        assert!((outcome.improvements[0].rel + 2.0).abs() < 1e-9);
     }
 
     #[test]

@@ -467,17 +467,22 @@ impl HostServer {
             )
             .map(|_| ());
         if result.is_ok() {
-            for &kind in &spec.services {
-                result = install_service(
+            for (s, &kind) in spec.services.iter().enumerate() {
+                match install_service(
                     &mut self.app,
                     &spec.name,
                     &gate_name,
                     identity,
                     kind,
                     self.seed,
-                );
-                if result.is_err() {
-                    break;
+                ) {
+                    Ok(twin) => {
+                        self.computes.insert((local, s), twin);
+                    }
+                    Err(e) => {
+                        result = Err(e);
+                        break;
+                    }
                 }
             }
         }

@@ -1,0 +1,303 @@
+//! The macro-op replay cache: memoized request-level machine effects.
+//!
+//! Once a serving workload reaches steady state, most requests are
+//! *shape repeats*: the same tenant, the same service, the same payload
+//! and reply lengths, on the same core. The simulated-machine work such
+//! a request performs — transitions, TLB flushes, LLC traffic, cycle
+//! charges — is a deterministic function of that shape (handlers compute
+//! natively on the host; the machine only sees length-dependent charges
+//! and fixed-address buffer traffic). [`ReplayCache`] stores the
+//! captured [`MacroEffect`] of the first occurrence of each shape and
+//! lets [`crate::server::HostServer::step`] replay it instead of
+//! re-stepping every access.
+//!
+//! Lookup is two-phase so the miss path stays cheap: requests are first
+//! matched by [`ReplayKey`] — everything known *before* any compute —
+//! and only when candidates exist does the host probe its compute twin
+//! ([`crate::service::HostCompute`]) for the reply length that selects
+//! among them. A cold shape therefore costs one `HashMap` miss, not a
+//! dry-run of the service; a warm shape's probe doubles as the replay's
+//! reply computation, so no twin work is ever wasted on the hit path.
+//!
+//! Correctness rests on three gates, all enforced machine-side in
+//! [`ne_sgx::replay`]:
+//!
+//! 1. **Capture cleanliness** — only fault-free, chaos-quiet, trace-off
+//!    executions confined to the serving core (plus the switchless
+//!    worker) are ever cached.
+//! 2. **Replay preconditions** — a cached effect is re-applied only when
+//!    the machine would demonstrably reproduce it: epoch match, TLB
+//!    fingerprints match, every recorded LLC line still resident, and no
+//!    chaos term due to fire across the replayed EENTER sequence.
+//! 3. **Epoch invalidation** — any machine mutation that could change a
+//!    future execution (enclave lifecycle, paging, chaos installation,
+//!    tampering, migration teardown) bumps
+//!    [`ne_sgx::machine::Machine::replay_epoch`]; the cache flushes
+//!    itself whenever the epoch moves.
+//!
+//! Application-level state effects (database writes) are **not** part of
+//! the memoized effect: on a replay hit the host runs the twin natively
+//! (probe for the reply, commit-once for state), so replies and service
+//! state stay byte-identical to a cache-off run.
+
+use crate::service::ServiceKind;
+use ne_sgx::replay::MacroEffect;
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Identity of a request shape, built from what the host knows *before*
+/// running any compute. Together with the probed reply length it fully
+/// determines the simulated-machine work: every handler charge is a
+/// function of payload/reply length, service payloads are never
+/// marshalled through simulated memory, and the switchless reply slot is
+/// a fixed address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ReplayKey {
+    /// Owning tenant index.
+    pub tenant: usize,
+    /// Index into the tenant's service list.
+    pub service: usize,
+    /// The serving core. A [`MacroEffect`] advances the specific core it
+    /// was captured on, so an effect recorded on core A must never be
+    /// replayed for a request being served on core B — that would
+    /// misattribute every cycle. Keying by core makes the mismatch
+    /// structurally impossible.
+    pub core: usize,
+    /// The service kind (guards against two tenants' service lists
+    /// aliasing the same index to different kinds after a migration).
+    pub kind: ServiceKind,
+    /// Request payload length in bytes.
+    pub payload_len: usize,
+}
+
+/// Counters of one [`ReplayCache`], reset with the measurement window.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplayCacheStats {
+    /// Lookups that found an entry *and* replayed it successfully.
+    pub hits: u64,
+    /// Lookups that found no entry (cold shape or unseen reply length).
+    pub misses: u64,
+    /// Effects captured and inserted.
+    pub captures: u64,
+    /// Lookups that found an entry but were refused by the machine's
+    /// replay preconditions (stale TLB fingerprint, evicted LLC line,
+    /// chaos term due to fire); the request then ran natively.
+    pub rejects: u64,
+    /// Entries dropped by the FIFO capacity bound.
+    pub evictions: u64,
+    /// Whole-cache flushes triggered by a machine epoch bump.
+    pub stale_flushes: u64,
+}
+
+/// FIFO-bounded two-level map from request shape (then probed reply
+/// length) to captured machine effect, with whole-cache invalidation on
+/// machine epoch changes.
+#[derive(Debug)]
+pub struct ReplayCache {
+    /// The machine epoch the cached effects were captured under.
+    epoch: u64,
+    /// Few reply lengths exist per shape, so a small vec beats a second
+    /// hash level.
+    map: HashMap<ReplayKey, Vec<(usize, MacroEffect)>>,
+    order: VecDeque<(ReplayKey, usize)>,
+    /// Shapes that have missed at least once. Capturing makes the
+    /// *native* execution it brackets roughly twice as expensive
+    /// (recording hooks on every charge and access), so paying it for a
+    /// shape that never repeats is pure loss; [`ReplayCache::admit`]
+    /// defers capture to a shape's second miss, trading one extra warm
+    /// round for a cheap long tail.
+    seen: HashSet<ReplayKey>,
+    len: usize,
+    capacity: usize,
+    stats: ReplayCacheStats,
+}
+
+impl ReplayCache {
+    /// An empty cache bounded to `capacity` effects (at least 1).
+    pub fn new(capacity: usize) -> ReplayCache {
+        ReplayCache {
+            epoch: 0,
+            map: HashMap::new(),
+            order: VecDeque::new(),
+            seen: HashSet::new(),
+            len: 0,
+            capacity: capacity.max(1),
+            stats: ReplayCacheStats::default(),
+        }
+    }
+
+    /// Reconciles the cache with the machine's current replay epoch:
+    /// every cached effect was captured under the old epoch, so an epoch
+    /// move invalidates all of them at once.
+    pub fn sync_epoch(&mut self, epoch: u64) {
+        if epoch == self.epoch {
+            return;
+        }
+        if self.len > 0 {
+            self.stats.stale_flushes += 1;
+            self.map.clear();
+            self.order.clear();
+            self.len = 0;
+        }
+        self.seen.clear();
+        self.epoch = epoch;
+    }
+
+    /// Whether any effect is cached under this shape. The host checks
+    /// this *before* probing its compute twin, so cold shapes never pay
+    /// for a dry run.
+    pub fn has_candidates(&self, key: &ReplayKey) -> bool {
+        self.map.contains_key(key)
+    }
+
+    /// The cached effect for this shape and probed reply length, if any.
+    /// Call [`ReplayCache::sync_epoch`] first; counting (hit/miss/
+    /// reject) is the caller's, since only the machine can tell a usable
+    /// entry from a refused one.
+    pub fn lookup(&self, key: &ReplayKey, reply_len: usize) -> Option<&MacroEffect> {
+        self.map
+            .get(key)?
+            .iter()
+            .find(|(len, _)| *len == reply_len)
+            .map(|(_, effect)| effect)
+    }
+
+    /// Inserts a freshly captured effect, evicting the oldest when full.
+    /// A re-insert under an existing (shape, reply length) replaces it
+    /// in place.
+    pub fn insert(&mut self, key: ReplayKey, reply_len: usize, effect: MacroEffect) {
+        self.stats.captures += 1;
+        let bucket = self.map.entry(key).or_default();
+        if let Some(slot) = bucket.iter_mut().find(|(len, _)| *len == reply_len) {
+            slot.1 = effect;
+            return;
+        }
+        bucket.push((reply_len, effect));
+        self.order.push_back((key, reply_len));
+        self.len += 1;
+        if self.len > self.capacity {
+            if let Some((victim, victim_len)) = self.order.pop_front() {
+                if let Some(bucket) = self.map.get_mut(&victim) {
+                    bucket.retain(|(len, _)| *len != victim_len);
+                    if bucket.is_empty() {
+                        self.map.remove(&victim);
+                    }
+                }
+                self.len -= 1;
+                self.stats.evictions += 1;
+            }
+        }
+    }
+
+    /// Whether a just-missed shape should be captured this time: `true`
+    /// from the shape's second miss onward. The first miss only marks the
+    /// shape as seen — see the `seen` field for why one-off shapes must
+    /// not pay the capture tax. The set is bounded alongside the FIFO: if
+    /// it somehow outgrows four times the cache capacity it is cleared,
+    /// costing at worst one extra warm round per live shape.
+    pub fn admit(&mut self, key: &ReplayKey) -> bool {
+        if self.seen.contains(key) {
+            return true;
+        }
+        if self.seen.len() >= self.capacity * 4 {
+            self.seen.clear();
+        }
+        self.seen.insert(*key);
+        false
+    }
+
+    /// Records a successful replay.
+    pub fn note_hit(&mut self) {
+        self.stats.hits += 1;
+    }
+
+    /// Records a lookup that found nothing.
+    pub fn note_miss(&mut self) {
+        self.stats.misses += 1;
+    }
+
+    /// Records a machine-refused replay (the entry stays: the refusal may
+    /// be transient, e.g. an LLC line that gets re-fetched).
+    pub fn note_reject(&mut self) {
+        self.stats.rejects += 1;
+    }
+
+    /// Cached effects right now.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> ReplayCacheStats {
+        self.stats
+    }
+
+    /// Zeroes the counters (cached entries stay valid — captured deltas
+    /// are relative, so they survive a metrics reset).
+    pub fn reset_stats(&mut self) {
+        self.stats = ReplayCacheStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(n: usize) -> ReplayKey {
+        ReplayKey {
+            tenant: 0,
+            service: 0,
+            core: 0,
+            kind: ServiceKind::TlsEcho,
+            payload_len: n,
+        }
+    }
+
+    #[test]
+    fn epoch_move_flushes_everything() {
+        let mut c = ReplayCache::new(8);
+        c.sync_epoch(3);
+        assert_eq!(c.stats().stale_flushes, 0, "empty flushes are free");
+        c.insert(key(1), 64, MacroEffect::default());
+        c.sync_epoch(3);
+        assert_eq!(c.len(), 1, "same epoch keeps entries");
+        assert!(c.has_candidates(&key(1)));
+        c.sync_epoch(4);
+        assert!(c.is_empty());
+        assert!(!c.has_candidates(&key(1)));
+        assert_eq!(c.stats().stale_flushes, 1);
+    }
+
+    #[test]
+    fn fifo_capacity_evicts_oldest() {
+        let mut c = ReplayCache::new(2);
+        c.insert(key(1), 64, MacroEffect::default());
+        c.insert(key(2), 64, MacroEffect::default());
+        c.insert(key(3), 64, MacroEffect::default());
+        assert_eq!(c.len(), 2);
+        assert!(c.lookup(&key(1), 64).is_none(), "oldest evicted");
+        assert!(!c.has_candidates(&key(1)), "empty bucket pruned");
+        assert!(c.lookup(&key(3), 64).is_some());
+        assert_eq!(c.stats().evictions, 1);
+        // Replacing an existing (shape, reply length) neither grows nor
+        // evicts.
+        c.insert(key(2), 64, MacroEffect::default());
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn reply_lengths_disambiguate_within_a_shape() {
+        let mut c = ReplayCache::new(8);
+        c.insert(key(9), 16, MacroEffect::default());
+        c.insert(key(9), 32, MacroEffect::default());
+        assert_eq!(c.len(), 2);
+        assert!(c.lookup(&key(9), 16).is_some());
+        assert!(c.lookup(&key(9), 32).is_some());
+        assert!(c.lookup(&key(9), 48).is_none(), "unseen reply length");
+    }
+}

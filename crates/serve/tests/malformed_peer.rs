@@ -132,6 +132,114 @@ fn fuzzed_frame_sheds_the_tenant_only() {
     );
 }
 
+/// A hostile client that completes the transport handshake and then
+/// spews bytes that are not records: the server's record layer must
+/// refuse them with a typed error (`RecordLayer::open` used to carry a
+/// panic-typed length conversion on this path), the hostile tenant is
+/// shed, and the honest tenant's run is untouched.
+#[test]
+fn garbage_tls_records_are_refused_not_panicked() {
+    let cfg = scenario(true);
+    let door = FrontDoor::bind(cfg.clone(), "127.0.0.1:0").expect("bind");
+    let addr = door.local_addr().expect("addr").to_string();
+    let server = std::thread::spawn(move || door.run());
+    let ccfg = client_config(&cfg, addr.clone());
+
+    // Offer a well-formed ClientHello so the server commits to sealed
+    // records, then feed it a "record" whose body is garbage.
+    let mut stream = TcpStream::connect(&addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+    let hello = ClientHello {
+        version: TLS_VERSION,
+        suites: vec![CipherSuite::Aes128Gcm],
+        random: client_random(cfg.seed, 0, 0),
+    };
+    stream
+        .write_all(
+            &Frame::new(FrameKind::ClientHello, 0, 0, 0, encode_client_hello(&hello)).encode(),
+        )
+        .expect("offer");
+    let mut decoder = Decoder::new();
+    let answer = read_frame(&mut stream, &mut decoder);
+    assert_eq!(answer.kind, FrameKind::ServerHello);
+    // A plausible record header (Data type, 16-byte body) followed by
+    // bytes that cannot authenticate: the open must fail typed, never
+    // panic.
+    let mut junk = vec![23u8, 16, 0, 0, 0];
+    junk.extend_from_slice(&[0xA5; 16]);
+    stream.write_all(&junk).expect("garbage record");
+
+    let good = run_pair(&ccfg, 1, 0);
+    let outcome = server.join().expect("server thread").expect("serve run");
+    assert_eq!(good.error, None, "good pair failed: {:?}", good.error);
+    assert_eq!(good.replies.len(), cfg.requests);
+    assert!(export_line(&outcome.tenants_export, 0).contains("accepted 0"));
+    assert!(
+        export_line(&outcome.tenants_export, 1).contains(&format!("completed {}", cfg.requests))
+    );
+}
+
+/// A hostile *server* answering a Reply frame whose payload is too short
+/// to be a completion: the client must fail that pair with a typed
+/// protocol error, not a panic or an out-of-bounds read.
+#[test]
+fn malformed_reply_payload_is_a_typed_client_error() {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr").to_string();
+    let fake_server = std::thread::spawn(move || {
+        let (stream, _) = listener.accept().expect("accept");
+        let mut conn = FramedConn::new(stream).expect("conn");
+        // Greet the pair, then answer its first request with a Reply
+        // whose payload cannot hold a completion header.
+        loop {
+            let f = conn.recv().expect("client frame");
+            match f.kind {
+                FrameKind::Hello => {
+                    conn.send(&Frame::new(
+                        FrameKind::HelloAck,
+                        f.tenant,
+                        f.service,
+                        f.req_id,
+                        Vec::new(),
+                    ))
+                    .expect("ack");
+                }
+                FrameKind::Request => {
+                    conn.send(&Frame::new(
+                        FrameKind::Reply,
+                        f.tenant,
+                        f.service,
+                        1,
+                        vec![9u8; 10],
+                    ))
+                    .expect("short reply");
+                    return;
+                }
+                other => panic!("unexpected client frame {other:?}"),
+            }
+        }
+    });
+    let ccfg = ClientConfig {
+        addr,
+        tenants: 1,
+        services: 1,
+        requests: 2,
+        seed: 0xFA11_FEED,
+        mode: ne_serve::Mode::Closed,
+        tls: false,
+        read_timeout: Duration::from_secs(10),
+    };
+    let outcome = run_pair(&ccfg, 0, 0);
+    fake_server.join().expect("fake server");
+    let err = outcome.error.expect("pair must fail typed");
+    assert!(
+        err.contains("Reply"),
+        "want a malformed-Reply protocol error, got {err}"
+    );
+}
+
 /// An oversized payload is refused at the send seam with the typed
 /// frame error — not a panic — and the connection stays healthy for
 /// well-formed frames afterwards.

@@ -1,0 +1,461 @@
+//! Macro-op replay: memoized request-level machine effects.
+//!
+//! Steady-state serving traffic re-executes near-identical instruction
+//! sequences per (service, payload shape) once the TLB and LLC are warm.
+//! This module lets the host memoize one clean execution of such a
+//! sequence — every cycle charge, counter increment, histogram sample,
+//! and raw TLB/LLC mutation it performed — and later *replay* that
+//! effect in O(effect size) instead of stepping every access again.
+//!
+//! Soundness rests on three pillars:
+//!
+//! 1. **Epoch invalidation.** [`crate::machine::Machine`] keeps a
+//!    monotonic `replay_epoch` that bumps on every operation that can
+//!    change translation or protection state: EPCM changes (ECREATE /
+//!    EADD / EINIT / EAUG / EACCEPT / EREMOVE), paging (EWB / ELDU), OS
+//!    remapping, physical tampering, enclave poisoning, and chaos-plan
+//!    installation. An effect captured under epoch *E* is only replayable
+//!    while the machine is still at epoch *E*.
+//! 2. **Capture cleanliness.** [`Machine::macro_capture_end`] refuses to
+//!    produce an effect unless the bracketed execution was *quiet*: no
+//!    LLC misses (so the MEE never ran), no faults, no AEX storms, no
+//!    chaos injections, no epoch bump, and cycle movement confined to
+//!    the declared cores. A quiet execution's machine interaction is a
+//!    pure function of its warm-state preconditions.
+//! 3. **Replay preconditions.** [`Machine::macro_replay`] checks, before
+//!    mutating anything, that the warm state the capture relied on still
+//!    holds: every touched LLC line is still resident (all-hit accesses
+//!    never evict, so re-running them cannot diverge), every touched
+//!    core's TLB either starts with a flush (making its prior content
+//!    irrelevant) or matches the capture-time fingerprint exactly, and
+//!    the installed chaos plan provably fires nothing across the
+//!    replayed EENTER ticks. Any doubt refuses the replay and the host
+//!    falls back to real execution — refusal is always sound.
+//!
+//! Charged quantities (cycles, [`crate::trace::Stats`] counters,
+//! histogram samples) are applied as *deltas*; raw TLB and LLC
+//! mutations are *re-executed* so stamp/FIFO/dirty bookkeeping advances
+//! exactly as a real execution would. The split is what keeps
+//! `ne-metrics/v2` exports byte-identical with the cache on or off.
+
+use crate::addr::Vpn;
+use crate::enclave::EnclaveId;
+use crate::fault::ChaosStats;
+use crate::machine::Machine;
+use crate::metrics::CycleBreakdown;
+use crate::profile::{HierLevel, ProfileEvent};
+use crate::tlb::TlbEntry;
+use crate::trace::Stats;
+use std::collections::HashMap;
+
+/// One raw TLB mutation observed during capture, re-executed on replay.
+#[derive(Debug, Clone, Copy)]
+pub enum TlbOp {
+    /// The core's TLB was flushed (transition boundaries).
+    Flush,
+    /// A validated translation was filled after a miss.
+    Insert {
+        /// Virtual page the entry translates.
+        vpn: Vpn,
+        /// The filled entry.
+        entry: TlbEntry,
+    },
+}
+
+/// One contiguous LLC line range touched during capture. Raw form only —
+/// [`Machine::macro_capture_end`] folds the range list into the compact
+/// per-unique-line commit plan replay actually applies.
+#[derive(Debug, Clone, Copy)]
+struct LlcRange {
+    first: u64,
+    last: u64,
+    write: bool,
+}
+
+/// Why [`Machine::macro_replay`] refused to apply an effect. Every
+/// refusal is recoverable: the host simply executes the request for
+/// real (and typically re-captures).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplayRefusal {
+    /// A capture is in progress on this machine.
+    CaptureActive,
+    /// The event trace is enabled; replay records no events.
+    TraceEnabled,
+    /// The machine's replay epoch moved since the effect was captured.
+    StaleEpoch,
+    /// The installed chaos plan might fire within the replayed ticks
+    /// (or a stall window is open).
+    ChaosUnsafe,
+    /// A touched core's TLB no longer matches the capture-time state.
+    TlbMismatch,
+    /// A touched LLC line has been evicted since capture.
+    LlcEvicted,
+}
+
+/// In-flight capture state: snapshots taken at
+/// [`Machine::macro_capture_begin`] plus the raw ops recorded since.
+#[derive(Debug)]
+pub struct MacroRecorder {
+    core: usize,
+    worker: Option<usize>,
+    epoch: u64,
+    cycles: Vec<u64>,
+    breakdowns: Vec<CycleBreakdown>,
+    enclave_cycles: HashMap<Option<EnclaveId>, CycleBreakdown>,
+    stats: Stats,
+    next_span_id: u64,
+    mee_dec: u64,
+    mee_enc: u64,
+    llc_misses: u64,
+    chaos: Option<ChaosStats>,
+    /// `(core, fingerprint)` for the declared cores only — cycle movement
+    /// anywhere else disqualifies the capture, so no other core's TLB
+    /// pre-state can matter.
+    tlb_fingerprints: Vec<(usize, u64)>,
+    tlb_ops: Vec<(usize, TlbOp)>,
+    llc_ranges: Vec<LlcRange>,
+    eenter_eids: Vec<u64>,
+    samples: Vec<(ProfileEvent, HierLevel, u64)>,
+}
+
+impl MacroRecorder {
+    pub(crate) fn note_tlb(&mut self, core: usize, op: TlbOp) {
+        self.tlb_ops.push((core, op));
+    }
+
+    pub(crate) fn note_llc(&mut self, first: u64, last: u64, write: bool) {
+        self.llc_ranges.push(LlcRange { first, last, write });
+    }
+
+    pub(crate) fn note_eenter(&mut self, raw_eid: u64) {
+        self.eenter_eids.push(raw_eid);
+    }
+
+    pub(crate) fn note_sample(&mut self, event: ProfileEvent, level: HierLevel, cycles: u64) {
+        self.samples.push((event, level, cycles));
+    }
+}
+
+/// Per-core cycle movement of a captured effect.
+#[derive(Debug, Clone)]
+struct CoreDelta {
+    core: usize,
+    cycles: u64,
+    breakdown: CycleBreakdown,
+}
+
+/// A memoized request effect: everything one clean execution did to the
+/// machine, ready to re-apply. Produced by
+/// [`Machine::macro_capture_end`], consumed by [`Machine::macro_replay`].
+/// The `Default` value is the empty effect (no cycles, no ops, epoch 0) —
+/// replaying it is a no-op on a machine still at epoch 0.
+#[derive(Debug, Clone, Default)]
+pub struct MacroEffect {
+    epoch: u64,
+    cores: Vec<CoreDelta>,
+    enclaves: Vec<(Option<EnclaveId>, CycleBreakdown)>,
+    stats: Stats,
+    span_ids: u64,
+    /// `(core, fingerprint)` for touched cores whose first TLB op is not
+    /// a flush: their pre-state influenced the capture.
+    tlb_preconditions: Vec<(usize, u64)>,
+    tlb_ops: Vec<(usize, TlbOp)>,
+    /// Folded LLC commit plan: one `(line, last_offset, dirty)` entry per
+    /// distinct line (see [`crate::cache::Llc::replay_commit`]), applied
+    /// in O(unique lines) instead of re-walking every access.
+    llc_touched: Vec<(u64, u64, bool)>,
+    /// Total line-accesses the capture performed (hit/tick advance).
+    llc_accesses: u64,
+    eenter_eids: Vec<u64>,
+    samples: Vec<(ProfileEvent, HierLevel, u64)>,
+}
+
+impl MacroEffect {
+    /// The machine epoch this effect was captured under.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Total cycles the effect advances across all cores.
+    pub fn replayed_cycles(&self) -> u64 {
+        self.cores.iter().map(|d| d.cycles).sum()
+    }
+
+    /// EENTER transitions folded into the effect.
+    pub fn eenter_count(&self) -> usize {
+        self.eenter_eids.len()
+    }
+}
+
+fn stats_delta(now: &Stats, then: &Stats) -> Stats {
+    Stats {
+        ecalls: now.ecalls - then.ecalls,
+        ocalls: now.ocalls - then.ocalls,
+        n_ecalls: now.n_ecalls - then.n_ecalls,
+        n_ocalls: now.n_ocalls - then.n_ocalls,
+        aexes: now.aexes - then.aexes,
+        eresumes: now.eresumes - then.eresumes,
+        switchless_ocalls: now.switchless_ocalls - then.switchless_ocalls,
+        tlb_misses: now.tlb_misses - then.tlb_misses,
+        faults: now.faults - then.faults,
+        ewb_pages: now.ewb_pages - then.ewb_pages,
+        eldu_pages: now.eldu_pages - then.eldu_pages,
+        ipis: now.ipis - then.ipis,
+        span_opens: now.span_opens - then.span_opens,
+        span_closes: now.span_closes - then.span_closes,
+    }
+}
+
+fn breakdown_delta(now: &CycleBreakdown, then: &CycleBreakdown) -> CycleBreakdown {
+    let mut d = CycleBreakdown::default();
+    for (cat, v) in now.iter() {
+        d.add(cat, v - then.get(cat));
+    }
+    d
+}
+
+/// True when `now` differs from `then` only by `eenters` quiet trigger
+/// ticks (no injection counter moved).
+fn chaos_quiet(now: &ChaosStats, then: &ChaosStats, eenters: u64) -> bool {
+    now.eenters_seen == then.eenters_seen + eenters
+        && now.aex_storms == then.aex_storms
+        && now.forced_evictions == then.forced_evictions
+        && now.tamperings == then.tamperings
+        && now.crashes == then.crashes
+        && now.stalls == then.stalls
+        && now.migrations == then.migrations
+}
+
+impl Machine {
+    /// Starts recording a macro-op capture bracketing one request.
+    /// `core` is the entering (scheduler) core; `worker` the switchless
+    /// reply core, if any — the only cores the capture may touch.
+    ///
+    /// Returns `false` (and records nothing) when a capture is already
+    /// active or the event trace is enabled (replay records no trace
+    /// events, so caching while tracing would desynchronize the ring).
+    pub fn macro_capture_begin(&mut self, core: usize, worker: Option<usize>) -> bool {
+        if self.macro_rec.is_some() || self.trace().is_enabled() {
+            return false;
+        }
+        let rec = MacroRecorder {
+            core,
+            worker,
+            epoch: self.replay_epoch(),
+            cycles: self.cores.iter().map(|c| c.cycles).collect(),
+            breakdowns: self.cores.iter().map(|c| c.breakdown).collect(),
+            enclave_cycles: self.enclave_cycles.clone(),
+            stats: self.stats(),
+            next_span_id: self.next_span_id,
+            mee_dec: self.mee().lines_decrypted(),
+            mee_enc: self.mee().lines_encrypted(),
+            llc_misses: self.llc.misses(),
+            chaos: self.chaos_stats(),
+            tlb_fingerprints: [Some(core), worker]
+                .into_iter()
+                .flatten()
+                .map(|c| (c, self.cores[c].tlb.logical_fingerprint()))
+                .collect(),
+            tlb_ops: Vec::with_capacity(64),
+            llc_ranges: Vec::with_capacity(256),
+            eenter_eids: Vec::with_capacity(8),
+            samples: Vec::with_capacity(32),
+        };
+        self.macro_rec = Some(Box::new(rec));
+        true
+    }
+
+    /// Abandons an in-flight capture (request failed, retried, or took a
+    /// fault): nothing is produced, recording stops.
+    pub fn macro_capture_abort(&mut self) {
+        self.macro_rec = None;
+    }
+
+    /// Finishes a capture. Returns the memoized effect only when the
+    /// bracketed execution was provably quiet (see the module docs);
+    /// otherwise returns `None` and the request simply isn't cached.
+    pub fn macro_capture_end(&mut self) -> Option<MacroEffect> {
+        let rec = *self.macro_rec.take()?;
+        if self.replay_epoch() != rec.epoch || self.trace().is_enabled() {
+            return None;
+        }
+        // All-hit requirement: any LLC miss means DRAM/MEE state moved in
+        // ways a replay could not reproduce against different residency.
+        if self.llc.misses() != rec.llc_misses
+            || self.mee().lines_decrypted() != rec.mee_dec
+            || self.mee().lines_encrypted() != rec.mee_enc
+        {
+            return None;
+        }
+        let stats = stats_delta(&self.stats(), &rec.stats);
+        if stats.faults != 0
+            || stats.aexes != 0
+            || stats.eresumes != 0
+            || stats.ewb_pages != 0
+            || stats.eldu_pages != 0
+            || stats.ipis != 0
+            || stats.span_opens != stats.span_closes
+        {
+            return None;
+        }
+        match (self.chaos_stats(), rec.chaos) {
+            (None, None) => {}
+            (Some(now), Some(then)) if chaos_quiet(&now, &then, rec.eenter_eids.len() as u64) => {}
+            _ => return None,
+        }
+        // Cycle movement must be confined to the declared cores.
+        let mut cores = Vec::new();
+        for (i, c) in self.cores.iter().enumerate() {
+            if c.cycles == rec.cycles[i] {
+                continue;
+            }
+            if i != rec.core && Some(i) != rec.worker {
+                return None;
+            }
+            cores.push(CoreDelta {
+                core: i,
+                cycles: c.cycles - rec.cycles[i],
+                breakdown: breakdown_delta(&c.breakdown, &rec.breakdowns[i]),
+            });
+        }
+        if rec
+            .tlb_ops
+            .iter()
+            .any(|&(c, _)| c != rec.core && Some(c) != rec.worker)
+        {
+            return None;
+        }
+        let mut enclaves: Vec<(Option<EnclaveId>, CycleBreakdown)> = Vec::new();
+        for (eid, cur) in &self.enclave_cycles {
+            let prev = rec.enclave_cycles.get(eid).copied().unwrap_or_default();
+            let d = breakdown_delta(cur, &prev);
+            if d.total() > 0 {
+                enclaves.push((*eid, d));
+            }
+        }
+        enclaves.sort_by_key(|(eid, _)| eid.map(|e| e.0));
+        // A touched core whose first recorded TLB op is a flush starts
+        // from a clean slate; any other touched core's behaviour depended
+        // on its TLB pre-state, which replay must see unchanged.
+        let mut tlb_preconditions = Vec::new();
+        for d in &cores {
+            let first = rec.tlb_ops.iter().find(|&&(c, _)| c == d.core);
+            if !matches!(first, Some((_, TlbOp::Flush))) {
+                let fp = rec
+                    .tlb_fingerprints
+                    .iter()
+                    .find(|&&(c, _)| c == d.core)
+                    .map(|&(_, fp)| fp)
+                    .expect("touched cores are declared cores");
+                tlb_preconditions.push((d.core, fp));
+            }
+        }
+        // Fold the raw access ranges into the per-unique-line commit plan:
+        // last-access offset and OR-ed dirty bit per line, plus the total
+        // access count. Replay applies this in O(unique lines); a request
+        // re-touches the same message buffers many times, so unique lines
+        // are typically a small fraction of accesses.
+        let mut llc_accesses = 0u64;
+        let mut fold: HashMap<u64, (u64, bool)> = HashMap::new();
+        for r in &rec.llc_ranges {
+            for line in r.first..=r.last {
+                let slot = fold.entry(line).or_insert((0, false));
+                slot.0 = llc_accesses;
+                slot.1 |= r.write;
+                llc_accesses += 1;
+            }
+        }
+        let mut llc_touched: Vec<(u64, u64, bool)> = fold
+            .into_iter()
+            .map(|(line, (off, dirty))| (line, off, dirty))
+            .collect();
+        llc_touched.sort_unstable_by_key(|&(line, _, _)| line);
+        Some(MacroEffect {
+            epoch: rec.epoch,
+            cores,
+            enclaves,
+            stats,
+            span_ids: self.next_span_id - rec.next_span_id,
+            tlb_preconditions,
+            tlb_ops: rec.tlb_ops,
+            llc_touched,
+            llc_accesses,
+            eenter_eids: rec.eenter_eids,
+            samples: rec.samples,
+        })
+    }
+
+    /// Re-applies a memoized effect, or refuses without touching
+    /// anything. Check-then-commit: every precondition is verified
+    /// before the first mutation, so a refusal leaves the machine
+    /// byte-identical to before the call.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`ReplayRefusal`] naming the failed precondition; the
+    /// caller falls back to real execution.
+    pub fn macro_replay(&mut self, effect: &MacroEffect) -> Result<(), ReplayRefusal> {
+        if self.macro_rec.is_some() {
+            return Err(ReplayRefusal::CaptureActive);
+        }
+        if self.trace().is_enabled() {
+            return Err(ReplayRefusal::TraceEnabled);
+        }
+        if self.replay_epoch() != effect.epoch {
+            return Err(ReplayRefusal::StaleEpoch);
+        }
+        if let Some(plan) = &self.chaos {
+            if !plan.replay_safe(&effect.eenter_eids) {
+                return Err(ReplayRefusal::ChaosUnsafe);
+            }
+        }
+        for &(core, fp) in &effect.tlb_preconditions {
+            if self.cores[core].tlb.logical_fingerprint() != fp {
+                return Err(ReplayRefusal::TlbMismatch);
+            }
+        }
+        for &(line, _, _) in &effect.llc_touched {
+            if !self.llc.contains(line) {
+                return Err(ReplayRefusal::LlcEvicted);
+            }
+        }
+        // Commit. Raw TLB ops are re-executed so FIFO order and flush
+        // counters advance exactly as the real execution's did; the LLC
+        // effect is applied as the pre-folded commit plan (equivalent to
+        // re-access, see [`crate::cache::Llc::replay_commit`] — every
+        // checked line is resident and hits never evict).
+        for &(core, op) in &effect.tlb_ops {
+            match op {
+                TlbOp::Flush => self.cores[core].tlb.flush(),
+                TlbOp::Insert { vpn, entry } => self.cores[core].tlb.insert(vpn, entry),
+            }
+        }
+        self.llc
+            .replay_commit(&effect.llc_touched, effect.llc_accesses);
+        for d in &effect.cores {
+            let c = &mut self.cores[d.core];
+            c.cycles += d.cycles;
+            c.breakdown.merge(&d.breakdown);
+        }
+        for (eid, d) in &effect.enclaves {
+            self.enclave_cycles.entry(*eid).or_default().merge(d);
+        }
+        self.stats_mut().merge(&effect.stats);
+        self.next_span_id += effect.span_ids;
+        for &(event, level, cycles) in &effect.samples {
+            self.profile_record(event, level, cycles);
+        }
+        if let Some(plan) = self.chaos.as_mut() {
+            plan.advance_quiet(effect.eenter_eids.len() as u64);
+        }
+        Ok(())
+    }
+
+    /// Hook for transition instructions: notes an EENTER into `raw_eid`
+    /// while a capture is active (drives chaos-trigger-clock replay).
+    pub(crate) fn macro_note_eenter(&mut self, raw_eid: u64) {
+        if let Some(rec) = self.macro_rec.as_deref_mut() {
+            rec.note_eenter(raw_eid);
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! Machine-level properties of macro-op capture/replay (`ne_sgx::replay`):
+//! a replayed effect must leave the machine byte-identical to re-running
+//! the captured sequence for real, and every soundness gate (epoch
+//! staleness, dirty captures, TLB preconditions) must refuse rather than
+//! diverge. The serving-path leg of this oracle lives in `ne-host`'s
+//! `replay_oracle` suite.
+
+use ne_sgx::addr::{VirtAddr, VirtRange, PAGE_SIZE};
+use ne_sgx::config::HwConfig;
+use ne_sgx::enclave::{EnclaveId, ProcessId};
+use ne_sgx::epcm::{PagePerms, PageType};
+use ne_sgx::instr::PageSource;
+use ne_sgx::machine::Machine;
+use ne_sgx::metrics::MachineMetrics;
+use ne_sgx::replay::ReplayRefusal;
+use ne_sgx::SigStruct;
+
+const BASE: u64 = 0x10_0000;
+const DATA_PAGES: u64 = 2;
+
+fn build_machine() -> (Machine, EnclaveId) {
+    let mut m = Machine::new(HwConfig::small());
+    let base = VirtAddr(BASE);
+    let eid = m
+        .ecreate(
+            ProcessId(0),
+            VirtRange::new(base, (DATA_PAGES + 1) * PAGE_SIZE as u64),
+        )
+        .unwrap();
+    m.add_tcs(eid, base, base.add(PAGE_SIZE as u64)).unwrap();
+    for i in 1..=DATA_PAGES {
+        let va = base.add(i * PAGE_SIZE as u64);
+        m.eadd(eid, va, PageType::Reg, PageSource::Zeros, PagePerms::RWX)
+            .unwrap();
+        m.eextend(eid, va).unwrap();
+    }
+    let measured = m.enclaves().get(eid).unwrap().measurement.finalize();
+    m.einit(eid, &SigStruct::new(b"replay", measured)).unwrap();
+    m.eenter(0, eid, base).unwrap();
+    (m, eid)
+}
+
+/// The repeated "request body": a small all-resident read/write mix.
+fn run_body(m: &mut Machine, seed: u64) {
+    let data = VirtAddr(BASE + PAGE_SIZE as u64);
+    let mut buf = [0u8; 96];
+    for i in 0..4u64 {
+        let off = (seed * 640 + i * 160) % (DATA_PAGES * PAGE_SIZE as u64 - 256);
+        m.write(0, data.add(off), &[i as u8; 96]).unwrap();
+        m.read_into(0, data.add(off), &mut buf).unwrap();
+    }
+}
+
+/// Warms TLB and LLC so a subsequent `run_body` is all-hit (cacheable).
+fn warm(m: &mut Machine, seed: u64) {
+    run_body(m, seed);
+}
+
+#[test]
+fn replayed_effect_is_byte_identical_to_reexecution() {
+    // Twin machines, identical warm-up. One captures a body then replays
+    // the effect; the other runs the body for real both times. Every
+    // observable output must agree byte-for-byte.
+    let (mut a, _) = build_machine();
+    let (mut b, _) = build_machine();
+    for m in [&mut a, &mut b] {
+        warm(m, 0);
+    }
+
+    assert!(a.macro_capture_begin(0, None));
+    run_body(&mut a, 0);
+    let effect = a
+        .macro_capture_end()
+        .expect("warm all-hit body must be cacheable");
+    assert!(effect.replayed_cycles() > 0, "effect must carry real work");
+    a.macro_replay(&effect).expect("fresh effect must replay");
+
+    run_body(&mut b, 0);
+    run_body(&mut b, 0);
+
+    assert_eq!(a.cycles(0), b.cycles(0), "core clock diverged");
+    assert_eq!(a.total_cycles(), b.total_cycles());
+    assert_eq!(format!("{:?}", a.stats()), format!("{:?}", b.stats()));
+    assert_eq!(
+        MachineMetrics::capture(&a).to_json(),
+        MachineMetrics::capture(&b).to_json(),
+        "metrics exports diverged between replay and re-execution"
+    );
+}
+
+#[test]
+fn stale_epoch_is_refused() {
+    let (mut m, _) = build_machine();
+    warm(&mut m, 0);
+    assert!(m.macro_capture_begin(0, None));
+    run_body(&mut m, 0);
+    let effect = m.macro_capture_end().expect("cacheable");
+    m.bump_replay_epoch();
+    assert_eq!(m.macro_replay(&effect), Err(ReplayRefusal::StaleEpoch));
+}
+
+#[test]
+fn cold_capture_is_refused() {
+    // A cold machine misses in the LLC, so the first execution of a body
+    // is never cacheable — only warmed repeats are.
+    let (mut m, _) = build_machine();
+    assert!(m.macro_capture_begin(0, None));
+    run_body(&mut m, 0);
+    assert!(
+        m.macro_capture_end().is_none(),
+        "cold (LLC-missing) capture must be refused"
+    );
+}
+
+#[test]
+fn tlb_precondition_mismatch_is_refused() {
+    let (mut m, _) = build_machine();
+    warm(&mut m, 0);
+    assert!(m.macro_capture_begin(0, None));
+    run_body(&mut m, 0);
+    let effect = m.macro_capture_end().expect("cacheable");
+    // The capture relied on a warm TLB; flushing it invalidates the
+    // fingerprint precondition.
+    m.flush_tlb(0);
+    assert_eq!(m.macro_replay(&effect), Err(ReplayRefusal::TlbMismatch));
+}
+
+#[test]
+fn lifecycle_ops_bump_the_epoch() {
+    let mut m = Machine::new(HwConfig::small());
+    let before = m.replay_epoch();
+    let base = VirtAddr(BASE);
+    let eid = m
+        .ecreate(ProcessId(0), VirtRange::new(base, 3 * PAGE_SIZE as u64))
+        .unwrap();
+    assert!(m.replay_epoch() > before, "ECREATE must bump the epoch");
+    let at_create = m.replay_epoch();
+    m.add_tcs(eid, base, base.add(PAGE_SIZE as u64)).unwrap();
+    m.eadd(
+        eid,
+        base.add(PAGE_SIZE as u64),
+        PageType::Reg,
+        PageSource::Zeros,
+        PagePerms::RWX,
+    )
+    .unwrap();
+    m.eextend(eid, base.add(PAGE_SIZE as u64)).unwrap();
+    let measured = m.enclaves().get(eid).unwrap().measurement.finalize();
+    m.einit(eid, &SigStruct::new(b"epoch", measured)).unwrap();
+    assert!(
+        m.replay_epoch() > at_create,
+        "EADD/EINIT must bump the epoch"
+    );
+    let at_init = m.replay_epoch();
+    m.eremove(eid).unwrap();
+    assert!(m.replay_epoch() > at_init, "EREMOVE must bump the epoch");
+}

@@ -107,7 +107,14 @@ impl RecordLayer {
             return Err(RecordError::Malformed);
         }
         let ty = ContentType::from_byte(wire[0]).ok_or(RecordError::BadContentType(wire[0]))?;
-        let len = u32::from_le_bytes(wire[1..5].try_into().expect("4 bytes")) as usize;
+        // The length check above guarantees 4 bytes, but the wire path
+        // must stay panic-free by construction, not by proof-at-a-
+        // distance: a failed conversion is a malformed record, never an
+        // abort.
+        let len = wire[1..5]
+            .try_into()
+            .map(u32::from_le_bytes)
+            .map_err(|_| RecordError::Malformed)? as usize;
         if wire.len() != 5 + len {
             return Err(RecordError::Malformed);
         }
